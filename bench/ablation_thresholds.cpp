@@ -1,0 +1,104 @@
+// Ablation of the method's threshold knobs on one mid-size die (b20 die0):
+// sweeps cap_th, d_th, s_th, and the testability constraints (cov_th, p_th)
+// one at a time around the performance-optimized operating point, reporting
+// reused flops / additional cells / graph edges / signoff verdict.
+//
+// This regenerates the trade-off claims of Section IV ("the proposed method
+// gives a trade-off between area overhead, fault coverage, and the number of
+// test patterns") as concrete curves.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/solver.hpp"
+
+namespace {
+
+using namespace wcm;
+using namespace wcm::bench;
+
+struct Row {
+  std::string label;
+  WcmConfig cfg;
+};
+
+void sweep(const PreparedDie& die, const CellLibrary& lib, const char* title,
+           const std::vector<Row>& rows) {
+  Table table({"setting", "reused", "additional", "graph edges", "overlap edges",
+               "signoff"});
+  for (const Row& row : rows) {
+    const FlowReport r = run_scenario(die, row.cfg, die.tight_period_ps, true, false, lib);
+    int edges = 0, overlap = 0;
+    for (const PhaseStats& p : r.solution.phases) {
+      edges += p.graph_edges;
+      overlap += p.overlap_edges;
+    }
+    table.add_row({row.label, Table::cell(r.solution.reused_ffs),
+                   Table::cell(r.solution.additional_cells), Table::cell(edges),
+                   Table::cell(overlap),
+                   r.timing_violation ? "VIOLATION" : "clean"});
+  }
+  std::printf("-- %s --\n%s\n", title, table.to_ascii().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const DieSpec spec = itc99_die_spec("b20", 0);
+  const PreparedDie die = prepare(spec, lib);
+
+  std::printf("== Threshold ablation on %s (tight scenario operating point) ==\n\n",
+              spec.name.c_str());
+
+  {
+    std::vector<Row> rows;
+    for (double cap : {0.25, 0.40, 0.55, 0.75, 1.0}) {
+      WcmConfig cfg = WcmConfig::proposed_tight();
+      cfg.cap_th_ff = -cap;
+      rows.push_back({"cap_th = " + Table::percent(cap, 0) + " of drive limit", cfg});
+    }
+    sweep(die, lib, "capacity threshold (cap_th)", rows);
+  }
+  {
+    std::vector<Row> rows;
+    for (double d : {0.15, 0.30, 0.50, 0.75, 1.0}) {
+      WcmConfig cfg = WcmConfig::proposed_tight();
+      cfg.d_th_um = -d;
+      rows.push_back({"d_th = " + Table::percent(d, 0) + " of half-perimeter", cfg});
+    }
+    sweep(die, lib, "distance threshold (d_th)", rows);
+  }
+  {
+    std::vector<Row> rows;
+    for (double s : {0.0, 15.0, 30.0, 60.0, 120.0}) {
+      WcmConfig cfg = WcmConfig::proposed_tight();
+      cfg.s_th_ps = s;
+      rows.push_back({"s_th = " + Table::cell(s, 0) + " ps", cfg});
+    }
+    sweep(die, lib, "slack threshold (s_th)", rows);
+  }
+  {
+    std::vector<Row> rows;
+    {
+      WcmConfig cfg = WcmConfig::proposed_tight();
+      cfg.allow_overlap_sharing = false;
+      rows.push_back({"overlap sharing off", cfg});
+    }
+    for (double cov : {0.001, 0.005, 0.02}) {
+      WcmConfig cfg = WcmConfig::proposed_tight();
+      cfg.cov_th = cov;
+      rows.push_back({"cov_th = " + Table::percent(cov, 1), cfg});
+    }
+    sweep(die, lib, "coverage-loss threshold (cov_th)", rows);
+  }
+  {
+    std::vector<Row> rows;
+    for (double p : {2.0, 5.0, 10.0, 25.0, 100.0}) {
+      WcmConfig cfg = WcmConfig::proposed_tight();
+      cfg.p_th = p;
+      rows.push_back({"p_th = " + Table::cell(p, 0) + " patterns", cfg});
+    }
+    sweep(die, lib, "pattern-increase threshold (p_th)", rows);
+  }
+  return 0;
+}

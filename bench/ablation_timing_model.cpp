@@ -1,0 +1,77 @@
+// Timing-model fidelity ablation: does the Table III story survive a more
+// accurate signoff?
+//
+// The paper's point is that a cruder decision model (pin caps only) ships
+// netlists a more accurate signoff rejects. This bench pushes the same
+// question one level up: solutions decided under the LINEAR wire+cell model
+// are re-signed-off under the NLDM (slew-propagating) model, whose arrivals
+// are strictly later. Shape to verify: the proposed flow's margins (s_th +
+// ECO repair under the signoff model) keep it clean under both signoffs,
+// while the baseline's violations only get worse.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "dft/insertion.hpp"
+
+int main() {
+  using namespace wcm;
+  using namespace wcm::bench;
+
+  const CellLibrary linear = CellLibrary::nangate45_like();
+  const CellLibrary nldm = CellLibrary::nangate45_like_nldm();
+
+  Table table({"die", "method", "linear signoff", "nldm signoff (same clock)",
+               "nldm signoff (nldm clock + repair)"});
+
+  for (const DieSpec& spec : evaluation_dies()) {
+    if (!quick_mode() && spec.num_gates > 10000) continue;  // story shows on the rest
+    const Netlist n = generate_die(spec);
+    const double linear_period = tight_clock_period_ps(n, linear, PlaceOptions{});
+    const double nldm_period = tight_clock_period_ps(n, nldm, PlaceOptions{});
+
+    struct Method {
+      const char* name;
+      WcmConfig cfg;
+      bool repair;
+    };
+    for (const Method& m : {Method{"agrawal", WcmConfig::agrawal_tight(), false},
+                            Method{"proposed", WcmConfig::proposed_tight(), true}}) {
+      // Decide + sign off under the linear model (the default flow).
+      FlowConfig fc;
+      fc.wcm = m.cfg;
+      fc.lib = linear;
+      fc.clock_period_ps = linear_period;
+      fc.repair_timing = m.repair;
+      const FlowReport linear_report = run_flow(n, fc);
+
+      // Re-judge the SAME plan under NLDM at the linear clock: strictly
+      // harder, so violations can only appear.
+      Netlist inserted = n;
+      Placement placement = place(n, PlaceOptions{});
+      insert_wrappers(inserted, linear_report.solution.plan, &placement);
+      CellLibrary judge = nldm;
+      judge.set_clock_period_ps(linear_period);
+      const TimingReport cross = StaEngine(inserted, judge, &placement).run();
+
+      // The honest NLDM flow: decide AND sign off under NLDM at its own
+      // tight clock (repair active for the proposed method).
+      FlowConfig fn = fc;
+      fn.lib = nldm;
+      fn.clock_period_ps = nldm_period;
+      const FlowReport nldm_report = run_flow(n, fn);
+
+      auto verdict = [](bool viol, double wns) {
+        return std::string(viol ? "VIOLATION" : "clean") + " (" + Table::cell(wns, 0) + ")";
+      };
+      table.add_row({spec.name, m.name,
+                     verdict(linear_report.timing_violation, linear_report.worst_slack_ps),
+                     verdict(cross.violating_endpoints > 0, cross.worst_slack),
+                     verdict(nldm_report.timing_violation, nldm_report.worst_slack_ps)});
+    }
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n== Timing-model fidelity: linear-decided plans under NLDM signoff ==\n\n%s\n",
+              table.to_ascii().c_str());
+  return 0;
+}

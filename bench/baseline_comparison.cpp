@@ -1,0 +1,54 @@
+// Four-way baseline landscape (area-optimized scenario): additional wrapper
+// cells of the naive one-cell-per-TSV wrapper (Marinissen), Li's one-flop-
+// one-TSV greedy, Agrawal's clique method, and the proposed method — the
+// whole lineage the paper's related-work section walks through, on the full
+// suite.
+//
+// Expected order on every die: naive >= Li >= Agrawal >= proposed.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/solver.hpp"
+
+int main() {
+  using namespace wcm;
+  using namespace wcm::bench;
+
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  Table table({"die", "TSVs", "naive", "Li [3]", "Agrawal [4]", "proposed", "vs naive"});
+
+  double sums[4] = {};
+  int order_violations = 0;
+  for (const DieSpec& spec : evaluation_dies()) {
+    const Netlist n = generate_die(spec);
+    const Placement placement = place(n, PlaceOptions{});
+    const int tsvs =
+        static_cast<int>(n.inbound_tsvs().size() + n.outbound_tsvs().size());
+
+    const int naive = tsvs;
+    const WcmSolution li = solve_li_greedy(n, &placement, lib, WcmConfig::proposed_area());
+    const WcmSolution agrawal = solve_wcm(n, &placement, lib, WcmConfig::agrawal_area());
+    const WcmSolution ours = solve_wcm(n, &placement, lib, WcmConfig::proposed_area());
+
+    table.add_row({spec.name, Table::cell(tsvs), Table::cell(naive),
+                   Table::cell(li.additional_cells), Table::cell(agrawal.additional_cells),
+                   Table::cell(ours.additional_cells),
+                   Table::percent(1.0 - static_cast<double>(ours.additional_cells) / naive)});
+    sums[0] += naive;
+    sums[1] += li.additional_cells;
+    sums[2] += agrawal.additional_cells;
+    sums[3] += ours.additional_cells;
+    if (!(naive >= li.additional_cells && li.additional_cells >= agrawal.additional_cells &&
+          agrawal.additional_cells >= ours.additional_cells))
+      ++order_violations;
+  }
+  table.add_row({"Total", "", Table::cell(sums[0], 0), Table::cell(sums[1], 0),
+                 Table::cell(sums[2], 0), Table::cell(sums[3], 0),
+                 Table::percent(1.0 - sums[3] / sums[0])});
+
+  std::printf("== Baseline landscape: additional wrapper cells, area scenario ==\n\n%s\n",
+              table.to_ascii().c_str());
+  std::printf("dies breaking the expected naive >= Li >= Agrawal >= proposed order: %d\n",
+              order_violations);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Each bench regenerates one artefact of the paper's evaluation section and
+// prints it in the paper's row layout. Set WCM_QUICK=1 to restrict the die
+// list to the two small circuits (b11, b12) for smoke runs; the full suite is
+// the default, matching Table II.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "gen/generator.hpp"
+#include "util/table.hpp"
+
+namespace wcm::bench {
+
+inline bool quick_mode() {
+  const char* env = std::getenv("WCM_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+/// The evaluation dies (all 24, or the 8 small ones under WCM_QUICK=1).
+inline std::vector<DieSpec> evaluation_dies() {
+  std::vector<DieSpec> dies;
+  for (const DieSpec& spec : itc99_all_dies()) {
+    if (quick_mode() && spec.name.find("b11") == std::string::npos &&
+        spec.name.find("b12") == std::string::npos)
+      continue;
+    dies.push_back(spec);
+  }
+  return dies;
+}
+
+/// A die prepared for experiments: generated netlist plus its tight clock.
+struct PreparedDie {
+  DieSpec spec;
+  Netlist netlist;
+  double tight_period_ps = 0.0;
+  double loose_period_ps = 0.0;  ///< the area-optimized "no timing" clock
+};
+
+inline PreparedDie prepare(const DieSpec& spec, const CellLibrary& lib) {
+  PreparedDie die{spec, generate_die(spec), 0.0, 0.0};
+  die.tight_period_ps = tight_clock_period_ps(die.netlist, lib, PlaceOptions{});
+  die.loose_period_ps = die.tight_period_ps * 3.0;
+  return die;
+}
+
+/// Runs one (method, scenario) flow. The proposed method always runs with
+/// signoff-driven repair (part of its flow); baselines never do.
+inline FlowReport run_scenario(const PreparedDie& die, const WcmConfig& wcm, double period_ps,
+                               bool repair, bool with_atpg, const CellLibrary& lib) {
+  FlowConfig fc;
+  fc.wcm = wcm;
+  fc.lib = lib;
+  fc.clock_period_ps = period_ps;
+  fc.repair_timing = repair;
+  fc.run_stuck_at = with_atpg;
+  fc.run_transition = with_atpg;
+  return run_flow(die.netlist, fc);
+}
+
+/// "(99.64%, 844)" cells as the paper prints coverage/pattern pairs. The
+/// reported coverage is ATPG test coverage (detected / testable): the
+/// synthetic netlists carry a few percent structural redundancy that a
+/// synthesized circuit would not, and proven-redundant faults say nothing
+/// about wrapper quality (see EXPERIMENTS.md).
+inline std::string cov_pat_cell(const AtpgResult& r) {
+  return "(" + Table::percent(r.test_coverage()) + ", " + Table::cell(r.patterns) + ")";
+}
+
+}  // namespace wcm::bench

@@ -1,0 +1,116 @@
+// Performance microbenchmarks (google-benchmark) for the heavy kernels:
+// compatibility-graph construction, clique partitioning, STA, bit-parallel
+// fault simulation, PODEM, FM partitioning, and placement. Not a paper
+// artefact — the paper reports no runtimes — but the scaling behaviour here
+// is what makes the 24-die reproduction tractable.
+#include <benchmark/benchmark.h>
+
+#include "atpg/engine.hpp"
+#include "atpg/podem.hpp"
+#include "atpg/simulator.hpp"
+#include "core/solver.hpp"
+#include "gen/generator.hpp"
+#include "partition/partition.hpp"
+#include "place/place.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+using namespace wcm;
+
+DieSpec scaled_spec(int gates) {
+  DieSpec spec;
+  spec.name = "perf";
+  spec.num_gates = gates;
+  spec.num_scan_ffs = gates / 40;
+  spec.num_inbound = gates / 12;
+  spec.num_outbound = gates / 12;
+  spec.num_pis = 8;
+  spec.num_pos = 8;
+  spec.seed = 7;
+  return spec;
+}
+
+void BM_GenerateDie(benchmark::State& state) {
+  const DieSpec spec = scaled_spec(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(generate_die(spec));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GenerateDie)->Range(512, 8192)->Complexity();
+
+void BM_Placement(benchmark::State& state) {
+  const Netlist n = generate_die(scaled_spec(static_cast<int>(state.range(0))));
+  for (auto _ : state) benchmark::DoNotOptimize(place(n, PlaceOptions{}));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Placement)->Range(512, 8192)->Complexity();
+
+void BM_StaRun(benchmark::State& state) {
+  const Netlist n = generate_die(scaled_spec(static_cast<int>(state.range(0))));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  StaEngine sta(n, lib, &placement);
+  for (auto _ : state) benchmark::DoNotOptimize(sta.run());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StaRun)->Range(512, 8192)->Complexity();
+
+void BM_FaultSimBatch(benchmark::State& state) {
+  const Netlist n = generate_die(scaled_spec(static_cast<int>(state.range(0))));
+  const TestView view = build_reference_view(n);
+  Simulator sim(view);
+  const auto faults = full_fault_list(n);
+  Rng rng(3);
+  std::vector<std::uint64_t> words(view.num_controls());
+  for (auto _ : state) {
+    for (auto& w : words) w = rng();
+    sim.good_sim(words);
+    std::uint64_t acc = 0;
+    for (const Fault& f : faults) acc ^= sim.detect_mask(f);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(faults.size()) * 64);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FaultSimBatch)->Range(512, 8192)->Complexity();
+
+void BM_Podem(benchmark::State& state) {
+  const Netlist n = generate_die(scaled_spec(static_cast<int>(state.range(0))));
+  const TestView view = build_reference_view(n);
+  Podem podem(view);
+  const auto faults = full_fault_list(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(podem.generate(faults[i % faults.size()], 128));
+    i += 17;  // stride through the list
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Podem)->Range(512, 8192)->Complexity();
+
+void BM_SolveWcm(benchmark::State& state) {
+  const Netlist n = generate_die(scaled_spec(static_cast<int>(state.range(0))));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(solve_wcm(n, &placement, lib, WcmConfig::proposed_tight()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SolveWcm)->Range(512, 2048)->Complexity();
+
+void BM_FmPartition(benchmark::State& state) {
+  CircuitSpec spec;
+  spec.num_gates = static_cast<int>(state.range(0));
+  spec.num_ffs = spec.num_gates / 20;
+  spec.seed = 5;
+  const Netlist n = generate_circuit(spec);
+  PartitionOptions opts;
+  opts.num_parts = 4;
+  for (auto _ : state) benchmark::DoNotOptimize(partition(n, opts));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FmPartition)->Range(512, 8192)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

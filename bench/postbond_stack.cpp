@@ -1,0 +1,89 @@
+// Post-bond companion study (extension beyond the paper's pre-bond scope,
+// following the Agrawal TCAD'15 framing the paper builds on): the complete
+// known-good-die story on one 4-die stack.
+//
+//   pre-bond : each die is tested through its wrapper plan (the proposed
+//              method); TSV-pad faults are reported separately — these are
+//              the defects pre-bond screening exists to catch;
+//   bond     : the dies are stacked; every TSV pair becomes a via buffer;
+//   post-bond: the bonded stack is tested through its ordinary scan
+//              interface; the via-fault campaign is the interconnect test.
+//
+// Expected shape: pre-bond per-die coverage ~ the paper's Table IV numbers,
+// pre-bond TSV-pad coverage high (that is what the wrappers are FOR), and
+// post-bond via coverage high (vias sit on real signal paths).
+#include <cstdio>
+
+#include "atpg/testview.hpp"
+#include "bench/common.hpp"
+#include "stack/stack.hpp"
+
+int main() {
+  using namespace wcm;
+  using namespace wcm::bench;
+
+  // ---- build the stack ----
+  CircuitSpec spec;
+  spec.name = "soc";
+  spec.num_pis = 20;
+  spec.num_pos = 20;
+  spec.num_ffs = 80;
+  spec.num_gates = quick_mode() ? 800 : 3000;
+  spec.seed = 99;
+  const Netlist soc = generate_circuit(spec);
+  PartitionOptions popts;
+  popts.num_parts = 4;
+  const auto dies = split_into_dies(soc, partition(soc, popts));
+
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  AtpgOptions atpg;
+  atpg.seed = 17;
+
+  // ---- pre-bond: per-die wrapped testing ----
+  Table pre({"die", "TSVs", "reused", "additional", "die coverage", "#patterns",
+             "TSV-pad coverage"});
+  for (const Die& die : dies) {
+    const Netlist& n = die.netlist;
+    FlowConfig cfg;
+    cfg.wcm = WcmConfig::proposed_tight();
+    cfg.lib = lib;
+    cfg.clock_period_ps = tight_clock_period_ps(n, lib, PlaceOptions{});
+    cfg.repair_timing = true;
+    cfg.run_stuck_at = true;
+    const FlowReport r = run_flow(n, cfg);
+
+    // Focused campaign: just the TSV landing-pad faults.
+    std::vector<Fault> pad_faults;
+    for (GateId t : n.inbound_tsvs()) {
+      pad_faults.push_back(Fault{t, false});
+      pad_faults.push_back(Fault{t, true});
+    }
+    const TestView view = build_test_view(n, r.solution.plan);
+    const AtpgResult pads = AtpgEngine(view).run_stuck_at_subset(atpg, pad_faults);
+
+    pre.add_row({n.name(),
+                 Table::cell(n.inbound_tsvs().size() + n.outbound_tsvs().size()),
+                 Table::cell(r.solution.reused_ffs),
+                 Table::cell(r.solution.additional_cells),
+                 Table::percent(r.stuck_at.test_coverage()),
+                 Table::cell(r.stuck_at.patterns), Table::percent(pads.test_coverage())});
+  }
+  std::printf("== Pre-bond: known-good-die screening through the wrapper plans ==\n\n%s\n",
+              pre.to_ascii().c_str());
+
+  // ---- post-bond: stack + interconnect test ----
+  const BondedStack stack = bond_dies(dies);
+  const TestView stack_view = build_reference_view(stack.netlist);
+  const AtpgResult full = AtpgEngine(stack_view).run_stuck_at(atpg);
+  const AtpgResult vias =
+      AtpgEngine(stack_view).run_stuck_at_subset(atpg, via_fault_list(stack));
+
+  Table post({"stage", "faults", "coverage", "#patterns"});
+  post.add_row({"stack (all faults)", Table::cell(full.total_faults),
+                Table::percent(full.test_coverage()), Table::cell(full.patterns)});
+  post.add_row({"interconnect (via faults)", Table::cell(vias.total_faults),
+                Table::percent(vias.test_coverage()), Table::cell(vias.patterns)});
+  std::printf("== Post-bond: bonded stack with %zu vias ==\n\n%s\n", stack.vias.size(),
+              post.to_ascii().c_str());
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Optimizer-vs-ATPG study (extension): how much of the untestable-fault tail
+// is structural redundancy that synthesis cleanup removes?
+//
+// For each small/medium die: stuck-at ATPG on the raw generated netlist and
+// on its optimize()d twin. Shape to verify: the optimized netlist has fewer
+// total faults, a smaller untestable share, and equal-or-better coverage —
+// evidence that the residual coverage gap of the reproduction is substrate
+// redundancy, not an ATPG deficiency.
+#include <cstdio>
+
+#include "atpg/testview.hpp"
+#include "bench/common.hpp"
+#include "netlist/optimize.hpp"
+
+int main() {
+  using namespace wcm;
+  using namespace wcm::bench;
+
+  Table table({"die", "faults raw", "untestable raw", "coverage raw", "faults opt",
+               "untestable opt", "coverage opt"});
+  AtpgOptions atpg;
+  atpg.seed = 41;
+  for (const DieSpec& spec : evaluation_dies()) {
+    if (!quick_mode() && spec.num_gates > 10000) continue;
+    const Netlist raw = generate_die(spec);
+    OptimizeStats stats;
+    const Netlist opt = optimize(raw, &stats);
+    const AtpgResult raw_result = AtpgEngine(build_reference_view(raw)).run_stuck_at(atpg);
+    const AtpgResult opt_result = AtpgEngine(build_reference_view(opt)).run_stuck_at(atpg);
+    table.add_row({spec.name, Table::cell(raw_result.total_faults),
+                   Table::cell(raw_result.untestable),
+                   Table::percent(raw_result.coverage()),
+                   Table::cell(opt_result.total_faults), Table::cell(opt_result.untestable),
+                   Table::percent(opt_result.coverage())});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n== Structural redundancy: raw vs optimized netlists ==\n");
+  std::printf("(coverage here is plain detected/total, NOT test coverage: the point is\n"
+              " that the denominator's redundant tail shrinks under optimization)\n\n");
+  std::printf("%s\n", table.to_ascii().c_str());
+  return 0;
+}

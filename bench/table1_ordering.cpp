@@ -1,0 +1,54 @@
+// Reproduces Table I: the motivation experiment — running Agrawal's method
+// starting from the inbound TSV set vs. starting from the outbound TSV set,
+// on the four b12 dies. The paper reads off fault coverage and wrapper-cell
+// count, showing that starting from the LARGER set gives equal-or-better
+// coverage with no more wrapper cells; that observation becomes the
+// proposed method's TSV-analysis step.
+#include <cstdio>
+
+#include "atpg/testview.hpp"
+#include "bench/common.hpp"
+
+int main() {
+  using namespace wcm;
+  using namespace wcm::bench;
+
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  Table table({"die", "#inbound", "#outbound", "in-first (cov, #pat)", "in-first #cells",
+               "out-first (cov, #pat)", "out-first #cells"});
+
+  for (int die_idx = 0; die_idx < 4; ++die_idx) {
+    const DieSpec spec = itc99_die_spec("b12", die_idx);
+    const PreparedDie die = prepare(spec, lib);
+
+    auto run_order = [&](OrderingPolicy order) {
+      WcmConfig cfg = WcmConfig::agrawal_area();
+      cfg.ordering = order;
+      FlowConfig fc;
+      fc.wcm = cfg;
+      fc.lib = lib;
+      fc.clock_period_ps = die.loose_period_ps;
+      fc.run_stuck_at = true;
+      return run_flow(die.netlist, fc);
+    };
+    const FlowReport in_first = run_order(OrderingPolicy::kInboundFirst);
+    const FlowReport out_first = run_order(OrderingPolicy::kOutboundFirst);
+
+    table.add_row({spec.name, Table::cell(die.netlist.inbound_tsvs().size()),
+                   Table::cell(die.netlist.outbound_tsvs().size()),
+                   cov_pat_cell(in_first.stuck_at),
+                   Table::cell(in_first.solution.additional_cells),
+                   cov_pat_cell(out_first.stuck_at),
+                   Table::cell(out_first.solution.additional_cells)});
+  }
+
+  std::printf("== Table I: effect of the TSV-set processing order "
+              "(Agrawal's method, b12) ==\n");
+  std::printf("(paper: starting from the larger set gives better coverage with no more\n"
+              " wrapper cells on 3 of 4 dies. In this reproduction coverage is\n"
+              " ordering-invariant — the baseline only makes cone-disjoint shares, which\n"
+              " provably cost no single-fault coverage — and the cell-count effect is\n"
+              " within instance noise; see EXPERIMENTS.md)\n\n");
+  std::printf("%s\n", table.to_ascii().c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Test-application-time analysis (extension): what the wrapper-cell
+// reduction is ultimately worth on the tester.
+//
+// Compares, per die, three DFT strategies under the tight scenario:
+//   * naive     — one dedicated wrapper cell per TSV (Marinissen-style);
+//   * Agrawal   — the baseline reuse method;
+//   * proposed  — the paper's method.
+// Each strategy's real ATPG pattern count and chain length feed the scan
+// test-time model; the table reports milliseconds at a 50 MHz shift clock.
+#include <cstdio>
+
+#include "atpg/testview.hpp"
+#include "bench/common.hpp"
+#include "dft/test_time.hpp"
+
+int main() {
+  using namespace wcm;
+  using namespace wcm::bench;
+
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  Table table({"die", "naive cells/ms", "Agrawal cells/ms", "proposed cells/ms",
+               "saving vs naive"});
+
+  double total_naive = 0, total_ours = 0;
+  for (const DieSpec& spec : evaluation_dies()) {
+    // The big circuits dominate runtime; the shape shows on the small half.
+    if (!quick_mode() && spec.num_gates > 10000) continue;
+    const PreparedDie die = prepare(spec, lib);
+    AtpgOptions atpg;
+    atpg.seed = 29;
+
+    auto measure = [&](const WrapperPlan& plan) {
+      const TestView view = build_test_view(die.netlist, plan);
+      const AtpgResult r = AtpgEngine(view).run_stuck_at(atpg);
+      return estimate_test_time(die.netlist, plan, r.patterns);
+    };
+
+    const WrapperPlan naive = one_cell_per_tsv(die.netlist);
+    const TestTime t_naive = measure(naive);
+
+    const FlowReport agrawal = run_scenario(die, WcmConfig::agrawal_tight(),
+                                            die.tight_period_ps, false, false, lib);
+    const TestTime t_agrawal = measure(agrawal.solution.plan);
+
+    const FlowReport ours = run_scenario(die, WcmConfig::proposed_tight(),
+                                         die.tight_period_ps, true, false, lib);
+    const TestTime t_ours = measure(ours.solution.plan);
+
+    auto cell = [](const TestTime& t, const WrapperPlan& p) {
+      return Table::cell(p.num_additional()) + " / " + Table::cell(t.milliseconds, 2);
+    };
+    table.add_row({spec.name, cell(t_naive, naive), cell(t_agrawal, agrawal.solution.plan),
+                   cell(t_ours, ours.solution.plan),
+                   Table::percent(1.0 - t_ours.milliseconds / t_naive.milliseconds)});
+    total_naive += t_naive.milliseconds;
+    total_ours += t_ours.milliseconds;
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n== Scan test time per die (additional cells / ms at 50 MHz) ==\n\n%s\n",
+              table.to_ascii().c_str());
+  std::printf("total: %.1f ms naive vs %.1f ms proposed (%.1f%% saved)\n", total_naive,
+              total_ours, 100.0 * (1.0 - total_ours / total_naive));
+  return 0;
+}

@@ -1,0 +1,269 @@
+#include "atpg/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "atpg/podem.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace wcm {
+namespace {
+
+/// Random control words for one 64-pattern batch.
+std::vector<std::uint64_t> random_batch(Rng& rng, std::size_t num_controls) {
+  std::vector<std::uint64_t> words(num_controls);
+  for (auto& w : words) w = rng();
+  return words;
+}
+
+/// Expands a single PODEM pattern into 64 copies (bit-replicated words) so it
+/// can be pushed through the batch simulator; only bit 0 is "the" pattern but
+/// replication keeps the fast path uniform.
+std::vector<std::uint64_t> replicate_pattern(const std::vector<std::uint8_t>& pattern) {
+  std::vector<std::uint64_t> words(pattern.size());
+  for (std::size_t i = 0; i < pattern.size(); ++i) words[i] = pattern[i] ? ~0ULL : 0;
+  return words;
+}
+
+}  // namespace
+
+AtpgResult AtpgEngine::run_stuck_at(const AtpgOptions& opts) const {
+  return run_stuck_at_subset(opts, full_fault_list(*view_->netlist));
+}
+
+AtpgResult AtpgEngine::run_stuck_at_subset(const AtpgOptions& opts,
+                                           std::vector<Fault> faults) const {
+  const Netlist& n = *view_->netlist;
+  Simulator sim(*view_);
+  Rng rng(opts.seed);
+
+  std::vector<Fault> remaining = std::move(faults);
+  AtpgResult result;
+  result.total_faults = static_cast<int>(remaining.size());
+
+  // ---- phase 1: random patterns with fault dropping ----
+  int barren_streak = 0;
+  for (int batch = 0; batch < opts.max_random_batches && !remaining.empty(); ++batch) {
+    const auto words = random_batch(rng, view_->num_controls());
+    sim.good_sim(words);
+    std::uint64_t useful = 0;  // patterns that detected >= 1 new fault
+    std::vector<Fault> still;
+    still.reserve(remaining.size());
+    for (const Fault& f : remaining) {
+      const std::uint64_t mask = sim.detect_mask(f);
+      if (mask == 0) {
+        still.push_back(f);
+        continue;
+      }
+      // Attribute the detection to the first detecting pattern, mirroring
+      // how a compaction pass keeps the earliest covering vector.
+      useful |= (mask & (~mask + 1));
+      ++result.detected;
+    }
+    remaining.swap(still);
+    const int kept = std::popcount(useful);
+    result.patterns += kept;
+    barren_streak = (kept == 0) ? barren_streak + 1 : 0;
+    if (barren_streak >= opts.useless_batch_window) break;
+  }
+
+  // ---- phase 2: PODEM top-up, 64 deterministic vectors per sim pass ----
+  if (opts.deterministic_phase && !remaining.empty()) {
+    Podem podem(*view_);
+    std::vector<char> gave_up(n.size() * 2, 0);  // (site, stuck) -> aborted
+    auto flag_of = [](const Fault& f) {
+      return static_cast<std::size_t>(f.site) * 2 + (f.stuck_value ? 1 : 0);
+    };
+    while (true) {
+      // Generate tests for up to 64 not-yet-attempted faults.
+      std::vector<std::uint64_t> words(view_->num_controls(), 0);
+      int bits = 0;
+      {
+        std::vector<Fault> still;
+        still.reserve(remaining.size());
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+          const Fault f = remaining[i];
+          if (bits >= 64 || gave_up[flag_of(f)]) {
+            still.push_back(f);
+            continue;
+          }
+          const PodemResult pr = podem.generate(f, opts.podem_backtrack_limit);
+          if (pr.status == PodemStatus::kUntestable) {
+            ++result.untestable;
+            continue;  // drop from list
+          }
+          if (pr.status == PodemStatus::kAborted) {
+            // Not counted yet: a later vector may still detect it by luck;
+            // survivors are tallied as aborted after the phase.
+            gave_up[flag_of(f)] = 1;
+            still.push_back(f);
+            continue;
+          }
+          for (std::size_t c = 0; c < words.size(); ++c)
+            if (pr.pattern[c]) words[c] |= 1ULL << bits;
+          ++bits;
+          still.push_back(f);  // the sim pass below drops it
+        }
+        remaining.swap(still);
+      }
+      if (bits == 0) break;  // every remaining fault is aborted or gone
+
+      sim.good_sim(words);
+      std::uint64_t useful = 0;
+      std::vector<Fault> still;
+      still.reserve(remaining.size());
+      const std::uint64_t live = (bits == 64) ? ~0ULL : ((1ULL << bits) - 1);
+      for (const Fault& f : remaining) {
+        const std::uint64_t mask = sim.detect_mask(f) & live;
+        if (mask == 0) {
+          still.push_back(f);
+          continue;
+        }
+        useful |= (mask & (~mask + 1));
+        ++result.detected;
+      }
+      const bool dropped_any = still.size() < remaining.size();
+      remaining.swap(still);
+      result.patterns += std::popcount(useful);
+      // PODEM and the simulator agree by construction; this guard only
+      // protects against an endless loop if that invariant were ever broken.
+      WCM_ASSERT_MSG(dropped_any, "deterministic vectors detected nothing");
+    }
+    result.aborted = static_cast<int>(remaining.size());
+  }
+  return result;
+}
+
+AtpgResult AtpgEngine::run_transition(const AtpgOptions& opts) const {
+  const Netlist& n = *view_->netlist;
+  Simulator sim(*view_);
+  Rng rng(opts.seed ^ 0x72A45171UL);
+
+  // A transition fault at node s needs V1 to set s to the pre-transition
+  // value and V2 to detect the equivalent stuck-at. slow-to-rise(s): V1 sets
+  // s=0, V2 detects s stuck-at-0 (i.e. the rise never happened).
+  struct TransitionFault {
+    Fault equivalent_sa;  ///< stuck-at fault V2 must detect
+  };
+  std::vector<TransitionFault> remaining;
+  for (const Fault& f : full_fault_list(n)) remaining.push_back(TransitionFault{f});
+  AtpgResult result;
+  result.total_faults = static_cast<int>(remaining.size());
+
+  std::vector<std::uint64_t> init_values;  // V1 good values per node
+
+  auto run_pair = [&](const std::vector<std::uint64_t>& w1,
+                      const std::vector<std::uint64_t>& w2) -> int {
+    sim.good_sim(w1);
+    init_values = sim.values();
+    sim.good_sim(w2);
+    std::uint64_t useful = 0;
+    std::vector<TransitionFault> still;
+    still.reserve(remaining.size());
+    int dropped = 0;
+    for (const TransitionFault& tf : remaining) {
+      const auto site = static_cast<std::size_t>(tf.equivalent_sa.site);
+      // Initialisation: V1 must set the site to the pre-transition value,
+      // which equals the stuck value (slow-to-rise starts at 0 = SA0 value).
+      const std::uint64_t init_ok =
+          tf.equivalent_sa.stuck_value ? init_values[site] : ~init_values[site];
+      const std::uint64_t mask = sim.detect_mask(tf.equivalent_sa) & init_ok;
+      if (mask == 0) {
+        still.push_back(tf);
+        continue;
+      }
+      useful |= (mask & (~mask + 1));
+      ++dropped;
+      ++result.detected;
+    }
+    remaining.swap(still);
+    const int kept = std::popcount(useful);
+    result.patterns += 2 * kept;  // a kept pair applies two vectors
+    return dropped;
+  };
+
+  int barren_streak = 0;
+  for (int batch = 0; batch < opts.max_random_batches && !remaining.empty(); ++batch) {
+    const auto w1 = random_batch(rng, view_->num_controls());
+    const auto w2 = random_batch(rng, view_->num_controls());
+    const int dropped = run_pair(w1, w2);
+    barren_streak = (dropped == 0) ? barren_streak + 1 : 0;
+    if (barren_streak >= opts.useless_batch_window) break;
+  }
+
+  // Deterministic top-up: PODEM finds V2 for the equivalent stuck-at; V1 is
+  // searched by random trials constrained to initialise the site (cheap, and
+  // enhanced scan makes V1 independent of V2). Vectors are batched 64 wide
+  // like the stuck-at phase; each remaining fault gets a bounded number of
+  // initialisation retries across sweeps.
+  if (opts.deterministic_phase && !remaining.empty()) {
+    Podem podem(*view_);
+    std::vector<std::uint8_t> attempts(n.size() * 2, 0);
+    auto flag_of = [](const Fault& f) {
+      return static_cast<std::size_t>(f.site) * 2 + (f.stuck_value ? 1 : 0);
+    };
+    constexpr std::uint8_t kMaxAttempts = 3;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      std::vector<std::uint64_t> w2(view_->num_controls(), 0);
+      int bits = 0;
+      {
+        std::vector<TransitionFault> still;
+        still.reserve(remaining.size());
+        for (const TransitionFault& tf : remaining) {
+          const std::size_t flag = flag_of(tf.equivalent_sa);
+          if (bits >= 64 || attempts[flag] >= kMaxAttempts) {
+            still.push_back(tf);
+            continue;
+          }
+          if (attempts[flag] == 0) {
+            const PodemResult pr =
+                podem.generate(tf.equivalent_sa, opts.podem_backtrack_limit);
+            if (pr.status == PodemStatus::kUntestable) {
+              ++result.untestable;
+              continue;
+            }
+            if (pr.status == PodemStatus::kAborted) {
+              attempts[flag] = 255;  // terminal; tallied after the phase
+              still.push_back(tf);
+              continue;
+            }
+            for (std::size_t c = 0; c < w2.size(); ++c)
+              if (pr.pattern[c]) w2[c] |= 1ULL << bits;
+          } else {
+            // Re-derive the vector: PODEM is deterministic, and re-running it
+            // is cheaper than caching every pattern of a large tail.
+            const PodemResult pr =
+                podem.generate(tf.equivalent_sa, opts.podem_backtrack_limit);
+            if (pr.status != PodemStatus::kDetected) {
+              attempts[flag] = 255;
+              still.push_back(tf);
+              continue;
+            }
+            for (std::size_t c = 0; c < w2.size(); ++c)
+              if (pr.pattern[c]) w2[c] |= 1ULL << bits;
+          }
+          ++attempts[flag];
+          ++bits;
+          still.push_back(tf);
+        }
+        remaining.swap(still);
+      }
+      if (bits == 0) break;
+      const auto w1 = random_batch(rng, view_->num_controls());
+      if (run_pair(w1, w2) > 0) progress = true;
+      // Even without drops, another sweep retries faults below the attempt
+      // cap with fresh V1 randomness.
+      for (const TransitionFault& tf : remaining)
+        if (attempts[flag_of(tf.equivalent_sa)] < kMaxAttempts) progress = true;
+    }
+    // Everything still on the list either aborted in PODEM or burned its
+    // initialisation retries.
+    result.aborted = static_cast<int>(remaining.size());
+  }
+  return result;
+}
+
+}  // namespace wcm

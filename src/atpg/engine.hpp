@@ -1,0 +1,74 @@
+// Top-level test generation: the "commercial ATPG tool" stand-in.
+//
+// Strategy (industry-standard two-phase flow):
+//   1. random-pattern phase: 64-pattern batches with fault dropping until a
+//      batch window stops detecting anything new;
+//   2. deterministic phase: PODEM for each remaining fault; generated tests
+//      are fault-simulated against the remaining list so one deterministic
+//      pattern usually drops several faults.
+//
+// Reported metrics mirror what the paper reads off its ATPG runs:
+//   * fault coverage  = detected / total faults (untestable faults count
+//     against coverage, as in the paper's "fault coverage");
+//   * pattern count   = number of applied test vectors that detected at
+//     least one new fault (useless random vectors are discarded, as a
+//     pattern-compaction pass would).
+//
+// Transition-delay faults use the enhanced-scan two-vector model: vector V1
+// initialises the fault site, V2 must detect the corresponding stuck-at
+// fault; a pair counts as two applied vectors.
+#pragma once
+
+#include <cstdint>
+
+#include "atpg/faults.hpp"
+#include "atpg/simulator.hpp"
+#include "atpg/testview.hpp"
+#include "util/rng.hpp"
+
+namespace wcm {
+
+struct AtpgOptions {
+  int max_random_batches = 64;        ///< cap on 64-pattern random batches
+  int useless_batch_window = 3;       ///< stop after this many barren batches
+  bool deterministic_phase = true;    ///< run PODEM on random-resistant faults
+  int podem_backtrack_limit = 256;
+  std::uint64_t seed = 0x5EED;
+};
+
+struct AtpgResult {
+  int total_faults = 0;
+  int detected = 0;
+  int untestable = 0;   ///< proved untestable by PODEM
+  int aborted = 0;      ///< PODEM gave up within the backtrack limit
+  int patterns = 0;     ///< applied vectors that detected something new
+
+  double coverage() const {
+    return total_faults == 0 ? 1.0 : static_cast<double>(detected) / total_faults;
+  }
+  /// Coverage excluding proven-untestable faults (ATPG "test coverage").
+  double test_coverage() const {
+    const int testable = total_faults - untestable;
+    return testable == 0 ? 1.0 : static_cast<double>(detected) / testable;
+  }
+};
+
+class AtpgEngine {
+ public:
+  explicit AtpgEngine(const TestView& view) : view_(&view) {}
+
+  /// Full stuck-at campaign over the collapsed fault list.
+  AtpgResult run_stuck_at(const AtpgOptions& opts) const;
+
+  /// Stuck-at campaign over a caller-supplied fault list — used for focused
+  /// studies (e.g. TSV-pad faults pre-bond, via faults post-bond).
+  AtpgResult run_stuck_at_subset(const AtpgOptions& opts, std::vector<Fault> faults) const;
+
+  /// Enhanced-scan transition-delay campaign.
+  AtpgResult run_transition(const AtpgOptions& opts) const;
+
+ private:
+  const TestView* view_;
+};
+
+}  // namespace wcm

@@ -1,0 +1,30 @@
+#include "atpg/faults.hpp"
+
+namespace wcm {
+
+std::string fault_name(const Netlist& n, const Fault& f) {
+  return n.gate(f.site).name + (f.stuck_value ? "/SA1" : "/SA0");
+}
+
+std::vector<Fault> full_fault_list(const Netlist& n) {
+  std::vector<Fault> faults;
+  faults.reserve(n.size() * 2);
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const GateType t = n.gate(static_cast<GateId>(i)).type;
+    if (t == GateType::kOutput || t == GateType::kTsvOut) continue;
+    // Tie cells: only the fault that changes the value is meaningful.
+    if (t == GateType::kTie0) {
+      faults.push_back(Fault{static_cast<GateId>(i), true});
+      continue;
+    }
+    if (t == GateType::kTie1) {
+      faults.push_back(Fault{static_cast<GateId>(i), false});
+      continue;
+    }
+    faults.push_back(Fault{static_cast<GateId>(i), false});
+    faults.push_back(Fault{static_cast<GateId>(i), true});
+  }
+  return faults;
+}
+
+}  // namespace wcm

@@ -1,0 +1,34 @@
+// Stuck-at fault list.
+//
+// Faults are modelled on gate output nets (one SA0 + one SA1 per node),
+// which is the classic output-collapsed list: input-pin faults on fanout-free
+// paths are equivalent to their driver's output fault, and the remaining
+// branch faults are dominated closely enough that coverage figures match
+// industrial collapsed lists to within the noise this study cares about.
+// Sink port nodes (OUTPUT/TSV_OUT pads) are excluded — a pad fault is
+// equivalent to its driver fault through the identity connection — except
+// that TSV_IN pads are *included*: landing-pad defects are precisely what
+// pre-bond test exists to catch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace wcm {
+
+struct Fault {
+  GateId site = kNoGate;
+  bool stuck_value = false;  ///< false = stuck-at-0, true = stuck-at-1
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Human-readable "g42/SA1" form for reports.
+std::string fault_name(const Netlist& n, const Fault& f);
+
+/// The collapsed stuck-at list described above.
+std::vector<Fault> full_fault_list(const Netlist& n);
+
+}  // namespace wcm

@@ -1,0 +1,390 @@
+#include "atpg/podem.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+Podem::Podem(const TestView& view) : view_(&view), n_(view.netlist) {
+  topo_ = n_->topo_order();
+  topo_rank_.assign(n_->size(), 0);
+  for (std::size_t i = 0; i < topo_.size(); ++i)
+    topo_rank_[static_cast<std::size_t>(topo_[i])] = static_cast<int>(i);
+  control_of_node_.assign(n_->size(), -1);
+  for (std::size_t c = 0; c < view.controls.size(); ++c)
+    for (GateId node : view.controls[c].driven)
+      control_of_node_[static_cast<std::size_t>(node)] = static_cast<int>(c);
+
+  // Observability levels: reverse BFS from every observed node. Guides the
+  // D-frontier choice toward the nearest observation point.
+  obs_level_.assign(n_->size(), std::numeric_limits<int>::max());
+  std::deque<GateId> queue;
+  for (const ObservePoint& o : view.observes)
+    for (GateId node : o.observed) {
+      if (obs_level_[static_cast<std::size_t>(node)] == 0) continue;
+      obs_level_[static_cast<std::size_t>(node)] = 0;
+      queue.push_back(node);
+    }
+  while (!queue.empty()) {
+    const GateId node = queue.front();
+    queue.pop_front();
+    const int next = obs_level_[static_cast<std::size_t>(node)] + 1;
+    for (GateId in : n_->gate(node).fanins) {
+      if (obs_level_[static_cast<std::size_t>(in)] <= next) continue;
+      obs_level_[static_cast<std::size_t>(in)] = next;
+      queue.push_back(in);
+    }
+  }
+
+  observes_of_node_.assign(n_->size(), {});
+  for (std::size_t o = 0; o < view.observes.size(); ++o)
+    for (GateId node : view.observes[o].observed)
+      observes_of_node_[static_cast<std::size_t>(node)].push_back(static_cast<int>(o));
+
+  in_heap_.assign(n_->size(), 0);
+  in_frontier_.assign(n_->size(), 0);
+}
+
+std::uint8_t Podem::eval3(GateType t, const std::vector<GateId>& fanins,
+                          const std::vector<std::uint8_t>& val) const {
+  auto v = [&](std::size_t k) { return val[static_cast<std::size_t>(fanins[k])]; };
+  switch (t) {
+    case GateType::kBuf:
+    case GateType::kOutput:
+    case GateType::kTsvOut:
+    case GateType::kDff:
+      return v(0);
+    case GateType::kNot:
+      return v(0) == kX ? kX : static_cast<std::uint8_t>(1 - v(0));
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool any_x = false;
+      for (std::size_t k = 0; k < fanins.size(); ++k) {
+        if (v(k) == 0) return t == GateType::kAnd ? 0 : 1;
+        if (v(k) == kX) any_x = true;
+      }
+      if (any_x) return kX;
+      return t == GateType::kAnd ? 1 : 0;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool any_x = false;
+      for (std::size_t k = 0; k < fanins.size(); ++k) {
+        if (v(k) == 1) return t == GateType::kOr ? 1 : 0;
+        if (v(k) == kX) any_x = true;
+      }
+      if (any_x) return kX;
+      return t == GateType::kOr ? 0 : 1;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      std::uint8_t parity = (t == GateType::kXnor) ? 1 : 0;
+      for (std::size_t k = 0; k < fanins.size(); ++k) {
+        if (v(k) == kX) return kX;
+        parity ^= v(k);
+      }
+      return parity;
+    }
+    case GateType::kMux: {
+      const std::uint8_t sel = v(0), d0 = v(1), d1 = v(2);
+      if (sel == 0) return d0;
+      if (sel == 1) return d1;
+      return (d0 == d1 && d0 != kX) ? d0 : kX;
+    }
+    case GateType::kTie0: return 0;
+    case GateType::kTie1: return 1;
+    case GateType::kInput:
+    case GateType::kTsvIn:
+      WCM_ASSERT(false);
+  }
+  return kX;
+}
+
+std::uint8_t Podem::node_good(GateId id) const {
+  const Gate& g = n_->gate(id);
+  if (g.type == GateType::kTie0) return 0;
+  if (g.type == GateType::kTie1) return 1;
+  if (is_combinational_source(g.type))
+    return assign_[static_cast<std::size_t>(control_of_node_[static_cast<std::size_t>(id)])];
+  return eval3(g.type, g.fanins, good_);
+}
+
+std::uint8_t Podem::node_faulty(GateId id) const {
+  if (id == fault_.site) return fault_.stuck_value ? 1 : 0;
+  const Gate& g = n_->gate(id);
+  if (g.type == GateType::kTie0) return 0;
+  if (g.type == GateType::kTie1) return 1;
+  if (is_combinational_source(g.type))
+    return assign_[static_cast<std::size_t>(control_of_node_[static_cast<std::size_t>(id)])];
+  return eval3(g.type, g.fanins, faulty_);
+}
+
+void Podem::update_frontier_membership(GateId id) {
+  const Gate& g = n_->gate(id);
+  const auto idx = static_cast<std::size_t>(id);
+  bool member = false;
+  if (!is_combinational_source(g.type) && (good_[idx] == kX || faulty_[idx] == kX)) {
+    for (GateId in : g.fanins) {
+      const auto iidx = static_cast<std::size_t>(in);
+      if (good_[iidx] != kX && faulty_[iidx] != kX && good_[iidx] != faulty_[iidx]) {
+        member = true;
+        break;
+      }
+    }
+  }
+  if (member && !in_frontier_[idx]) {
+    in_frontier_[idx] = 1;
+    frontier_.push_back(id);
+  } else if (!member && in_frontier_[idx]) {
+    in_frontier_[idx] = 0;
+    // Lazy removal: frontier_ entries are validated against in_frontier_.
+  }
+}
+
+void Podem::resim_from(int control) {
+  // Event-driven 3-valued resimulation of both machines starting at the
+  // nodes the changed control drives. A min-heap on topo rank guarantees a
+  // node is evaluated only after all its updated fanins.
+  heap_.clear();
+  auto cmp = [this](GateId a, GateId b) {
+    return topo_rank_[static_cast<std::size_t>(a)] > topo_rank_[static_cast<std::size_t>(b)];
+  };
+  auto push = [&](GateId id) {
+    if (in_heap_[static_cast<std::size_t>(id)]) return;
+    in_heap_[static_cast<std::size_t>(id)] = 1;
+    heap_.push_back(id);
+    std::push_heap(heap_.begin(), heap_.end(), cmp);
+  };
+  for (GateId node : view_->controls[static_cast<std::size_t>(control)].driven) push(node);
+
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    const GateId id = heap_.back();
+    heap_.pop_back();
+    in_heap_[static_cast<std::size_t>(id)] = 0;
+    const auto idx = static_cast<std::size_t>(id);
+    const std::uint8_t ng = node_good(id);
+    const std::uint8_t nf = node_faulty(id);
+    if (ng == good_[idx] && nf == faulty_[idx]) continue;
+    good_[idx] = ng;
+    faulty_[idx] = nf;
+    update_frontier_membership(id);
+    for (GateId fo : n_->gate(id).fanouts) {
+      update_frontier_membership(fo);
+      if (!is_combinational_source(n_->gate(fo).type)) push(fo);
+    }
+  }
+}
+
+void Podem::full_init() {
+  for (GateId id : topo_) {
+    const auto idx = static_cast<std::size_t>(id);
+    good_[idx] = node_good(id);
+    faulty_[idx] = node_faulty(id);
+  }
+  frontier_.clear();
+  std::fill(in_frontier_.begin(), in_frontier_.end(), 0);
+  for (GateId id : topo_) update_frontier_membership(id);
+}
+
+bool Podem::detected_at_observe() const {
+  // Only observe points containing a fault-effect member can detect; the
+  // effect lives in the fault site's forward cone, so scanning all observe
+  // points stays cheap relative to resimulation (sets are tiny).
+  for (const ObservePoint& o : view_->observes) {
+    std::uint8_t gp = 0, fp = 0;
+    bool x = false;
+    bool effect = false;
+    for (GateId node : o.observed) {
+      const auto idx = static_cast<std::size_t>(node);
+      if (good_[idx] == kX || faulty_[idx] == kX) {
+        x = true;
+        break;
+      }
+      gp ^= good_[idx];
+      fp ^= faulty_[idx];
+      if (good_[idx] != faulty_[idx]) effect = true;
+    }
+    if (!x && effect && gp != fp) return true;
+  }
+  return false;
+}
+
+bool Podem::fault_activated() const {
+  const auto s = static_cast<std::size_t>(fault_.site);
+  return good_[s] != kX && good_[s] == (fault_.stuck_value ? 0 : 1);
+}
+
+bool Podem::activation_impossible() const {
+  const auto s = static_cast<std::size_t>(fault_.site);
+  return good_[s] != kX && good_[s] == (fault_.stuck_value ? 1 : 0);
+}
+
+bool Podem::next_objective(GateId& node, std::uint8_t& value) {
+  if (!fault_activated()) {
+    if (activation_impossible()) return false;
+    node = fault_.site;
+    value = fault_.stuck_value ? 0 : 1;
+    return true;
+  }
+  // D-frontier: pick the member nearest an observation point. The frontier_
+  // vector carries stale entries (lazy deletion); compact as we scan.
+  GateId best = kNoGate;
+  int best_level = std::numeric_limits<int>::max();
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < frontier_.size(); ++i) {
+    const GateId id = frontier_[i];
+    if (!in_frontier_[static_cast<std::size_t>(id)]) continue;  // stale
+    frontier_[keep++] = id;
+    if (obs_level_[static_cast<std::size_t>(id)] < best_level) {
+      best_level = obs_level_[static_cast<std::size_t>(id)];
+      best = id;
+    }
+  }
+  frontier_.resize(keep);
+
+  if (best != kNoGate) {
+    GateId x_input = kNoGate;
+    for (GateId in : n_->gate(best).fanins) {
+      const auto iidx = static_cast<std::size_t>(in);
+      if (good_[iidx] == kX || faulty_[iidx] == kX) {
+        x_input = in;
+        break;
+      }
+    }
+    if (x_input != kNoGate) {
+      bool ctrl = false;
+      node = x_input;
+      if (controlling_value(n_->gate(best).type, ctrl)) {
+        value = ctrl ? 0 : 1;
+      } else {
+        value = 0;
+      }
+      return true;
+    }
+  }
+
+  // No gate frontier — but an XOR-compacted observe point may already hold a
+  // fault effect on one member while another member is still X, hiding the
+  // detection. Objective: pin such an X member to any binary value.
+  for (const ObservePoint& o : view_->observes) {
+    bool has_effect = false;
+    GateId x_member = kNoGate;
+    for (GateId m : o.observed) {
+      const auto idx = static_cast<std::size_t>(m);
+      if (good_[idx] != kX && faulty_[idx] != kX && good_[idx] != faulty_[idx])
+        has_effect = true;
+      if ((good_[idx] == kX || faulty_[idx] == kX) && x_member == kNoGate) x_member = m;
+    }
+    if (has_effect && x_member != kNoGate) {
+      node = x_member;
+      value = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Podem::backtrace(GateId node, std::uint8_t value, int& control,
+                      std::uint8_t& cvalue) const {
+  // Walk X-paths backwards until an unassigned control point is found.
+  GateId cur = node;
+  std::uint8_t want = value;
+  for (int steps = 0; steps < static_cast<int>(n_->size()) + 8; ++steps) {
+    const Gate& g = n_->gate(cur);
+    const auto idx = static_cast<std::size_t>(cur);
+    if (is_combinational_source(g.type)) {
+      if (g.type == GateType::kTie0 || g.type == GateType::kTie1) return false;
+      const int c = control_of_node_[idx];
+      if (assign_[static_cast<std::size_t>(c)] != kX) return false;  // already pinned
+      control = c;
+      cvalue = want;
+      return true;
+    }
+    // Choose an X-valued fanin to continue through.
+    GateId next = kNoGate;
+    for (GateId in : g.fanins) {
+      if (good_[static_cast<std::size_t>(in)] == kX) {
+        next = in;
+        break;
+      }
+    }
+    if (next == kNoGate) return false;
+    if (inverting(g.type)) want = (want == kX) ? kX : static_cast<std::uint8_t>(1 - want);
+    cur = next;
+  }
+  return false;
+}
+
+PodemResult Podem::generate(const Fault& fault, int backtrack_limit) {
+  fault_ = fault;
+  assign_.assign(view_->controls.size(), kX);
+  good_.assign(n_->size(), kX);
+  faulty_.assign(n_->size(), kX);
+  full_init();
+
+  struct Decision {
+    int control;
+    std::uint8_t value;
+    bool flipped;
+  };
+  std::vector<Decision> stack;
+  PodemResult result;
+
+  while (true) {
+    if (detected_at_observe()) {
+      result.status = PodemStatus::kDetected;
+      result.pattern.assign(view_->controls.size(), 0);
+      for (std::size_t c = 0; c < assign_.size(); ++c)
+        result.pattern[c] = (assign_[c] == 1) ? 1 : 0;
+      return result;
+    }
+
+    GateId obj_node = kNoGate;
+    std::uint8_t obj_value = kX;
+    int control = -1;
+    std::uint8_t cvalue = 0;
+    const bool have_obj = next_objective(obj_node, obj_value) &&
+                          backtrace(obj_node, obj_value, control, cvalue);
+
+    if (have_obj) {
+      stack.push_back({control, cvalue, false});
+      assign_[static_cast<std::size_t>(control)] = cvalue;
+      resim_from(control);
+      continue;
+    }
+
+    // Dead end: backtrack.
+    bool recovered = false;
+    while (!stack.empty()) {
+      Decision& d = stack.back();
+      if (!d.flipped) {
+        d.flipped = true;
+        d.value = static_cast<std::uint8_t>(1 - d.value);
+        assign_[static_cast<std::size_t>(d.control)] = d.value;
+        ++result.backtracks;
+        if (result.backtracks > backtrack_limit) {
+          result.status = PodemStatus::kAborted;
+          return result;
+        }
+        resim_from(d.control);
+        recovered = true;
+        break;
+      }
+      assign_[static_cast<std::size_t>(d.control)] = kX;
+      resim_from(d.control);
+      stack.pop_back();
+    }
+    if (!recovered) {
+      result.status = stack.empty() && result.backtracks <= backtrack_limit
+                          ? PodemStatus::kUntestable
+                          : PodemStatus::kAborted;
+      return result;
+    }
+  }
+}
+
+}  // namespace wcm

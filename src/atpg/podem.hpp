@@ -1,0 +1,85 @@
+// PODEM test-pattern generation over a TestView.
+//
+// Decisions are made on control points (scan bits), not raw netlist nodes, so
+// correlated controls — one scan bit driving a reused flop's Q *and* the
+// inbound TSVs sharing it — are handled natively: PODEM simply cannot assign
+// them independently, which is exactly the testability restriction wrapper
+// sharing imposes.
+//
+// Machinery: 3-valued (0/1/X) full implication by resimulation, standard
+// objective/backtrace/D-frontier loop, bounded backtracks. A fault is proved
+// untestable only when the decision tree is exhausted within the bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/faults.hpp"
+#include "atpg/testview.hpp"
+
+namespace wcm {
+
+enum class PodemStatus {
+  kDetected,    ///< `pattern` is a test for the fault
+  kUntestable,  ///< decision tree exhausted: no test exists under this view
+  kAborted,     ///< backtrack limit hit; testability unknown
+};
+
+struct PodemResult {
+  PodemStatus status = PodemStatus::kAborted;
+  /// Control-point values (0/1) when detected; X positions are filled 0.
+  std::vector<std::uint8_t> pattern;
+  int backtracks = 0;
+};
+
+class Podem {
+ public:
+  explicit Podem(const TestView& view);
+
+  PodemResult generate(const Fault& fault, int backtrack_limit = 256);
+
+ private:
+  static constexpr std::uint8_t kX = 2;
+
+  /// Event-driven 3-valued resimulation after `control` changed. Keeps the
+  /// D-frontier set incrementally up to date — the key to deterministic-
+  /// phase throughput on the large dies.
+  void resim_from(int control);
+  void full_init();
+  void update_frontier_membership(GateId id);
+  std::uint8_t node_good(GateId id) const;
+  std::uint8_t node_faulty(GateId id) const;
+  bool detected_at_observe() const;
+  bool fault_activated() const;
+  bool activation_impossible() const;
+  /// Picks (objective node, objective value) or returns false when the
+  /// D-frontier is empty and activation is done (i.e. backtrack needed).
+  bool next_objective(GateId& node, std::uint8_t& value);
+  /// Walks an X-path from the objective to an unassigned control point.
+  /// Returns false if no X-path reaches one.
+  bool backtrace(GateId node, std::uint8_t value, int& control, std::uint8_t& cvalue) const;
+
+  std::uint8_t eval3(GateType t, const std::vector<GateId>& fanins,
+                     const std::vector<std::uint8_t>& val) const;
+
+  const TestView* view_;
+  const Netlist* n_;
+  std::vector<GateId> topo_;
+  std::vector<int> topo_rank_;
+  std::vector<int> control_of_node_;
+  std::vector<int> obs_level_;  ///< min gate-distance to an observed node
+  std::vector<std::vector<int>> observes_of_node_;
+
+  Fault fault_{};
+  std::vector<std::uint8_t> assign_;   ///< per-control 0/1/X
+  std::vector<std::uint8_t> good_;     ///< per-node 3-valued
+  std::vector<std::uint8_t> faulty_;
+
+  // resimulation + frontier scratch
+  std::vector<GateId> heap_;
+  std::vector<std::uint8_t> in_heap_;
+  std::vector<GateId> frontier_;       ///< lazily-deleted member list
+  std::vector<std::uint8_t> in_frontier_;
+};
+
+}  // namespace wcm

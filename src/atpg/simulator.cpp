@@ -1,0 +1,164 @@
+#include "atpg/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+Simulator::Simulator(const TestView& view) : view_(&view), n_(view.netlist) {
+  WCM_ASSERT(n_ != nullptr);
+  topo_ = n_->topo_order();
+  topo_rank_.assign(n_->size(), 0);
+  for (std::size_t i = 0; i < topo_.size(); ++i)
+    topo_rank_[static_cast<std::size_t>(topo_[i])] = static_cast<int>(i);
+
+  control_of_node_.assign(n_->size(), -1);
+  for (std::size_t c = 0; c < view.controls.size(); ++c)
+    for (GateId node : view.controls[c].driven) {
+      WCM_ASSERT_MSG(control_of_node_[static_cast<std::size_t>(node)] == -1,
+                     "node driven by two control points");
+      control_of_node_[static_cast<std::size_t>(node)] = static_cast<int>(c);
+    }
+
+  observes_of_node_.assign(n_->size(), {});
+  for (std::size_t o = 0; o < view.observes.size(); ++o)
+    for (GateId node : view.observes[o].observed)
+      observes_of_node_[static_cast<std::size_t>(node)].push_back(static_cast<int>(o));
+
+  good_.assign(n_->size(), 0);
+  faulty_.assign(n_->size(), 0);
+  stamp_.assign(n_->size(), 0);
+  in_heap_stamp_.assign(n_->size(), 0);
+  obs_diff_.assign(view.observes.size(), 0);
+  obs_stamp_.assign(view.observes.size(), 0);
+
+  // Every combinational source must be controllable or a constant, otherwise
+  // the 2-valued model is unsound.
+  for (std::size_t i = 0; i < n_->size(); ++i) {
+    const GateType t = n_->gate(static_cast<GateId>(i)).type;
+    if (is_combinational_source(t) && t != GateType::kTie0 && t != GateType::kTie1)
+      WCM_ASSERT_MSG(control_of_node_[i] != -1,
+                     "uncontrolled source in test view (incomplete wrapper plan?)");
+  }
+}
+
+void Simulator::good_sim(std::span<const std::uint64_t> control_words) {
+  WCM_ASSERT(control_words.size() == view_->controls.size());
+  std::uint64_t ins[64];
+  for (GateId id : topo_) {
+    const Gate& g = n_->gate(id);
+    const auto idx = static_cast<std::size_t>(id);
+    switch (g.type) {
+      case GateType::kTie0: good_[idx] = 0; break;
+      case GateType::kTie1: good_[idx] = ~0ULL; break;
+      case GateType::kInput:
+      case GateType::kTsvIn:
+      case GateType::kDff:
+        good_[idx] = control_words[static_cast<std::size_t>(control_of_node_[idx])];
+        break;
+      default: {
+        const std::size_t arity = g.fanins.size();
+        WCM_ASSERT(arity <= 64);
+        for (std::size_t k = 0; k < arity; ++k)
+          ins[k] = good_[static_cast<std::size_t>(g.fanins[k])];
+        good_[idx] = eval_gate(g.type, std::span<const std::uint64_t>(ins, arity));
+      }
+    }
+  }
+}
+
+std::uint64_t Simulator::observe_good(std::size_t obs) const {
+  std::uint64_t v = 0;
+  for (GateId node : view_->observes[obs].observed)
+    v ^= good_[static_cast<std::size_t>(node)];
+  return v;
+}
+
+std::uint64_t Simulator::detect_mask(const Fault& f) {
+  const auto site = static_cast<std::size_t>(f.site);
+  const std::uint64_t stuck = f.stuck_value ? ~0ULL : 0;
+  if (good_[site] == stuck) {
+    // The fault is never activated in this batch; no pattern can see it
+    // (a fault equal to the good value everywhere produces no effect).
+    return 0;
+  }
+
+  ++epoch_;
+  touched_.clear();
+  heap_.clear();
+
+  auto push = [this](GateId node) {
+    if (in_heap_stamp_[static_cast<std::size_t>(node)] == epoch_) return;
+    in_heap_stamp_[static_cast<std::size_t>(node)] = epoch_;
+    heap_.push_back(node);
+    std::push_heap(heap_.begin(), heap_.end(), [this](GateId a, GateId b) {
+      return topo_rank_[static_cast<std::size_t>(a)] > topo_rank_[static_cast<std::size_t>(b)];
+    });
+  };
+  auto pop = [this]() {
+    std::pop_heap(heap_.begin(), heap_.end(), [this](GateId a, GateId b) {
+      return topo_rank_[static_cast<std::size_t>(a)] > topo_rank_[static_cast<std::size_t>(b)];
+    });
+    const GateId node = heap_.back();
+    heap_.pop_back();
+    return node;
+  };
+
+  // Seed: the fault site takes the stuck word.
+  faulty_[site] = stuck;
+  stamp_[site] = epoch_;
+  touched_.push_back(f.site);
+  for (GateId fo : n_->gate(f.site).fanouts) {
+    // DFF fanouts are sequential sinks: the effect on the D net is already
+    // captured at the fanin node itself (the observe point references the
+    // fanin), so the flop is not crossed. Same for port sinks, which are
+    // evaluated as identity nodes and may be observed directly.
+    if (n_->gate(fo).type == GateType::kDff) continue;
+    push(fo);
+  }
+
+  std::uint64_t ins[64];
+  while (!heap_.empty()) {
+    const GateId node = pop();
+    const Gate& g = n_->gate(node);
+    const auto idx = static_cast<std::size_t>(node);
+    const std::size_t arity = g.fanins.size();
+    for (std::size_t k = 0; k < arity; ++k) {
+      const auto in = static_cast<std::size_t>(g.fanins[k]);
+      ins[k] = (stamp_[in] == epoch_) ? faulty_[in] : good_[in];
+    }
+    const std::uint64_t out = eval_gate(g.type, std::span<const std::uint64_t>(ins, arity));
+    if (out == good_[idx]) continue;  // effect masked here
+    faulty_[idx] = out;
+    stamp_[idx] = epoch_;
+    touched_.push_back(node);
+    for (GateId fo : g.fanouts) {
+      if (n_->gate(fo).type == GateType::kDff) continue;
+      push(fo);
+    }
+  }
+
+  // Detection: XOR of per-member differences at every touched observe point.
+  // Collect diffs per observe point from the touched set.
+  std::uint64_t detect = 0;
+  // Observe points are typically touched by few members; accumulate lazily
+  // into epoch-stamped per-observe scratch.
+  obs_touched_.clear();
+  for (GateId node : touched_) {
+    const auto idx = static_cast<std::size_t>(node);
+    const std::uint64_t diff = faulty_[idx] ^ good_[idx];
+    for (int o : observes_of_node_[idx]) {
+      if (obs_stamp_[static_cast<std::size_t>(o)] != epoch_) {
+        obs_stamp_[static_cast<std::size_t>(o)] = epoch_;
+        obs_diff_[static_cast<std::size_t>(o)] = 0;
+        obs_touched_.push_back(o);
+      }
+      obs_diff_[static_cast<std::size_t>(o)] ^= diff;
+    }
+  }
+  for (int o : obs_touched_) detect |= obs_diff_[static_cast<std::size_t>(o)];
+  return detect;
+}
+
+}  // namespace wcm

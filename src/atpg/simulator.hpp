@@ -1,0 +1,64 @@
+// Bit-parallel logic and fault simulation over a TestView.
+//
+// 64 test patterns are simulated per pass (parallel-pattern single-fault
+// propagation, PPSFP). Fault effects are propagated event-driven through the
+// fault's forward cone only, with epoch-stamped scratch arrays so no per-
+// fault clearing is needed. Observation uses the identity
+//
+//     faulty_obs XOR good_obs = XOR over members (faulty_m XOR good_m)
+//
+// so a fault's detection word falls out of the stamped nodes alone.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "atpg/faults.hpp"
+#include "atpg/testview.hpp"
+
+namespace wcm {
+
+class Simulator {
+ public:
+  explicit Simulator(const TestView& view);
+
+  /// Simulates the good machine for 64 patterns. `control_words[i]` holds
+  /// pattern bits for control point i.
+  void good_sim(std::span<const std::uint64_t> control_words);
+
+  /// Good-machine value words after good_sim (indexed by GateId).
+  const std::vector<std::uint64_t>& values() const { return good_; }
+
+  /// XOR-compacted good value at observation point `obs`.
+  std::uint64_t observe_good(std::size_t obs) const;
+
+  /// Per-pattern detection word for `f` against the last good_sim.
+  /// Bit p set => pattern p detects the fault at some observation point.
+  std::uint64_t detect_mask(const Fault& f);
+
+  const TestView& view() const { return *view_; }
+
+ private:
+  const TestView* view_;
+  const Netlist* n_;
+  std::vector<GateId> topo_;
+  std::vector<int> topo_rank_;
+  std::vector<int> control_of_node_;  ///< source node -> control index (-1 none)
+  std::vector<std::vector<int>> observes_of_node_;  ///< node -> observe point ids
+
+  std::vector<std::uint64_t> good_;
+
+  // fault-propagation scratch (epoch-stamped)
+  std::vector<std::uint64_t> faulty_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<GateId> heap_;       ///< min-heap on topo rank
+  std::vector<std::uint32_t> in_heap_stamp_;
+  std::vector<GateId> touched_;    ///< stamped nodes of the current fault
+  std::vector<std::uint64_t> obs_diff_;    ///< per-observe XOR of member diffs
+  std::vector<std::uint32_t> obs_stamp_;
+  std::vector<int> obs_touched_;
+};
+
+}  // namespace wcm

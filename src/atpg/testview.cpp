@@ -1,0 +1,73 @@
+#include "atpg/testview.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+TestView build_test_view(const Netlist& n, const WrapperPlan& plan) {
+  WCM_ASSERT_MSG(plan.covers_all_tsvs(n), "wrapper plan must cover every TSV exactly once");
+  TestView view;
+  view.netlist = &n;
+
+  // Primary inputs: directly controllable from the tester.
+  for (GateId pi : n.primary_inputs()) view.controls.push_back(ControlPoint{{pi}});
+
+  // Scan flops: each is one control (Q) and one observe (D). Wrapper reuse
+  // extends these points below, so remember where each flop's points live.
+  std::vector<int> control_of_ff(n.size(), -1);
+  std::vector<int> observe_of_ff(n.size(), -1);
+  for (GateId ff : n.flip_flops()) {
+    WCM_ASSERT_MSG(n.gate(ff).is_scan, "test view requires all flops to be scan flops");
+    control_of_ff[static_cast<std::size_t>(ff)] = static_cast<int>(view.controls.size());
+    view.controls.push_back(ControlPoint{{ff}});
+    observe_of_ff[static_cast<std::size_t>(ff)] = static_cast<int>(view.observes.size());
+    WCM_ASSERT_MSG(n.gate(ff).fanins.size() == 1, "DFF must have exactly one D fanin");
+    view.observes.push_back(ObservePoint{{n.gate(ff).fanins[0]}});
+  }
+
+  // Primary outputs: directly observable.
+  for (GateId po : n.primary_outputs()) view.observes.push_back(ObservePoint{{po}});
+
+  // Wrapper groups.
+  std::vector<char> ff_used(n.size(), 0);
+  for (const WrapperGroup& g : plan.groups) {
+    if (g.empty()) continue;
+    if (g.reused_ff != kNoGate) {
+      WCM_ASSERT_MSG(n.valid(g.reused_ff) && n.gate(g.reused_ff).type == GateType::kDff &&
+                         n.gate(g.reused_ff).is_scan,
+                     "reused wrapper must be a scan flop");
+      WCM_ASSERT_MSG(!ff_used[static_cast<std::size_t>(g.reused_ff)],
+                     "scan flop reused by more than one group");
+      ff_used[static_cast<std::size_t>(g.reused_ff)] = 1;
+      // Correlated control: the flop's scan bit also drives the inbound TSVs.
+      auto& ctrl = view.controls[static_cast<std::size_t>(
+          control_of_ff[static_cast<std::size_t>(g.reused_ff)])];
+      for (GateId t : g.inbound) ctrl.driven.push_back(t);
+      // Aliased observation: the flop's capture XORs in the outbound TSVs.
+      auto& obs = view.observes[static_cast<std::size_t>(
+          observe_of_ff[static_cast<std::size_t>(g.reused_ff)])];
+      for (GateId t : g.outbound) obs.observed.push_back(t);
+    } else {
+      // Additional dedicated wrapper cell: its own scan bit.
+      if (!g.inbound.empty()) {
+        ControlPoint ctrl;
+        ctrl.driven = g.inbound;
+        view.controls.push_back(std::move(ctrl));
+      }
+      if (!g.outbound.empty()) {
+        ObservePoint obs;
+        obs.observed = g.outbound;
+        view.observes.push_back(std::move(obs));
+      }
+    }
+  }
+  return view;
+}
+
+TestView build_reference_view(const Netlist& n) {
+  return build_test_view(n, one_cell_per_tsv(n));
+}
+
+}  // namespace wcm

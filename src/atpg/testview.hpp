@@ -1,0 +1,56 @@
+// Test-mode model of a wrapped die.
+//
+// Pre-bond, the tester sees the die through its scan chain: every scan bit is
+// one control point (set during shift-in) and one observation point (read
+// during shift-out). A WrapperPlan determines how TSVs map onto those bits:
+//
+//   * an inbound TSV in a group is DRIVEN by the group's scan bit — the same
+//     bit that drives the reused flop's Q (correlated control) and every
+//     other inbound TSV of the group;
+//   * an outbound TSV in a group is CAPTURED by the group's scan bit as an
+//     XOR-compaction with the group's other outbound TSVs (and, for a reused
+//     flop, with the flop's own functional D) — so two fault effects arriving
+//     together alias.
+//
+// The fault engine works exclusively on this view; it never needs the
+// physically transformed netlist, which keeps candidate-evaluation during
+// graph construction cheap (build a view, not a netlist).
+#pragma once
+
+#include <vector>
+
+#include "dft/wrapper_plan.hpp"
+#include "netlist/netlist.hpp"
+
+namespace wcm {
+
+struct ControlPoint {
+  /// Source nodes (PI / TSV_IN / DFF-as-Q) that all receive this scan bit.
+  std::vector<GateId> driven;
+};
+
+struct ObservePoint {
+  /// Nets whose XOR this scan bit captures. For a plain PO or scan-D the set
+  /// is a singleton; wrapper sharing makes it larger.
+  std::vector<GateId> observed;
+};
+
+struct TestView {
+  const Netlist* netlist = nullptr;
+  std::vector<ControlPoint> controls;
+  std::vector<ObservePoint> observes;
+
+  std::size_t num_controls() const { return controls.size(); }
+  std::size_t num_observes() const { return observes.size(); }
+};
+
+/// Builds the test view induced by `plan` on `n`. Requirements: every DFF in
+/// `n` is a scan flop, and `plan.covers_all_tsvs(n)` holds (both enforced by
+/// assertion — a partial plan has no well-defined testability).
+TestView build_test_view(const Netlist& n, const WrapperPlan& plan);
+
+/// The reference view with one dedicated wrapper cell per TSV — the maximum
+/// achievable testability, against which coverage deltas are measured.
+TestView build_reference_view(const Netlist& n);
+
+}  // namespace wcm

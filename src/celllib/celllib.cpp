@@ -1,0 +1,221 @@
+#include "celllib/celllib.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+double TimingLut::lookup(const std::vector<double>& table, double slew_ps,
+                         double load_ff) const {
+  WCM_ASSERT(!empty());
+  WCM_ASSERT(table.size() == slew_axis_ps.size() * load_axis_ff.size());
+  auto bracket = [](const std::vector<double>& axis, double x, std::size_t& lo, double& t) {
+    // Clamp outside the characterised window (standard Liberty practice).
+    if (x <= axis.front()) {
+      lo = 0;
+      t = 0.0;
+      return;
+    }
+    if (x >= axis.back()) {
+      lo = axis.size() - 2;
+      t = 1.0;
+      return;
+    }
+    lo = 0;
+    while (lo + 2 < axis.size() && axis[lo + 1] <= x) ++lo;
+    t = (x - axis[lo]) / (axis[lo + 1] - axis[lo]);
+  };
+  std::size_t si = 0, li = 0;
+  double st = 0.0, lt = 0.0;
+  bracket(slew_axis_ps, slew_ps, si, st);
+  bracket(load_axis_ff, load_ff, li, lt);
+  const std::size_t cols = load_axis_ff.size();
+  auto at = [&](std::size_t s, std::size_t l) { return table[s * cols + l]; };
+  const double top = at(si, li) * (1 - lt) + at(si, li + 1) * lt;
+  const double bottom = at(si + 1, li) * (1 - lt) + at(si + 1, li + 1) * lt;
+  return top * (1 - st) + bottom * st;
+}
+
+const CellTiming& CellLibrary::timing(GateType t) const {
+  return cells_[static_cast<std::size_t>(t)];
+}
+
+CellTiming& CellLibrary::timing(GateType t) { return cells_[static_cast<std::size_t>(t)]; }
+
+double CellLibrary::pin_cap_ff(GateType t) const {
+  if (is_port(t) || t == GateType::kTie0 || t == GateType::kTie1) return 0.0;
+  return timing(t).input_cap_ff;
+}
+
+CellLibrary CellLibrary::nangate45_like() {
+  CellLibrary lib;
+  lib.set_name("nangate45_like");
+  auto set = [&lib](GateType t, double intrinsic, double slope, double cap, double max_load) {
+    lib.timing(t) = CellTiming{intrinsic, slope, cap, max_load};
+  };
+  // ps, ps/fF, fF, fF — representative 45 nm standard-cell figures.
+  set(GateType::kBuf, 18.0, 1.4, 1.5, 180.0);
+  set(GateType::kNot, 10.0, 2.2, 1.6, 150.0);
+  set(GateType::kAnd, 24.0, 2.0, 1.8, 140.0);
+  set(GateType::kNand, 14.0, 2.4, 1.7, 130.0);
+  set(GateType::kOr, 26.0, 2.1, 1.8, 140.0);
+  set(GateType::kNor, 16.0, 2.8, 1.7, 120.0);
+  set(GateType::kXor, 34.0, 3.0, 2.4, 110.0);
+  set(GateType::kXnor, 34.0, 3.0, 2.4, 110.0);
+  set(GateType::kMux, 30.0, 2.6, 2.2, 120.0);
+  // DFF entry describes the Q driver; D-pin cap in input_cap.
+  set(GateType::kDff, 80.0, 1.8, 1.2, 100.0);
+  // Ports/ties: no cell behind them; sinks get a pad cap via input_cap.
+  set(GateType::kInput, 0.0, 1.0, 0.0, 250.0);
+  set(GateType::kOutput, 0.0, 0.0, 4.0, 0.0);
+  set(GateType::kTsvIn, 0.0, 1.2, 0.0, 200.0);
+  set(GateType::kTsvOut, 0.0, 0.0, 0.0, 0.0);  // TSV pad cap accounted by tsv_cap_ff
+  set(GateType::kTie0, 0.0, 0.5, 0.0, 200.0);
+  set(GateType::kTie1, 0.0, 0.5, 0.0, 200.0);
+  lib.flop_ = FlopTiming{80.0, 40.0, 5.0};
+  lib.set_wire(0.20, 0.65);
+  lib.set_tsv_cap_ff(15.0);
+  lib.set_clock_period_ps(1000.0);
+  return lib;
+}
+
+CellLibrary CellLibrary::nangate45_like_nldm() {
+  CellLibrary lib = nangate45_like();
+  lib.set_name("nangate45_like_nldm");
+  // Characterise each cell on a 4x5 (slew x load) grid. The surface keeps
+  // the linear model as its tangent at (fast edge, light load) and bends
+  // upward with a slew term and a slew-load cross term — the qualitative
+  // NLDM shape: slow edges hurt, and they hurt more into heavy loads.
+  const std::vector<double> slews = {10.0, 40.0, 120.0, 360.0};
+  const std::vector<double> loads = {1.0, 5.0, 20.0, 80.0, 200.0};
+  for (GateType t : {GateType::kBuf, GateType::kNot, GateType::kAnd, GateType::kNand,
+                     GateType::kOr, GateType::kNor, GateType::kXor, GateType::kXnor,
+                     GateType::kMux, GateType::kDff}) {
+    CellTiming& cell = lib.timing(t);
+    TimingLut lut;
+    lut.slew_axis_ps = slews;
+    lut.load_axis_ff = loads;
+    for (double slew : slews) {
+      for (double load : loads) {
+        const double delay = cell.intrinsic_ps + cell.slope_ps_per_ff * load +
+                             0.13 * slew + 0.0009 * slew * load;
+        lut.delay_ps.push_back(delay);
+        lut.out_slew_ps.push_back(0.9 * cell.intrinsic_ps +
+                                  1.7 * cell.slope_ps_per_ff * load + 0.22 * slew);
+      }
+    }
+    cell.lut = std::move(lut);
+  }
+  return lib;
+}
+
+// ---- .wcmlib text format ----
+//
+//   library <name>
+//   wire cap_per_um <f> delay_per_um <f>
+//   tsv cap <f>
+//   clock period <f>
+//   flop clk_to_q <f> setup <f> hold <f>
+//   cell <TYPE> intrinsic <f> slope <f> input_cap <f> max_load <f>
+//
+// Lines starting with '#' and blank lines are ignored.
+
+bool CellLibrary::parse(std::istream& in, CellLibrary& out, std::string& error) {
+  out = CellLibrary::nangate45_like();  // defaults; file overrides
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    error = "line " + std::to_string(lineno) + ": " + msg;
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
+    std::istringstream toks(line);
+    std::string head;
+    if (!(toks >> head)) continue;
+    if (head == "library") {
+      std::string name;
+      if (!(toks >> name)) return fail("library needs a name");
+      out.set_name(name);
+    } else if (head == "wire") {
+      std::string k1, k2;
+      double cap = 0, delay = 0;
+      if (!(toks >> k1 >> cap >> k2 >> delay) || k1 != "cap_per_um" || k2 != "delay_per_um")
+        return fail("expected 'wire cap_per_um <f> delay_per_um <f>'");
+      out.set_wire(cap, delay);
+    } else if (head == "tsv") {
+      std::string k;
+      double cap = 0;
+      if (!(toks >> k >> cap) || k != "cap") return fail("expected 'tsv cap <f>'");
+      out.set_tsv_cap_ff(cap);
+    } else if (head == "clock") {
+      std::string k;
+      double period = 0;
+      if (!(toks >> k >> period) || k != "period") return fail("expected 'clock period <f>'");
+      if (period <= 0) return fail("clock period must be positive");
+      out.set_clock_period_ps(period);
+    } else if (head == "flop") {
+      std::string k1, k2, k3;
+      FlopTiming f;
+      if (!(toks >> k1 >> f.clk_to_q_ps >> k2 >> f.setup_ps >> k3 >> f.hold_ps) ||
+          k1 != "clk_to_q" || k2 != "setup" || k3 != "hold")
+        return fail("expected 'flop clk_to_q <f> setup <f> hold <f>'");
+      out.flop() = f;
+    } else if (head == "cell") {
+      std::string type_word, k1, k2, k3, k4;
+      CellTiming t;
+      if (!(toks >> type_word >> k1 >> t.intrinsic_ps >> k2 >> t.slope_ps_per_ff >> k3 >>
+            t.input_cap_ff >> k4 >> t.max_load_ff) ||
+          k1 != "intrinsic" || k2 != "slope" || k3 != "input_cap" || k4 != "max_load")
+        return fail("expected 'cell TYPE intrinsic <f> slope <f> input_cap <f> max_load <f>'");
+      GateType type;
+      if (!parse_gate_type(type_word, type)) return fail("unknown cell type '" + type_word + "'");
+      out.timing(type) = t;
+    } else {
+      return fail("unknown directive '" + head + "'");
+    }
+  }
+  error.clear();
+  return true;
+}
+
+bool CellLibrary::parse_file(const std::string& path, CellLibrary& out, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open '" + path + "'";
+    return false;
+  }
+  return parse(in, out, error);
+}
+
+std::string CellLibrary::to_text() const {
+  std::ostringstream out;
+  auto f = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return std::string(buf);
+  };
+  out << "library " << name_ << "\n";
+  out << "wire cap_per_um " << f(wire_cap_ff_per_um_) << " delay_per_um "
+      << f(wire_delay_ps_per_um_) << "\n";
+  out << "tsv cap " << f(tsv_cap_ff_) << "\n";
+  out << "clock period " << f(clock_period_ps_) << "\n";
+  out << "flop clk_to_q " << f(flop_.clk_to_q_ps) << " setup " << f(flop_.setup_ps) << " hold "
+      << f(flop_.hold_ps) << "\n";
+  for (GateType t : {GateType::kBuf, GateType::kNot, GateType::kAnd, GateType::kNand,
+                     GateType::kOr, GateType::kNor, GateType::kXor, GateType::kXnor,
+                     GateType::kMux, GateType::kDff}) {
+    const CellTiming& c = timing(t);
+    out << "cell " << gate_type_name(t) << " intrinsic " << f(c.intrinsic_ps) << " slope "
+        << f(c.slope_ps_per_ff) << " input_cap " << f(c.input_cap_ff) << " max_load "
+        << f(c.max_load_ff) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace wcm

@@ -1,0 +1,116 @@
+// Technology cell library: per-cell timing/capacitance data plus the wire and
+// TSV parasitics the timing-aware WCM needs.
+//
+// This is the stand-in for the 45 nm Design Compiler library the paper
+// synthesized with. The delay model is the classic linear (prop-ramp) model:
+//
+//     gate delay = intrinsic + slope * load_capacitance
+//     wire delay = delay_per_um * manhattan_length        (lumped)
+//     wire load  = cap_per_um  * manhattan_length
+//
+// which is exactly the level of detail the paper's method consumes: Agrawal's
+// baseline looks only at pin capacitance ("capacity load"), the proposed
+// method additionally charges wire capacitance and wire delay for the
+// FF-to-TSV connection it is about to create.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace wcm {
+
+/// NLDM-style 2D lookup table over (input slew, output load), bilinearly
+/// interpolated with clamping outside the characterised window — the same
+/// access pattern a Liberty NLDM group provides. Empty tables fall back to
+/// the linear model.
+struct TimingLut {
+  std::vector<double> slew_axis_ps;  ///< ascending input-slew points
+  std::vector<double> load_axis_ff;  ///< ascending output-load points
+  std::vector<double> delay_ps;      ///< row-major [slew][load]
+  std::vector<double> out_slew_ps;   ///< row-major [slew][load]
+
+  bool empty() const { return slew_axis_ps.empty(); }
+  /// Bilinear lookup into `table` (delay_ps or out_slew_ps).
+  double lookup(const std::vector<double>& table, double slew_ps, double load_ff) const;
+};
+
+/// Timing data of one library cell. Units: picoseconds, femtofarads.
+struct CellTiming {
+  double intrinsic_ps = 0.0;   ///< zero-load propagation delay
+  double slope_ps_per_ff = 0.0;///< load-dependent delay slope
+  double input_cap_ff = 0.0;   ///< capacitance of one input pin
+  double max_load_ff = 0.0;    ///< drive limit; exceeding it is an ERC violation
+  /// Optional characterised surface; when present the STA uses it instead of
+  /// the linear model and propagates slews.
+  TimingLut lut;
+};
+
+/// Flip-flop-specific constraints.
+struct FlopTiming {
+  double clk_to_q_ps = 80.0;
+  double setup_ps = 40.0;
+  double hold_ps = 5.0;
+};
+
+class CellLibrary {
+ public:
+  /// Built-in default with Nangate45-flavoured numbers; every experiment in
+  /// this repo uses it unless a .wcmlib file is supplied.
+  static CellLibrary nangate45_like();
+
+  /// The same library with characterised NLDM surfaces (4x5 slew/load grids
+  /// per cell) replacing the linear model: delays bend upward at heavy load
+  /// and slow input edges, exactly the second-order effect a linear model
+  /// hides. Slews are propagated by the STA when this library is in use.
+  static CellLibrary nangate45_like_nldm();
+
+  /// Parses the .wcmlib text format (see file docs in celllib_io.cpp).
+  /// Returns false and fills `error` on malformed input.
+  static bool parse(std::istream& in, CellLibrary& out, std::string& error);
+  static bool parse_file(const std::string& path, CellLibrary& out, std::string& error);
+
+  /// Serialises in the same format (round-trips through parse()).
+  std::string to_text() const;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  const CellTiming& timing(GateType t) const;
+  CellTiming& timing(GateType t);
+  const FlopTiming& flop() const { return flop_; }
+  FlopTiming& flop() { return flop_; }
+
+  // Interconnect model.
+  double wire_cap_ff_per_um() const { return wire_cap_ff_per_um_; }
+  double wire_delay_ps_per_um() const { return wire_delay_ps_per_um_; }
+  void set_wire(double cap_ff_per_um, double delay_ps_per_um) {
+    wire_cap_ff_per_um_ = cap_ff_per_um;
+    wire_delay_ps_per_um_ = delay_ps_per_um;
+  }
+
+  /// Capacitance of one TSV landing pad as seen by its driver.
+  double tsv_cap_ff() const { return tsv_cap_ff_; }
+  void set_tsv_cap_ff(double c) { tsv_cap_ff_ = c; }
+
+  /// Functional clock period the die is signed off at.
+  double clock_period_ps() const { return clock_period_ps_; }
+  void set_clock_period_ps(double p) { clock_period_ps_ = p; }
+
+  /// Input-pin capacitance contributed by a gate of type `t` on each of its
+  /// fanin nets (ports and ties contribute nothing).
+  double pin_cap_ff(GateType t) const;
+
+ private:
+  std::string name_ = "unnamed";
+  CellTiming cells_[16];  // indexed by GateType
+  FlopTiming flop_;
+  double wire_cap_ff_per_um_ = 0.20;
+  double wire_delay_ps_per_um_ = 0.65;
+  double tsv_cap_ff_ = 15.0;
+  double clock_period_ps_ = 1000.0;
+};
+
+}  // namespace wcm

@@ -1,0 +1,380 @@
+#include "celllib/liberty.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+const std::string* LibertyGroup::attribute(const std::string& key) const {
+  for (const auto& [k, v] : attributes)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const std::vector<std::string>* LibertyGroup::complex_attribute(
+    const std::string& key) const {
+  for (const auto& [k, v] : complex_attributes)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+// ---- tokenizer ----
+
+struct Token {
+  enum Kind { kIdent, kString, kPunct, kEnd } kind = kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::istream& in) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text_ = buffer.str();
+  }
+
+  Token next() {
+    skip_space_and_comments();
+    Token tok;
+    tok.line = line_;
+    if (pos_ >= text_.size()) return tok;  // kEnd
+    const char c = text_[pos_];
+    if (c == '"') {
+      tok.kind = Token::kString;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\n') ++line_;
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;  // line splice
+        tok.text += text_[pos_++];
+      }
+      if (pos_ < text_.size()) ++pos_;  // closing quote
+      return tok;
+    }
+    if (std::strchr("{}();:,", c) != nullptr) {
+      tok.kind = Token::kPunct;
+      tok.text = std::string(1, c);
+      ++pos_;
+      return tok;
+    }
+    tok.kind = Token::kIdent;
+    while (pos_ < text_.size() && std::strchr("{}();:,\"", text_[pos_]) == nullptr &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_])))
+      tok.text += text_[pos_++];
+    return tok;
+  }
+
+ private:
+  void skip_space_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() && !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, text_.size());
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '\\' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') {
+        pos_ += 2;  // line continuation
+        ++line_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// ---- recursive group parser ----
+
+class Parser {
+ public:
+  explicit Parser(std::istream& in) : lexer_(in) { advance(); }
+
+  LibertyParseResult parse() {
+    LibertyParseResult result;
+    if (current_.kind != Token::kIdent) {
+      result.error = fail("expected a group name");
+      return result;
+    }
+    auto group = parse_group();
+    if (!group) {
+      result.error = error_;
+      return result;
+    }
+    result.library = std::move(group);
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  std::string fail(const std::string& msg) {
+    if (error_.empty())
+      error_ = "line " + std::to_string(current_.line) + ": " + msg;
+    return error_;
+  }
+
+  void advance() { current_ = lexer_.next(); }
+
+  bool expect_punct(const char* p) {
+    if (current_.kind != Token::kPunct || current_.text != p) {
+      fail(std::string("expected '") + p + "'");
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  /// current_ is the group name identifier.
+  std::unique_ptr<LibertyGroup> parse_group() {
+    auto group = std::make_unique<LibertyGroup>();
+    group->name = current_.text;
+    advance();
+    if (!expect_punct("(")) return nullptr;
+    while (current_.kind == Token::kIdent || current_.kind == Token::kString) {
+      group->args.push_back(current_.text);
+      advance();
+      if (current_.kind == Token::kPunct && current_.text == ",") advance();
+    }
+    if (!expect_punct(")")) return nullptr;
+    if (!expect_punct("{")) return nullptr;
+    if (!parse_body(*group)) return nullptr;
+    return group;
+  }
+
+  /// Parses group body after '{' has been consumed (used for child groups).
+  bool parse_body(LibertyGroup& group) {
+    while (!(current_.kind == Token::kPunct && current_.text == "}")) {
+      if (current_.kind == Token::kEnd) {
+        fail("unexpected end of file inside group '" + group.name + "'");
+        return false;
+      }
+      if (current_.kind != Token::kIdent) {
+        fail("expected an attribute or group name");
+        return false;
+      }
+      const std::string key = current_.text;
+      advance();
+      if (current_.kind == Token::kPunct && current_.text == ":") {
+        advance();
+        if (current_.kind != Token::kIdent && current_.kind != Token::kString) {
+          fail("expected a value for attribute '" + key + "'");
+          return false;
+        }
+        group.attributes.emplace_back(key, current_.text);
+        advance();
+        if (current_.kind == Token::kPunct && current_.text == ";") advance();
+      } else if (current_.kind == Token::kPunct && current_.text == "(") {
+        std::vector<std::string> args;
+        advance();
+        while (current_.kind == Token::kIdent || current_.kind == Token::kString) {
+          args.push_back(current_.text);
+          advance();
+          if (current_.kind == Token::kPunct && current_.text == ",") advance();
+        }
+        if (!expect_punct(")")) return false;
+        if (current_.kind == Token::kPunct && current_.text == "{") {
+          advance();
+          auto child = std::make_unique<LibertyGroup>();
+          child->name = key;
+          child->args = std::move(args);
+          if (!parse_body(*child)) return false;
+          group.children.push_back(std::move(child));
+        } else {
+          group.complex_attributes.emplace_back(key, std::move(args));
+          if (current_.kind == Token::kPunct && current_.text == ";") advance();
+        }
+      } else {
+        fail("expected ':' or '(' after '" + key + "'");
+        return false;
+      }
+    }
+    advance();  // consume '}'
+    return true;
+  }
+
+  Lexer lexer_;
+  Token current_;
+  std::string error_;
+};
+
+// ---- lowering ----
+
+/// "1, 2, 3" -> {1, 2, 3}; Liberty packs numbers into quoted CSV strings.
+std::vector<double> parse_number_list(const std::vector<std::string>& pieces) {
+  std::vector<double> numbers;
+  for (const std::string& piece : pieces) {
+    std::string scratch = piece;
+    std::replace(scratch.begin(), scratch.end(), ',', ' ');
+    std::istringstream in(scratch);
+    double v = 0.0;
+    while (in >> v) numbers.push_back(v);
+  }
+  return numbers;
+}
+
+bool gate_type_from_cell_name(const std::string& cell, GateType& out) {
+  // Longest-prefix match over the canonical function names.
+  static const std::vector<std::pair<std::string, GateType>> kPrefixes = {
+      {"XNOR", GateType::kXnor}, {"NAND", GateType::kNand}, {"XOR", GateType::kXor},
+      {"NOR", GateType::kNor},   {"AND", GateType::kAnd},   {"OR", GateType::kOr},
+      {"MUX", GateType::kMux},   {"INV", GateType::kNot},   {"NOT", GateType::kNot},
+      {"BUF", GateType::kBuf},   {"DFF", GateType::kDff},   {"SDFF", GateType::kDff},
+  };
+  std::string upper = cell;
+  for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  for (const auto& [prefix, type] : kPrefixes) {
+    if (upper.rfind(prefix, 0) == 0) {
+      out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Point-wise max of two equal-shape tables (conservative rise/fall merge).
+std::vector<double> merge_max(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  WCM_ASSERT(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::max(a[i], b[i]);
+  return out;
+}
+
+struct SurfaceAccumulator {
+  std::vector<double> slew_axis;
+  std::vector<double> load_axis;
+  std::vector<double> delay;
+  std::vector<double> slew;
+
+  void take(const LibertyGroup& table, bool is_transition) {
+    const auto* i1 = table.complex_attribute("index_1");
+    const auto* i2 = table.complex_attribute("index_2");
+    const auto* vals = table.complex_attribute("values");
+    if (!i1 || !i2 || !vals) return;
+    const auto axis1 = parse_number_list(*i1);
+    const auto axis2 = parse_number_list(*i2);
+    const auto numbers = parse_number_list(*vals);
+    if (axis1.empty() || axis2.empty() || numbers.size() != axis1.size() * axis2.size())
+      return;
+    if (slew_axis.empty()) {
+      slew_axis = axis1;
+      load_axis = axis2;
+    } else if (slew_axis != axis1 || load_axis != axis2) {
+      return;  // mismatched templates: ignore rather than mis-merge
+    }
+    auto& target = is_transition ? slew : delay;
+    target = merge_max(target, numbers);
+  }
+};
+
+void lower_cell(const LibertyGroup& cell, CellLibrary& lib) {
+  GateType type;
+  if (cell.args.empty() || !gate_type_from_cell_name(cell.args[0], type)) return;
+
+  CellTiming timing = lib.timing(type);  // start from defaults
+  double input_cap_sum = 0.0;
+  int input_pins = 0;
+  SurfaceAccumulator surface;
+
+  for (const auto& child : cell.children) {
+    if (child->name != "pin") continue;
+    const std::string* dir = child->attribute("direction");
+    if (dir && *dir == "input") {
+      if (const std::string* cap = child->attribute("capacitance")) {
+        input_cap_sum += std::stod(*cap);
+        ++input_pins;
+      }
+      continue;
+    }
+    if (!dir || *dir != "output") continue;
+    if (const std::string* max_cap = child->attribute("max_capacitance"))
+      timing.max_load_ff = std::stod(*max_cap);
+    for (const auto& timing_group : child->children) {
+      if (timing_group->name != "timing") continue;
+      for (const auto& table : timing_group->children) {
+        if (table->name == "cell_rise" || table->name == "cell_fall")
+          surface.take(*table, /*is_transition=*/false);
+        else if (table->name == "rise_transition" || table->name == "fall_transition")
+          surface.take(*table, /*is_transition=*/true);
+      }
+    }
+  }
+
+  if (input_pins > 0) timing.input_cap_ff = input_cap_sum / input_pins;
+  if (!surface.slew_axis.empty() && !surface.delay.empty()) {
+    TimingLut lut;
+    lut.slew_axis_ps = surface.slew_axis;
+    lut.load_axis_ff = surface.load_axis;
+    lut.delay_ps = surface.delay;
+    lut.out_slew_ps = surface.slew.empty() ? surface.delay : surface.slew;
+    // Re-derive the linear tangent from the fast-edge row for LUT-blind
+    // consumers: intrinsic at the lightest load, slope across the row.
+    const std::size_t cols = lut.load_axis_ff.size();
+    timing.intrinsic_ps = lut.delay_ps[0];
+    if (cols >= 2) {
+      const double dload = lut.load_axis_ff[cols - 1] - lut.load_axis_ff[0];
+      if (dload > 0)
+        timing.slope_ps_per_ff = (lut.delay_ps[cols - 1] - lut.delay_ps[0]) / dload;
+    }
+    timing.lut = std::move(lut);
+  }
+  lib.timing(type) = std::move(timing);
+}
+
+}  // namespace
+
+LibertyParseResult parse_liberty(std::istream& in) { return Parser(in).parse(); }
+
+LibertyParseResult parse_liberty_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_liberty(in);
+}
+
+bool read_liberty(std::istream& in, CellLibrary& out, std::string& error) {
+  LibertyParseResult parsed = parse_liberty(in);
+  if (!parsed.ok) {
+    error = parsed.error;
+    return false;
+  }
+  if (parsed.library->name != "library") {
+    error = "top-level group is '" + parsed.library->name + "', expected 'library'";
+    return false;
+  }
+  out = CellLibrary::nangate45_like();
+  if (!parsed.library->args.empty()) out.set_name(parsed.library->args[0]);
+  for (const auto& child : parsed.library->children)
+    if (child->name == "cell") lower_cell(*child, out);
+  error.clear();
+  return true;
+}
+
+bool read_liberty_file(const std::string& path, CellLibrary& out, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open '" + path + "'";
+    return false;
+  }
+  return read_liberty(in, out, error);
+}
+
+}  // namespace wcm

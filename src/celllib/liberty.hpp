@@ -1,0 +1,75 @@
+// Liberty (.lib) subset reader.
+//
+// Liberty is the industry-standard cell-library format; this reader accepts
+// the structural subset every synthesizable library provides and maps it
+// onto CellLibrary:
+//
+//   library (name) {
+//     cell (NAND2_X1) {
+//       pin (A)  { direction : input;  capacitance : 1.7; }
+//       pin (ZN) {
+//         direction : output;  max_capacitance : 130;
+//         timing () {
+//           related_pin : "A";
+//           cell_rise (tmpl)      { index_1(...); index_2(...); values(...); }
+//           rise_transition (tmpl){ ... }
+//           /* cell_fall / fall_transition likewise */
+//         }
+//       }
+//     }
+//   }
+//
+// Mapping rules:
+//   * the cell's GateType comes from its name prefix (NAND2_X1 -> NAND,
+//     INV_X4 -> NOT, DFF_X1 -> DFF, ...); unrecognised cells are skipped;
+//     several drive strengths of one function keep the LAST one parsed;
+//   * input capacitance = mean over input pins;
+//   * rise/fall surfaces merge point-wise by max (conservative);
+//   * the linear model (intrinsic, slope) is re-derived from the surface
+//     corners so code paths that ignore LUTs stay meaningful;
+//   * units are assumed ps/fF (the NLDM defaults of this repo); scale your
+//     library accordingly or extend the unit handling.
+//
+// The parser builds a faithful generic group tree first (usable for other
+// Liberty tooling), then lowers it; syntax errors carry line numbers.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "celllib/celllib.hpp"
+
+namespace wcm {
+
+/// One `name (args...) { attributes / children }` group of a Liberty file.
+struct LibertyGroup {
+  std::string name;                       ///< e.g. "cell", "pin", "timing"
+  std::vector<std::string> args;          ///< e.g. {"NAND2_X1"}
+  /// Simple attributes: `capacitance : 1.7;`
+  std::vector<std::pair<std::string, std::string>> attributes;
+  /// Complex attributes: `values ("1, 2", "3, 4");`
+  std::vector<std::pair<std::string, std::vector<std::string>>> complex_attributes;
+  std::vector<std::unique_ptr<LibertyGroup>> children;
+
+  const std::string* attribute(const std::string& key) const;
+  const std::vector<std::string>* complex_attribute(const std::string& key) const;
+};
+
+struct LibertyParseResult {
+  bool ok = false;
+  std::string error;  ///< "line N: message" when !ok
+  std::unique_ptr<LibertyGroup> library;
+};
+
+/// Parses the raw group tree (no semantic lowering).
+LibertyParseResult parse_liberty(std::istream& in);
+LibertyParseResult parse_liberty_string(const std::string& text);
+
+/// Parses and lowers into a CellLibrary (starting from nangate45_like
+/// defaults for everything Liberty does not describe: wire, TSV, clock).
+bool read_liberty(std::istream& in, CellLibrary& out, std::string& error);
+bool read_liberty_file(const std::string& path, CellLibrary& out, std::string& error);
+
+}  // namespace wcm

@@ -1,0 +1,122 @@
+#include "core/clique.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+CliquePartition partition_cliques(const CompatGraph& graph, const MergePredicate& can_merge) {
+  // Clusters are identified by slots; merging retires two slots and opens a
+  // new one (mirroring the paper's "add node n', delete n1 and n2").
+  struct Cluster {
+    std::vector<int> members;  // original graph node indices
+    std::unordered_set<int> adj;
+    bool alive = true;
+  };
+  std::vector<Cluster> clusters(graph.nodes.size());
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    clusters[i].members = {static_cast<int>(i)};
+    clusters[i].adj.insert(graph.adj[i].begin(), graph.adj[i].end());
+  }
+
+  CliquePartition result;
+
+  // Lazy min-heap over (degree, cluster): entries go stale as degrees change;
+  // pops are validated against the live degree and re-pushed when stale. Ties
+  // break on the smaller id for determinism.
+  using Entry = std::pair<std::size_t, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  auto push = [&heap, &clusters](int id) {
+    if (clusters[static_cast<std::size_t>(id)].alive &&
+        !clusters[static_cast<std::size_t>(id)].adj.empty())
+      heap.emplace(clusters[static_cast<std::size_t>(id)].adj.size(), id);
+  };
+  for (std::size_t i = 0; i < clusters.size(); ++i) push(static_cast<int>(i));
+
+  auto pop_min_degree = [&]() -> int {
+    while (!heap.empty()) {
+      const auto [deg, id] = heap.top();
+      heap.pop();
+      const Cluster& c = clusters[static_cast<std::size_t>(id)];
+      if (!c.alive || c.adj.empty()) continue;
+      if (c.adj.size() != deg) {
+        heap.emplace(c.adj.size(), id);  // stale: requeue with live degree
+        continue;
+      }
+      return id;
+    }
+    return -1;
+  };
+
+  while (true) {
+    const int c1 = pop_min_degree();
+    if (c1 < 0) break;  // all degrees zero: done
+
+    // Lowest-degree neighbour (ties broken deterministically by index).
+    int c2 = -1;
+    std::size_t c2_deg = std::numeric_limits<std::size_t>::max();
+    for (int nb : clusters[static_cast<std::size_t>(c1)].adj) {
+      const auto& cand = clusters[static_cast<std::size_t>(nb)];
+      WCM_ASSERT(cand.alive);
+      if (cand.adj.size() < c2_deg ||
+          (cand.adj.size() == c2_deg && nb < c2)) {
+        c2_deg = cand.adj.size();
+        c2 = nb;
+      }
+    }
+    WCM_ASSERT(c2 >= 0);
+
+    Cluster& a = clusters[static_cast<std::size_t>(c1)];
+    Cluster& b = clusters[static_cast<std::size_t>(c2)];
+
+    if (!can_merge(a.members, b.members)) {
+      // "Delete edge (n1, n2)".
+      a.adj.erase(c2);
+      b.adj.erase(c1);
+      ++result.rejected_merges;
+      push(c1);
+      push(c2);
+      continue;
+    }
+
+    // Merge into a fresh cluster whose neighbourhood is the intersection.
+    Cluster merged;
+    merged.members = a.members;
+    merged.members.insert(merged.members.end(), b.members.begin(), b.members.end());
+    for (int nb : a.adj) {
+      if (nb == c2) continue;
+      if (b.adj.count(nb)) merged.adj.insert(nb);
+    }
+    a.alive = false;
+    b.alive = false;
+    const int merged_id = static_cast<int>(clusters.size());
+    // Fix up neighbours: drop the retired ids, link the survivors.
+    for (int nb : merged.adj) {
+      auto& n_adj = clusters[static_cast<std::size_t>(nb)].adj;
+      n_adj.insert(merged_id);
+    }
+    // Every former neighbour of a or b (common or not) must forget them.
+    for (int nb : a.adj) clusters[static_cast<std::size_t>(nb)].adj.erase(c1);
+    for (int nb : b.adj) clusters[static_cast<std::size_t>(nb)].adj.erase(c2);
+    // Refresh heap keys of everyone whose degree changed.
+    const std::vector<int> touched_a(a.adj.begin(), a.adj.end());
+    const std::vector<int> touched_b(b.adj.begin(), b.adj.end());
+    clusters.push_back(std::move(merged));
+    push(merged_id);
+    for (int nb : touched_a) push(nb);
+    for (int nb : touched_b) push(nb);
+    ++result.merges;
+  }
+
+  for (const Cluster& c : clusters) {
+    if (!c.alive) continue;
+    result.cliques.push_back(c.members);
+  }
+  return result;
+}
+
+}  // namespace wcm

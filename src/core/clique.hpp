@@ -1,0 +1,38 @@
+// Heuristic clique partitioning — Algorithm 2 of the paper.
+//
+// Start with every node in its own clique (= one dedicated wrapper cell per
+// TSV: the trivial upper bound). Repeatedly take the lowest-degree node n1
+// and its lowest-degree neighbour n2; if the merged cluster still fits the
+// capacity model, fuse them into one node whose neighbourhood is the
+// intersection of the two (preserving the all-pairs-connected invariant),
+// otherwise discard the edge. Terminates when no edges remain; the surviving
+// merged nodes are the cliques.
+//
+// The capacity model is supplied by the caller as a callback over full
+// member lists, because what "capacity" means differs per phase (inbound:
+// femtofarads of wrapper drive; outbound: slack budget of the capture
+// routing) and per timing model — see solver.cpp.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/compat_graph.hpp"
+
+namespace wcm {
+
+struct CliquePartition {
+  /// Each clique as indices into the input graph's node array.
+  std::vector<std::vector<int>> cliques;
+  int merges = 0;
+  int rejected_merges = 0;  ///< capacity-model refusals (edge deletions)
+};
+
+/// `can_merge(a_members, b_members)` decides whether one wrapper cell can
+/// serve the union — the cap/cap_th test of Algorithm 2, generalised.
+using MergePredicate =
+    std::function<bool(const std::vector<int>&, const std::vector<int>&)>;
+
+CliquePartition partition_cliques(const CompatGraph& graph, const MergePredicate& can_merge);
+
+}  // namespace wcm

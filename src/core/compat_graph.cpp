@@ -1,0 +1,224 @@
+#include "core/compat_graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+ResolvedThresholds resolve_thresholds(const WcmConfig& cfg, const CellLibrary& lib,
+                                      const Placement* placement) {
+  ResolvedThresholds r;
+  r.cap_th_ff = cfg.cap_th_ff > 0
+                    ? cfg.cap_th_ff
+                    : -cfg.cap_th_ff * lib.timing(GateType::kDff).max_load_ff;
+  r.s_th_ps = cfg.s_th_ps;
+  if (cfg.d_th_um > 0) {
+    r.d_th_um = cfg.d_th_um;
+  } else if (placement) {
+    r.d_th_um = -cfg.d_th_um * placement->outline().half_perimeter();
+  } else {
+    r.d_th_um = 1e18;  // no geometry to constrain
+  }
+  return r;
+}
+
+double inbound_attach_load_ff(const GraphInputs& in, const CellLibrary& lib,
+                              TimingModel model, GateId from, GateId tsv) {
+  double load = lib.pin_cap_ff(GateType::kMux);  // the bypass mux d1 pin
+  if (model == TimingModel::kAccurate && in.placement)
+    load += lib.wire_cap_ff_per_um() * in.placement->distance(from, tsv);
+  return load;
+}
+
+double ff_base_load_ff(const GraphInputs& in, const CellLibrary& lib, TimingModel model,
+                       GateId ff) {
+  if (model == TimingModel::kAccurate) return in.sta->net_load_ff(ff);
+  // Pin-cap-only view of the same net.
+  double load = 0.0;
+  for (GateId fo : in.netlist->gate(ff).fanouts) {
+    const GateType t = in.netlist->gate(fo).type;
+    load += lib.pin_cap_ff(t);
+    if (t == GateType::kTsvOut) load += lib.tsv_cap_ff();
+    if (t == GateType::kOutput) load += lib.timing(GateType::kOutput).input_cap_ff;
+  }
+  return load;
+}
+
+double outbound_added_delay_ps(const GraphInputs& in, const CellLibrary& lib,
+                               TimingModel model, GateId tsv, GateId cell_at) {
+  WCM_ASSERT(in.netlist->gate(tsv).fanins.size() == 1);
+  const GateId driver = in.netlist->gate(tsv).fanins[0];
+  // Extra load slows the driver's existing paths; the capture branch itself
+  // adds wire + XOR (+ capture mux) before the wrapper cell's D.
+  double extra_wire_um = 0.0;
+  if (model == TimingModel::kAccurate && in.placement)
+    extra_wire_um = in.placement->distance(driver, cell_at);
+  const double extra_cap =
+      lib.pin_cap_ff(GateType::kXor) + lib.wire_cap_ff_per_um() * extra_wire_um;
+  const CellTiming& drv = lib.timing(in.netlist->gate(driver).type);
+  const double load_slowdown = drv.slope_ps_per_ff * extra_cap;
+  const double capture_path = lib.wire_delay_ps_per_um() * extra_wire_um +
+                              lib.timing(GateType::kXor).intrinsic_ps +
+                              lib.timing(GateType::kMux).intrinsic_ps;
+  return load_slowdown + capture_path;
+}
+
+double capture_mux_penalty_ps(const GraphInputs& in, const CellLibrary& lib, GateId ff) {
+  const GateId d_orig = in.netlist->gate(ff).fanins[0];
+  const CellTiming& mux = lib.timing(GateType::kMux);
+  const CellTiming& drv = lib.timing(in.netlist->gate(d_orig).type);
+  // New pins hanging off the mission driver: mux d0 + capture XOR input.
+  const double extra_cap = mux.input_cap_ff + lib.pin_cap_ff(GateType::kXor);
+  const double mux_delay = mux.intrinsic_ps +
+                           mux.slope_ps_per_ff * lib.timing(GateType::kDff).input_cap_ff;
+  return mux_delay + drv.slope_ps_per_ff * extra_cap;
+}
+
+double ff_q_slowdown_ps(const CellLibrary& lib, double added_load_ff) {
+  return lib.timing(GateType::kDff).slope_ps_per_ff * added_load_ff;
+}
+
+namespace {
+
+/// Cone compatibility with optional oracle fallback. Returns whether the
+/// pair may share, and sets `via_overlap` when the oracle (not disjointness)
+/// admitted it.
+bool cones_compatible(const GraphInputs& in, const WcmConfig& cfg, GateId a, NodeKind ka,
+                      GateId b, NodeKind kb, bool& via_overlap) {
+  via_overlap = false;
+  const bool control_side = (ka == NodeKind::kInboundTsv || kb == NodeKind::kInboundTsv);
+  const bool overlapped = control_side ? in.cones->fanout_overlaps(a, b)
+                                       : in.cones->fanin_overlaps(a, b);
+  if (!overlapped) return true;
+  if (!cfg.allow_overlap_sharing) return false;
+  const PairImpact impact = in.oracle->evaluate(a, ka, b, kb);
+  if (impact.coverage_loss < cfg.cov_th && impact.extra_patterns < cfg.p_th) {
+    via_overlap = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CompatGraph build_compat_graph(const GraphInputs& in, const CellLibrary& lib,
+                               const std::vector<GateId>& tsvs, NodeKind direction,
+                               const std::vector<GateId>& available_ffs,
+                               const WcmConfig& cfg) {
+  WCM_ASSERT(direction != NodeKind::kScanFF);
+  WCM_ASSERT(in.netlist && in.sta && in.timing && in.cones && in.oracle);
+  const ResolvedThresholds th = resolve_thresholds(cfg, lib, in.placement);
+
+  CompatGraph graph;
+
+  // ---- node construction (Algorithm 1 lines 1-14) ----
+  for (GateId ff : available_ffs)
+    graph.nodes.push_back(GraphNode{ff, NodeKind::kScanFF});
+  const std::size_t first_tsv = graph.nodes.size();
+
+  for (GateId t : tsvs) {
+    bool admitted;
+    if (direction == NodeKind::kInboundTsv) {
+      // The wrapper must at minimum drive this TSV's bypass mux from zero
+      // distance; a TSV whose own attach cost already busts the budget gets
+      // a dedicated cell at the pad.
+      admitted = inbound_attach_load_ff(in, lib, cfg.timing_model, t, t) < th.cap_th_ff;
+    } else {
+      admitted = in.timing->slack[static_cast<std::size_t>(t)] > th.s_th_ps;
+    }
+    if (admitted)
+      graph.nodes.push_back(GraphNode{t, direction});
+    else
+      graph.rejected_tsvs.push_back(t);
+  }
+
+  graph.adj.assign(graph.nodes.size(), {});
+
+  // ---- edge construction (lines 16-26) ----
+  // Every pair with at least one TSV: FF-TSV pairs and TSV-TSV pairs.
+  auto try_edge = [&](std::size_t i, std::size_t j) {
+    const GraphNode& a = graph.nodes[i];
+    const GraphNode& b = graph.nodes[j];
+    // distance(n1, n2) < d_th
+    if (in.placement &&
+        in.placement->distance(a.gate, b.gate) >= th.d_th_um)
+      return;
+
+    // Phase-level timing feasibility of the *pair* (cluster-level checks
+    // happen again at merge time with exact member sets):
+    if (direction == NodeKind::kInboundTsv) {
+      double load = 0.0;
+      if (a.kind == NodeKind::kScanFF || b.kind == NodeKind::kScanFF) {
+        const GateId ff = (a.kind == NodeKind::kScanFF) ? a.gate : b.gate;
+        const GateId tsv = (a.kind == NodeKind::kScanFF) ? b.gate : a.gate;
+        const double attach = inbound_attach_load_ff(in, lib, cfg.timing_model, ff, tsv);
+        load = ff_base_load_ff(in, lib, cfg.timing_model, ff) + attach;
+        // The flop's mission fan-out paths slow down with the added Q load;
+        // they must keep margin (the accurate model's second half — Agrawal's
+        // wire-free slacks simply never see the wire part of `attach`).
+        if (in.timing->slack[static_cast<std::size_t>(ff)] -
+                ff_q_slowdown_ps(lib, attach) <=
+            th.s_th_ps)
+          return;
+      } else {
+        // Shared dedicated cell placed at either pad; take the cheaper end.
+        load = std::min(
+            inbound_attach_load_ff(in, lib, cfg.timing_model, a.gate, a.gate) +
+                inbound_attach_load_ff(in, lib, cfg.timing_model, a.gate, b.gate),
+            inbound_attach_load_ff(in, lib, cfg.timing_model, b.gate, b.gate) +
+                inbound_attach_load_ff(in, lib, cfg.timing_model, b.gate, a.gate));
+      }
+      if (load >= th.cap_th_ff) return;
+    } else {
+      auto slack_ok = [&](GateId tsv, GateId cell_at) {
+        const double added = outbound_added_delay_ps(in, lib, cfg.timing_model, tsv, cell_at);
+        if (in.timing->slack[static_cast<std::size_t>(tsv)] - added <= th.s_th_ps)
+          return false;
+        // The tap's extra load slows EVERY path through the driver, not just
+        // the capture branch; the driver's own (min-over-paths) slack must
+        // absorb the slowdown too.
+        const GateId driver = in.netlist->gate(tsv).fanins[0];
+        double extra_cap = lib.pin_cap_ff(GateType::kXor);
+        if (cfg.timing_model == TimingModel::kAccurate && in.placement)
+          extra_cap += lib.wire_cap_ff_per_um() * in.placement->distance(driver, cell_at);
+        const double slowdown =
+            lib.timing(in.netlist->gate(driver).type).slope_ps_per_ff * extra_cap;
+        return in.timing->slack[static_cast<std::size_t>(driver)] - slowdown > th.s_th_ps;
+      };
+      if (a.kind == NodeKind::kScanFF || b.kind == NodeKind::kScanFF) {
+        const GateId ff = (a.kind == NodeKind::kScanFF) ? a.gate : b.gate;
+        const GateId tsv = (a.kind == NodeKind::kScanFF) ? b.gate : a.gate;
+        if (!slack_ok(tsv, ff)) return;
+        // The flop's mission D path must absorb the capture mux and the new
+        // pins loading its driver.
+        const GateId d_orig = in.netlist->gate(ff).fanins[0];
+        if (in.timing->slack[static_cast<std::size_t>(d_orig)] -
+                capture_mux_penalty_ps(in, lib, ff) <=
+            th.s_th_ps)
+          return;
+      } else {
+        // Shared cell at either pad: both TSVs must tolerate the detour.
+        const bool at_a = slack_ok(a.gate, a.gate) && slack_ok(b.gate, a.gate);
+        const bool at_b = slack_ok(a.gate, b.gate) && slack_ok(b.gate, b.gate);
+        if (!at_a && !at_b) return;
+      }
+    }
+
+    bool via_overlap = false;
+    if (!cones_compatible(in, cfg, a.gate, a.kind, b.gate, b.kind, via_overlap)) return;
+
+    graph.adj[i].push_back(static_cast<int>(j));
+    graph.adj[j].push_back(static_cast<int>(i));
+    ++graph.num_edges;
+    if (via_overlap) ++graph.overlap_edges;
+  };
+
+  for (std::size_t j = first_tsv; j < graph.nodes.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) try_edge(i, j);
+  }
+  for (auto& neighbors : graph.adj) std::sort(neighbors.begin(), neighbors.end());
+  return graph;
+}
+
+}  // namespace wcm

@@ -1,0 +1,105 @@
+// Compatibility-graph construction — Algorithm 1 of the paper.
+//
+// One graph is built per processing phase (inbound or outbound TSV set).
+// Nodes: the phase's admitted TSVs plus the scan flops still available.
+// Edges: pairs that could share one wrapper cell, gated on
+//   (1) distance        — d_th, preventing long test wires / congestion;
+//   (2) cone rule       — disjoint cones are always safe; overlapped cones
+//                         are admitted only under the testability oracle
+//                         (cov_th / p_th) and only if the config allows it;
+//   (3) timing          — the phase-specific admission below.
+//
+// Timing admission, accurate model (the paper's contribution):
+//   inbound:  the wrapper cell must drive one bypass-mux pin per TSV plus
+//             the wire to reach it; a flop additionally keeps its mission
+//             fan-out load. Pair admitted if the combined load fits cap_th.
+//   outbound: the TSV driver's net gains the capture-logic pin plus wire;
+//             pair admitted if the driver's slack covers the added wire
+//             delay + capture gates with margin s_th (and, for a flop, its
+//             D-path slack covers the capture mux).
+// Pin-cap-only model (Agrawal): identical but with every wire term zeroed —
+// which is precisely why its choices blow up under signoff STA.
+#pragma once
+
+#include <vector>
+
+#include "celllib/celllib.hpp"
+#include "core/config.hpp"
+#include "core/testability.hpp"
+#include "netlist/cone.hpp"
+#include "netlist/netlist.hpp"
+#include "place/place.hpp"
+#include "sta/sta.hpp"
+
+namespace wcm {
+
+struct GraphNode {
+  GateId gate = kNoGate;
+  NodeKind kind = NodeKind::kScanFF;
+};
+
+struct CompatGraph {
+  std::vector<GraphNode> nodes;
+  std::vector<std::vector<int>> adj;    ///< sorted neighbor lists
+  int num_edges = 0;
+  int overlap_edges = 0;                ///< edges admitted via the oracle (Fig. 7 metric)
+  /// TSVs of the phase that failed node admission (cap/slack); they receive
+  /// dedicated singleton wrapper cells.
+  std::vector<GateId> rejected_tsvs;
+};
+
+/// Everything Algorithm 1 reads. `timing` must be the report of `sta`.
+struct GraphInputs {
+  const Netlist* netlist = nullptr;
+  const Placement* placement = nullptr;  ///< may be null (pin-cap-only runs)
+  const StaEngine* sta = nullptr;
+  const TimingReport* timing = nullptr;
+  ConeDb* cones = nullptr;
+  TestabilityOracle* oracle = nullptr;
+};
+
+/// Resolves the config's relative thresholds (cap_th <= 0, d_th <= 0)
+/// against the library flop drive limit and the placement outline.
+struct ResolvedThresholds {
+  double cap_th_ff = 0.0;
+  double s_th_ps = 0.0;
+  double d_th_um = 0.0;
+};
+ResolvedThresholds resolve_thresholds(const WcmConfig& cfg, const CellLibrary& lib,
+                                      const Placement* placement);
+
+/// Builds the phase graph over `tsvs` (all of one direction, `direction`)
+/// and `available_ffs`.
+CompatGraph build_compat_graph(const GraphInputs& in, const CellLibrary& lib,
+                               const std::vector<GateId>& tsvs, NodeKind direction,
+                               const std::vector<GateId>& available_ffs,
+                               const WcmConfig& cfg);
+
+// ---- timing-admission primitives (shared with the clique merge check) ----
+
+/// Load one bypass-mux pin + routing adds to a wrapper cell placed at
+/// `from`, serving inbound TSV `tsv` (wire term zero without placement or
+/// under kPinCapOnly).
+double inbound_attach_load_ff(const GraphInputs& in, const CellLibrary& lib,
+                              TimingModel model, GateId from, GateId tsv);
+
+/// Mission fan-out load a scan flop already drives (what remains of its
+/// capacity budget).
+double ff_base_load_ff(const GraphInputs& in, const CellLibrary& lib, TimingModel model,
+                       GateId ff);
+
+/// Added delay on an outbound TSV driver when its net must additionally
+/// reach capture logic at `cell_at` (wire + capture XOR + capture mux).
+double outbound_added_delay_ps(const GraphInputs& in, const CellLibrary& lib,
+                               TimingModel model, GateId tsv, GateId cell_at);
+
+/// Delay the capture mux adds to a reused flop's mission D path: the mux
+/// cell itself plus the extra pins (mux d0 + capture XOR) now loading the
+/// mission driver.
+double capture_mux_penalty_ps(const GraphInputs& in, const CellLibrary& lib, GateId ff);
+
+/// Slack a flop's mission fan-out paths lose per femtofarad of load added to
+/// its Q net (the flop drive slope).
+double ff_q_slowdown_ps(const CellLibrary& lib, double added_load_ff);
+
+}  // namespace wcm

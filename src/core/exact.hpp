@@ -1,0 +1,40 @@
+// Exact minimum clique partitioning by branch and bound, for gauging the
+// optimality gap of the paper's heuristic (Algorithm 2) on instances small
+// enough to solve to optimality.
+//
+// WCM is NP-hard (Agrawal et al. prove it), so this solver is strictly an
+// evaluation instrument: the b11/b12 phase graphs (tens of nodes) are within
+// reach; the b18-b22 graphs are not and the solver reports a timeout.
+//
+// Formulation detail: the objective counts only cliques WITHOUT a scan flop
+// (each costs one additional wrapper cell); flop-hosted cliques are free, as
+// in the paper's reduction. The merge predicate (capacity model) is honoured
+// exactly like the heuristic honours it, so the two optimize the same
+// problem.
+#pragma once
+
+#include <cstdint>
+
+#include "core/clique.hpp"
+
+namespace wcm {
+
+struct ExactOptions {
+  /// Give up after this many search nodes (the instance is then "too big").
+  std::int64_t node_budget = 20'000'000;
+};
+
+struct ExactResult {
+  bool optimal = false;          ///< false = budget exhausted; bound below still valid
+  int additional_cells = 0;      ///< minimum flop-less cliques found (or best so far)
+  std::vector<std::vector<int>> cliques;
+  std::int64_t search_nodes = 0;
+};
+
+/// Solves minimum-additional-cell clique partitioning of `graph` exactly
+/// (within the node budget), honouring `can_merge` for every clique it
+/// forms. `is_flop[i]` marks graph nodes whose clique is free.
+ExactResult solve_exact_partition(const CompatGraph& graph, const MergePredicate& can_merge,
+                                  const ExactOptions& opts = {});
+
+}  // namespace wcm

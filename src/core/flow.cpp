@@ -1,0 +1,114 @@
+#include "core/flow.hpp"
+
+#include <algorithm>
+
+#include "atpg/testview.hpp"
+#include "sta/sta.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace wcm {
+
+double tight_clock_period_ps(const Netlist& n, const CellLibrary& lib,
+                             const PlaceOptions& place_opts, double margin) {
+  Netlist ideal = n;  // value copy: insertion mutates
+  Placement placement = place(ideal, place_opts);
+  const WrapperPlan plan = one_cell_per_tsv(ideal);
+  insert_wrappers(ideal, plan, &placement);
+
+  CellLibrary probe = lib;
+  probe.set_clock_period_ps(1e9);  // measure the path, not violations
+  StaEngine sta(ideal, probe, &placement);
+  const TimingReport rep = sta.run();
+  // Critical path = period - worst slack under the probe period.
+  const double critical = 1e9 - rep.worst_slack;
+  WCM_ASSERT_MSG(critical > 0.0, "degenerate critical path");
+  return critical * (1.0 + margin);
+}
+
+FlowReport run_flow(const Netlist& n, const FlowConfig& cfg) {
+  FlowReport report;
+  report.die_name = n.name();
+
+  CellLibrary lib = cfg.lib;
+  if (cfg.clock_period_ps) lib.set_clock_period_ps(*cfg.clock_period_ps);
+
+  // ---- physical design (3D-Craft stand-in) ----
+  Placement placement = place(n, cfg.place);
+
+  // ---- the WCM solve (graph construction + clique partitioning) ----
+  report.solution = solve_wcm(n, &placement, lib, cfg.wcm);
+
+  // ---- DFT insertion + signoff (with optional ECO repair) ----
+  WrapperPlan plan = report.solution.plan;
+  for (int round = 0;; ++round) {
+    Netlist inserted = n;
+    Placement inserted_placement = placement;
+    report.insertion = insert_wrappers(inserted, plan, &inserted_placement);
+    if (!cfg.run_signoff) break;
+
+    StaEngine signoff(inserted, lib, &inserted_placement);
+    const TimingReport timing = signoff.run();
+    report.violating_endpoints = timing.violating_endpoints;
+    report.worst_slack_ps = timing.worst_slack;
+    report.timing_violation = timing.violating_endpoints > 0;
+    if (!report.timing_violation || !cfg.repair_timing || round >= 16) break;
+
+    // ECO: demote every group whose inserted hardware (or reused flop) sits
+    // at negative slack. Demoted TSVs fall back to dedicated singleton cells
+    // at their own pads — the configuration the tight clock was derived
+    // from, so repair monotonically converges to a timing-clean netlist.
+    WrapperPlan repaired;
+    int demoted = 0;
+    for (std::size_t gi = 0; gi < plan.groups.size(); ++gi) {
+      const WrapperGroup& g = plan.groups[gi];
+      bool bad = false;
+      for (GateId gate : report.insertion.group_gates[gi]) {
+        if (timing.slack[static_cast<std::size_t>(gate)] < 0.0) {
+          bad = true;
+          break;
+        }
+      }
+      if (!bad) {
+        repaired.groups.push_back(g);
+        continue;
+      }
+      ++demoted;
+      for (GateId t : g.inbound) {
+        WrapperGroup single;
+        single.inbound.push_back(t);
+        repaired.groups.push_back(std::move(single));
+      }
+      for (GateId t : g.outbound) {
+        WrapperGroup single;
+        single.outbound.push_back(t);
+        repaired.groups.push_back(std::move(single));
+      }
+    }
+    if (demoted == 0) {
+      // The violation does not involve wrapper hardware (it would exist in
+      // the ideal insertion too); nothing to repair.
+      break;
+    }
+    plan = std::move(repaired);
+    report.repair_demotions += demoted;
+    ++report.repair_iterations;
+  }
+  // The final plan (possibly repaired) is the deliverable.
+  report.solution.plan = plan;
+  report.solution.reused_ffs = plan.num_reused();
+  report.solution.additional_cells = plan.num_additional();
+
+  // ---- ATPG verification on the test view ----
+  if (cfg.run_stuck_at) {
+    const TestView view = build_test_view(n, report.solution.plan);
+    report.stuck_at = AtpgEngine(view).run_stuck_at(cfg.atpg);
+  }
+  if (cfg.run_transition) {
+    const TestView view = build_test_view(n, report.solution.plan);
+    report.transition = AtpgEngine(view).run_transition(cfg.atpg);
+  }
+  return report;
+}
+
+}  // namespace wcm

@@ -1,0 +1,376 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "core/clique.hpp"
+#include "dft/insertion.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace wcm {
+namespace {
+
+/// Capacity model shared by edge construction and merge checks: the wrapper
+/// cell is hosted at the flop (if the cluster has one) or at whichever
+/// member pad minimises total drive load; merge admitted if that best load
+/// stays under cap_th.
+class InboundCapacityModel {
+ public:
+  InboundCapacityModel(const GraphInputs& in, const CellLibrary& lib, const WcmConfig& cfg,
+                       const CompatGraph& graph, double cap_th, double s_th)
+      : in_(in), lib_(lib), cfg_(cfg), graph_(graph), cap_th_(cap_th), s_th_(s_th) {}
+
+  bool can_merge(const std::vector<int>& a, const std::vector<int>& b) const {
+    GateId ff = kNoGate;
+    std::vector<GateId> tsvs;
+    collect(a, ff, tsvs);
+    collect(b, ff, tsvs);
+    if (best_load(ff, tsvs) >= cap_th_) return false;
+    if (ff != kNoGate) {
+      // The flop's mission paths must absorb the whole cluster's attach load.
+      double attach = 0.0;
+      for (GateId t : tsvs)
+        attach += inbound_attach_load_ff(in_, lib_, cfg_.timing_model, ff, t);
+      if (in_.timing->slack[static_cast<std::size_t>(ff)] -
+              ff_q_slowdown_ps(lib_, attach) <=
+          s_th_)
+        return false;
+    }
+    return true;
+  }
+
+ private:
+  void collect(const std::vector<int>& members, GateId& ff, std::vector<GateId>& tsvs) const {
+    for (int m : members) {
+      const GraphNode& node = graph_.nodes[static_cast<std::size_t>(m)];
+      if (node.kind == NodeKind::kScanFF) {
+        WCM_ASSERT_MSG(ff == kNoGate, "clique with two flops");
+        ff = node.gate;
+      } else {
+        tsvs.push_back(node.gate);
+      }
+    }
+  }
+
+  double best_load(GateId ff, const std::vector<GateId>& tsvs) const {
+    if (ff != kNoGate) {
+      double load = ff_base_load_ff(in_, lib_, cfg_.timing_model, ff);
+      for (GateId t : tsvs)
+        load += inbound_attach_load_ff(in_, lib_, cfg_.timing_model, ff, t);
+      return load;
+    }
+    // Dedicated cell: host at the member pad minimising total load.
+    double best = std::numeric_limits<double>::infinity();
+    for (GateId host : tsvs) {
+      double load = 0.0;
+      for (GateId t : tsvs)
+        load += inbound_attach_load_ff(in_, lib_, cfg_.timing_model, host, t);
+      best = std::min(best, load);
+    }
+    return tsvs.empty() ? 0.0 : best;
+  }
+
+  const GraphInputs& in_;
+  const CellLibrary& lib_;
+  const WcmConfig& cfg_;
+  const CompatGraph& graph_;
+  double cap_th_;
+  double s_th_;
+};
+
+/// Outbound merge model: every member TSV's driver must keep slack above
+/// s_th after the capture detour, including the XOR-tree depth the cluster
+/// width implies.
+class OutboundSlackModel {
+ public:
+  OutboundSlackModel(const GraphInputs& in, const CellLibrary& lib, const WcmConfig& cfg,
+                     const CompatGraph& graph, double s_th, double cap_th)
+      : in_(in), lib_(lib), cfg_(cfg), graph_(graph), s_th_(s_th), cap_th_(cap_th) {}
+
+  bool can_merge(const std::vector<int>& a, const std::vector<int>& b) const {
+    GateId ff = kNoGate;
+    std::vector<GateId> tsvs;
+    collect(a, ff, tsvs);
+    collect(b, ff, tsvs);
+    if (tsvs.empty()) return true;
+
+    const int width = static_cast<int>(tsvs.size()) + (ff != kNoGate ? 1 : 0);
+    const double tree_extra =
+        (xor_depth(width) - 1) * lib_.timing(GateType::kXor).intrinsic_ps;
+
+    auto feasible_at = [&](GateId cell_at) {
+      // Capture-net capacity: the compactor's pins and routing concentrate
+      // at the wrapper cell; the cell's drive budget bounds them just as it
+      // bounds the inbound side. Track the per-driver extra load as we go:
+      // several cluster members may share one driver, whose mission paths
+      // absorb the SUM of their taps.
+      double capture_cap = 0.0;
+      std::unordered_map<GateId, double> driver_extra;
+      for (GateId t : tsvs) {
+        const GateId driver = in_.netlist->gate(t).fanins[0];
+        double extra = lib_.pin_cap_ff(GateType::kXor);
+        if (cfg_.timing_model == TimingModel::kAccurate && in_.placement)
+          extra += lib_.wire_cap_ff_per_um() * in_.placement->distance(driver, cell_at);
+        capture_cap += extra;
+        driver_extra[driver] += extra;
+      }
+      if (capture_cap >= cap_th_) return false;
+      for (GateId t : tsvs) {
+        const double added =
+            outbound_added_delay_ps(in_, lib_, cfg_.timing_model, t, cell_at) + tree_extra;
+        if (in_.timing->slack[static_cast<std::size_t>(t)] - added <= s_th_) return false;
+      }
+      for (const auto& [driver, extra] : driver_extra) {
+        const double slowdown =
+            lib_.timing(in_.netlist->gate(driver).type).slope_ps_per_ff * extra;
+        if (in_.timing->slack[static_cast<std::size_t>(driver)] - slowdown <= s_th_)
+          return false;
+      }
+      return true;
+    };
+    if (ff != kNoGate) return feasible_at(ff);
+    for (GateId host : tsvs)
+      if (feasible_at(host)) return true;
+    return false;
+  }
+
+ private:
+  static int xor_depth(int width) {
+    int depth = 0;
+    for (int w = 1; w < width; w *= 2) ++depth;
+    return std::max(depth, 1);
+  }
+
+  void collect(const std::vector<int>& members, GateId& ff, std::vector<GateId>& tsvs) const {
+    for (int m : members) {
+      const GraphNode& node = graph_.nodes[static_cast<std::size_t>(m)];
+      if (node.kind == NodeKind::kScanFF) {
+        WCM_ASSERT_MSG(ff == kNoGate, "clique with two flops");
+        ff = node.gate;
+      } else {
+        tsvs.push_back(node.gate);
+      }
+    }
+  }
+
+  const GraphInputs& in_;
+  const CellLibrary& lib_;
+  const WcmConfig& cfg_;
+  const CompatGraph& graph_;
+  double s_th_;
+  double cap_th_;
+};
+
+/// Converts one phase's cliques into wrapper groups, consuming used flops.
+void emit_phase_groups(const CompatGraph& graph, const CliquePartition& cliques,
+                       NodeKind direction, WrapperPlan& plan,
+                       std::vector<char>& ff_consumed) {
+  for (const auto& members : cliques.cliques) {
+    WrapperGroup group;
+    for (int m : members) {
+      const GraphNode& node = graph.nodes[static_cast<std::size_t>(m)];
+      if (node.kind == NodeKind::kScanFF) {
+        group.reused_ff = node.gate;
+      } else if (node.kind == NodeKind::kInboundTsv) {
+        group.inbound.push_back(node.gate);
+      } else {
+        group.outbound.push_back(node.gate);
+      }
+    }
+    if (group.empty()) {
+      // A flop that merged with nothing: it stays a plain scan flop,
+      // available for the other phase.
+      continue;
+    }
+    if (group.reused_ff != kNoGate)
+      ff_consumed[static_cast<std::size_t>(group.reused_ff)] = 1;
+    plan.groups.push_back(std::move(group));
+  }
+  for (GateId t : graph.rejected_tsvs) {
+    WrapperGroup g;
+    if (direction == NodeKind::kInboundTsv)
+      g.inbound.push_back(t);
+    else
+      g.outbound.push_back(t);
+    plan.groups.push_back(std::move(g));
+  }
+}
+
+}  // namespace
+
+WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLibrary& lib,
+                      const WcmConfig& cfg) {
+  WCM_ASSERT_MSG(placement || cfg.timing_model == TimingModel::kPinCapOnly,
+                 "accurate timing model needs a placement");
+
+  // The STA view matches the method's model: the proposed flow sees wire
+  // parasitics, Agrawal's does not (that blindness is the point).
+  const Placement* sta_placement =
+      (cfg.timing_model == TimingModel::kAccurate) ? placement : nullptr;
+  StaEngine sta(n, lib, sta_placement);
+
+  // Slacks are taken from the IDEAL-insertion view: every TSV pre-wrapped
+  // with a dedicated cell at its pad. The bypass/capture hardware lands on
+  // every TSV path no matter how WCM decides, so pre-DFT slacks would be
+  // systematically optimistic (~a mux delay per wrapped path) and every
+  // admission decision made against them would be stale at signoff. Gate ids
+  // 0..n.size()-1 are shared between the views, so the report maps directly.
+  Netlist timing_view = n;
+  Placement timing_placement;
+  if (placement) timing_placement = *placement;
+  insert_wrappers(timing_view, one_cell_per_tsv(n), placement ? &timing_placement : nullptr);
+  StaEngine timing_sta(timing_view, lib,
+                       (cfg.timing_model == TimingModel::kAccurate && placement)
+                           ? &timing_placement
+                           : nullptr);
+  const TimingReport timing = timing_sta.run();
+
+  ConeDb cones(n);
+  AtpgOptions measure_opts;
+  measure_opts.max_random_batches = 8;
+  measure_opts.useless_batch_window = 2;
+  measure_opts.deterministic_phase = false;
+  TestabilityOracle oracle(n, cones, cfg.oracle_mode, measure_opts);
+
+  GraphInputs inputs;
+  inputs.netlist = &n;
+  inputs.placement = placement;
+  inputs.sta = &sta;
+  inputs.timing = &timing;
+  inputs.cones = &cones;
+  inputs.oracle = &oracle;
+
+  const ResolvedThresholds th = resolve_thresholds(cfg, lib, placement);
+
+  // ---- TSV analysis: processing order (Section IV-A) ----
+  const auto& inbound = n.inbound_tsvs();
+  const auto& outbound = n.outbound_tsvs();
+  std::vector<NodeKind> order;
+  switch (cfg.ordering) {
+    case OrderingPolicy::kInboundFirst:
+      order = {NodeKind::kInboundTsv, NodeKind::kOutboundTsv};
+      break;
+    case OrderingPolicy::kOutboundFirst:
+      order = {NodeKind::kOutboundTsv, NodeKind::kInboundTsv};
+      break;
+    case OrderingPolicy::kLargerSetFirst:
+      order = (outbound.size() > inbound.size())
+                  ? std::vector<NodeKind>{NodeKind::kOutboundTsv, NodeKind::kInboundTsv}
+                  : std::vector<NodeKind>{NodeKind::kInboundTsv, NodeKind::kOutboundTsv};
+      break;
+  }
+
+  WcmSolution solution;
+  std::vector<char> ff_consumed(n.size(), 0);
+
+  for (NodeKind direction : order) {
+    const auto& tsvs = (direction == NodeKind::kInboundTsv) ? inbound : outbound;
+    std::vector<GateId> available_ffs;
+    for (GateId ff : n.scan_flip_flops())
+      if (!ff_consumed[static_cast<std::size_t>(ff)]) available_ffs.push_back(ff);
+
+    const CompatGraph graph =
+        build_compat_graph(inputs, lib, tsvs, direction, available_ffs, cfg);
+
+    CliquePartition cliques;
+    if (direction == NodeKind::kInboundTsv) {
+      InboundCapacityModel model(inputs, lib, cfg, graph, th.cap_th_ff, th.s_th_ps);
+      cliques = partition_cliques(
+          graph, [&model](const auto& a, const auto& b) { return model.can_merge(a, b); });
+    } else {
+      OutboundSlackModel model(inputs, lib, cfg, graph, th.s_th_ps, th.cap_th_ff);
+      cliques = partition_cliques(
+          graph, [&model](const auto& a, const auto& b) { return model.can_merge(a, b); });
+    }
+
+    PhaseStats stats;
+    stats.direction = direction;
+    stats.graph_nodes = static_cast<int>(graph.nodes.size());
+    stats.graph_edges = graph.num_edges;
+    stats.overlap_edges = graph.overlap_edges;
+    stats.rejected_tsvs = static_cast<int>(graph.rejected_tsvs.size());
+    stats.cliques = static_cast<int>(cliques.cliques.size());
+    solution.phases.push_back(stats);
+
+    emit_phase_groups(graph, cliques, direction, solution.plan, ff_consumed);
+  }
+
+  solution.reused_ffs = solution.plan.num_reused();
+  solution.additional_cells = solution.plan.num_additional();
+  WCM_ASSERT_MSG(solution.plan.covers_all_tsvs(n), "solver produced an incomplete plan");
+  return solution;
+}
+
+WcmSolution solve_li_greedy(const Netlist& n, const Placement* placement,
+                            const CellLibrary& lib, const WcmConfig& cfg) {
+  const Placement* sta_placement =
+      (cfg.timing_model == TimingModel::kAccurate) ? placement : nullptr;
+  StaEngine sta(n, lib, sta_placement);
+  // Same ideal-insertion timing view as solve_wcm (see the comment there).
+  Netlist timing_view = n;
+  Placement timing_placement;
+  if (placement) timing_placement = *placement;
+  insert_wrappers(timing_view, one_cell_per_tsv(n), placement ? &timing_placement : nullptr);
+  StaEngine timing_sta(timing_view, lib, sta_placement ? &timing_placement : nullptr);
+  const TimingReport timing = timing_sta.run();
+  ConeDb cones(n);
+  const ResolvedThresholds th = resolve_thresholds(cfg, lib, placement);
+
+  GraphInputs inputs;
+  inputs.netlist = &n;
+  inputs.placement = placement;
+  inputs.sta = &sta;
+  inputs.timing = &timing;
+  inputs.cones = &cones;
+
+  WcmSolution solution;
+  std::vector<char> ff_used(n.size(), 0);
+
+  auto nearest_ff = [&](GateId tsv, bool is_inbound) -> GateId {
+    GateId best = kNoGate;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (GateId ff : n.scan_flip_flops()) {
+      if (ff_used[static_cast<std::size_t>(ff)]) continue;
+      const double d = placement ? placement->distance(ff, tsv) : 0.0;
+      if (d >= th.d_th_um || d >= best_d) continue;
+      // Hard no-overlap rule (Li does not trade testability).
+      if (is_inbound ? cones.fanout_overlaps(ff, tsv) : cones.fanin_overlaps(ff, tsv))
+        continue;
+      if (is_inbound) {
+        const double load = ff_base_load_ff(inputs, lib, cfg.timing_model, ff) +
+                            inbound_attach_load_ff(inputs, lib, cfg.timing_model, ff, tsv);
+        if (load >= th.cap_th_ff) continue;
+      } else {
+        const double added =
+            outbound_added_delay_ps(inputs, lib, cfg.timing_model, tsv, ff);
+        if (timing.slack[static_cast<std::size_t>(tsv)] - added <= th.s_th_ps) continue;
+      }
+      best = ff;
+      best_d = d;
+    }
+    return best;
+  };
+
+  auto assign = [&](GateId tsv, bool is_inbound) {
+    WrapperGroup g;
+    const GateId ff = nearest_ff(tsv, is_inbound);
+    if (ff != kNoGate) {
+      g.reused_ff = ff;
+      ff_used[static_cast<std::size_t>(ff)] = 1;
+    }
+    (is_inbound ? g.inbound : g.outbound).push_back(tsv);
+    solution.plan.groups.push_back(std::move(g));
+  };
+
+  for (GateId t : n.inbound_tsvs()) assign(t, true);
+  for (GateId t : n.outbound_tsvs()) assign(t, false);
+
+  solution.reused_ffs = solution.plan.num_reused();
+  solution.additional_cells = solution.plan.num_additional();
+  return solution;
+}
+
+}  // namespace wcm

@@ -1,0 +1,53 @@
+// End-to-end WCM solving: TSV-set analysis + per-phase graph construction +
+// clique partitioning -> WrapperPlan.
+//
+// The solver runs two phases, one per TSV direction. Which direction goes
+// first is the paper's first enhancement: scan flops consumed by phase one
+// are unavailable in phase two, so the larger set — which needs more cells —
+// should get first pick (Section IV-A / Table I). Within each phase the
+// clique partitioner merges under the phase capacity model; every clique
+// containing a flop reuses it, every other clique gets one additional cell,
+// and TSVs rejected at node admission get dedicated singleton cells.
+#pragma once
+
+#include <vector>
+
+#include "celllib/celllib.hpp"
+#include "core/compat_graph.hpp"
+#include "core/config.hpp"
+#include "dft/wrapper_plan.hpp"
+#include "netlist/netlist.hpp"
+#include "place/place.hpp"
+#include "sta/sta.hpp"
+
+namespace wcm {
+
+/// Per-phase construction statistics (Fig. 7 reads edge counts off these).
+struct PhaseStats {
+  NodeKind direction = NodeKind::kInboundTsv;
+  int graph_nodes = 0;
+  int graph_edges = 0;
+  int overlap_edges = 0;
+  int rejected_tsvs = 0;
+  int cliques = 0;
+};
+
+struct WcmSolution {
+  WrapperPlan plan;
+  int reused_ffs = 0;
+  int additional_cells = 0;
+  std::vector<PhaseStats> phases;  ///< in processing order
+};
+
+/// Solves WCM on a placed, timed die. `placement` may be null only with
+/// TimingModel::kPinCapOnly configs (there is no geometry to consume).
+WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLibrary& lib,
+                      const WcmConfig& cfg);
+
+/// The one-flop-one-TSV greedy of J. Li et al. [3]: each TSV takes the
+/// nearest still-unused flop with disjoint cones, else a dedicated cell.
+/// Kept as the second baseline the paper discusses.
+WcmSolution solve_li_greedy(const Netlist& n, const Placement* placement,
+                            const CellLibrary& lib, const WcmConfig& cfg);
+
+}  // namespace wcm

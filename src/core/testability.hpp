@@ -1,0 +1,77 @@
+// Testability impact of sharing one wrapper cell between two nodes with
+// overlapped cones — the quantity Algorithm 1 calls fault_coverage(n1, n2)
+// and #test_patterns(n1, n2).
+//
+// The paper queries a commercial ATPG tool per candidate pair. This oracle
+// offers the same query with two backends:
+//
+//   * kMeasured — the honest equivalent: build the candidate wrapper plan
+//     (reference plan with just this pair merged), run the ATPG engine, and
+//     diff coverage/pattern-count against the reference run. Exact but
+//     costs one ATPG campaign per query; used for small dies, ablations and
+//     tests.
+//
+//   * kStructural — a calibrated estimate from the shared-cone size: the
+//     faults whose detection a correlated control or aliased capture can
+//     cost are those routed through the shared endpoints, so both deltas
+//     grow with the overlap count. Calibrated against kMeasured on the
+//     small ITC'99 dies (see tests/core/testability_test.cpp); used for the
+//     large dies where per-pair ATPG would dominate runtime, exactly the
+//     engineering trade a production flow makes.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "atpg/engine.hpp"
+#include "core/config.hpp"
+#include "netlist/cone.hpp"
+#include "netlist/netlist.hpp"
+
+namespace wcm {
+
+enum class NodeKind { kScanFF, kInboundTsv, kOutboundTsv };
+
+struct PairImpact {
+  double coverage_loss = 0.0;  ///< fraction of total faults (0.004 = 0.4%)
+  double extra_patterns = 0.0;
+};
+
+class TestabilityOracle {
+ public:
+  TestabilityOracle(const Netlist& n, ConeDb& cones, OracleMode mode,
+                    const AtpgOptions& measure_opts);
+
+  /// Impact of serving both nodes with one wrapper cell. Exactly one of the
+  /// nodes may be a scan flop. Queries are cached (the graph construction
+  /// revisits pairs across phases).
+  PairImpact evaluate(GateId a, NodeKind ka, GateId b, NodeKind kb);
+
+  /// Number of measured (ATPG-backed) evaluations performed, for reporting.
+  int measured_queries() const { return measured_queries_; }
+
+  /// Structural-model calibration knobs (exposed for the calibration test
+  /// and the threshold-ablation bench; defaults fit the kMeasured deltas on
+  /// the small ITC'99 dies from above).
+  void set_structural_constants(double coverage_per_overlap, double patterns_per_overlap) {
+    coverage_per_overlap_ = coverage_per_overlap;
+    patterns_per_overlap_ = patterns_per_overlap;
+  }
+
+ private:
+  PairImpact structural(GateId a, NodeKind ka, GateId b, NodeKind kb);
+  PairImpact measured(GateId a, NodeKind ka, GateId b, NodeKind kb);
+  const AtpgResult& reference();
+
+  const Netlist& n_;
+  ConeDb& cones_;
+  OracleMode mode_;
+  AtpgOptions opts_;
+  std::optional<AtpgResult> reference_;
+  std::unordered_map<std::uint64_t, PairImpact> cache_;
+  int measured_queries_ = 0;
+  double coverage_per_overlap_ = 2.0;
+  double patterns_per_overlap_ = 4.5;
+};
+
+}  // namespace wcm

@@ -1,0 +1,179 @@
+#include "dft/insertion.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+std::vector<std::string> check_plan(const Netlist& n, const WrapperPlan& plan) {
+  std::vector<std::string> issues;
+  std::vector<int> tsv_seen(n.size(), 0);
+  std::vector<int> ff_seen(n.size(), 0);
+  for (const WrapperGroup& g : plan.groups) {
+    if (g.reused_ff != kNoGate) {
+      if (!n.valid(g.reused_ff) || n.gate(g.reused_ff).type != GateType::kDff)
+        issues.push_back("group reuses a node that is not a flip-flop");
+      else if (!n.gate(g.reused_ff).is_scan)
+        issues.push_back("group reuses non-scan flop '" + n.gate(g.reused_ff).name + "'");
+      else if (++ff_seen[static_cast<std::size_t>(g.reused_ff)] > 1)
+        issues.push_back("flop '" + n.gate(g.reused_ff).name + "' reused by several groups");
+    }
+    for (GateId t : g.inbound) {
+      if (!n.valid(t) || n.gate(t).type != GateType::kTsvIn)
+        issues.push_back("inbound list contains a non-TSV_IN node");
+      else
+        tsv_seen[static_cast<std::size_t>(t)]++;
+    }
+    for (GateId t : g.outbound) {
+      if (!n.valid(t) || n.gate(t).type != GateType::kTsvOut)
+        issues.push_back("outbound list contains a non-TSV_OUT node");
+      else
+        tsv_seen[static_cast<std::size_t>(t)]++;
+    }
+  }
+  for (GateId t : n.inbound_tsvs())
+    if (tsv_seen[static_cast<std::size_t>(t)] != 1)
+      issues.push_back("inbound TSV '" + n.gate(t).name + "' covered " +
+                       std::to_string(tsv_seen[static_cast<std::size_t>(t)]) + " times");
+  for (GateId t : n.outbound_tsvs())
+    if (tsv_seen[static_cast<std::size_t>(t)] != 1)
+      issues.push_back("outbound TSV '" + n.gate(t).name + "' covered " +
+                       std::to_string(tsv_seen[static_cast<std::size_t>(t)]) + " times");
+  return issues;
+}
+
+InsertionResult insert_wrappers(Netlist& n, const WrapperPlan& plan, Placement* placement) {
+  WCM_ASSERT_MSG(check_plan(n, plan).empty(), "illegal wrapper plan");
+  InsertionResult result;
+
+  auto locate = [&](GateId of) { return placement ? placement->loc(of) : Point{}; };
+  auto register_loc = [&](GateId id, const Point& p) {
+    if (placement) placement->set_loc(id, p);
+  };
+
+  // Shared test-enable pin.
+  result.test_en = n.add_gate(GateType::kInput, "test_en");
+  register_loc(result.test_en, Point{0.0, 0.0});
+
+  result.group_gates.assign(plan.groups.size(), {});
+  int group_idx = 0;
+  for (const WrapperGroup& g : plan.groups) {
+    if (g.empty()) {
+      ++group_idx;
+      continue;
+    }
+    std::vector<GateId>& mine = result.group_gates[static_cast<std::size_t>(group_idx)];
+    const std::string tag = "_wg" + std::to_string(group_idx++);
+
+    // The wrapper cell: a reused flop or a fresh one at the TSV centroid.
+    GateId cell = g.reused_ff;
+    const bool additional = (cell == kNoGate);
+    if (additional) {
+      Point centroid{};
+      int count = 0;
+      for (GateId t : g.inbound) {
+        centroid.x += locate(t).x;
+        centroid.y += locate(t).y;
+        ++count;
+      }
+      for (GateId t : g.outbound) {
+        centroid.x += locate(t).x;
+        centroid.y += locate(t).y;
+        ++count;
+      }
+      centroid.x /= count;
+      centroid.y /= count;
+      cell = n.add_gate(GateType::kDff, "wc" + tag);
+      n.gate(cell).is_scan = true;
+      register_loc(cell, centroid);
+    }
+
+    // ---- inbound: bypass mux in front of each TSV's load cone (Fig. 3a) ----
+    for (GateId t : g.inbound) {
+      const GateId mux = n.add_gate(GateType::kMux, n.gate(t).name + "_byp" + tag);
+      register_loc(mux, locate(t));  // legalised at the pad: functional detour ~0
+      // Steal the TSV's loads first, then wire the mux inputs.
+      n.transfer_fanouts(t, mux);
+      n.connect(result.test_en, mux);  // sel
+      n.connect(t, mux);               // d0: functional (bonded) path
+      n.connect(cell, mux);            // d1: scan-driven test value
+      result.added_muxes.push_back(mux);
+      mine.push_back(mux);
+    }
+
+    // ---- outbound: capture XOR + mux into the cell's D (Fig. 3b) ----
+    if (!g.outbound.empty()) {
+      // Capture logic sits at the cell; the TSV drivers route to it.
+      const Point cell_loc = locate(cell);
+      GateId d_orig = kNoGate;
+      if (!additional) {
+        WCM_ASSERT(n.gate(cell).fanins.size() == 1);
+        d_orig = n.gate(cell).fanins[0];
+      }
+      // XOR compactor over {functional D} u {TSV drivers}. With a single
+      // member (an additional cell observing one TSV) no compactor is
+      // needed: the driver feeds the capture path through a buffer.
+      std::vector<GateId> members;
+      if (d_orig != kNoGate) members.push_back(d_orig);
+      for (GateId t : g.outbound) {
+        WCM_ASSERT(n.gate(t).fanins.size() == 1);
+        members.push_back(n.gate(t).fanins[0]);
+      }
+      // The mission drivers this group loads are its responsibility too:
+      // signoff-driven repair demotes the group if any of them goes
+      // negative, even when the group's own gates stay clean.
+      for (GateId m : members) mine.push_back(m);
+      GateId capture_src;
+      if (members.size() >= 2) {
+        const GateId xg = n.add_gate(GateType::kXor, "cap" + tag);
+        register_loc(xg, cell_loc);
+        for (GateId m : members) n.connect(m, xg);
+        result.added_xors.push_back(xg);
+        mine.push_back(xg);
+        capture_src = xg;
+      } else {
+        const GateId buf = n.add_gate(GateType::kBuf, "cap" + tag);
+        register_loc(buf, cell_loc);
+        n.connect(members[0], buf);
+        result.added_xors.push_back(buf);
+        mine.push_back(buf);
+        capture_src = buf;
+      }
+
+      if (additional) {
+        // Fresh cell: D is the compactor output directly.
+        n.connect(capture_src, cell);
+      } else {
+        // Reused flop: mux between mission D and capture value.
+        const GateId mux = n.add_gate(GateType::kMux, "capm" + tag);
+        register_loc(mux, cell_loc);
+        n.connect(result.test_en, mux);  // sel
+        n.connect(d_orig, mux);           // d0: mission mode
+        n.connect(capture_src, mux);      // d1: capture mode
+        n.replace_fanin(cell, d_orig, mux);
+        result.added_muxes.push_back(mux);
+        mine.push_back(mux);
+      }
+    } else if (additional) {
+      // Control-only additional cell still needs a D; tie it off.
+      GateId tie = n.find("tie0_dft");
+      if (tie == kNoGate) {
+        tie = n.add_gate(GateType::kTie0, "tie0_dft");
+        register_loc(tie, Point{0.0, 0.0});
+      }
+      n.connect(tie, cell);
+    }
+
+    if (additional) result.added_cells.push_back(cell);
+    mine.push_back(cell);
+  }
+
+  n.invalidate_caches();
+  WCM_ASSERT_MSG(n.check().empty(), "wrapper insertion corrupted the netlist");
+  return result;
+}
+
+}  // namespace wcm

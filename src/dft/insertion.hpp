@@ -1,0 +1,52 @@
+// Physical DFT insertion: turns a WrapperPlan into actual test hardware on
+// the netlist, exactly as Fig. 3 of the paper draws it.
+//
+//   * inbound TSV t served by wrapper cell w:   a MUX is inserted in front of
+//     t's load logic — functional side from the TSV pad, test side from w's
+//     Q — so pre-bond the logic is driven by the scan bit (Fig. 3a);
+//   * outbound TSV t observed by wrapper cell w: t's driver is XORed into
+//     w's D through a capture MUX (functional D in mission mode, D xor TSV
+//     in test mode) (Fig. 3b);
+//   * a group without a reusable flop receives one ADDITIONAL wrapper cell
+//     (a fresh scan flop placed at the centroid of its TSVs).
+//
+// The inserted cells are legalised into the placement (mux at the TSV pad,
+// capture logic at the flop, additional cells at the group centroid), so the
+// post-insertion STA sees the true wire lengths of every reuse decision —
+// this is the signoff that produces the "Timing violation" column of
+// Table III.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dft/wrapper_plan.hpp"
+#include "netlist/netlist.hpp"
+#include "place/place.hpp"
+
+namespace wcm {
+
+struct InsertionResult {
+  GateId test_en = kNoGate;          ///< the added test-enable primary input
+  std::vector<GateId> added_cells;   ///< additional wrapper flops
+  std::vector<GateId> added_muxes;   ///< inbound bypass + capture muxes
+  std::vector<GateId> added_xors;    ///< capture compactors
+  /// Per plan group (index-aligned with plan.groups): every gate this group
+  /// put into the netlist, plus its reused flop if any. Lets signoff-driven
+  /// repair map a violating node back to the decision that created it.
+  std::vector<std::vector<GateId>> group_gates;
+  int added_gate_count() const {
+    return static_cast<int>(added_cells.size() + added_muxes.size() + added_xors.size());
+  }
+};
+
+/// Applies `plan` to `n` in place, updating `placement` (if non-null) with
+/// locations for every inserted cell. The plan must cover all TSVs; the
+/// transformed netlist passes Netlist::check().
+InsertionResult insert_wrappers(Netlist& n, const WrapperPlan& plan, Placement* placement);
+
+/// Validates a plan against a netlist before insertion. Returns an empty
+/// vector when legal, else one message per problem found.
+std::vector<std::string> check_plan(const Netlist& n, const WrapperPlan& plan);
+
+}  // namespace wcm

@@ -1,0 +1,91 @@
+#include "dft/scan_chain.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+ScanChain stitch_scan_chain(const Netlist& n, const Placement* placement) {
+  ScanChain chain;
+  std::vector<GateId> elements = n.scan_flip_flops();
+  if (elements.empty()) return chain;
+  if (!placement) {
+    chain.order = std::move(elements);
+    return chain;
+  }
+
+  // Start nearest to the origin (scan-in pad corner).
+  std::size_t start = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const double d = manhattan(placement->loc(elements[i]), Point{0.0, 0.0});
+    if (d < best) {
+      best = d;
+      start = i;
+    }
+  }
+  std::swap(elements[0], elements[start]);
+
+  for (std::size_t i = 0; i + 1 < elements.size(); ++i) {
+    const Point& here = placement->loc(elements[i]);
+    std::size_t nearest = i + 1;
+    double nearest_d = std::numeric_limits<double>::infinity();
+    for (std::size_t j = i + 1; j < elements.size(); ++j) {
+      const double d = manhattan(here, placement->loc(elements[j]));
+      if (d < nearest_d) {
+        nearest_d = d;
+        nearest = j;
+      }
+    }
+    std::swap(elements[i + 1], elements[nearest]);
+    chain.wire_length_um += nearest_d;
+  }
+  chain.order = std::move(elements);
+  return chain;
+}
+
+ScanInsertion insert_scan_chain(Netlist& n, const ScanChain& chain, Placement* placement) {
+  ScanInsertion result;
+  if (chain.order.empty()) return result;
+
+  auto register_loc = [&](GateId id, GateId near) {
+    if (placement) placement->set_loc(id, placement->loc(near));
+  };
+
+  result.scan_enable = n.add_gate(GateType::kInput, "scan_en");
+  result.scan_in = n.add_gate(GateType::kInput, "scan_in");
+  if (placement) {
+    placement->set_loc(result.scan_enable, Point{0.0, 0.0});
+    placement->set_loc(result.scan_in, Point{0.0, 0.0});
+  }
+
+  GateId previous = result.scan_in;
+  for (std::size_t i = 0; i < chain.order.size(); ++i) {
+    const GateId ff = chain.order[i];
+    WCM_ASSERT_MSG(n.valid(ff) && n.gate(ff).type == GateType::kDff,
+                   "scan chain element is not a flop");
+    WCM_ASSERT(n.gate(ff).fanins.size() == 1);
+    const GateId mission_d = n.gate(ff).fanins[0];
+    const GateId mux =
+        n.add_gate(GateType::kMux, "smux_" + std::to_string(i) + "_" + n.gate(ff).name);
+    register_loc(mux, ff);
+    n.connect(result.scan_enable, mux);  // sel
+    n.connect(mission_d, mux);           // d0: mission mode
+    n.connect(previous, mux);            // d1: shift mode
+    n.replace_fanin(ff, mission_d, mux);
+    result.scan_muxes.push_back(mux);
+    previous = ff;
+  }
+  result.scan_out = n.add_gate(GateType::kOutput, "scan_out");
+  register_loc(result.scan_out, previous);
+  n.connect(previous, result.scan_out);
+
+  n.invalidate_caches();
+  WCM_ASSERT_MSG(n.check().empty(), "scan insertion corrupted the netlist");
+  return result;
+}
+
+}  // namespace wcm

@@ -1,0 +1,44 @@
+// Scan-chain stitching.
+//
+// After wrapper insertion every scan element (original scan flops plus
+// additional wrapper cells) must be ordered into a shift chain. Chain order
+// does not affect the WCM cost metrics, but it dominates test application
+// time and routing, so the stitcher matters for the end-to-end flow and for
+// the examples. Algorithm: greedy nearest-neighbour tour over the placement
+// (the standard industrial heuristic), starting from the element closest to
+// the die origin (where scan-in pads live).
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "place/place.hpp"
+
+namespace wcm {
+
+struct ScanChain {
+  std::vector<GateId> order;   ///< scan-in -> scan-out element order
+  double wire_length_um = 0.0; ///< total stitched routing length
+};
+
+/// Stitches all scan flops of `n`. Placement may be null, in which case the
+/// order is gate-id order and the length is reported as 0.
+ScanChain stitch_scan_chain(const Netlist& n, const Placement* placement);
+
+/// The hardware realised by insert_scan_chain: the muxed-scan transform.
+struct ScanInsertion {
+  GateId scan_enable = kNoGate;  ///< added SE primary input
+  GateId scan_in = kNoGate;      ///< added SI primary input
+  GateId scan_out = kNoGate;     ///< added SO primary output
+  std::vector<GateId> scan_muxes;///< one per chained element, chain order
+};
+
+/// Physically implements `chain` on `n` as a muxed-scan design: every
+/// element's D input gains a MUX(SE, mission_D, previous_Q); the first
+/// element shifts from the new SI pin, the last drives the new SO pin.
+/// With SE = 0 the netlist is functionally unchanged (verified by test);
+/// with SE = 1 it is one long shift register — the structure every scan
+/// pattern of the ATPG engine ultimately rides on.
+ScanInsertion insert_scan_chain(Netlist& n, const ScanChain& chain, Placement* placement);
+
+}  // namespace wcm

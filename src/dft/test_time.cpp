@@ -1,0 +1,15 @@
+#include "dft/test_time.hpp"
+
+namespace wcm {
+
+TestTime estimate_test_time(const Netlist& n, const WrapperPlan& plan, int patterns,
+                            double scan_clock_mhz) {
+  TestTime t;
+  t.chain_length =
+      static_cast<int>(n.scan_flip_flops().size()) + plan.num_additional();
+  t.cycles = static_cast<std::int64_t>(t.chain_length + 1) * patterns + t.chain_length;
+  t.milliseconds = static_cast<double>(t.cycles) / (scan_clock_mhz * 1e3);
+  return t;
+}
+
+}  // namespace wcm

@@ -1,0 +1,35 @@
+// Test application time model.
+//
+// Pre-bond test cost is dominated by scan shifting: every pattern must be
+// shifted through the full chain, so
+//
+//     cycles = (chain_length + 1) * patterns + chain_length
+//
+// (the classic stop-on-last-shift formula: patterns overlap shift-out of
+// pattern i with shift-in of pattern i+1, plus one trailing shift-out).
+//
+// Wrapper-cell minimization shortens the chain: every ADDITIONAL wrapper
+// cell is one more scan element, while a REUSED flop was in the chain
+// already. This module turns a wrapper plan + pattern count into seconds on
+// the tester, which is the number managers actually compare.
+#pragma once
+
+#include <cstdint>
+
+#include "dft/wrapper_plan.hpp"
+#include "netlist/netlist.hpp"
+
+namespace wcm {
+
+struct TestTime {
+  int chain_length = 0;         ///< scan elements: existing flops + added cells
+  std::int64_t cycles = 0;      ///< total scan-clock cycles for the pattern set
+  double milliseconds = 0.0;    ///< at the given scan clock
+};
+
+/// Test time of applying `patterns` vectors through the chain induced by
+/// `plan` on `n`. `scan_clock_mhz` defaults to a typical 50 MHz shift clock.
+TestTime estimate_test_time(const Netlist& n, const WrapperPlan& plan, int patterns,
+                            double scan_clock_mhz = 50.0);
+
+}  // namespace wcm

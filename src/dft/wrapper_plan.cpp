@@ -1,0 +1,41 @@
+#include "dft/wrapper_plan.hpp"
+
+#include <vector>
+
+namespace wcm {
+
+bool WrapperPlan::covers_all_tsvs(const Netlist& n) const {
+  std::vector<int> seen(n.size(), 0);
+  for (const auto& g : groups) {
+    for (GateId t : g.inbound) {
+      if (!n.valid(t) || n.gate(t).type != GateType::kTsvIn) return false;
+      seen[static_cast<std::size_t>(t)]++;
+    }
+    for (GateId t : g.outbound) {
+      if (!n.valid(t) || n.gate(t).type != GateType::kTsvOut) return false;
+      seen[static_cast<std::size_t>(t)]++;
+    }
+  }
+  for (GateId t : n.inbound_tsvs())
+    if (seen[static_cast<std::size_t>(t)] != 1) return false;
+  for (GateId t : n.outbound_tsvs())
+    if (seen[static_cast<std::size_t>(t)] != 1) return false;
+  return true;
+}
+
+WrapperPlan one_cell_per_tsv(const Netlist& n) {
+  WrapperPlan plan;
+  for (GateId t : n.inbound_tsvs()) {
+    WrapperGroup g;
+    g.inbound.push_back(t);
+    plan.groups.push_back(std::move(g));
+  }
+  for (GateId t : n.outbound_tsvs()) {
+    WrapperGroup g;
+    g.outbound.push_back(t);
+    plan.groups.push_back(std::move(g));
+  }
+  return plan;
+}
+
+}  // namespace wcm

@@ -1,0 +1,58 @@
+// The output of any WCM solver: which wrapper cell serves which TSVs.
+//
+// A WrapperGroup is one clique of the paper's clique-partitioning solution —
+// a single physical wrapper cell (either a reused scan flip-flop or one
+// additional dedicated cell) that provides controllability for its inbound
+// TSVs and observability for its outbound TSVs.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace wcm {
+
+struct WrapperGroup {
+  /// Reused scan flip-flop, or kNoGate when an additional cell is inserted.
+  GateId reused_ff = kNoGate;
+  /// Inbound TSVs whose test-mode value this cell drives. All of them (and,
+  /// when reused_ff is set, the flop's own Q) carry the same scan bit — the
+  /// correlation that may cost coverage when fan-out cones overlap.
+  std::vector<GateId> inbound;
+  /// Outbound TSVs this cell captures, XOR-compacted into one scan bit — the
+  /// aliasing that may cost coverage when fan-in cones overlap.
+  std::vector<GateId> outbound;
+
+  bool empty() const { return inbound.empty() && outbound.empty(); }
+};
+
+struct WrapperPlan {
+  std::vector<WrapperGroup> groups;
+
+  /// Number of scan flip-flops serving as wrapper cells.
+  int num_reused() const {
+    int n = 0;
+    for (const auto& g : groups)
+      if (g.reused_ff != kNoGate && !g.empty()) ++n;
+    return n;
+  }
+  /// Number of additional (dedicated) wrapper cells — the paper's headline
+  /// cost metric.
+  int num_additional() const {
+    int n = 0;
+    for (const auto& g : groups)
+      if (g.reused_ff == kNoGate && !g.empty()) ++n;
+    return n;
+  }
+
+  /// True iff every TSV of `n` appears in exactly one group. A plan that
+  /// fails this check is not a legal pre-bond DFT solution.
+  bool covers_all_tsvs(const Netlist& n) const;
+};
+
+/// The trivial solution: one dedicated wrapper cell per TSV (no reuse at
+/// all) — both the initial upper bound of Algorithm 2 and the classic
+/// die-wrapper baseline of Marinissen et al.
+WrapperPlan one_cell_per_tsv(const Netlist& n);
+
+}  // namespace wcm

@@ -1,0 +1,276 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+namespace {
+
+/// Picks a driver from `pool` with a bias toward recently created nodes so
+/// the circuit develops depth and locality instead of a flat fanout soup.
+/// Squaring the uniform variate concentrates picks near the pool tail while
+/// still occasionally reaching far back (long reconvergence, like real RTL).
+GateId pick_local(Rng& rng, const std::vector<GateId>& pool) {
+  WCM_ASSERT(!pool.empty());
+  const double u = rng.uniform();
+  const double biased = 1.0 - u * u;  // density increasing toward 1
+  auto idx = static_cast<std::size_t>(biased * static_cast<double>(pool.size()));
+  if (idx >= pool.size()) idx = pool.size() - 1;
+  return pool[idx];
+}
+
+/// Picks `k` distinct drivers. Duplicate fanins would synthesize away and,
+/// worse, plant redundant (untestable) faults — XOR(a, a) is constant — so
+/// duplicates are excluded outright; arity is clamped by the caller when the
+/// pool is too small.
+std::vector<GateId> pick_distinct(Rng& rng, const std::vector<GateId>& pool, int k) {
+  WCM_ASSERT(static_cast<std::size_t>(k) <= pool.size());
+  std::vector<GateId> picks;
+  picks.reserve(static_cast<std::size_t>(k));
+  int attempts = 0;
+  while (static_cast<int>(picks.size()) < k) {
+    const GateId cand = (attempts++ > 64) ? pool[rng.below(pool.size())]
+                                          : pick_local(rng, pool);
+    if (std::find(picks.begin(), picks.end(), cand) == picks.end()) picks.push_back(cand);
+  }
+  return picks;
+}
+
+/// Gate mix tuned for testability realism: synthesized circuits are mostly
+/// 2-input NAND/NOR/XOR with near-balanced signal probabilities and only a
+/// little redundancy; wide AND/OR towers (signal probability 2^-k) and
+/// heavily correlated reconvergence are what a random graph would otherwise
+/// produce in excess.
+GateType pick_gate_type(Rng& rng, int arity) {
+  if (arity == 1) return rng.chance(0.7) ? GateType::kNot : GateType::kBuf;
+  if (arity == 3 && rng.chance(0.30)) return GateType::kMux;
+  const double roll = rng.uniform();
+  if (roll < 0.22) return GateType::kNand;
+  if (roll < 0.38) return GateType::kNor;
+  if (roll < 0.50) return GateType::kAnd;
+  if (roll < 0.62) return GateType::kOr;
+  if (roll < 0.88) return GateType::kXor;
+  return GateType::kXnor;
+}
+
+int pick_arity(Rng& rng) {
+  const double roll = rng.uniform();
+  if (roll < 0.12) return 1;
+  if (roll < 0.78) return 2;
+  if (roll < 0.98) return 3;
+  return 4;
+}
+
+/// Shared core: builds sources, logic, and sinks. TSV counts of zero turn the
+/// die generator into the monolithic-circuit generator.
+///
+/// The die is built as C loosely-coupled clusters (think: the functional
+/// blocks synthesis preserves). Each cluster owns a share of the sources,
+/// logic, and sinks, and gates draw fanins from their own cluster except for
+/// a small cross-link probability. This matters for fidelity: the WCM cone
+/// rules hinge on most (flop, TSV) pairs having DISJOINT cones, which is
+/// true of real partitioned designs and false of an unstructured random
+/// graph where everything converges on everything.
+Netlist generate_impl(const std::string& name, int num_pis, int num_pos, int num_ffs,
+                      bool scan_ffs, int num_gates, int num_inbound, int num_outbound,
+                      std::uint64_t seed) {
+  WCM_ASSERT_MSG(num_pis >= 1, "need at least one primary input");
+  WCM_ASSERT_MSG(num_gates >= 1, "need at least one logic gate");
+  Rng rng(seed ^ 0xC0FFEE123456789ULL);
+  Netlist nl(name);
+
+  const int num_clusters = std::clamp(num_gates / 60, 1, 64);
+  constexpr double kCrossLinkProb = 0.22;
+
+  // ---- sources, dealt round-robin across clusters ----
+  std::vector<std::vector<GateId>> pool(static_cast<std::size_t>(num_clusters));
+  auto cluster_of = [&](int i) { return static_cast<std::size_t>(i % num_clusters); };
+  for (int i = 0; i < num_pis; ++i)
+    pool[cluster_of(i)].push_back(nl.add_gate(GateType::kInput, "pi" + std::to_string(i)));
+  std::vector<GateId> tsv_ins;
+  for (int i = 0; i < num_inbound; ++i) {
+    const GateId id = nl.add_gate(GateType::kTsvIn, "ti" + std::to_string(i));
+    tsv_ins.push_back(id);
+    pool[cluster_of(i)].push_back(id);
+  }
+  std::vector<GateId> ffs;
+  std::vector<std::size_t> ff_cluster;
+  for (int i = 0; i < num_ffs; ++i) {
+    const GateId id = nl.add_gate(GateType::kDff, "ff" + std::to_string(i));
+    nl.gate(id).is_scan = scan_ffs;
+    ffs.push_back(id);
+    ff_cluster.push_back(cluster_of(i));
+    pool[cluster_of(i)].push_back(id);
+  }
+  for (auto& p : pool) std::shuffle(p.begin(), p.end(), rng);
+
+  // ---- combinational logic, cluster by cluster ----
+  std::vector<GateId> gates;
+  std::vector<std::vector<GateId>> cluster_gates(static_cast<std::size_t>(num_clusters));
+  gates.reserve(static_cast<std::size_t>(num_gates));
+  for (int i = 0; i < num_gates; ++i) {
+    const std::size_t c = cluster_of(i);
+    std::vector<GateId>& local = pool[c];
+    if (local.empty()) {
+      // A cluster that got no sources borrows a neighbour's pool head.
+      local.push_back(pool[(c + 1) % pool.size()].front());
+    }
+    int arity = pick_arity(rng);
+    if (static_cast<std::size_t>(arity) > local.size()) arity = static_cast<int>(local.size());
+    if (arity < 1) arity = 1;
+    GateType type = pick_gate_type(rng, arity);
+    if (type == GateType::kMux && arity != 3) type = GateType::kAnd;
+    if (arity == 1 && (type != GateType::kNot && type != GateType::kBuf))
+      type = GateType::kNot;
+    const GateId id = nl.add_gate(type, "g" + std::to_string(i));
+    auto picks = pick_distinct(rng, local, arity);
+    // Occasionally rewire one fanin across clusters (global signals exist in
+    // real designs too — just rarely).
+    if (num_clusters > 1 && rng.chance(kCrossLinkProb)) {
+      const std::size_t other = (c + 1 + rng.below(static_cast<std::uint64_t>(num_clusters - 1))) %
+                                static_cast<std::size_t>(num_clusters);
+      if (!pool[other].empty()) picks[0] = pick_local(rng, pool[other]);
+    }
+    for (GateId in : picks) nl.connect(in, id);
+    gates.push_back(id);
+    local.push_back(id);
+    cluster_gates[c].push_back(id);
+  }
+
+  // ---- sinks, drawn from their own cluster's gates ----
+  auto pick_driver = [&](std::size_t c) {
+    if (cluster_gates[c].empty()) return pick_local(rng, gates);
+    return pick_local(rng, cluster_gates[c]);
+  };
+
+  for (int i = 0; i < num_pos; ++i) {
+    const GateId po = nl.add_gate(GateType::kOutput, "po" + std::to_string(i));
+    nl.connect(pick_driver(cluster_of(i)), po);
+  }
+  for (int i = 0; i < num_outbound; ++i) {
+    const GateId to = nl.add_gate(GateType::kTsvOut, "to" + std::to_string(i));
+    nl.connect(pick_driver(cluster_of(i)), to);
+  }
+  for (std::size_t i = 0; i < ffs.size(); ++i)
+    nl.connect(pick_driver(ff_cluster[i]), ffs[i]);  // D pins
+
+  // ---- terminate dangling logic ----
+  // Gates that ended up driving nothing get an explicit observation port, as
+  // synthesis would never leave a floating net.
+  int extra = 0;
+  for (GateId g : gates) {
+    if (!nl.gate(g).fanouts.empty()) continue;
+    const GateId po = nl.add_gate(GateType::kOutput, "po_x" + std::to_string(extra++));
+    nl.connect(g, po);
+  }
+
+  // ---- load dangling sources ----
+  // Every inbound TSV must drive logic (a TSV that feeds nothing would not
+  // exist) and, as in the synthesized ITC'99 dies, every flop's Q is used.
+  // Unloaded sources become extra fanins of n-ary gates; arity is flexible.
+  std::vector<GateId> nary;
+  for (GateId g : gates)
+    if (gate_arity(nl.gate(g).type) < 0) nary.push_back(g);
+  auto load_source = [&](GateId src) {
+    if (!nl.gate(src).fanouts.empty()) return;
+    if (!nary.empty()) {
+      nl.connect(src, nary[rng.below(nary.size())]);
+    } else {
+      const GateId po = nl.add_gate(GateType::kOutput, "po_x" + std::to_string(extra++));
+      nl.connect(src, po);
+    }
+  };
+  for (GateId t : tsv_ins) load_source(t);
+  for (GateId ff : ffs) load_source(ff);
+
+  nl.invalidate_caches();
+  WCM_ASSERT_MSG(nl.check().empty(), "generated netlist failed structural check");
+  return nl;
+}
+
+}  // namespace
+
+Netlist generate_die(const DieSpec& spec) {
+  return generate_impl(spec.name, spec.num_pis, spec.num_pos, spec.num_scan_ffs,
+                       /*scan_ffs=*/true, spec.num_gates, spec.num_inbound, spec.num_outbound,
+                       spec.seed);
+}
+
+Netlist generate_circuit(const CircuitSpec& spec) {
+  return generate_impl(spec.name, spec.num_pis, spec.num_pos, spec.num_ffs,
+                       /*scan_ffs=*/true, spec.num_gates, /*num_inbound=*/0,
+                       /*num_outbound=*/0, spec.seed);
+}
+
+// ---- Table II of the paper ----
+
+namespace {
+
+struct DieRow {
+  const char* circuit;
+  int die;
+  int ffs;
+  int gates;
+  int inbound;
+  int outbound;
+};
+
+// Exact per-die characteristics from Table II (the #TSVs column of the paper
+// is always inbound+outbound and is derived, not stored).
+constexpr std::array<DieRow, 24> kTable2{{
+    {"b11", 0, 14, 120, 14, 16},    {"b11", 1, 15, 234, 27, 43},
+    {"b11", 2, 3, 229, 38, 38},     {"b11", 3, 9, 148, 23, 11},
+    {"b12", 0, 7, 304, 23, 27},     {"b12", 1, 18, 397, 41, 41},
+    {"b12", 2, 45, 344, 23, 42},    {"b12", 3, 51, 317, 25, 5},
+    {"b18", 0, 515, 22934, 772, 733},   {"b18", 1, 1033, 26698, 1561, 1875},
+    {"b18", 2, 833, 23575, 1732, 1797}, {"b18", 3, 641, 20825, 810, 771},
+    {"b20", 0, 180, 6937, 251, 363},    {"b20", 1, 49, 8603, 720, 780},
+    {"b20", 2, 118, 8101, 740, 778},    {"b20", 3, 83, 7325, 408, 235},
+    {"b21", 0, 196, 6200, 264, 328},    {"b21", 1, 113, 9172, 836, 775},
+    {"b21", 2, 69, 9093, 837, 895},     {"b21", 3, 52, 6402, 368, 343},
+    {"b22", 0, 225, 9427, 499, 483},    {"b22", 1, 201, 12726, 1006, 1065},
+    {"b22", 2, 181, 13075, 1031, 1064}, {"b22", 3, 6, 11358, 511, 481},
+}};
+
+DieSpec spec_from_row(const DieRow& row) {
+  DieSpec s;
+  s.name = std::string(row.circuit) + "_die" + std::to_string(row.die);
+  s.num_scan_ffs = row.ffs;
+  s.num_gates = row.gates;
+  s.num_inbound = row.inbound;
+  s.num_outbound = row.outbound;
+  // PI/PO counts are not reported by the paper; scale them gently with the
+  // sequential size so small dies keep a testable interface.
+  s.num_pis = std::max(4, row.ffs / 4);
+  s.num_pos = std::max(4, row.ffs / 4);
+  // Deterministic per-die seed: same die -> same netlist, different dies ->
+  // independent streams.
+  s.seed = 0x517CC1B727220A95ULL ^ (static_cast<std::uint64_t>(row.gates) << 17) ^
+           (static_cast<std::uint64_t>(row.ffs) << 3) ^ static_cast<std::uint64_t>(row.die);
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& itc99_circuit_names() {
+  static const std::vector<std::string> kNames{"b11", "b12", "b18", "b20", "b21", "b22"};
+  return kNames;
+}
+
+DieSpec itc99_die_spec(const std::string& circuit, int die) {
+  for (const DieRow& row : kTable2)
+    if (circuit == row.circuit && die == row.die) return spec_from_row(row);
+  WCM_ASSERT_MSG(false, "unknown ITC'99 circuit/die");
+  return {};
+}
+
+std::vector<DieSpec> itc99_all_dies() {
+  std::vector<DieSpec> all;
+  all.reserve(kTable2.size());
+  for (const DieRow& row : kTable2) all.push_back(spec_from_row(row));
+  return all;
+}
+
+}  // namespace wcm

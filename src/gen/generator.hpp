@@ -1,0 +1,76 @@
+// Synthetic benchmark generation.
+//
+// The paper evaluates on six ITC'99 circuits synthesized to 45 nm gate-level
+// netlists and partitioned into four dies each (Table II). Those exact
+// netlists (and the Design Compiler + 3D-Craft flow that produced them) are
+// proprietary, so this module generates deterministic synthetic dies whose
+// headline statistics — #scan flip-flops, #logic gates, #inbound TSVs,
+// #outbound TSVs — match Table II exactly. The generated netlists are real
+// structural netlists with natural cone structure (reconvergent fanout,
+// shared fan-in, sequential boundaries), which is all the WCM algorithms
+// observe; see DESIGN.md §2 for the substitution argument.
+//
+// Two generation paths exist:
+//  * generate_die(): direct per-die generation from a DieSpec (used for all
+//    paper tables so that Table II is reproduced exactly);
+//  * generate_circuit(): monolithic sequential circuit, to be split by the
+//    src/partition + src/place flow into dies with TSVs (used by the
+//    full-3D-flow example and partitioner tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace wcm {
+
+/// Target statistics of one generated die.
+struct DieSpec {
+  std::string name = "die";
+  int num_pis = 8;        ///< primary inputs (kept testable pre-bond)
+  int num_pos = 8;        ///< primary outputs
+  int num_scan_ffs = 16;  ///< scan flip-flops (all flops in ITC'99 dies are scan)
+  int num_gates = 200;    ///< combinational logic gates
+  int num_inbound = 10;   ///< inbound TSVs (die inputs from other dies)
+  int num_outbound = 10;  ///< outbound TSVs (die outputs to other dies)
+  std::uint64_t seed = 1; ///< generation is a pure function of the spec
+};
+
+/// Target statistics of a monolithic (pre-partition) circuit.
+struct CircuitSpec {
+  std::string name = "circuit";
+  int num_pis = 16;
+  int num_pos = 16;
+  int num_ffs = 64;
+  int num_gates = 1000;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a die netlist meeting `spec` exactly:
+///   primary_inputs().size()  == num_pis
+///   inbound_tsvs().size()    == num_inbound
+///   outbound_tsvs().size()   == num_outbound
+///   scan_flip_flops().size() == num_scan_ffs
+///   num_logic_gates()        == num_gates
+/// (primary outputs may exceed num_pos: dangling logic is terminated with
+/// extra observation ports rather than deleted, mirroring how synthesis
+/// never leaves floating nets). The result passes Netlist::check().
+Netlist generate_die(const DieSpec& spec);
+
+/// Generates a monolithic sequential circuit (no TSVs) for the partition flow.
+Netlist generate_circuit(const CircuitSpec& spec);
+
+// ---- the ITC'99-derived benchmark suite of the paper (Table II) ----
+
+/// {"b11","b12","b18","b20","b21","b22"}
+const std::vector<std::string>& itc99_circuit_names();
+
+/// Spec of die `die` (0..3) of `circuit`; aborts on unknown circuit/die.
+DieSpec itc99_die_spec(const std::string& circuit, int die);
+
+/// All 24 dies in paper order (b11 Die0..3, b12 Die0..3, ...).
+std::vector<DieSpec> itc99_all_dies();
+
+}  // namespace wcm

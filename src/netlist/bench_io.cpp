@@ -1,0 +1,246 @@
+#include "netlist/bench_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wcm {
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool valid_ident(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '[' ||
+          c == ']' || c == '$'))
+      return false;
+  }
+  return true;
+}
+
+struct Decl {
+  enum Kind { kInput, kOutput, kTsvIn, kTsvOut } kind;
+  std::string name;
+  int line;
+};
+
+struct Assign {
+  std::string lhs;
+  std::string type_word;  // raw keyword, for scan detection and errors
+  std::vector<std::string> args;
+  int line;
+};
+
+}  // namespace
+
+BenchParseResult read_bench(std::istream& in, std::string netlist_name) {
+  BenchParseResult result;
+  result.netlist.set_name(netlist_name);
+  Netlist& nl = result.netlist;
+
+  auto fail = [&](int line, const std::string& msg) {
+    result.ok = false;
+    result.error = "line " + std::to_string(line) + ": " + msg;
+    return result;
+  };
+
+  std::vector<Decl> decls;
+  std::vector<Assign> assigns;
+
+  // ---- pass 1: tokenize ----
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    if (auto hash = raw.find('#'); hash != std::string::npos) raw.erase(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    const auto paren = line.find('(');
+    if (paren == std::string::npos || line.back() != ')')
+      return fail(lineno, "expected 'PORT(name)' or 'name = TYPE(args)'");
+
+    if (eq == std::string::npos || eq > paren) {
+      // Port declaration.
+      const std::string kw = trim(line.substr(0, paren));
+      const std::string arg = trim(line.substr(paren + 1, line.size() - paren - 2));
+      if (!valid_ident(arg)) return fail(lineno, "bad port name '" + arg + "'");
+      Decl d{Decl::kInput, arg, lineno};
+      if (kw == "INPUT") d.kind = Decl::kInput;
+      else if (kw == "OUTPUT") d.kind = Decl::kOutput;
+      else if (kw == "TSV_IN") d.kind = Decl::kTsvIn;
+      else if (kw == "TSV_OUT") d.kind = Decl::kTsvOut;
+      else return fail(lineno, "unknown port keyword '" + kw + "'");
+      decls.push_back(std::move(d));
+    } else {
+      Assign a;
+      a.lhs = trim(line.substr(0, eq));
+      a.type_word = trim(line.substr(eq + 1, paren - eq - 1));
+      a.line = lineno;
+      if (!valid_ident(a.lhs)) return fail(lineno, "bad signal name '" + a.lhs + "'");
+      std::string args_str = line.substr(paren + 1, line.size() - paren - 2);
+      std::string piece;
+      std::istringstream split(args_str);
+      while (std::getline(split, piece, ',')) {
+        const std::string arg = trim(piece);
+        if (!valid_ident(arg)) return fail(lineno, "bad fanin name '" + arg + "'");
+        a.args.push_back(arg);
+      }
+      assigns.push_back(std::move(a));
+    }
+  }
+
+  // ---- pass 2a: create nodes ----
+  std::unordered_map<std::string, Decl::Kind> port_kind;
+  for (const Decl& d : decls) {
+    if (port_kind.count(d.name)) return fail(d.line, "duplicate port '" + d.name + "'");
+    port_kind.emplace(d.name, d.kind);
+    switch (d.kind) {
+      case Decl::kInput: nl.add_gate(GateType::kInput, d.name); break;
+      case Decl::kTsvIn: nl.add_gate(GateType::kTsvIn, d.name); break;
+      case Decl::kOutput: nl.add_gate(GateType::kOutput, d.name); break;
+      case Decl::kTsvOut: nl.add_gate(GateType::kTsvOut, d.name); break;
+    }
+  }
+
+  // Map assignment lhs -> the gate node that computes it. For sink ports with
+  // a non-BUF driver, a mangled internal node is created and the port hangs
+  // off it; for the common `port = BUF(x)` form the port consumes x directly.
+  struct PendingConnect {
+    GateId sink;
+    std::vector<std::string> fanins;
+    int line;
+  };
+  std::vector<PendingConnect> pending;
+  std::unordered_set<std::string> assigned;
+
+  for (const Assign& a : assigns) {
+    if (!assigned.insert(a.lhs).second)
+      return fail(a.line, "signal '" + a.lhs + "' assigned twice");
+    GateType type;
+    if (!parse_gate_type(a.type_word, type))
+      return fail(a.line, "unknown gate type '" + a.type_word + "'");
+    const int arity = gate_arity(type);
+    if (arity >= 0 && static_cast<int>(a.args.size()) != arity)
+      return fail(a.line, "gate '" + a.lhs + "' expects " + std::to_string(arity) +
+                              " fanins, got " + std::to_string(a.args.size()));
+    if (arity < 0 && a.args.size() < 2)
+      return fail(a.line, "n-ary gate '" + a.lhs + "' needs >= 2 fanins");
+
+    auto kind_it = port_kind.find(a.lhs);
+    if (kind_it != port_kind.end()) {
+      if (kind_it->second == Decl::kInput || kind_it->second == Decl::kTsvIn)
+        return fail(a.line, "source port '" + a.lhs + "' cannot be assigned");
+      const GateId port = nl.find(a.lhs);
+      if (type == GateType::kBuf) {
+        pending.push_back({port, a.args, a.line});
+      } else {
+        std::string drv = a.lhs + "_drv";
+        while (nl.find(drv) != kNoGate) drv += "_";
+        const GateId gid = nl.add_gate(type, drv);
+        if (type == GateType::kDff && a.type_word != "DFF" && a.type_word != "dff")
+          nl.gate(gid).is_scan = true;
+        pending.push_back({gid, a.args, a.line});
+        nl.connect(gid, port);
+      }
+    } else {
+      const GateId gid = nl.add_gate(type, a.lhs);
+      if (type == GateType::kDff) {
+        // SCAN_DFF / SDFF mark scan flops; plain DFF does not.
+        std::string upper = a.type_word;
+        for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        nl.gate(gid).is_scan = (upper != "DFF");
+      }
+      pending.push_back({gid, a.args, a.line});
+    }
+  }
+
+  // ---- pass 2b: connect ----
+  for (const PendingConnect& p : pending) {
+    for (const std::string& fanin : p.fanins) {
+      const GateId src = nl.find(fanin);
+      if (src == kNoGate) return fail(p.line, "undefined signal '" + fanin + "'");
+      nl.connect(src, p.sink);
+    }
+  }
+
+  // Sink ports must have been driven.
+  for (const Decl& d : decls) {
+    if (d.kind != Decl::kOutput && d.kind != Decl::kTsvOut) continue;
+    if (nl.gate(nl.find(d.name)).fanins.empty())
+      return fail(d.line, "sink port '" + d.name + "' is never driven");
+  }
+
+  if (const std::string why = nl.check(); !why.empty()) return fail(0, "netlist check: " + why);
+  result.ok = true;
+  return result;
+}
+
+BenchParseResult read_bench_string(const std::string& text, std::string netlist_name) {
+  std::istringstream in(text);
+  return read_bench(in, std::move(netlist_name));
+}
+
+BenchParseResult read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    BenchParseResult r;
+    r.error = "cannot open '" + path + "'";
+    return r;
+  }
+  // Derive the netlist name from the basename sans extension.
+  std::string name = path;
+  if (auto slash = name.find_last_of('/'); slash != std::string::npos) name.erase(0, slash + 1);
+  if (auto dot = name.find_last_of('.'); dot != std::string::npos) name.erase(dot);
+  return read_bench(in, std::move(name));
+}
+
+void write_bench(const Netlist& n, std::ostream& out) {
+  out << "# netlist: " << n.name() << "\n";
+  for (GateId id : n.primary_inputs()) out << "INPUT(" << n.gate(id).name << ")\n";
+  for (GateId id : n.inbound_tsvs()) out << "TSV_IN(" << n.gate(id).name << ")\n";
+  for (GateId id : n.primary_outputs()) out << "OUTPUT(" << n.gate(id).name << ")\n";
+  for (GateId id : n.outbound_tsvs()) out << "TSV_OUT(" << n.gate(id).name << ")\n";
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const Gate& g = n.gate(static_cast<GateId>(i));
+    if (g.type == GateType::kInput || g.type == GateType::kTsvIn) continue;
+    if (g.type == GateType::kTie0 || g.type == GateType::kTie1) {
+      out << g.name << " = " << gate_type_name(g.type) << "()\n";
+      continue;
+    }
+    std::string_view type_name = gate_type_name(g.type);
+    if (g.type == GateType::kOutput || g.type == GateType::kTsvOut)
+      type_name = "BUF";  // sink ports serialise as identity assignments
+    else if (g.type == GateType::kDff && g.is_scan)
+      type_name = "SCAN_DFF";
+    out << g.name << " = " << type_name << "(";
+    for (std::size_t k = 0; k < g.fanins.size(); ++k)
+      out << (k ? ", " : "") << n.gate(g.fanins[k]).name;
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& n) {
+  std::ostringstream out;
+  write_bench(n, out);
+  return out.str();
+}
+
+bool write_bench_file(const Netlist& n, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_bench(n, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace wcm

@@ -1,0 +1,45 @@
+// Reader/writer for the extended .bench netlist format.
+//
+// The classic ISCAS-89 / ITC'99 .bench grammar is kept intact and extended
+// with two port keywords for 3D dies:
+//
+//   # comment
+//   INPUT(pi0)
+//   OUTPUT(po0)
+//   TSV_IN(ti0)        # inbound TSV: acts as an input, uncontrollable pre-bond
+//   TSV_OUT(to0)       # outbound TSV: acts as an output, unobservable pre-bond
+//   n1 = NAND(pi0, ti0)
+//   f0 = SCAN_DFF(n1)  # DFF marks a plain flop, SCAN_DFF a scan flop
+//   po0 = BUF(f0)
+//   to0 = NOT(n1)
+//
+// OUTPUT/TSV_OUT ports may either be declared and separately assigned (as
+// above) or declared only, in which case a driver with the same name must be
+// defined; the parser then inserts the port node in front of it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace wcm {
+
+struct BenchParseResult {
+  bool ok = false;
+  std::string error;  ///< "line N: message" when !ok
+  Netlist netlist;
+};
+
+BenchParseResult read_bench(std::istream& in, std::string netlist_name = "bench");
+BenchParseResult read_bench_string(const std::string& text, std::string netlist_name = "bench");
+BenchParseResult read_bench_file(const std::string& path);
+
+/// Serialises a netlist in the grammar above. Round-trips with read_bench:
+/// parse(write(n)) is structurally identical to n (same names, types, fanin
+/// order, scan flags).
+void write_bench(const Netlist& n, std::ostream& out);
+std::string write_bench_string(const Netlist& n);
+bool write_bench_file(const Netlist& n, const std::string& path);
+
+}  // namespace wcm

@@ -1,0 +1,110 @@
+#include "netlist/cone.hpp"
+
+#include <algorithm>
+
+namespace wcm {
+namespace {
+
+/// Generic BFS used by the standalone endpoint functions.
+template <bool Forward>
+std::vector<GateId> reach_endpoints(const Netlist& n, GateId start) {
+  std::vector<GateId> endpoints;
+  std::vector<char> visited(n.size(), 0);
+  std::vector<GateId> frontier{start};
+  visited[static_cast<std::size_t>(start)] = 1;
+  while (!frontier.empty()) {
+    const GateId id = frontier.back();
+    frontier.pop_back();
+    const Gate& g = n.gate(id);
+    const auto& next = Forward ? g.fanouts : g.fanins;
+    for (GateId nb : next) {
+      if (visited[static_cast<std::size_t>(nb)]) continue;
+      visited[static_cast<std::size_t>(nb)] = 1;
+      const Gate& gnb = n.gate(nb);
+      const bool endpoint = Forward
+                                ? (is_combinational_sink(gnb.type) || gnb.type == GateType::kDff)
+                                : (gnb.type == GateType::kInput || gnb.type == GateType::kTsvIn ||
+                                   gnb.type == GateType::kDff);
+      if (endpoint) {
+        endpoints.push_back(nb);
+        continue;  // do not cross sequential/port boundaries
+      }
+      frontier.push_back(nb);
+    }
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  return endpoints;
+}
+
+}  // namespace
+
+std::vector<GateId> fanout_endpoints(const Netlist& n, GateId node) {
+  return reach_endpoints<true>(n, node);
+}
+
+std::vector<GateId> fanin_endpoints(const Netlist& n, GateId node) {
+  return reach_endpoints<false>(n, node);
+}
+
+ConeDb::ConeDb(const Netlist& n)
+    : n_(n),
+      sink_index_(n.size(), -1),
+      source_index_(n.size(), -1),
+      fanout_cache_(n.size()),
+      fanin_cache_(n.size()) {
+  for (GateId id : n.primary_outputs()) sink_index_[static_cast<std::size_t>(id)] = 0;
+  for (GateId id : n.outbound_tsvs()) sink_index_[static_cast<std::size_t>(id)] = 0;
+  for (GateId id : n.flip_flops()) sink_index_[static_cast<std::size_t>(id)] = 0;
+  for (GateId id : n.primary_inputs()) source_index_[static_cast<std::size_t>(id)] = 0;
+  for (GateId id : n.inbound_tsvs()) source_index_[static_cast<std::size_t>(id)] = 0;
+  for (GateId id : n.flip_flops()) source_index_[static_cast<std::size_t>(id)] = 0;
+  int next_sink = 0, next_source = 0;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    if (sink_index_[i] == 0) sink_index_[i] = next_sink++;
+    else sink_index_[i] = -1;
+    if (source_index_[i] == 0) source_index_[i] = next_source++;
+    else source_index_[i] = -1;
+  }
+  num_sinks_ = static_cast<std::size_t>(next_sink);
+  num_sources_ = static_cast<std::size_t>(next_source);
+}
+
+const DynBitset& ConeDb::fanout_cone(GateId node) {
+  DynBitset& cached = fanout_cache_[static_cast<std::size_t>(node)];
+  if (cached.size() == 0) {
+    DynBitset bits(num_sinks_ == 0 ? 1 : num_sinks_);
+    for (GateId ep : fanout_endpoints(n_, node))
+      bits.set(static_cast<std::size_t>(sink_index_[static_cast<std::size_t>(ep)]));
+    cached = std::move(bits);
+  }
+  return cached;
+}
+
+const DynBitset& ConeDb::fanin_cone(GateId node) {
+  DynBitset& cached = fanin_cache_[static_cast<std::size_t>(node)];
+  if (cached.size() == 0) {
+    DynBitset bits(num_sources_ == 0 ? 1 : num_sources_);
+    for (GateId ep : fanin_endpoints(n_, node))
+      bits.set(static_cast<std::size_t>(source_index_[static_cast<std::size_t>(ep)]));
+    cached = std::move(bits);
+  }
+  return cached;
+}
+
+bool ConeDb::fanout_overlaps(GateId a, GateId b) {
+  return fanout_cone(a).intersects(fanout_cone(b));
+}
+
+bool ConeDb::fanin_overlaps(GateId a, GateId b) {
+  return fanin_cone(a).intersects(fanin_cone(b));
+}
+
+std::size_t ConeDb::fanout_overlap_count(GateId a, GateId b) {
+  return fanout_cone(a).intersection_count(fanout_cone(b));
+}
+
+std::size_t ConeDb::fanin_overlap_count(GateId a, GateId b) {
+  return fanin_cone(a).intersection_count(fanin_cone(b));
+}
+
+}  // namespace wcm

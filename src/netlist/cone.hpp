@@ -1,0 +1,77 @@
+// Fan-in / fan-out cone analysis.
+//
+// The WCM compatibility rules (paper Fig. 4 / Algorithm 1 line 19) are stated
+// in terms of cone endpoints:
+//   * the fan-out cone of a node is the set of observation points (primary
+//     outputs, outbound TSVs, flip-flop D-pins) its value can reach through
+//     combinational logic;
+//   * the fan-in cone is the set of control points (primary inputs, inbound
+//     TSVs, flip-flop Q-pins) that can influence it.
+//
+// Sharing a scan FF with an inbound TSV is "safe" (no testability loss) when
+// their fan-OUT cones are disjoint; with an outbound TSV when their fan-IN
+// cones are disjoint. ConeDb precomputes endpoint bitsets for the nodes the
+// WCM graph cares about so that overlap queries during edge construction are
+// O(#endpoints / 64).
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/bitset.hpp"
+
+namespace wcm {
+
+/// Combinational forward reachability from `node` to sink endpoints.
+/// Traversal starts at node's combinational fanouts; a DFF encountered
+/// forward contributes its D-pin as an endpoint and is not crossed.
+std::vector<GateId> fanout_endpoints(const Netlist& n, GateId node);
+
+/// Combinational backward reachability from `node` to source endpoints.
+/// A DFF encountered backward contributes its Q-pin as an endpoint and is not
+/// crossed.
+std::vector<GateId> fanin_endpoints(const Netlist& n, GateId node);
+
+/// Precomputed cone-endpoint bitsets for overlap queries.
+///
+/// Endpoint universes are fixed at construction: the sink universe indexes
+/// all POs, outbound TSVs, and DFFs (as D-pin observation points); the source
+/// universe indexes all PIs, inbound TSVs, and DFFs (as Q-pin control
+/// points). Cones are computed lazily per node and cached.
+class ConeDb {
+ public:
+  explicit ConeDb(const Netlist& n);
+
+  /// Bitset over the sink universe for node's fan-out cone.
+  const DynBitset& fanout_cone(GateId node);
+  /// Bitset over the source universe for node's fan-in cone.
+  const DynBitset& fanin_cone(GateId node);
+
+  /// Overlap predicates used by graph construction. For a (scan-FF, TSV)
+  /// pair the relevant cone depends on TSV direction; for TSV-TSV pairs both
+  /// same-direction cones are compared.
+  bool fanout_overlaps(GateId a, GateId b);
+  bool fanin_overlaps(GateId a, GateId b);
+
+  /// Size of the shared portion — proxy for how much testability is at risk
+  /// when sharing despite overlap (larger shared cone -> more faults whose
+  /// detection requires independent values).
+  std::size_t fanout_overlap_count(GateId a, GateId b);
+  std::size_t fanin_overlap_count(GateId a, GateId b);
+
+  std::size_t sink_universe_size() const { return sink_index_.size(); }
+  std::size_t source_universe_size() const { return source_index_.size(); }
+
+ private:
+  const Netlist& n_;
+  // endpoint -> dense index, kNoGate-free maps stored as vectors over GateId
+  std::vector<int> sink_index_;    // gate id -> index in sink universe, -1 if none
+  std::vector<int> source_index_;  // gate id -> index in source universe, -1 if none
+  std::size_t num_sinks_ = 0;
+  std::size_t num_sources_ = 0;
+
+  std::vector<DynBitset> fanout_cache_;  // indexed by gate id; empty() = not computed
+  std::vector<DynBitset> fanin_cache_;
+};
+
+}  // namespace wcm

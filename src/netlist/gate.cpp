@@ -1,0 +1,66 @@
+#include "netlist/gate.hpp"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace wcm {
+
+std::string_view gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::kInput: return "INPUT";
+    case GateType::kOutput: return "OUTPUT";
+    case GateType::kTsvIn: return "TSV_IN";
+    case GateType::kTsvOut: return "TSV_OUT";
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kAnd: return "AND";
+    case GateType::kNand: return "NAND";
+    case GateType::kOr: return "OR";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+    case GateType::kMux: return "MUX";
+    case GateType::kDff: return "DFF";
+    case GateType::kTie0: return "TIE0";
+    case GateType::kTie1: return "TIE1";
+  }
+  return "?";
+}
+
+bool parse_gate_type(std::string_view name, GateType& out) {
+  std::string upper(name);
+  for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  struct Entry {
+    std::string_view key;
+    GateType type;
+  };
+  // NOT is also spelled INV in some netlists; BUF as BUFF in ISCAS-89.
+  static constexpr std::array<Entry, 16> kTable{{
+      {"BUF", GateType::kBuf},
+      {"BUFF", GateType::kBuf},
+      {"NOT", GateType::kNot},
+      {"INV", GateType::kNot},
+      {"AND", GateType::kAnd},
+      {"NAND", GateType::kNand},
+      {"OR", GateType::kOr},
+      {"NOR", GateType::kNor},
+      {"XOR", GateType::kXor},
+      {"XNOR", GateType::kXnor},
+      {"MUX", GateType::kMux},
+      {"DFF", GateType::kDff},
+      {"SCAN_DFF", GateType::kDff},
+      {"SDFF", GateType::kDff},
+      {"TIE0", GateType::kTie0},
+      {"TIE1", GateType::kTie1},
+  }};
+  for (const Entry& e : kTable) {
+    if (upper == e.key) {
+      out = e.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace wcm

@@ -1,0 +1,171 @@
+// Gate-level primitives: the cell types a synthesized die netlist may
+// contain, and their bit-parallel logic evaluation.
+//
+// The evaluation functions operate on 64-bit words so that logic simulation
+// and fault simulation process 64 patterns per gate visit (the classic
+// parallel-pattern single-fault propagation scheme).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+/// Every node in a Netlist is a "gate" whose identity doubles as its output
+/// net (single-output cells only, as in ISCAS/ITC benchmark formats).
+enum class GateType : std::uint8_t {
+  kInput,    ///< primary input port (no fanins)
+  kOutput,   ///< primary output port (one fanin, identity function)
+  kTsvIn,    ///< inbound TSV: drives die logic, uncontrollable pre-bond
+  kTsvOut,   ///< outbound TSV: driven by die logic, unobservable pre-bond
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kMux,      ///< fanins = {sel, d0, d1}; out = sel ? d1 : d0
+  kDff,      ///< D flip-flop; fanin = {D}; output net is Q
+  kTie0,     ///< constant 0
+  kTie1,     ///< constant 1
+};
+
+constexpr bool is_port(GateType t) {
+  return t == GateType::kInput || t == GateType::kOutput || t == GateType::kTsvIn ||
+         t == GateType::kTsvOut;
+}
+
+/// True for node kinds that source combinational value without combinational
+/// fanins: primary inputs, inbound TSVs, flip-flop outputs, and constants.
+constexpr bool is_combinational_source(GateType t) {
+  return t == GateType::kInput || t == GateType::kTsvIn || t == GateType::kDff ||
+         t == GateType::kTie0 || t == GateType::kTie1;
+}
+
+/// True for node kinds that sink combinational value without combinational
+/// fanouts: primary outputs, outbound TSVs. (DFF D-pins also sink, but the
+/// DFF node itself is classified as a source because its output is Q.)
+constexpr bool is_combinational_sink(GateType t) {
+  return t == GateType::kOutput || t == GateType::kTsvOut;
+}
+
+constexpr bool is_tsv(GateType t) { return t == GateType::kTsvIn || t == GateType::kTsvOut; }
+
+/// Expected fanin arity; -1 means "2 or more" (n-ary associative gates).
+constexpr int gate_arity(GateType t) {
+  switch (t) {
+    case GateType::kInput:
+    case GateType::kTsvIn:
+    case GateType::kTie0:
+    case GateType::kTie1:
+      return 0;
+    case GateType::kOutput:
+    case GateType::kTsvOut:
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kDff:
+      return 1;
+    case GateType::kMux:
+      return 3;
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return -1;
+  }
+  return -1;
+}
+
+std::string_view gate_type_name(GateType t);
+
+/// Parses a .bench-style gate keyword ("NAND", "dff", ...). Returns true on
+/// success. Port keywords (INPUT/OUTPUT/TSV_IN/TSV_OUT) are handled by the
+/// parser separately and are not accepted here.
+bool parse_gate_type(std::string_view name, GateType& out);
+
+/// Bit-parallel evaluation of one gate over 64 patterns.
+/// `ins[i]` is the word of fanin i, in fanin order.
+inline std::uint64_t eval_gate(GateType t, std::span<const std::uint64_t> ins) {
+  switch (t) {
+    case GateType::kBuf:
+    case GateType::kOutput:
+    case GateType::kTsvOut:
+    case GateType::kDff:  // combinational view: D passes through at capture
+      return ins[0];
+    case GateType::kNot:
+      return ~ins[0];
+    case GateType::kAnd: {
+      std::uint64_t v = ~0ULL;
+      for (std::uint64_t w : ins) v &= w;
+      return v;
+    }
+    case GateType::kNand: {
+      std::uint64_t v = ~0ULL;
+      for (std::uint64_t w : ins) v &= w;
+      return ~v;
+    }
+    case GateType::kOr: {
+      std::uint64_t v = 0;
+      for (std::uint64_t w : ins) v |= w;
+      return v;
+    }
+    case GateType::kNor: {
+      std::uint64_t v = 0;
+      for (std::uint64_t w : ins) v |= w;
+      return ~v;
+    }
+    case GateType::kXor: {
+      std::uint64_t v = 0;
+      for (std::uint64_t w : ins) v ^= w;
+      return v;
+    }
+    case GateType::kXnor: {
+      std::uint64_t v = 0;
+      for (std::uint64_t w : ins) v ^= w;
+      return ~v;
+    }
+    case GateType::kMux:
+      return (ins[0] & ins[2]) | (~ins[0] & ins[1]);
+    case GateType::kTie0:
+      return 0;
+    case GateType::kTie1:
+      return ~0ULL;
+    case GateType::kInput:
+    case GateType::kTsvIn:
+      WCM_ASSERT_MSG(false, "source nodes have no evaluation");
+  }
+  return 0;
+}
+
+/// Controlling value handling for PODEM: returns true and sets `value` if the
+/// gate has a controlling input value (AND/NAND: 0, OR/NOR: 1).
+constexpr bool controlling_value(GateType t, bool& value) {
+  switch (t) {
+    case GateType::kAnd:
+    case GateType::kNand:
+      value = false;
+      return true;
+    case GateType::kOr:
+    case GateType::kNor:
+      value = true;
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True if the gate output inverts the "natural" polarity of its inputs
+/// (NAND/NOR/NOT/XNOR). Used by PODEM backtrace parity tracking.
+constexpr bool inverting(GateType t) {
+  return t == GateType::kNand || t == GateType::kNor || t == GateType::kNot ||
+         t == GateType::kXnor;
+}
+
+}  // namespace wcm

@@ -1,0 +1,225 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+GateId Netlist::add_gate(GateType type, std::string name) {
+  WCM_ASSERT_MSG(!name.empty(), "gate name must be non-empty");
+  WCM_ASSERT_MSG(by_name_.find(name) == by_name_.end(), "duplicate gate name");
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.type = type;
+  g.name = name;
+  gates_.push_back(std::move(g));
+  by_name_.emplace(std::move(name), id);
+  class_cache_valid_ = false;
+  return id;
+}
+
+void Netlist::connect(GateId from, GateId to) {
+  WCM_ASSERT(valid(from) && valid(to));
+  gates_[static_cast<std::size_t>(to)].fanins.push_back(from);
+  gates_[static_cast<std::size_t>(from)].fanouts.push_back(to);
+}
+
+void Netlist::replace_fanin(GateId gid, GateId old_in, GateId new_in) {
+  WCM_ASSERT(valid(gid) && valid(old_in) && valid(new_in));
+  Gate& g = gate(gid);
+  bool found = false;
+  for (GateId& in : g.fanins) {
+    if (in == old_in) {
+      in = new_in;
+      found = true;
+    }
+  }
+  WCM_ASSERT_MSG(found, "replace_fanin: old_in is not a fanin of gate");
+  auto& old_fo = gate(old_in).fanouts;
+  old_fo.erase(std::remove(old_fo.begin(), old_fo.end(), gid), old_fo.end());
+  gate(new_in).fanouts.push_back(gid);
+}
+
+void Netlist::transfer_fanouts(GateId from, GateId to) {
+  WCM_ASSERT(valid(from) && valid(to) && from != to);
+  // Copy: replace_fanin mutates gate(from).fanouts while we iterate.
+  const std::vector<GateId> sinks = gate(from).fanouts;
+  for (GateId sink : sinks) replace_fanin(sink, from, to);
+}
+
+GateId Netlist::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoGate : it->second;
+}
+
+void Netlist::ensure_class_cache() const {
+  if (class_cache_valid_) return;
+  pis_.clear();
+  pos_.clear();
+  tsv_in_.clear();
+  tsv_out_.clear();
+  ffs_.clear();
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const auto id = static_cast<GateId>(i);
+    switch (gates_[i].type) {
+      case GateType::kInput: pis_.push_back(id); break;
+      case GateType::kOutput: pos_.push_back(id); break;
+      case GateType::kTsvIn: tsv_in_.push_back(id); break;
+      case GateType::kTsvOut: tsv_out_.push_back(id); break;
+      case GateType::kDff: ffs_.push_back(id); break;
+      default: break;
+    }
+  }
+  class_cache_valid_ = true;
+}
+
+const std::vector<GateId>& Netlist::primary_inputs() const {
+  ensure_class_cache();
+  return pis_;
+}
+const std::vector<GateId>& Netlist::primary_outputs() const {
+  ensure_class_cache();
+  return pos_;
+}
+const std::vector<GateId>& Netlist::inbound_tsvs() const {
+  ensure_class_cache();
+  return tsv_in_;
+}
+const std::vector<GateId>& Netlist::outbound_tsvs() const {
+  ensure_class_cache();
+  return tsv_out_;
+}
+const std::vector<GateId>& Netlist::flip_flops() const {
+  ensure_class_cache();
+  return ffs_;
+}
+
+std::vector<GateId> Netlist::scan_flip_flops() const {
+  std::vector<GateId> scan;
+  for (GateId ff : flip_flops())
+    if (gate(ff).is_scan) scan.push_back(ff);
+  return scan;
+}
+
+std::size_t Netlist::num_logic_gates() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (is_port(g.type) || g.type == GateType::kDff || g.type == GateType::kTie0 ||
+        g.type == GateType::kTie1)
+      continue;
+    ++n;
+  }
+  return n;
+}
+
+void Netlist::invalidate_caches() { class_cache_valid_ = false; }
+
+std::vector<GateId> Netlist::topo_order() const {
+  // Kahn's algorithm over the combinational view: DFF outputs are sources,
+  // DFF D-pins are sinks (the DFF node is emitted as a source and its fanin
+  // edge is not traversed).
+  std::vector<int> pending(gates_.size(), 0);
+  std::vector<GateId> order;
+  order.reserve(gates_.size());
+  std::vector<GateId> ready;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (is_combinational_source(g.type)) {
+      ready.push_back(static_cast<GateId>(i));
+    } else {
+      pending[i] = static_cast<int>(g.fanins.size());
+      if (pending[i] == 0) ready.push_back(static_cast<GateId>(i));  // dangling gate
+    }
+  }
+  while (!ready.empty()) {
+    const GateId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (GateId out : gates_[static_cast<std::size_t>(id)].fanouts) {
+      const Gate& sink = gates_[static_cast<std::size_t>(out)];
+      if (is_combinational_source(sink.type)) continue;  // DFF D-pin edge: sequential
+      if (--pending[static_cast<std::size_t>(out)] == 0) ready.push_back(out);
+    }
+  }
+  WCM_ASSERT_MSG(order.size() == gates_.size(), "combinational loop in netlist");
+  return order;
+}
+
+bool Netlist::has_combinational_loop() const {
+  std::vector<int> pending(gates_.size(), 0);
+  std::vector<GateId> ready;
+  std::size_t emitted = 0;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (is_combinational_source(g.type) || g.fanins.empty())
+      ready.push_back(static_cast<GateId>(i));
+    else
+      pending[i] = static_cast<int>(g.fanins.size());
+  }
+  while (!ready.empty()) {
+    const GateId id = ready.back();
+    ready.pop_back();
+    ++emitted;
+    for (GateId out : gates_[static_cast<std::size_t>(id)].fanouts) {
+      if (is_combinational_source(gates_[static_cast<std::size_t>(out)].type)) continue;
+      if (--pending[static_cast<std::size_t>(out)] == 0) ready.push_back(out);
+    }
+  }
+  return emitted != gates_.size();
+}
+
+std::vector<int> Netlist::logic_levels() const {
+  std::vector<int> level(gates_.size(), 0);
+  for (GateId id : topo_order()) {
+    const Gate& g = gates_[static_cast<std::size_t>(id)];
+    if (is_combinational_source(g.type)) {
+      level[static_cast<std::size_t>(id)] = 0;
+      continue;
+    }
+    int lv = 0;
+    for (GateId in : g.fanins)
+      lv = std::max(lv, level[static_cast<std::size_t>(in)] + 1);
+    level[static_cast<std::size_t>(id)] = lv;
+  }
+  return level;
+}
+
+std::string Netlist::check() const {
+  std::ostringstream why;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    const int arity = gate_arity(g.type);
+    if (arity >= 0 && static_cast<int>(g.fanins.size()) != arity) {
+      why << "gate '" << g.name << "' (" << gate_type_name(g.type) << ") has "
+          << g.fanins.size() << " fanins, expected " << arity;
+      return why.str();
+    }
+    if (arity < 0 && g.fanins.size() < 2) {
+      why << "n-ary gate '" << g.name << "' has fewer than 2 fanins";
+      return why.str();
+    }
+    if (is_combinational_sink(g.type) && !g.fanouts.empty()) {
+      why << "sink '" << g.name << "' has fanouts";
+      return why.str();
+    }
+    for (GateId in : g.fanins) {
+      if (!valid(in)) {
+        why << "gate '" << g.name << "' has invalid fanin id";
+        return why.str();
+      }
+      const auto& fo = gates_[static_cast<std::size_t>(in)].fanouts;
+      if (std::count(fo.begin(), fo.end(), static_cast<GateId>(i)) <
+          std::count(g.fanins.begin(), g.fanins.end(), in)) {
+        why << "fanin/fanout asymmetry between '" << gates_[static_cast<std::size_t>(in)].name
+            << "' and '" << g.name << "'";
+        return why.str();
+      }
+    }
+  }
+  if (has_combinational_loop()) return "combinational loop";
+  return {};
+}
+
+}  // namespace wcm

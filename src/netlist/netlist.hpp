@@ -1,0 +1,118 @@
+// In-memory gate-level netlist of one 3D-IC die.
+//
+// Representation: flat vector of gates indexed by GateId; a gate's identity
+// doubles as its (single) output net, matching the ISCAS/ITC benchmark
+// convention. Fanin order is significant (MUX select, DFF D). The structure
+// is mutable — DFT insertion rewires it — but most analyses treat it as
+// frozen and cache derived data (levels, cones) externally.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace wcm {
+
+using GateId = std::int32_t;
+inline constexpr GateId kNoGate = -1;
+
+struct Gate {
+  GateType type = GateType::kBuf;
+  std::string name;
+  std::vector<GateId> fanins;
+  std::vector<GateId> fanouts;
+  /// True for DFFs stitched into a scan chain (all DFFs in synthesized ITC'99
+  /// dies are scan flops; DFT insertion may add non-scan helper state).
+  bool is_scan = false;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // ---- construction ----
+
+  /// Adds a gate with no connections; name must be unique and non-empty.
+  GateId add_gate(GateType type, std::string name);
+
+  /// Appends `from` to `to`'s fanins and `to` to `from`'s fanouts.
+  void connect(GateId from, GateId to);
+
+  /// Replaces fanin `old_in` of `gate` with `new_in` (all occurrences),
+  /// updating both fanout lists. Used by DFT rewiring.
+  void replace_fanin(GateId gate, GateId old_in, GateId new_in);
+
+  /// Moves every fanout of `from` onto `to` (i.e. `to` now drives everything
+  /// `from` drove). `from` keeps its own fanins. Used when inserting wrapper
+  /// muxes in front of a TSV's load cone.
+  void transfer_fanouts(GateId from, GateId to);
+
+  // ---- access ----
+
+  std::size_t size() const { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_[static_cast<std::size_t>(id)]; }
+  Gate& gate(GateId id) { return gates_[static_cast<std::size_t>(id)]; }
+  bool valid(GateId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < gates_.size();
+  }
+
+  /// Name lookup; kNoGate if absent.
+  GateId find(const std::string& name) const;
+
+  // ---- classified node lists (recomputed on demand, cached) ----
+
+  const std::vector<GateId>& primary_inputs() const;
+  const std::vector<GateId>& primary_outputs() const;
+  const std::vector<GateId>& inbound_tsvs() const;
+  const std::vector<GateId>& outbound_tsvs() const;
+  const std::vector<GateId>& flip_flops() const;
+  std::vector<GateId> scan_flip_flops() const;
+
+  /// Number of combinational gates (excludes ports, TSVs, DFFs, ties) — the
+  /// "#gates" column of the paper's Table II.
+  std::size_t num_logic_gates() const;
+
+  /// Invalidate cached classifications after structural edits.
+  void invalidate_caches();
+
+  // ---- analyses ----
+
+  /// Topological order of the combinational core: sources (PI/TSV-in/DFF-Q/
+  /// tie) first, then gates in dependency order, sinks last. Aborts the
+  /// program if a combinational loop exists (check with has_combinational_loop
+  /// first when the input is untrusted).
+  std::vector<GateId> topo_order() const;
+
+  /// Detects combinational cycles (paths through non-DFF gates).
+  bool has_combinational_loop() const;
+
+  /// Per-gate logic depth (sources = 0). Same order as gate ids.
+  std::vector<int> logic_levels() const;
+
+  /// Structural sanity: arity correctness, fanin/fanout symmetry, port rules
+  /// (sources have no fanins, sinks have no fanouts and exactly one fanin).
+  /// Returns an empty string when healthy, else a description of the first
+  /// violation found.
+  std::string check() const;
+
+ private:
+  void ensure_class_cache() const;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::unordered_map<std::string, GateId> by_name_;
+
+  // classification caches
+  mutable bool class_cache_valid_ = false;
+  mutable std::vector<GateId> pis_, pos_, tsv_in_, tsv_out_, ffs_;
+};
+
+}  // namespace wcm

@@ -1,0 +1,356 @@
+#include "netlist/optimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+namespace {
+
+/// Resolved value of an original node: a constant or a node of the netlist
+/// being built.
+struct Lit {
+  enum Kind { kConst0, kConst1, kNode } kind = kNode;
+  GateId node = kNoGate;
+
+  static Lit c0() { return {kConst0, kNoGate}; }
+  static Lit c1() { return {kConst1, kNoGate}; }
+  static Lit of(GateId id) { return {kNode, id}; }
+  bool is_const() const { return kind != kNode; }
+  bool cval() const { return kind == kConst1; }
+};
+
+class Rebuilder {
+ public:
+  explicit Rebuilder(const Netlist& old, OptimizeStats& stats) : old_(old), stats_(stats) {
+    out_.set_name(old.name());
+  }
+
+  Netlist run() {
+    build();
+    return sweep();
+  }
+
+ private:
+  // ---- small helpers over the netlist being built ----
+
+  GateId fresh(GateType type, const std::string& preferred) {
+    std::string name = preferred;
+    int suffix = 0;
+    while (out_.find(name) != kNoGate) name = preferred + "_opt" + std::to_string(suffix++);
+    return out_.add_gate(type, name);
+  }
+
+  GateId materialize(Lit lit, const std::string& context) {
+    if (lit.kind == Lit::kNode) return lit.node;
+    GateId& tie = lit.cval() ? tie1_ : tie0_;
+    if (tie == kNoGate)
+      tie = fresh(lit.cval() ? GateType::kTie1 : GateType::kTie0,
+                  lit.cval() ? "tie1_" + context : "tie0_" + context);
+    return tie;
+  }
+
+  /// NOT with double-negation cancelling and structural hashing.
+  Lit make_not(Lit in, const std::string& name) {
+    if (in.is_const()) return in.cval() ? Lit::c0() : Lit::c1();
+    if (auto it = inv_of_.find(in.node); it != inv_of_.end()) {
+      ++stats_.identities_collapsed;
+      return Lit::of(it->second);
+    }
+    const GateId id = make_gate(GateType::kNot, {in.node}, name);
+    inv_of_.emplace(id, in.node);
+    inv_of_.emplace(in.node, id);
+    return Lit::of(id);
+  }
+
+  /// Creates (or reuses via structural hash) a gate over >= 1 node fanins.
+  GateId make_gate(GateType type, std::vector<GateId> fanins, const std::string& name) {
+    const bool commutative = type != GateType::kMux && type != GateType::kNot &&
+                             type != GateType::kBuf;
+    if (commutative) std::sort(fanins.begin(), fanins.end());
+    std::string key = std::to_string(static_cast<int>(type));
+    for (GateId f : fanins) key += "," + std::to_string(f);
+    if (auto it = hash_.find(key); it != hash_.end()) {
+      ++stats_.duplicates_merged;
+      return it->second;
+    }
+    const GateId id = fresh(type, name);
+    for (GateId f : fanins) out_.connect(f, id);
+    hash_.emplace(std::move(key), id);
+    return id;
+  }
+
+  bool complementary(GateId a, GateId b) const {
+    auto it = inv_of_.find(a);
+    return it != inv_of_.end() && it->second == b;
+  }
+
+  // ---- per-type simplification ----
+
+  Lit simplify_andor(const Gate& g, std::vector<Lit> ins) {
+    const bool is_and = g.type == GateType::kAnd || g.type == GateType::kNand;
+    const bool inverted = g.type == GateType::kNand || g.type == GateType::kNor;
+    const Lit controlling = is_and ? Lit::c0() : Lit::c1();
+    const Lit neutral = is_and ? Lit::c1() : Lit::c0();
+
+    std::vector<GateId> kept;
+    for (const Lit& in : ins) {
+      if (in.is_const()) {
+        if (in.kind == controlling.kind) {
+          ++stats_.constants_folded;
+          return inverted ? (controlling.cval() ? Lit::c0() : Lit::c1()) : controlling;
+        }
+        ++stats_.constants_folded;
+        continue;  // neutral: drop
+      }
+      kept.push_back(in.node);
+    }
+    std::sort(kept.begin(), kept.end());
+    kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+    // x op ~x hits the controlling value.
+    for (std::size_t i = 0; i + 1 < kept.size(); ++i)
+      for (std::size_t j = i + 1; j < kept.size(); ++j)
+        if (complementary(kept[i], kept[j])) {
+          ++stats_.identities_collapsed;
+          return inverted ? (controlling.cval() ? Lit::c0() : Lit::c1()) : controlling;
+        }
+    if (kept.empty()) {
+      ++stats_.constants_folded;
+      return inverted ? (neutral.cval() ? Lit::c0() : Lit::c1()) : neutral;
+    }
+    if (kept.size() == 1) {
+      ++stats_.identities_collapsed;
+      return inverted ? make_not(Lit::of(kept[0]), old_name(g)) : Lit::of(kept[0]);
+    }
+    const GateType base = is_and ? (inverted ? GateType::kNand : GateType::kAnd)
+                                 : (inverted ? GateType::kNor : GateType::kOr);
+    return Lit::of(make_gate(base, kept, old_name(g)));
+  }
+
+  Lit simplify_xor(const Gate& g, std::vector<Lit> ins) {
+    bool parity = g.type == GateType::kXnor;
+    std::vector<GateId> kept;
+    for (const Lit& in : ins) {
+      if (in.is_const()) {
+        parity ^= in.cval();
+        ++stats_.constants_folded;
+        continue;
+      }
+      kept.push_back(in.node);
+    }
+    std::sort(kept.begin(), kept.end());
+    // Equal pairs cancel; complementary pairs cancel with a toggle.
+    std::vector<GateId> reduced;
+    for (GateId id : kept) {
+      if (!reduced.empty() && reduced.back() == id) {
+        reduced.pop_back();
+        ++stats_.identities_collapsed;
+        continue;
+      }
+      reduced.push_back(id);
+    }
+    for (std::size_t i = 0; i < reduced.size();) {
+      bool cancelled = false;
+      for (std::size_t j = i + 1; j < reduced.size(); ++j) {
+        if (complementary(reduced[i], reduced[j])) {
+          reduced.erase(reduced.begin() + static_cast<std::ptrdiff_t>(j));
+          reduced.erase(reduced.begin() + static_cast<std::ptrdiff_t>(i));
+          parity = !parity;
+          ++stats_.identities_collapsed;
+          cancelled = true;
+          break;
+        }
+      }
+      if (!cancelled) ++i;
+    }
+    if (reduced.empty()) {
+      ++stats_.constants_folded;
+      return parity ? Lit::c1() : Lit::c0();
+    }
+    if (reduced.size() == 1) {
+      ++stats_.identities_collapsed;
+      return parity ? make_not(Lit::of(reduced[0]), old_name(g)) : Lit::of(reduced[0]);
+    }
+    return Lit::of(
+        make_gate(parity ? GateType::kXnor : GateType::kXor, reduced, old_name(g)));
+  }
+
+  Lit simplify_mux(const Gate& g, const std::vector<Lit>& ins) {
+    const Lit sel = ins[0], d0 = ins[1], d1 = ins[2];
+    if (sel.is_const()) {
+      ++stats_.constants_folded;
+      return sel.cval() ? d1 : d0;
+    }
+    auto same = [](const Lit& a, const Lit& b) {
+      return a.kind == b.kind && a.node == b.node;
+    };
+    if (same(d0, d1)) {
+      ++stats_.identities_collapsed;
+      return d0;
+    }
+    if (d0.is_const() && d1.is_const()) {
+      // (0,1) -> sel; (1,0) -> ~sel.
+      ++stats_.constants_folded;
+      return d1.cval() ? sel : make_not(sel, old_name(g));
+    }
+    const std::string ctx = old_name(g);
+    return Lit::of(make_gate(
+        GateType::kMux,
+        {sel.node, materialize(d0, ctx + "_d0"), materialize(d1, ctx + "_d1")}, ctx));
+  }
+
+  static std::string old_name(const Gate& g) { return g.name; }
+
+  // ---- main passes ----
+
+  void build() {
+    lit_.assign(old_.size(), Lit::c0());
+
+    // Sources and flops keep their identity (and names).
+    for (std::size_t i = 0; i < old_.size(); ++i) {
+      const Gate& g = old_.gate(static_cast<GateId>(i));
+      if (g.type == GateType::kInput || g.type == GateType::kTsvIn ||
+          g.type == GateType::kDff) {
+        const GateId id = out_.add_gate(g.type, g.name);
+        out_.gate(id).is_scan = g.is_scan;
+        lit_[i] = Lit::of(id);
+      } else if (g.type == GateType::kTie0) {
+        lit_[i] = Lit::c0();
+      } else if (g.type == GateType::kTie1) {
+        lit_[i] = Lit::c1();
+      }
+    }
+
+    for (GateId id : old_.topo_order()) {
+      const Gate& g = old_.gate(id);
+      const auto idx = static_cast<std::size_t>(id);
+      std::vector<Lit> ins;
+      for (GateId in : g.fanins) ins.push_back(lit_[static_cast<std::size_t>(in)]);
+      switch (g.type) {
+        case GateType::kInput:
+        case GateType::kTsvIn:
+        case GateType::kDff:
+        case GateType::kTie0:
+        case GateType::kTie1:
+          break;  // handled above
+        case GateType::kBuf:
+          ++stats_.identities_collapsed;
+          lit_[idx] = ins[0];
+          break;
+        case GateType::kNot:
+          lit_[idx] = make_not(ins[0], g.name);
+          break;
+        case GateType::kAnd:
+        case GateType::kNand:
+        case GateType::kOr:
+        case GateType::kNor:
+          lit_[idx] = simplify_andor(g, std::move(ins));
+          break;
+        case GateType::kXor:
+        case GateType::kXnor:
+          lit_[idx] = simplify_xor(g, std::move(ins));
+          break;
+        case GateType::kMux:
+          lit_[idx] = simplify_mux(g, ins);
+          break;
+        case GateType::kOutput:
+        case GateType::kTsvOut: {
+          const GateId port = out_.add_gate(g.type, g.name);
+          out_.connect(materialize(ins[0], g.name), port);
+          lit_[idx] = Lit::of(port);
+          break;
+        }
+      }
+    }
+
+    // Flop D pins.
+    for (std::size_t i = 0; i < old_.size(); ++i) {
+      const Gate& g = old_.gate(static_cast<GateId>(i));
+      if (g.type != GateType::kDff) continue;
+      const Lit d = lit_[static_cast<std::size_t>(g.fanins[0])];
+      out_.connect(materialize(d, g.name + "_d"), lit_[i].node);
+    }
+    out_.invalidate_caches();
+  }
+
+  /// Removes combinational logic that feeds nothing (backward reachability
+  /// from ports and flop D pins).
+  Netlist sweep() {
+    std::vector<char> live(out_.size(), 0);
+    std::vector<GateId> frontier;
+    for (std::size_t i = 0; i < out_.size(); ++i) {
+      const Gate& g = out_.gate(static_cast<GateId>(i));
+      if (is_port(g.type) || g.type == GateType::kDff) {
+        live[i] = 1;
+        frontier.push_back(static_cast<GateId>(i));
+      }
+    }
+    while (!frontier.empty()) {
+      const GateId id = frontier.back();
+      frontier.pop_back();
+      for (GateId in : out_.gate(id).fanins) {
+        if (live[static_cast<std::size_t>(in)]) continue;
+        live[static_cast<std::size_t>(in)] = 1;
+        frontier.push_back(in);
+      }
+    }
+
+    Netlist final(out_.name());
+    std::vector<GateId> remap(out_.size(), kNoGate);
+    for (std::size_t i = 0; i < out_.size(); ++i) {
+      if (!live[i]) {
+        ++stats_.dead_gates_swept;
+        continue;
+      }
+      const Gate& g = out_.gate(static_cast<GateId>(i));
+      remap[i] = final.add_gate(g.type, g.name);
+      final.gate(remap[i]).is_scan = g.is_scan;
+    }
+    for (std::size_t i = 0; i < out_.size(); ++i) {
+      if (!live[i]) continue;
+      for (GateId in : out_.gate(static_cast<GateId>(i)).fanins)
+        final.connect(remap[static_cast<std::size_t>(in)], remap[i]);
+    }
+    final.invalidate_caches();
+    return final;
+  }
+
+  const Netlist& old_;
+  OptimizeStats& stats_;
+  Netlist out_;
+  std::vector<Lit> lit_;
+  std::unordered_map<GateId, GateId> inv_of_;
+  std::unordered_map<std::string, GateId> hash_;
+  GateId tie0_ = kNoGate;
+  GateId tie1_ = kNoGate;
+};
+
+}  // namespace
+
+Netlist optimize(const Netlist& n, OptimizeStats* stats) {
+  OptimizeStats local;
+  Netlist current = n;
+  // Outer fixed point: each rebuild exposes new opportunities (a merge can
+  // create a duplicate downstream, a fold can dead-end a cone).
+  for (int pass = 0; pass < 5; ++pass) {
+    OptimizeStats pass_stats;
+    Rebuilder rebuilder(current, pass_stats);
+    Netlist next = rebuilder.run();
+    local.constants_folded += pass_stats.constants_folded;
+    local.identities_collapsed += pass_stats.identities_collapsed;
+    local.duplicates_merged += pass_stats.duplicates_merged;
+    local.dead_gates_swept += pass_stats.dead_gates_swept;
+    const bool converged = next.size() == current.size() && pass_stats.total_removed() == 0;
+    current = std::move(next);
+    if (converged) break;
+  }
+  WCM_ASSERT_MSG(current.check().empty(), "optimizer corrupted the netlist");
+  if (stats) *stats = local;
+  return current;
+}
+
+}  // namespace wcm

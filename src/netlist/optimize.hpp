@@ -1,0 +1,38 @@
+// Combinational netlist cleanup, the light tail of what logic synthesis
+// does before handing a netlist to DFT:
+//
+//   * constant propagation  — gates fed by ties (or proven constant) are
+//     folded; AND(x, 0) becomes 0, XOR(x, x) becomes 0, OR(x, 1) becomes 1;
+//   * identity collapsing   — single-input AND/OR/XOR degenerate to wires,
+//     double inversion cancels, BUF chains are shorted;
+//   * structural hashing    — gates with identical (type, sorted fanins)
+//     merge (common-subexpression elimination);
+//   * dead-logic sweeping   — cones feeding nothing are deleted.
+//
+// DFT relevance: every structure the optimizer removes is a structure whose
+// faults were redundant (untestable) — running it first gives the ATPG a
+// fault list closer to what synthesized silicon carries. Port, TSV, and flop
+// nodes are never touched; only combinational gates move.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace wcm {
+
+struct OptimizeStats {
+  int constants_folded = 0;
+  int identities_collapsed = 0;
+  int duplicates_merged = 0;
+  int dead_gates_swept = 0;
+  int total_removed() const {
+    return constants_folded + identities_collapsed + duplicates_merged + dead_gates_swept;
+  }
+};
+
+/// Runs cleanup to a fixed point and returns the REBUILT netlist (node ids
+/// are not stable across optimization; names of surviving gates are).
+/// The result is functionally equivalent on all ports and flop D-pins and
+/// passes Netlist::check().
+Netlist optimize(const Netlist& n, OptimizeStats* stats = nullptr);
+
+}  // namespace wcm

@@ -1,0 +1,29 @@
+// Structural Verilog emission, for interoperability with standard EDA
+// viewers and downstream flows. Write-only: the .bench dialect remains the
+// canonical interchange format (see bench_io.hpp); this writer exists so a
+// wrapper-inserted die can be dropped into any commercial or open-source
+// tool that speaks Verilog-2001 netlists.
+//
+// Mapping:
+//   * gates  -> primitive instances (and/nand/or/nor/xor/xnor/not/buf);
+//   * MUX    -> a continuous assign with the ternary operator;
+//   * DFF    -> an instance of a behavioural DFF module (emitted alongside,
+//     with a scan variant carrying just an attribute comment);
+//   * TSV_IN / TSV_OUT ports -> module inputs/outputs annotated with
+//     (* tsv = "inbound|outbound" *) attributes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace wcm {
+
+/// Serialises `n` as a self-contained Verilog file (one module named after
+/// the netlist plus the DFF primitive module).
+void write_verilog(const Netlist& n, std::ostream& out);
+std::string write_verilog_string(const Netlist& n);
+bool write_verilog_file(const Netlist& n, const std::string& path);
+
+}  // namespace wcm

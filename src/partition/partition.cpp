@@ -1,0 +1,348 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace wcm {
+namespace {
+
+/// Fiduccia–Mattheyses bisection of a cell subset.
+///
+/// Cells are positions into `cells`; hyperedges are the output nets of the
+/// subset's gates restricted to the subset. Returns side (0/1) per position.
+class FmBisector {
+ public:
+  FmBisector(const Netlist& n, const std::vector<GateId>& cells, const PartitionOptions& opts,
+             Rng& rng)
+      : n_(n), cells_(cells), opts_(opts), rng_(rng) {
+    build_hypergraph();
+  }
+
+  std::vector<char> run() {
+    initial_assignment();
+    int best_cut = current_cut();
+    std::vector<char> best = side_;
+    for (int pass = 0; pass < opts_.max_passes; ++pass) {
+      const int gained = fm_pass();
+      const int cut = current_cut();
+      if (cut < best_cut) {
+        best_cut = cut;
+        best = side_;
+      }
+      if (gained <= 0) break;
+    }
+    side_ = best;
+    return side_;
+  }
+
+ private:
+  void build_hypergraph() {
+    const std::size_t k = cells_.size();
+    pos_of_.assign(n_.size(), -1);
+    for (std::size_t i = 0; i < k; ++i) pos_of_[static_cast<std::size_t>(cells_[i])] = static_cast<int>(i);
+
+    // One net per driver gate in the subset: pins = driver + in-subset sinks.
+    // Nets with <2 in-subset pins cannot be cut and are dropped.
+    cell_nets_.assign(k, {});
+    for (std::size_t i = 0; i < k; ++i) {
+      const Gate& g = n_.gate(cells_[i]);
+      std::vector<int> pins{static_cast<int>(i)};
+      for (GateId fo : g.fanouts) {
+        const int p = pos_of_[static_cast<std::size_t>(fo)];
+        if (p >= 0) pins.push_back(p);
+      }
+      std::sort(pins.begin(), pins.end());
+      pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+      if (pins.size() < 2) continue;
+      const int net = static_cast<int>(net_pins_.size());
+      for (int p : pins) cell_nets_[static_cast<std::size_t>(p)].push_back(net);
+      net_pins_.push_back(std::move(pins));
+    }
+  }
+
+  void initial_assignment() {
+    const std::size_t k = cells_.size();
+    side_.assign(k, 0);
+    // Random balanced start: shuffle positions, first half -> side 0.
+    std::vector<int> order(k);
+    for (std::size_t i = 0; i < k; ++i) order[i] = static_cast<int>(i);
+    std::shuffle(order.begin(), order.end(), rng_);
+    for (std::size_t i = k / 2; i < k; ++i) side_[static_cast<std::size_t>(order[i])] = 1;
+    side_count_[0] = static_cast<int>(k - k / 2);
+    side_count_[1] = static_cast<int>(k / 2);
+  }
+
+  int current_cut() const {
+    int cut = 0;
+    for (const auto& pins : net_pins_) {
+      int c0 = 0, c1 = 0;
+      for (int p : pins) (side_[static_cast<std::size_t>(p)] ? c1 : c0)++;
+      if (c0 > 0 && c1 > 0) ++cut;
+    }
+    return cut;
+  }
+
+  bool balance_ok_after_move(int from_side) const {
+    const auto total = static_cast<double>(cells_.size());
+    const double lo = total * (0.5 - opts_.balance_tolerance);
+    return static_cast<double>(side_count_[from_side] - 1) >= lo;
+  }
+
+  /// One FM pass; returns the achieved (rolled-back) gain.
+  int fm_pass() {
+    const std::size_t k = cells_.size();
+    // Per-net side pin counts.
+    std::vector<std::array<int, 2>> net_count(net_pins_.size(), {0, 0});
+    for (std::size_t net = 0; net < net_pins_.size(); ++net)
+      for (int p : net_pins_[net]) net_count[net][side_[static_cast<std::size_t>(p)]]++;
+
+    // Initial gains.
+    std::vector<int> gain(k, 0);
+    int max_deg = 1;
+    for (std::size_t i = 0; i < k; ++i)
+      max_deg = std::max(max_deg, static_cast<int>(cell_nets_[i].size()));
+    for (std::size_t i = 0; i < k; ++i) {
+      const int s = side_[i];
+      for (int net : cell_nets_[i]) {
+        if (net_count[static_cast<std::size_t>(net)][s] == 1) gain[i]++;
+        if (net_count[static_cast<std::size_t>(net)][1 - s] == 0) gain[i]--;
+      }
+    }
+
+    // Gain buckets with lazy deletion.
+    const int offset = max_deg;
+    std::vector<std::vector<int>> bucket(static_cast<std::size_t>(2 * max_deg + 1));
+    auto push = [&](int cell) { bucket[static_cast<std::size_t>(gain[static_cast<std::size_t>(cell)] + offset)].push_back(cell); };
+    for (std::size_t i = 0; i < k; ++i) push(static_cast<int>(i));
+    std::vector<char> locked(k, 0);
+
+    std::vector<int> move_order;
+    std::vector<int> move_gain;
+    move_order.reserve(k);
+
+    int top = 2 * max_deg;  // highest possibly-nonempty bucket
+    for (std::size_t moves = 0; moves < k; ++moves) {
+      // Find the best unlocked, balance-feasible cell.
+      int cell = -1;
+      int scan = top;
+      while (scan >= 0) {
+        auto& b = bucket[static_cast<std::size_t>(scan)];
+        while (!b.empty()) {
+          const int cand = b.back();
+          if (locked[static_cast<std::size_t>(cand)] ||
+              gain[static_cast<std::size_t>(cand)] + offset != scan) {
+            b.pop_back();  // stale entry
+            continue;
+          }
+          if (!balance_ok_after_move(side_[static_cast<std::size_t>(cand)])) {
+            // Temporarily skip balance-infeasible cells at this level.
+            b.pop_back();
+            // Re-push after scan of this bucket would loop; instead stash.
+            stash_.push_back(cand);
+            continue;
+          }
+          cell = cand;
+          b.pop_back();
+          break;
+        }
+        if (cell >= 0) break;
+        --scan;
+      }
+      // Return stashed (balance-blocked) cells to their buckets for later.
+      for (int c : stash_)
+        if (!locked[static_cast<std::size_t>(c)])
+          bucket[static_cast<std::size_t>(gain[static_cast<std::size_t>(c)] + offset)].push_back(c);
+      stash_.clear();
+      if (cell < 0) break;  // nothing movable
+
+      // Move `cell`, updating neighbor gains by the standard FM rules.
+      const int from = side_[static_cast<std::size_t>(cell)];
+      const int to = 1 - from;
+      locked[static_cast<std::size_t>(cell)] = 1;
+      move_order.push_back(cell);
+      move_gain.push_back(gain[static_cast<std::size_t>(cell)]);
+
+      auto bump = [&](int c, int delta) {
+        if (locked[static_cast<std::size_t>(c)]) return;
+        gain[static_cast<std::size_t>(c)] += delta;
+        bucket[static_cast<std::size_t>(gain[static_cast<std::size_t>(c)] + offset)].push_back(c);
+        top = std::max(top, gain[static_cast<std::size_t>(c)] + offset);
+      };
+      for (int net : cell_nets_[static_cast<std::size_t>(cell)]) {
+        auto& cnt = net_count[static_cast<std::size_t>(net)];
+        // Before the move.
+        if (cnt[to] == 0) {
+          for (int p : net_pins_[static_cast<std::size_t>(net)]) bump(p, +1);
+        } else if (cnt[to] == 1) {
+          for (int p : net_pins_[static_cast<std::size_t>(net)])
+            if (side_[static_cast<std::size_t>(p)] == to) bump(p, -1);
+        }
+        cnt[from]--;
+        cnt[to]++;
+        // After the move.
+        if (cnt[from] == 0) {
+          for (int p : net_pins_[static_cast<std::size_t>(net)]) bump(p, -1);
+        } else if (cnt[from] == 1) {
+          for (int p : net_pins_[static_cast<std::size_t>(net)])
+            if (side_[static_cast<std::size_t>(p)] == from) bump(p, +1);
+        }
+      }
+      side_[static_cast<std::size_t>(cell)] = static_cast<char>(to);
+      side_count_[from]--;
+      side_count_[to]++;
+    }
+
+    // Best-prefix rollback.
+    int best_sum = 0, running = 0, best_len = 0;
+    for (std::size_t i = 0; i < move_order.size(); ++i) {
+      running += move_gain[i];
+      if (running > best_sum) {
+        best_sum = running;
+        best_len = static_cast<int>(i) + 1;
+      }
+    }
+    for (std::size_t i = move_order.size(); i > static_cast<std::size_t>(best_len); --i) {
+      const int cell = move_order[i - 1];
+      const int cur = side_[static_cast<std::size_t>(cell)];
+      side_[static_cast<std::size_t>(cell)] = static_cast<char>(1 - cur);
+      side_count_[cur]--;
+      side_count_[1 - cur]++;
+    }
+    return best_sum;
+  }
+
+  const Netlist& n_;
+  const std::vector<GateId>& cells_;
+  const PartitionOptions& opts_;
+  Rng& rng_;
+
+  std::vector<int> pos_of_;
+  std::vector<std::vector<int>> cell_nets_;  // cell position -> incident net ids
+  std::vector<std::vector<int>> net_pins_;   // net id -> cell positions
+  std::vector<char> side_;
+  int side_count_[2] = {0, 0};
+  std::vector<int> stash_;
+};
+
+void bisect_recursive(const Netlist& n, const std::vector<GateId>& cells, int part_base,
+                      int num_parts, const PartitionOptions& opts, Rng& rng,
+                      std::vector<int>& part_of) {
+  if (num_parts == 1) {
+    for (GateId c : cells) part_of[static_cast<std::size_t>(c)] = part_base;
+    return;
+  }
+  FmBisector bisector(n, cells, opts, rng);
+  const std::vector<char> side = bisector.run();
+  std::vector<GateId> left, right;
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    (side[i] ? right : left).push_back(cells[i]);
+  bisect_recursive(n, left, part_base, num_parts / 2, opts, rng, part_of);
+  bisect_recursive(n, right, part_base + num_parts / 2, num_parts / 2, opts, rng, part_of);
+}
+
+}  // namespace
+
+PartitionResult partition(const Netlist& n, const PartitionOptions& opts) {
+  WCM_ASSERT_MSG(opts.num_parts >= 1 && (opts.num_parts & (opts.num_parts - 1)) == 0,
+                 "num_parts must be a power of two");
+  PartitionResult result;
+  result.num_parts = opts.num_parts;
+  result.part.assign(n.size(), 0);
+  std::vector<GateId> all(n.size());
+  for (std::size_t i = 0; i < n.size(); ++i) all[i] = static_cast<GateId>(i);
+  Rng rng(opts.seed ^ 0xFEEDFACE0000ULL);
+  bisect_recursive(n, all, 0, opts.num_parts, opts, rng, result.part);
+  result.cut_nets = count_cut_nets(n, result.part);
+  WCM_LOG_INFO("partition: %zu cells into %d parts, %d cut nets", n.size(), opts.num_parts,
+               result.cut_nets);
+  return result;
+}
+
+int count_cut_nets(const Netlist& n, const std::vector<int>& part) {
+  int cut = 0;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const Gate& g = n.gate(static_cast<GateId>(i));
+    for (GateId fo : g.fanouts) {
+      if (part[static_cast<std::size_t>(fo)] != part[i]) {
+        ++cut;
+        break;
+      }
+    }
+  }
+  return cut;
+}
+
+std::vector<Die> split_into_dies(const Netlist& n, const PartitionResult& parts) {
+  const int num_parts = parts.num_parts;
+  std::vector<Die> dies(static_cast<std::size_t>(num_parts));
+  for (int p = 0; p < num_parts; ++p)
+    dies[static_cast<std::size_t>(p)].netlist.set_name(n.name() + "_die" + std::to_string(p));
+
+  // 1. Copy every gate into its die.
+  std::vector<GateId> local_id(n.size(), kNoGate);
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const Gate& g = n.gate(static_cast<GateId>(i));
+    Netlist& die = dies[static_cast<std::size_t>(parts.part[i])].netlist;
+    local_id[i] = die.add_gate(g.type, g.name);
+    die.gate(local_id[i]).is_scan = g.is_scan;
+  }
+
+  // 2. Wire, inserting TSV pairs on cut nets. tsv_in[(part, net)] caches the
+  // landing node so a net consumed by several gates of one die crosses once.
+  std::vector<std::unordered_map<GateId, GateId>> tsv_in_of(
+      static_cast<std::size_t>(num_parts));
+  // One TSV_OUT per (driver net, target part): key combines both.
+  auto key_of = [num_parts](GateId driver, int to_part) {
+    return driver * num_parts + to_part;
+  };
+  std::unordered_map<GateId, GateId> tsv_out_created;  // key_of -> TSV_OUT node
+
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const Gate& g = n.gate(static_cast<GateId>(i));
+    const int sink_part = parts.part[i];
+    Netlist& sink_die = dies[static_cast<std::size_t>(sink_part)].netlist;
+    for (GateId in : g.fanins) {
+      const int src_part = parts.part[static_cast<std::size_t>(in)];
+      if (src_part == sink_part) {
+        sink_die.connect(local_id[static_cast<std::size_t>(in)],
+                         local_id[i]);
+        continue;
+      }
+      // Cut net: TSV_OUT on the source die (once per target part)...
+      const GateId k = key_of(in, sink_part);
+      if (!tsv_out_created.count(k)) {
+        Die& src_die = dies[static_cast<std::size_t>(src_part)];
+        const std::string oname =
+            "tsv_o_" + n.gate(in).name + "_d" + std::to_string(sink_part);
+        const GateId out_node = src_die.netlist.add_gate(GateType::kTsvOut, oname);
+        src_die.netlist.connect(local_id[static_cast<std::size_t>(in)], out_node);
+        src_die.outbound_net.push_back(n.gate(in).name);
+        tsv_out_created.emplace(k, out_node);
+      }
+      // ...and TSV_IN on the sink die (once per net per die).
+      auto& in_map = tsv_in_of[static_cast<std::size_t>(sink_part)];
+      auto it = in_map.find(in);
+      if (it == in_map.end()) {
+        Die& dst_die = dies[static_cast<std::size_t>(sink_part)];
+        const GateId in_node =
+            dst_die.netlist.add_gate(GateType::kTsvIn, "tsv_i_" + n.gate(in).name);
+        dst_die.inbound_net.push_back(n.gate(in).name);
+        it = in_map.emplace(in, in_node).first;
+      }
+      sink_die.connect(it->second, local_id[i]);
+    }
+  }
+
+  for (Die& die : dies) {
+    die.netlist.invalidate_caches();
+    WCM_ASSERT_MSG(die.netlist.check().empty(), "split die failed structural check");
+  }
+  return dies;
+}
+
+}  // namespace wcm

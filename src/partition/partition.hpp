@@ -1,0 +1,59 @@
+// 3D partitioning: splits a monolithic netlist into dies, turning every
+// cut net into a TSV pair (TSV_OUT on the driving die, TSV_IN on each
+// consuming die).
+//
+// This is the stand-in for the 3D-Craft flow the paper used to produce its
+// per-die netlists. Min-cut matters here for realism: TSV counts in real 3D
+// flows are minimized by the partitioner, and the WCM problem instances are
+// defined by exactly those cut structures.
+//
+// Algorithm: Fiduccia–Mattheyses bipartitioning (gain buckets, balance
+// constraint, best-prefix rollback) applied by recursive bisection for
+// power-of-two die counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace wcm {
+
+struct PartitionOptions {
+  int num_parts = 4;            ///< power of two
+  double balance_tolerance = 0.10;  ///< each side of a bisection stays within
+                                    ///< (0.5 ± tol) of the cell count
+  int max_passes = 12;          ///< FM passes per bisection
+  std::uint64_t seed = 1;       ///< initial-assignment randomization
+};
+
+struct PartitionResult {
+  std::vector<int> part;  ///< gate id -> part id in [0, num_parts)
+  int num_parts = 0;
+  int cut_nets = 0;       ///< nets whose driver and some sink are in different parts
+};
+
+/// Partitions the netlist to minimize cut nets under the balance constraint.
+PartitionResult partition(const Netlist& n, const PartitionOptions& opts);
+
+/// Counts nets with endpoints in >1 part (driver-based hyperedge model: one
+/// net per gate output).
+int count_cut_nets(const Netlist& n, const std::vector<int>& part);
+
+/// One die produced by split_into_dies, with the provenance of its TSVs.
+struct Die {
+  Netlist netlist;
+  /// For each inbound TSV (index-aligned with netlist.inbound_tsvs()): the
+  /// name of the original net it carries.
+  std::vector<std::string> inbound_net;
+  /// Likewise for outbound TSVs.
+  std::vector<std::string> outbound_net;
+};
+
+/// Materialises per-die netlists from a partition. Every cut net becomes one
+/// TSV_OUT on the driver's die plus one TSV_IN on each die that consumes it.
+/// Gate names are preserved; TSV ports are named tsv_o_<net>_d<to> and
+/// tsv_i_<net>. All resulting netlists pass Netlist::check().
+std::vector<Die> split_into_dies(const Netlist& n, const PartitionResult& parts);
+
+}  // namespace wcm

@@ -1,0 +1,107 @@
+#include "place/place.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+double Placement::net_hpwl(const Netlist& n, GateId driver) const {
+  const Gate& g = n.gate(driver);
+  if (g.fanouts.empty()) return 0.0;
+  Rect bb{loc(driver).x, loc(driver).y, loc(driver).x, loc(driver).y};
+  for (GateId fo : g.fanouts) bb.expand(loc(fo));
+  return bb.half_perimeter();
+}
+
+double Placement::total_hpwl(const Netlist& n) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n.size(); ++i)
+    total += net_hpwl(n, static_cast<GateId>(i));
+  return total;
+}
+
+Placement place(const Netlist& n, const PlaceOptions& opts) {
+  const std::size_t k = n.size();
+  WCM_ASSERT(k > 0);
+  const auto grid = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(k))));
+  const double pitch = opts.site_pitch_um;
+
+  // ---- seed: levelized ordering ----
+  // Column = logic level (sources left, deep logic right), row = arrival
+  // order within the level. This puts each cone in a contiguous band, which
+  // is what real placers produce at a coarse scale.
+  const std::vector<int> level = n.logic_levels();
+  std::vector<GateId> order(k);
+  for (std::size_t i = 0; i < k; ++i) order[i] = static_cast<GateId>(i);
+  std::stable_sort(order.begin(), order.end(), [&](GateId a, GateId b) {
+    return level[static_cast<std::size_t>(a)] < level[static_cast<std::size_t>(b)];
+  });
+
+  // Snake through the grid so consecutive (same-level) cells stay adjacent.
+  std::vector<Point> loc(k);
+  std::vector<GateId> site_owner(grid * grid, kNoGate);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t col = i / grid;
+    std::size_t row = i % grid;
+    if (col % 2 == 1) row = grid - 1 - row;
+    loc[static_cast<std::size_t>(order[i])] =
+        Point{static_cast<double>(col) * pitch, static_cast<double>(row) * pitch};
+    site_owner[col * grid + row] = order[i];
+  }
+
+  // ---- refinement: greedy swaps ----
+  // A swap is evaluated by the exact HPWL delta of the nets incident to the
+  // two cells. Candidate partner: a random cell connected to the first
+  // (pulls connected cells together), falling back to a random cell.
+  Rng rand(opts.seed ^ 0x9E3779B97F4A7C15ULL);
+
+  // Incident nets of a cell: its own output net + one net per fanin.
+  auto hpwl_of = [&](GateId driver) {
+    const Gate& g = n.gate(driver);
+    if (g.fanouts.empty()) return 0.0;
+    Rect bb{loc[static_cast<std::size_t>(driver)].x, loc[static_cast<std::size_t>(driver)].y,
+            loc[static_cast<std::size_t>(driver)].x, loc[static_cast<std::size_t>(driver)].y};
+    for (GateId fo : g.fanouts) bb.expand(loc[static_cast<std::size_t>(fo)]);
+    return bb.half_perimeter();
+  };
+  auto incident_hpwl = [&](GateId cell) {
+    double total = hpwl_of(cell);
+    for (GateId in : n.gate(cell).fanins) total += hpwl_of(in);
+    return total;
+  };
+
+  for (int round = 0; round < opts.swap_rounds; ++round) {
+    std::size_t improved = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const GateId a = static_cast<GateId>(i);
+      GateId b = kNoGate;
+      const Gate& ga = n.gate(a);
+      if (!ga.fanins.empty() && rand.chance(0.7)) {
+        b = ga.fanins[rand.below(ga.fanins.size())];
+      } else if (!ga.fanouts.empty() && rand.chance(0.7)) {
+        b = ga.fanouts[rand.below(ga.fanouts.size())];
+      } else {
+        b = static_cast<GateId>(rand.below(k));
+      }
+      if (b == a) continue;
+      const double before = incident_hpwl(a) + incident_hpwl(b);
+      std::swap(loc[static_cast<std::size_t>(a)], loc[static_cast<std::size_t>(b)]);
+      const double after = incident_hpwl(a) + incident_hpwl(b);
+      if (after >= before) {
+        std::swap(loc[static_cast<std::size_t>(a)], loc[static_cast<std::size_t>(b)]);
+      } else {
+        ++improved;
+      }
+    }
+    if (improved == 0) break;
+  }
+
+  Rect outline{0.0, 0.0, static_cast<double>(grid - 1) * pitch,
+               static_cast<double>(grid - 1) * pitch};
+  return Placement(outline, std::move(loc));
+}
+
+}  // namespace wcm

@@ -1,0 +1,70 @@
+// Die placement: assigns every gate (including TSV landing pads and scan
+// flip-flops) a legal (x, y) site on the die.
+//
+// The WCM algorithms consume placement through two quantities only:
+//   * distance(n1, n2) — the Manhattan separation that Algorithm 1 gates
+//     edges on (d_th) and that the timing model turns into wire cap/delay;
+//   * per-net wire lengths — source of the wire load the accurate timing
+//     model charges.
+// A full analytical placer is therefore unnecessary; what matters is that
+// connected cells end up near each other (so cones are spatially coherent)
+// and that the result is deterministic. The algorithm used: levelized seed
+// placement (logic depth -> column, BFS rank -> row) followed by greedy
+// wirelength-reducing pairwise swaps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace wcm {
+
+struct PlaceOptions {
+  double site_pitch_um = 2.0;   ///< row/column pitch of the placement grid
+  int swap_rounds = 8;          ///< refinement sweeps over all cells
+  std::uint64_t seed = 1;
+};
+
+class Placement {
+ public:
+  Placement() = default;
+  Placement(Rect outline, std::vector<Point> loc)
+      : outline_(outline), loc_(std::move(loc)) {}
+
+  const Rect& outline() const { return outline_; }
+  const Point& loc(GateId id) const { return loc_[static_cast<std::size_t>(id)]; }
+  std::size_t size() const { return loc_.size(); }
+
+  /// Assigns (or appends) the location of a node. DFT insertion creates new
+  /// cells after placement; it legalises them next to the TSV pad or flop
+  /// they serve and registers the spot here so post-insertion STA sees real
+  /// wire lengths.
+  void set_loc(GateId id, const Point& p) {
+    if (static_cast<std::size_t>(id) >= loc_.size())
+      loc_.resize(static_cast<std::size_t>(id) + 1);
+    loc_[static_cast<std::size_t>(id)] = p;
+    outline_.expand(p);
+  }
+
+  /// Manhattan distance between two placed nodes, in um.
+  double distance(GateId a, GateId b) const { return manhattan(loc(a), loc(b)); }
+
+  /// Half-perimeter wirelength of the net driven by `driver` (driver plus
+  /// all fanouts). Zero for unloaded nets.
+  double net_hpwl(const Netlist& n, GateId driver) const;
+
+  /// Sum of net_hpwl over all nets — the placer's objective.
+  double total_hpwl(const Netlist& n) const;
+
+ private:
+  Rect outline_;
+  std::vector<Point> loc_;
+};
+
+/// Places `n` on a square grid sized to fit all cells.
+Placement place(const Netlist& n, const PlaceOptions& opts);
+
+}  // namespace wcm

@@ -1,0 +1,158 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+StaEngine::StaEngine(const Netlist& n, const CellLibrary& lib, const Placement* placement)
+    : n_(n), lib_(lib), placement_(placement) {
+  if (placement_) WCM_ASSERT_MSG(placement_->size() >= n.size(), "placement does not cover netlist");
+}
+
+double StaEngine::wire_length_um(GateId from, GateId to) const {
+  if (!placement_) return 0.0;
+  return placement_->distance(from, to);
+}
+
+double StaEngine::wire_delay_ps(GateId from, GateId to) const {
+  return lib_.wire_delay_ps_per_um() * wire_length_um(from, to);
+}
+
+double StaEngine::net_load_ff(GateId driver) const {
+  return net_load_with_extra_ff(driver, 0.0, 0.0);
+}
+
+double StaEngine::net_load_with_extra_ff(GateId driver, double extra_pin_cap_ff,
+                                         double extra_wire_um) const {
+  const Gate& g = n_.gate(driver);
+  double load = extra_pin_cap_ff + lib_.wire_cap_ff_per_um() * extra_wire_um;
+  for (GateId fo : g.fanouts) {
+    const GateType sink_type = n_.gate(fo).type;
+    load += lib_.pin_cap_ff(sink_type);
+    if (sink_type == GateType::kTsvOut) load += lib_.tsv_cap_ff();
+    if (sink_type == GateType::kOutput) load += lib_.timing(GateType::kOutput).input_cap_ff;
+    load += lib_.wire_cap_ff_per_um() * wire_length_um(driver, fo);
+  }
+  return load;
+}
+
+double StaEngine::gate_delay_ps(GateId g, double load_ff, double input_slew_ps) const {
+  const CellTiming& cell = lib_.timing(n_.gate(g).type);
+  if (!cell.lut.empty()) return cell.lut.lookup(cell.lut.delay_ps, input_slew_ps, load_ff);
+  return cell.intrinsic_ps + cell.slope_ps_per_ff * load_ff;
+}
+
+double StaEngine::gate_out_slew_ps(GateId g, double load_ff, double input_slew_ps) const {
+  const CellTiming& cell = lib_.timing(n_.gate(g).type);
+  if (!cell.lut.empty())
+    return cell.lut.lookup(cell.lut.out_slew_ps, input_slew_ps, load_ff);
+  return kNominalSlewPs;  // linear model: no slew propagation
+}
+
+TimingReport StaEngine::run() const {
+  const std::size_t k = n_.size();
+  TimingReport rep;
+  rep.arrival.assign(k, 0.0);
+  rep.required.assign(k, std::numeric_limits<double>::infinity());
+  rep.slack.assign(k, 0.0);
+  rep.load.assign(k, 0.0);
+  rep.slew.assign(k, kNominalSlewPs);
+
+  for (std::size_t i = 0; i < k; ++i) rep.load[i] = net_load_ff(static_cast<GateId>(i));
+
+  const std::vector<GateId> order = n_.topo_order();
+  const double period = lib_.clock_period_ps();
+  // The exact delay each gate contributed on the forward pass (slew- and
+  // load-dependent under NLDM), reused verbatim by the backward pass.
+  std::vector<double> used_delay(k, 0.0);
+
+  // ---- forward: arrival times and slews ----
+  for (GateId id : order) {
+    const Gate& g = n_.gate(id);
+    const auto idx = static_cast<std::size_t>(id);
+    if (is_combinational_source(g.type)) {
+      rep.arrival[idx] = (g.type == GateType::kDff) ? lib_.flop().clk_to_q_ps : 0.0;
+      continue;
+    }
+    double at = 0.0;
+    double worst_slew = 0.0;
+    for (GateId in : g.fanins) {
+      const double wd = wire_delay_ps(in, id);
+      at = std::max(at, rep.arrival[static_cast<std::size_t>(in)] + wd);
+      // RC wires degrade the edge; 1.2 ps of slew per ps of wire delay is a
+      // serviceable lumped approximation.
+      worst_slew =
+          std::max(worst_slew, rep.slew[static_cast<std::size_t>(in)] + 1.2 * wd);
+    }
+    if (is_combinational_sink(g.type)) {
+      rep.arrival[idx] = at;  // port pin: no cell behind it
+      rep.slew[idx] = worst_slew;
+    } else {
+      used_delay[idx] = gate_delay_ps(id, rep.load[idx], worst_slew);
+      rep.arrival[idx] = at + used_delay[idx];
+      rep.slew[idx] = gate_out_slew_ps(id, rep.load[idx], worst_slew);
+    }
+  }
+
+  // ---- backward: required times ----
+  // Capture constraints: PO/TSV_OUT pins at `period`; flip-flop D pins at
+  // `period - setup` (applied when propagating through the DFF's fanin edge).
+  for (std::size_t i = 0; i < k; ++i) {
+    const GateType t = n_.gate(static_cast<GateId>(i)).type;
+    if (t == GateType::kOutput || t == GateType::kTsvOut) rep.required[i] = period;
+  }
+  const double ff_capture = period - lib_.flop().setup_ps;
+  // DFFs are *sources* in the combinational order (their rank reflects Q,
+  // not D), so their D-pin constraints must be seeded before the reverse
+  // sweep or the fanin's requirement would be read too early.
+  for (std::size_t i = 0; i < k; ++i) {
+    const Gate& g = n_.gate(static_cast<GateId>(i));
+    if (g.type != GateType::kDff) continue;
+    for (GateId in : g.fanins) {
+      const double req_here = ff_capture - wire_delay_ps(in, static_cast<GateId>(i));
+      auto& slot = rep.required[static_cast<std::size_t>(in)];
+      slot = std::min(slot, req_here);
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const GateId id = *it;
+    const Gate& g = n_.gate(id);
+    if (g.type == GateType::kDff) continue;  // D constraint already seeded
+    // Propagate this node's requirement onto its fanins.
+    for (GateId in : g.fanins) {
+      const auto in_idx = static_cast<std::size_t>(in);
+      double req_here;
+      if (is_combinational_sink(g.type)) {
+        req_here = rep.required[static_cast<std::size_t>(id)] - wire_delay_ps(in, id);
+      } else {
+        req_here = rep.required[static_cast<std::size_t>(id)] -
+                   used_delay[static_cast<std::size_t>(id)] - wire_delay_ps(in, id);
+      }
+      rep.required[in_idx] = std::min(rep.required[in_idx], req_here);
+    }
+  }
+
+  // ---- slack & endpoint summary ----
+  rep.worst_slack = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < k; ++i) {
+    rep.slack[i] = rep.required[i] - rep.arrival[i];
+    rep.worst_slack = std::min(rep.worst_slack, rep.slack[i]);
+  }
+  rep.violating_endpoints = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Gate& g = n_.gate(static_cast<GateId>(i));
+    if (g.type == GateType::kOutput || g.type == GateType::kTsvOut) {
+      if (rep.slack[i] < 0.0) ++rep.violating_endpoints;
+    } else if (g.type == GateType::kDff && !g.fanins.empty()) {
+      // D-pin endpoint check: arrival at the fanin + wire vs. setup.
+      const GateId in = g.fanins[0];
+      const double at = rep.arrival[static_cast<std::size_t>(in)] + wire_delay_ps(in, static_cast<GateId>(i));
+      if (at > ff_capture) ++rep.violating_endpoints;
+    }
+  }
+  return rep;
+}
+
+}  // namespace wcm

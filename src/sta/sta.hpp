@@ -1,0 +1,83 @@
+// Static timing analysis over the combinational view of a die.
+//
+// This is the PrimeTime stand-in. Model:
+//
+//   net load(d)    = sum over sinks s of pin_cap(s)  [+ tsv pad cap]
+//                    + wire_cap_per_um * sum_s manhattan(d, s)   (star model)
+//   gate delay(g)  = intrinsic(g) + slope(g) * load(g)
+//   wire delay     = wire_delay_per_um * manhattan(driver, sink) (lumped)
+//   arrival(g)     = max over fanins f (arrival(f) + wire(f,g)) + delay(g)
+//
+// Launch points: primary inputs and inbound TSVs arrive at t=0; flip-flop Qs
+// at clk-to-Q. Capture points: primary outputs and outbound TSVs must settle
+// by the clock period; flip-flop Ds by period - setup.
+//
+// Passing a null placement degrades the model to pin-capacitance-only with
+// zero wire delay — exactly the "capacity load without wire delay" model the
+// paper attributes to Agrawal's method, which is how the baseline is run.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "celllib/celllib.hpp"
+#include "netlist/netlist.hpp"
+#include "place/place.hpp"
+
+namespace wcm {
+
+struct TimingReport {
+  std::vector<double> arrival;   ///< ps at each gate output (ports: at the pin)
+  std::vector<double> required;  ///< ps
+  std::vector<double> slack;     ///< required - arrival
+  std::vector<double> load;      ///< fF on each gate's output net
+  /// Transition time at each gate output. Propagated only when the library
+  /// carries NLDM surfaces (CellTiming::lut); under the linear model every
+  /// entry holds the nominal input slew.
+  std::vector<double> slew;
+  double worst_slack = std::numeric_limits<double>::infinity();
+  int violating_endpoints = 0;   ///< capture points with negative slack
+
+  bool met() const { return violating_endpoints == 0; }
+};
+
+class StaEngine {
+ public:
+  /// `placement` may be null (pin-cap-only, zero-wire model). When non-null
+  /// it must cover every gate id of `n`.
+  StaEngine(const Netlist& n, const CellLibrary& lib, const Placement* placement);
+
+  /// Full arrival/required/slack propagation.
+  TimingReport run() const;
+
+  /// Capacitive load on `driver`'s output net (pin caps + wire + TSV pads).
+  double net_load_ff(GateId driver) const;
+
+  /// Load `driver` would see with `extra_sinks` additional pin cap and
+  /// `extra_wire_um` additional routed length — the what-if used by the WCM
+  /// timing admission checks before any mux is physically inserted.
+  double net_load_with_extra_ff(GateId driver, double extra_pin_cap_ff,
+                                double extra_wire_um) const;
+
+  /// Lumped wire delay between two placed nodes (0 without placement).
+  double wire_delay_ps(GateId from, GateId to) const;
+
+  double wire_length_um(GateId from, GateId to) const;
+
+  const CellLibrary& library() const { return lib_; }
+  const Placement* placement() const { return placement_; }
+
+ private:
+  double gate_delay_ps(GateId g, double load_ff, double input_slew_ps) const;
+  double gate_out_slew_ps(GateId g, double load_ff, double input_slew_ps) const;
+
+  const Netlist& n_;
+  const CellLibrary& lib_;
+  const Placement* placement_;
+
+  /// Nominal edge rate at launch points (and everywhere under the linear
+  /// model, which does not propagate slews).
+  static constexpr double kNominalSlewPs = 30.0;
+};
+
+}  // namespace wcm

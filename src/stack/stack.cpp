@@ -1,0 +1,102 @@
+#include "stack/stack.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "atpg/faults.hpp"
+#include "util/assert.hpp"
+
+namespace wcm {
+
+BondedStack bond_dies(const std::vector<Die>& dies) {
+  BondedStack stack;
+  stack.netlist.set_name("stack");
+  Netlist& out = stack.netlist;
+
+  // ---- pass 1: copy every non-TSV gate ----
+  // local (die, gate) -> stack gate
+  std::vector<std::vector<GateId>> mapped(dies.size());
+  for (std::size_t d = 0; d < dies.size(); ++d) {
+    const Netlist& n = dies[d].netlist;
+    mapped[d].assign(n.size(), kNoGate);
+    for (std::size_t i = 0; i < n.size(); ++i) {
+      const Gate& g = n.gate(static_cast<GateId>(i));
+      if (is_tsv(g.type)) continue;
+      const GateId id = out.add_gate(g.type, g.name);
+      out.gate(id).is_scan = g.is_scan;
+      mapped[d][i] = id;
+    }
+  }
+
+  // ---- pass 2: net name -> stack driver (from the outbound sides) ----
+  std::unordered_map<std::string, GateId> driver_of_net;
+  for (std::size_t d = 0; d < dies.size(); ++d) {
+    const Netlist& n = dies[d].netlist;
+    const auto& outbound = n.outbound_tsvs();
+    WCM_ASSERT(outbound.size() == dies[d].outbound_net.size());
+    for (std::size_t k = 0; k < outbound.size(); ++k) {
+      const Gate& port = n.gate(outbound[k]);
+      WCM_ASSERT(port.fanins.size() == 1);
+      const GateId driver = mapped[d][static_cast<std::size_t>(port.fanins[0])];
+      WCM_ASSERT_MSG(driver != kNoGate, "outbound TSV driven by another TSV");
+      auto [it, inserted] = driver_of_net.emplace(dies[d].outbound_net[k], driver);
+      WCM_ASSERT_MSG(inserted || it->second == driver,
+                     "net driven by two different outbound TSVs");
+    }
+  }
+
+  // ---- pass 3: vias for every inbound TSV ----
+  std::vector<std::vector<GateId>> via_of_inbound(dies.size());
+  for (std::size_t d = 0; d < dies.size(); ++d) {
+    const Netlist& n = dies[d].netlist;
+    const auto& inbound = n.inbound_tsvs();
+    WCM_ASSERT(inbound.size() == dies[d].inbound_net.size());
+    via_of_inbound[d].assign(n.size(), kNoGate);
+    for (std::size_t k = 0; k < inbound.size(); ++k) {
+      const std::string& net = dies[d].inbound_net[k];
+      const auto driver_it = driver_of_net.find(net);
+      WCM_ASSERT_MSG(driver_it != driver_of_net.end(), "inbound net with no driver die");
+      const GateId via =
+          out.add_gate(GateType::kBuf, "via_" + net + "_d" + std::to_string(d));
+      out.connect(driver_it->second, via);
+      via_of_inbound[d][static_cast<std::size_t>(inbound[k])] = via;
+      stack.vias.push_back(via);
+    }
+  }
+
+  // ---- pass 4: wire everything ----
+  for (std::size_t d = 0; d < dies.size(); ++d) {
+    const Netlist& n = dies[d].netlist;
+    for (std::size_t i = 0; i < n.size(); ++i) {
+      const Gate& g = n.gate(static_cast<GateId>(i));
+      if (is_tsv(g.type)) continue;
+      for (GateId in : g.fanins) {
+        const Gate& src = n.gate(in);
+        GateId stack_src;
+        if (src.type == GateType::kTsvIn) {
+          stack_src = via_of_inbound[d][static_cast<std::size_t>(in)];
+        } else {
+          stack_src = mapped[d][static_cast<std::size_t>(in)];
+        }
+        WCM_ASSERT(stack_src != kNoGate);
+        out.connect(stack_src, mapped[d][i]);
+      }
+    }
+  }
+
+  out.invalidate_caches();
+  WCM_ASSERT_MSG(out.check().empty(), "bonded stack failed structural check");
+  return stack;
+}
+
+std::vector<Fault> via_fault_list(const BondedStack& stack) {
+  std::vector<Fault> faults;
+  faults.reserve(stack.vias.size() * 2);
+  for (GateId via : stack.vias) {
+    faults.push_back(Fault{via, false});
+    faults.push_back(Fault{via, true});
+  }
+  return faults;
+}
+
+}  // namespace wcm

@@ -1,0 +1,39 @@
+// Die stacking: bonds the dies produced by split_into_dies back into one
+// netlist, with every TSV connection materialised as a buffer node (the
+// bonded via). This closes the 3D loop:
+//
+//     monolith --split--> dies --(pre-bond test per die)--> bond --> stack
+//
+// and enables the post-bond story that motivates pre-bond testing in the
+// first place: known-good-die screening plus a post-bond interconnect test
+// over the TSV vias. The bonded netlist is functionally equivalent to the
+// original monolith (verified by property test), and the via buffers are
+// first-class fault sites — a stuck-at on one is exactly the TSV defect
+// (void, impurity) the paper's Section I describes.
+#pragma once
+
+#include <vector>
+
+#include "partition/partition.hpp"
+
+namespace wcm {
+
+struct BondedStack {
+  Netlist netlist;
+  /// One buffer per bonded TSV connection (driver die -> consumer die).
+  std::vector<GateId> vias;
+};
+
+/// Bonds `dies` (as produced by split_into_dies: TSV provenance in
+/// inbound_net/outbound_net, globally unique gate names). Every
+/// (outbound, inbound) TSV pair carrying the same net collapses into a via
+/// buffer named "via_<net>_d<consumer>"; the TSV port nodes themselves
+/// disappear. Aborts on inconsistent provenance (an inbound net no die
+/// drives).
+BondedStack bond_dies(const std::vector<Die>& dies);
+
+/// Stuck-at faults restricted to the via buffers — the post-bond
+/// interconnect test's fault universe.
+std::vector<struct Fault> via_fault_list(const BondedStack& stack);
+
+}  // namespace wcm

@@ -1,0 +1,30 @@
+// Lightweight contract checking used across the library.
+//
+// WCM_ASSERT is active in all build types: the algorithms here are
+// combinatorial and a silently-corrupted graph produces plausible-looking
+// but wrong experiment numbers, which is worse than an abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wcm {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "wcm: assertion failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace wcm
+
+#define WCM_ASSERT(expr)                                        \
+  do {                                                          \
+    if (!(expr)) ::wcm::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define WCM_ASSERT_MSG(expr, msg)                               \
+  do {                                                          \
+    if (!(expr)) ::wcm::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,83 @@
+// Dynamic bitset tuned for cone-overlap queries: fixed size at construction,
+// word-level AND/OR scans, population count. std::vector<bool> lacks the
+// word-wise "do these intersect" operation that dominates graph construction.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t nbits) : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  std::size_t size() const { return nbits_; }
+
+  void set(std::size_t i) {
+    WCM_ASSERT(i < nbits_);
+    words_[i >> 6] |= 1ULL << (i & 63);
+  }
+  void reset(std::size_t i) {
+    WCM_ASSERT(i < nbits_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+  bool test(std::size_t i) const {
+    WCM_ASSERT(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+  }
+
+  bool any() const {
+    for (std::uint64_t w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  /// True iff this and other share any set bit — the cone-overlap primitive.
+  bool intersects(const DynBitset& other) const {
+    WCM_ASSERT(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & other.words_[i]) return true;
+    return false;
+  }
+
+  /// Number of shared set bits.
+  std::size_t intersection_count(const DynBitset& other) const {
+    WCM_ASSERT(nbits_ == other.nbits_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+    return total;
+  }
+
+  DynBitset& operator|=(const DynBitset& other) {
+    WCM_ASSERT(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  DynBitset& operator&=(const DynBitset& other) {
+    WCM_ASSERT(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  friend bool operator==(const DynBitset&, const DynBitset&) = default;
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace wcm

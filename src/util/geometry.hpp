@@ -1,0 +1,49 @@
+// 2D geometry primitives used by placement and by the WCM distance model.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace wcm {
+
+/// A location on a die, in micrometres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Manhattan distance — routing on a die follows rectilinear wiring, so all
+/// wire-length-derived quantities (wire cap, wire delay, d_th admission) use
+/// the L1 metric, matching how the paper's physical-design substrate reports
+/// distance.
+inline double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+inline double euclidean(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Axis-aligned bounding box; used for die outlines and HPWL computations.
+struct Rect {
+  double lx = 0.0, ly = 0.0, ux = 0.0, uy = 0.0;
+
+  double width() const { return ux - lx; }
+  double height() const { return uy - ly; }
+  double half_perimeter() const { return width() + height(); }
+  bool contains(const Point& p) const {
+    return p.x >= lx && p.x <= ux && p.y >= ly && p.y <= uy;
+  }
+  void expand(const Point& p) {
+    if (p.x < lx) lx = p.x;
+    if (p.y < ly) ly = p.y;
+    if (p.x > ux) ux = p.x;
+    if (p.y > uy) uy = p.y;
+  }
+};
+
+}  // namespace wcm

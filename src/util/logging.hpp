@@ -1,0 +1,63 @@
+// Minimal leveled logger.
+//
+// The experiment binaries print structured tables on stdout; diagnostics go
+// through this logger on stderr so the two never interleave. Formatting uses
+// printf-style specifiers — the hot paths never log, so no effort is spent on
+// a zero-cost frontend.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace wcm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Default: kWarn, so
+/// library users see problems but not progress chatter unless they opt in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Core sink. Prefer the WCM_LOG_* macros, which skip argument evaluation
+/// when the level is disabled.
+void log_message(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+/// RAII scope that temporarily changes the log level (used by tests to
+/// silence expected warnings).
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : previous_(log_level()) { set_log_level(level); }
+  ~ScopedLogLevel() { set_log_level(previous_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel previous_;
+};
+
+}  // namespace wcm
+
+#define WCM_LOG_DEBUG(...)                                     \
+  do {                                                         \
+    if (::wcm::log_level() <= ::wcm::LogLevel::kDebug)         \
+      ::wcm::log_message(::wcm::LogLevel::kDebug, __VA_ARGS__); \
+  } while (0)
+#define WCM_LOG_INFO(...)                                      \
+  do {                                                         \
+    if (::wcm::log_level() <= ::wcm::LogLevel::kInfo)          \
+      ::wcm::log_message(::wcm::LogLevel::kInfo, __VA_ARGS__);  \
+  } while (0)
+#define WCM_LOG_WARN(...)                                      \
+  do {                                                         \
+    if (::wcm::log_level() <= ::wcm::LogLevel::kWarn)          \
+      ::wcm::log_message(::wcm::LogLevel::kWarn, __VA_ARGS__);  \
+  } while (0)
+#define WCM_LOG_ERROR(...)                                     \
+  do {                                                         \
+    if (::wcm::log_level() <= ::wcm::LogLevel::kError)         \
+      ::wcm::log_message(::wcm::LogLevel::kError, __VA_ARGS__); \
+  } while (0)

@@ -1,0 +1,90 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic steps in the library (synthetic circuit generation, FM
+// partitioning tie-breaks, placement refinement, ATPG don't-care fill) draw
+// from this generator so that every experiment is exactly reproducible from
+// a seed. xoshiro256** is used instead of std::mt19937 because its state is
+// small, seeding is well defined across platforms, and splitting streams
+// (one per die, one per module) is cheap.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wcm {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference implementation,
+/// adapted). Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialise state from a 64-bit seed via splitmix64 (recommended
+  /// seeding procedure for xoshiro).
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method: unbiased and branch-light.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent stream; `salt` distinguishes children of one parent.
+  Rng split(std::uint64_t salt) const {
+    Rng child(state_[0] ^ (salt * 0xD1342543DE82EF95ULL) ^ state_[3]);
+    return child;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace wcm

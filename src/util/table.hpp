@@ -1,0 +1,46 @@
+// ASCII/CSV table rendering for the experiment harness.
+//
+// Every bench binary reproduces one of the paper's tables; this class keeps
+// the row/column bookkeeping in one place so the benches contain only the
+// experiment logic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wcm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for mixed cell types.
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(const char* s) { return s; }
+  static std::string cell(long long v);
+  static std::string cell(int v) { return cell(static_cast<long long>(v)); }
+  static std::string cell(std::size_t v) { return cell(static_cast<long long>(v)); }
+  /// Fixed-point rendering; `decimals` digits after the point.
+  static std::string cell(double v, int decimals = 2);
+  /// Percentage rendering: 0.9934 -> "99.34%".
+  static std::string percent(double fraction, int decimals = 2);
+
+  /// Render with aligned columns and a header rule.
+  std::string to_ascii() const;
+  /// Render as RFC-4180-ish CSV (no quoting of embedded commas is needed by
+  /// our cells, but quotes are added defensively when required).
+  std::string to_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wcm

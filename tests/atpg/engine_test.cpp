@@ -1,0 +1,150 @@
+#include "atpg/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace wcm {
+namespace {
+
+Netlist small_die(std::uint64_t seed = 21) {
+  DieSpec spec;
+  spec.name = "atpg_die";
+  spec.num_pis = 6;
+  spec.num_pos = 6;
+  spec.num_scan_ffs = 10;
+  spec.num_gates = 150;
+  spec.num_inbound = 8;
+  spec.num_outbound = 8;
+  spec.seed = seed;
+  return generate_die(spec);
+}
+
+TEST(AtpgEngineTest, HighCoverageOnReferenceView) {
+  const Netlist n = small_die();
+  const TestView v = build_reference_view(n);
+  AtpgOptions opts;
+  opts.seed = 1;
+  const AtpgResult result = AtpgEngine(v).run_stuck_at(opts);
+  EXPECT_EQ(result.total_faults, static_cast<int>(full_fault_list(n).size()));
+  EXPECT_GT(result.coverage(), 0.94);
+  EXPECT_GT(result.patterns, 0);
+  EXPECT_LE(result.detected + result.untestable + result.aborted, result.total_faults);
+  // Test coverage (excluding proven-untestable) should be near-perfect;
+  // the remaining gap is PODEM aborts on random-resistant faults.
+  EXPECT_GT(result.test_coverage(), 0.97);
+  EXPECT_LT(result.aborted, result.total_faults / 20);
+}
+
+TEST(AtpgEngineTest, DeterministicForSeed) {
+  const Netlist n = small_die();
+  const TestView v = build_reference_view(n);
+  AtpgOptions opts;
+  opts.seed = 123;
+  const AtpgResult a = AtpgEngine(v).run_stuck_at(opts);
+  const AtpgResult b = AtpgEngine(v).run_stuck_at(opts);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.patterns, b.patterns);
+  EXPECT_EQ(a.untestable, b.untestable);
+}
+
+TEST(AtpgEngineTest, RandomOnlyPhaseIsWeaker) {
+  const Netlist n = small_die();
+  const TestView v = build_reference_view(n);
+  AtpgOptions full;
+  full.seed = 5;
+  AtpgOptions random_only = full;
+  random_only.deterministic_phase = false;
+  const AtpgResult with_podem = AtpgEngine(v).run_stuck_at(full);
+  const AtpgResult without = AtpgEngine(v).run_stuck_at(random_only);
+  EXPECT_GE(with_podem.detected, without.detected);
+  EXPECT_EQ(without.untestable, 0);  // only PODEM can prove untestability
+}
+
+TEST(AtpgEngineTest, SharedWrapperCostsCoverageOrPatterns) {
+  // Aggressively share everything onto two cells: testability must not
+  // improve versus dedicated cells.
+  const Netlist n = small_die();
+  WrapperPlan aggressive;
+  WrapperGroup in_all, out_all;
+  for (GateId t : n.inbound_tsvs()) in_all.inbound.push_back(t);
+  for (GateId t : n.outbound_tsvs()) out_all.outbound.push_back(t);
+  aggressive.groups = {in_all, out_all};
+
+  AtpgOptions opts;
+  opts.seed = 9;
+  const AtpgResult reference = AtpgEngine(build_reference_view(n)).run_stuck_at(opts);
+  const AtpgResult shared =
+      AtpgEngine(build_test_view(n, aggressive)).run_stuck_at(opts);
+  EXPECT_LE(shared.coverage(), reference.coverage() + 1e-12);
+}
+
+TEST(AtpgEngineTest, TransitionCampaignRuns) {
+  const Netlist n = small_die();
+  const TestView v = build_reference_view(n);
+  AtpgOptions opts;
+  opts.seed = 3;
+  const AtpgResult result = AtpgEngine(v).run_transition(opts);
+  EXPECT_GT(result.coverage(), 0.90);
+  EXPECT_GT(result.patterns, 0);
+}
+
+TEST(AtpgEngineTest, TransitionNeedsMoreVectorsThanStuckAt) {
+  // Two-vector tests: the transition campaign applies ~2x the vectors for
+  // comparable fault universes (the shape Table IV shows).
+  const Netlist n = small_die();
+  const TestView v = build_reference_view(n);
+  AtpgOptions opts;
+  opts.seed = 3;
+  const AtpgResult sa = AtpgEngine(v).run_stuck_at(opts);
+  const AtpgResult tr = AtpgEngine(v).run_transition(opts);
+  EXPECT_GT(tr.patterns, sa.patterns);
+}
+
+TEST(AtpgEngineTest, TransitionCoverageNotAboveStuckAt) {
+  const Netlist n = small_die();
+  const TestView v = build_reference_view(n);
+  AtpgOptions opts;
+  opts.seed = 17;
+  const AtpgResult sa = AtpgEngine(v).run_stuck_at(opts);
+  const AtpgResult tr = AtpgEngine(v).run_transition(opts);
+  EXPECT_LE(tr.coverage(), sa.coverage() + 0.01);
+}
+
+TEST(AtpgEngineTest, UntestableFaultCountedNotDetected) {
+  const auto r = read_bench_string(R"(
+INPUT(a)
+OUTPUT(z)
+g0 = NOT(a)
+g1 = OR(a, g0)
+z = BUF(g1)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  const TestView v = build_reference_view(r.netlist);
+  AtpgOptions opts;
+  opts.seed = 2;
+  const AtpgResult result = AtpgEngine(v).run_stuck_at(opts);
+  EXPECT_GE(result.untestable, 1);  // g1/SA1 is redundant
+  EXPECT_LT(result.coverage(), 1.0);
+  EXPECT_DOUBLE_EQ(result.test_coverage(), 1.0);
+}
+
+TEST(AtpgEngineTest, CoverageIsOneForFullyTestableCircuit) {
+  const auto r = read_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+g = XOR(a, b)
+z = BUF(g)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  const TestView v = build_reference_view(r.netlist);
+  AtpgOptions opts;
+  opts.seed = 7;
+  const AtpgResult result = AtpgEngine(v).run_stuck_at(opts);
+  EXPECT_DOUBLE_EQ(result.coverage(), 1.0);
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,172 @@
+#include "atpg/testview.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+
+namespace wcm {
+namespace {
+
+Netlist die() {
+  const auto r = read_bench_string(R"(
+INPUT(pi0)
+TSV_IN(ti0)
+TSV_IN(ti1)
+OUTPUT(po0)
+TSV_OUT(to0)
+TSV_OUT(to1)
+g0 = NAND(pi0, ti0)
+g1 = XOR(g0, ti1)
+ff0 = SCAN_DFF(g1)
+ff1 = SCAN_DFF(g0)
+g2 = OR(ff0, ff1)
+po0 = BUF(g2)
+to0 = BUF(g1)
+to1 = BUF(g2)
+)");
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.netlist;
+}
+
+TEST(TestViewTest, ReferenceViewShapes) {
+  const Netlist n = die();
+  const TestView v = build_reference_view(n);
+  // controls: 1 PI + 2 FFs + 2 inbound TSVs (dedicated cells).
+  EXPECT_EQ(v.num_controls(), 5u);
+  // observes: 2 FF D + 1 PO + 2 outbound TSVs.
+  EXPECT_EQ(v.num_observes(), 5u);
+  // Each control point drives exactly one node in the reference view.
+  for (const ControlPoint& c : v.controls) EXPECT_EQ(c.driven.size(), 1u);
+  for (const ObservePoint& o : v.observes) EXPECT_EQ(o.observed.size(), 1u);
+}
+
+TEST(TestViewTest, ReusedFlopCorrelatesControl) {
+  const Netlist n = die();
+  WrapperPlan plan;
+  {
+    WrapperGroup g;  // ff0 drives ti0 and ti1
+    g.reused_ff = n.find("ff0");
+    g.inbound = {n.find("ti0"), n.find("ti1")};
+    plan.groups.push_back(g);
+  }
+  {
+    WrapperGroup g;
+    g.outbound = {n.find("to0")};
+    plan.groups.push_back(g);
+  }
+  {
+    WrapperGroup g;
+    g.outbound = {n.find("to1")};
+    plan.groups.push_back(g);
+  }
+  const TestView v = build_test_view(n, plan);
+  // ff0's control must now drive three nodes: ff0, ti0, ti1.
+  bool found = false;
+  for (const ControlPoint& c : v.controls) {
+    if (std::find(c.driven.begin(), c.driven.end(), n.find("ff0")) == c.driven.end())
+      continue;
+    found = true;
+    EXPECT_EQ(c.driven.size(), 3u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TestViewTest, ReusedFlopAliasesObservation) {
+  const Netlist n = die();
+  WrapperPlan plan;
+  {
+    WrapperGroup g;  // ff1 captures to0 xor to1 xor its own D
+    g.reused_ff = n.find("ff1");
+    g.outbound = {n.find("to0"), n.find("to1")};
+    plan.groups.push_back(g);
+  }
+  for (GateId t : n.inbound_tsvs()) {
+    WrapperGroup g;
+    g.inbound.push_back(t);
+    plan.groups.push_back(g);
+  }
+  const TestView v = build_test_view(n, plan);
+  bool found = false;
+  for (const ObservePoint& o : v.observes) {
+    if (o.observed.size() == 3u) {
+      found = true;
+      // members: ff1's D fanin (g0) plus the two TSV_OUT nodes.
+      EXPECT_NE(std::find(o.observed.begin(), o.observed.end(), n.find("g0")),
+                o.observed.end());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TestViewTest, AdditionalCellGroupsGetOwnPoints) {
+  const Netlist n = die();
+  WrapperPlan plan;
+  {
+    WrapperGroup g;  // one additional cell controls both inbound TSVs
+    g.inbound = {n.find("ti0"), n.find("ti1")};
+    plan.groups.push_back(g);
+  }
+  {
+    WrapperGroup g;  // one additional cell observes both outbound TSVs
+    g.outbound = {n.find("to0"), n.find("to1")};
+    plan.groups.push_back(g);
+  }
+  const TestView v = build_test_view(n, plan);
+  // 1 PI + 2 FF + 1 shared inbound cell = 4 controls.
+  EXPECT_EQ(v.num_controls(), 4u);
+  // 2 FF D + 1 PO + 1 shared outbound cell = 4 observes.
+  EXPECT_EQ(v.num_observes(), 4u);
+}
+
+TEST(TestViewDeathTest, RejectsIncompletePlan) {
+  const Netlist n = die();
+  WrapperPlan plan;  // covers nothing
+  EXPECT_DEATH(build_test_view(n, plan), "cover");
+}
+
+TEST(TestViewDeathTest, RejectsDoubleReusedFlop) {
+  const Netlist n = die();
+  WrapperPlan plan;
+  WrapperGroup g1;
+  g1.reused_ff = n.find("ff0");
+  g1.inbound = {n.find("ti0"), n.find("ti1")};
+  WrapperGroup g2;
+  g2.reused_ff = n.find("ff0");
+  g2.outbound = {n.find("to0"), n.find("to1")};
+  plan.groups = {g1, g2};
+  EXPECT_DEATH(build_test_view(n, plan), "reused");
+}
+
+TEST(WrapperPlanTest, CountsReusedAndAdditional) {
+  const Netlist n = die();
+  WrapperPlan plan;
+  WrapperGroup g1;
+  g1.reused_ff = n.find("ff0");
+  g1.inbound = {n.find("ti0")};
+  WrapperGroup g2;
+  g2.inbound = {n.find("ti1")};
+  WrapperGroup g3;
+  g3.outbound = {n.find("to0"), n.find("to1")};
+  plan.groups = {g1, g2, g3};
+  EXPECT_EQ(plan.num_reused(), 1);
+  EXPECT_EQ(plan.num_additional(), 2);
+  EXPECT_TRUE(plan.covers_all_tsvs(n));
+}
+
+TEST(WrapperPlanTest, OneCellPerTsvCoversEverything) {
+  const Netlist n = die();
+  const WrapperPlan plan = one_cell_per_tsv(n);
+  EXPECT_TRUE(plan.covers_all_tsvs(n));
+  EXPECT_EQ(plan.num_reused(), 0);
+  EXPECT_EQ(plan.num_additional(), 4);
+}
+
+TEST(WrapperPlanTest, DetectsDoubleCoverage) {
+  const Netlist n = die();
+  WrapperPlan plan = one_cell_per_tsv(n);
+  plan.groups.push_back(plan.groups.front());  // duplicate group
+  EXPECT_FALSE(plan.covers_all_tsvs(n));
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,98 @@
+#include "celllib/celllib.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wcm {
+namespace {
+
+TEST(CellLibraryTest, DefaultLibraryHasSensibleMonotonicity) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  // An inverter is faster than a XOR at zero load.
+  EXPECT_LT(lib.timing(GateType::kNot).intrinsic_ps, lib.timing(GateType::kXor).intrinsic_ps);
+  // Everything has positive caps and drive limits.
+  for (GateType t : {GateType::kBuf, GateType::kNot, GateType::kAnd, GateType::kNand,
+                     GateType::kOr, GateType::kNor, GateType::kXor, GateType::kXnor,
+                     GateType::kMux, GateType::kDff}) {
+    EXPECT_GT(lib.timing(t).input_cap_ff, 0.0);
+    EXPECT_GT(lib.timing(t).max_load_ff, 0.0);
+    EXPECT_GE(lib.timing(t).intrinsic_ps, 0.0);
+  }
+  EXPECT_GT(lib.tsv_cap_ff(), 0.0);
+  EXPECT_GT(lib.clock_period_ps(), 0.0);
+}
+
+TEST(CellLibraryTest, PinCapOfPortsIsZero) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  EXPECT_DOUBLE_EQ(lib.pin_cap_ff(GateType::kInput), 0.0);
+  EXPECT_DOUBLE_EQ(lib.pin_cap_ff(GateType::kTsvIn), 0.0);
+  EXPECT_GT(lib.pin_cap_ff(GateType::kNand), 0.0);
+}
+
+TEST(CellLibraryTest, TextRoundTrip) {
+  CellLibrary lib = CellLibrary::nangate45_like();
+  lib.set_name("custom");
+  lib.set_wire(0.33, 0.44);
+  lib.set_tsv_cap_ff(21.0);
+  lib.set_clock_period_ps(800.0);
+  lib.timing(GateType::kNand).intrinsic_ps = 99.0;
+
+  const std::string text = lib.to_text();
+  std::istringstream in(text);
+  CellLibrary parsed;
+  std::string error;
+  ASSERT_TRUE(CellLibrary::parse(in, parsed, error)) << error;
+  EXPECT_EQ(parsed.name(), "custom");
+  EXPECT_DOUBLE_EQ(parsed.wire_cap_ff_per_um(), 0.33);
+  EXPECT_DOUBLE_EQ(parsed.wire_delay_ps_per_um(), 0.44);
+  EXPECT_DOUBLE_EQ(parsed.tsv_cap_ff(), 21.0);
+  EXPECT_DOUBLE_EQ(parsed.clock_period_ps(), 800.0);
+  EXPECT_DOUBLE_EQ(parsed.timing(GateType::kNand).intrinsic_ps, 99.0);
+}
+
+TEST(CellLibraryTest, ParseRejectsMalformedDirective) {
+  std::istringstream in("wire cap_per_um oops delay_per_um 0.4\n");
+  CellLibrary lib;
+  std::string error;
+  EXPECT_FALSE(CellLibrary::parse(in, lib, error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(CellLibraryTest, ParseRejectsUnknownCell) {
+  std::istringstream in("cell FROB intrinsic 1 slope 1 input_cap 1 max_load 1\n");
+  CellLibrary lib;
+  std::string error;
+  EXPECT_FALSE(CellLibrary::parse(in, lib, error));
+}
+
+TEST(CellLibraryTest, ParseRejectsNonPositiveClock) {
+  std::istringstream in("clock period -5\n");
+  CellLibrary lib;
+  std::string error;
+  EXPECT_FALSE(CellLibrary::parse(in, lib, error));
+}
+
+TEST(CellLibraryTest, ShippedDataFileMatchesBuiltInDefault) {
+  // data/nangate45.wcmlib is documented as the editable twin of
+  // nangate45_like(); this guards the two against drifting apart.
+  CellLibrary parsed;
+  std::string error;
+  ASSERT_TRUE(CellLibrary::parse_file(std::string(WCM_SOURCE_DIR) + "/data/nangate45.wcmlib",
+                                      parsed, error))
+      << error;
+  EXPECT_EQ(parsed.to_text(), CellLibrary::nangate45_like().to_text());
+}
+
+TEST(CellLibraryTest, ParseAppliesPartialOverrides) {
+  std::istringstream in("# only override the TSV cap\ntsv cap 30\n");
+  CellLibrary lib;
+  std::string error;
+  ASSERT_TRUE(CellLibrary::parse(in, lib, error)) << error;
+  EXPECT_DOUBLE_EQ(lib.tsv_cap_ff(), 30.0);
+  // Everything else keeps the nangate45-like defaults.
+  EXPECT_GT(lib.timing(GateType::kNand).input_cap_ff, 0.0);
+}
+
+}  // namespace
+}  // namespace wcm

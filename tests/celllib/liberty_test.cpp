@@ -1,0 +1,167 @@
+#include "celllib/liberty.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wcm {
+namespace {
+
+const char* kSampleLib = R"LIB(
+/* sample Liberty subset, ps / fF units */
+library (sample45) {
+  time_unit : "1ps";
+  capacitive_load_unit (1, ff);
+
+  lu_table_template (delay_tmpl) {
+    variable_1 : input_net_transition;
+    variable_2 : total_output_net_capacitance;
+    index_1 ("10, 100");
+    index_2 ("2, 50");
+  }
+
+  cell (NAND2_X1) {
+    area : 1.06;
+    pin (A) { direction : input; capacitance : 1.5; }
+    pin (B) { direction : input; capacitance : 1.9; }
+    pin (ZN) {
+      direction : output;
+      max_capacitance : 140;
+      timing () {
+        related_pin : "A";
+        cell_rise (delay_tmpl) {
+          index_1 ("10, 100");
+          index_2 ("2, 50");
+          values ("20, 120", "40, 150");
+        }
+        rise_transition (delay_tmpl) {
+          index_1 ("10, 100");
+          index_2 ("2, 50");
+          values ("8, 60", "25, 80");
+        }
+        cell_fall (delay_tmpl) {
+          index_1 ("10, 100");
+          index_2 ("2, 50");
+          values ("25, 110", "45, 140");
+        }
+        fall_transition (delay_tmpl) {
+          index_1 ("10, 100");
+          index_2 ("2, 50");
+          values ("9, 55", "28, 85");
+        }
+      }
+    }
+  }
+
+  cell (INV_X2) {
+    pin (A) { direction : input; capacitance : 2.1; }
+    pin (ZN) {
+      direction : output;
+      max_capacitance : 200;
+      timing () {
+        related_pin : "A";
+        cell_rise (delay_tmpl) {
+          index_1 ("10, 100");
+          index_2 ("2, 50");
+          values ("6, 70", "18, 90");
+        }
+      }
+    }
+  }
+
+  cell (WEIRDCELL_X1) {
+    pin (A) { direction : input; capacitance : 1.0; }
+  }
+}
+)LIB";
+
+TEST(LibertyParserTest, BuildsGroupTree) {
+  const LibertyParseResult r = parse_liberty_string(kSampleLib);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.library->name, "library");
+  ASSERT_EQ(r.library->args.size(), 1u);
+  EXPECT_EQ(r.library->args[0], "sample45");
+  // Children: template + 3 cells.
+  int cells = 0;
+  for (const auto& child : r.library->children)
+    if (child->name == "cell") ++cells;
+  EXPECT_EQ(cells, 3);
+  EXPECT_NE(r.library->attribute("time_unit"), nullptr);
+  EXPECT_NE(r.library->complex_attribute("capacitive_load_unit"), nullptr);
+}
+
+TEST(LibertyParserTest, HandlesCommentsAndStrings) {
+  const LibertyParseResult r = parse_liberty_string(
+      "library (x) { // line comment\n /* block\ncomment */ foo : \"a b c\"; }");
+  ASSERT_TRUE(r.ok) << r.error;
+  const std::string* foo = r.library->attribute("foo");
+  ASSERT_NE(foo, nullptr);
+  EXPECT_EQ(*foo, "a b c");
+}
+
+TEST(LibertyParserTest, ErrorsCarryLineNumbers) {
+  const LibertyParseResult r = parse_liberty_string("library (x) {\n  cell (A) {\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line"), std::string::npos);
+}
+
+TEST(LibertyParserTest, RejectsDanglingAttribute) {
+  const LibertyParseResult r = parse_liberty_string("library (x) { foo ; }");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(LibertyLowerTest, MapsCellsByNamePrefix) {
+  CellLibrary lib;
+  std::string error;
+  std::istringstream in(kSampleLib);
+  ASSERT_TRUE(read_liberty(in, lib, error)) << error;
+  EXPECT_EQ(lib.name(), "sample45");
+  // NAND2_X1: mean input cap, max_capacitance, NLDM surface.
+  const CellTiming& nand = lib.timing(GateType::kNand);
+  EXPECT_DOUBLE_EQ(nand.input_cap_ff, (1.5 + 1.9) / 2.0);
+  EXPECT_DOUBLE_EQ(nand.max_load_ff, 140.0);
+  ASSERT_FALSE(nand.lut.empty());
+  // Rise/fall merged point-wise by max: corner (slew 10, load 2) = max(20,25).
+  EXPECT_DOUBLE_EQ(nand.lut.lookup(nand.lut.delay_ps, 10.0, 2.0), 25.0);
+  EXPECT_DOUBLE_EQ(nand.lut.lookup(nand.lut.delay_ps, 100.0, 50.0), 150.0);
+  // Linear tangent re-derived from the fast-edge row.
+  EXPECT_DOUBLE_EQ(nand.intrinsic_ps, 25.0);
+  EXPECT_DOUBLE_EQ(nand.slope_ps_per_ff, (120.0 - 25.0) / 48.0);
+  // INV_X2 -> NOT.
+  const CellTiming& inv = lib.timing(GateType::kNot);
+  EXPECT_DOUBLE_EQ(inv.input_cap_ff, 2.1);
+  EXPECT_DOUBLE_EQ(inv.max_load_ff, 200.0);
+}
+
+TEST(LibertyLowerTest, UnknownCellsAreSkippedAndDefaultsSurvive) {
+  CellLibrary lib;
+  std::string error;
+  std::istringstream in(kSampleLib);
+  ASSERT_TRUE(read_liberty(in, lib, error)) << error;
+  // WEIRDCELL matched nothing; XOR keeps nangate45 defaults.
+  const CellLibrary defaults = CellLibrary::nangate45_like();
+  EXPECT_DOUBLE_EQ(lib.timing(GateType::kXor).intrinsic_ps,
+                   defaults.timing(GateType::kXor).intrinsic_ps);
+  // And non-cell parameters (wire, TSV, clock) come from the defaults too.
+  EXPECT_DOUBLE_EQ(lib.tsv_cap_ff(), defaults.tsv_cap_ff());
+}
+
+TEST(LibertyLowerTest, RejectsNonLibraryTopLevel) {
+  CellLibrary lib;
+  std::string error;
+  std::istringstream in("cell (X) { }");
+  EXPECT_FALSE(read_liberty(in, lib, error));
+  EXPECT_NE(error.find("library"), std::string::npos);
+}
+
+TEST(LibertyLowerTest, StaConsumesLibertySurfaces) {
+  CellLibrary lib;
+  std::string error;
+  std::istringstream in(kSampleLib);
+  ASSERT_TRUE(read_liberty(in, lib, error)) << error;
+  // The lowered NAND surface must be slower at heavy load than light load
+  // when looked up the way the STA does it.
+  const TimingLut& lut = lib.timing(GateType::kNand).lut;
+  EXPECT_LT(lut.lookup(lut.delay_ps, 50.0, 5.0), lut.lookup(lut.delay_ps, 50.0, 45.0));
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,148 @@
+#include "core/clique.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace wcm {
+namespace {
+
+/// Builds a CompatGraph skeleton from an edge list (node kinds are
+/// irrelevant to the partitioner itself).
+CompatGraph make_graph(int nodes, const std::vector<std::pair<int, int>>& edges) {
+  CompatGraph g;
+  g.nodes.resize(static_cast<std::size_t>(nodes));
+  g.adj.assign(static_cast<std::size_t>(nodes), {});
+  for (auto [a, b] : edges) {
+    g.adj[static_cast<std::size_t>(a)].push_back(b);
+    g.adj[static_cast<std::size_t>(b)].push_back(a);
+    ++g.num_edges;
+  }
+  return g;
+}
+
+MergePredicate always() {
+  return [](const std::vector<int>&, const std::vector<int>&) { return true; };
+}
+
+std::size_t total_members(const CliquePartition& p) {
+  std::size_t total = 0;
+  for (const auto& c : p.cliques) total += c.size();
+  return total;
+}
+
+TEST(CliqueTest, IsolatedNodesStaySingletons) {
+  const CompatGraph g = make_graph(4, {});
+  const CliquePartition p = partition_cliques(g, always());
+  EXPECT_EQ(p.cliques.size(), 4u);
+  EXPECT_EQ(p.merges, 0);
+}
+
+TEST(CliqueTest, TriangleCollapsesToOneClique) {
+  const CompatGraph g = make_graph(3, {{0, 1}, {1, 2}, {0, 2}});
+  const CliquePartition p = partition_cliques(g, always());
+  EXPECT_EQ(p.cliques.size(), 1u);
+  EXPECT_EQ(p.cliques[0].size(), 3u);
+}
+
+TEST(CliqueTest, PathOfThreeNeedsTwoCliques) {
+  // 0-1-2 (no 0-2 edge): best partition is {0,1},{2} or {0},{1,2}.
+  const CompatGraph g = make_graph(3, {{0, 1}, {1, 2}});
+  const CliquePartition p = partition_cliques(g, always());
+  EXPECT_EQ(p.cliques.size(), 2u);
+  EXPECT_EQ(total_members(p), 3u);
+}
+
+TEST(CliqueTest, EveryNodeAppearsExactlyOnce) {
+  const CompatGraph g = make_graph(
+      7, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {3, 5}, {5, 6}});
+  const CliquePartition p = partition_cliques(g, always());
+  std::vector<int> seen;
+  for (const auto& c : p.cliques) seen.insert(seen.end(), c.begin(), c.end());
+  std::sort(seen.begin(), seen.end());
+  std::vector<int> expected(7);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(CliqueTest, ResultIsAlwaysCliques) {
+  // Random-ish graph: verify every output group is pairwise adjacent in the
+  // ORIGINAL graph (the invariant the merge rule must preserve).
+  const std::vector<std::pair<int, int>> edges = {
+      {0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {2, 4}, {1, 4}, {5, 6}, {6, 7}, {5, 7}};
+  const CompatGraph g = make_graph(8, edges);
+  auto adjacent = [&](int a, int b) {
+    for (auto [x, y] : edges)
+      if ((x == a && y == b) || (x == b && y == a)) return true;
+    return false;
+  };
+  const CliquePartition p = partition_cliques(g, always());
+  for (const auto& c : p.cliques)
+    for (std::size_t i = 0; i < c.size(); ++i)
+      for (std::size_t j = i + 1; j < c.size(); ++j)
+        EXPECT_TRUE(adjacent(c[i], c[j])) << c[i] << "," << c[j];
+}
+
+TEST(CliqueTest, MergePredicateVetoSplitsCliques) {
+  const CompatGraph g = make_graph(3, {{0, 1}, {1, 2}, {0, 2}});
+  // Cap cliques at 2 members.
+  const MergePredicate cap2 = [](const std::vector<int>& a, const std::vector<int>& b) {
+    return a.size() + b.size() <= 2;
+  };
+  const CliquePartition p = partition_cliques(g, cap2);
+  EXPECT_EQ(p.cliques.size(), 2u);
+  EXPECT_GT(p.rejected_merges, 0);
+  for (const auto& c : p.cliques) EXPECT_LE(c.size(), 2u);
+}
+
+TEST(CliqueTest, AlwaysVetoKeepsSingletons) {
+  const CompatGraph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  const MergePredicate never = [](const auto&, const auto&) { return false; };
+  const CliquePartition p = partition_cliques(g, never);
+  EXPECT_EQ(p.cliques.size(), 4u);
+  EXPECT_EQ(p.merges, 0);
+  EXPECT_EQ(p.rejected_merges, 4);
+}
+
+TEST(CliqueTest, StarGraphYieldsOnePairPlusSingletons) {
+  // Star 0-{1,2,3,4}: only one neighbour can merge with the hub.
+  const CompatGraph g = make_graph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const CliquePartition p = partition_cliques(g, always());
+  EXPECT_EQ(p.cliques.size(), 4u);
+  EXPECT_EQ(total_members(p), 5u);
+}
+
+TEST(CliqueTest, TwoDisjointTrianglesBothCollapse) {
+  const CompatGraph g =
+      make_graph(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  const CliquePartition p = partition_cliques(g, always());
+  EXPECT_EQ(p.cliques.size(), 2u);
+}
+
+TEST(CliqueTest, CompleteGraphCollapsesFully) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 6; ++i)
+    for (int j = i + 1; j < 6; ++j) edges.push_back({i, j});
+  const CompatGraph g = make_graph(6, edges);
+  const CliquePartition p = partition_cliques(g, always());
+  EXPECT_EQ(p.cliques.size(), 1u);
+  EXPECT_EQ(p.cliques[0].size(), 6u);
+}
+
+TEST(CliqueTest, FewerEdgesNeverBeatMoreEdges) {
+  // Property: adding edges can only keep or reduce the clique count under
+  // the same (permissive) merge predicate — the solution-space-expansion
+  // argument behind Fig. 7 of the paper.
+  std::vector<std::pair<int, int>> sparse = {{0, 1}, {2, 3}};
+  std::vector<std::pair<int, int>> dense = sparse;
+  dense.push_back({1, 2});
+  dense.push_back({0, 2});
+  dense.push_back({1, 3});
+  dense.push_back({0, 3});
+  const CliquePartition ps = partition_cliques(make_graph(5, sparse), always());
+  const CliquePartition pd = partition_cliques(make_graph(5, dense), always());
+  EXPECT_LE(pd.cliques.size(), ps.cliques.size());
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,188 @@
+#include "core/compat_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+
+namespace wcm {
+namespace {
+
+struct Fixture {
+  Netlist netlist;
+  Placement placement;
+  CellLibrary lib = CellLibrary::nangate45_like();
+  StaEngine sta;
+  TimingReport timing;
+  ConeDb cones;
+  AtpgOptions measure_opts;
+  TestabilityOracle oracle;
+
+  explicit Fixture(const DieSpec& spec)
+      : netlist(generate_die(spec)),
+        placement(place(netlist, PlaceOptions{})),
+        sta(netlist, lib, &placement),
+        timing(sta.run()),
+        cones(netlist),
+        oracle(netlist, cones, OracleMode::kStructural, measure_opts) {}
+
+  GraphInputs inputs() {
+    GraphInputs in;
+    in.netlist = &netlist;
+    in.placement = &placement;
+    in.sta = &sta;
+    in.timing = &timing;
+    in.cones = &cones;
+    in.oracle = &oracle;
+    return in;
+  }
+};
+
+DieSpec small_spec() {
+  DieSpec spec = itc99_die_spec("b12", 1);
+  return spec;
+}
+
+TEST(ResolveThresholdsTest, AbsoluteValuesPassThrough) {
+  WcmConfig cfg;
+  cfg.cap_th_ff = 42.0;
+  cfg.d_th_um = 17.0;
+  cfg.s_th_ps = 3.0;
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const ResolvedThresholds th = resolve_thresholds(cfg, lib, nullptr);
+  EXPECT_DOUBLE_EQ(th.cap_th_ff, 42.0);
+  EXPECT_DOUBLE_EQ(th.d_th_um, 17.0);
+  EXPECT_DOUBLE_EQ(th.s_th_ps, 3.0);
+}
+
+TEST(ResolveThresholdsTest, RelativeCapUsesFlopDriveLimit) {
+  WcmConfig cfg;
+  cfg.cap_th_ff = -0.5;
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const ResolvedThresholds th = resolve_thresholds(cfg, lib, nullptr);
+  EXPECT_DOUBLE_EQ(th.cap_th_ff, 0.5 * lib.timing(GateType::kDff).max_load_ff);
+}
+
+TEST(ResolveThresholdsTest, RelativeDistanceUsesOutline) {
+  Fixture fx(small_spec());
+  WcmConfig cfg;
+  cfg.d_th_um = -0.25;
+  const ResolvedThresholds th = resolve_thresholds(cfg, fx.lib, &fx.placement);
+  EXPECT_DOUBLE_EQ(th.d_th_um, 0.25 * fx.placement.outline().half_perimeter());
+}
+
+TEST(CompatGraphTest, NodesAreFlopsPlusAdmittedTsvs) {
+  Fixture fx(small_spec());
+  const auto ffs = fx.netlist.scan_flip_flops();
+  const auto& tsvs = fx.netlist.inbound_tsvs();
+  const CompatGraph g = build_compat_graph(fx.inputs(), fx.lib, tsvs,
+                                           NodeKind::kInboundTsv, ffs,
+                                           WcmConfig::proposed_area());
+  EXPECT_EQ(g.nodes.size() + g.rejected_tsvs.size(), ffs.size() + tsvs.size());
+  // Flops come first and carry the right kind.
+  for (std::size_t i = 0; i < ffs.size(); ++i)
+    EXPECT_EQ(g.nodes[i].kind, NodeKind::kScanFF);
+}
+
+TEST(CompatGraphTest, NoFlopFlopEdges) {
+  Fixture fx(small_spec());
+  const auto ffs = fx.netlist.scan_flip_flops();
+  const CompatGraph g = build_compat_graph(fx.inputs(), fx.lib, fx.netlist.inbound_tsvs(),
+                                           NodeKind::kInboundTsv, ffs,
+                                           WcmConfig::proposed_area());
+  for (std::size_t i = 0; i < ffs.size(); ++i)
+    for (int nb : g.adj[i])
+      EXPECT_NE(g.nodes[static_cast<std::size_t>(nb)].kind, NodeKind::kScanFF);
+}
+
+TEST(CompatGraphTest, AdjacencyIsSymmetric) {
+  Fixture fx(small_spec());
+  const CompatGraph g = build_compat_graph(fx.inputs(), fx.lib, fx.netlist.outbound_tsvs(),
+                                           NodeKind::kOutboundTsv,
+                                           fx.netlist.scan_flip_flops(),
+                                           WcmConfig::proposed_area());
+  for (std::size_t i = 0; i < g.adj.size(); ++i)
+    for (int nb : g.adj[i]) {
+      const auto& back = g.adj[static_cast<std::size_t>(nb)];
+      EXPECT_NE(std::find(back.begin(), back.end(), static_cast<int>(i)), back.end());
+    }
+}
+
+TEST(CompatGraphTest, TightDistanceThresholdPrunesEdges) {
+  Fixture fx(small_spec());
+  WcmConfig open = WcmConfig::proposed_area();
+  WcmConfig tight = open;
+  tight.d_th_um = 4.0;  // a couple of placement sites
+  const CompatGraph g_open = build_compat_graph(fx.inputs(), fx.lib,
+                                                fx.netlist.inbound_tsvs(),
+                                                NodeKind::kInboundTsv,
+                                                fx.netlist.scan_flip_flops(), open);
+  const CompatGraph g_tight = build_compat_graph(fx.inputs(), fx.lib,
+                                                 fx.netlist.inbound_tsvs(),
+                                                 NodeKind::kInboundTsv,
+                                                 fx.netlist.scan_flip_flops(), tight);
+  EXPECT_LT(g_tight.num_edges, g_open.num_edges);
+}
+
+TEST(CompatGraphTest, DisallowingOverlapRemovesOracleEdges) {
+  Fixture fx(small_spec());
+  WcmConfig with = WcmConfig::proposed_area();
+  WcmConfig without = with;
+  without.allow_overlap_sharing = false;
+  const CompatGraph g_with = build_compat_graph(fx.inputs(), fx.lib,
+                                                fx.netlist.inbound_tsvs(),
+                                                NodeKind::kInboundTsv,
+                                                fx.netlist.scan_flip_flops(), with);
+  const CompatGraph g_without = build_compat_graph(fx.inputs(), fx.lib,
+                                                   fx.netlist.inbound_tsvs(),
+                                                   NodeKind::kInboundTsv,
+                                                   fx.netlist.scan_flip_flops(), without);
+  EXPECT_GT(g_with.overlap_edges, 0);
+  EXPECT_EQ(g_without.overlap_edges, 0);
+  EXPECT_EQ(g_with.num_edges - g_with.overlap_edges, g_without.num_edges);
+}
+
+TEST(CompatGraphTest, OutboundSlackThresholdRejectsNodes) {
+  Fixture fx(small_spec());
+  WcmConfig cfg = WcmConfig::proposed_area();
+  cfg.s_th_ps = 1e9;  // impossible: every outbound TSV rejected
+  const CompatGraph g = build_compat_graph(fx.inputs(), fx.lib, fx.netlist.outbound_tsvs(),
+                                           NodeKind::kOutboundTsv,
+                                           fx.netlist.scan_flip_flops(), cfg);
+  EXPECT_EQ(g.rejected_tsvs.size(), fx.netlist.outbound_tsvs().size());
+}
+
+TEST(TimingPrimitivesTest, AttachLoadGrowsWithDistance) {
+  Fixture fx(small_spec());
+  const GraphInputs in = fx.inputs();
+  const auto ffs = fx.netlist.scan_flip_flops();
+  const auto& tsvs = fx.netlist.inbound_tsvs();
+  // Find a far pair and a near pair.
+  double near_d = 1e18, far_d = -1;
+  GateId near_ff = kNoGate, near_t = kNoGate, far_ff = kNoGate, far_t = kNoGate;
+  for (GateId ff : ffs)
+    for (GateId t : tsvs) {
+      const double d = fx.placement.distance(ff, t);
+      if (d < near_d) { near_d = d; near_ff = ff; near_t = t; }
+      if (d > far_d) { far_d = d; far_ff = ff; far_t = t; }
+    }
+  const double near_load =
+      inbound_attach_load_ff(in, fx.lib, TimingModel::kAccurate, near_ff, near_t);
+  const double far_load =
+      inbound_attach_load_ff(in, fx.lib, TimingModel::kAccurate, far_ff, far_t);
+  EXPECT_GT(far_load, near_load);
+  // The pin-cap-only model is blind to the same distance.
+  EXPECT_DOUBLE_EQ(
+      inbound_attach_load_ff(in, fx.lib, TimingModel::kPinCapOnly, near_ff, near_t),
+      inbound_attach_load_ff(in, fx.lib, TimingModel::kPinCapOnly, far_ff, far_t));
+}
+
+TEST(TimingPrimitivesTest, OutboundDelayIncludesCaptureGates) {
+  Fixture fx(small_spec());
+  const GraphInputs in = fx.inputs();
+  const GateId t = fx.netlist.outbound_tsvs().front();
+  const double d = outbound_added_delay_ps(in, fx.lib, TimingModel::kAccurate, t, t);
+  EXPECT_GE(d, fx.lib.timing(GateType::kXor).intrinsic_ps);
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,110 @@
+#include "core/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+
+namespace wcm {
+namespace {
+
+const DieSpec kSpec = itc99_die_spec("b12", 1);
+
+TEST(FlowTest, EndToEndProducesLegalPlan) {
+  const Netlist n = generate_die(kSpec);
+  FlowConfig cfg;
+  cfg.wcm = WcmConfig::proposed_area();
+  const FlowReport report = run_flow(n, cfg);
+  EXPECT_TRUE(report.solution.plan.covers_all_tsvs(n));
+  EXPECT_EQ(report.die_name, n.name());
+  EXPECT_GT(report.insertion.added_gate_count(), 0);
+}
+
+TEST(FlowTest, TightClockIsAboveIdealCriticalPath) {
+  const Netlist n = generate_die(kSpec);
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const double tight = tight_clock_period_ps(n, lib, PlaceOptions{}, 0.01);
+  const double tighter = tight_clock_period_ps(n, lib, PlaceOptions{}, 0.05);
+  EXPECT_GT(tight, 0.0);
+  EXPECT_GT(tighter, tight);  // more margin -> longer period
+}
+
+TEST(FlowTest, IdealInsertionMeetsTightClock) {
+  // The defining property of the tight scenario: the all-dedicated insertion
+  // fits the clock, so violations can only come from reuse decisions.
+  const Netlist n = generate_die(kSpec);
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const double period = tight_clock_period_ps(n, lib, PlaceOptions{});
+  FlowConfig cfg;
+  cfg.wcm = WcmConfig::proposed_tight();
+  cfg.wcm.d_th_um = 1.0;  // reuse practically impossible -> near-ideal plan
+  cfg.clock_period_ps = period;
+  const FlowReport report = run_flow(n, cfg);
+  EXPECT_FALSE(report.timing_violation) << report.worst_slack_ps;
+}
+
+TEST(FlowTest, RepairEliminatesViolations) {
+  // Property over several dies: the proposed flow with repair never ships a
+  // violating netlist under its own tight clock.
+  for (const char* circuit : {"b11", "b12", "b20"}) {
+    const Netlist n = generate_die(itc99_die_spec(circuit, 0));
+    const CellLibrary lib = CellLibrary::nangate45_like();
+    FlowConfig cfg;
+    cfg.wcm = WcmConfig::proposed_tight();
+    cfg.clock_period_ps = tight_clock_period_ps(n, lib, PlaceOptions{});
+    cfg.repair_timing = true;
+    const FlowReport report = run_flow(n, cfg);
+    EXPECT_FALSE(report.timing_violation) << circuit << " wns=" << report.worst_slack_ps;
+    EXPECT_TRUE(report.solution.plan.covers_all_tsvs(n)) << circuit;
+  }
+}
+
+TEST(FlowTest, RepairPreservesCellAccounting) {
+  const Netlist n = generate_die(itc99_die_spec("b20", 0));
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  FlowConfig cfg;
+  cfg.wcm = WcmConfig::proposed_tight();
+  cfg.clock_period_ps = tight_clock_period_ps(n, lib, PlaceOptions{});
+  cfg.repair_timing = true;
+  const FlowReport report = run_flow(n, cfg);
+  EXPECT_EQ(report.solution.reused_ffs, report.solution.plan.num_reused());
+  EXPECT_EQ(report.solution.additional_cells, report.solution.plan.num_additional());
+}
+
+TEST(FlowTest, LooseClockNeverViolates) {
+  const Netlist n = generate_die(kSpec);
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  FlowConfig cfg;
+  cfg.wcm = WcmConfig::proposed_area();
+  cfg.clock_period_ps = tight_clock_period_ps(n, lib, PlaceOptions{}) * 3.0;
+  const FlowReport report = run_flow(n, cfg);
+  EXPECT_FALSE(report.timing_violation);
+  EXPECT_EQ(report.repair_iterations, 0);
+}
+
+TEST(FlowTest, AtpgRunsWhenRequested) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  FlowConfig cfg;
+  cfg.wcm = WcmConfig::proposed_area();
+  cfg.run_stuck_at = true;
+  cfg.run_transition = true;
+  const FlowReport report = run_flow(n, cfg);
+  EXPECT_GT(report.stuck_at.total_faults, 0);
+  EXPECT_GT(report.stuck_at.coverage(), 0.9);
+  EXPECT_GT(report.transition.total_faults, 0);
+  EXPECT_GT(report.transition.patterns, report.stuck_at.patterns);
+}
+
+TEST(FlowTest, ReportsAreDeterministic) {
+  const Netlist n = generate_die(kSpec);
+  FlowConfig cfg;
+  cfg.wcm = WcmConfig::proposed_tight();
+  cfg.clock_period_ps = 5000.0;
+  const FlowReport a = run_flow(n, cfg);
+  const FlowReport b = run_flow(n, cfg);
+  EXPECT_EQ(a.solution.reused_ffs, b.solution.reused_ffs);
+  EXPECT_EQ(a.solution.additional_cells, b.solution.additional_cells);
+  EXPECT_DOUBLE_EQ(a.worst_slack_ps, b.worst_slack_ps);
+}
+
+}  // namespace
+}  // namespace wcm

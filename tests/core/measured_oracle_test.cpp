@@ -1,0 +1,61 @@
+// End-to-end run of the solver with the ATPG-backed (kMeasured) testability
+// oracle — the mode that mirrors the paper's per-pair commercial-ATPG query
+// exactly. Kept on the smallest die: each oracle query is a full fault-sim
+// campaign.
+#include <gtest/gtest.h>
+
+#include "atpg/testview.hpp"
+#include "core/solver.hpp"
+#include "gen/generator.hpp"
+
+namespace wcm {
+namespace {
+
+TEST(MeasuredOracleTest, SolverRunsEndToEnd) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  WcmConfig cfg = WcmConfig::proposed_area();
+  cfg.oracle_mode = OracleMode::kMeasured;
+  const WcmSolution sol = solve_wcm(n, &placement, lib, cfg);
+  EXPECT_TRUE(sol.plan.covers_all_tsvs(n));
+}
+
+TEST(MeasuredOracleTest, MeasuredAdmitsNoWorseCoverageThanStructural) {
+  // The measured oracle is the ground truth the structural one approximates;
+  // the solutions it admits must hold up under a full ATPG run at least as
+  // well as the structural-oracle solutions (same thresholds).
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+
+  WcmConfig structural = WcmConfig::proposed_area();
+  WcmConfig measured = structural;
+  measured.oracle_mode = OracleMode::kMeasured;
+
+  AtpgOptions atpg;
+  atpg.seed = 31;
+  const WcmSolution s_sol = solve_wcm(n, &placement, lib, structural);
+  const WcmSolution m_sol = solve_wcm(n, &placement, lib, measured);
+  const AtpgResult s_cov =
+      AtpgEngine(build_test_view(n, s_sol.plan)).run_stuck_at(atpg);
+  const AtpgResult m_cov =
+      AtpgEngine(build_test_view(n, m_sol.plan)).run_stuck_at(atpg);
+  EXPECT_GE(m_cov.test_coverage() + 0.01, s_cov.test_coverage());
+}
+
+TEST(MeasuredOracleTest, ModesMayDisagreeButBothStayLegal) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 3));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  for (OracleMode mode : {OracleMode::kStructural, OracleMode::kMeasured}) {
+    WcmConfig cfg = WcmConfig::proposed_area();
+    cfg.oracle_mode = mode;
+    const WcmSolution sol = solve_wcm(n, &placement, lib, cfg);
+    EXPECT_TRUE(sol.plan.covers_all_tsvs(n));
+    EXPECT_LE(sol.reused_ffs, static_cast<int>(n.scan_flip_flops().size()));
+  }
+}
+
+}  // namespace
+}  // namespace wcm

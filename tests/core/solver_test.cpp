@@ -1,0 +1,143 @@
+#include "core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "atpg/testview.hpp"
+#include "dft/insertion.hpp"
+#include "gen/generator.hpp"
+
+namespace wcm {
+namespace {
+
+struct DieSetup {
+  Netlist netlist;
+  Placement placement;
+  CellLibrary lib = CellLibrary::nangate45_like();
+};
+
+DieSetup make_setup(const char* circuit, int die) {
+  DieSetup s{generate_die(itc99_die_spec(circuit, die)), {}};
+  s.placement = place(s.netlist, PlaceOptions{});
+  return s;
+}
+
+TEST(SolverTest, PlanCoversAllTsvs) {
+  const DieSetup s = make_setup("b11", 1);
+  const WcmSolution sol = solve_wcm(s.netlist, &s.placement, s.lib, WcmConfig::proposed_area());
+  EXPECT_TRUE(sol.plan.covers_all_tsvs(s.netlist));
+  EXPECT_TRUE(check_plan(s.netlist, sol.plan).empty());
+}
+
+TEST(SolverTest, ReuseReducesAdditionalCellsVsTrivial) {
+  const DieSetup s = make_setup("b12", 1);
+  const WcmSolution sol = solve_wcm(s.netlist, &s.placement, s.lib, WcmConfig::proposed_area());
+  const int trivial = static_cast<int>(s.netlist.inbound_tsvs().size() +
+                                       s.netlist.outbound_tsvs().size());
+  EXPECT_LT(sol.additional_cells, trivial);
+  EXPECT_GT(sol.reused_ffs, 0);
+}
+
+TEST(SolverTest, ReusedPlusUnusedEqualsAllFlops) {
+  const DieSetup s = make_setup("b11", 0);
+  const WcmSolution sol = solve_wcm(s.netlist, &s.placement, s.lib, WcmConfig::proposed_area());
+  EXPECT_LE(sol.reused_ffs,
+            static_cast<int>(s.netlist.scan_flip_flops().size()));
+}
+
+TEST(SolverTest, TwoPhasesReported) {
+  const DieSetup s = make_setup("b11", 1);
+  const WcmSolution sol = solve_wcm(s.netlist, &s.placement, s.lib, WcmConfig::proposed_area());
+  ASSERT_EQ(sol.phases.size(), 2u);
+  // b11 die1: 27 inbound vs 43 outbound -> larger-first = outbound first.
+  EXPECT_EQ(sol.phases[0].direction, NodeKind::kOutboundTsv);
+  EXPECT_EQ(sol.phases[1].direction, NodeKind::kInboundTsv);
+}
+
+TEST(SolverTest, OrderingPolicyRespected) {
+  const DieSetup s = make_setup("b11", 1);
+  WcmConfig cfg = WcmConfig::proposed_area();
+  cfg.ordering = OrderingPolicy::kInboundFirst;
+  const WcmSolution sol = solve_wcm(s.netlist, &s.placement, s.lib, cfg);
+  EXPECT_EQ(sol.phases[0].direction, NodeKind::kInboundTsv);
+}
+
+TEST(SolverTest, DeterministicAcrossRuns) {
+  const DieSetup s = make_setup("b12", 2);
+  const WcmConfig cfg = WcmConfig::proposed_area();
+  const WcmSolution a = solve_wcm(s.netlist, &s.placement, s.lib, cfg);
+  const WcmSolution b = solve_wcm(s.netlist, &s.placement, s.lib, cfg);
+  EXPECT_EQ(a.reused_ffs, b.reused_ffs);
+  EXPECT_EQ(a.additional_cells, b.additional_cells);
+}
+
+TEST(SolverTest, OverlapSharingNeverHurtsCellCount) {
+  const DieSetup s = make_setup("b12", 2);
+  WcmConfig with = WcmConfig::proposed_area();
+  WcmConfig without = with;
+  without.allow_overlap_sharing = false;
+  const WcmSolution sol_with = solve_wcm(s.netlist, &s.placement, s.lib, with);
+  const WcmSolution sol_without = solve_wcm(s.netlist, &s.placement, s.lib, without);
+  EXPECT_LE(sol_with.additional_cells, sol_without.additional_cells);
+  // And the graph is never smaller (Fig. 7's expansion).
+  int edges_with = 0, edges_without = 0;
+  for (const auto& p : sol_with.phases) edges_with += p.graph_edges;
+  for (const auto& p : sol_without.phases) edges_without += p.graph_edges;
+  EXPECT_GE(edges_with, edges_without);
+}
+
+TEST(SolverTest, TightThresholdsReduceReuse) {
+  const DieSetup s = make_setup("b20", 0);
+  const WcmSolution open =
+      solve_wcm(s.netlist, &s.placement, s.lib, WcmConfig::proposed_area());
+  const WcmSolution tight =
+      solve_wcm(s.netlist, &s.placement, s.lib, WcmConfig::proposed_tight());
+  EXPECT_LE(tight.reused_ffs, open.reused_ffs);
+  EXPECT_GE(tight.additional_cells, open.additional_cells);
+}
+
+TEST(SolverTest, PinCapOnlyRunsWithoutPlacement) {
+  const DieSetup s = make_setup("b11", 2);
+  WcmConfig cfg = WcmConfig::agrawal_area();
+  const WcmSolution sol = solve_wcm(s.netlist, nullptr, s.lib, cfg);
+  EXPECT_TRUE(sol.plan.covers_all_tsvs(s.netlist));
+}
+
+TEST(SolverTest, SolutionInsertsAndPassesCheck) {
+  DieSetup s = make_setup("b12", 0);
+  const WcmSolution sol = solve_wcm(s.netlist, &s.placement, s.lib, WcmConfig::proposed_area());
+  Netlist copy = s.netlist;
+  Placement placement = s.placement;
+  const InsertionResult ins = insert_wrappers(copy, sol.plan, &placement);
+  EXPECT_EQ(copy.check(), "");
+  EXPECT_EQ(static_cast<int>(ins.added_cells.size()), sol.additional_cells);
+}
+
+TEST(SolverTest, TestViewBuildsFromSolution) {
+  const DieSetup s = make_setup("b11", 3);
+  const WcmSolution sol = solve_wcm(s.netlist, &s.placement, s.lib, WcmConfig::proposed_area());
+  EXPECT_NO_FATAL_FAILURE(build_test_view(s.netlist, sol.plan));
+}
+
+// ---- Li greedy baseline ----
+
+TEST(LiGreedyTest, OneTsvPerFlop) {
+  const DieSetup s = make_setup("b12", 3);
+  const WcmSolution sol =
+      solve_li_greedy(s.netlist, &s.placement, s.lib, WcmConfig::proposed_area());
+  EXPECT_TRUE(sol.plan.covers_all_tsvs(s.netlist));
+  for (const WrapperGroup& g : sol.plan.groups)
+    EXPECT_LE(g.inbound.size() + g.outbound.size(), 1u);
+}
+
+TEST(LiGreedyTest, CliqueSharingBeatsLi) {
+  // The WCM clique method reuses flops multiple times; Li cannot, so the
+  // clique method never needs more additional cells.
+  const DieSetup s = make_setup("b12", 1);
+  const WcmConfig cfg = WcmConfig::proposed_area();
+  const WcmSolution li = solve_li_greedy(s.netlist, &s.placement, s.lib, cfg);
+  const WcmSolution clique = solve_wcm(s.netlist, &s.placement, s.lib, cfg);
+  EXPECT_LE(clique.additional_cells, li.additional_cells);
+}
+
+}  // namespace
+}  // namespace wcm

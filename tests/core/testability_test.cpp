@@ -1,0 +1,152 @@
+#include "core/testability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace wcm {
+namespace {
+
+AtpgOptions measure_opts() {
+  AtpgOptions opts;
+  opts.max_random_batches = 16;
+  opts.deterministic_phase = false;
+  opts.seed = 77;
+  return opts;
+}
+
+TEST(TestabilityOracleTest, DisjointConesHaveZeroImpact) {
+  const auto r = read_bench_string(R"(
+TSV_IN(ti)
+INPUT(a)
+OUTPUT(z0)
+OUTPUT(z1)
+ff = SCAN_DFF(g1)
+g0 = NOT(ti)
+z0 = BUF(g0)
+g1 = NOT(a)
+z1 = BUF(ff)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Netlist& n = r.netlist;
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kStructural, measure_opts());
+  const PairImpact impact = oracle.evaluate(n.find("ff"), NodeKind::kScanFF, n.find("ti"),
+                                            NodeKind::kInboundTsv);
+  EXPECT_DOUBLE_EQ(impact.coverage_loss, 0.0);
+  EXPECT_DOUBLE_EQ(impact.extra_patterns, 0.0);
+}
+
+TEST(TestabilityOracleTest, StructuralImpactGrowsWithOverlap) {
+  const Netlist n = generate_die(itc99_die_spec("b12", 1));
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kStructural, measure_opts());
+  const auto ffs = n.scan_flip_flops();
+  // Find pairs with small and large fan-out overlap.
+  GateId small_ff = kNoGate, small_t = kNoGate, big_ff = kNoGate, big_t = kNoGate;
+  std::size_t small_o = SIZE_MAX, big_o = 0;
+  for (GateId ff : ffs)
+    for (GateId t : n.inbound_tsvs()) {
+      const std::size_t o = cones.fanout_overlap_count(ff, t);
+      if (o == 0) continue;
+      if (o < small_o) { small_o = o; small_ff = ff; small_t = t; }
+      if (o > big_o) { big_o = o; big_ff = ff; big_t = t; }
+    }
+  ASSERT_NE(big_ff, kNoGate);
+  ASSERT_GT(big_o, small_o);
+  const PairImpact small = oracle.evaluate(small_ff, NodeKind::kScanFF, small_t,
+                                           NodeKind::kInboundTsv);
+  const PairImpact big = oracle.evaluate(big_ff, NodeKind::kScanFF, big_t,
+                                         NodeKind::kInboundTsv);
+  EXPECT_GT(big.coverage_loss, small.coverage_loss);
+  EXPECT_GT(big.extra_patterns, small.extra_patterns);
+}
+
+TEST(TestabilityOracleTest, CacheReturnsIdenticalResults) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 1));
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kStructural, measure_opts());
+  const GateId ff = n.scan_flip_flops().front();
+  const GateId t = n.inbound_tsvs().front();
+  const PairImpact a = oracle.evaluate(ff, NodeKind::kScanFF, t, NodeKind::kInboundTsv);
+  const PairImpact b = oracle.evaluate(ff, NodeKind::kScanFF, t, NodeKind::kInboundTsv);
+  EXPECT_DOUBLE_EQ(a.coverage_loss, b.coverage_loss);
+  EXPECT_DOUBLE_EQ(a.extra_patterns, b.extra_patterns);
+}
+
+TEST(TestabilityOracleTest, MeasuredModeUsesAtpg) {
+  // The full-alias share from the simulator test: two outbound TSVs carrying
+  // the same net, observed by one cell -> every fault on the shared driver
+  // escapes. The measured oracle must see a real coverage loss.
+  const auto r = read_bench_string(R"(
+INPUT(a)
+TSV_OUT(t0)
+TSV_OUT(t1)
+g = NOT(a)
+t0 = BUF(g)
+t1 = BUF(g)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Netlist& n = r.netlist;
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kMeasured, measure_opts());
+  const PairImpact impact = oracle.evaluate(n.find("t0"), NodeKind::kOutboundTsv,
+                                            n.find("t1"), NodeKind::kOutboundTsv);
+  EXPECT_GT(impact.coverage_loss, 0.0);
+  EXPECT_EQ(oracle.measured_queries(), 1);
+}
+
+TEST(TestabilityOracleTest, MeasuredZeroImpactForSafeShare) {
+  const auto r = read_bench_string(R"(
+TSV_IN(ti)
+INPUT(a)
+OUTPUT(z0)
+OUTPUT(z1)
+ff = SCAN_DFF(g1)
+g0 = NOT(ti)
+z0 = BUF(g0)
+g1 = NOT(a)
+z1 = BUF(ff)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Netlist& n = r.netlist;
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kMeasured, measure_opts());
+  const PairImpact impact = oracle.evaluate(n.find("ff"), NodeKind::kScanFF, n.find("ti"),
+                                            NodeKind::kInboundTsv);
+  EXPECT_DOUBLE_EQ(impact.coverage_loss, 0.0);
+}
+
+// Calibration cross-check: on a small die, structural estimates must be
+// conservative relative to measured deltas for the pairs the thresholds
+// would ADMIT (the costly failure is admitting a share the ATPG would
+// reject, not the reverse).
+TEST(TestabilityOracleTest, StructuralConservativeForAdmittedPairs) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  ConeDb cones(n);
+  TestabilityOracle structural(n, cones, OracleMode::kStructural, measure_opts());
+  TestabilityOracle measured(n, cones, OracleMode::kMeasured, measure_opts());
+
+  const WcmConfig cfg;  // default thresholds: cov 0.5%, patterns 10
+  int checked = 0;
+  for (GateId ff : n.scan_flip_flops()) {
+    for (GateId t : n.inbound_tsvs()) {
+      if (cones.fanout_overlap_count(ff, t) == 0) continue;
+      const PairImpact est = structural.evaluate(ff, NodeKind::kScanFF, t,
+                                                 NodeKind::kInboundTsv);
+      if (est.coverage_loss >= cfg.cov_th || est.extra_patterns >= cfg.p_th) continue;
+      const PairImpact real = measured.evaluate(ff, NodeKind::kScanFF, t,
+                                                NodeKind::kInboundTsv);
+      // An admitted pair must not lose a *large* amount of real coverage
+      // (2x the threshold leaves room for random-phase noise in the
+      // measurement itself).
+      EXPECT_LT(real.coverage_loss, 2.0 * cfg.cov_th)
+          << n.gate(ff).name << " + " << n.gate(t).name;
+      if (++checked >= 6) return;  // measured mode is expensive
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,189 @@
+#include "dft/insertion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "celllib/celllib.hpp"
+#include "gen/generator.hpp"
+#include "netlist/bench_io.hpp"
+#include "sta/sta.hpp"
+
+namespace wcm {
+namespace {
+
+Netlist die() {
+  const auto r = read_bench_string(R"(
+INPUT(pi0)
+TSV_IN(ti0)
+TSV_IN(ti1)
+OUTPUT(po0)
+TSV_OUT(to0)
+g0 = NAND(pi0, ti0)
+g1 = XOR(g0, ti1)
+ff0 = SCAN_DFF(g1)
+g2 = OR(ff0, g0)
+po0 = BUF(g2)
+to0 = BUF(g1)
+)");
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.netlist;
+}
+
+TEST(InsertionTest, DedicatedPlanInsertsOneCellPerTsv) {
+  Netlist n = die();
+  const WrapperPlan plan = one_cell_per_tsv(n);
+  const InsertionResult result = insert_wrappers(n, plan, nullptr);
+  EXPECT_EQ(result.added_cells.size(), 3u);  // 2 inbound + 1 outbound
+  EXPECT_NE(result.test_en, kNoGate);
+  EXPECT_EQ(n.check(), "");
+}
+
+TEST(InsertionTest, InboundMuxTakesOverTsvLoads) {
+  Netlist n = die();
+  const GateId ti0 = n.find("ti0");
+  const GateId g0 = n.find("g0");
+  const WrapperPlan plan = one_cell_per_tsv(n);
+  insert_wrappers(n, plan, nullptr);
+  // ti0 now feeds only its bypass mux, and g0's ti0-side fanin is the mux.
+  ASSERT_EQ(n.gate(ti0).fanouts.size(), 1u);
+  const GateId mux = n.gate(ti0).fanouts[0];
+  EXPECT_EQ(n.gate(mux).type, GateType::kMux);
+  EXPECT_NE(std::find(n.gate(g0).fanins.begin(), n.gate(g0).fanins.end(), mux),
+            n.gate(g0).fanins.end());
+}
+
+TEST(InsertionTest, ReusedFlopGetsCaptureMux) {
+  Netlist n = die();
+  const GateId ff0 = n.find("ff0");
+  const GateId g1 = n.find("g1");
+  WrapperPlan plan;
+  WrapperGroup g;
+  g.reused_ff = ff0;
+  g.outbound = {n.find("to0")};
+  plan.groups.push_back(g);
+  for (GateId t : n.inbound_tsvs()) {
+    WrapperGroup gg;
+    gg.inbound.push_back(t);
+    plan.groups.push_back(gg);
+  }
+  const InsertionResult result = insert_wrappers(n, plan, nullptr);
+  EXPECT_TRUE(result.added_cells.size() == 2u);  // only the two inbound cells
+  // ff0's D is now a capture mux whose d0 is the original D (g1).
+  ASSERT_EQ(n.gate(ff0).fanins.size(), 1u);
+  const GateId mux = n.gate(ff0).fanins[0];
+  ASSERT_EQ(n.gate(mux).type, GateType::kMux);
+  EXPECT_EQ(n.gate(mux).fanins[1], g1);
+  EXPECT_EQ(n.check(), "");
+}
+
+TEST(InsertionTest, FunctionalModeIsPreserved) {
+  // With test_en = 0 the inserted logic must be transparent: simulate the
+  // original and transformed netlists on matching inputs.
+  Netlist original = die();
+  Netlist transformed = original;
+  WrapperPlan plan;
+  WrapperGroup g;
+  g.reused_ff = transformed.find("ff0");
+  g.outbound = {transformed.find("to0")};
+  g.inbound = {transformed.find("ti0"), transformed.find("ti1")};
+  plan.groups.push_back(g);
+  insert_wrappers(transformed, plan, nullptr);
+
+  // Evaluate both combinationally with identical source values.
+  auto eval = [](const Netlist& n, std::uint64_t pi, std::uint64_t ti0v, std::uint64_t ti1v,
+                 std::uint64_t ffv, std::uint64_t ten) {
+    std::vector<std::uint64_t> val(n.size(), 0);
+    for (GateId id : n.topo_order()) {
+      const Gate& gate = n.gate(id);
+      const auto idx = static_cast<std::size_t>(id);
+      if (gate.name == "pi0") val[idx] = pi;
+      else if (gate.name == "ti0") val[idx] = ti0v;
+      else if (gate.name == "ti1") val[idx] = ti1v;
+      else if (gate.name == "ff0") val[idx] = ffv;
+      else if (gate.name == "test_en") val[idx] = ten;
+      else if (gate.type == GateType::kDff) val[idx] = 0;  // other flops: none
+      else if (is_combinational_source(gate.type)) val[idx] = 0;
+      else {
+        std::vector<std::uint64_t> ins;
+        for (GateId in : gate.fanins) ins.push_back(val[static_cast<std::size_t>(in)]);
+        val[idx] = eval_gate(gate.type, ins);
+      }
+    }
+    return val;
+  };
+  const std::uint64_t pi = 0xF0F0F0F0F0F0F0F0ULL, t0 = 0xCCCCCCCCCCCCCCCCULL,
+                      t1 = 0xAAAAAAAAAAAAAAAAULL, ff = 0x5555555555555555ULL;
+  const auto vo = eval(original, pi, t0, t1, ff, 0);
+  const auto vt = eval(transformed, pi, t0, t1, ff, 0);
+  for (const char* name : {"g0", "g1", "g2", "po0", "to0"}) {
+    EXPECT_EQ(vo[static_cast<std::size_t>(original.find(name))],
+              vt[static_cast<std::size_t>(transformed.find(name))])
+        << name;
+  }
+  // And the flop's mission D (mux d0 path) still equals the original g1.
+  const GateId ff_t = transformed.find("ff0");
+  const GateId cap_mux = transformed.gate(ff_t).fanins[0];
+  EXPECT_EQ(vt[static_cast<std::size_t>(cap_mux)],
+            vo[static_cast<std::size_t>(original.find("g1"))]);
+}
+
+TEST(InsertionTest, PlacementCoversInsertedCells) {
+  Netlist n = generate_die(itc99_die_spec("b11", 0));
+  Placement placement = place(n, PlaceOptions{});
+  const WrapperPlan plan = one_cell_per_tsv(n);
+  insert_wrappers(n, plan, &placement);
+  EXPECT_GE(placement.size(), n.size());
+  // Post-insertion STA must run cleanly over the grown netlist.
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  StaEngine sta(n, lib, &placement);
+  EXPECT_NO_FATAL_FAILURE(sta.run());
+}
+
+TEST(InsertionTest, SharedInboundGroupUsesOneCell) {
+  Netlist n = die();
+  WrapperPlan plan;
+  WrapperGroup g;
+  g.inbound = {n.find("ti0"), n.find("ti1")};
+  plan.groups.push_back(g);
+  WrapperGroup g2;
+  g2.outbound = {n.find("to0")};
+  plan.groups.push_back(g2);
+  const InsertionResult result = insert_wrappers(n, plan, nullptr);
+  EXPECT_EQ(result.added_cells.size(), 2u);
+  EXPECT_EQ(result.added_muxes.size(), 2u);  // one bypass mux per inbound TSV
+}
+
+TEST(CheckPlanTest, FlagsNonScanReuse) {
+  const auto r = read_bench_string(R"(
+INPUT(a)
+TSV_IN(ti)
+OUTPUT(z)
+f = DFF(g)
+g = AND(a, ti)
+z = BUF(f)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Netlist& n = r.netlist;
+  WrapperPlan plan;
+  WrapperGroup g;
+  g.reused_ff = n.find("f");  // not a scan flop
+  g.inbound = {n.find("ti")};
+  plan.groups.push_back(g);
+  const auto issues = check_plan(n, plan);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].find("non-scan"), std::string::npos);
+}
+
+TEST(CheckPlanTest, FlagsMissingTsv) {
+  const Netlist n = die();
+  WrapperPlan plan;  // empty
+  const auto issues = check_plan(n, plan);
+  EXPECT_GE(issues.size(), 3u);
+}
+
+TEST(CheckPlanTest, AcceptsCompletePlan) {
+  const Netlist n = die();
+  EXPECT_TRUE(check_plan(n, one_cell_per_tsv(n)).empty());
+}
+
+}  // namespace
+}  // namespace wcm

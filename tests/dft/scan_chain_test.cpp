@@ -1,0 +1,67 @@
+#include "dft/scan_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+
+namespace wcm {
+namespace {
+
+Netlist die() {
+  DieSpec spec;
+  spec.num_scan_ffs = 25;
+  spec.num_gates = 200;
+  spec.num_inbound = 6;
+  spec.num_outbound = 6;
+  spec.seed = 31;
+  return generate_die(spec);
+}
+
+TEST(ScanChainTest, ChainsEveryScanFlopExactlyOnce) {
+  const Netlist n = die();
+  const Placement p = place(n, PlaceOptions{});
+  const ScanChain chain = stitch_scan_chain(n, &p);
+  EXPECT_EQ(chain.order.size(), n.scan_flip_flops().size());
+  std::vector<GateId> sorted = chain.order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(ScanChainTest, NearestNeighbourBeatsIdOrder) {
+  const Netlist n = die();
+  const Placement p = place(n, PlaceOptions{});
+  const ScanChain chain = stitch_scan_chain(n, &p);
+  // Length of the naive id-order tour.
+  const auto ffs = n.scan_flip_flops();
+  double naive = 0.0;
+  for (std::size_t i = 0; i + 1 < ffs.size(); ++i)
+    naive += p.distance(ffs[i], ffs[i + 1]);
+  EXPECT_LE(chain.wire_length_um, naive);
+}
+
+TEST(ScanChainTest, StartsNearOrigin) {
+  const Netlist n = die();
+  const Placement p = place(n, PlaceOptions{});
+  const ScanChain chain = stitch_scan_chain(n, &p);
+  ASSERT_FALSE(chain.order.empty());
+  const double first = manhattan(p.loc(chain.order.front()), Point{0, 0});
+  for (GateId ff : chain.order)
+    EXPECT_LE(first, manhattan(p.loc(ff), Point{0, 0}) + 1e-9);
+}
+
+TEST(ScanChainTest, NoPlacementFallsBackToIdOrder) {
+  const Netlist n = die();
+  const ScanChain chain = stitch_scan_chain(n, nullptr);
+  EXPECT_EQ(chain.order, n.scan_flip_flops());
+  EXPECT_DOUBLE_EQ(chain.wire_length_um, 0.0);
+}
+
+TEST(ScanChainTest, EmptyChainForFlopFreeDie) {
+  Netlist n("none");
+  n.add_gate(GateType::kInput, "a");
+  const ScanChain chain = stitch_scan_chain(n, nullptr);
+  EXPECT_TRUE(chain.order.empty());
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "dft/insertion.hpp"
+#include "dft/scan_chain.hpp"
+#include "gen/generator.hpp"
+#include "util/rng.hpp"
+
+namespace wcm {
+namespace {
+
+/// Tiny sequential simulator: given input values and flop states, evaluates
+/// the combinational logic and returns (outputs by name, next flop states).
+struct SeqSim {
+  const Netlist* n;
+  std::map<std::string, std::uint64_t> inputs;   // PI name -> word
+  std::map<GateId, std::uint64_t> state;         // flop -> Q word
+
+  std::vector<std::uint64_t> values;
+
+  void eval() {
+    values.assign(n->size(), 0);
+    for (GateId id : n->topo_order()) {
+      const Gate& g = n->gate(id);
+      const auto idx = static_cast<std::size_t>(id);
+      if (g.type == GateType::kInput || g.type == GateType::kTsvIn) {
+        auto it = inputs.find(g.name);
+        values[idx] = it == inputs.end() ? 0 : it->second;
+      } else if (g.type == GateType::kDff) {
+        values[idx] = state.count(id) ? state.at(id) : 0;
+      } else if (g.type == GateType::kTie0) {
+        values[idx] = 0;
+      } else if (g.type == GateType::kTie1) {
+        values[idx] = ~0ULL;
+      } else {
+        std::vector<std::uint64_t> ins;
+        for (GateId in : g.fanins) ins.push_back(values[static_cast<std::size_t>(in)]);
+        values[idx] = eval_gate(g.type, ins);
+      }
+    }
+  }
+
+  /// One clock edge: capture D into every flop.
+  void clock() {
+    eval();
+    for (GateId ff : n->flip_flops())
+      state[ff] = values[static_cast<std::size_t>(n->gate(ff).fanins[0])];
+  }
+};
+
+Netlist make_die() {
+  DieSpec spec;
+  spec.num_gates = 120;
+  spec.num_scan_ffs = 6;
+  spec.num_inbound = 4;
+  spec.num_outbound = 4;
+  spec.seed = 77;
+  return generate_die(spec);
+}
+
+TEST(ScanInsertionTest, AddsPinsAndMuxes) {
+  Netlist n = make_die();
+  const ScanChain chain = stitch_scan_chain(n, nullptr);
+  const ScanInsertion si = insert_scan_chain(n, chain, nullptr);
+  EXPECT_NE(si.scan_enable, kNoGate);
+  EXPECT_NE(si.scan_in, kNoGate);
+  EXPECT_NE(si.scan_out, kNoGate);
+  EXPECT_EQ(si.scan_muxes.size(), chain.order.size());
+  EXPECT_EQ(n.check(), "");
+}
+
+TEST(ScanInsertionTest, MissionModeIsTransparent) {
+  Netlist original = make_die();
+  Netlist scanned = original;
+  const ScanChain chain = stitch_scan_chain(scanned, nullptr);
+  insert_scan_chain(scanned, chain, nullptr);
+
+  SeqSim a{&original, {}, {}, {}};
+  SeqSim b{&scanned, {}, {}, {}};
+  // Same PI stimulus; SE = 0 keeps the scan hardware invisible.
+  Rng rng(5);
+  for (GateId pi : original.primary_inputs()) a.inputs[original.gate(pi).name] = rng();
+  for (GateId ti : original.inbound_tsvs()) a.inputs[original.gate(ti).name] = rng();
+  b.inputs = a.inputs;
+  b.inputs["scan_en"] = 0;
+  b.inputs["scan_in"] = ~0ULL;  // must be ignored
+
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    a.clock();
+    b.clock();
+  }
+  a.eval();
+  b.eval();
+  for (GateId po : original.primary_outputs()) {
+    const GateId other = scanned.find(original.gate(po).name);
+    EXPECT_EQ(a.values[static_cast<std::size_t>(po)],
+              b.values[static_cast<std::size_t>(other)])
+        << original.gate(po).name;
+  }
+}
+
+TEST(ScanInsertionTest, ShiftModeMovesBitsThroughTheChain) {
+  Netlist n = make_die();
+  const ScanChain chain = stitch_scan_chain(n, nullptr);
+  const ScanInsertion si = insert_scan_chain(n, chain, nullptr);
+  const std::size_t len = chain.order.size();
+
+  SeqSim sim{&n, {}, {}, {}};
+  sim.inputs["scan_en"] = ~0ULL;
+  // Shift in an alternating pattern, one bit (word) per cycle.
+  std::vector<std::uint64_t> shifted_in;
+  for (std::size_t cycle = 0; cycle < len; ++cycle) {
+    const std::uint64_t bit = (cycle % 2) ? ~0ULL : 0;
+    shifted_in.push_back(bit);
+    sim.inputs["scan_in"] = bit;
+    sim.clock();
+  }
+  // After len cycles, element k of the chain holds the (len-1-k)-th bit.
+  for (std::size_t k = 0; k < len; ++k)
+    EXPECT_EQ(sim.state.at(chain.order[k]), shifted_in[len - 1 - k]) << "element " << k;
+}
+
+TEST(ScanInsertionTest, ScanOutObservesLastElement) {
+  Netlist n = make_die();
+  const ScanChain chain = stitch_scan_chain(n, nullptr);
+  const ScanInsertion si = insert_scan_chain(n, chain, nullptr);
+  SeqSim sim{&n, {}, {}, {}};
+  sim.inputs["scan_en"] = ~0ULL;
+  sim.inputs["scan_in"] = 0;
+  sim.state[chain.order.back()] = 0xDEADBEEFULL;
+  sim.eval();
+  EXPECT_EQ(sim.values[static_cast<std::size_t>(si.scan_out)], 0xDEADBEEFULL);
+}
+
+TEST(ScanInsertionTest, EmptyChainIsANoOp) {
+  Netlist n("empty");
+  n.add_gate(GateType::kInput, "a");
+  const ScanChain chain = stitch_scan_chain(n, nullptr);
+  const ScanInsertion si = insert_scan_chain(n, chain, nullptr);
+  EXPECT_EQ(si.scan_enable, kNoGate);
+  EXPECT_EQ(n.size(), 1u);
+}
+
+TEST(ScanInsertionTest, WorksAfterWrapperInsertion) {
+  // The realistic order: WCM wrappers first (adding cells), then stitching
+  // every scan element including the new wrapper cells.
+  Netlist n = make_die();
+  Placement placement = place(n, PlaceOptions{});
+  // Dedicated wrappers everywhere: adds cells to the chain.
+  const std::size_t flops_before = n.scan_flip_flops().size();
+  insert_wrappers(n, one_cell_per_tsv(n), &placement);
+  const ScanChain chain = stitch_scan_chain(n, &placement);
+  EXPECT_GT(chain.order.size(), flops_before);
+  insert_scan_chain(n, chain, &placement);
+  EXPECT_EQ(n.check(), "");
+}
+
+}  // namespace
+}  // namespace wcm

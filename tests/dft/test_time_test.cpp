@@ -1,0 +1,77 @@
+#include "dft/test_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+
+namespace wcm {
+namespace {
+
+Netlist die() {
+  DieSpec spec;
+  spec.num_scan_ffs = 10;
+  spec.num_gates = 100;
+  spec.num_inbound = 6;
+  spec.num_outbound = 4;
+  spec.seed = 12;
+  return generate_die(spec);
+}
+
+TEST(TestTimeTest, ChainLengthCountsFlopsPlusAddedCells) {
+  const Netlist n = die();
+  const WrapperPlan naive = one_cell_per_tsv(n);
+  const TestTime t = estimate_test_time(n, naive, 100);
+  EXPECT_EQ(t.chain_length, 10 + 10);  // 10 flops + 10 dedicated cells
+}
+
+TEST(TestTimeTest, CycleFormula) {
+  const Netlist n = die();
+  WrapperPlan all_reused;  // zero additional cells
+  {
+    const auto ffs = n.scan_flip_flops();
+    std::size_t f = 0;
+    for (GateId t : n.inbound_tsvs()) {
+      WrapperGroup g;
+      g.reused_ff = ffs[f++];
+      g.inbound.push_back(t);
+      all_reused.groups.push_back(g);
+    }
+    WrapperGroup g;
+    g.reused_ff = ffs[f];
+    g.outbound = n.outbound_tsvs();
+    all_reused.groups.push_back(g);
+  }
+  ASSERT_TRUE(all_reused.covers_all_tsvs(n));
+  const TestTime t = estimate_test_time(n, all_reused, 50);
+  EXPECT_EQ(t.chain_length, 10);
+  EXPECT_EQ(t.cycles, static_cast<std::int64_t>(11) * 50 + 10);
+}
+
+TEST(TestTimeTest, MillisecondsScaleWithClock) {
+  const Netlist n = die();
+  const WrapperPlan plan = one_cell_per_tsv(n);
+  const TestTime fast = estimate_test_time(n, plan, 100, 100.0);
+  const TestTime slow = estimate_test_time(n, plan, 100, 25.0);
+  EXPECT_NEAR(slow.milliseconds, 4.0 * fast.milliseconds, 1e-9);
+}
+
+TEST(TestTimeTest, FewerCellsMeansLessTime) {
+  const Netlist n = die();
+  WrapperPlan shared;  // every direction on one added cell
+  WrapperGroup in_all, out_all;
+  for (GateId t : n.inbound_tsvs()) in_all.inbound.push_back(t);
+  for (GateId t : n.outbound_tsvs()) out_all.outbound.push_back(t);
+  shared.groups = {in_all, out_all};
+  const TestTime small = estimate_test_time(n, shared, 100);
+  const TestTime big = estimate_test_time(n, one_cell_per_tsv(n), 100);
+  EXPECT_LT(small.cycles, big.cycles);
+}
+
+TEST(TestTimeTest, ZeroPatternsStillShiftsOutOnce) {
+  const Netlist n = die();
+  const TestTime t = estimate_test_time(n, one_cell_per_tsv(n), 0);
+  EXPECT_EQ(t.cycles, t.chain_length);
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,127 @@
+#include "gen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+
+namespace wcm {
+namespace {
+
+TEST(GeneratorTest, MeetsSpecExactly) {
+  DieSpec spec;
+  spec.name = "t";
+  spec.num_pis = 6;
+  spec.num_pos = 5;
+  spec.num_scan_ffs = 12;
+  spec.num_gates = 150;
+  spec.num_inbound = 9;
+  spec.num_outbound = 7;
+  spec.seed = 3;
+  const Netlist n = generate_die(spec);
+  EXPECT_EQ(n.primary_inputs().size(), 6u);
+  EXPECT_GE(n.primary_outputs().size(), 5u);  // dangling fixes may add POs
+  EXPECT_EQ(n.scan_flip_flops().size(), 12u);
+  EXPECT_EQ(n.num_logic_gates(), 150u);
+  EXPECT_EQ(n.inbound_tsvs().size(), 9u);
+  EXPECT_EQ(n.outbound_tsvs().size(), 7u);
+}
+
+TEST(GeneratorTest, DeterministicForSameSpec) {
+  const DieSpec spec = itc99_die_spec("b12", 1);
+  const Netlist a = generate_die(spec);
+  const Netlist b = generate_die(spec);
+  EXPECT_EQ(write_bench_string(a), write_bench_string(b));
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  DieSpec spec = itc99_die_spec("b12", 1);
+  const Netlist a = generate_die(spec);
+  spec.seed ^= 0xABCDEF;
+  const Netlist b = generate_die(spec);
+  EXPECT_NE(write_bench_string(a), write_bench_string(b));
+}
+
+TEST(GeneratorTest, PassesStructuralCheck) {
+  for (int die = 0; die < 4; ++die) {
+    const Netlist n = generate_die(itc99_die_spec("b11", die));
+    EXPECT_EQ(n.check(), "") << n.name();
+    EXPECT_FALSE(n.has_combinational_loop()) << n.name();
+  }
+}
+
+TEST(GeneratorTest, NoDanglingLogic) {
+  const Netlist n = generate_die(itc99_die_spec("b12", 2));
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const Gate& g = n.gate(static_cast<GateId>(i));
+    if (is_port(g.type) || g.type == GateType::kDff) continue;
+    EXPECT_FALSE(g.fanouts.empty()) << g.name;
+  }
+}
+
+TEST(GeneratorTest, RoundTripsThroughBenchFormat) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  const auto parsed = read_bench_string(write_bench_string(n), n.name());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.netlist.size(), n.size());
+  EXPECT_EQ(parsed.netlist.num_logic_gates(), n.num_logic_gates());
+  EXPECT_EQ(parsed.netlist.scan_flip_flops().size(), n.scan_flip_flops().size());
+}
+
+TEST(GeneratorTest, CircuitGeneratorHasNoTsvs) {
+  CircuitSpec spec;
+  spec.num_gates = 300;
+  spec.num_ffs = 20;
+  const Netlist n = generate_circuit(spec);
+  EXPECT_TRUE(n.inbound_tsvs().empty());
+  EXPECT_TRUE(n.outbound_tsvs().empty());
+  EXPECT_EQ(n.num_logic_gates(), 300u);
+  EXPECT_EQ(n.check(), "");
+}
+
+// Table II of the paper, reproduced exactly by construction.
+struct Row {
+  const char* circuit;
+  int die;
+  int ffs, gates, inbound, outbound;
+};
+
+class Table2Fixture : public testing::TestWithParam<Row> {};
+
+TEST_P(Table2Fixture, SpecMatchesPaperTable2) {
+  const Row row = GetParam();
+  const DieSpec spec = itc99_die_spec(row.circuit, row.die);
+  EXPECT_EQ(spec.num_scan_ffs, row.ffs);
+  EXPECT_EQ(spec.num_gates, row.gates);
+  EXPECT_EQ(spec.num_inbound, row.inbound);
+  EXPECT_EQ(spec.num_outbound, row.outbound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table2Fixture,
+    testing::Values(Row{"b11", 0, 14, 120, 14, 16}, Row{"b11", 2, 3, 229, 38, 38},
+                    Row{"b12", 3, 51, 317, 25, 5}, Row{"b18", 1, 1033, 26698, 1561, 1875},
+                    Row{"b20", 2, 118, 8101, 740, 778}, Row{"b21", 0, 196, 6200, 264, 328},
+                    Row{"b22", 3, 6, 11358, 511, 481}),
+    [](const testing::TestParamInfo<Row>& info) {
+      return std::string(info.param.circuit) + "_die" + std::to_string(info.param.die);
+    });
+
+TEST(GeneratorTest, AllDiesEnumerationMatchesSuite) {
+  const auto all = itc99_all_dies();
+  EXPECT_EQ(all.size(), 24u);
+  EXPECT_EQ(all.front().name, "b11_die0");
+  EXPECT_EQ(all.back().name, "b22_die3");
+}
+
+// Generated dies are realistic enough for the WCM study only if every
+// inbound TSV actually drives logic and every outbound TSV is driven.
+TEST(GeneratorTest, TsvsAreConnected) {
+  const Netlist n = generate_die(itc99_die_spec("b20", 0));
+  for (GateId t : n.inbound_tsvs())
+    EXPECT_FALSE(n.gate(t).fanouts.empty()) << n.gate(t).name;
+  for (GateId t : n.outbound_tsvs())
+    EXPECT_EQ(n.gate(t).fanins.size(), 1u) << n.gate(t).name;
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,88 @@
+// Whole-pipeline integration: every deliverable surface chained together,
+// including the on-disk round trips a real user's flow would make.
+//
+//   generate -> write .bench -> read .bench -> optimize -> place -> solve
+//   -> insert wrappers -> write/reparse the DFT netlist -> stitch + insert
+//   scan -> emit Verilog -> ATPG through the wrapper plan.
+#include <gtest/gtest.h>
+
+#include "atpg/engine.hpp"
+#include "atpg/testview.hpp"
+#include "core/flow.hpp"
+#include "core/solver.hpp"
+#include "dft/insertion.hpp"
+#include "dft/scan_chain.hpp"
+#include "gen/generator.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/optimize.hpp"
+#include "netlist/verilog_io.hpp"
+
+namespace wcm {
+namespace {
+
+TEST(PipelineTest, FullUserJourney) {
+  // 1. A die arrives as a file.
+  const Netlist generated = generate_die(itc99_die_spec("b12", 2));
+  const std::string bench_path = testing::TempDir() + "/pipeline_die.bench";
+  ASSERT_TRUE(write_bench_file(generated, bench_path));
+
+  // 2. Read it back and clean it up.
+  BenchParseResult parsed = read_bench_file(bench_path);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  OptimizeStats opt_stats;
+  Netlist die = optimize(parsed.netlist, &opt_stats);
+  EXPECT_EQ(die.inbound_tsvs().size(), generated.inbound_tsvs().size());
+
+  // 3. Physical design + WCM.
+  Placement placement = place(die, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const WcmSolution solution = solve_wcm(die, &placement, lib, WcmConfig::proposed_tight());
+  ASSERT_TRUE(solution.plan.covers_all_tsvs(die));
+
+  // 4. Testability of the plan, measured before committing hardware.
+  AtpgOptions atpg;
+  atpg.seed = 77;
+  const AtpgResult coverage =
+      AtpgEngine(build_test_view(die, solution.plan)).run_stuck_at(atpg);
+  EXPECT_GT(coverage.test_coverage(), 0.95);
+
+  // 5. Hardware: wrappers, then the scan chain over every scan element.
+  const InsertionResult inserted = insert_wrappers(die, solution.plan, &placement);
+  EXPECT_EQ(static_cast<int>(inserted.added_cells.size()), solution.additional_cells);
+  const ScanChain chain = stitch_scan_chain(die, &placement);
+  const ScanInsertion scan = insert_scan_chain(die, chain, &placement);
+  EXPECT_NE(scan.scan_out, kNoGate);
+  ASSERT_EQ(die.check(), "");
+
+  // 6. Deliverables round-trip: .bench reparses, Verilog emits balanced.
+  const std::string dft_path = testing::TempDir() + "/pipeline_die_dft.bench";
+  ASSERT_TRUE(write_bench_file(die, dft_path));
+  const BenchParseResult reparsed = read_bench_file(dft_path);
+  ASSERT_TRUE(reparsed.ok) << reparsed.error;
+  EXPECT_EQ(reparsed.netlist.size(), die.size());
+  // (the netlist kept its original name through the optimize/insert steps)
+  const std::string verilog = write_verilog_string(die);
+  EXPECT_NE(verilog.find("module pipeline_die"), std::string::npos);
+}
+
+TEST(PipelineTest, SignoffHoldsThroughTheJourney) {
+  const Netlist n = generate_die(itc99_die_spec("b12", 0));
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  FlowConfig cfg;
+  cfg.wcm = WcmConfig::proposed_tight();
+  cfg.lib = lib;
+  cfg.clock_period_ps = tight_clock_period_ps(n, lib, PlaceOptions{});
+  cfg.repair_timing = true;
+  const FlowReport report = run_flow(n, cfg);
+  EXPECT_FALSE(report.timing_violation);
+
+  // The plan the flow shipped still inserts cleanly on a fresh copy.
+  Netlist fresh = n;
+  Placement placement = place(fresh, PlaceOptions{});
+  EXPECT_TRUE(check_plan(fresh, report.solution.plan).empty());
+  insert_wrappers(fresh, report.solution.plan, &placement);
+  EXPECT_EQ(fresh.check(), "");
+}
+
+}  // namespace
+}  // namespace wcm

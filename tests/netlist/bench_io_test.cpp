@@ -1,0 +1,138 @@
+#include "netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wcm {
+namespace {
+
+const char* kTinyBench = R"(
+# a tiny die
+INPUT(pi0)
+INPUT(pi1)
+TSV_IN(ti0)
+OUTPUT(po0)
+TSV_OUT(to0)
+g0 = NAND(pi0, ti0)
+ff0 = SCAN_DFF(g1)
+g1 = XOR(g0, ff0, pi1)
+po0 = BUF(g1)
+to0 = BUF(g0)
+)";
+
+TEST(BenchIoTest, ParsesTinyDie) {
+  const auto result = read_bench_string(kTinyBench, "tiny");
+  ASSERT_TRUE(result.ok) << result.error;
+  const Netlist& n = result.netlist;
+  EXPECT_EQ(n.primary_inputs().size(), 2u);
+  EXPECT_EQ(n.inbound_tsvs().size(), 1u);
+  EXPECT_EQ(n.outbound_tsvs().size(), 1u);
+  EXPECT_EQ(n.primary_outputs().size(), 1u);
+  EXPECT_EQ(n.flip_flops().size(), 1u);
+  EXPECT_TRUE(n.gate(n.find("ff0")).is_scan);
+  EXPECT_EQ(n.check(), "");
+}
+
+TEST(BenchIoTest, ForwardReferencesResolve) {
+  // ff0 references g1 before g1 is defined; must still link.
+  const auto result = read_bench_string(kTinyBench);
+  ASSERT_TRUE(result.ok) << result.error;
+  const Netlist& n = result.netlist;
+  EXPECT_EQ(n.gate(n.find("ff0")).fanins[0], n.find("g1"));
+}
+
+TEST(BenchIoTest, PlainDffIsNotScan) {
+  const auto result = read_bench_string(
+      "INPUT(a)\nOUTPUT(z)\nf = DFF(a)\nz = BUF(f)\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_FALSE(result.netlist.gate(result.netlist.find("f")).is_scan);
+}
+
+TEST(BenchIoTest, RoundTripPreservesStructure) {
+  const auto first = read_bench_string(kTinyBench, "tiny");
+  ASSERT_TRUE(first.ok) << first.error;
+  const std::string text = write_bench_string(first.netlist);
+  const auto second = read_bench_string(text, "tiny");
+  ASSERT_TRUE(second.ok) << second.error;
+  const Netlist& a = first.netlist;
+  const Netlist& b = second.netlist;
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const GateId id = static_cast<GateId>(i);
+    const GateId other = b.find(a.gate(id).name);
+    ASSERT_NE(other, kNoGate) << a.gate(id).name;
+    EXPECT_EQ(a.gate(id).type, b.gate(other).type) << a.gate(id).name;
+    EXPECT_EQ(a.gate(id).is_scan, b.gate(other).is_scan);
+    ASSERT_EQ(a.gate(id).fanins.size(), b.gate(other).fanins.size());
+    for (std::size_t k = 0; k < a.gate(id).fanins.size(); ++k)
+      EXPECT_EQ(a.gate(a.gate(id).fanins[k]).name, b.gate(b.gate(other).fanins[k]).name);
+  }
+}
+
+TEST(BenchIoTest, OutputWithNonBufDriverGetsMangledInternalNode) {
+  const auto result =
+      read_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  const Netlist& n = result.netlist;
+  const GateId z = n.find("z");
+  ASSERT_NE(z, kNoGate);
+  EXPECT_EQ(n.gate(z).type, GateType::kOutput);
+  ASSERT_EQ(n.gate(z).fanins.size(), 1u);
+  EXPECT_EQ(n.gate(n.gate(z).fanins[0]).type, GateType::kNand);
+}
+
+TEST(BenchIoTest, RejectsUndefinedSignal) {
+  const auto result = read_bench_string("INPUT(a)\nOUTPUT(z)\nz = BUF(ghost)\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("ghost"), std::string::npos);
+}
+
+TEST(BenchIoTest, RejectsDoubleAssignment) {
+  const auto result = read_bench_string(
+      "INPUT(a)\nOUTPUT(z)\ng = BUF(a)\ng = NOT(a)\nz = BUF(g)\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("twice"), std::string::npos);
+}
+
+TEST(BenchIoTest, RejectsAssigningInputPort) {
+  const auto result = read_bench_string("INPUT(a)\nOUTPUT(z)\na = NOT(z)\nz = BUF(a)\n");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(BenchIoTest, RejectsUndrivenOutput) {
+  const auto result = read_bench_string("INPUT(a)\nOUTPUT(z)\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("never driven"), std::string::npos);
+}
+
+TEST(BenchIoTest, RejectsWrongArity) {
+  const auto result =
+      read_bench_string("INPUT(a)\nOUTPUT(z)\ng = MUX(a, a)\nz = BUF(g)\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("expects 3"), std::string::npos);
+}
+
+TEST(BenchIoTest, RejectsUnknownGateType) {
+  const auto result = read_bench_string("INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(BenchIoTest, CommentsAndBlankLinesIgnored) {
+  const auto result = read_bench_string(
+      "# header\n\nINPUT(a)   # trailing\n\nOUTPUT(z)\nz = BUF(a)  # done\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.netlist.size(), 2u);
+}
+
+TEST(BenchIoTest, FileRoundTrip) {
+  const auto first = read_bench_string(kTinyBench, "tiny");
+  ASSERT_TRUE(first.ok);
+  const std::string path = testing::TempDir() + "/wcm_bench_io_test.bench";
+  ASSERT_TRUE(write_bench_file(first.netlist, path));
+  const auto second = read_bench_file(path);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.netlist.size(), first.netlist.size());
+  EXPECT_EQ(second.netlist.name(), "wcm_bench_io_test");
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,112 @@
+#include "netlist/cone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+
+namespace wcm {
+namespace {
+
+// Two disjoint sub-circuits plus one bridging gate:
+//   left:  ti0 -> gl -> to0         (TSV-in feeds TSV-out)
+//   right: ff0 -> gr -> po0         (flop feeds output)
+//   bridge: gb = AND(gl, gr) -> ff1.D
+Netlist bridge_circuit() {
+  const auto result = read_bench_string(R"(
+INPUT(pi0)
+TSV_IN(ti0)
+OUTPUT(po0)
+TSV_OUT(to0)
+gl = NOT(ti0)
+to0 = BUF(gl)
+ff0 = SCAN_DFF(gb)
+gr = NAND(ff0, pi0)
+po0 = BUF(gr)
+gb = AND(gl, gr)
+ff1 = SCAN_DFF(gb)
+)");
+  EXPECT_TRUE(result.ok) << result.error;
+  return result.netlist;
+}
+
+TEST(ConeTest, FanoutEndpointsReachSinksAndFlops) {
+  Netlist n = bridge_circuit();
+  const auto eps = fanout_endpoints(n, n.find("ti0"));
+  // ti0 -> gl -> {to0, gb -> ff0.D, ff1.D}
+  std::vector<std::string> names;
+  for (GateId id : eps) names.push_back(n.gate(id).name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "to0"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "ff0"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "ff1"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "po0"), names.end());
+}
+
+TEST(ConeTest, FaninEndpointsReachSourcesAndFlops) {
+  Netlist n = bridge_circuit();
+  const auto eps = fanin_endpoints(n, n.find("gb"));
+  std::vector<std::string> names;
+  for (GateId id : eps) names.push_back(n.gate(id).name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "ti0"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "ff0"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "pi0"), names.end());
+}
+
+TEST(ConeTest, DffIsNotCrossed) {
+  Netlist n = bridge_circuit();
+  // Forward from ff0 (Q side): reaches gr -> po0 and gb -> ff0/ff1 D pins,
+  // but must NOT continue through ff1's Q (ff1 drives nothing anyway) or
+  // wrap around through ff0's own D cone.
+  const auto eps = fanout_endpoints(n, n.find("ff0"));
+  std::vector<std::string> names;
+  for (GateId id : eps) names.push_back(n.gate(id).name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "po0"), names.end());
+  // to0 is only reachable through gl, which ff0 does not feed.
+  EXPECT_EQ(std::find(names.begin(), names.end(), "to0"), names.end());
+}
+
+TEST(ConeDbTest, OverlapMatchesStandaloneFunctions) {
+  Netlist n = bridge_circuit();
+  ConeDb db(n);
+  const GateId ti0 = n.find("ti0");
+  const GateId ff0 = n.find("ff0");
+  // Both reach gb -> ff0/ff1 D pins, so fanout cones overlap.
+  EXPECT_TRUE(db.fanout_overlaps(ti0, ff0));
+  EXPECT_GE(db.fanout_overlap_count(ti0, ff0), 1u);
+}
+
+TEST(ConeDbTest, DisjointConesReportNoOverlap) {
+  // Fully parallel circuits never overlap.
+  const auto result = read_bench_string(R"(
+TSV_IN(ti0)
+TSV_OUT(to0)
+INPUT(pi0)
+OUTPUT(po0)
+ga = NOT(ti0)
+to0 = BUF(ga)
+gb = NOT(pi0)
+po0 = BUF(gb)
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  const Netlist& n = result.netlist;
+  ConeDb db(n);
+  EXPECT_FALSE(db.fanout_overlaps(n.find("ti0"), n.find("pi0")));
+  EXPECT_FALSE(db.fanin_overlaps(n.find("to0"), n.find("po0")));
+}
+
+TEST(ConeDbTest, FaninOverlapThroughSharedSource) {
+  Netlist n = bridge_circuit();
+  ConeDb db(n);
+  // to0's fan-in = {ti0}; gb's fan-in includes ti0 -> overlap.
+  EXPECT_TRUE(db.fanin_overlaps(n.find("to0"), n.find("gb")));
+}
+
+TEST(ConeDbTest, CachedConesAreStable) {
+  Netlist n = bridge_circuit();
+  ConeDb db(n);
+  const auto first = db.fanout_cone(n.find("ti0"));
+  const auto second = db.fanout_cone(n.find("ti0"));
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,190 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/gate.hpp"
+
+namespace wcm {
+namespace {
+
+// Builds the tiny reference die used across netlist unit tests:
+//   pi0, pi1 inputs; ti0 inbound TSV; ff0 scan flop;
+//   g0 = NAND(pi0, ti0); g1 = XOR(g0, ff0);
+//   ff0.D = g1; po0 = g1; to0 = g0.
+Netlist tiny_die() {
+  Netlist n("tiny");
+  const GateId pi0 = n.add_gate(GateType::kInput, "pi0");
+  const GateId pi1 = n.add_gate(GateType::kInput, "pi1");
+  const GateId ti0 = n.add_gate(GateType::kTsvIn, "ti0");
+  const GateId ff0 = n.add_gate(GateType::kDff, "ff0");
+  n.gate(ff0).is_scan = true;
+  const GateId g0 = n.add_gate(GateType::kNand, "g0");
+  const GateId g1 = n.add_gate(GateType::kXor, "g1");
+  const GateId po0 = n.add_gate(GateType::kOutput, "po0");
+  const GateId to0 = n.add_gate(GateType::kTsvOut, "to0");
+  n.connect(pi0, g0);
+  n.connect(ti0, g0);
+  n.connect(g0, g1);
+  n.connect(ff0, g1);
+  n.connect(g1, ff0);
+  n.connect(g1, po0);
+  n.connect(g0, to0);
+  // pi1 intentionally feeds g1 too so it is not dangling.
+  n.connect(pi1, g1);
+  return n;
+}
+
+TEST(NetlistTest, AddGateAssignsSequentialIds) {
+  Netlist n("t");
+  EXPECT_EQ(n.add_gate(GateType::kInput, "a"), 0);
+  EXPECT_EQ(n.add_gate(GateType::kInput, "b"), 1);
+  EXPECT_EQ(n.size(), 2u);
+}
+
+TEST(NetlistTest, FindLocatesGatesByName) {
+  Netlist n = tiny_die();
+  EXPECT_EQ(n.gate(n.find("g0")).type, GateType::kNand);
+  EXPECT_EQ(n.find("missing"), kNoGate);
+}
+
+TEST(NetlistTest, ConnectMaintainsSymmetry) {
+  Netlist n = tiny_die();
+  const GateId g0 = n.find("g0");
+  const GateId g1 = n.find("g1");
+  const auto& fo = n.gate(g0).fanouts;
+  EXPECT_NE(std::find(fo.begin(), fo.end(), g1), fo.end());
+  const auto& fi = n.gate(g1).fanins;
+  EXPECT_NE(std::find(fi.begin(), fi.end(), g0), fi.end());
+}
+
+TEST(NetlistTest, ClassificationLists) {
+  Netlist n = tiny_die();
+  EXPECT_EQ(n.primary_inputs().size(), 2u);
+  EXPECT_EQ(n.primary_outputs().size(), 1u);
+  EXPECT_EQ(n.inbound_tsvs().size(), 1u);
+  EXPECT_EQ(n.outbound_tsvs().size(), 1u);
+  EXPECT_EQ(n.flip_flops().size(), 1u);
+  EXPECT_EQ(n.scan_flip_flops().size(), 1u);
+}
+
+TEST(NetlistTest, NumLogicGatesCountsOnlyCombinational) {
+  Netlist n = tiny_die();
+  EXPECT_EQ(n.num_logic_gates(), 2u);  // g0, g1
+}
+
+TEST(NetlistTest, CheckAcceptsHealthyNetlist) {
+  EXPECT_EQ(tiny_die().check(), "");
+}
+
+TEST(NetlistTest, CheckRejectsWrongArity) {
+  Netlist n("t");
+  const GateId a = n.add_gate(GateType::kInput, "a");
+  const GateId g = n.add_gate(GateType::kNot, "g");
+  n.connect(a, g);
+  n.connect(a, g);  // NOT with two fanins
+  EXPECT_NE(n.check(), "");
+}
+
+TEST(NetlistTest, TopoOrderRespectsDependencies) {
+  Netlist n = tiny_die();
+  const auto order = n.topo_order();
+  ASSERT_EQ(order.size(), n.size());
+  std::vector<int> pos(n.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  // g0 before g1, g1 before po0.
+  EXPECT_LT(pos[static_cast<std::size_t>(n.find("g0"))],
+            pos[static_cast<std::size_t>(n.find("g1"))]);
+  EXPECT_LT(pos[static_cast<std::size_t>(n.find("g1"))],
+            pos[static_cast<std::size_t>(n.find("po0"))]);
+}
+
+TEST(NetlistTest, TopoTreatsDffAsBoundary) {
+  // ff0 feeds g1 and g1 feeds ff0.D — legal sequential loop, no combinational
+  // loop.
+  Netlist n = tiny_die();
+  EXPECT_FALSE(n.has_combinational_loop());
+  EXPECT_NO_FATAL_FAILURE(n.topo_order());
+}
+
+TEST(NetlistTest, DetectsCombinationalLoop) {
+  Netlist n("loop");
+  const GateId a = n.add_gate(GateType::kInput, "a");
+  const GateId g0 = n.add_gate(GateType::kAnd, "g0");
+  const GateId g1 = n.add_gate(GateType::kOr, "g1");
+  n.connect(a, g0);
+  n.connect(g1, g0);
+  n.connect(g0, g1);
+  n.connect(a, g1);
+  EXPECT_TRUE(n.has_combinational_loop());
+}
+
+TEST(NetlistTest, LogicLevelsIncreaseAlongPaths) {
+  Netlist n = tiny_die();
+  const auto levels = n.logic_levels();
+  EXPECT_EQ(levels[static_cast<std::size_t>(n.find("pi0"))], 0);
+  EXPECT_EQ(levels[static_cast<std::size_t>(n.find("g0"))], 1);
+  EXPECT_EQ(levels[static_cast<std::size_t>(n.find("g1"))], 2);
+}
+
+TEST(NetlistTest, ReplaceFaninRewiresBothSides) {
+  Netlist n = tiny_die();
+  const GateId g1 = n.find("g1");
+  const GateId g0 = n.find("g0");
+  const GateId pi1 = n.find("pi1");
+  // Make g1's g0-fanin come from pi1 instead.
+  // (pi1 already feeds g1; replace_fanin must handle duplicates gracefully.)
+  n.replace_fanin(g1, g0, pi1);
+  const auto& fo = n.gate(g0).fanouts;
+  EXPECT_EQ(std::find(fo.begin(), fo.end(), g1), fo.end());
+  EXPECT_EQ(std::count(n.gate(g1).fanins.begin(), n.gate(g1).fanins.end(), pi1), 2);
+}
+
+TEST(NetlistTest, TransferFanoutsMovesAllLoads) {
+  Netlist n = tiny_die();
+  const GateId g0 = n.find("g0");
+  const GateId buf = n.add_gate(GateType::kBuf, "buf");
+  n.transfer_fanouts(g0, buf);
+  EXPECT_TRUE(n.gate(g0).fanouts.empty());
+  EXPECT_EQ(n.gate(buf).fanouts.size(), 2u);  // g1 and to0
+}
+
+TEST(GateTest, ParseGateTypeAcceptsAliases) {
+  GateType t;
+  EXPECT_TRUE(parse_gate_type("nand", t));
+  EXPECT_EQ(t, GateType::kNand);
+  EXPECT_TRUE(parse_gate_type("INV", t));
+  EXPECT_EQ(t, GateType::kNot);
+  EXPECT_TRUE(parse_gate_type("BUFF", t));
+  EXPECT_EQ(t, GateType::kBuf);
+  EXPECT_FALSE(parse_gate_type("FROB", t));
+}
+
+TEST(GateTest, EvalGateTruthTables) {
+  const std::uint64_t a = 0b0011, b = 0b0101;
+  const std::uint64_t ins2[] = {a, b};
+  EXPECT_EQ(eval_gate(GateType::kAnd, ins2) & 0xF, 0b0001u);
+  EXPECT_EQ(eval_gate(GateType::kOr, ins2) & 0xF, 0b0111u);
+  EXPECT_EQ(eval_gate(GateType::kXor, ins2) & 0xF, 0b0110u);
+  EXPECT_EQ(eval_gate(GateType::kNand, ins2) & 0xF, 0b1110u);
+  EXPECT_EQ(eval_gate(GateType::kNor, ins2) & 0xF, 0b1000u);
+  EXPECT_EQ(eval_gate(GateType::kXnor, ins2) & 0xF, 0b1001u);
+  const std::uint64_t ins1[] = {a};
+  EXPECT_EQ(eval_gate(GateType::kNot, ins1) & 0xF, 0b1100u);
+  EXPECT_EQ(eval_gate(GateType::kBuf, ins1) & 0xF, 0b0011u);
+  // MUX: sel, d0, d1.
+  const std::uint64_t mux[] = {0b0101, 0b0011, 0b1100};
+  EXPECT_EQ(eval_gate(GateType::kMux, mux) & 0xF, 0b0110u);
+}
+
+TEST(GateTest, ControllingValues) {
+  bool v = false;
+  EXPECT_TRUE(controlling_value(GateType::kAnd, v));
+  EXPECT_FALSE(v);
+  EXPECT_TRUE(controlling_value(GateType::kNor, v));
+  EXPECT_TRUE(v);
+  EXPECT_FALSE(controlling_value(GateType::kXor, v));
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,232 @@
+#include "netlist/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "netlist/bench_io.hpp"
+#include "util/rng.hpp"
+
+namespace wcm {
+namespace {
+
+Netlist from_bench(const char* text) {
+  const auto r = read_bench_string(text);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.netlist;
+}
+
+/// 64-pattern functional comparison keyed by source names.
+void expect_equivalent(const Netlist& a, const Netlist& b) {
+  auto simulate = [](const Netlist& n) {
+    std::vector<std::uint64_t> val(n.size(), 0);
+    for (GateId id : n.topo_order()) {
+      const Gate& g = n.gate(id);
+      const auto idx = static_cast<std::size_t>(id);
+      if (g.type == GateType::kInput || g.type == GateType::kTsvIn ||
+          g.type == GateType::kDff) {
+        Rng h(std::hash<std::string>{}(g.name) ^ 0xABCD);
+        val[idx] = h();
+      } else if (g.type == GateType::kTie0) {
+        val[idx] = 0;
+      } else if (g.type == GateType::kTie1) {
+        val[idx] = ~0ULL;
+      } else {
+        std::vector<std::uint64_t> ins;
+        for (GateId in : g.fanins) ins.push_back(val[static_cast<std::size_t>(in)]);
+        val[idx] = eval_gate(g.type, ins);
+      }
+    }
+    return val;
+  };
+  const auto va = simulate(a);
+  const auto vb = simulate(b);
+  for (GateId po : a.primary_outputs()) {
+    const GateId other = b.find(a.gate(po).name);
+    ASSERT_NE(other, kNoGate) << a.gate(po).name;
+    EXPECT_EQ(va[static_cast<std::size_t>(po)], vb[static_cast<std::size_t>(other)])
+        << a.gate(po).name;
+  }
+  for (GateId to : a.outbound_tsvs()) {
+    const GateId other = b.find(a.gate(to).name);
+    ASSERT_NE(other, kNoGate);
+    EXPECT_EQ(va[static_cast<std::size_t>(to)], vb[static_cast<std::size_t>(other)]);
+  }
+  for (GateId ff : a.flip_flops()) {
+    const GateId other = b.find(a.gate(ff).name);
+    ASSERT_NE(other, kNoGate);
+    EXPECT_EQ(va[static_cast<std::size_t>(a.gate(ff).fanins[0])],
+              vb[static_cast<std::size_t>(b.gate(other).fanins[0])])
+        << a.gate(ff).name << " D";
+  }
+}
+
+TEST(OptimizeTest, ConstantFoldsThroughTies) {
+  const Netlist n = from_bench(R"(
+INPUT(a)
+OUTPUT(z)
+t0 = TIE0()
+g = AND(a, t0)
+h = OR(g, a)
+z = BUF(h)
+)");
+  OptimizeStats stats;
+  const Netlist opt = optimize(n, &stats);
+  EXPECT_GT(stats.constants_folded, 0);
+  // AND(a,0)=0; OR(0,a)=a -> z = a directly.
+  EXPECT_EQ(opt.num_logic_gates(), 0u);
+  expect_equivalent(n, opt);
+}
+
+TEST(OptimizeTest, DoubleNegationCancels) {
+  const Netlist n = from_bench(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+n1 = NOT(a)
+n2 = NOT(n1)
+g = AND(n2, b)
+z = BUF(g)
+)");
+  OptimizeStats stats;
+  const Netlist opt = optimize(n, &stats);
+  EXPECT_GT(stats.identities_collapsed, 0);
+  EXPECT_EQ(opt.num_logic_gates(), 1u);  // just the AND
+  expect_equivalent(n, opt);
+}
+
+TEST(OptimizeTest, XorOfEqualInputsIsZero) {
+  const Netlist n = from_bench(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+g = NOT(a)
+x = XOR(g, g, b)
+z = BUF(x)
+)");
+  const Netlist opt = optimize(n);
+  // XOR(g,g,b) = b; g becomes dead.
+  EXPECT_EQ(opt.num_logic_gates(), 0u);
+  expect_equivalent(n, opt);
+}
+
+TEST(OptimizeTest, ComplementaryPairHitsControllingValue) {
+  const Netlist n = from_bench(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+na = NOT(a)
+g = OR(a, na, b)
+z = BUF(g)
+)");
+  const Netlist opt = optimize(n);
+  // OR(a, ~a, b) = 1 -> z is tied high.
+  EXPECT_EQ(opt.num_logic_gates(), 0u);
+  const GateId z = opt.find("z");
+  ASSERT_NE(z, kNoGate);
+  EXPECT_EQ(opt.gate(opt.gate(z).fanins[0]).type, GateType::kTie1);
+}
+
+TEST(OptimizeTest, DuplicateGatesMerge) {
+  const Netlist n = from_bench(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(z0)
+OUTPUT(z1)
+g0 = NAND(a, b)
+g1 = NAND(b, a)
+z0 = BUF(g0)
+z1 = BUF(g1)
+)");
+  OptimizeStats stats;
+  const Netlist opt = optimize(n, &stats);
+  EXPECT_GE(stats.duplicates_merged, 1);
+  EXPECT_EQ(opt.num_logic_gates(), 1u);
+  expect_equivalent(n, opt);
+}
+
+TEST(OptimizeTest, MuxSimplifications) {
+  const Netlist n = from_bench(R"(
+INPUT(s)
+INPUT(a)
+OUTPUT(z0)
+OUTPUT(z1)
+t0 = TIE0()
+t1 = TIE1()
+m0 = MUX(s, t0, t1)
+m1 = MUX(s, a, a)
+z0 = BUF(m0)
+z1 = BUF(m1)
+)");
+  const Netlist opt = optimize(n);
+  // MUX(s,0,1) = s; MUX(s,a,a) = a.
+  EXPECT_EQ(opt.num_logic_gates(), 0u);
+  expect_equivalent(n, opt);
+}
+
+TEST(OptimizeTest, DeadConesAreSwept) {
+  const Netlist n = from_bench(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+dead1 = AND(a, b)
+dead2 = NOT(dead1)
+ff = SCAN_DFF(keep)
+keep = OR(a, ff)
+z = BUF(keep)
+)");
+  OptimizeStats stats;
+  const Netlist opt = optimize(n, &stats);
+  EXPECT_GT(stats.dead_gates_swept, 0);
+  EXPECT_EQ(opt.find("dead1"), kNoGate);
+  EXPECT_EQ(opt.find("dead2"), kNoGate);
+  EXPECT_NE(opt.find("keep"), kNoGate);
+  expect_equivalent(n, opt);
+}
+
+TEST(OptimizeTest, PortsFlopsAndTsvsAreSacred) {
+  DieSpec spec;
+  spec.num_gates = 200;
+  spec.num_scan_ffs = 10;
+  spec.num_inbound = 8;
+  spec.num_outbound = 8;
+  spec.seed = 3;
+  const Netlist n = generate_die(spec);
+  const Netlist opt = optimize(n);
+  EXPECT_EQ(opt.primary_inputs().size(), n.primary_inputs().size());
+  EXPECT_EQ(opt.primary_outputs().size(), n.primary_outputs().size());
+  EXPECT_EQ(opt.inbound_tsvs().size(), n.inbound_tsvs().size());
+  EXPECT_EQ(opt.outbound_tsvs().size(), n.outbound_tsvs().size());
+  EXPECT_EQ(opt.flip_flops().size(), n.flip_flops().size());
+  EXPECT_EQ(opt.scan_flip_flops().size(), n.scan_flip_flops().size());
+}
+
+TEST(OptimizeTest, GeneratedDiesShrinkButStayEquivalent) {
+  for (std::uint64_t seed : {7ULL, 11ULL, 13ULL}) {
+    DieSpec spec;
+    spec.num_gates = 400;
+    spec.num_scan_ffs = 16;
+    spec.num_inbound = 12;
+    spec.num_outbound = 12;
+    spec.seed = seed;
+    const Netlist n = generate_die(spec);
+    OptimizeStats stats;
+    const Netlist opt = optimize(n, &stats);
+    EXPECT_LE(opt.num_logic_gates(), n.num_logic_gates());
+    EXPECT_EQ(opt.check(), "");
+    expect_equivalent(n, opt);
+  }
+}
+
+TEST(OptimizeTest, Idempotent) {
+  DieSpec spec;
+  spec.num_gates = 300;
+  spec.seed = 5;
+  const Netlist once = optimize(generate_die(spec));
+  OptimizeStats stats;
+  const Netlist twice = optimize(once, &stats);
+  EXPECT_EQ(twice.size(), once.size());
+  EXPECT_EQ(stats.total_removed(), 0);
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,132 @@
+// Parser robustness: randomly mutated inputs must never crash or corrupt —
+// every outcome is either a clean parse (of a by-chance-valid variant) or a
+// structured error with a line number. Deterministic seeds keep failures
+// reproducible.
+#include <gtest/gtest.h>
+
+#include "celllib/liberty.hpp"
+#include "gen/generator.hpp"
+#include "netlist/bench_io.hpp"
+#include "util/rng.hpp"
+
+namespace wcm {
+namespace {
+
+std::string mutate(const std::string& text, Rng& rng, int edits) {
+  std::string out = text;
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    const auto pos = static_cast<std::size_t>(rng.below(out.size()));
+    switch (rng.below(4)) {
+      case 0:  // flip a character
+        out[pos] = static_cast<char>(32 + rng.below(95));
+        break;
+      case 1:  // delete a character
+        out.erase(pos, 1);
+        break;
+      case 2:  // duplicate a span
+        out.insert(pos, out.substr(pos, std::min<std::size_t>(8, out.size() - pos)));
+        break;
+      case 3:  // insert structural noise
+        out.insert(pos, std::string(1, "(,)=#\n{}:;"[rng.below(10)]));
+        break;
+    }
+  }
+  return out;
+}
+
+class BenchFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BenchFuzz, MutatedBenchNeverCrashes) {
+  DieSpec spec;
+  spec.num_gates = 60;
+  spec.num_scan_ffs = 4;
+  spec.num_inbound = 3;
+  spec.num_outbound = 3;
+  spec.seed = 2;
+  const std::string valid = write_bench_string(generate_die(spec));
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string text = mutate(valid, rng, 1 + static_cast<int>(rng.below(12)));
+    const BenchParseResult result = read_bench_string(text, "fuzz");
+    if (result.ok) {
+      // Whatever parsed must be a healthy netlist.
+      EXPECT_EQ(result.netlist.check(), "");
+    } else {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+TEST_P(BenchFuzz, TruncationsFailGracefully) {
+  DieSpec spec;
+  spec.num_gates = 40;
+  spec.seed = 9;
+  const std::string valid = write_bench_string(generate_die(spec));
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string text = valid.substr(0, rng.below(valid.size()));
+    const BenchParseResult result = read_bench_string(text, "trunc");
+    if (result.ok) {
+      EXPECT_EQ(result.netlist.check(), "");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BenchFuzz, testing::Values(11, 22, 33),
+                         [](const testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+class LibertyFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LibertyFuzz, MutatedLibertyNeverCrashes) {
+  const std::string valid = R"(
+library (fuzz45) {
+  cell (NAND2_X1) {
+    pin (A) { direction : input; capacitance : 1.5; }
+    pin (ZN) {
+      direction : output;
+      max_capacitance : 140;
+      timing () {
+        cell_rise (t) { index_1 ("10, 100"); index_2 ("2, 50");
+                        values ("20, 120", "40, 150"); }
+      }
+    }
+  }
+}
+)";
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string text = mutate(valid, rng, 1 + static_cast<int>(rng.below(10)));
+    CellLibrary lib;
+    std::string error;
+    std::istringstream in(text);
+    const bool ok = read_liberty(in, lib, error);
+    if (!ok) {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LibertyFuzz, testing::Values(44, 55),
+                         [](const testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(WcmlibFuzz, MutatedWcmlibNeverCrashes) {
+  const std::string valid = CellLibrary::nangate45_like().to_text();
+  Rng rng(66);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string text = mutate(valid, rng, 1 + static_cast<int>(rng.below(8)));
+    CellLibrary lib;
+    std::string error;
+    std::istringstream in(text);
+    const bool ok = CellLibrary::parse(in, lib, error);
+    if (!ok) {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wcm

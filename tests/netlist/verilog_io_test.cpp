@@ -1,0 +1,105 @@
+#include "netlist/verilog_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "dft/insertion.hpp"
+#include "gen/generator.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace wcm {
+namespace {
+
+Netlist tiny() {
+  const auto r = read_bench_string(R"(
+INPUT(a)
+TSV_IN(ti)
+OUTPUT(z)
+TSV_OUT(to)
+g0 = NAND(a, ti)
+g1 = MUX(a, g0, ti)
+ff = SCAN_DFF(g1)
+z = BUF(ff)
+to = BUF(g0)
+)");
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.netlist;
+}
+
+TEST(VerilogIoTest, EmitsModuleWithAllPorts) {
+  const std::string v = write_verilog_string(tiny());
+  EXPECT_NE(v.find("module bench ("), std::string::npos);
+  EXPECT_NE(v.find("input a"), std::string::npos);
+  EXPECT_NE(v.find("(* tsv = \"inbound\" *) input ti"), std::string::npos);
+  EXPECT_NE(v.find("(* tsv = \"outbound\" *) output to"), std::string::npos);
+  EXPECT_NE(v.find("input clk"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(VerilogIoTest, GatesMapToPrimitives) {
+  const std::string v = write_verilog_string(tiny());
+  EXPECT_NE(v.find("nand g0_inst (g0, a, ti);"), std::string::npos);
+  EXPECT_NE(v.find("assign g1 = a ? ti : g0;"), std::string::npos);  // MUX
+  EXPECT_NE(v.find("wcm_dff /* scan */ ff_inst (.q(ff), .d(g1), .clk(clk));"),
+            std::string::npos);
+  EXPECT_NE(v.find("assign z = ff;"), std::string::npos);
+}
+
+TEST(VerilogIoTest, DffModuleEmitted) {
+  const std::string v = write_verilog_string(tiny());
+  EXPECT_NE(v.find("module wcm_dff"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk) q <= d;"), std::string::npos);
+}
+
+TEST(VerilogIoTest, SanitizesAwkwardNames) {
+  Netlist n("2bad.name");
+  const GateId a = n.add_gate(GateType::kInput, "sig[3]");
+  const GateId z = n.add_gate(GateType::kOutput, "out.x");
+  n.connect(a, z);
+  const std::string v = write_verilog_string(n);
+  EXPECT_NE(v.find("module m_2bad_name ("), std::string::npos);
+  EXPECT_NE(v.find("sig_3_"), std::string::npos);
+  EXPECT_EQ(v.find("sig[3]"), std::string::npos);
+}
+
+TEST(VerilogIoTest, CollidingNamesGetSuffixes) {
+  Netlist n("t");
+  const GateId a = n.add_gate(GateType::kInput, "x.y");
+  const GateId b = n.add_gate(GateType::kInput, "x_y");
+  const GateId z = n.add_gate(GateType::kOutput, "z");
+  const GateId g = n.add_gate(GateType::kAnd, "g");
+  n.connect(a, g);
+  n.connect(b, g);
+  n.connect(g, z);
+  const std::string v = write_verilog_string(n);
+  EXPECT_NE(v.find("x_y"), std::string::npos);
+  EXPECT_NE(v.find("x_y_1"), std::string::npos);
+}
+
+TEST(VerilogIoTest, WrapperInsertedDieEmitsCleanly) {
+  Netlist n = generate_die(itc99_die_spec("b11", 0));
+  insert_wrappers(n, one_cell_per_tsv(n), nullptr);
+  const std::string v = write_verilog_string(n);
+  EXPECT_NE(v.find("module b11_die0"), std::string::npos);
+  EXPECT_NE(v.find("test_en"), std::string::npos);
+  // Balanced: every "module <name> (" has a matching "endmodule".
+  std::size_t modules = 0, ends = 0;
+  for (std::size_t pos = v.find("module "); pos != std::string::npos;
+       pos = v.find("module ", pos + 1))
+    ++modules;
+  for (std::size_t pos = v.find("endmodule"); pos != std::string::npos;
+       pos = v.find("endmodule", pos + 1))
+    ++ends;
+  EXPECT_EQ(modules, ends);
+}
+
+TEST(VerilogIoTest, FileWriting) {
+  const std::string path = testing::TempDir() + "/wcm_verilog_test.v";
+  EXPECT_TRUE(write_verilog_file(tiny(), path));
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,149 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/generator.hpp"
+
+namespace wcm {
+namespace {
+
+Netlist medium_circuit(std::uint64_t seed = 5) {
+  CircuitSpec spec;
+  spec.name = "med";
+  spec.num_pis = 12;
+  spec.num_pos = 12;
+  spec.num_ffs = 40;
+  spec.num_gates = 600;
+  spec.seed = seed;
+  return generate_circuit(spec);
+}
+
+TEST(PartitionTest, ProducesRequestedParts) {
+  const Netlist n = medium_circuit();
+  PartitionOptions opts;
+  opts.num_parts = 4;
+  const PartitionResult result = partition(n, opts);
+  ASSERT_EQ(result.part.size(), n.size());
+  std::vector<int> count(4, 0);
+  for (int p : result.part) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 4);
+    count[static_cast<std::size_t>(p)]++;
+  }
+  for (int c : count) EXPECT_GT(c, 0);
+}
+
+TEST(PartitionTest, RespectsBalance) {
+  const Netlist n = medium_circuit();
+  PartitionOptions opts;
+  opts.num_parts = 2;
+  opts.balance_tolerance = 0.10;
+  const PartitionResult result = partition(n, opts);
+  std::vector<int> count(2, 0);
+  for (int p : result.part) count[static_cast<std::size_t>(p)]++;
+  const double total = static_cast<double>(n.size());
+  // One extra step of slop: FM only blocks moves that would cross the bound.
+  EXPECT_GT(count[0], static_cast<int>(total * 0.37));
+  EXPECT_GT(count[1], static_cast<int>(total * 0.37));
+}
+
+TEST(PartitionTest, CutBeatsRandomAssignment) {
+  const Netlist n = medium_circuit();
+  PartitionOptions opts;
+  opts.num_parts = 2;
+  const PartitionResult fm = partition(n, opts);
+
+  // Random balanced split as the straw man.
+  std::vector<int> random_part(n.size());
+  for (std::size_t i = 0; i < n.size(); ++i) random_part[i] = static_cast<int>(i % 2);
+  EXPECT_LT(fm.cut_nets, count_cut_nets(n, random_part));
+}
+
+TEST(PartitionTest, DeterministicForSeed) {
+  const Netlist n = medium_circuit();
+  PartitionOptions opts;
+  opts.num_parts = 4;
+  opts.seed = 77;
+  const PartitionResult a = partition(n, opts);
+  const PartitionResult b = partition(n, opts);
+  EXPECT_EQ(a.part, b.part);
+  EXPECT_EQ(a.cut_nets, b.cut_nets);
+}
+
+TEST(PartitionTest, SinglePartIsIdentity) {
+  const Netlist n = medium_circuit();
+  PartitionOptions opts;
+  opts.num_parts = 1;
+  const PartitionResult result = partition(n, opts);
+  EXPECT_EQ(result.cut_nets, 0);
+  for (int p : result.part) EXPECT_EQ(p, 0);
+}
+
+TEST(SplitTest, DiesPassStructuralCheck) {
+  const Netlist n = medium_circuit();
+  PartitionOptions opts;
+  opts.num_parts = 4;
+  const auto dies = split_into_dies(n, partition(n, opts));
+  ASSERT_EQ(dies.size(), 4u);
+  for (const Die& d : dies) EXPECT_EQ(d.netlist.check(), "") << d.netlist.name();
+}
+
+TEST(SplitTest, GateCountConserved) {
+  const Netlist n = medium_circuit();
+  PartitionOptions opts;
+  opts.num_parts = 4;
+  const auto dies = split_into_dies(n, partition(n, opts));
+  std::size_t logic = 0, ffs = 0;
+  for (const Die& d : dies) {
+    logic += d.netlist.num_logic_gates();
+    ffs += d.netlist.flip_flops().size();
+  }
+  EXPECT_EQ(logic, n.num_logic_gates());
+  EXPECT_EQ(ffs, n.flip_flops().size());
+}
+
+TEST(SplitTest, TsvPairingIsConsistent) {
+  const Netlist n = medium_circuit();
+  PartitionOptions opts;
+  opts.num_parts = 4;
+  const auto dies = split_into_dies(n, partition(n, opts));
+  // Every inbound TSV's net name must appear as some die's outbound net.
+  std::size_t total_in = 0, total_out = 0;
+  std::vector<std::string> outbound_nets;
+  for (const Die& d : dies) {
+    total_in += d.netlist.inbound_tsvs().size();
+    total_out += d.netlist.outbound_tsvs().size();
+    EXPECT_EQ(d.inbound_net.size(), d.netlist.inbound_tsvs().size());
+    EXPECT_EQ(d.outbound_net.size(), d.netlist.outbound_tsvs().size());
+    outbound_nets.insert(outbound_nets.end(), d.outbound_net.begin(), d.outbound_net.end());
+  }
+  EXPECT_GT(total_in, 0u);
+  // One TSV_OUT per (net, destination die): outbound count >= distinct nets,
+  // and every inbound net has a matching outbound somewhere.
+  for (const Die& d : dies)
+    for (const std::string& net : d.inbound_net)
+      EXPECT_NE(std::find(outbound_nets.begin(), outbound_nets.end(), net),
+                outbound_nets.end())
+          << net;
+}
+
+TEST(SplitTest, CrossDieSignalsRouteThroughTsvs) {
+  const Netlist n = medium_circuit();
+  PartitionOptions opts;
+  opts.num_parts = 2;
+  const PartitionResult parts = partition(n, opts);
+  const auto dies = split_into_dies(n, parts);
+  // Count cut driver-sink pairs in the original; each die-crossing net must
+  // appear as TSV ports, so dies with any cut net have TSVs.
+  int cut = count_cut_nets(n, parts.part);
+  ASSERT_GT(cut, 0);
+  EXPECT_GT(dies[0].netlist.inbound_tsvs().size() + dies[0].netlist.outbound_tsvs().size(),
+            0u);
+  EXPECT_GT(dies[1].netlist.inbound_tsvs().size() + dies[1].netlist.outbound_tsvs().size(),
+            0u);
+}
+
+}  // namespace
+}  // namespace wcm

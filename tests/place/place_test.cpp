@@ -1,0 +1,118 @@
+#include "place/place.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/generator.hpp"
+
+namespace wcm {
+namespace {
+
+Netlist small_die() {
+  DieSpec spec;
+  spec.name = "p";
+  spec.num_pis = 6;
+  spec.num_pos = 6;
+  spec.num_scan_ffs = 10;
+  spec.num_gates = 120;
+  spec.num_inbound = 8;
+  spec.num_outbound = 8;
+  spec.seed = 9;
+  return generate_die(spec);
+}
+
+TEST(PlaceTest, EveryCellGetsALocation) {
+  const Netlist n = small_die();
+  const Placement p = place(n, PlaceOptions{});
+  ASSERT_EQ(p.size(), n.size());
+  for (std::size_t i = 0; i < n.size(); ++i)
+    EXPECT_TRUE(p.outline().contains(p.loc(static_cast<GateId>(i))));
+}
+
+TEST(PlaceTest, NoTwoCellsShareASite) {
+  const Netlist n = small_die();
+  const Placement p = place(n, PlaceOptions{});
+  std::set<std::pair<double, double>> sites;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const Point& pt = p.loc(static_cast<GateId>(i));
+    EXPECT_TRUE(sites.emplace(pt.x, pt.y).second) << n.gate(static_cast<GateId>(i)).name;
+  }
+}
+
+TEST(PlaceTest, RefinementImprovesWirelength) {
+  const Netlist n = small_die();
+  PlaceOptions no_refine;
+  no_refine.swap_rounds = 0;
+  PlaceOptions refined;
+  refined.swap_rounds = 8;
+  const double before = place(n, no_refine).total_hpwl(n);
+  const double after = place(n, refined).total_hpwl(n);
+  EXPECT_LE(after, before);
+  EXPECT_LT(after, before * 0.995);  // must actually move the needle
+}
+
+TEST(PlaceTest, DeterministicForSeed) {
+  const Netlist n = small_die();
+  PlaceOptions opts;
+  opts.seed = 5;
+  const Placement a = place(n, opts);
+  const Placement b = place(n, opts);
+  for (std::size_t i = 0; i < n.size(); ++i)
+    EXPECT_EQ(a.loc(static_cast<GateId>(i)), b.loc(static_cast<GateId>(i)));
+}
+
+TEST(PlaceTest, DistanceIsSymmetricManhattan) {
+  const Netlist n = small_die();
+  const Placement p = place(n, PlaceOptions{});
+  const GateId a = 0, b = static_cast<GateId>(n.size() - 1);
+  EXPECT_DOUBLE_EQ(p.distance(a, b), p.distance(b, a));
+  EXPECT_DOUBLE_EQ(p.distance(a, b), manhattan(p.loc(a), p.loc(b)));
+}
+
+TEST(PlaceTest, SetLocGrowsAndUpdatesOutline) {
+  const Netlist n = small_die();
+  Placement p = place(n, PlaceOptions{});
+  const double old_ux = p.outline().ux;
+  const GateId fresh = static_cast<GateId>(n.size() + 5);
+  p.set_loc(fresh, Point{old_ux + 100.0, 0.0});
+  EXPECT_DOUBLE_EQ(p.loc(fresh).x, old_ux + 100.0);
+  EXPECT_GE(p.outline().ux, old_ux + 100.0);
+}
+
+TEST(PlaceTest, NetHpwlOfUnloadedNetIsZero) {
+  Netlist n("t");
+  const GateId a = n.add_gate(GateType::kInput, "a");
+  const GateId z = n.add_gate(GateType::kOutput, "z");
+  n.connect(a, z);
+  const Placement p = place(n, PlaceOptions{});
+  EXPECT_DOUBLE_EQ(p.net_hpwl(n, z), 0.0);
+  EXPECT_GE(p.net_hpwl(n, a), 0.0);
+}
+
+TEST(PlaceTest, ConnectedCellsEndUpCloserThanRandomPairs) {
+  const Netlist n = small_die();
+  const Placement p = place(n, PlaceOptions{});
+  double connected = 0.0;
+  int edges = 0;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    for (GateId fo : n.gate(static_cast<GateId>(i)).fanouts) {
+      connected += p.distance(static_cast<GateId>(i), fo);
+      ++edges;
+    }
+  }
+  connected /= edges;
+  // Average over arbitrary pairs.
+  double random = 0.0;
+  int pairs = 0;
+  for (std::size_t i = 0; i < n.size(); i += 3)
+    for (std::size_t j = i + 7; j < n.size(); j += 11) {
+      random += p.distance(static_cast<GateId>(i), static_cast<GateId>(j));
+      ++pairs;
+    }
+  random /= pairs;
+  EXPECT_LT(connected, random);
+}
+
+}  // namespace
+}  // namespace wcm

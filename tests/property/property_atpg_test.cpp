@@ -1,0 +1,117 @@
+// Cross-engine properties of the test machinery: the batch fault simulator
+// and PODEM must agree, detection must imply activation, shared wrappers
+// must never create coverage out of thin air. Checked across a seed sweep.
+#include <gtest/gtest.h>
+
+#include "atpg/engine.hpp"
+#include "atpg/podem.hpp"
+#include "atpg/simulator.hpp"
+#include "gen/generator.hpp"
+
+namespace wcm {
+namespace {
+
+class AtpgProperty : public testing::TestWithParam<std::uint64_t> {
+ protected:
+  Netlist make() const {
+    DieSpec spec;
+    spec.name = "prop";
+    spec.num_gates = 180;
+    spec.num_scan_ffs = 8;
+    spec.num_inbound = 8;
+    spec.num_outbound = 8;
+    spec.num_pis = 5;
+    spec.num_pos = 5;
+    spec.seed = GetParam();
+    return generate_die(spec);
+  }
+};
+
+TEST_P(AtpgProperty, PodemPatternsReplayOnSimulator) {
+  const Netlist n = make();
+  const TestView view = build_reference_view(n);
+  Podem podem(view);
+  Simulator sim(view);
+  int replayed = 0;
+  const auto faults = full_fault_list(n);
+  for (std::size_t i = 0; i < faults.size(); i += 7) {
+    const PodemResult pr = podem.generate(faults[i], 512);
+    if (pr.status != PodemStatus::kDetected) continue;
+    std::vector<std::uint64_t> words(pr.pattern.size());
+    for (std::size_t c = 0; c < pr.pattern.size(); ++c)
+      words[c] = pr.pattern[c] ? ~0ULL : 0;
+    sim.good_sim(words);
+    EXPECT_NE(sim.detect_mask(faults[i]) & 1ULL, 0u) << fault_name(n, faults[i]);
+    ++replayed;
+  }
+  EXPECT_GT(replayed, 10);
+}
+
+TEST_P(AtpgProperty, DetectionImpliesActivationOpportunity) {
+  // A fault whose site never differs from the stuck value cannot be
+  // detected: detect_mask must be a subset of the activation mask.
+  const Netlist n = make();
+  const TestView view = build_reference_view(n);
+  Simulator sim(view);
+  Rng rng(GetParam() * 31 + 7);
+  std::vector<std::uint64_t> words(view.num_controls());
+  for (auto& w : words) w = rng();
+  sim.good_sim(words);
+  for (const Fault& f : full_fault_list(n)) {
+    const std::uint64_t good = sim.values()[static_cast<std::size_t>(f.site)];
+    const std::uint64_t activated = f.stuck_value ? ~good : good;
+    EXPECT_EQ(sim.detect_mask(f) & ~activated, 0u) << fault_name(n, f);
+  }
+}
+
+TEST_P(AtpgProperty, SharingNeverBeatsDedicatedCells) {
+  // Coverage under ANY wrapper plan is bounded by the reference plan's:
+  // correlation and aliasing only remove test capability.
+  const Netlist n = make();
+  AtpgOptions opts;
+  opts.seed = 11;
+  const AtpgResult reference = AtpgEngine(build_reference_view(n)).run_stuck_at(opts);
+
+  // A deliberately aggressive plan: everything on two cells.
+  WrapperPlan plan;
+  WrapperGroup in_all, out_all;
+  for (GateId t : n.inbound_tsvs()) in_all.inbound.push_back(t);
+  for (GateId t : n.outbound_tsvs()) out_all.outbound.push_back(t);
+  plan.groups = {in_all, out_all};
+  const AtpgResult shared = AtpgEngine(build_test_view(n, plan)).run_stuck_at(opts);
+  EXPECT_LE(shared.detected, reference.detected);
+}
+
+TEST_P(AtpgProperty, TransitionBoundedByStuckAt) {
+  const Netlist n = make();
+  const TestView view = build_reference_view(n);
+  AtpgOptions opts;
+  opts.seed = 5;
+  const AtpgResult sa = AtpgEngine(view).run_stuck_at(opts);
+  const AtpgResult tr = AtpgEngine(view).run_transition(opts);
+  EXPECT_LE(tr.detected, sa.detected + sa.total_faults / 50);
+  EXPECT_GE(tr.patterns, sa.patterns);
+}
+
+TEST_P(AtpgProperty, AccountingAddsUp) {
+  const Netlist n = make();
+  const TestView view = build_reference_view(n);
+  AtpgOptions opts;
+  opts.seed = 23;
+  for (const AtpgResult& r : {AtpgEngine(view).run_stuck_at(opts),
+                              AtpgEngine(view).run_transition(opts)}) {
+    EXPECT_LE(r.detected + r.untestable + r.aborted, r.total_faults);
+    EXPECT_GE(r.detected, 0);
+    EXPECT_GE(r.coverage(), 0.0);
+    EXPECT_LE(r.coverage(), 1.0);
+    EXPECT_GE(r.test_coverage(), r.coverage());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, AtpgProperty, testing::Values(1, 2, 3, 5, 8, 13),
+                         [](const testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace wcm

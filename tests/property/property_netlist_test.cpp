@@ -1,0 +1,130 @@
+// Property suite over randomly generated dies: structural invariants that
+// must hold for EVERY netlist the generator can produce, checked across a
+// sweep of sizes and seeds (parameterized gtest).
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/cone.hpp"
+
+namespace wcm {
+namespace {
+
+struct Params {
+  int gates;
+  int ffs;
+  int tsvs;
+  std::uint64_t seed;
+};
+
+class NetlistProperty : public testing::TestWithParam<Params> {
+ protected:
+  Netlist make() const {
+    const Params p = GetParam();
+    DieSpec spec;
+    spec.name = "prop";
+    spec.num_gates = p.gates;
+    spec.num_scan_ffs = p.ffs;
+    spec.num_inbound = p.tsvs;
+    spec.num_outbound = p.tsvs;
+    spec.num_pis = 4;
+    spec.num_pos = 4;
+    spec.seed = p.seed;
+    return generate_die(spec);
+  }
+};
+
+TEST_P(NetlistProperty, StructurallySound) {
+  const Netlist n = make();
+  EXPECT_EQ(n.check(), "");
+  EXPECT_FALSE(n.has_combinational_loop());
+}
+
+TEST_P(NetlistProperty, TopoOrderIsAPermutationRespectingEdges) {
+  const Netlist n = make();
+  const auto order = n.topo_order();
+  ASSERT_EQ(order.size(), n.size());
+  std::vector<int> pos(n.size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ASSERT_EQ(pos[static_cast<std::size_t>(order[i])], -1) << "duplicate in topo order";
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const Gate& g = n.gate(static_cast<GateId>(i));
+    if (is_combinational_source(g.type)) continue;
+    for (GateId in : g.fanins)
+      EXPECT_LT(pos[static_cast<std::size_t>(in)], pos[i]);
+  }
+}
+
+TEST_P(NetlistProperty, BenchRoundTripIsStructurallyIdentical) {
+  const Netlist n = make();
+  const auto parsed = read_bench_string(write_bench_string(n), n.name());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const Netlist& m = parsed.netlist;
+  ASSERT_EQ(m.size(), n.size());
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const Gate& a = n.gate(static_cast<GateId>(i));
+    const GateId j = m.find(a.name);
+    ASSERT_NE(j, kNoGate) << a.name;
+    const Gate& b = m.gate(j);
+    EXPECT_EQ(a.type, b.type) << a.name;
+    EXPECT_EQ(a.is_scan, b.is_scan) << a.name;
+    ASSERT_EQ(a.fanins.size(), b.fanins.size()) << a.name;
+    for (std::size_t k = 0; k < a.fanins.size(); ++k)
+      EXPECT_EQ(n.gate(a.fanins[k]).name, m.gate(b.fanins[k]).name) << a.name;
+  }
+  // And re-serialisation is a fixed point after the first cycle.
+  const auto second = read_bench_string(write_bench_string(m), n.name());
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(write_bench_string(second.netlist), write_bench_string(m));
+}
+
+TEST_P(NetlistProperty, LevelsAreConsistentWithTopo) {
+  const Netlist n = make();
+  const auto level = n.logic_levels();
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const Gate& g = n.gate(static_cast<GateId>(i));
+    if (is_combinational_source(g.type)) {
+      EXPECT_EQ(level[i], 0);
+      continue;
+    }
+    for (GateId in : g.fanins)
+      EXPECT_GE(level[i], level[static_cast<std::size_t>(in)] + 1);
+  }
+}
+
+TEST_P(NetlistProperty, ConeMembershipIsMutual) {
+  // If sink s is in the fan-out cone of source x, then x is in the fan-in
+  // cone of s (for combinational x; flops terminate both walks).
+  const Netlist n = make();
+  ConeDb cones(n);
+  const auto& tsvs = n.inbound_tsvs();
+  for (std::size_t k = 0; k < tsvs.size() && k < 4; ++k) {
+    const GateId x = tsvs[k];
+    for (GateId s : fanout_endpoints(n, x)) {
+      const auto sources = fanin_endpoints(n, s);
+      EXPECT_NE(std::find(sources.begin(), sources.end(), x), sources.end())
+          << n.gate(x).name << " -> " << n.gate(s).name;
+    }
+  }
+}
+
+TEST_P(NetlistProperty, EveryTsvParticipates) {
+  const Netlist n = make();
+  for (GateId t : n.inbound_tsvs()) EXPECT_FALSE(n.gate(t).fanouts.empty());
+  for (GateId t : n.outbound_tsvs()) EXPECT_EQ(n.gate(t).fanins.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NetlistProperty,
+    testing::Values(Params{60, 4, 3, 1}, Params{60, 4, 3, 2}, Params{200, 12, 10, 3},
+                    Params{200, 12, 10, 4}, Params{800, 30, 40, 5}, Params{800, 3, 60, 6},
+                    Params{2000, 80, 100, 7}, Params{2000, 8, 150, 8}),
+    [](const testing::TestParamInfo<Params>& info) {
+      return "g" + std::to_string(info.param.gates) + "_f" + std::to_string(info.param.ffs) +
+             "_t" + std::to_string(info.param.tsvs) + "_s" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace wcm

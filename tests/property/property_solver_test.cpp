@@ -1,0 +1,101 @@
+// Solver invariants across the whole evaluation suite and all method
+// presets: every plan must be legal, costs bounded, statistics consistent.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "dft/insertion.hpp"
+#include "gen/generator.hpp"
+
+namespace wcm {
+namespace {
+
+struct Case {
+  const char* circuit;
+  int die;
+};
+
+class SolverProperty : public testing::TestWithParam<Case> {
+ protected:
+  void SetUp() override {
+    netlist_ = generate_die(itc99_die_spec(GetParam().circuit, GetParam().die));
+    placement_ = place(netlist_, PlaceOptions{});
+  }
+  Netlist netlist_;
+  Placement placement_;
+  CellLibrary lib_ = CellLibrary::nangate45_like();
+};
+
+TEST_P(SolverProperty, AllPresetsProduceLegalPlans) {
+  for (const WcmConfig& cfg : {WcmConfig::proposed_area(), WcmConfig::proposed_tight(),
+                               WcmConfig::agrawal_area(), WcmConfig::agrawal_tight()}) {
+    const WcmSolution sol = solve_wcm(netlist_, &placement_, lib_, cfg);
+    EXPECT_TRUE(sol.plan.covers_all_tsvs(netlist_));
+    EXPECT_TRUE(check_plan(netlist_, sol.plan).empty());
+    // Cost bounds.
+    const int tsvs = static_cast<int>(netlist_.inbound_tsvs().size() +
+                                      netlist_.outbound_tsvs().size());
+    EXPECT_LE(sol.additional_cells, tsvs);
+    EXPECT_LE(sol.reused_ffs, static_cast<int>(netlist_.scan_flip_flops().size()));
+    // A wrapper cell exists for every TSV: cells >= ceil(tsvs / max clique)
+    EXPECT_GE(sol.reused_ffs + sol.additional_cells, 1);
+  }
+}
+
+TEST_P(SolverProperty, PhaseStatsAreConsistent) {
+  const WcmSolution sol = solve_wcm(netlist_, &placement_, lib_, WcmConfig::proposed_tight());
+  ASSERT_EQ(sol.phases.size(), 2u);
+  int tsv_nodes = 0;
+  for (const PhaseStats& p : sol.phases) {
+    EXPECT_GE(p.graph_nodes, 0);
+    EXPECT_GE(p.graph_edges, p.overlap_edges);
+    EXPECT_GE(p.cliques, 0);
+    tsv_nodes += p.rejected_tsvs;
+  }
+  // Directions must be one of each.
+  EXPECT_NE(sol.phases[0].direction, sol.phases[1].direction);
+  EXPECT_GE(tsv_nodes, 0);
+}
+
+TEST_P(SolverProperty, EveryPlanSurvivesInsertionAndSignoff) {
+  const WcmSolution sol = solve_wcm(netlist_, &placement_, lib_, WcmConfig::proposed_area());
+  Netlist copy = netlist_;
+  Placement pcopy = placement_;
+  const InsertionResult ins = insert_wrappers(copy, sol.plan, &pcopy);
+  EXPECT_EQ(copy.check(), "");
+  EXPECT_EQ(ins.group_gates.size(), sol.plan.groups.size());
+  // Every non-empty group produced hardware (at least its cell).
+  for (std::size_t i = 0; i < sol.plan.groups.size(); ++i)
+    if (!sol.plan.groups[i].empty())
+      EXPECT_FALSE(ins.group_gates[i].empty());
+}
+
+TEST_P(SolverProperty, OverlapSharingMonotonicallyAddsEdges) {
+  WcmConfig with = WcmConfig::proposed_tight();
+  WcmConfig without = with;
+  without.allow_overlap_sharing = false;
+  const WcmSolution a = solve_wcm(netlist_, &placement_, lib_, with);
+  const WcmSolution b = solve_wcm(netlist_, &placement_, lib_, without);
+  int edges_with = 0, edges_without = 0;
+  for (const auto& p : a.phases) edges_with += p.graph_edges;
+  for (const auto& p : b.phases) edges_without += p.graph_edges;
+  EXPECT_GE(edges_with, edges_without);
+  for (const auto& p : b.phases) EXPECT_EQ(p.overlap_edges, 0);
+}
+
+TEST_P(SolverProperty, LiBaselineIsLegalAndOneToOne) {
+  const WcmSolution li = solve_li_greedy(netlist_, &placement_, lib_, WcmConfig::proposed_area());
+  EXPECT_TRUE(li.plan.covers_all_tsvs(netlist_));
+  for (const WrapperGroup& g : li.plan.groups)
+    EXPECT_LE(g.inbound.size() + g.outbound.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dies, SolverProperty,
+                         testing::Values(Case{"b11", 0}, Case{"b11", 2}, Case{"b12", 0},
+                                         Case{"b12", 1}, Case{"b12", 2}, Case{"b12", 3}),
+                         [](const testing::TestParamInfo<Case>& info) {
+                           return std::string(info.param.circuit) + "_die" +
+                                  std::to_string(info.param.die);
+                         });
+
+}  // namespace
+}  // namespace wcm

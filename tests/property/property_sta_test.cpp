@@ -1,0 +1,94 @@
+// STA properties: definitions and monotonicities that must hold on any
+// netlist the flow can see.
+#include <gtest/gtest.h>
+
+#include "dft/insertion.hpp"
+#include "gen/generator.hpp"
+#include "sta/sta.hpp"
+
+namespace wcm {
+namespace {
+
+class StaProperty : public testing::TestWithParam<std::uint64_t> {
+ protected:
+  Netlist make() const {
+    DieSpec spec;
+    spec.num_gates = 300;
+    spec.num_scan_ffs = 12;
+    spec.num_inbound = 10;
+    spec.num_outbound = 10;
+    spec.seed = GetParam();
+    return generate_die(spec);
+  }
+};
+
+TEST_P(StaProperty, SlackIsRequiredMinusArrival) {
+  const Netlist n = make();
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const TimingReport rep = StaEngine(n, lib, nullptr).run();
+  for (std::size_t i = 0; i < n.size(); ++i)
+    if (std::isfinite(rep.required[i]))
+      EXPECT_DOUBLE_EQ(rep.slack[i], rep.required[i] - rep.arrival[i]);
+}
+
+TEST_P(StaProperty, ArrivalMonotoneAlongEdges) {
+  const Netlist n = make();
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const TimingReport rep = StaEngine(n, lib, nullptr).run();
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const Gate& g = n.gate(static_cast<GateId>(i));
+    if (is_combinational_source(g.type)) continue;
+    for (GateId in : g.fanins)
+      EXPECT_GE(rep.arrival[i] + 1e-9, rep.arrival[static_cast<std::size_t>(in)]);
+  }
+}
+
+TEST_P(StaProperty, LongerClockOnlyAddsSlack) {
+  const Netlist n = make();
+  CellLibrary lib = CellLibrary::nangate45_like();
+  lib.set_clock_period_ps(1000.0);
+  const TimingReport a = StaEngine(n, lib, nullptr).run();
+  lib.set_clock_period_ps(2000.0);
+  const TimingReport b = StaEngine(n, lib, nullptr).run();
+  for (std::size_t i = 0; i < n.size(); ++i)
+    if (std::isfinite(a.required[i]) && std::isfinite(b.required[i]))
+      EXPECT_GE(b.slack[i] + 1e-9, a.slack[i]);
+  EXPECT_LE(b.violating_endpoints, a.violating_endpoints);
+}
+
+TEST_P(StaProperty, WireParasiticsOnlySlowThingsDown) {
+  const Netlist n = make();
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Placement placement = place(n, PlaceOptions{});
+  const TimingReport without = StaEngine(n, lib, nullptr).run();
+  const TimingReport with = StaEngine(n, lib, &placement).run();
+  for (std::size_t i = 0; i < n.size(); ++i)
+    EXPECT_GE(with.arrival[i] + 1e-9, without.arrival[i]);
+}
+
+TEST_P(StaProperty, InsertionNeverSpeedsUpSharedNodes) {
+  // Wrapper insertion adds load and gates; arrivals of pre-existing nodes
+  // can only grow.
+  Netlist n = make();
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  Placement placement = place(n, PlaceOptions{});
+  const TimingReport before = StaEngine(n, lib, &placement).run();
+  const std::size_t original = n.size();
+  Netlist inserted = n;
+  Placement ip = placement;
+  insert_wrappers(inserted, one_cell_per_tsv(n), &ip);
+  const TimingReport after = StaEngine(inserted, lib, &ip).run();
+  for (std::size_t i = 0; i < original; ++i) {
+    if (n.gate(static_cast<GateId>(i)).type == GateType::kTsvIn) continue;  // rewired
+    EXPECT_GE(after.arrival[i] + 1e-9, before.arrival[i])
+        << n.gate(static_cast<GateId>(i)).name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, StaProperty, testing::Values(2, 4, 9, 16, 25),
+                         [](const testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace wcm

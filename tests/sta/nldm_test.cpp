@@ -1,0 +1,107 @@
+// NLDM (slew/load lookup-table) timing: the TimingLut machinery and the
+// STA's slew propagation.
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "netlist/bench_io.hpp"
+#include "sta/sta.hpp"
+
+namespace wcm {
+namespace {
+
+TimingLut square_lut() {
+  // delay = 1*slew + 2*load on a 2x2 grid (exactly bilinear).
+  TimingLut lut;
+  lut.slew_axis_ps = {0.0, 100.0};
+  lut.load_axis_ff = {0.0, 50.0};
+  lut.delay_ps = {0.0, 100.0, 100.0, 200.0};
+  lut.out_slew_ps = {10.0, 20.0, 30.0, 40.0};
+  return lut;
+}
+
+TEST(TimingLutTest, ExactAtGridPoints) {
+  const TimingLut lut = square_lut();
+  EXPECT_DOUBLE_EQ(lut.lookup(lut.delay_ps, 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(lut.lookup(lut.delay_ps, 0.0, 50.0), 100.0);
+  EXPECT_DOUBLE_EQ(lut.lookup(lut.delay_ps, 100.0, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(lut.lookup(lut.delay_ps, 100.0, 50.0), 200.0);
+}
+
+TEST(TimingLutTest, BilinearBetweenPoints) {
+  const TimingLut lut = square_lut();
+  EXPECT_DOUBLE_EQ(lut.lookup(lut.delay_ps, 50.0, 25.0), 100.0);
+  EXPECT_DOUBLE_EQ(lut.lookup(lut.delay_ps, 25.0, 0.0), 25.0);
+}
+
+TEST(TimingLutTest, ClampsOutsideWindow) {
+  const TimingLut lut = square_lut();
+  EXPECT_DOUBLE_EQ(lut.lookup(lut.delay_ps, -50.0, -10.0), 0.0);
+  EXPECT_DOUBLE_EQ(lut.lookup(lut.delay_ps, 500.0, 500.0), 200.0);
+}
+
+TEST(TimingLutTest, MultiSegmentAxes) {
+  TimingLut lut;
+  lut.slew_axis_ps = {0.0, 10.0, 100.0};
+  lut.load_axis_ff = {0.0, 1.0};
+  lut.delay_ps = {0.0, 0.0, 10.0, 10.0, 100.0, 100.0};
+  lut.out_slew_ps = lut.delay_ps;
+  EXPECT_DOUBLE_EQ(lut.lookup(lut.delay_ps, 5.0, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(lut.lookup(lut.delay_ps, 55.0, 0.5), 55.0);
+}
+
+TEST(NldmLibraryTest, SurfacesArePresentAndMonotone) {
+  const CellLibrary lib = CellLibrary::nangate45_like_nldm();
+  for (GateType t : {GateType::kNand, GateType::kXor, GateType::kMux, GateType::kDff}) {
+    const TimingLut& lut = lib.timing(t).lut;
+    ASSERT_FALSE(lut.empty());
+    // More load at fixed slew -> slower; slower edge at fixed load -> slower.
+    EXPECT_LT(lut.lookup(lut.delay_ps, 40.0, 5.0), lut.lookup(lut.delay_ps, 40.0, 150.0));
+    EXPECT_LT(lut.lookup(lut.delay_ps, 10.0, 20.0), lut.lookup(lut.delay_ps, 300.0, 20.0));
+    EXPECT_LT(lut.lookup(lut.out_slew_ps, 10.0, 5.0),
+              lut.lookup(lut.out_slew_ps, 300.0, 150.0));
+  }
+  // The linear library has no surfaces.
+  EXPECT_TRUE(CellLibrary::nangate45_like().timing(GateType::kNand).lut.empty());
+}
+
+TEST(NldmStaTest, SlewsPropagateOnlyUnderNldm) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 1));
+  const TimingReport linear = StaEngine(n, CellLibrary::nangate45_like(), nullptr).run();
+  const TimingReport nldm =
+      StaEngine(n, CellLibrary::nangate45_like_nldm(), nullptr).run();
+  // Linear: every slew is the nominal constant. NLDM: deep nodes differ.
+  bool linear_flat = true, nldm_varies = false;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    if (linear.slew[i] != linear.slew[0]) linear_flat = false;
+    if (nldm.slew[i] != nldm.slew[0]) nldm_varies = true;
+  }
+  EXPECT_TRUE(linear_flat);
+  EXPECT_TRUE(nldm_varies);
+}
+
+TEST(NldmStaTest, NldmIsSlowerThanItsLinearTangent) {
+  // The surface = linear + positive slew terms, so NLDM arrivals dominate.
+  const Netlist n = generate_die(itc99_die_spec("b11", 1));
+  const TimingReport linear = StaEngine(n, CellLibrary::nangate45_like(), nullptr).run();
+  const TimingReport nldm =
+      StaEngine(n, CellLibrary::nangate45_like_nldm(), nullptr).run();
+  double max_ratio = 0.0;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    EXPECT_GE(nldm.arrival[i] + 1e-9, linear.arrival[i]);
+    if (linear.arrival[i] > 0) max_ratio = std::max(max_ratio, nldm.arrival[i] / linear.arrival[i]);
+  }
+  EXPECT_GT(max_ratio, 1.05);  // the second-order effect is material
+}
+
+TEST(NldmStaTest, FullFlowRunsUnderNldm) {
+  // The whole pipeline accepts the NLDM library transparently.
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  const CellLibrary lib = CellLibrary::nangate45_like_nldm();
+  const Placement placement = place(n, PlaceOptions{});
+  const TimingReport rep = StaEngine(n, lib, &placement).run();
+  EXPECT_EQ(rep.slew.size(), n.size());
+  for (std::size_t i = 0; i < n.size(); ++i) EXPECT_GT(rep.slew[i], 0.0);
+}
+
+}  // namespace
+}  // namespace wcm

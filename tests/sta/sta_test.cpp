@@ -1,0 +1,181 @@
+#include "sta/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace wcm {
+namespace {
+
+// Chain: pi0 -> NOT g0 -> NOT g1 -> po0, plus ff0 with D = g1.
+Netlist chain() {
+  const auto result = read_bench_string(R"(
+INPUT(pi0)
+OUTPUT(po0)
+g0 = NOT(pi0)
+g1 = NOT(g0)
+po0 = BUF(g1)
+ff0 = SCAN_DFF(g1)
+)");
+  EXPECT_TRUE(result.ok) << result.error;
+  return result.netlist;
+}
+
+TEST(StaTest, ArrivalAccumulatesAlongChain) {
+  const Netlist n = chain();
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  StaEngine sta(n, lib, nullptr);
+  const TimingReport rep = sta.run();
+  const auto at = [&](const char* name) {
+    return rep.arrival[static_cast<std::size_t>(n.find(name))];
+  };
+  EXPECT_DOUBLE_EQ(at("pi0"), 0.0);
+  EXPECT_GT(at("g0"), 0.0);
+  EXPECT_GT(at("g1"), at("g0"));
+  EXPECT_DOUBLE_EQ(at("po0"), at("g1"));  // port pin, no cell behind it
+}
+
+TEST(StaTest, LoadMattersForDelay) {
+  // g0 drives one load vs. many loads: heavier net, slower gate.
+  const auto light = read_bench_string(R"(
+INPUT(a)
+OUTPUT(z)
+g = NOT(a)
+z = BUF(g)
+)");
+  const auto heavy = read_bench_string(R"(
+INPUT(a)
+OUTPUT(z)
+OUTPUT(z1)
+OUTPUT(z2)
+OUTPUT(z3)
+g = NOT(a)
+z = BUF(g)
+z1 = BUF(g)
+z2 = BUF(g)
+z3 = BUF(g)
+)");
+  ASSERT_TRUE(light.ok && heavy.ok);
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const TimingReport rl = StaEngine(light.netlist, lib, nullptr).run();
+  const TimingReport rh = StaEngine(heavy.netlist, lib, nullptr).run();
+  const double al = rl.arrival[static_cast<std::size_t>(light.netlist.find("g"))];
+  const double ah = rh.arrival[static_cast<std::size_t>(heavy.netlist.find("g"))];
+  EXPECT_GT(ah, al);
+}
+
+TEST(StaTest, FlopLaunchUsesClkToQ) {
+  const auto r = read_bench_string(R"(
+INPUT(a)
+OUTPUT(z)
+ff = SCAN_DFF(a)
+g = NOT(ff)
+z = BUF(g)
+)");
+  ASSERT_TRUE(r.ok);
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const TimingReport rep = StaEngine(r.netlist, lib, nullptr).run();
+  EXPECT_DOUBLE_EQ(rep.arrival[static_cast<std::size_t>(r.netlist.find("ff"))],
+                   lib.flop().clk_to_q_ps);
+}
+
+TEST(StaTest, SlackTightensWithClockPeriod) {
+  const Netlist n = chain();
+  CellLibrary lib = CellLibrary::nangate45_like();
+  lib.set_clock_period_ps(1000.0);
+  const TimingReport loose = StaEngine(n, lib, nullptr).run();
+  lib.set_clock_period_ps(50.0);
+  const TimingReport tight = StaEngine(n, lib, nullptr).run();
+  EXPECT_GT(loose.worst_slack, tight.worst_slack);
+}
+
+TEST(StaTest, ViolationsAppearWhenClockTooFast) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  CellLibrary lib = CellLibrary::nangate45_like();
+  lib.set_clock_period_ps(1.0);  // absurd
+  const TimingReport rep = StaEngine(n, lib, nullptr).run();
+  EXPECT_GT(rep.violating_endpoints, 0);
+  EXPECT_LT(rep.worst_slack, 0.0);
+  EXPECT_FALSE(rep.met());
+}
+
+TEST(StaTest, CleanAtGenerousClock) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  CellLibrary lib = CellLibrary::nangate45_like();
+  lib.set_clock_period_ps(1e7);
+  const TimingReport rep = StaEngine(n, lib, nullptr).run();
+  EXPECT_EQ(rep.violating_endpoints, 0);
+  EXPECT_TRUE(rep.met());
+}
+
+TEST(StaTest, WireDelayZeroWithoutPlacement) {
+  const Netlist n = chain();
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  StaEngine sta(n, lib, nullptr);
+  EXPECT_DOUBLE_EQ(sta.wire_delay_ps(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(sta.wire_length_um(0, 1), 0.0);
+}
+
+TEST(StaTest, PlacementAddsWireDelayAndCap) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 1));
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Placement placement = place(n, PlaceOptions{});
+  StaEngine with(n, lib, &placement);
+  StaEngine without(n, lib, nullptr);
+  const TimingReport rep_with = with.run();
+  const TimingReport rep_without = without.run();
+  // Total load across nets is strictly larger with wire cap.
+  double load_with = 0, load_without = 0;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    load_with += rep_with.load[i];
+    load_without += rep_without.load[i];
+  }
+  EXPECT_GT(load_with, load_without);
+  // And the worst path got slower.
+  EXPECT_LT(rep_with.worst_slack, rep_without.worst_slack);
+}
+
+TEST(StaTest, NetLoadWithExtraAddsPinAndWire) {
+  const Netlist n = chain();
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  StaEngine sta(n, lib, nullptr);
+  const GateId g0 = n.find("g0");
+  const double base = sta.net_load_ff(g0);
+  EXPECT_DOUBLE_EQ(sta.net_load_with_extra_ff(g0, 2.5, 0.0), base + 2.5);
+  // Wire term scales with the library's per-um cap even without placement.
+  EXPECT_DOUBLE_EQ(sta.net_load_with_extra_ff(g0, 0.0, 10.0),
+                   base + 10.0 * lib.wire_cap_ff_per_um());
+}
+
+TEST(StaTest, TsvPadCapChargesDriver) {
+  const auto r = read_bench_string(R"(
+INPUT(a)
+TSV_OUT(t)
+OUTPUT(z)
+g = NOT(a)
+t = BUF(g)
+z = BUF(g)
+)");
+  ASSERT_TRUE(r.ok);
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  StaEngine sta(r.netlist, lib, nullptr);
+  const double load = sta.net_load_ff(r.netlist.find("g"));
+  EXPECT_GE(load, lib.tsv_cap_ff());
+}
+
+TEST(StaTest, RequiredTimePropagatesBackwards) {
+  const Netlist n = chain();
+  CellLibrary lib = CellLibrary::nangate45_like();
+  lib.set_clock_period_ps(500.0);
+  const TimingReport rep = StaEngine(n, lib, nullptr).run();
+  const auto req = [&](const char* name) {
+    return rep.required[static_cast<std::size_t>(n.find(name))];
+  };
+  EXPECT_LT(req("g1"), 500.0 + 1e-9);  // bounded by both po and ff.D - setup
+  EXPECT_LT(req("g0"), req("g1"));
+  EXPECT_LT(req("pi0"), req("g0"));
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,147 @@
+#include "stack/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "atpg/engine.hpp"
+#include "atpg/testview.hpp"
+#include "gen/generator.hpp"
+#include "util/rng.hpp"
+
+namespace wcm {
+namespace {
+
+std::vector<Die> make_dies(int num_parts = 4, std::uint64_t seed = 11) {
+  CircuitSpec spec;
+  spec.name = "soc";
+  spec.num_pis = 10;
+  spec.num_pos = 10;
+  spec.num_ffs = 30;
+  spec.num_gates = 500;
+  spec.seed = seed;
+  const Netlist soc = generate_circuit(spec);
+  PartitionOptions opts;
+  opts.num_parts = num_parts;
+  opts.seed = seed;
+  return split_into_dies(soc, partition(soc, opts));
+}
+
+TEST(StackTest, BondedStackPassesStructuralCheck) {
+  const BondedStack stack = bond_dies(make_dies());
+  EXPECT_EQ(stack.netlist.check(), "");
+  EXPECT_FALSE(stack.netlist.has_combinational_loop());
+}
+
+TEST(StackTest, NoTsvPortsSurviveBonding) {
+  const BondedStack stack = bond_dies(make_dies());
+  EXPECT_TRUE(stack.netlist.inbound_tsvs().empty());
+  EXPECT_TRUE(stack.netlist.outbound_tsvs().empty());
+}
+
+TEST(StackTest, ViaCountMatchesInboundTsvs) {
+  const auto dies = make_dies();
+  std::size_t inbound = 0;
+  for (const Die& d : dies) inbound += d.netlist.inbound_tsvs().size();
+  const BondedStack stack = bond_dies(dies);
+  EXPECT_EQ(stack.vias.size(), inbound);
+  for (GateId via : stack.vias) EXPECT_EQ(stack.netlist.gate(via).type, GateType::kBuf);
+}
+
+TEST(StackTest, GateCountConserved) {
+  const auto dies = make_dies();
+  const BondedStack stack = bond_dies(dies);
+  std::size_t die_logic = 0, die_ffs = 0;
+  for (const Die& d : dies) {
+    die_logic += d.netlist.num_logic_gates();
+    die_ffs += d.netlist.flip_flops().size();
+  }
+  // Stack logic = die logic + via buffers.
+  EXPECT_EQ(stack.netlist.num_logic_gates(), die_logic + stack.vias.size());
+  EXPECT_EQ(stack.netlist.flip_flops().size(), die_ffs);
+}
+
+// The defining property: splitting and re-bonding preserves functionality.
+// Both circuits are simulated on identical source values (matched by name);
+// every primary output and every flop D input must agree bit-for-bit.
+TEST(StackTest, BondingIsFunctionallyEquivalentToMonolith) {
+  CircuitSpec spec;
+  spec.name = "soc";
+  spec.num_pis = 12;
+  spec.num_ffs = 24;
+  spec.num_gates = 400;
+  spec.seed = 23;
+  const Netlist soc = generate_circuit(spec);
+  PartitionOptions opts;
+  opts.num_parts = 4;
+  const BondedStack stack = bond_dies(split_into_dies(soc, partition(soc, opts)));
+
+  auto simulate = [](const Netlist& n, Rng rng) {
+    // Drive every source by a name-hashed word so both circuits see
+    // identical values regardless of node ids.
+    std::vector<std::uint64_t> val(n.size(), 0);
+    for (GateId id : n.topo_order()) {
+      const Gate& g = n.gate(id);
+      const auto idx = static_cast<std::size_t>(id);
+      if (g.type == GateType::kInput || g.type == GateType::kDff) {
+        Rng h(std::hash<std::string>{}(g.name));
+        val[idx] = h();
+      } else if (g.type == GateType::kTie0) {
+        val[idx] = 0;
+      } else if (g.type == GateType::kTie1) {
+        val[idx] = ~0ULL;
+      } else if (g.type == GateType::kTsvIn) {
+        val[idx] = 0;  // absent in these netlists
+      } else {
+        std::vector<std::uint64_t> ins;
+        for (GateId in : g.fanins) ins.push_back(val[static_cast<std::size_t>(in)]);
+        val[idx] = eval_gate(g.type, ins);
+      }
+    }
+    return val;
+  };
+  const auto mono = simulate(soc, Rng(1));
+  const auto bonded = simulate(stack.netlist, Rng(1));
+
+  for (GateId po : soc.primary_outputs()) {
+    const GateId other = stack.netlist.find(soc.gate(po).name);
+    ASSERT_NE(other, kNoGate) << soc.gate(po).name;
+    EXPECT_EQ(mono[static_cast<std::size_t>(po)], bonded[static_cast<std::size_t>(other)])
+        << soc.gate(po).name;
+  }
+  for (GateId ff : soc.flip_flops()) {
+    const GateId other = stack.netlist.find(soc.gate(ff).name);
+    ASSERT_NE(other, kNoGate);
+    const GateId d_mono = soc.gate(ff).fanins[0];
+    const GateId d_bond = stack.netlist.gate(other).fanins[0];
+    EXPECT_EQ(mono[static_cast<std::size_t>(d_mono)],
+              bonded[static_cast<std::size_t>(d_bond)])
+        << soc.gate(ff).name << " D input";
+  }
+}
+
+TEST(StackTest, ViaFaultsAreTestablePostBond) {
+  const BondedStack stack = bond_dies(make_dies());
+  const TestView view = build_reference_view(stack.netlist);
+  Simulator sim(view);
+  Rng rng(3);
+  // Random batch: most via faults should be detectable (they sit on real
+  // signal paths of a connected design).
+  int detected = 0;
+  const auto faults = via_fault_list(stack);
+  for (int batch = 0; batch < 8; ++batch) {
+    std::vector<std::uint64_t> words(view.num_controls());
+    for (auto& w : words) w = rng();
+    sim.good_sim(words);
+    for (const Fault& f : faults)
+      if (sim.detect_mask(f) != 0) ++detected;
+  }
+  EXPECT_GT(detected, 0);
+}
+
+TEST(StackTest, TwoPartStacksWork) {
+  const BondedStack stack = bond_dies(make_dies(2, 5));
+  EXPECT_EQ(stack.netlist.check(), "");
+  EXPECT_GT(stack.vias.size(), 0u);
+}
+
+}  // namespace
+}  // namespace wcm

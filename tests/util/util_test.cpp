@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/bitset.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace wcm {
+namespace {
+
+// ---- Rng ----
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, BelowCoversFullRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(99);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (c1() == c2()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+// ---- geometry ----
+
+TEST(GeometryTest, ManhattanAndEuclidean) {
+  const Point a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(manhattan(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(euclidean(a, b), 5.0);
+}
+
+TEST(GeometryTest, RectExpandAndContains) {
+  Rect r{0, 0, 1, 1};
+  r.expand(Point{5, -2});
+  EXPECT_DOUBLE_EQ(r.ux, 5.0);
+  EXPECT_DOUBLE_EQ(r.ly, -2.0);
+  EXPECT_TRUE(r.contains(Point{2, 0}));
+  EXPECT_FALSE(r.contains(Point{6, 0}));
+  EXPECT_DOUBLE_EQ(r.half_perimeter(), 5.0 + 3.0);
+}
+
+// ---- DynBitset ----
+
+TEST(BitsetTest, SetTestReset) {
+  DynBitset b(130);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(BitsetTest, IntersectionSemantics) {
+  DynBitset a(100), b(100);
+  a.set(10);
+  a.set(70);
+  b.set(70);
+  b.set(99);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_EQ(a.intersection_count(b), 1u);
+  b.reset(70);
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(BitsetTest, OrAssign) {
+  DynBitset a(80), b(80);
+  a.set(1);
+  b.set(79);
+  a |= b;
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(79));
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(BitsetTest, AnyAndClear) {
+  DynBitset a(10);
+  EXPECT_FALSE(a.any());
+  a.set(9);
+  EXPECT_TRUE(a.any());
+  a.clear();
+  EXPECT_FALSE(a.any());
+}
+
+// ---- Table ----
+
+TEST(TableTest, AsciiRenderingAligns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesWhenNeeded) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "plain"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\",plain"), std::string::npos);
+}
+
+TEST(TableTest, CellFormatting) {
+  EXPECT_EQ(Table::cell(42), "42");
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::percent(0.9934), "99.34%");
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,301 @@
+// wcm3d — command-line driver for the wrapper-cell minimization flow.
+//
+//   wcm3d gen   --circuit b20 --die 0 --out die.bench
+//   wcm3d gen   --gates 2000 --ffs 64 --inbound 120 --outbound 140 --out die.bench
+//   wcm3d split --in soc.bench --parts 4 --out-prefix soc_die
+//   wcm3d opt   --in die.bench --out die_opt.bench
+//   wcm3d solve --in die.bench [--method proposed|agrawal|li]
+//               [--scenario area|tight] [--lib tech.wcmlib]
+//               [--atpg] [--out die_dft.bench] [--csv report.csv]
+//
+// `solve` runs the full Fig. 6 flow: placement, STA, graph construction,
+// clique partitioning, wrapper insertion, signoff (with ECO repair for the
+// proposed method) and, with --atpg, stuck-at + transition verification.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "celllib/liberty.hpp"
+#include "core/flow.hpp"
+#include "core/solver.hpp"
+#include "dft/insertion.hpp"
+#include "dft/scan_chain.hpp"
+#include "gen/generator.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/optimize.hpp"
+#include "netlist/verilog_io.hpp"
+#include "partition/partition.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wcm;
+
+/// flag -> value map; flags without '--' are rejected.
+bool parse_args(int argc, char** argv, int first, std::map<std::string, std::string>& out,
+                std::string& error) {
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      error = "unexpected argument '" + key + "'";
+      return false;
+    }
+    key = key.substr(2);
+    // Boolean flags take no value; everything else consumes the next token.
+    if (key == "atpg" || key == "quiet") {
+      out[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      error = "flag --" + key + " needs a value";
+      return false;
+    }
+    out[key] = argv[++i];
+  }
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  wcm3d gen   --circuit <b11..b22> --die <0..3> --out <file>\n"
+               "  wcm3d gen   --gates N [--ffs N --inbound N --outbound N --seed N] "
+               "--out <file>\n"
+               "  wcm3d split --in <file> [--parts N] [--seed N] --out-prefix <prefix>\n"
+               "  wcm3d opt   --in <file> [--out <file>]\n"
+               "  wcm3d solve --in <file> [--method proposed|agrawal|li] "
+               "[--scenario area|tight]\n"
+               "              [--lib <file.wcmlib|file.lib>] [--atpg] [--out <file>]\n"
+               "              [--verilog <file>] [--csv <file>]\n");
+  return 2;
+}
+
+int cmd_gen(const std::map<std::string, std::string>& args) {
+  DieSpec spec;
+  if (args.count("circuit")) {
+    spec = itc99_die_spec(args.at("circuit"), args.count("die") ? std::stoi(args.at("die")) : 0);
+  } else {
+    if (!args.count("gates")) {
+      std::fprintf(stderr, "gen: need --circuit or --gates\n");
+      return 2;
+    }
+    spec.num_gates = std::stoi(args.at("gates"));
+    if (args.count("ffs")) spec.num_scan_ffs = std::stoi(args.at("ffs"));
+    if (args.count("inbound")) spec.num_inbound = std::stoi(args.at("inbound"));
+    if (args.count("outbound")) spec.num_outbound = std::stoi(args.at("outbound"));
+    if (args.count("seed")) spec.seed = std::stoull(args.at("seed"));
+    spec.name = "custom";
+  }
+  const Netlist n = generate_die(spec);
+  const std::string out = args.count("out") ? args.at("out") : spec.name + ".bench";
+  if (!write_bench_file(n, out)) {
+    std::fprintf(stderr, "gen: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu gates, %zu scan flops, %zu/%zu TSVs\n", out.c_str(),
+              n.num_logic_gates(), n.scan_flip_flops().size(), n.inbound_tsvs().size(),
+              n.outbound_tsvs().size());
+  return 0;
+}
+
+int cmd_split(const std::map<std::string, std::string>& args) {
+  if (!args.count("in")) {
+    std::fprintf(stderr, "split: need --in\n");
+    return 2;
+  }
+  const BenchParseResult parsed = read_bench_file(args.at("in"));
+  if (!parsed.ok) {
+    std::fprintf(stderr, "split: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  PartitionOptions opts;
+  if (args.count("parts")) opts.num_parts = std::stoi(args.at("parts"));
+  if (args.count("seed")) opts.seed = std::stoull(args.at("seed"));
+  const PartitionResult parts = partition(parsed.netlist, opts);
+  const auto dies = split_into_dies(parsed.netlist, parts);
+  const std::string prefix =
+      args.count("out-prefix") ? args.at("out-prefix") : parsed.netlist.name() + "_die";
+  for (std::size_t i = 0; i < dies.size(); ++i) {
+    const std::string path = prefix + std::to_string(i) + ".bench";
+    if (!write_bench_file(dies[i].netlist, path)) {
+      std::fprintf(stderr, "split: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s: %zu gates, %zu/%zu TSVs\n", path.c_str(),
+                dies[i].netlist.num_logic_gates(), dies[i].netlist.inbound_tsvs().size(),
+                dies[i].netlist.outbound_tsvs().size());
+  }
+  std::printf("%d cut nets became TSVs\n", parts.cut_nets);
+  return 0;
+}
+
+int cmd_opt(const std::map<std::string, std::string>& args) {
+  if (!args.count("in")) {
+    std::fprintf(stderr, "opt: need --in\n");
+    return 2;
+  }
+  const BenchParseResult parsed = read_bench_file(args.at("in"));
+  if (!parsed.ok) {
+    std::fprintf(stderr, "opt: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  OptimizeStats stats;
+  const Netlist opt = optimize(parsed.netlist, &stats);
+  std::printf("%zu -> %zu logic gates (%d const-folded, %d identities, %d merged, "
+              "%d dead)\n",
+              parsed.netlist.num_logic_gates(), opt.num_logic_gates(),
+              stats.constants_folded, stats.identities_collapsed, stats.duplicates_merged,
+              stats.dead_gates_swept);
+  const std::string out = args.count("out") ? args.at("out") : args.at("in") + ".opt";
+  if (!write_bench_file(opt, out)) {
+    std::fprintf(stderr, "opt: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_solve(const std::map<std::string, std::string>& args) {
+  if (!args.count("in")) {
+    std::fprintf(stderr, "solve: need --in\n");
+    return 2;
+  }
+  BenchParseResult parsed = read_bench_file(args.at("in"));
+  if (!parsed.ok) {
+    std::fprintf(stderr, "solve: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  const Netlist& die = parsed.netlist;
+
+  CellLibrary lib = CellLibrary::nangate45_like();
+  if (args.count("lib")) {
+    const std::string& path = args.at("lib");
+    std::string error;
+    // Liberty by extension (.lib), the native .wcmlib format otherwise.
+    const bool is_liberty = path.size() > 4 && path.rfind(".lib") == path.size() - 4;
+    const bool ok = is_liberty ? read_liberty_file(path, lib, error)
+                               : CellLibrary::parse_file(path, lib, error);
+    if (!ok) {
+      std::fprintf(stderr, "solve: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  const std::string method = args.count("method") ? args.at("method") : "proposed";
+  const std::string scenario = args.count("scenario") ? args.at("scenario") : "tight";
+  const bool tight = scenario == "tight";
+  if (scenario != "tight" && scenario != "area") {
+    std::fprintf(stderr, "solve: unknown scenario '%s'\n", scenario.c_str());
+    return 2;
+  }
+
+  FlowConfig cfg;
+  cfg.lib = lib;
+  if (method == "proposed") {
+    cfg.wcm = tight ? WcmConfig::proposed_tight() : WcmConfig::proposed_area();
+    cfg.repair_timing = true;
+  } else if (method == "agrawal") {
+    cfg.wcm = tight ? WcmConfig::agrawal_tight() : WcmConfig::agrawal_area();
+  } else if (method == "li") {
+    cfg.wcm = WcmConfig::proposed_area();  // thresholds only; greedy below
+  } else {
+    std::fprintf(stderr, "solve: unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+  const double tight_period = tight_clock_period_ps(die, lib, PlaceOptions{});
+  cfg.clock_period_ps = tight ? tight_period : tight_period * 3.0;
+  cfg.run_stuck_at = args.count("atpg") > 0;
+  cfg.run_transition = args.count("atpg") > 0;
+
+  FlowReport report;
+  if (method == "li") {
+    // Li's greedy is not a FlowConfig method; run its plan through the same
+    // insertion + signoff + ATPG pipeline by hand.
+    Placement placement = place(die, PlaceOptions{});
+    report.die_name = die.name();
+    report.solution = solve_li_greedy(die, &placement, lib, cfg.wcm);
+    Netlist inserted = die;
+    Placement ip = placement;
+    report.insertion = insert_wrappers(inserted, report.solution.plan, &ip);
+    CellLibrary clocked = lib;
+    clocked.set_clock_period_ps(*cfg.clock_period_ps);
+    const TimingReport timing = StaEngine(inserted, clocked, &ip).run();
+    report.timing_violation = timing.violating_endpoints > 0;
+    report.violating_endpoints = timing.violating_endpoints;
+    report.worst_slack_ps = timing.worst_slack;
+  } else {
+    report = run_flow(die, cfg);
+  }
+
+  std::printf("die %s | method %s | scenario %s | clock %.0f ps\n", die.name().c_str(),
+              method.c_str(), scenario.c_str(), *cfg.clock_period_ps);
+  std::printf("reused flops      : %d\n", report.solution.reused_ffs);
+  std::printf("additional cells  : %d (one-cell-per-TSV would use %zu)\n",
+              report.solution.additional_cells,
+              die.inbound_tsvs().size() + die.outbound_tsvs().size());
+  std::printf("signoff           : %s (wns %.0f ps, %d endpoints)\n",
+              report.timing_violation ? "VIOLATION" : "clean", report.worst_slack_ps,
+              report.violating_endpoints);
+  if (cfg.run_stuck_at) {
+    std::printf("stuck-at          : %.2f%% coverage, %d patterns\n",
+                100.0 * report.stuck_at.test_coverage(), report.stuck_at.patterns);
+    std::printf("transition        : %.2f%% coverage, %d patterns\n",
+                100.0 * report.transition.test_coverage(), report.transition.patterns);
+  }
+
+  if (args.count("out") || args.count("verilog")) {
+    Netlist inserted = die;
+    Placement placement = place(die, PlaceOptions{});
+    insert_wrappers(inserted, report.solution.plan, &placement);
+    if (args.count("out")) {
+      if (!write_bench_file(inserted, args.at("out"))) {
+        std::fprintf(stderr, "solve: cannot write %s\n", args.at("out").c_str());
+        return 1;
+      }
+      std::printf("wrote DFT netlist : %s\n", args.at("out").c_str());
+    }
+    if (args.count("verilog")) {
+      if (!write_verilog_file(inserted, args.at("verilog"))) {
+        std::fprintf(stderr, "solve: cannot write %s\n", args.at("verilog").c_str());
+        return 1;
+      }
+      std::printf("wrote Verilog     : %s\n", args.at("verilog").c_str());
+    }
+  }
+  if (args.count("csv")) {
+    Table csv({"die", "method", "scenario", "reused", "additional", "violation",
+               "wns_ps", "sa_coverage", "sa_patterns", "tr_coverage", "tr_patterns"});
+    csv.add_row({die.name(), method, scenario, Table::cell(report.solution.reused_ffs),
+                 Table::cell(report.solution.additional_cells),
+                 report.timing_violation ? "1" : "0", Table::cell(report.worst_slack_ps, 1),
+                 Table::cell(report.stuck_at.test_coverage(), 4),
+                 Table::cell(report.stuck_at.patterns),
+                 Table::cell(report.transition.test_coverage(), 4),
+                 Table::cell(report.transition.patterns)});
+    std::ofstream out(args.at("csv"));
+    out << csv.to_csv();
+    std::printf("wrote CSV report  : %s\n", args.at("csv").c_str());
+  }
+  return report.timing_violation ? 3 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::map<std::string, std::string> args;
+  std::string error;
+  if (!parse_args(argc, argv, 2, args, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return usage();
+  }
+  if (cmd == "gen") return cmd_gen(args);
+  if (cmd == "split") return cmd_split(args);
+  if (cmd == "opt") return cmd_opt(args);
+  if (cmd == "solve") return cmd_solve(args);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return usage();
+}
