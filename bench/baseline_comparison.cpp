@@ -5,10 +5,13 @@
 // suite.
 //
 // Expected order on every die: naive >= Li >= Agrawal >= proposed.
+//
+// The three solver runs per die execute as one parallel campaign (the naive
+// count is just the TSV total of the spec); signoff is skipped since only
+// the plan's cell accounting is read.
 #include <cstdio>
 
 #include "bench/common.hpp"
-#include "core/solver.hpp"
 
 int main() {
   using namespace wcm;
@@ -17,18 +20,39 @@ int main() {
   const CellLibrary lib = CellLibrary::nangate45_like();
   Table table({"die", "TSVs", "naive", "Li [3]", "Agrawal [4]", "proposed", "vs naive"});
 
+  Campaign campaign;
+  const std::vector<DieSpec> dies = evaluation_dies();
+  for (const DieSpec& spec : dies) {
+    FlowConfig li;
+    li.wcm = WcmConfig::proposed_area();  // thresholds only; greedy solver
+    li.method = SolveMethod::kLiGreedy;
+    li.lib = lib;
+    li.run_signoff = false;
+    campaign.add(spec, li, spec.name + "/li");
+
+    FlowConfig agrawal;
+    agrawal.wcm = WcmConfig::agrawal_area();
+    agrawal.lib = lib;
+    agrawal.run_signoff = false;
+    campaign.add(spec, agrawal, spec.name + "/agrawal");
+
+    FlowConfig proposed;
+    proposed.wcm = WcmConfig::proposed_area();
+    proposed.lib = lib;
+    proposed.run_signoff = false;
+    campaign.add(spec, proposed, spec.name + "/proposed");
+  }
+  const CampaignResult result = run_bench_campaign(campaign);
+
   double sums[4] = {};
   int order_violations = 0;
-  for (const DieSpec& spec : evaluation_dies()) {
-    const Netlist n = generate_die(spec);
-    const Placement placement = place(n, PlaceOptions{});
-    const int tsvs =
-        static_cast<int>(n.inbound_tsvs().size() + n.outbound_tsvs().size());
-
+  for (std::size_t d = 0; d < dies.size(); ++d) {
+    const DieSpec& spec = dies[d];
+    const int tsvs = spec.num_inbound + spec.num_outbound;
     const int naive = tsvs;
-    const WcmSolution li = solve_li_greedy(n, &placement, lib, WcmConfig::proposed_area());
-    const WcmSolution agrawal = solve_wcm(n, &placement, lib, WcmConfig::agrawal_area());
-    const WcmSolution ours = solve_wcm(n, &placement, lib, WcmConfig::proposed_area());
+    const WcmSolution& li = result.jobs[3 * d + 0].report.solution;
+    const WcmSolution& agrawal = result.jobs[3 * d + 1].report.solution;
+    const WcmSolution& ours = result.jobs[3 * d + 2].report.solution;
 
     table.add_row({spec.name, Table::cell(tsvs), Table::cell(naive),
                    Table::cell(li.additional_cells), Table::cell(agrawal.additional_cells),
@@ -50,5 +74,7 @@ int main() {
               table.to_ascii().c_str());
   std::printf("dies breaking the expected naive >= Li >= Agrawal >= proposed order: %d\n",
               order_violations);
+  std::printf("[campaign: %d jobs on %d workers, wall %.0f ms]\n",
+              result.metrics.jobs_total, result.metrics.workers, result.metrics.wall_ms);
   return 0;
 }

@@ -6,12 +6,14 @@
 // the default, matching Table II.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/flow.hpp"
 #include "gen/generator.hpp"
+#include "runner/campaign.hpp"
 #include "util/table.hpp"
 
 namespace wcm::bench {
@@ -60,6 +62,45 @@ inline FlowReport run_scenario(const PreparedDie& die, const WcmConfig& wcm, dou
   fc.run_stuck_at = with_atpg;
   fc.run_transition = with_atpg;
   return run_flow(die.netlist, fc);
+}
+
+/// FlowConfig for one (method preset, scenario) cell of the tables, with the
+/// signoff clock derived inside the flow (ClockPolicy) so the job is
+/// self-contained — the form the campaign runner parallelises over. The
+/// derived periods equal what prepare() computes, so migrated benches print
+/// the same numbers as the old serial prepare + run_scenario loop.
+inline FlowConfig scenario_config(const WcmConfig& wcm, bool tight, bool repair,
+                                  bool with_atpg, const CellLibrary& lib) {
+  FlowConfig fc;
+  fc.wcm = wcm;
+  fc.lib = lib;
+  fc.clock_policy = tight ? ClockPolicy::kTightDerived : ClockPolicy::kLooseDerived;
+  fc.repair_timing = repair;
+  fc.run_stuck_at = with_atpg;
+  fc.run_transition = with_atpg;
+  return fc;
+}
+
+/// Worker count for bench campaigns: WCM_JOBS env var, else all cores.
+inline int campaign_jobs() {
+  const char* env = std::getenv("WCM_JOBS");
+  return env != nullptr ? std::atoi(env) : 0;
+}
+
+/// Runs a bench campaign and aborts loudly if any job failed — a table
+/// printed from partial results would be silently wrong.
+inline CampaignResult run_bench_campaign(const Campaign& campaign) {
+  CampaignOptions opts;
+  opts.jobs = campaign_jobs();
+  CampaignResult result = run_campaign(campaign, opts);
+  for (const JobResult& job : result.jobs) {
+    if (!job.ok) {
+      std::fprintf(stderr, "bench: job '%s' failed: %s\n", job.label.c_str(),
+                   job.error.c_str());
+      std::exit(1);
+    }
+  }
+  return result;
 }
 
 /// "(99.64%, 844)" cells as the paper prints coverage/pattern pairs. The

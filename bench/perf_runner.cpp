@@ -1,0 +1,73 @@
+// Runner speedup measurement: the same campaign (generated die set, both
+// scenarios of the proposed method) executed by the serial reference loop
+// and by the work-stealing pool, reported as BENCH_runner.json.
+//
+//   WCM_QUICK=1  restrict to the small dies (smoke run)
+//   WCM_JOBS=N   parallel worker count (default: all cores, min 4 so the
+//                pool is exercised even on small CI boxes)
+//
+// The two runs must produce identical report signatures — this bench
+// doubles as an end-to-end determinism check on real table workloads.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "bench/common.hpp"
+#include "runner/thread_pool.hpp"
+
+int main() {
+  using namespace wcm;
+  using namespace wcm::bench;
+
+  const CellLibrary lib = CellLibrary::nangate45_like();
+
+  Campaign campaign;
+  for (const DieSpec& spec : evaluation_dies()) {
+    if (!quick_mode() && spec.num_gates > 10000) continue;  // one suite, tractable
+    campaign.add(spec, scenario_config(WcmConfig::proposed_area(), false, true, false, lib),
+                 spec.name + "/proposed/area");
+    campaign.add(spec, scenario_config(WcmConfig::proposed_tight(), true, true, false, lib),
+                 spec.name + "/proposed/tight");
+  }
+
+  const int workers = campaign_jobs() > 0
+                          ? campaign_jobs()
+                          : std::max(4, ThreadPool::default_concurrency());
+
+  std::printf("runner perf: %zu jobs, serial vs %d workers...\n", campaign.size(), workers);
+  const CampaignResult serial = run_campaign_serial(campaign, {});
+  CampaignOptions par_opts;
+  par_opts.jobs = workers;
+  const CampaignResult parallel = run_campaign(campaign, par_opts);
+
+  int mismatches = 0;
+  for (std::size_t i = 0; i < campaign.size(); ++i) {
+    if (!serial.jobs[i].ok || !parallel.jobs[i].ok ||
+        flow_report_signature(serial.jobs[i].report) !=
+            flow_report_signature(parallel.jobs[i].report))
+      ++mismatches;
+  }
+
+  const double speedup = parallel.metrics.wall_ms > 0.0
+                             ? serial.metrics.wall_ms / parallel.metrics.wall_ms
+                             : 0.0;
+  std::printf("serial   : %.0f ms\n", serial.metrics.wall_ms);
+  std::printf("parallel : %.0f ms (%d workers, peak concurrency %d, %llu steals)\n",
+              parallel.metrics.wall_ms, parallel.metrics.workers,
+              parallel.metrics.peak_concurrency,
+              static_cast<unsigned long long>(parallel.metrics.tasks_stolen));
+  std::printf("speedup  : %.2fx | signature mismatches: %d\n", speedup, mismatches);
+
+  std::ofstream json("BENCH_runner.json");
+  json << "{\"bench\":\"runner\",\"jobs\":" << campaign.size()
+       << ",\"hardware_threads\":" << ThreadPool::default_concurrency()
+       << ",\"workers\":" << parallel.metrics.workers
+       << ",\"serial_wall_ms\":" << serial.metrics.wall_ms
+       << ",\"parallel_wall_ms\":" << parallel.metrics.wall_ms
+       << ",\"speedup\":" << speedup
+       << ",\"peak_concurrency\":" << parallel.metrics.peak_concurrency
+       << ",\"tasks_stolen\":" << parallel.metrics.tasks_stolen
+       << ",\"signature_mismatches\":" << mismatches << "}\n";
+  std::printf("wrote BENCH_runner.json\n");
+  return mismatches == 0 ? 0 : 1;
+}

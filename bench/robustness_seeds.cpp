@@ -6,6 +6,10 @@
 // Reported per seed: ours/Agrawal additional-cell ratio in both scenarios,
 // and the tight-timing violation counts. Shape to verify: ratio < 100% and
 // 0 proposed-flow violations for EVERY seed.
+//
+// All 5 suites x dies x 4 scenarios run as one flat campaign — the seed
+// sweep is exactly the independently-schedulable job grid the runner was
+// built for.
 #include <cstdio>
 
 #include "bench/common.hpp"
@@ -18,38 +22,54 @@ int main() {
   Table table({"suite seed", "area addl (ours/Agrawal)", "tight addl (ours/Agrawal)",
                "Agrawal viol", "proposed viol"});
 
-  for (std::uint64_t salt : {0ULL, 101ULL, 202ULL, 303ULL, 404ULL}) {
-    double addl[4] = {};
-    int violations[2] = {0, 0};
+  const std::vector<std::uint64_t> salts = {0ULL, 101ULL, 202ULL, 303ULL, 404ULL};
+
+  Campaign campaign;
+  std::vector<int> suite_dies;  // dies per suite, to slice the flat results
+  for (const std::uint64_t salt : salts) {
     int dies = 0;
     for (DieSpec spec : evaluation_dies()) {
       if (!quick_mode() && spec.num_gates > 10000) continue;  // keep 5 suites tractable
       spec.seed ^= salt * 0x9E3779B97F4A7C15ULL;
-      const PreparedDie die = prepare(spec, lib);
-      const FlowReport agr_a = run_scenario(die, WcmConfig::agrawal_area(),
-                                            die.loose_period_ps, false, false, lib);
-      const FlowReport our_a = run_scenario(die, WcmConfig::proposed_area(),
-                                            die.loose_period_ps, true, false, lib);
-      const FlowReport agr_t = run_scenario(die, WcmConfig::agrawal_tight(),
-                                            die.tight_period_ps, false, false, lib);
-      const FlowReport our_t = run_scenario(die, WcmConfig::proposed_tight(),
-                                            die.tight_period_ps, true, false, lib);
+      const std::string prefix = "s" + Table::cell(salt) + "/" + spec.name;
+      campaign.add(spec, scenario_config(WcmConfig::agrawal_area(), false, false, false, lib),
+                   prefix + "/agrawal/area");
+      campaign.add(spec, scenario_config(WcmConfig::proposed_area(), false, true, false, lib),
+                   prefix + "/proposed/area");
+      campaign.add(spec, scenario_config(WcmConfig::agrawal_tight(), true, false, false, lib),
+                   prefix + "/agrawal/tight");
+      campaign.add(spec, scenario_config(WcmConfig::proposed_tight(), true, true, false, lib),
+                   prefix + "/proposed/tight");
+      ++dies;
+    }
+    suite_dies.push_back(dies);
+  }
+  const CampaignResult result = run_bench_campaign(campaign);
+
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < salts.size(); ++s) {
+    double addl[4] = {};
+    int violations[2] = {0, 0};
+    for (int d = 0; d < suite_dies[s]; ++d) {
+      const FlowReport& agr_a = result.jobs[next++].report;
+      const FlowReport& our_a = result.jobs[next++].report;
+      const FlowReport& agr_t = result.jobs[next++].report;
+      const FlowReport& our_t = result.jobs[next++].report;
       addl[0] += agr_a.solution.additional_cells;
       addl[1] += our_a.solution.additional_cells;
       addl[2] += agr_t.solution.additional_cells;
       addl[3] += our_t.solution.additional_cells;
       violations[0] += agr_t.timing_violation ? 1 : 0;
       violations[1] += our_t.timing_violation ? 1 : 0;
-      ++dies;
     }
-    table.add_row({salt == 0 ? "paper suite" : "seed+" + Table::cell(salt),
+    table.add_row({salts[s] == 0 ? "paper suite" : "seed+" + Table::cell(salts[s]),
                    Table::percent(addl[1] / addl[0]), Table::percent(addl[3] / addl[2]),
-                   Table::cell(violations[0]) + "/" + Table::cell(dies),
-                   Table::cell(violations[1]) + "/" + Table::cell(dies)});
-    std::printf(".");
-    std::fflush(stdout);
+                   Table::cell(violations[0]) + "/" + Table::cell(suite_dies[s]),
+                   Table::cell(violations[1]) + "/" + Table::cell(suite_dies[s])});
   }
-  std::printf("\n== Seed robustness of the headline shapes ==\n\n%s\n",
+  std::printf("== Seed robustness of the headline shapes ==\n\n%s\n",
               table.to_ascii().c_str());
+  std::printf("[campaign: %d jobs on %d workers, wall %.0f ms]\n",
+              result.metrics.jobs_total, result.metrics.workers, result.metrics.wall_ms);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/flow.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "atpg/testview.hpp"
 #include "sta/sta.hpp"
@@ -8,6 +9,16 @@
 #include "util/logging.hpp"
 
 namespace wcm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
 
 double tight_clock_period_ps(const Netlist& n, const CellLibrary& lib,
                              const PlaceOptions& place_opts, double margin) {
@@ -27,19 +38,41 @@ double tight_clock_period_ps(const Netlist& n, const CellLibrary& lib,
 }
 
 FlowReport run_flow(const Netlist& n, const FlowConfig& cfg) {
+  const auto flow_start = Clock::now();
   FlowReport report;
   report.die_name = n.name();
 
   CellLibrary lib = cfg.lib;
-  if (cfg.clock_period_ps) lib.set_clock_period_ps(*cfg.clock_period_ps);
+  switch (cfg.clock_policy) {
+    case ClockPolicy::kFixed:
+      if (cfg.clock_period_ps) lib.set_clock_period_ps(*cfg.clock_period_ps);
+      break;
+    case ClockPolicy::kTightDerived:
+    case ClockPolicy::kLooseDerived: {
+      const double tight =
+          tight_clock_period_ps(n, cfg.lib, cfg.place, cfg.tight_clock_margin);
+      lib.set_clock_period_ps(cfg.clock_policy == ClockPolicy::kTightDerived
+                                  ? tight
+                                  : tight * cfg.loose_clock_factor);
+      break;
+    }
+  }
+  report.clock_period_ps = lib.clock_period_ps();
 
   // ---- physical design (3D-Craft stand-in) ----
+  auto phase_start = Clock::now();
   Placement placement = place(n, cfg.place);
+  report.times.place_ms = ms_since(phase_start);
 
   // ---- the WCM solve (graph construction + clique partitioning) ----
-  report.solution = solve_wcm(n, &placement, lib, cfg.wcm);
+  phase_start = Clock::now();
+  report.solution = cfg.method == SolveMethod::kLiGreedy
+                        ? solve_li_greedy(n, &placement, lib, cfg.wcm)
+                        : solve_wcm(n, &placement, lib, cfg.wcm);
+  report.times.solve_ms = ms_since(phase_start);
 
   // ---- DFT insertion + signoff (with optional ECO repair) ----
+  phase_start = Clock::now();
   WrapperPlan plan = report.solution.plan;
   for (int round = 0;; ++round) {
     Netlist inserted = n;
@@ -98,8 +131,10 @@ FlowReport run_flow(const Netlist& n, const FlowConfig& cfg) {
   report.solution.plan = plan;
   report.solution.reused_ffs = plan.num_reused();
   report.solution.additional_cells = plan.num_additional();
+  report.times.signoff_ms = ms_since(phase_start);
 
   // ---- ATPG verification on the test view ----
+  phase_start = Clock::now();
   if (cfg.run_stuck_at) {
     const TestView view = build_test_view(n, report.solution.plan);
     report.stuck_at = AtpgEngine(view).run_stuck_at(cfg.atpg);
@@ -108,6 +143,8 @@ FlowReport run_flow(const Netlist& n, const FlowConfig& cfg) {
     const TestView view = build_test_view(n, report.solution.plan);
     report.transition = AtpgEngine(view).run_transition(cfg.atpg);
   }
+  report.times.atpg_ms = ms_since(phase_start);
+  report.times.total_ms = ms_since(flow_start);
   return report;
 }
 

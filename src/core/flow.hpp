@@ -21,11 +21,30 @@
 
 namespace wcm {
 
+/// Which solver produces the wrapper plan inside run_flow.
+enum class SolveMethod {
+  kClique,    ///< solve_wcm: graph construction + clique partitioning
+  kLiGreedy,  ///< solve_li_greedy: the one-flop-one-TSV baseline [3]
+};
+
+/// How the signoff clock period is chosen. The derived policies make a flow
+/// self-contained — a campaign job needs no externally precomputed period,
+/// so dies can run on worker threads without a shared prepare step.
+enum class ClockPolicy {
+  kFixed,         ///< clock_period_ps if set, else the library default
+  kTightDerived,  ///< tight_clock_period_ps(n, lib, place, tight_clock_margin)
+  kLooseDerived,  ///< tight period * loose_clock_factor (the "no timing" clock)
+};
+
 struct FlowConfig {
   WcmConfig wcm;
   PlaceOptions place;
   CellLibrary lib = CellLibrary::nangate45_like();
   AtpgOptions atpg;
+  SolveMethod method = SolveMethod::kClique;
+  ClockPolicy clock_policy = ClockPolicy::kFixed;
+  double tight_clock_margin = 0.008;  ///< margin of the derived tight clock
+  double loose_clock_factor = 3.0;    ///< kLooseDerived = tight * this
   bool run_signoff = true;       ///< STA on the wrapper-inserted netlist
   /// Signoff-driven ECO: wrapper groups whose hardware lands on a violating
   /// path are demoted to dedicated per-TSV cells at their pads and signoff
@@ -36,15 +55,27 @@ struct FlowConfig {
   bool repair_timing = false;
   bool run_stuck_at = false;     ///< ATPG campaigns are opt-in (they dominate runtime)
   bool run_transition = false;
-  /// If set, overrides lib.clock_period_ps for signoff. See
-  /// tight_clock_period_ps().
+  /// With ClockPolicy::kFixed: overrides lib.clock_period_ps for signoff.
+  /// Ignored by the derived policies. See tight_clock_period_ps().
   std::optional<double> clock_period_ps;
+};
+
+/// Wall-clock spent per flow phase, in milliseconds. Measurement only —
+/// never part of a report's deterministic signature.
+struct FlowPhaseTimes {
+  double place_ms = 0.0;
+  double solve_ms = 0.0;
+  double signoff_ms = 0.0;  ///< insertion + STA + ECO rounds
+  double atpg_ms = 0.0;
+  double total_ms = 0.0;
 };
 
 struct FlowReport {
   std::string die_name;
   WcmSolution solution;
   InsertionResult insertion;
+  double clock_period_ps = 0.0;  ///< the signoff clock actually used
+  FlowPhaseTimes times;
 
   // signoff
   bool timing_violation = false;

@@ -2,10 +2,67 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "util/assert.hpp"
 
 namespace wcm {
+
+// The mutex/atomic cache members are neither copyable nor movable, so the
+// special members are spelled out. A copy deliberately does NOT read the
+// source's cache: another thread reading the same const source may be
+// filling it concurrently (the vectors are mutable), so the copy starts
+// with an invalid cache and refills lazily — one O(gates) pass, cheaper
+// than the gates_ copy itself. Moves require exclusive access to the
+// source, so transferring the cache there is sound.
+Netlist::Netlist(const Netlist& other)
+    : name_(other.name_),
+      gates_(other.gates_),
+      by_name_(other.by_name_),
+      class_cache_valid_(false) {}
+
+Netlist::Netlist(Netlist&& other) noexcept
+    : name_(std::move(other.name_)),
+      gates_(std::move(other.gates_)),
+      by_name_(std::move(other.by_name_)),
+      class_cache_valid_(other.class_cache_valid_.load(std::memory_order_relaxed)),
+      pis_(std::move(other.pis_)),
+      pos_(std::move(other.pos_)),
+      tsv_in_(std::move(other.tsv_in_)),
+      tsv_out_(std::move(other.tsv_out_)),
+      ffs_(std::move(other.ffs_)) {
+  other.class_cache_valid_.store(false, std::memory_order_relaxed);
+}
+
+Netlist& Netlist::operator=(const Netlist& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  gates_ = other.gates_;
+  by_name_ = other.by_name_;
+  pis_.clear();
+  pos_.clear();
+  tsv_in_.clear();
+  tsv_out_.clear();
+  ffs_.clear();
+  class_cache_valid_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
+Netlist& Netlist::operator=(Netlist&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  gates_ = std::move(other.gates_);
+  by_name_ = std::move(other.by_name_);
+  pis_ = std::move(other.pis_);
+  pos_ = std::move(other.pos_);
+  tsv_in_ = std::move(other.tsv_in_);
+  tsv_out_ = std::move(other.tsv_out_);
+  ffs_ = std::move(other.ffs_);
+  class_cache_valid_.store(other.class_cache_valid_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  other.class_cache_valid_.store(false, std::memory_order_relaxed);
+  return *this;
+}
 
 GateId Netlist::add_gate(GateType type, std::string name) {
   WCM_ASSERT_MSG(!name.empty(), "gate name must be non-empty");
@@ -55,7 +112,11 @@ GateId Netlist::find(const std::string& name) const {
 }
 
 void Netlist::ensure_class_cache() const {
-  if (class_cache_valid_) return;
+  // Double-checked fill: the fast path is one acquire load; losers of the
+  // race re-check under the lock and return without touching the vectors.
+  if (class_cache_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(class_mutex_);
+  if (class_cache_valid_.load(std::memory_order_relaxed)) return;
   pis_.clear();
   pos_.clear();
   tsv_in_.clear();
@@ -72,7 +133,7 @@ void Netlist::ensure_class_cache() const {
       default: break;
     }
   }
-  class_cache_valid_ = true;
+  class_cache_valid_.store(true, std::memory_order_release);
 }
 
 const std::vector<GateId>& Netlist::primary_inputs() const {
@@ -114,7 +175,9 @@ std::size_t Netlist::num_logic_gates() const {
   return n;
 }
 
-void Netlist::invalidate_caches() { class_cache_valid_ = false; }
+void Netlist::invalidate_caches() {
+  class_cache_valid_.store(false, std::memory_order_release);
+}
 
 std::vector<GateId> Netlist::topo_order() const {
   // Kahn's algorithm over the combinational view: DFF outputs are sources,

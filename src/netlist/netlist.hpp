@@ -7,7 +7,9 @@
 // frozen and cache derived data (levels, cones) externally.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -30,10 +32,17 @@ struct Gate {
   bool is_scan = false;
 };
 
+// Concurrency: a `const Netlist` may be read from any number of threads at
+// once — the lazy classification cache below fills under an internal mutex.
+// Mutation still requires exclusive access, as for standard containers.
 class Netlist {
  public:
   Netlist() = default;
   explicit Netlist(std::string name) : name_(std::move(name)) {}
+  Netlist(const Netlist& other);
+  Netlist(Netlist&& other) noexcept;
+  Netlist& operator=(const Netlist& other);
+  Netlist& operator=(Netlist&& other) noexcept;
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -110,8 +119,10 @@ class Netlist {
   std::vector<Gate> gates_;
   std::unordered_map<std::string, GateId> by_name_;
 
-  // classification caches
-  mutable bool class_cache_valid_ = false;
+  // classification caches; class_mutex_ guards the lazy fill so concurrent
+  // const readers are race-free (double-checked via the atomic flag)
+  mutable std::mutex class_mutex_;
+  mutable std::atomic<bool> class_cache_valid_{false};
   mutable std::vector<GateId> pis_, pos_, tsv_in_, tsv_out_, ffs_;
 };
 

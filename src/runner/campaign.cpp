@@ -1,0 +1,197 @@
+#include "runner/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "runner/seeds.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace wcm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+void validate_spec(const DieSpec& spec) {
+  if (spec.num_gates < 0 || spec.num_scan_ffs < 0 || spec.num_inbound < 0 ||
+      spec.num_outbound < 0 || spec.num_pis < 0 || spec.num_pos < 0)
+    throw std::invalid_argument("die spec '" + spec.name +
+                                "' has a negative field");
+}
+
+/// Executes one job start to finish. Never throws: failures land in the
+/// result's error channel.
+JobResult execute_job(const CampaignJob& job, std::size_t index,
+                      const CampaignOptions& opts) {
+  JobResult result;
+  result.index = index;
+  result.label = job.label;
+  const auto job_start = Clock::now();
+  try {
+    FlowConfig cfg = job.config;
+    JobSeeds seeds;
+    if (opts.root_seed) {
+      seeds = derive_job_seeds(*opts.root_seed, index);
+      cfg.place.seed ^= seeds.place;
+      cfg.atpg.seed ^= seeds.atpg;
+    }
+
+    Netlist generated;
+    const Netlist* die = nullptr;
+    if (const auto* spec = std::get_if<DieSpec>(&job.die)) {
+      DieSpec seeded = *spec;
+      validate_spec(seeded);
+      if (opts.root_seed) seeded.seed ^= seeds.generator;
+      const auto gen_start = Clock::now();
+      generated = generate_die(seeded);
+      result.generate_ms = ms_since(gen_start);
+      die = &generated;
+    } else {
+      const auto& shared = std::get<std::shared_ptr<const Netlist>>(job.die);
+      if (!shared) throw std::invalid_argument("campaign job holds a null netlist");
+      die = shared.get();
+    }
+
+    result.report = run_flow(*die, cfg);
+    result.die_name = result.report.die_name;
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  } catch (...) {
+    result.ok = false;
+    result.error = "unknown exception";
+  }
+  result.total_ms = ms_since(job_start);
+  return result;
+}
+
+/// Shared per-run accounting; workers bump these around execute_job.
+struct RunState {
+  const CampaignOptions* opts = nullptr;
+  std::atomic<int> started{0};
+  std::atomic<int> finished{0};
+  std::atomic<int> failed{0};
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+
+  void run_one(const CampaignJob& job, std::size_t index, JobResult& slot) {
+    started.fetch_add(1, std::memory_order_relaxed);
+    const int now_running = running.fetch_add(1, std::memory_order_relaxed) + 1;
+    int seen_peak = peak.load(std::memory_order_relaxed);
+    while (now_running > seen_peak &&
+           !peak.compare_exchange_weak(seen_peak, now_running, std::memory_order_relaxed)) {
+    }
+    if (opts->observer) opts->observer->on_job_start(index, job.label);
+
+    slot = execute_job(job, index, *opts);
+
+    running.fetch_sub(1, std::memory_order_relaxed);
+    finished.fetch_add(1, std::memory_order_relaxed);
+    if (!slot.ok) failed.fetch_add(1, std::memory_order_relaxed);
+    if (opts->observer) opts->observer->on_job_finish(slot);
+  }
+};
+
+CampaignResult run_impl(const Campaign& campaign, const CampaignOptions& opts,
+                        bool parallel) {
+  CampaignResult result;
+  result.jobs.resize(campaign.size());
+  result.metrics.jobs_total = static_cast<int>(campaign.size());
+
+  RunState state;
+  state.opts = &opts;
+  const auto wall_start = Clock::now();
+
+  if (!parallel) {
+    result.metrics.workers = 1;
+    for (std::size_t i = 0; i < campaign.size(); ++i)
+      state.run_one(campaign.jobs()[i], i, result.jobs[i]);
+  } else {
+    ThreadPool pool(opts.jobs);
+    result.metrics.workers = pool.worker_count();
+    for (std::size_t i = 0; i < campaign.size(); ++i) {
+      // Each task writes a distinct, preallocated slot; no aggregation lock.
+      pool.submit([&campaign, &state, &result, i] {
+        state.run_one(campaign.jobs()[i], i, result.jobs[i]);
+      });
+    }
+    pool.wait_idle();
+    result.metrics.tasks_stolen = pool.tasks_stolen();
+  }
+
+  result.metrics.wall_ms = ms_since(wall_start);
+  result.metrics.jobs_started = state.started.load();
+  result.metrics.jobs_finished = state.finished.load();
+  result.metrics.jobs_failed = state.failed.load();
+  result.metrics.peak_concurrency = state.peak.load();
+  return result;
+}
+
+}  // namespace
+
+std::size_t Campaign::add(DieSpec spec, FlowConfig config, std::string label) {
+  jobs_.push_back(CampaignJob{std::move(label), std::move(spec), std::move(config)});
+  return jobs_.size() - 1;
+}
+
+std::size_t Campaign::add(std::shared_ptr<const Netlist> netlist, FlowConfig config,
+                          std::string label) {
+  jobs_.push_back(CampaignJob{std::move(label), std::move(netlist), std::move(config)});
+  return jobs_.size() - 1;
+}
+
+CampaignResult run_campaign(const Campaign& campaign, const CampaignOptions& opts) {
+  return run_impl(campaign, opts, /*parallel=*/true);
+}
+
+CampaignResult run_campaign_serial(const Campaign& campaign, const CampaignOptions& opts) {
+  return run_impl(campaign, opts, /*parallel=*/false);
+}
+
+std::string flow_report_signature(const FlowReport& report) {
+  std::ostringstream out;
+  char buf[64];
+  const auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+
+  out << "die=" << report.die_name << ";clock=" << num(report.clock_period_ps)
+      << ";reused=" << report.solution.reused_ffs
+      << ";additional=" << report.solution.additional_cells << ";plan=";
+  for (const WrapperGroup& g : report.solution.plan.groups) {
+    out << '[' << g.reused_ff << '|';
+    for (GateId t : g.inbound) out << t << ',';
+    out << '|';
+    for (GateId t : g.outbound) out << t << ',';
+    out << ']';
+  }
+  out << ";phases=";
+  for (const PhaseStats& p : report.solution.phases)
+    out << '(' << static_cast<int>(p.direction) << ',' << p.graph_nodes << ','
+        << p.graph_edges << ',' << p.overlap_edges << ',' << p.rejected_tsvs << ','
+        << p.cliques << ')';
+  out << ";inserted=" << report.insertion.added_cells.size() << '+'
+      << report.insertion.added_muxes.size() << '+' << report.insertion.added_xors.size()
+      << ";violation=" << (report.timing_violation ? 1 : 0)
+      << ";endpoints=" << report.violating_endpoints
+      << ";wns=" << num(report.worst_slack_ps)
+      << ";repair=" << report.repair_iterations << '/' << report.repair_demotions
+      << ";sa=" << report.stuck_at.total_faults << ',' << report.stuck_at.detected << ','
+      << report.stuck_at.untestable << ',' << report.stuck_at.aborted << ','
+      << report.stuck_at.patterns << ";tr=" << report.transition.total_faults << ','
+      << report.transition.detected << ',' << report.transition.untestable << ','
+      << report.transition.aborted << ',' << report.transition.patterns;
+  return out.str();
+}
+
+}  // namespace wcm

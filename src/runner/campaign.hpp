@@ -1,0 +1,118 @@
+// Campaign: a batch of independent per-die flow jobs and the machinery to
+// run them N-way parallel with serial-identical results.
+//
+// A job is {die (generator spec or shared netlist), FlowConfig, label}. Jobs
+// share nothing mutable — each worker generates (or reads) its die, runs
+// run_flow, and deposits the FlowReport into its own slot of the result
+// vector, so the aggregate is ordered by submission index regardless of
+// completion order. Failures are data, not control flow: a job that throws
+// is recorded (ok = false, error message) and the campaign continues.
+//
+// Determinism: every job is a pure function of its spec and seeds. With
+// CampaignOptions::root_seed set, per-job seed streams are derived by index
+// (see seeds.hpp); either way, results are bit-identical between
+// run_campaign(jobs = N) and run_campaign_serial.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "gen/generator.hpp"
+
+namespace wcm {
+
+struct CampaignJob {
+  std::string label;  ///< scenario label, e.g. "b11_d0/proposed/tight"
+  std::variant<DieSpec, std::shared_ptr<const Netlist>> die;
+  FlowConfig config;
+};
+
+/// Per-job outcome. `report` is valid only when `ok`.
+struct JobResult {
+  std::size_t index = 0;
+  std::string label;
+  std::string die_name;
+  bool ok = false;
+  std::string error;
+  FlowReport report;
+  double generate_ms = 0.0;  ///< die synthesis (0 for pre-built netlists)
+  double total_ms = 0.0;     ///< whole job, including generation
+};
+
+/// Campaign-level counters. Monotonic while running; final after the run.
+struct CampaignMetrics {
+  int jobs_total = 0;
+  int jobs_started = 0;
+  int jobs_finished = 0;
+  int jobs_failed = 0;
+  int peak_concurrency = 0;  ///< max jobs observed in flight at once
+  int workers = 0;           ///< pool size used (1 = serial)
+  std::uint64_t tasks_stolen = 0;
+  double wall_ms = 0.0;
+};
+
+/// Progress hooks, invoked from worker threads — implementations must be
+/// thread-safe. The JobResult reference is only valid during the call.
+class CampaignObserver {
+ public:
+  virtual ~CampaignObserver() = default;
+  virtual void on_job_start(std::size_t index, const std::string& label) {
+    (void)index;
+    (void)label;
+  }
+  virtual void on_job_finish(const JobResult& result) { (void)result; }
+};
+
+struct CampaignOptions {
+  /// Worker threads; <= 0 selects ThreadPool::default_concurrency().
+  int jobs = 0;
+  /// When set, derive per-job seed streams from this root (seeds.hpp) and
+  /// XOR them into each job's generator/place/ATPG seeds. When unset, jobs
+  /// run with exactly the seeds they were authored with.
+  std::optional<std::uint64_t> root_seed;
+  CampaignObserver* observer = nullptr;
+};
+
+struct CampaignResult {
+  std::vector<JobResult> jobs;  ///< submission order, always one per job
+  CampaignMetrics metrics;
+};
+
+class Campaign {
+ public:
+  /// Adds a job whose die is generated in-job from `spec`. Returns its index.
+  std::size_t add(DieSpec spec, FlowConfig config, std::string label);
+
+  /// Adds a job over a pre-built die. The netlist may be shared by any
+  /// number of jobs (concurrent const reads of Netlist are safe).
+  std::size_t add(std::shared_ptr<const Netlist> netlist, FlowConfig config,
+                  std::string label);
+
+  const std::vector<CampaignJob>& jobs() const { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+
+ private:
+  std::vector<CampaignJob> jobs_;
+};
+
+/// Runs the campaign on a work-stealing pool (opts.jobs workers).
+CampaignResult run_campaign(const Campaign& campaign, const CampaignOptions& opts = {});
+
+/// Reference implementation: same jobs, plain loop on the calling thread.
+/// Exists so tests and benches can assert parallel == serial.
+CampaignResult run_campaign_serial(const Campaign& campaign,
+                                   const CampaignOptions& opts = {});
+
+/// Canonical text rendering of every deterministic field of a FlowReport
+/// (plan contents included, wall-clock times excluded). Two reports are the
+/// same result iff their signatures match — the equality the runner's
+/// determinism guarantee is stated in.
+std::string flow_report_signature(const FlowReport& report);
+
+}  // namespace wcm

@@ -1,0 +1,102 @@
+#include "runner/report_json.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace wcm {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void append_atpg(std::ostringstream& out, const char* key, const AtpgResult& r) {
+  out << '"' << key << "\":{\"total_faults\":" << r.total_faults
+      << ",\"detected\":" << r.detected << ",\"untestable\":" << r.untestable
+      << ",\"aborted\":" << r.aborted << ",\"patterns\":" << r.patterns
+      << ",\"coverage\":" << num(r.coverage())
+      << ",\"test_coverage\":" << num(r.test_coverage()) << '}';
+}
+
+void append_job(std::ostringstream& out, const JobResult& job) {
+  out << "{\"index\":" << job.index << ",\"label\":\"" << json_escape(job.label)
+      << "\",\"ok\":" << (job.ok ? "true" : "false");
+  if (!job.ok) {
+    out << ",\"error\":\"" << json_escape(job.error) << "\",\"total_ms\":"
+        << num(job.total_ms) << '}';
+    return;
+  }
+  const FlowReport& r = job.report;
+  out << ",\"die\":\"" << json_escape(job.die_name) << '"'
+      << ",\"clock_period_ps\":" << num(r.clock_period_ps)
+      << ",\"reused_ffs\":" << r.solution.reused_ffs
+      << ",\"additional_cells\":" << r.solution.additional_cells
+      << ",\"timing_violation\":" << (r.timing_violation ? "true" : "false")
+      << ",\"violating_endpoints\":" << r.violating_endpoints
+      << ",\"worst_slack_ps\":" << num(r.worst_slack_ps)
+      << ",\"repair_iterations\":" << r.repair_iterations
+      << ",\"repair_demotions\":" << r.repair_demotions << ',';
+  append_atpg(out, "stuck_at", r.stuck_at);
+  out << ',';
+  append_atpg(out, "transition", r.transition);
+  out << ",\"times_ms\":{\"generate\":" << num(job.generate_ms)
+      << ",\"place\":" << num(r.times.place_ms) << ",\"solve\":" << num(r.times.solve_ms)
+      << ",\"signoff\":" << num(r.times.signoff_ms)
+      << ",\"atpg\":" << num(r.times.atpg_ms) << ",\"total\":" << num(job.total_ms)
+      << "}}";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string campaign_report_json(const CampaignResult& result) {
+  const CampaignMetrics& m = result.metrics;
+  std::ostringstream out;
+  out << "{\"metrics\":{\"jobs_total\":" << m.jobs_total
+      << ",\"jobs_started\":" << m.jobs_started << ",\"jobs_finished\":" << m.jobs_finished
+      << ",\"jobs_failed\":" << m.jobs_failed
+      << ",\"peak_concurrency\":" << m.peak_concurrency << ",\"workers\":" << m.workers
+      << ",\"tasks_stolen\":" << m.tasks_stolen << ",\"wall_ms\":" << num(m.wall_ms)
+      << "},\"jobs\":[";
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    if (i) out << ',';
+    append_job(out, result.jobs[i]);
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool write_campaign_report_json(const CampaignResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << campaign_report_json(result) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace wcm

@@ -1,0 +1,23 @@
+// JSON rendering of campaign results — the machine-readable counterpart of
+// the ASCII tables the benches print. Consumed by `wcm3d campaign --json`
+// and the runner perf bench (BENCH_runner.json).
+#pragma once
+
+#include <string>
+
+#include "runner/campaign.hpp"
+
+namespace wcm {
+
+/// Serialises a campaign result: {"metrics": {...}, "jobs": [...]}. Job
+/// entries carry every deterministic FlowReport field plus wall-clock
+/// phase times; failed jobs carry {"ok": false, "error": ...} only.
+std::string campaign_report_json(const CampaignResult& result);
+
+/// Writes campaign_report_json to `path`; false on I/O failure.
+bool write_campaign_report_json(const CampaignResult& result, const std::string& path);
+
+/// Minimal string escaping per RFC 8259 (quotes, backslash, control chars).
+std::string json_escape(const std::string& raw);
+
+}  // namespace wcm

@@ -1,0 +1,37 @@
+// Per-job seed derivation for campaigns.
+//
+// One root seed is split into an independent xoshiro stream per job index,
+// and the first draws of that stream become the job's generator / placement
+// / ATPG seeds. The derivation is a pure function of (root_seed, job_index):
+// it never observes scheduling, so a 32-way parallel campaign consumes seeds
+// bit-identically to the serial loop — the determinism guarantee the result
+// aggregator builds on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace wcm {
+
+struct JobSeeds {
+  std::uint64_t generator = 0;  ///< XORed into DieSpec::seed
+  std::uint64_t place = 0;      ///< XORed into PlaceOptions::seed
+  std::uint64_t atpg = 0;       ///< XORed into AtpgOptions::seed
+};
+
+/// Seeds for job `index` of a campaign rooted at `root_seed`.
+inline JobSeeds derive_job_seeds(std::uint64_t root_seed, std::size_t index) {
+  const Rng root(root_seed);
+  // salt 0 is reserved (split(0) of a fresh root collides with low indices
+  // less gracefully), so jobs are salted from 1.
+  Rng stream = root.split(static_cast<std::uint64_t>(index) + 1);
+  JobSeeds seeds;
+  seeds.generator = stream();
+  seeds.place = stream();
+  seeds.atpg = stream();
+  return seeds;
+}
+
+}  // namespace wcm

@@ -1,0 +1,106 @@
+#include "runner/thread_pool.hpp"
+
+namespace wcm {
+
+int ThreadPool::default_concurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int workers) {
+  const int count = workers > 0 ? workers : default_concurrency();
+  queues_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) queues_.push_back(std::make_unique<Queue>());
+  threads_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    threads_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    // Empty critical section: a worker between its predicate check and its
+    // wait() cannot miss the notify once we have held the mutex.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t home =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[home]->mutex);
+    queues_[home]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_acquire(std::size_t self, std::function<void()>& out) {
+  // Own queue first, oldest task. Campaign jobs are flat (no nested
+  // spawning), so FIFO start order beats the classic owner-LIFO: a single
+  // worker degenerates to exactly the serial loop, and progress callbacks
+  // fire in submission order.
+  {
+    Queue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal the oldest task (FIFO) from the other queues.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Queue& victim = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::any_queued() const {
+  for (const auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mutex);
+    if (!q->tasks.empty()) return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_acquire(id, task)) {
+      task();
+      task = nullptr;  // release captured state before accounting
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    work_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) || any_queued();
+    });
+    if (stop_.load(std::memory_order_acquire) && !any_queued()) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(sleep_mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
+}
+
+}  // namespace wcm

@@ -1,0 +1,99 @@
+// Work-stealing thread pool for the campaign runner.
+//
+// Layout: one mutex-guarded deque per worker. External submissions are
+// distributed round-robin across the queues; a worker drains its own queue
+// FIFO and, when empty, steals the oldest task from the other queues (good
+// load balance for the long ATPG/STA tails of per-die flows). Sleeping
+// workers park on one shared condition variable; posting a task touches
+// that mutex only to publish the wakeup, never to move tasks.
+//
+// Semantics:
+//   * submit() returns a std::future — exceptions thrown by the task are
+//     captured there, never on the worker thread;
+//   * wait_idle() blocks until every submitted task has finished;
+//   * the destructor drains all remaining tasks, then joins ("shutdown
+//     under load" completes the work rather than dropping it).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace wcm {
+
+class ThreadPool {
+ public:
+  /// `workers` <= 0 selects default_concurrency().
+  explicit ThreadPool(int workers = 0);
+
+  /// Drains every queued task, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Hardware concurrency, at least 1.
+  static int default_concurrency();
+
+  int worker_count() const { return static_cast<int>(queues_.size()); }
+
+  /// Tasks completed so far (successfully or by throwing into the future).
+  std::uint64_t tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks a worker took from another worker's queue.
+  std::uint64_t tasks_stolen() const { return stolen_.load(std::memory_order_relaxed); }
+
+  /// Enqueues `fn`; the returned future delivers its result or exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    post([task] { (*task)(); });
+    return result;
+  }
+
+  /// Blocks until all submitted tasks have completed. Tasks may keep being
+  /// submitted from other threads; this returns at a moment the pool was
+  /// observed idle.
+  void wait_idle();
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void post(std::function<void()> task);
+  bool try_acquire(std::size_t self, std::function<void()>& out);
+  bool any_queued() const;
+  void worker_loop(std::size_t id);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+
+  // sleep_mutex_ orders the "queue non-empty" publication against workers
+  // parking on work_cv_, and guards the idle notification.
+  mutable std::mutex sleep_mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<int> in_flight_{0};  ///< submitted, not yet finished
+  std::atomic<std::uint64_t> next_queue_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+};
+
+}  // namespace wcm

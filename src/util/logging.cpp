@@ -2,11 +2,20 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace wcm {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serialises writes to the sink. Each message is formatted into a local
+// buffer first and emitted with a single fputs under the lock, so concurrent
+// flows (campaign runner workers) can never interleave or tear a line.
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -27,12 +36,20 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const char* fmt, ...) {
   if (level < log_level()) return;
-  std::fprintf(stderr, "[wcm %s] ", level_tag(level));
+  char line[1024];
+  int off = std::snprintf(line, sizeof(line), "[wcm %s] ", level_tag(level));
+  if (off < 0) return;
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  const int body = std::vsnprintf(line + off, sizeof(line) - static_cast<std::size_t>(off) - 1,
+                                  fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body >= 0) off += body;
+  if (static_cast<std::size_t>(off) >= sizeof(line) - 1) off = sizeof(line) - 2;  // truncated
+  line[off] = '\n';
+  line[off + 1] = '\0';
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::fputs(line, stderr);
 }
 
 }  // namespace wcm

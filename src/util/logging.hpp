@@ -4,6 +4,11 @@
 // through this logger on stderr so the two never interleave. Formatting uses
 // printf-style specifiers — the hot paths never log, so no effort is spent on
 // a zero-cost frontend.
+//
+// Thread safety: the level is an atomic and the sink is mutex-guarded with
+// whole-line writes, so concurrent flows (e.g. campaign runner workers) may
+// log freely without interleaving or tearing lines. ScopedLogLevel swaps the
+// global level and is NOT meant to bracket concurrent regions.
 #pragma once
 
 #include <cstdarg>

@@ -1,0 +1,227 @@
+#include "runner/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "runner/report_json.hpp"
+#include "runner/seeds.hpp"
+
+namespace wcm {
+namespace {
+
+DieSpec small_spec(const char* name, std::uint64_t seed) {
+  DieSpec spec;
+  spec.name = name;
+  spec.num_gates = 300;
+  spec.num_scan_ffs = 24;
+  spec.num_inbound = 14;
+  spec.num_outbound = 12;
+  spec.seed = seed;
+  return spec;
+}
+
+FlowConfig tight_config() {
+  FlowConfig cfg;
+  cfg.wcm = WcmConfig::proposed_tight();
+  cfg.clock_policy = ClockPolicy::kTightDerived;
+  cfg.repair_timing = true;
+  return cfg;
+}
+
+Campaign three_die_campaign() {
+  Campaign campaign;
+  campaign.add(small_spec("die_a", 11), tight_config(), "die_a/tight");
+  campaign.add(small_spec("die_b", 22), tight_config(), "die_b/tight");
+  FlowConfig area;
+  area.wcm = WcmConfig::proposed_area();
+  area.clock_policy = ClockPolicy::kLooseDerived;
+  campaign.add(small_spec("die_c", 33), area, "die_c/area");
+  return campaign;
+}
+
+TEST(CampaignTest, ParallelMatchesSerialByteForByte) {
+  // The acceptance property of the runner: a 4-way parallel campaign over 3
+  // generated dies produces FlowReports identical to the serial loop.
+  const Campaign campaign = three_die_campaign();
+  const CampaignResult serial = run_campaign_serial(campaign, {});
+  CampaignOptions parallel_opts;
+  parallel_opts.jobs = 4;
+  const CampaignResult parallel = run_campaign(campaign, parallel_opts);
+
+  ASSERT_EQ(serial.jobs.size(), campaign.size());
+  ASSERT_EQ(parallel.jobs.size(), campaign.size());
+  for (std::size_t i = 0; i < campaign.size(); ++i) {
+    ASSERT_TRUE(serial.jobs[i].ok) << serial.jobs[i].error;
+    ASSERT_TRUE(parallel.jobs[i].ok) << parallel.jobs[i].error;
+    EXPECT_EQ(parallel.jobs[i].label, serial.jobs[i].label);
+    EXPECT_EQ(flow_report_signature(parallel.jobs[i].report),
+              flow_report_signature(serial.jobs[i].report))
+        << "job " << i;
+  }
+}
+
+TEST(CampaignTest, ParallelMatchesSerialWithRootSeedDerivation) {
+  const Campaign campaign = three_die_campaign();
+  CampaignOptions serial_opts;
+  serial_opts.root_seed = 0xC0FFEE;
+  const CampaignResult serial = run_campaign_serial(campaign, serial_opts);
+  CampaignOptions parallel_opts = serial_opts;
+  parallel_opts.jobs = 4;
+  const CampaignResult parallel = run_campaign(campaign, parallel_opts);
+  for (std::size_t i = 0; i < campaign.size(); ++i) {
+    ASSERT_TRUE(serial.jobs[i].ok && parallel.jobs[i].ok);
+    EXPECT_EQ(flow_report_signature(parallel.jobs[i].report),
+              flow_report_signature(serial.jobs[i].report));
+  }
+}
+
+TEST(CampaignTest, RootSeedChangesResultsAndIsItselfDeterministic) {
+  Campaign campaign;
+  campaign.add(small_spec("die_a", 11), tight_config(), "a");
+  CampaignOptions with_seed;
+  with_seed.root_seed = 1234;
+  const CampaignResult base = run_campaign_serial(campaign, {});
+  const CampaignResult seeded1 = run_campaign_serial(campaign, with_seed);
+  const CampaignResult seeded2 = run_campaign_serial(campaign, with_seed);
+  // XORed generator seed -> different die -> different report...
+  EXPECT_NE(flow_report_signature(seeded1.jobs[0].report),
+            flow_report_signature(base.jobs[0].report));
+  // ...but a pure function of (root seed, index).
+  EXPECT_EQ(flow_report_signature(seeded1.jobs[0].report),
+            flow_report_signature(seeded2.jobs[0].report));
+}
+
+TEST(CampaignTest, JobSeedStreamsAreIndependentPerIndex) {
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const JobSeeds s = derive_job_seeds(42, i);
+    seen.insert(s.generator);
+    seen.insert(s.place);
+    seen.insert(s.atpg);
+  }
+  EXPECT_EQ(seen.size(), 3u * 64u);  // no collisions across jobs or roles
+  const JobSeeds again = derive_job_seeds(42, 7);
+  EXPECT_EQ(again.generator, derive_job_seeds(42, 7).generator);
+  EXPECT_NE(derive_job_seeds(43, 7).generator, again.generator);
+}
+
+TEST(CampaignTest, FailedJobIsRecordedAndCampaignContinues) {
+  Campaign campaign;
+  DieSpec bad = small_spec("bad_die", 1);
+  bad.num_gates = -5;  // rejected by job validation
+  campaign.add(small_spec("die_a", 11), tight_config(), "ok_before");
+  campaign.add(bad, tight_config(), "bad");
+  campaign.add(std::shared_ptr<const Netlist>(), tight_config(), "null_netlist");
+  campaign.add(small_spec("die_b", 22), tight_config(), "ok_after");
+
+  CampaignOptions opts;
+  opts.jobs = 4;
+  const CampaignResult result = run_campaign(campaign, opts);
+
+  ASSERT_EQ(result.jobs.size(), 4u);
+  EXPECT_TRUE(result.jobs[0].ok);
+  EXPECT_FALSE(result.jobs[1].ok);
+  EXPECT_NE(result.jobs[1].error.find("negative"), std::string::npos);
+  EXPECT_FALSE(result.jobs[2].ok);
+  EXPECT_NE(result.jobs[2].error.find("null"), std::string::npos);
+  EXPECT_TRUE(result.jobs[3].ok);
+  EXPECT_EQ(result.metrics.jobs_failed, 2);
+  EXPECT_EQ(result.metrics.jobs_finished, 4);
+}
+
+TEST(CampaignTest, SharedNetlistJobsRunConcurrently) {
+  // Several jobs reading one const Netlist exercises the thread-safe lazy
+  // classification cache (this is the TSan-sensitive path).
+  auto shared = std::make_shared<Netlist>(generate_die(small_spec("shared", 5)));
+  shared->invalidate_caches();  // force the lazy fill to happen under contention
+  Campaign campaign;
+  for (int i = 0; i < 4; ++i) {
+    FlowConfig cfg = tight_config();
+    campaign.add(std::static_pointer_cast<const Netlist>(shared), cfg,
+                 "shared/" + std::to_string(i));
+  }
+  CampaignOptions opts;
+  opts.jobs = 4;
+  const CampaignResult result = run_campaign(campaign, opts);
+  for (const JobResult& job : result.jobs) ASSERT_TRUE(job.ok) << job.error;
+  // Identical job spec -> identical report, whichever worker ran it.
+  for (int i = 1; i < 4; ++i)
+    EXPECT_EQ(flow_report_signature(result.jobs[static_cast<std::size_t>(i)].report),
+              flow_report_signature(result.jobs[0].report));
+}
+
+TEST(CampaignTest, ObserverSeesEveryStartAndFinishInOrderPerJob) {
+  class Recorder : public CampaignObserver {
+   public:
+    void on_job_start(std::size_t index, const std::string&) override {
+      std::lock_guard<std::mutex> lock(mutex);
+      started.push_back(index);
+    }
+    void on_job_finish(const JobResult& r) override {
+      std::lock_guard<std::mutex> lock(mutex);
+      finished.push_back(r.index);
+      ok_count += r.ok ? 1 : 0;
+    }
+    std::mutex mutex;
+    std::vector<std::size_t> started, finished;
+    int ok_count = 0;
+  };
+
+  const Campaign campaign = three_die_campaign();
+  Recorder recorder;
+  CampaignOptions opts;
+  opts.jobs = 2;
+  opts.observer = &recorder;
+  const CampaignResult result = run_campaign(campaign, opts);
+
+  EXPECT_EQ(recorder.started.size(), campaign.size());
+  EXPECT_EQ(recorder.finished.size(), campaign.size());
+  EXPECT_EQ(recorder.ok_count, 3);
+  EXPECT_EQ(result.metrics.jobs_started, 3);
+  EXPECT_EQ(result.metrics.jobs_finished, 3);
+  EXPECT_GE(result.metrics.peak_concurrency, 1);
+  EXPECT_LE(result.metrics.peak_concurrency, 2);
+  EXPECT_GT(result.metrics.wall_ms, 0.0);
+}
+
+TEST(CampaignTest, JsonReportCarriesJobsAndMetrics) {
+  Campaign campaign;
+  campaign.add(small_spec("die_a", 11), tight_config(), "a \"quoted\"");
+  DieSpec bad = small_spec("bad", 1);
+  bad.num_gates = -1;
+  campaign.add(bad, tight_config(), "bad");
+  const CampaignResult result = run_campaign_serial(campaign, {});
+  const std::string json = campaign_report_json(result);
+
+  EXPECT_NE(json.find("\"jobs_total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs_failed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"a \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"error\":"), std::string::npos);
+  EXPECT_NE(json.find("\"reused_ffs\":"), std::string::npos);
+  EXPECT_NE(json.find("\"times_ms\":"), std::string::npos);
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+}
+
+TEST(CampaignTest, PhaseTimesArePopulated) {
+  Campaign campaign;
+  campaign.add(small_spec("die_a", 11), tight_config(), "a");
+  const CampaignResult result = run_campaign_serial(campaign, {});
+  ASSERT_TRUE(result.jobs[0].ok);
+  const FlowPhaseTimes& t = result.jobs[0].report.times;
+  EXPECT_GT(result.jobs[0].generate_ms, 0.0);
+  EXPECT_GT(t.place_ms, 0.0);
+  EXPECT_GT(t.solve_ms, 0.0);
+  EXPECT_GT(t.signoff_ms, 0.0);
+  EXPECT_GE(t.total_ms, t.place_ms + t.solve_ms + t.signoff_ms);
+  EXPECT_GE(result.jobs[0].total_ms, t.total_ms);
+}
+
+}  // namespace
+}  // namespace wcm

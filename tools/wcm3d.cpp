@@ -7,14 +7,22 @@
 //   wcm3d solve --in die.bench [--method proposed|agrawal|li]
 //               [--scenario area|tight] [--lib tech.wcmlib]
 //               [--atpg] [--out die_dft.bench] [--csv report.csv]
+//   wcm3d campaign [--circuit all|b11..b22] [--method proposed|agrawal|li]
+//               [--scenario area|tight|both] [--jobs N] [--seed S]
+//               [--atpg] [--json report.json] [--quiet]
 //
 // `solve` runs the full Fig. 6 flow: placement, STA, graph construction,
 // clique partitioning, wrapper insertion, signoff (with ECO repair for the
 // proposed method) and, with --atpg, stuck-at + transition verification.
+//
+// `campaign` sweeps that flow over the ITC'99 die set on the work-stealing
+// runner (src/runner): one job per (die, scenario), results aggregated in
+// submission order and bit-identical for any --jobs value.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "celllib/liberty.hpp"
@@ -27,6 +35,8 @@
 #include "netlist/optimize.hpp"
 #include "netlist/verilog_io.hpp"
 #include "partition/partition.hpp"
+#include "runner/campaign.hpp"
+#include "runner/report_json.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -68,7 +78,11 @@ int usage() {
                "  wcm3d solve --in <file> [--method proposed|agrawal|li] "
                "[--scenario area|tight]\n"
                "              [--lib <file.wcmlib|file.lib>] [--atpg] [--out <file>]\n"
-               "              [--verilog <file>] [--csv <file>]\n");
+               "              [--verilog <file>] [--csv <file>]\n"
+               "  wcm3d campaign [--circuit all|<b11..b22>] "
+               "[--method proposed|agrawal|li]\n"
+               "              [--scenario area|tight|both] [--jobs N] [--seed N]\n"
+               "              [--atpg] [--json <file>] [--quiet]\n");
   return 2;
 }
 
@@ -209,25 +223,8 @@ int cmd_solve(const std::map<std::string, std::string>& args) {
   cfg.run_stuck_at = args.count("atpg") > 0;
   cfg.run_transition = args.count("atpg") > 0;
 
-  FlowReport report;
-  if (method == "li") {
-    // Li's greedy is not a FlowConfig method; run its plan through the same
-    // insertion + signoff + ATPG pipeline by hand.
-    Placement placement = place(die, PlaceOptions{});
-    report.die_name = die.name();
-    report.solution = solve_li_greedy(die, &placement, lib, cfg.wcm);
-    Netlist inserted = die;
-    Placement ip = placement;
-    report.insertion = insert_wrappers(inserted, report.solution.plan, &ip);
-    CellLibrary clocked = lib;
-    clocked.set_clock_period_ps(*cfg.clock_period_ps);
-    const TimingReport timing = StaEngine(inserted, clocked, &ip).run();
-    report.timing_violation = timing.violating_endpoints > 0;
-    report.violating_endpoints = timing.violating_endpoints;
-    report.worst_slack_ps = timing.worst_slack;
-  } else {
-    report = run_flow(die, cfg);
-  }
+  if (method == "li") cfg.method = SolveMethod::kLiGreedy;
+  const FlowReport report = run_flow(die, cfg);
 
   std::printf("die %s | method %s | scenario %s | clock %.0f ps\n", die.name().c_str(),
               method.c_str(), scenario.c_str(), *cfg.clock_period_ps);
@@ -281,6 +278,117 @@ int cmd_solve(const std::map<std::string, std::string>& args) {
   return report.timing_violation ? 3 : 0;
 }
 
+/// Progress printer for campaign runs: one line per job start/finish on
+/// stderr. Called from worker threads; the mutex keeps lines whole.
+class ProgressPrinter : public CampaignObserver {
+ public:
+  explicit ProgressPrinter(std::size_t total) : total_(total) {}
+
+  void on_job_start(std::size_t index, const std::string& label) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fprintf(stderr, "[%zu/%zu] start  %s\n", index + 1, total_, label.c_str());
+  }
+  void on_job_finish(const JobResult& r) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (r.ok)
+      std::fprintf(stderr, "[%zu/%zu] done   %s (%.0f ms)\n", r.index + 1, total_,
+                   r.label.c_str(), r.total_ms);
+    else
+      std::fprintf(stderr, "[%zu/%zu] FAILED %s: %s\n", r.index + 1, total_,
+                   r.label.c_str(), r.error.c_str());
+  }
+
+ private:
+  std::size_t total_;
+  std::mutex mutex_;
+};
+
+int cmd_campaign(const std::map<std::string, std::string>& args) {
+  const std::string method = args.count("method") ? args.at("method") : "proposed";
+  if (method != "proposed" && method != "agrawal" && method != "li") {
+    std::fprintf(stderr, "campaign: unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+  const std::string scenario = args.count("scenario") ? args.at("scenario") : "tight";
+  if (scenario != "area" && scenario != "tight" && scenario != "both") {
+    std::fprintf(stderr, "campaign: unknown scenario '%s'\n", scenario.c_str());
+    return 2;
+  }
+  const std::string circuit = args.count("circuit") ? args.at("circuit") : "all";
+  const bool with_atpg = args.count("atpg") > 0;
+
+  std::vector<DieSpec> specs;
+  for (const DieSpec& spec : itc99_all_dies())
+    if (circuit == "all" || spec.name.rfind(circuit, 0) == 0) specs.push_back(spec);
+  if (specs.empty()) {
+    std::fprintf(stderr, "campaign: no dies match circuit '%s'\n", circuit.c_str());
+    return 2;
+  }
+
+  const auto make_config = [&](bool tight) {
+    FlowConfig fc;
+    if (method == "proposed") {
+      fc.wcm = tight ? WcmConfig::proposed_tight() : WcmConfig::proposed_area();
+      fc.repair_timing = true;
+    } else if (method == "agrawal") {
+      fc.wcm = tight ? WcmConfig::agrawal_tight() : WcmConfig::agrawal_area();
+    } else {
+      fc.wcm = WcmConfig::proposed_area();  // thresholds only; greedy solver
+      fc.method = SolveMethod::kLiGreedy;
+    }
+    fc.clock_policy = tight ? ClockPolicy::kTightDerived : ClockPolicy::kLooseDerived;
+    fc.run_stuck_at = with_atpg;
+    fc.run_transition = with_atpg;
+    return fc;
+  };
+
+  Campaign campaign;
+  for (const DieSpec& spec : specs) {
+    if (scenario == "area" || scenario == "both")
+      campaign.add(spec, make_config(false), spec.name + "/" + method + "/area");
+    if (scenario == "tight" || scenario == "both")
+      campaign.add(spec, make_config(true), spec.name + "/" + method + "/tight");
+  }
+
+  CampaignOptions opts;
+  if (args.count("jobs")) opts.jobs = std::stoi(args.at("jobs"));
+  if (args.count("seed")) opts.root_seed = std::stoull(args.at("seed"));
+  ProgressPrinter progress(campaign.size());
+  if (!args.count("quiet")) opts.observer = &progress;
+
+  const CampaignResult result = run_campaign(campaign, opts);
+
+  Table table({"job", "reused", "additional", "violation", "wns_ps", "clock_ps", "ms"});
+  for (const JobResult& job : result.jobs) {
+    if (!job.ok) {
+      table.add_row({job.label, "ERROR: " + job.error, "", "", "", "",
+                     Table::cell(job.total_ms, 0)});
+      continue;
+    }
+    table.add_row({job.label, Table::cell(job.report.solution.reused_ffs),
+                   Table::cell(job.report.solution.additional_cells),
+                   job.report.timing_violation ? "X" : ".",
+                   Table::cell(job.report.worst_slack_ps, 1),
+                   Table::cell(job.report.clock_period_ps, 0),
+                   Table::cell(job.total_ms, 0)});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  const CampaignMetrics& m = result.metrics;
+  std::printf("campaign: %d jobs, %d failed | %d workers, peak concurrency %d, "
+              "%llu steals | wall %.0f ms\n",
+              m.jobs_total, m.jobs_failed, m.workers, m.peak_concurrency,
+              static_cast<unsigned long long>(m.tasks_stolen), m.wall_ms);
+
+  if (args.count("json")) {
+    if (!write_campaign_report_json(result, args.at("json"))) {
+      std::fprintf(stderr, "campaign: cannot write %s\n", args.at("json").c_str());
+      return 1;
+    }
+    std::printf("wrote JSON report : %s\n", args.at("json").c_str());
+  }
+  return m.jobs_failed > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -292,10 +400,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return usage();
   }
-  if (cmd == "gen") return cmd_gen(args);
-  if (cmd == "split") return cmd_split(args);
-  if (cmd == "opt") return cmd_opt(args);
-  if (cmd == "solve") return cmd_solve(args);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "split") return cmd_split(args);
+    if (cmd == "opt") return cmd_opt(args);
+    if (cmd == "solve") return cmd_solve(args);
+    if (cmd == "campaign") return cmd_campaign(args);
+  } catch (const std::exception& e) {
+    // e.g. std::stoi on a non-numeric flag value: report, don't abort.
+    std::fprintf(stderr, "wcm3d %s: %s\n", cmd.c_str(), e.what());
+    return 2;
+  }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return usage();
 }
