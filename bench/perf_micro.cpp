@@ -8,6 +8,7 @@
 #include "atpg/engine.hpp"
 #include "atpg/podem.hpp"
 #include "atpg/simulator.hpp"
+#include "core/clique.hpp"
 #include "core/solver.hpp"
 #include "gen/generator.hpp"
 #include "partition/partition.hpp"
@@ -97,6 +98,93 @@ void BM_SolveWcm(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_SolveWcm)->Range(512, 2048)->Complexity();
+
+void BM_CompatGraph(benchmark::State& state) {
+  const Netlist n = generate_die(scaled_spec(static_cast<int>(state.range(0))));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  StaEngine sta(n, lib, &placement);
+  const TimingReport timing = sta.run();
+  ConeDb cones(n);
+  AtpgOptions measure_opts;
+  TestabilityOracle oracle(n, cones, OracleMode::kStructural, measure_opts);
+  GraphInputs in;
+  in.netlist = &n;
+  in.placement = &placement;
+  in.sta = &sta;
+  in.timing = &timing;
+  in.cones = &cones;
+  in.oracle = &oracle;
+  WcmConfig cfg = WcmConfig::proposed_tight();
+  cfg.solve_threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_compat_graph(in, lib, n.inbound_tsvs(),
+                                                NodeKind::kInboundTsv,
+                                                n.scan_flip_flops(), cfg));
+    benchmark::DoNotOptimize(build_compat_graph(in, lib, n.outbound_tsvs(),
+                                                NodeKind::kOutboundTsv,
+                                                n.scan_flip_flops(), cfg));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CompatGraph)
+    ->Args({2048, 1})
+    ->Args({2048, 4})
+    ->Args({8192, 1})
+    ->Args({8192, 4});
+
+void BM_CliquePartition(benchmark::State& state) {
+  const Netlist n = generate_die(scaled_spec(static_cast<int>(state.range(0))));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  StaEngine sta(n, lib, &placement);
+  const TimingReport timing = sta.run();
+  ConeDb cones(n);
+  AtpgOptions measure_opts;
+  TestabilityOracle oracle(n, cones, OracleMode::kStructural, measure_opts);
+  GraphInputs in;
+  in.netlist = &n;
+  in.placement = &placement;
+  in.sta = &sta;
+  in.timing = &timing;
+  in.cones = &cones;
+  in.oracle = &oracle;
+  const CompatGraph graph =
+      build_compat_graph(in, lib, n.inbound_tsvs(), NodeKind::kInboundTsv,
+                         n.scan_flip_flops(), WcmConfig::proposed_tight());
+  // Capacity-style predicate: plenty of merges, some rejections — the mixed
+  // workload the solver produces.
+  const MergePredicate can_merge = [](const std::vector<int>& a, const std::vector<int>& b) {
+    return a.size() + b.size() <= 8;
+  };
+  for (auto _ : state) benchmark::DoNotOptimize(partition_cliques(graph, can_merge));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CliquePartition)->Range(2048, 16384)->Complexity();
+
+void BM_MeasuredOracle(benchmark::State& state) {
+  // One batch of FF/inbound-TSV queries against the ATPG-backed oracle;
+  // arg 0/1 selects the from-scratch vs incremental (warm-replay) backend.
+  const Netlist n = generate_die(scaled_spec(512));
+  ConeDb cones(n);
+  AtpgOptions opts;
+  opts.max_random_batches = 8;
+  opts.useless_batch_window = 2;
+  opts.deterministic_phase = false;
+  std::vector<PairQuery> queries;
+  const auto ffs = n.scan_flip_flops();
+  const auto& tsvs = n.inbound_tsvs();
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, std::min(ffs.size(), tsvs.size())); ++i)
+    queries.push_back(PairQuery{ffs[i], NodeKind::kScanFF, tsvs[i], NodeKind::kInboundTsv});
+  for (auto _ : state) {
+    TestabilityOracle oracle(n, cones, OracleMode::kMeasured, opts);
+    oracle.set_incremental(state.range(0) == 1);
+    oracle.evaluate_batch(queries, 1);
+    benchmark::DoNotOptimize(oracle.measured_queries());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(queries.size()));
+}
+BENCHMARK(BM_MeasuredOracle)->Arg(0)->Arg(1);
 
 void BM_FmPartition(benchmark::State& state) {
   CircuitSpec spec;

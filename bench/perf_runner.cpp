@@ -13,7 +13,7 @@
 #include <fstream>
 
 #include "bench/common.hpp"
-#include "runner/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 
 int main() {
   using namespace wcm;

@@ -1,0 +1,152 @@
+// End-to-end solve speedup measurement: the same die solved by the serial
+// path (solve_threads = 1) and the parallel path, for both oracle backends,
+// reported as BENCH_wcm.json.
+//
+//   WCM_QUICK=1  shrink the die to 1024 gates (smoke run; default 8192 —
+//                the perf_micro scaled spec)
+//   WCM_JOBS=N   parallel width (default: all cores, min 4 so the shared
+//                pool is exercised even on small CI boxes)
+//
+// Serial and parallel runs of the same configuration must produce identical
+// solution signatures — this bench doubles as an end-to-end determinism
+// check at benchmark scale. hardware_threads is recorded so a reader can
+// judge the speedups against the host (on a 1-core box the parallel numbers
+// legitimately show ~1x; the incremental-oracle speedup is algorithmic and
+// shows on any host).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "gen/generator.hpp"
+#include "place/place.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace wcm;
+
+std::string solution_signature(const WcmSolution& sol) {
+  std::ostringstream os;
+  os << sol.reused_ffs << '|' << sol.additional_cells << '|';
+  for (const WrapperGroup& g : sol.plan.groups) {
+    os << g.reused_ff << ':';
+    for (GateId t : g.inbound) os << t << ',';
+    os << '/';
+    for (GateId t : g.outbound) os << t << ',';
+    os << ';';
+  }
+  return os.str();
+}
+
+struct Run {
+  std::string label;
+  int threads = 1;
+  double seconds = 0.0;
+  std::string signature;
+};
+
+Run time_solve(const char* label, const Netlist& n, const Placement& placement,
+               const CellLibrary& lib, const WcmConfig& cfg) {
+  Run r;
+  r.label = label;
+  r.threads = cfg.solve_threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  const WcmSolution sol = solve_wcm(n, &placement, lib, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.signature = solution_signature(sol);
+  std::printf("  %-28s threads=%d  %8.3f s\n", label, cfg.solve_threads, r.seconds);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const char* quick = std::getenv("WCM_QUICK");
+  const bool quick_mode = quick != nullptr && quick[0] == '1';
+  const int gates = quick_mode ? 1024 : 8192;
+
+  // The perf_micro scaled spec.
+  DieSpec spec;
+  spec.name = "perf";
+  spec.num_gates = gates;
+  spec.num_scan_ffs = gates / 40;
+  spec.num_inbound = gates / 12;
+  spec.num_outbound = gates / 12;
+  spec.num_pis = 8;
+  spec.num_pos = 8;
+  spec.seed = 7;
+
+  const char* jobs_env = std::getenv("WCM_JOBS");
+  const int jobs = jobs_env != nullptr && std::atoi(jobs_env) > 0
+                       ? std::atoi(jobs_env)
+                       : std::max(4, ThreadPool::default_concurrency());
+
+  std::printf("wcm perf: %d gates, parallel width %d (%d hardware threads)\n", gates, jobs,
+              ThreadPool::default_concurrency());
+
+  const Netlist n = generate_die(spec);
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+
+  std::vector<Run> runs;
+  auto with = [&](OracleMode mode, bool incremental, int threads) {
+    WcmConfig cfg = WcmConfig::proposed_tight();
+    cfg.oracle_mode = mode;
+    cfg.oracle_incremental = incremental;
+    cfg.solve_threads = threads;
+    return cfg;
+  };
+
+  runs.push_back(time_solve("structural/serial", n, placement, lib,
+                            with(OracleMode::kStructural, false, 1)));
+  runs.push_back(time_solve("structural/parallel", n, placement, lib,
+                            with(OracleMode::kStructural, false, jobs)));
+  runs.push_back(time_solve("measured/serial", n, placement, lib,
+                            with(OracleMode::kMeasured, false, 1)));
+  runs.push_back(time_solve("measured/parallel", n, placement, lib,
+                            with(OracleMode::kMeasured, false, jobs)));
+  runs.push_back(time_solve("measured-incremental/serial", n, placement, lib,
+                            with(OracleMode::kMeasured, true, 1)));
+  runs.push_back(time_solve("measured-incremental/parallel", n, placement, lib,
+                            with(OracleMode::kMeasured, true, jobs)));
+
+  // Parallel must match serial bit-for-bit per configuration.
+  int mismatches = 0;
+  for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+    if (runs[i].signature != runs[i + 1].signature) {
+      std::fprintf(stderr, "SIGNATURE MISMATCH: %s vs %s\n", runs[i].label.c_str(),
+                   runs[i + 1].label.c_str());
+      ++mismatches;
+    }
+  }
+
+  const double structural_speedup = runs[1].seconds > 0 ? runs[0].seconds / runs[1].seconds : 0;
+  const double measured_speedup = runs[3].seconds > 0 ? runs[2].seconds / runs[3].seconds : 0;
+  const double incremental_speedup = runs[4].seconds > 0 ? runs[2].seconds / runs[4].seconds : 0;
+  std::printf("speedups: structural %.2fx, measured %.2fx, incremental-vs-from-scratch %.2fx\n",
+              structural_speedup, measured_speedup, incremental_speedup);
+
+  std::ofstream json("BENCH_wcm.json");
+  json << "{\"bench\":\"wcm\",\"gates\":" << gates << ",\"parallel_width\":" << jobs
+       << ",\"hardware_threads\":" << ThreadPool::default_concurrency()
+       << ",\"deterministic\":" << (mismatches == 0 ? "true" : "false")
+       << ",\"structural_speedup\":" << structural_speedup
+       << ",\"measured_speedup\":" << measured_speedup
+       << ",\"incremental_speedup\":" << incremental_speedup << ",\"kernels\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i) json << ',';
+    json << "{\"label\":\"" << runs[i].label << "\",\"threads\":" << runs[i].threads
+         << ",\"seconds\":" << runs[i].seconds << "}";
+  }
+  json << "]}\n";
+  std::printf("wrote BENCH_wcm.json\n");
+
+  return mismatches == 0 ? 0 : 1;
+}

@@ -34,19 +34,46 @@ AtpgResult AtpgEngine::run_stuck_at(const AtpgOptions& opts) const {
 
 AtpgResult AtpgEngine::run_stuck_at_subset(const AtpgOptions& opts,
                                            std::vector<Fault> faults) const {
+  return run_stuck_at_impl(opts, std::move(faults), StuckAtParams{});
+}
+
+AtpgResult AtpgEngine::run_stuck_at_traced(const AtpgOptions& opts, PatternSet& patterns,
+                                           std::vector<char>& detected) const {
+  patterns.batches.clear();
+  detected.assign(view_->netlist->size() * 2, 0);
+  StuckAtParams params;
+  params.record = &patterns;
+  params.detected = &detected;
+  return run_stuck_at_impl(opts, full_fault_list(*view_->netlist), params);
+}
+
+AtpgResult AtpgEngine::run_stuck_at_warm_subset(const AtpgOptions& opts,
+                                                const PatternSet& warm,
+                                                std::vector<Fault> faults) const {
+  StuckAtParams params;
+  params.warm = &warm;
+  params.random_phase = false;
+  return run_stuck_at_impl(opts, std::move(faults), params);
+}
+
+AtpgResult AtpgEngine::run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fault> faults,
+                                         const StuckAtParams& params) const {
   const Netlist& n = *view_->netlist;
   Simulator sim(*view_);
   Rng rng(opts.seed);
+
+  auto flag_of = [](const Fault& f) {
+    return static_cast<std::size_t>(f.site) * 2 + (f.stuck_value ? 1 : 0);
+  };
 
   std::vector<Fault> remaining = std::move(faults);
   AtpgResult result;
   result.total_faults = static_cast<int>(remaining.size());
 
-  // ---- phase 1: random patterns with fault dropping ----
-  int barren_streak = 0;
-  for (int batch = 0; batch < opts.max_random_batches && !remaining.empty(); ++batch) {
-    const auto words = random_batch(rng, view_->num_controls());
-    sim.good_sim(words);
+  /// Simulates one already-good_sim'ed batch against the remaining list with
+  /// fault dropping and first-detecting-pattern attribution. Returns the
+  /// number of useful (kept) patterns.
+  auto drop_detected = [&](void) -> int {
     std::uint64_t useful = 0;  // patterns that detected >= 1 new fault
     std::vector<Fault> still;
     still.reserve(remaining.size());
@@ -60,10 +87,33 @@ AtpgResult AtpgEngine::run_stuck_at_subset(const AtpgOptions& opts,
       // how a compaction pass keeps the earliest covering vector.
       useful |= (mask & (~mask + 1));
       ++result.detected;
+      if (params.detected) (*params.detected)[flag_of(f)] = 1;
     }
     remaining.swap(still);
-    const int kept = std::popcount(useful);
+    return std::popcount(useful);
+  };
+
+  // ---- phase 0: warm-start replay of a recorded pattern set ----
+  if (params.warm) {
+    for (const auto& words : params.warm->batches) {
+      if (remaining.empty()) break;
+      WCM_ASSERT_MSG(words.size() == view_->num_controls(),
+                     "warm pattern set from an incompatible view");
+      sim.good_sim(words);
+      result.patterns += drop_detected();
+    }
+  }
+
+  // ---- phase 1: random patterns with fault dropping ----
+  int barren_streak = 0;
+  for (int batch = 0;
+       params.random_phase && batch < opts.max_random_batches && !remaining.empty();
+       ++batch) {
+    const auto words = random_batch(rng, view_->num_controls());
+    sim.good_sim(words);
+    const int kept = drop_detected();
     result.patterns += kept;
+    if (kept > 0 && params.record) params.record->batches.push_back(words);
     barren_streak = (kept == 0) ? barren_streak + 1 : 0;
     if (barren_streak >= opts.useless_batch_window) break;
   }
@@ -72,9 +122,6 @@ AtpgResult AtpgEngine::run_stuck_at_subset(const AtpgOptions& opts,
   if (opts.deterministic_phase && !remaining.empty()) {
     Podem podem(*view_);
     std::vector<char> gave_up(n.size() * 2, 0);  // (site, stuck) -> aborted
-    auto flag_of = [](const Fault& f) {
-      return static_cast<std::size_t>(f.site) * 2 + (f.stuck_value ? 1 : 0);
-    };
     while (true) {
       // Generate tests for up to 64 not-yet-attempted faults.
       std::vector<std::uint64_t> words(view_->num_controls(), 0);
@@ -122,10 +169,13 @@ AtpgResult AtpgEngine::run_stuck_at_subset(const AtpgOptions& opts,
         }
         useful |= (mask & (~mask + 1));
         ++result.detected;
+        if (params.detected) (*params.detected)[flag_of(f)] = 1;
       }
       const bool dropped_any = still.size() < remaining.size();
       remaining.swap(still);
       result.patterns += std::popcount(useful);
+      result.deterministic_patterns += std::popcount(useful);
+      if (useful != 0 && params.record) params.record->batches.push_back(words);
       // PODEM and the simulator agree by construction; this guard only
       // protects against an endless loop if that invariant were ever broken.
       WCM_ASSERT_MSG(dropped_any, "deterministic vectors detected nothing");

@@ -42,6 +42,7 @@ struct AtpgResult {
   int untestable = 0;   ///< proved untestable by PODEM
   int aborted = 0;      ///< PODEM gave up within the backtrack limit
   int patterns = 0;     ///< applied vectors that detected something new
+  int deterministic_patterns = 0;  ///< subset of `patterns` contributed by PODEM
 
   double coverage() const {
     return total_faults == 0 ? 1.0 : static_cast<double>(detected) / total_faults;
@@ -51,6 +52,15 @@ struct AtpgResult {
     const int testable = total_faults - untestable;
     return testable == 0 ? 1.0 : static_cast<double>(detected) / testable;
   }
+};
+
+/// A recorded set of applied 64-pattern control-word batches. Replayable on
+/// any view with the same scan-chain control count — the warm-start entry
+/// point below fault-simulates them against another wrapper plan of the same
+/// die, which is how the incremental testability oracle reuses the reference
+/// campaign's vectors instead of regenerating them per candidate pair.
+struct PatternSet {
+  std::vector<std::vector<std::uint64_t>> batches;  ///< [batch][control word]
 };
 
 class AtpgEngine {
@@ -64,10 +74,38 @@ class AtpgEngine {
   /// studies (e.g. TSV-pad faults pre-bond, via faults post-bond).
   AtpgResult run_stuck_at_subset(const AtpgOptions& opts, std::vector<Fault> faults) const;
 
+  /// run_stuck_at that additionally records every detecting pattern batch
+  /// into `patterns` and flags each detected fault in `detected` (indexed
+  /// `site * 2 + stuck_value`). The returned result is bit-identical to
+  /// run_stuck_at with the same options.
+  AtpgResult run_stuck_at_traced(const AtpgOptions& opts, PatternSet& patterns,
+                                 std::vector<char>& detected) const;
+
+  /// Warm-started campaign over `faults`: replays `warm` (with fault
+  /// dropping and the usual useful-pattern accounting) IN PLACE OF the
+  /// random phase, then runs PODEM only on the residual undetected faults
+  /// (when opts.deterministic_phase is set). The incremental testability
+  /// oracle uses this to re-qualify just the faults a candidate share could
+  /// disturb.
+  AtpgResult run_stuck_at_warm_subset(const AtpgOptions& opts, const PatternSet& warm,
+                                      std::vector<Fault> faults) const;
+
   /// Enhanced-scan transition-delay campaign.
   AtpgResult run_transition(const AtpgOptions& opts) const;
 
  private:
+  /// Knobs threaded through the shared stuck-at implementation. Defaults
+  /// reproduce run_stuck_at_subset exactly.
+  struct StuckAtParams {
+    const PatternSet* warm = nullptr;   ///< batches replayed before anything else
+    bool random_phase = true;           ///< run the random-pattern phase
+    PatternSet* record = nullptr;       ///< detecting batches appended here
+    std::vector<char>* detected = nullptr;  ///< per-fault detection flags
+  };
+
+  AtpgResult run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fault> faults,
+                               const StuckAtParams& params) const;
+
   const TestView* view_;
 };
 

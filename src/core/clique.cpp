@@ -3,24 +3,70 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
-#include <unordered_set>
 
 #include "util/assert.hpp"
 
 namespace wcm {
+namespace {
+
+/// First index >= `start` with v[i] >= target (v sorted ascending), found by
+/// exponential probing then binary search over the bracketed window. With the
+/// probe resuming where the previous lookup ended, intersecting two lists
+/// costs O(small * log(big / small)) instead of O(small * log big).
+std::size_t gallop_lower_bound(const std::vector<int>& v, std::size_t start, int target) {
+  if (start >= v.size() || v[start] >= target) return start;
+  std::size_t offset = 1;
+  while (start + offset < v.size() && v[start + offset] < target) offset <<= 1;
+  const std::size_t lo = start + offset / 2 + 1;  // v[start + offset/2] < target
+  const std::size_t hi = std::min(v.size(), start + offset + 1);
+  return static_cast<std::size_t>(std::lower_bound(v.begin() + lo, v.begin() + hi, target) -
+                                  v.begin());
+}
+
+/// Sorted-list intersection (skipping `skip`), appended to `out` in order.
+/// Scans the smaller list and gallops through the larger one.
+void intersect_sorted(const std::vector<int>& x, const std::vector<int>& y, int skip,
+                      std::vector<int>& out) {
+  const std::vector<int>& small = x.size() <= y.size() ? x : y;
+  const std::vector<int>& big = x.size() <= y.size() ? y : x;
+  std::size_t pos = 0;
+  for (int v : small) {
+    if (v == skip) continue;
+    pos = gallop_lower_bound(big, pos, v);
+    if (pos >= big.size()) break;
+    if (big[pos] == v) out.push_back(v);
+  }
+}
+
+void erase_sorted(std::vector<int>& v, int value) {
+  const auto it = std::lower_bound(v.begin(), v.end(), value);
+  if (it != v.end() && *it == value) v.erase(it);
+}
+
+}  // namespace
 
 CliquePartition partition_cliques(const CompatGraph& graph, const MergePredicate& can_merge) {
   // Clusters are identified by slots; merging retires two slots and opens a
   // new one (mirroring the paper's "add node n', delete n1 and n2").
+  // Neighbourhoods are sorted id vectors: new cluster ids are strictly
+  // increasing, so linking a merged cluster is an O(1) push_back, and the
+  // intersection/erase operations stay cache-friendly instead of chasing
+  // hash-set nodes.
   struct Cluster {
     std::vector<int> members;  // original graph node indices
-    std::unordered_set<int> adj;
+    std::vector<int> adj;      // sorted live-neighbour ids
     bool alive = true;
   };
   std::vector<Cluster> clusters(graph.nodes.size());
   for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
     clusters[i].members = {static_cast<int>(i)};
-    clusters[i].adj.insert(graph.adj[i].begin(), graph.adj[i].end());
+    clusters[i].adj = graph.adj[i];
+    // build_compat_graph emits sorted rows, but hand-built graphs (tests,
+    // exact-solver fixtures) may not — the invariants below need sorted,
+    // duplicate-free lists.
+    std::sort(clusters[i].adj.begin(), clusters[i].adj.end());
+    clusters[i].adj.erase(std::unique(clusters[i].adj.begin(), clusters[i].adj.end()),
+                          clusters[i].adj.end());
   }
 
   CliquePartition result;
@@ -75,8 +121,8 @@ CliquePartition partition_cliques(const CompatGraph& graph, const MergePredicate
 
     if (!can_merge(a.members, b.members)) {
       // "Delete edge (n1, n2)".
-      a.adj.erase(c2);
-      b.adj.erase(c1);
+      erase_sorted(a.adj, c2);
+      erase_sorted(b.adj, c1);
       ++result.rejected_merges;
       push(c1);
       push(c2);
@@ -84,31 +130,35 @@ CliquePartition partition_cliques(const CompatGraph& graph, const MergePredicate
     }
 
     // Merge into a fresh cluster whose neighbourhood is the intersection.
+    // Nothing below touches `clusters` capacity until the final push_back,
+    // so the a/b references stay valid; the retired clusters donate their
+    // member storage instead of being copied.
     Cluster merged;
-    merged.members = a.members;
+    merged.members = std::move(a.members);
     merged.members.insert(merged.members.end(), b.members.begin(), b.members.end());
-    for (int nb : a.adj) {
-      if (nb == c2) continue;
-      if (b.adj.count(nb)) merged.adj.insert(nb);
-    }
+    merged.adj.reserve(std::min(a.adj.size(), b.adj.size()));
+    intersect_sorted(a.adj, b.adj, /*skip=*/c2, merged.adj);
     a.alive = false;
     b.alive = false;
     const int merged_id = static_cast<int>(clusters.size());
-    // Fix up neighbours: drop the retired ids, link the survivors.
-    for (int nb : merged.adj) {
-      auto& n_adj = clusters[static_cast<std::size_t>(nb)].adj;
-      n_adj.insert(merged_id);
+    // Fix up neighbours: drop the retired ids, link the survivors. The new
+    // id exceeds every existing one, so the sorted order survives the
+    // push_back. Retired neighbours (c1 in b.adj, c2 in a.adj) need no
+    // cleanup — their lists are never read again.
+    for (int nb : merged.adj)
+      clusters[static_cast<std::size_t>(nb)].adj.push_back(merged_id);
+    for (int nb : a.adj) {
+      if (nb == c2) continue;
+      erase_sorted(clusters[static_cast<std::size_t>(nb)].adj, c1);
+      push(nb);
     }
-    // Every former neighbour of a or b (common or not) must forget them.
-    for (int nb : a.adj) clusters[static_cast<std::size_t>(nb)].adj.erase(c1);
-    for (int nb : b.adj) clusters[static_cast<std::size_t>(nb)].adj.erase(c2);
-    // Refresh heap keys of everyone whose degree changed.
-    const std::vector<int> touched_a(a.adj.begin(), a.adj.end());
-    const std::vector<int> touched_b(b.adj.begin(), b.adj.end());
+    for (int nb : b.adj) {
+      if (nb == c1) continue;
+      erase_sorted(clusters[static_cast<std::size_t>(nb)].adj, c2);
+      push(nb);
+    }
     clusters.push_back(std::move(merged));
     push(merged_id);
-    for (int nb : touched_a) push(nb);
-    for (int nb : touched_b) push(nb);
     ++result.merges;
   }
 

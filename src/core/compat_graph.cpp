@@ -1,8 +1,10 @@
 #include "core/compat_graph.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "util/assert.hpp"
+#include "util/executor.hpp"
 
 namespace wcm {
 
@@ -81,24 +83,27 @@ double ff_q_slowdown_ps(const CellLibrary& lib, double added_load_ff) {
 
 namespace {
 
-/// Cone compatibility with optional oracle fallback. Returns whether the
-/// pair may share, and sets `via_overlap` when the oracle (not disjointness)
-/// admitted it.
-bool cones_compatible(const GraphInputs& in, const WcmConfig& cfg, GateId a, NodeKind ka,
-                      GateId b, NodeKind kb, bool& via_overlap) {
-  via_overlap = false;
-  const bool control_side = (ka == NodeKind::kInboundTsv || kb == NodeKind::kInboundTsv);
-  const bool overlapped = control_side ? in.cones->fanout_overlaps(a, b)
-                                       : in.cones->fanin_overlaps(a, b);
-  if (!overlapped) return true;
-  if (!cfg.allow_overlap_sharing) return false;
-  const PairImpact impact = in.oracle->evaluate(a, ka, b, kb);
-  if (impact.coverage_loss < cfg.cov_th && impact.extra_patterns < cfg.p_th) {
-    via_overlap = true;
-    return true;
-  }
-  return false;
-}
+/// Per-node invariants of the edge predicate, computed once instead of per
+/// pair. The pair loop is O(N^2); everything here used to be recomputed for
+/// every partner — ff_base_load_ff alone walks the flop's whole fan-out.
+struct NodeTable {
+  double slack = 0.0;          ///< timing slack at the node's own net
+  double ff_base_load = 0.0;   ///< scan FF, inbound: mission fan-out load
+  bool ff_capture_ok = true;   ///< scan FF, outbound: D path absorbs the mux
+  GateId driver = kNoGate;     ///< outbound TSV: net driver
+  double driver_slack = 0.0;   ///< outbound TSV: slack at the driver
+  double driver_slope = 0.0;   ///< outbound TSV: driver ps-per-fF slope
+};
+
+/// One candidate pair that passed distance + timing admission, in discovery
+/// order. Overlapped pairs in measured-oracle mode park here until the
+/// batched ATPG evaluations resolve them.
+struct CandidateEdge {
+  int i = 0;
+  int j = 0;
+  bool needs_oracle = false;
+  bool via_overlap = false;
+};
 
 }  // namespace
 
@@ -133,89 +138,202 @@ CompatGraph build_compat_graph(const GraphInputs& in, const CellLibrary& lib,
       graph.rejected_tsvs.push_back(t);
   }
 
-  graph.adj.assign(graph.nodes.size(), {});
+  const std::size_t num_nodes = graph.nodes.size();
+  graph.adj.assign(num_nodes, {});
+
+  const int threads = cfg.solve_threads;
+
+  // ---- per-node tables + library constants (hoisted pair invariants) ----
+  // The pair predicates below reproduce the exact arithmetic of the helper
+  // functions above — same terms, same association — reading these tables
+  // instead of recomputing; results are bit-identical to evaluating the
+  // helpers per pair.
+  const bool accurate_wires =
+      cfg.timing_model == TimingModel::kAccurate && in.placement != nullptr;
+  const double mux_pin_cap = lib.pin_cap_ff(GateType::kMux);
+  const double xor_pin_cap = lib.pin_cap_ff(GateType::kXor);
+  const double wire_cap = lib.wire_cap_ff_per_um();
+  const double wire_delay = lib.wire_delay_ps_per_um();
+  const double xor_intrinsic = lib.timing(GateType::kXor).intrinsic_ps;
+  const double mux_intrinsic = lib.timing(GateType::kMux).intrinsic_ps;
+  const double dff_slope = lib.timing(GateType::kDff).slope_ps_per_ff;
+
+  std::vector<NodeTable> tab(num_nodes);
+  for (std::size_t k = 0; k < num_nodes; ++k) {
+    const GraphNode& node = graph.nodes[k];
+    NodeTable& t = tab[k];
+    t.slack = in.timing->slack[static_cast<std::size_t>(node.gate)];
+    if (node.kind == NodeKind::kScanFF) {
+      if (direction == NodeKind::kInboundTsv) {
+        t.ff_base_load = ff_base_load_ff(in, lib, cfg.timing_model, node.gate);
+      } else {
+        // The flop's mission D path must absorb the capture mux and the new
+        // pins loading its driver — a property of the flop alone.
+        const GateId d_orig = in.netlist->gate(node.gate).fanins[0];
+        t.ff_capture_ok = in.timing->slack[static_cast<std::size_t>(d_orig)] -
+                              capture_mux_penalty_ps(in, lib, node.gate) >
+                          th.s_th_ps;
+      }
+    } else if (node.kind == NodeKind::kOutboundTsv) {
+      t.driver = in.netlist->gate(node.gate).fanins[0];
+      t.driver_slack = in.timing->slack[static_cast<std::size_t>(t.driver)];
+      t.driver_slope = lib.timing(in.netlist->gate(t.driver).type).slope_ps_per_ff;
+    }
+  }
+
+  // ---- cone prewarm ----
+  // ConeDb fills its per-gate cache lazily without locks; computing each
+  // gate's cone touches only that gate's slot, so warming distinct gates in
+  // parallel is race-free — and afterwards the edge pass only reads.
+  {
+    const std::size_t chunks = std::min<std::size_t>(num_nodes, 16);
+    exec::parallel_chunks(num_nodes, chunks, threads,
+                          [&](std::size_t, std::size_t begin, std::size_t end) {
+                            for (std::size_t k = begin; k < end; ++k) {
+                              if (direction == NodeKind::kInboundTsv)
+                                (void)in.cones->fanout_cone(graph.nodes[k].gate);
+                              else
+                                (void)in.cones->fanin_cone(graph.nodes[k].gate);
+                            }
+                          });
+  }
+
+  const bool batch_oracle = cfg.allow_overlap_sharing && in.oracle->prefers_batching();
+  if (batch_oracle) in.oracle->prepare();  // serial: no lazy-build race below
 
   // ---- edge construction (lines 16-26) ----
-  // Every pair with at least one TSV: FF-TSV pairs and TSV-TSV pairs.
-  auto try_edge = [&](std::size_t i, std::size_t j) {
+  // Every pair with at least one TSV: FF-TSV pairs and TSV-TSV pairs. The
+  // predicate is pure, so TSV rows are scanned in parallel into per-chunk
+  // buffers; merging the buffers in chunk order recovers the serial (j, i)
+  // discovery order exactly, so the graph is bit-identical whatever the
+  // width (chunk boundaries depend only on the node count).
+  auto scan_pair = [&](std::size_t i, std::size_t j, std::vector<CandidateEdge>& out) {
     const GraphNode& a = graph.nodes[i];
     const GraphNode& b = graph.nodes[j];
     // distance(n1, n2) < d_th
-    if (in.placement &&
-        in.placement->distance(a.gate, b.gate) >= th.d_th_um)
-      return;
+    double dist = 0.0;
+    if (in.placement) {
+      dist = in.placement->distance(a.gate, b.gate);
+      if (dist >= th.d_th_um) return;
+    }
 
     // Phase-level timing feasibility of the *pair* (cluster-level checks
     // happen again at merge time with exact member sets):
     if (direction == NodeKind::kInboundTsv) {
+      // One bypass-mux pin plus the wire between the pair's two ends — the
+      // same quantity inbound_attach_load_ff computes, with the pair
+      // distance reused from the d_th gate (Manhattan distance is
+      // symmetric).
+      double attach = mux_pin_cap;
+      if (accurate_wires) attach += wire_cap * dist;
       double load = 0.0;
       if (a.kind == NodeKind::kScanFF || b.kind == NodeKind::kScanFF) {
-        const GateId ff = (a.kind == NodeKind::kScanFF) ? a.gate : b.gate;
-        const GateId tsv = (a.kind == NodeKind::kScanFF) ? b.gate : a.gate;
-        const double attach = inbound_attach_load_ff(in, lib, cfg.timing_model, ff, tsv);
-        load = ff_base_load_ff(in, lib, cfg.timing_model, ff) + attach;
+        const std::size_t ff = (a.kind == NodeKind::kScanFF) ? i : j;
+        load = tab[ff].ff_base_load + attach;
         // The flop's mission fan-out paths slow down with the added Q load;
         // they must keep margin (the accurate model's second half — Agrawal's
         // wire-free slacks simply never see the wire part of `attach`).
-        if (in.timing->slack[static_cast<std::size_t>(ff)] -
-                ff_q_slowdown_ps(lib, attach) <=
-            th.s_th_ps)
-          return;
+        if (tab[ff].slack - dff_slope * attach <= th.s_th_ps) return;
       } else {
-        // Shared dedicated cell placed at either pad; take the cheaper end.
-        load = std::min(
-            inbound_attach_load_ff(in, lib, cfg.timing_model, a.gate, a.gate) +
-                inbound_attach_load_ff(in, lib, cfg.timing_model, a.gate, b.gate),
-            inbound_attach_load_ff(in, lib, cfg.timing_model, b.gate, b.gate) +
-                inbound_attach_load_ff(in, lib, cfg.timing_model, b.gate, a.gate));
+        // Shared dedicated cell placed at either pad; both placements cost
+        // the same (own pad at zero distance + wire to the partner), so the
+        // "cheaper end" of the general form collapses to one expression.
+        load = mux_pin_cap + attach;
       }
       if (load >= th.cap_th_ff) return;
     } else {
-      auto slack_ok = [&](GateId tsv, GateId cell_at) {
-        const double added = outbound_added_delay_ps(in, lib, cfg.timing_model, tsv, cell_at);
-        if (in.timing->slack[static_cast<std::size_t>(tsv)] - added <= th.s_th_ps)
-          return false;
+      auto slack_ok = [&](std::size_t tsv, GateId cell_at) {
+        const NodeTable& t = tab[tsv];
+        double extra_wire_um = 0.0;
+        if (accurate_wires)
+          extra_wire_um = in.placement->distance(t.driver, cell_at);
+        const double extra_cap = xor_pin_cap + wire_cap * extra_wire_um;
+        const double load_slowdown = t.driver_slope * extra_cap;
+        const double capture_path =
+            wire_delay * extra_wire_um + xor_intrinsic + mux_intrinsic;
+        if (t.slack - (load_slowdown + capture_path) <= th.s_th_ps) return false;
         // The tap's extra load slows EVERY path through the driver, not just
         // the capture branch; the driver's own (min-over-paths) slack must
         // absorb the slowdown too.
-        const GateId driver = in.netlist->gate(tsv).fanins[0];
-        double extra_cap = lib.pin_cap_ff(GateType::kXor);
-        if (cfg.timing_model == TimingModel::kAccurate && in.placement)
-          extra_cap += lib.wire_cap_ff_per_um() * in.placement->distance(driver, cell_at);
-        const double slowdown =
-            lib.timing(in.netlist->gate(driver).type).slope_ps_per_ff * extra_cap;
-        return in.timing->slack[static_cast<std::size_t>(driver)] - slowdown > th.s_th_ps;
+        return t.driver_slack - load_slowdown > th.s_th_ps;
       };
       if (a.kind == NodeKind::kScanFF || b.kind == NodeKind::kScanFF) {
-        const GateId ff = (a.kind == NodeKind::kScanFF) ? a.gate : b.gate;
-        const GateId tsv = (a.kind == NodeKind::kScanFF) ? b.gate : a.gate;
-        if (!slack_ok(tsv, ff)) return;
-        // The flop's mission D path must absorb the capture mux and the new
-        // pins loading its driver.
-        const GateId d_orig = in.netlist->gate(ff).fanins[0];
-        if (in.timing->slack[static_cast<std::size_t>(d_orig)] -
-                capture_mux_penalty_ps(in, lib, ff) <=
-            th.s_th_ps)
-          return;
+        const std::size_t ff = (a.kind == NodeKind::kScanFF) ? i : j;
+        const std::size_t tsv = (a.kind == NodeKind::kScanFF) ? j : i;
+        if (!slack_ok(tsv, graph.nodes[ff].gate)) return;
+        if (!tab[ff].ff_capture_ok) return;
       } else {
         // Shared cell at either pad: both TSVs must tolerate the detour.
-        const bool at_a = slack_ok(a.gate, a.gate) && slack_ok(b.gate, a.gate);
-        const bool at_b = slack_ok(a.gate, b.gate) && slack_ok(b.gate, b.gate);
+        const bool at_a = slack_ok(i, a.gate) && slack_ok(j, a.gate);
+        const bool at_b = slack_ok(i, b.gate) && slack_ok(j, b.gate);
         if (!at_a && !at_b) return;
       }
     }
 
-    bool via_overlap = false;
-    if (!cones_compatible(in, cfg, a.gate, a.kind, b.gate, b.kind, via_overlap)) return;
-
-    graph.adj[i].push_back(static_cast<int>(j));
-    graph.adj[j].push_back(static_cast<int>(i));
-    ++graph.num_edges;
-    if (via_overlap) ++graph.overlap_edges;
+    // Cone rule: disjoint cones are always safe; overlapped cones go to the
+    // testability oracle (cov_th / p_th) when the config allows it. With the
+    // measured oracle the decision parks until the batched evaluations run.
+    const bool control_side = direction == NodeKind::kInboundTsv;
+    const bool overlapped = control_side
+                                ? in.cones->fanout_overlaps(a.gate, b.gate)
+                                : in.cones->fanin_overlaps(a.gate, b.gate);
+    CandidateEdge e;
+    e.i = static_cast<int>(i);
+    e.j = static_cast<int>(j);
+    if (overlapped) {
+      if (!cfg.allow_overlap_sharing) return;
+      if (batch_oracle) {
+        e.needs_oracle = true;
+      } else {
+        const PairImpact impact = in.oracle->evaluate(a.gate, a.kind, b.gate, b.kind);
+        if (!(impact.coverage_loss < cfg.cov_th && impact.extra_patterns < cfg.p_th))
+          return;
+        e.via_overlap = true;
+      }
+    }
+    out.push_back(e);
   };
 
-  for (std::size_t j = first_tsv; j < graph.nodes.size(); ++j) {
-    for (std::size_t i = 0; i < j; ++i) try_edge(i, j);
+  const std::size_t rows = num_nodes - first_tsv;
+  const std::size_t chunks = std::min<std::size_t>(std::max<std::size_t>(rows, 1), 64);
+  std::vector<std::vector<CandidateEdge>> found(chunks);
+  exec::parallel_chunks(rows, chunks, threads,
+                        [&](std::size_t c, std::size_t begin, std::size_t end) {
+                          std::vector<CandidateEdge>& out = found[c];
+                          for (std::size_t jj = begin; jj < end; ++jj) {
+                            const std::size_t j = first_tsv + jj;
+                            for (std::size_t i = 0; i < j; ++i) scan_pair(i, j, out);
+                          }
+                        });
+
+  if (batch_oracle) {
+    std::vector<PairQuery> queries;
+    for (const auto& chunk : found)
+      for (const CandidateEdge& e : chunk)
+        if (e.needs_oracle)
+          queries.push_back(PairQuery{graph.nodes[static_cast<std::size_t>(e.i)].gate,
+                                      graph.nodes[static_cast<std::size_t>(e.i)].kind,
+                                      graph.nodes[static_cast<std::size_t>(e.j)].gate,
+                                      graph.nodes[static_cast<std::size_t>(e.j)].kind});
+    in.oracle->evaluate_batch(queries, threads);
+  }
+
+  for (const auto& chunk : found) {
+    for (const CandidateEdge& e : chunk) {
+      bool via_overlap = e.via_overlap;
+      if (e.needs_oracle) {
+        const GraphNode& a = graph.nodes[static_cast<std::size_t>(e.i)];
+        const GraphNode& b = graph.nodes[static_cast<std::size_t>(e.j)];
+        const PairImpact impact = in.oracle->evaluate(a.gate, a.kind, b.gate, b.kind);
+        if (!(impact.coverage_loss < cfg.cov_th && impact.extra_patterns < cfg.p_th))
+          continue;
+        via_overlap = true;
+      }
+      graph.adj[static_cast<std::size_t>(e.i)].push_back(e.j);
+      graph.adj[static_cast<std::size_t>(e.j)].push_back(e.i);
+      ++graph.num_edges;
+      if (via_overlap) ++graph.overlap_edges;
+    }
   }
   for (auto& neighbors : graph.adj) std::sort(neighbors.begin(), neighbors.end());
   return graph;

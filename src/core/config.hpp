@@ -57,6 +57,17 @@ struct WcmConfig {
   /// Maximum test-pattern increase tolerated per overlapped share.
   double p_th = 10.0;
 
+  // ---- execution ----
+  /// Worker width for graph construction and batched oracle evaluation.
+  /// 0 = WCM_SOLVE_THREADS env or hardware concurrency; 1 = serial. Any
+  /// width produces bit-identical results (see src/util/executor.hpp).
+  int solve_threads = 0;
+  /// Measured-oracle variant: warm-start each candidate ATPG run from the
+  /// reference pattern set and re-qualify only cone-affected faults. Much
+  /// faster and deterministic, but the impact values approximate the
+  /// from-scratch diff (docs/PERF.md) — off by default.
+  bool oracle_incremental = false;
+
   // ---- presets ----
   static WcmConfig proposed_area() {
     WcmConfig c;

@@ -234,6 +234,7 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
   measure_opts.useless_batch_window = 2;
   measure_opts.deterministic_phase = false;
   TestabilityOracle oracle(n, cones, cfg.oracle_mode, measure_opts);
+  oracle.set_incremental(cfg.oracle_incremental);
 
   GraphInputs inputs;
   inputs.netlist = &n;

@@ -1,32 +1,94 @@
 #include "core/testability.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <unordered_set>
 
+#include "atpg/faults.hpp"
 #include "atpg/testview.hpp"
 #include "util/assert.hpp"
+#include "util/executor.hpp"
 
 namespace wcm {
-namespace {
-
-std::uint64_t pair_key(GateId a, GateId b) {
-  if (a > b) std::swap(a, b);
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
-         static_cast<std::uint32_t>(b);
-}
-
-}  // namespace
 
 TestabilityOracle::TestabilityOracle(const Netlist& n, ConeDb& cones, OracleMode mode,
                                      const AtpgOptions& measure_opts)
     : n_(n), cones_(cones), mode_(mode), opts_(measure_opts) {}
 
+std::uint64_t TestabilityOracle::query_key(GateId a, NodeKind ka, GateId b, NodeKind kb) {
+  // Control-side shares (any inbound TSV involved) interact through fan-OUT
+  // cones, capture-side shares through fan-IN cones — the same gate pair can
+  // carry both roles with different impacts, so the side is part of the key.
+  // Gate ids are nonnegative int32, so bits [32,63) hold lo and bit 63 the
+  // side without collision.
+  const bool control_side = (ka == NodeKind::kInboundTsv || kb == NodeKind::kInboundTsv);
+  GateId lo = a, hi = b;
+  if (lo > hi) std::swap(lo, hi);
+  return (control_side ? (1ULL << 63) : 0ULL) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo)) << 32) |
+         static_cast<std::uint32_t>(hi);
+}
+
 PairImpact TestabilityOracle::evaluate(GateId a, NodeKind ka, GateId b, NodeKind kb) {
-  const std::uint64_t key = pair_key(a, b);
-  if (auto it = cache_.find(key); it != cache_.end()) return it->second;
-  const PairImpact impact = (mode_ == OracleMode::kMeasured) ? measured(a, ka, b, kb)
-                                                             : structural(a, ka, b, kb);
-  cache_.emplace(key, impact);
-  return impact;
+  const std::uint64_t key = query_key(a, ka, b, kb);
+  Shard& shard = shard_of(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (auto it = shard.map.find(key); it != shard.map.end()) return it->second;
+  }
+  // Compute outside the lock — impacts are pure functions of the pair, so a
+  // concurrent duplicate computes the identical value; first insert wins and
+  // the query counter moves only for the winner (deterministic count).
+  const PairImpact impact = compute(a, ka, b, kb);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, inserted] = shard.map.emplace(key, impact);
+  if (inserted && mode_ == OracleMode::kMeasured)
+    measured_queries_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+PairImpact TestabilityOracle::compute(GateId a, NodeKind ka, GateId b, NodeKind kb) {
+  if (mode_ != OracleMode::kMeasured) return structural(a, ka, b, kb);
+  return incremental_ ? measured_incremental(a, ka, b, kb) : measured(a, ka, b, kb);
+}
+
+void TestabilityOracle::prepare() {
+  if (mode_ == OracleMode::kMeasured) (void)reference();
+}
+
+void TestabilityOracle::evaluate_batch(const std::vector<PairQuery>& queries, int threads) {
+  if (queries.empty()) return;
+  prepare();
+  // Fold duplicates and cache hits first so the fan-out is one task per
+  // distinct ATPG campaign.
+  std::vector<PairQuery> todo;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(queries.size());
+  for (const PairQuery& q : queries) {
+    const std::uint64_t key = query_key(q.a, q.ka, q.b, q.kb);
+    if (!seen.insert(key).second) continue;
+    Shard& shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.map.contains(key)) continue;
+    todo.push_back(q);
+  }
+  if (todo.empty()) return;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(todo.size());
+  for (const PairQuery& q : todo)
+    tasks.push_back([this, q] { (void)evaluate(q.a, q.ka, q.b, q.kb); });
+  exec::run_tasks(tasks, threads);
+}
+
+std::vector<std::pair<std::uint64_t, PairImpact>> TestabilityOracle::cache_snapshot() const {
+  std::vector<std::pair<std::uint64_t, PairImpact>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.insert(out.end(), shard.map.begin(), shard.map.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  return out;
 }
 
 PairImpact TestabilityOracle::structural(GateId a, NodeKind ka, GateId b, NodeKind kb) {
@@ -58,15 +120,25 @@ PairImpact TestabilityOracle::structural(GateId a, NodeKind ka, GateId b, NodeKi
 const AtpgResult& TestabilityOracle::reference() {
   if (!reference_) {
     const TestView view = build_reference_view(n_);
-    reference_ = AtpgEngine(view).run_stuck_at(opts_);
+    // Traced run: bit-identical result to run_stuck_at, but keeps the
+    // detecting vectors and per-fault outcomes the incremental backend
+    // warm-starts from.
+    reference_ = AtpgEngine(view).run_stuck_at_traced(opts_, reference_patterns_,
+                                                      reference_detected_);
+    // Reference controls all drive a single gate (PI, flop Q, or a dedicated
+    // TSV cell), which is how candidate controls are matched back to them.
+    reference_control_of_.assign(n_.size(), -1);
+    for (std::size_t c = 0; c < view.controls.size(); ++c)
+      for (GateId g : view.controls[c].driven)
+        reference_control_of_[static_cast<std::size_t>(g)] = static_cast<int>(c);
   }
   return *reference_;
 }
 
-PairImpact TestabilityOracle::measured(GateId a, NodeKind ka, GateId b, NodeKind kb) {
-  ++measured_queries_;
-  // Candidate plan: reference (one cell per TSV) with this pair merged onto
-  // one cell.
+WrapperPlan TestabilityOracle::candidate_plan(GateId a, NodeKind ka, GateId b,
+                                              NodeKind kb) const {
+  // Reference plan (one cell per TSV) with just this pair merged onto one
+  // cell.
   WrapperPlan plan;
   WrapperGroup shared;
   auto add = [&](GateId node, NodeKind kind) {
@@ -93,8 +165,11 @@ PairImpact TestabilityOracle::measured(GateId a, NodeKind ka, GateId b, NodeKind
     g.outbound.push_back(t);
     plan.groups.push_back(std::move(g));
   }
+  return plan;
+}
 
-  const TestView view = build_test_view(n_, plan);
+PairImpact TestabilityOracle::measured(GateId a, NodeKind ka, GateId b, NodeKind kb) {
+  const TestView view = build_test_view(n_, candidate_plan(a, ka, b, kb));
   const AtpgResult candidate = AtpgEngine(view).run_stuck_at(opts_);
   const AtpgResult& base = reference();
 
@@ -102,6 +177,108 @@ PairImpact TestabilityOracle::measured(GateId a, NodeKind ka, GateId b, NodeKind
   impact.coverage_loss = std::max(0.0, base.coverage() - candidate.coverage());
   impact.extra_patterns =
       std::max(0.0, static_cast<double>(candidate.patterns - base.patterns));
+  return impact;
+}
+
+PairImpact TestabilityOracle::measured_incremental(GateId a, NodeKind ka, GateId b,
+                                                   NodeKind kb) {
+  const AtpgResult& base = reference();  // fills patterns / flags / control map
+  const TestView view = build_test_view(n_, candidate_plan(a, ka, b, kb));
+
+  // Remap the reference vectors onto the candidate's control indexing. The
+  // views differ only in the shared group, and every candidate control is
+  // identified by the first gate it drives (the merged TSV's former dedicated
+  // word is dropped — its net now receives the shared bit, which is exactly
+  // the correlation being measured).
+  std::vector<int> src(view.controls.size(), -1);
+  for (std::size_t c = 0; c < view.controls.size(); ++c) {
+    const int r = reference_control_of_[static_cast<std::size_t>(view.controls[c].driven.front())];
+    WCM_ASSERT_MSG(r >= 0, "candidate control with no reference counterpart");
+    src[c] = r;
+  }
+  PatternSet warm;
+  warm.batches.reserve(reference_patterns_.batches.size());
+  for (const auto& batch : reference_patterns_.batches) {
+    std::vector<std::uint64_t> words(view.controls.size());
+    for (std::size_t c = 0; c < words.size(); ++c)
+      words[c] = batch[static_cast<std::size_t>(src[c])];
+    warm.batches.push_back(std::move(words));
+  }
+
+  // Disturbed region: the only faults whose detection can change are those
+  // excited through the correlated control (forward combinational cones of
+  // every gate the shared bit drives) or observed through the aliased capture
+  // (backward combinational cones of every net the shared bit observes).
+  // Everything else sees bit-identical stimulus and response.
+  std::vector<char> in_region(n_.size(), 0);
+  std::vector<GateId> stack;
+  auto mark = [&](GateId g) {
+    if (!in_region[static_cast<std::size_t>(g)]) {
+      in_region[static_cast<std::size_t>(g)] = 1;
+      stack.push_back(g);
+    }
+  };
+  const WrapperGroup& shared = [&]() -> WrapperGroup {
+    WrapperGroup g;
+    auto add = [&](GateId node, NodeKind kind) {
+      switch (kind) {
+        case NodeKind::kScanFF: g.reused_ff = node; break;
+        case NodeKind::kInboundTsv: g.inbound.push_back(node); break;
+        case NodeKind::kOutboundTsv: g.outbound.push_back(node); break;
+      }
+    };
+    add(a, ka);
+    add(b, kb);
+    return g;
+  }();
+  const bool control_side = (ka == NodeKind::kInboundTsv || kb == NodeKind::kInboundTsv);
+  if (control_side) {
+    // Forward from every driven source: the flop's Q and the merged inbound
+    // pads now carry one word.
+    if (shared.reused_ff != kNoGate) mark(shared.reused_ff);
+    for (GateId t : shared.inbound) mark(t);
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      for (GateId out : n_.gate(g).fanouts)
+        if (n_.gate(out).type != GateType::kDff) mark(out);
+    }
+  } else {
+    // Backward from every observed net: the flop's D and the merged outbound
+    // pads now alias into one capture bit.
+    if (shared.reused_ff != kNoGate) mark(n_.gate(shared.reused_ff).fanins.front());
+    for (GateId t : shared.outbound) mark(t);
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      if (is_combinational_source(n_.gate(g).type)) continue;  // marked, not crossed
+      for (GateId in : n_.gate(g).fanins) mark(in);
+    }
+  }
+
+  std::vector<Fault> affected;
+  int ref_detected_affected = 0;
+  for (const Fault& f : full_fault_list(n_)) {
+    if (!in_region[static_cast<std::size_t>(f.site)]) continue;
+    affected.push_back(f);
+    const std::size_t flag = static_cast<std::size_t>(f.site) * 2 + (f.stuck_value ? 1 : 0);
+    if (reference_detected_[flag]) ++ref_detected_affected;
+  }
+  if (affected.empty()) return PairImpact{};
+
+  const AtpgResult sub =
+      AtpgEngine(view).run_stuck_at_warm_subset(opts_, warm, std::move(affected));
+
+  // Faults the reference campaign detected in the region but the candidate
+  // could not recover are genuine coverage loss against the SAME fault
+  // universe; each fault that needed de-aliasing costs roughly one dedicated
+  // vector, which the deterministic phase counts exactly when enabled.
+  PairImpact impact;
+  const int lost = ref_detected_affected - sub.detected;
+  impact.coverage_loss =
+      std::max(0.0, static_cast<double>(lost) / std::max(1, base.total_faults));
+  impact.extra_patterns =
+      static_cast<double>(sub.deterministic_patterns) + std::max(0.0, static_cast<double>(lost));
   return impact;
 }
 

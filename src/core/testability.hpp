@@ -9,7 +9,11 @@
 //     (reference plan with just this pair merged), run the ATPG engine, and
 //     diff coverage/pattern-count against the reference run. Exact but
 //     costs one ATPG campaign per query; used for small dies, ablations and
-//     tests.
+//     tests. Queries are pure functions of the pair, so graph construction
+//     collects them and fans them out in parallel (evaluate_batch); an
+//     opt-in incremental variant (set_incremental) warm-starts each
+//     candidate run from the reference pattern set and re-qualifies only
+//     the cone-affected faults.
 //
 //   * kStructural — a calibrated estimate from the shared-cone size: the
 //     faults whose detection a correlated control or aliased capture can
@@ -18,10 +22,21 @@
 //     small ITC'99 dies (see tests/core/testability_test.cpp); used for the
 //     large dies where per-pair ATPG would dominate runtime, exactly the
 //     engineering trade a production flow makes.
+//
+// Thread-safety: evaluate() may be called concurrently (the parallel edge
+// pass does). The cache is sharded under per-shard mutexes; computed
+// impacts are pure functions of the pair, so a rare duplicate computation
+// returns the identical value and only the first insert wins.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "atpg/engine.hpp"
 #include "core/config.hpp"
@@ -37,6 +52,14 @@ struct PairImpact {
   double extra_patterns = 0.0;
 };
 
+/// One oracle query, as the graph construction phrases it.
+struct PairQuery {
+  GateId a = kNoGate;
+  NodeKind ka = NodeKind::kScanFF;
+  GateId b = kNoGate;
+  NodeKind kb = NodeKind::kScanFF;
+};
+
 class TestabilityOracle {
  public:
   TestabilityOracle(const Netlist& n, ConeDb& cones, OracleMode mode,
@@ -44,11 +67,41 @@ class TestabilityOracle {
 
   /// Impact of serving both nodes with one wrapper cell. Exactly one of the
   /// nodes may be a scan flop. Queries are cached (the graph construction
-  /// revisits pairs across phases).
+  /// revisits pairs across phases); the key includes the sharing DIRECTION
+  /// (control vs capture side), which decides whether fan-out or fan-in
+  /// cones interact — the same gate pair may legitimately have different
+  /// impacts per side. Safe to call concurrently.
   PairImpact evaluate(GateId a, NodeKind ka, GateId b, NodeKind kb);
 
+  /// True when a query is expensive enough (an ATPG campaign) that callers
+  /// should collect candidates and fan them out via evaluate_batch instead
+  /// of evaluating inline.
+  bool prefers_batching() const { return mode_ == OracleMode::kMeasured; }
+
+  /// Builds the shared reference campaign once, serially — so that a
+  /// following evaluate_batch never races on its lazy construction. No-op
+  /// for the structural backend and on repeat calls.
+  void prepare();
+
+  /// Evaluates every not-yet-cached query on the shared solve executor
+  /// (`threads` as in WcmConfig::solve_threads; 1 = serial). Duplicate
+  /// queries are folded first; afterwards evaluate() is a cache hit for
+  /// each query, so the caller can consume results in any order it likes
+  /// with no further ATPG cost.
+  void evaluate_batch(const std::vector<PairQuery>& queries, int threads);
+
+  /// Switches the measured backend to the incremental evaluation: candidate
+  /// runs replay the reference pattern set (remapped onto the candidate
+  /// view) over only the faults inside the share's disturbed cone region,
+  /// with PODEM recovering residual undetected faults. Much faster, still
+  /// deterministic and thread-count-invariant, but the impact values are an
+  /// approximation of the from-scratch diff (see docs/PERF.md).
+  void set_incremental(bool on) { incremental_ = on; }
+  bool incremental() const { return incremental_; }
+
   /// Number of measured (ATPG-backed) evaluations performed, for reporting.
-  int measured_queries() const { return measured_queries_; }
+  /// Deterministic: one per unique admitted query, whatever the width.
+  int measured_queries() const { return measured_queries_.load(std::memory_order_relaxed); }
 
   /// Structural-model calibration knobs (exposed for the calibration test
   /// and the threshold-ablation bench; defaults fit the kMeasured deltas on
@@ -58,18 +111,45 @@ class TestabilityOracle {
     patterns_per_overlap_ = patterns_per_overlap;
   }
 
+  /// Sorted (key, impact) snapshot of the cache — the determinism tests
+  /// assert it is identical whatever the construction width.
+  std::vector<std::pair<std::uint64_t, PairImpact>> cache_snapshot() const;
+
  private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, PairImpact> map;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  /// Canonical cache key: unordered gate pair + the sharing side.
+  static std::uint64_t query_key(GateId a, NodeKind ka, GateId b, NodeKind kb);
+  Shard& shard_of(std::uint64_t key) { return shards_[(key >> 1) % kShards]; }
+  const Shard& shard_of(std::uint64_t key) const { return shards_[(key >> 1) % kShards]; }
+
+  PairImpact compute(GateId a, NodeKind ka, GateId b, NodeKind kb);
   PairImpact structural(GateId a, NodeKind ka, GateId b, NodeKind kb);
   PairImpact measured(GateId a, NodeKind ka, GateId b, NodeKind kb);
+  PairImpact measured_incremental(GateId a, NodeKind ka, GateId b, NodeKind kb);
+
+  /// Candidate plan: reference (one cell per TSV) with just this pair merged.
+  WrapperPlan candidate_plan(GateId a, NodeKind ka, GateId b, NodeKind kb) const;
+
   const AtpgResult& reference();
 
   const Netlist& n_;
   ConeDb& cones_;
   OracleMode mode_;
   AtpgOptions opts_;
+  bool incremental_ = false;
+
   std::optional<AtpgResult> reference_;
-  std::unordered_map<std::uint64_t, PairImpact> cache_;
-  int measured_queries_ = 0;
+  PatternSet reference_patterns_;          ///< detecting batches of the reference run
+  std::vector<char> reference_detected_;   ///< per-fault flags, site * 2 + stuck
+  std::vector<int> reference_control_of_;  ///< gate -> reference control index
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<int> measured_queries_{0};
   double coverage_per_overlap_ = 2.0;
   double patterns_per_overlap_ = 4.5;
 };

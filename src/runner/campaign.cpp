@@ -8,7 +8,7 @@
 #include <utility>
 
 #include "runner/seeds.hpp"
-#include "runner/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wcm {
 

@@ -1,0 +1,100 @@
+#include "util/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace wcm {
+namespace exec {
+namespace {
+
+int env_default_threads() {
+  if (const char* env = std::getenv("WCM_SOLVE_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return ThreadPool::default_concurrency();
+}
+
+/// The shared solve pool, sized to hardware once. Width limits are enforced
+/// by the number of runner jobs submitted, not by pool size, so one pool
+/// serves every requested width without reconstruction.
+ThreadPool& shared_pool() {
+  // Floor of 4: on small hosts a requested width > 1 should still run truly
+  // concurrent (determinism tests and TSan need the interleavings to exist),
+  // at worst mildly oversubscribed for short tasks.
+  static ThreadPool pool(std::max(4, ThreadPool::default_concurrency()));
+  return pool;
+}
+
+}  // namespace
+
+int resolve_threads(int requested) {
+  if (requested >= 1) return requested;
+  static const int def = env_default_threads();
+  return def;
+}
+
+void run_tasks(const std::vector<std::function<void()>>& tasks, int requested_threads) {
+  const int width = resolve_threads(requested_threads);
+  if (width <= 1 || tasks.size() <= 1 || ThreadPool::on_worker_thread()) {
+    for (const auto& task : tasks) task();
+    return;
+  }
+
+  // Width-limited pull loop: `width` runner jobs race on an atomic cursor.
+  // Tasks are independent (see header), so claim order is irrelevant to the
+  // result. The first task exception is kept and rethrown on the caller.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  auto runner = [&tasks, &next, &error_mutex, &error] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      try {
+        tasks[i]();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+
+  ThreadPool& pool = shared_pool();
+  const int runners =
+      std::min<int>(width, static_cast<int>(std::min<std::size_t>(
+                        tasks.size(), static_cast<std::size_t>(pool.worker_count()))));
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(runners) > 1
+                      ? static_cast<std::size_t>(runners) - 1
+                      : 0);
+  for (int r = 1; r < runners; ++r) futures.push_back(pool.submit(runner));
+  runner();  // the caller participates instead of idling
+  for (auto& f : futures) f.get();
+  if (error) std::rethrow_exception(error);
+}
+
+void parallel_chunks(std::size_t n, std::size_t chunks, int requested_threads,
+                     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  chunks = std::max<std::size_t>(1, std::min(chunks, n));
+  const std::size_t stride = (n + chunks - 1) / chunks;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * stride;
+    const std::size_t end = std::min(n, begin + stride);
+    if (begin >= end) break;
+    tasks.push_back([c, begin, end, &fn] { fn(c, begin, end); });
+  }
+  run_tasks(tasks, requested_threads);
+}
+
+}  // namespace exec
+}  // namespace wcm

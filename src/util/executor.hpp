@@ -1,0 +1,47 @@
+// Process-wide execution context for in-solve parallelism.
+//
+// The campaign runner owns a pool per campaign; the solver kernels (compat
+// graph edge fan-out, batched oracle ATPG) instead share ONE lazily created
+// process-wide pool so that a standalone solve uses every core while a solve
+// nested inside a campaign worker degrades to serial execution — the
+// campaign already saturates the machine and a second pool would only
+// oversubscribe it (and waiting on a foreign pool from inside a worker can
+// deadlock).
+//
+// Determinism contract: run_tasks executes an INDEPENDENT task set — tasks
+// may not read each other's results — so completion order cannot influence
+// outputs. Callers that fan work out per chunk must derive chunk boundaries
+// from the problem size alone (never from the thread count) and merge chunk
+// results in chunk-index order; under that discipline the output is
+// bit-identical for every width, which is what the solve determinism tests
+// assert across widths {1, 2, 8}.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace wcm {
+namespace exec {
+
+/// Effective parallel width for a requested setting: `requested` >= 1 is
+/// taken as-is; 0 and negatives resolve to the WCM_SOLVE_THREADS environment
+/// variable when set, else hardware concurrency.
+int resolve_threads(int requested);
+
+/// Runs every task in `tasks`. Serial (in index order, on the calling
+/// thread) when the resolved width is 1, the task set is trivial, or the
+/// caller is already a pool worker; otherwise at most `width` tasks run
+/// concurrently on the shared pool. Blocks until all tasks finished; the
+/// first exception thrown by a task is rethrown after the batch completes.
+void run_tasks(const std::vector<std::function<void()>>& tasks, int requested_threads);
+
+/// Convenience fan-out of fn(begin, end) over [0, n) in `chunks` contiguous
+/// slices. Chunk boundaries depend only on (n, chunks) — never on the
+/// resolved width — so per-chunk outputs merged in chunk order are
+/// width-invariant.
+void parallel_chunks(std::size_t n, std::size_t chunks, int requested_threads,
+                     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+}  // namespace exec
+}  // namespace wcm

@@ -1,11 +1,18 @@
-#include "runner/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 
 namespace wcm {
+namespace {
+
+thread_local bool tls_pool_worker = false;
+
+}  // namespace
 
 int ThreadPool::default_concurrency() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
+
+bool ThreadPool::on_worker_thread() { return tls_pool_worker; }
 
 ThreadPool::ThreadPool(int workers) {
   const int count = workers > 0 ? workers : default_concurrency();
@@ -78,6 +85,7 @@ bool ThreadPool::any_queued() const {
 }
 
 void ThreadPool::worker_loop(std::size_t id) {
+  tls_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     if (try_acquire(id, task)) {

@@ -1,4 +1,5 @@
-// Work-stealing thread pool for the campaign runner.
+// Work-stealing thread pool shared by the campaign runner and the in-solve
+// parallelism (see util/executor.hpp).
 //
 // Layout: one mutex-guarded deque per worker. External submissions are
 // distributed round-robin across the queues; a worker drains its own queue
@@ -43,6 +44,11 @@ class ThreadPool {
 
   /// Hardware concurrency, at least 1.
   static int default_concurrency();
+
+  /// True when the calling thread is a worker of ANY ThreadPool. Nested
+  /// parallel constructs consult this to degrade to serial execution instead
+  /// of submitting into (and possibly deadlocking on) another pool.
+  static bool on_worker_thread();
 
   int worker_count() const { return static_cast<int>(queues_.size()); }
 

@@ -1,0 +1,281 @@
+// Determinism contract of the parallel solve paths: whatever
+// WcmConfig::solve_threads says, graph construction, the oracle cache, and
+// the full solve must be bit-identical to the serial path — parallelism is
+// an implementation detail, never a result change. Also holds the
+// direction-aware oracle cache key (a former bug: the key ignored NodeKind,
+// so a control-side result could be served for a capture-side query of the
+// same gate pair) and the warm-replay invariant the incremental oracle
+// builds on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "atpg/engine.hpp"
+#include "atpg/faults.hpp"
+#include "atpg/testview.hpp"
+#include "core/compat_graph.hpp"
+#include "core/solver.hpp"
+#include "core/testability.hpp"
+#include "gen/generator.hpp"
+
+namespace wcm {
+namespace {
+
+std::string solution_signature(const WcmSolution& sol) {
+  std::ostringstream os;
+  os << sol.reused_ffs << '|' << sol.additional_cells << '|';
+  for (const PhaseStats& p : sol.phases)
+    os << static_cast<int>(p.direction) << ',' << p.graph_nodes << ',' << p.graph_edges
+       << ',' << p.overlap_edges << ',' << p.rejected_tsvs << ',' << p.cliques << ';';
+  os << '#';
+  for (const WrapperGroup& g : sol.plan.groups) {
+    os << g.reused_ff << ':';
+    for (GateId t : g.inbound) os << t << ' ';
+    os << '/';
+    for (GateId t : g.outbound) os << t << ' ';
+    os << ';';
+  }
+  return os.str();
+}
+
+std::string graph_signature(const CompatGraph& g) {
+  std::ostringstream os;
+  os << g.num_edges << '|' << g.overlap_edges << '|';
+  for (GateId t : g.rejected_tsvs) os << t << ' ';
+  os << '#';
+  for (const auto& row : g.adj) {
+    for (int nb : row) os << nb << ' ';
+    os << ';';
+  }
+  return os.str();
+}
+
+struct Fixture {
+  Netlist netlist;
+  Placement placement;
+  CellLibrary lib = CellLibrary::nangate45_like();
+  StaEngine sta;
+  TimingReport timing;
+  ConeDb cones;
+  AtpgOptions measure_opts;
+  TestabilityOracle oracle;
+
+  Fixture(const DieSpec& spec, OracleMode mode)
+      : netlist(generate_die(spec)),
+        placement(place(netlist, PlaceOptions{})),
+        sta(netlist, lib, &placement),
+        timing(sta.run()),
+        cones(netlist),
+        oracle(netlist, cones, mode, make_opts()) {}
+
+  static AtpgOptions make_opts() {
+    AtpgOptions o;
+    o.max_random_batches = 8;
+    o.useless_batch_window = 2;
+    o.deterministic_phase = false;
+    return o;
+  }
+
+  GraphInputs inputs() {
+    GraphInputs in;
+    in.netlist = &netlist;
+    in.placement = &placement;
+    in.sta = &sta;
+    in.timing = &timing;
+    in.cones = &cones;
+    in.oracle = &oracle;
+    return in;
+  }
+};
+
+// ---- satellite regression: the cache key must encode the share side ----
+
+TEST(OracleKeyTest, DirectionIsPartOfTheCacheKey) {
+  // g0 and g1 have overlapping fan-OUT cones (both reach z) but disjoint
+  // fan-IN cones (a vs b): a control-side share has nonzero impact, a
+  // capture-side share of the SAME gate pair has none. With the old
+  // gate-pair-only key the second query returned the stale first result.
+  Netlist n("keytest");
+  const GateId a = n.add_gate(GateType::kInput, "a");
+  const GateId b = n.add_gate(GateType::kInput, "b");
+  const GateId g0 = n.add_gate(GateType::kNot, "g0");
+  const GateId g1 = n.add_gate(GateType::kNot, "g1");
+  const GateId z = n.add_gate(GateType::kAnd, "z");
+  const GateId out = n.add_gate(GateType::kOutput, "out");
+  n.connect(a, g0);
+  n.connect(b, g1);
+  n.connect(g0, z);
+  n.connect(g1, z);
+  n.connect(z, out);
+  ASSERT_TRUE(n.check().empty());
+
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kStructural, AtpgOptions{});
+
+  const PairImpact control = oracle.evaluate(g0, NodeKind::kScanFF, g1, NodeKind::kInboundTsv);
+  EXPECT_GT(control.coverage_loss, 0.0);
+
+  const PairImpact capture = oracle.evaluate(g0, NodeKind::kScanFF, g1, NodeKind::kOutboundTsv);
+  EXPECT_EQ(capture.coverage_loss, 0.0);
+  EXPECT_EQ(capture.extra_patterns, 0.0);
+}
+
+// ---- graph construction: identical for any width ----
+
+TEST(CompatGraphParallelTest, GraphIdenticalAcrossWidths) {
+  const DieSpec spec = itc99_die_spec("b12", 1);
+  const WcmConfig base = WcmConfig::proposed_tight();
+  std::string serial_inbound, serial_outbound;
+  for (int threads : {1, 2, 8}) {
+    Fixture fx(spec, OracleMode::kStructural);
+    WcmConfig cfg = base;
+    cfg.solve_threads = threads;
+    const CompatGraph gin =
+        build_compat_graph(fx.inputs(), fx.lib, fx.netlist.inbound_tsvs(),
+                           NodeKind::kInboundTsv, fx.netlist.scan_flip_flops(), cfg);
+    const CompatGraph gout =
+        build_compat_graph(fx.inputs(), fx.lib, fx.netlist.outbound_tsvs(),
+                           NodeKind::kOutboundTsv, fx.netlist.scan_flip_flops(), cfg);
+    if (threads == 1) {
+      serial_inbound = graph_signature(gin);
+      serial_outbound = graph_signature(gout);
+      EXPECT_GT(gin.num_edges + gout.num_edges, 0);
+    } else {
+      EXPECT_EQ(graph_signature(gin), serial_inbound) << "threads=" << threads;
+      EXPECT_EQ(graph_signature(gout), serial_outbound) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(CompatGraphParallelTest, MeasuredOracleCacheIdenticalAcrossWidths) {
+  const DieSpec spec = itc99_die_spec("b11", 0);
+  const WcmConfig base = WcmConfig::proposed_area();
+  std::vector<std::pair<std::uint64_t, PairImpact>> serial_cache;
+  int serial_queries = -1;
+  std::string serial_graph;
+  for (int threads : {1, 8}) {
+    Fixture fx(spec, OracleMode::kMeasured);
+    WcmConfig cfg = base;
+    cfg.oracle_mode = OracleMode::kMeasured;
+    cfg.solve_threads = threads;
+    const CompatGraph gin =
+        build_compat_graph(fx.inputs(), fx.lib, fx.netlist.inbound_tsvs(),
+                           NodeKind::kInboundTsv, fx.netlist.scan_flip_flops(), cfg);
+    const auto cache = fx.oracle.cache_snapshot();
+    if (threads == 1) {
+      serial_cache = cache;
+      serial_queries = fx.oracle.measured_queries();
+      serial_graph = graph_signature(gin);
+    } else {
+      ASSERT_EQ(cache.size(), serial_cache.size());
+      for (std::size_t i = 0; i < cache.size(); ++i) {
+        EXPECT_EQ(cache[i].first, serial_cache[i].first);
+        EXPECT_EQ(cache[i].second.coverage_loss, serial_cache[i].second.coverage_loss);
+        EXPECT_EQ(cache[i].second.extra_patterns, serial_cache[i].second.extra_patterns);
+      }
+      EXPECT_EQ(fx.oracle.measured_queries(), serial_queries);
+      EXPECT_EQ(graph_signature(gin), serial_graph);
+    }
+  }
+}
+
+// ---- full solve: identical for any width ----
+
+TEST(SolveParallelTest, StructuralSolveIdenticalAcrossWidths) {
+  const Netlist n = generate_die(itc99_die_spec("b12", 1));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  std::string serial;
+  for (int threads : {1, 2, 8}) {
+    WcmConfig cfg = WcmConfig::proposed_tight();
+    cfg.solve_threads = threads;
+    const std::string sig = solution_signature(solve_wcm(n, &placement, lib, cfg));
+    if (threads == 1)
+      serial = sig;
+    else
+      EXPECT_EQ(sig, serial) << "threads=" << threads;
+  }
+}
+
+TEST(SolveParallelTest, MeasuredSolveIdenticalAcrossWidths) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  std::string serial;
+  for (int threads : {1, 8}) {
+    WcmConfig cfg = WcmConfig::proposed_area();
+    cfg.oracle_mode = OracleMode::kMeasured;
+    cfg.solve_threads = threads;
+    const std::string sig = solution_signature(solve_wcm(n, &placement, lib, cfg));
+    if (threads == 1)
+      serial = sig;
+    else
+      EXPECT_EQ(sig, serial) << "threads=" << threads;
+  }
+}
+
+TEST(SolveParallelTest, IncrementalOracleDeterministicAcrossWidths) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  std::string serial;
+  for (int threads : {1, 8}) {
+    WcmConfig cfg = WcmConfig::proposed_area();
+    cfg.oracle_mode = OracleMode::kMeasured;
+    cfg.oracle_incremental = true;
+    cfg.solve_threads = threads;
+    const WcmSolution sol = solve_wcm(n, &placement, lib, cfg);
+    EXPECT_TRUE(sol.plan.covers_all_tsvs(n));
+    const std::string sig = solution_signature(sol);
+    if (threads == 1)
+      serial = sig;
+    else
+      EXPECT_EQ(sig, serial) << "threads=" << threads;
+  }
+}
+
+// ---- warm replay: the invariant the incremental oracle builds on ----
+
+TEST(WarmReplayTest, WarmSubsetReproducesReferenceDetection) {
+  // Replaying the traced reference patterns on the SAME view over the full
+  // fault list must re-detect exactly the reference-detected faults, with
+  // no deterministic top-up.
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  const TestView view = build_reference_view(n);
+  const AtpgOptions opts = Fixture::make_opts();
+
+  PatternSet patterns;
+  std::vector<char> detected;
+  const AtpgResult ref = AtpgEngine(view).run_stuck_at_traced(opts, patterns, detected);
+  ASSERT_GT(ref.detected, 0);
+
+  const AtpgResult replay =
+      AtpgEngine(view).run_stuck_at_warm_subset(opts, patterns, full_fault_list(n));
+  EXPECT_EQ(replay.detected, ref.detected);
+  EXPECT_EQ(replay.total_faults, ref.total_faults);
+  EXPECT_EQ(replay.deterministic_patterns, 0);
+}
+
+TEST(WarmReplayTest, TracedRunMatchesPlainRun) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  const TestView view = build_reference_view(n);
+  AtpgOptions opts;  // default: deterministic phase on
+  opts.max_random_batches = 8;
+
+  const AtpgResult plain = AtpgEngine(view).run_stuck_at(opts);
+  PatternSet patterns;
+  std::vector<char> detected;
+  const AtpgResult traced = AtpgEngine(view).run_stuck_at_traced(opts, patterns, detected);
+  EXPECT_EQ(traced.detected, plain.detected);
+  EXPECT_EQ(traced.patterns, plain.patterns);
+  EXPECT_EQ(traced.untestable, plain.untestable);
+  EXPECT_EQ(traced.aborted, plain.aborted);
+  int flagged = 0;
+  for (char c : detected) flagged += c;
+  EXPECT_EQ(flagged, traced.detected);
+}
+
+}  // namespace
+}  // namespace wcm
