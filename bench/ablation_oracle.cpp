@@ -1,0 +1,158 @@
+// Oracle ablation: plan quality under the incremental measured estimator vs
+// the from-scratch measured estimator, plus the persistent-cache warm-start
+// speedup, reported as BENCH_oracle.json.
+//
+//   WCM_QUICK=1        restrict to one die (smoke run; default: b11 dies 0-2)
+//   WCM_CACHE_DIR=dir  where the warm-start cache lives (default: a scratch
+//                      directory under the system temp path, wiped first so
+//                      the cold run is honestly cold)
+//
+// The cold and warm runs of the same configuration must produce identical
+// plans — the cache stores oracle verdicts, never decisions — so this bench
+// doubles as an end-to-end check of the persistence layer at solve scale.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "atpg/testview.hpp"
+#include "core/solver.hpp"
+#include "gen/generator.hpp"
+#include "place/place.hpp"
+
+namespace {
+
+using namespace wcm;
+
+std::string plan_signature(const WcmSolution& sol) {
+  std::ostringstream os;
+  os << sol.reused_ffs << '|' << sol.additional_cells << '|';
+  for (const WrapperGroup& g : sol.plan.groups) {
+    os << g.reused_ff << ':';
+    for (GateId t : g.inbound) os << t << ',';
+    os << '/';
+    for (GateId t : g.outbound) os << t << ',';
+    os << ';';
+  }
+  return os.str();
+}
+
+struct Run {
+  std::string label;
+  double seconds = 0.0;
+  int wrapper_cells = 0;
+  int reused_ffs = 0;
+  double coverage = 0.0;
+  int patterns = 0;
+  std::string signature;
+};
+
+Run run_solve(const std::string& label, const Netlist& n, const Placement& placement,
+              const CellLibrary& lib, const WcmConfig& cfg) {
+  Run r;
+  r.label = label;
+  const auto t0 = std::chrono::steady_clock::now();
+  const WcmSolution sol = solve_wcm(n, &placement, lib, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.wrapper_cells = sol.additional_cells;
+  r.reused_ffs = sol.reused_ffs;
+  r.signature = plan_signature(sol);
+
+  // Ground-truth quality of the plan the estimator admitted: one full ATPG
+  // campaign over the wrapped die.
+  AtpgOptions atpg;
+  atpg.seed = 31;
+  const AtpgResult cov = AtpgEngine(build_test_view(n, sol.plan)).run_stuck_at(atpg);
+  r.coverage = cov.test_coverage();
+  r.patterns = cov.patterns;
+
+  std::printf("  %-32s %8.3f s  cells=%-4d reused=%-4d cov=%.4f pats=%d\n",
+              label.c_str(), r.seconds, r.wrapper_cells, r.reused_ffs, r.coverage,
+              r.patterns);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const char* quick = std::getenv("WCM_QUICK");
+  const bool quick_mode = quick != nullptr && quick[0] == '1';
+  const std::vector<int> dies = quick_mode ? std::vector<int>{0} : std::vector<int>{0, 1, 2};
+
+  std::filesystem::path cache_dir;
+  if (const char* env = std::getenv("WCM_CACHE_DIR")) {
+    cache_dir = env;
+  } else {
+    cache_dir = std::filesystem::temp_directory_path() / "wcm_ablation_oracle_cache";
+  }
+  std::filesystem::remove_all(cache_dir);
+  std::filesystem::create_directories(cache_dir);
+
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  std::vector<Run> runs;
+  bool estimator_plans_identical = true;
+  bool warm_plans_identical = true;
+  double cold_total = 0.0, warm_total = 0.0;
+
+  for (const int die : dies) {
+    const Netlist n = generate_die(itc99_die_spec("b11", die));
+    const Placement placement = place(n, PlaceOptions{});
+    std::printf("b11 die %d (%zu gates)\n", die, n.size());
+
+    WcmConfig inc = WcmConfig::proposed_area();
+    inc.oracle_mode = OracleMode::kMeasured;
+    inc.oracle_incremental = true;
+    WcmConfig scratch = inc;
+    scratch.oracle_incremental = false;
+
+    const std::string tag = "b11_d" + std::to_string(die);
+    const Run r_inc = run_solve(tag + "/incremental", n, placement, lib, inc);
+    const Run r_scr = run_solve(tag + "/from-scratch", n, placement, lib, scratch);
+    estimator_plans_identical &= r_inc.signature == r_scr.signature;
+    runs.push_back(r_inc);
+    runs.push_back(r_scr);
+
+    // Persistent-cache ablation: same config, cold then warm. The cold run
+    // pays every per-pair ATPG campaign and persists the verdicts; the warm
+    // run must reload them all and spend its time everywhere BUT the oracle.
+    WcmConfig cached = inc;
+    cached.oracle_cache_path = cache_dir.string();
+    const Run r_cold = run_solve(tag + "/cache-cold", n, placement, lib, cached);
+    const Run r_warm = run_solve(tag + "/cache-warm", n, placement, lib, cached);
+    warm_plans_identical &= r_cold.signature == r_warm.signature;
+    cold_total += r_cold.seconds;
+    warm_total += r_warm.seconds;
+    runs.push_back(r_cold);
+    runs.push_back(r_warm);
+  }
+
+  const double warm_speedup = warm_total > 0 ? cold_total / warm_total : 0.0;
+  std::printf("estimator plans identical: %s\n", estimator_plans_identical ? "yes" : "no");
+  std::printf("warm-start: %.3f s cold vs %.3f s warm (%.2fx), plans %s\n", cold_total,
+              warm_total, warm_speedup, warm_plans_identical ? "identical" : "DIFFER");
+
+  std::ofstream json("BENCH_oracle.json");
+  json << "{\"bench\":\"oracle\",\"dies\":" << dies.size()
+       << ",\"estimator_plans_identical\":" << (estimator_plans_identical ? "true" : "false")
+       << ",\"warm_plans_identical\":" << (warm_plans_identical ? "true" : "false")
+       << ",\"cold_seconds\":" << cold_total << ",\"warm_seconds\":" << warm_total
+       << ",\"warm_speedup\":" << warm_speedup << ",\"kernels\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i) json << ',';
+    json << "{\"label\":\"" << runs[i].label << "\",\"seconds\":" << runs[i].seconds
+         << ",\"wrapper_cells\":" << runs[i].wrapper_cells
+         << ",\"reused_ffs\":" << runs[i].reused_ffs << ",\"coverage\":" << runs[i].coverage
+         << ",\"patterns\":" << runs[i].patterns << "}";
+  }
+  json << "]}\n";
+  std::printf("wrote BENCH_oracle.json\n");
+
+  // The cache must never change a decision; a sub-1x "speedup" means the
+  // persistence layer cost more than it saved, which is a regression too.
+  return warm_plans_identical ? 0 : 1;
+}

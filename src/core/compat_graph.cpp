@@ -1,7 +1,9 @@
 #include "core/compat_graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <utility>
 
 #include "util/assert.hpp"
 #include "util/executor.hpp"
@@ -297,25 +299,97 @@ CompatGraph build_compat_graph(const GraphInputs& in, const CellLibrary& lib,
   const std::size_t rows = num_nodes - first_tsv;
   const std::size_t chunks = std::min<std::size_t>(std::max<std::size_t>(rows, 1), 64);
   std::vector<std::vector<CandidateEdge>> found(chunks);
-  exec::parallel_chunks(rows, chunks, threads,
-                        [&](std::size_t c, std::size_t begin, std::size_t end) {
-                          std::vector<CandidateEdge>& out = found[c];
-                          for (std::size_t jj = begin; jj < end; ++jj) {
-                            const std::size_t j = first_tsv + jj;
-                            for (std::size_t i = 0; i < j; ++i) scan_pair(i, j, out);
-                          }
-                        });
 
-  if (batch_oracle) {
-    std::vector<PairQuery> queries;
-    for (const auto& chunk : found)
-      for (const CandidateEdge& e : chunk)
-        if (e.needs_oracle)
-          queries.push_back(PairQuery{graph.nodes[static_cast<std::size_t>(e.i)].gate,
-                                      graph.nodes[static_cast<std::size_t>(e.i)].kind,
-                                      graph.nodes[static_cast<std::size_t>(e.j)].gate,
-                                      graph.nodes[static_cast<std::size_t>(e.j)].kind});
-    in.oracle->evaluate_batch(queries, threads);
+  auto query_of = [&graph](const CandidateEdge& e) {
+    return PairQuery{graph.nodes[static_cast<std::size_t>(e.i)].gate,
+                     graph.nodes[static_cast<std::size_t>(e.i)].kind,
+                     graph.nodes[static_cast<std::size_t>(e.j)].gate,
+                     graph.nodes[static_cast<std::size_t>(e.j)].kind};
+  };
+
+  // With the measured oracle the ATPG batch dominates the scan, so when real
+  // concurrency is available the two phases are pipelined: each scan chunk
+  // streams its oracle-bound pairs into a bounded queue, and every worker
+  // that finishes scanning turns into a consumer draining it — ATPG runs
+  // while later rows are still scanning, replacing the two-phase barrier.
+  // Evaluations are pure cache fills (insert-wins), so the graph below is
+  // bit-identical whichever path ran. The serial/nested case keeps the
+  // two-phase form: a pipeline needs a concurrent consumer to make progress.
+  const bool pipelined =
+      batch_oracle && cfg.oracle_pipeline && rows > 0 && exec::runs_parallel(threads);
+
+  if (pipelined) {
+    exec::BoundedQueue<PairQuery> queue(256);
+    // Chunk boundaries replicate exec::parallel_chunks exactly, so found[]
+    // has the same layout (and the same merged order) as the two-phase path.
+    const std::size_t stride = (rows + chunks - 1) / chunks;
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * stride;
+      const std::size_t end = std::min(rows, begin + stride);
+      if (begin >= end) break;
+      ranges.emplace_back(begin, end);
+    }
+    std::atomic<std::size_t> scanning{ranges.size()};
+    auto evaluate_one = [&](const PairQuery& q) {
+      (void)in.oracle->evaluate(q.a, q.ka, q.b, q.kb);
+    };
+    // Task order matters: run_tasks claims tasks through an atomic cursor in
+    // index order, so the consumer tasks appended after the scan tasks are
+    // only claimed once every scan task has been claimed — a runner blocked
+    // in a consumer can never starve an unstarted scan chunk. Scan tasks
+    // themselves never block: on a full queue they help drain (a full queue
+    // is non-empty, so the helping loop always makes progress), and they
+    // return as soon as their chunk is scanned so the runner can claim the
+    // next chunk. The last scanner closes the queue, releasing the consumers
+    // once the final backlog is dry.
+    const std::size_t drainers =
+        static_cast<std::size_t>(exec::resolve_threads(threads));
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(ranges.size() + drainers);
+    for (std::size_t c = 0; c < ranges.size(); ++c) {
+      tasks.push_back([&, c] {
+        std::vector<CandidateEdge>& out = found[c];
+        for (std::size_t jj = ranges[c].first; jj < ranges[c].second; ++jj) {
+          const std::size_t j = first_tsv + jj;
+          const std::size_t row_base = out.size();
+          for (std::size_t i = 0; i < j; ++i) scan_pair(i, j, out);
+          // Feed this row's oracle-bound pairs to the consumers.
+          for (std::size_t k = row_base; k < out.size(); ++k) {
+            if (!out[k].needs_oracle) continue;
+            const PairQuery q = query_of(out[k]);
+            while (!queue.try_push(q)) {
+              PairQuery other;
+              if (queue.try_pop(other)) evaluate_one(other);
+            }
+          }
+        }
+        if (scanning.fetch_sub(1, std::memory_order_acq_rel) == 1) queue.close();
+      });
+    }
+    for (std::size_t d = 0; d < drainers; ++d) {
+      tasks.push_back([&] {
+        PairQuery q;
+        while (queue.pop_wait(q)) evaluate_one(q);
+      });
+    }
+    exec::run_tasks(tasks, threads);
+  } else {
+    exec::parallel_chunks(rows, chunks, threads,
+                          [&](std::size_t c, std::size_t begin, std::size_t end) {
+                            std::vector<CandidateEdge>& out = found[c];
+                            for (std::size_t jj = begin; jj < end; ++jj) {
+                              const std::size_t j = first_tsv + jj;
+                              for (std::size_t i = 0; i < j; ++i) scan_pair(i, j, out);
+                            }
+                          });
+    if (batch_oracle) {
+      std::vector<PairQuery> queries;
+      for (const auto& chunk : found)
+        for (const CandidateEdge& e : chunk)
+          if (e.needs_oracle) queries.push_back(query_of(e));
+      in.oracle->evaluate_batch(queries, threads);
+    }
   }
 
   for (const auto& chunk : found) {

@@ -232,9 +232,29 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
   AtpgOptions measure_opts;
   measure_opts.max_random_batches = 8;
   measure_opts.useless_batch_window = 2;
-  measure_opts.deterministic_phase = false;
+  // The PODEM phase stays ON for oracle queries: without it both measured
+  // backends are dominated by random-sampling noise (a fresh candidate run
+  // re-randomizes stimulus; a warm replay can't recover re-targetable
+  // faults), and the incremental and from-scratch estimators disagree on
+  // admit/reject. With it, both converge to the true untestable-fault delta
+  // (tests/core/oracle_validation_test.cpp holds this differential).
+  measure_opts.deterministic_phase = true;
   TestabilityOracle oracle(n, cones, cfg.oracle_mode, measure_opts);
   oracle.set_incremental(cfg.oracle_incremental);
+
+  // Persistent oracle cache: warm-start from a prior solve of the same die +
+  // config (the fingerprint-derived file name rules out stale hits) and
+  // store the merged cache back after the solve. Only the measured backend
+  // is worth persisting — structural queries are arithmetic.
+  const bool persist_oracle =
+      !cfg.oracle_cache_path.empty() && cfg.oracle_mode == OracleMode::kMeasured;
+  std::string oracle_cache_file;
+  if (persist_oracle) {
+    oracle_cache_file = oracle.cache_file_in(cfg.oracle_cache_path);
+    if (oracle.load_cache(oracle_cache_file))
+      WCM_LOG_DEBUG("oracle cache warm: %zu entries from %s", oracle.cache_entries(),
+                    oracle_cache_file.c_str());
+  }
 
   GraphInputs inputs;
   inputs.netlist = &n;
@@ -302,6 +322,9 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
   solution.reused_ffs = solution.plan.num_reused();
   solution.additional_cells = solution.plan.num_additional();
   WCM_ASSERT_MSG(solution.plan.covers_all_tsvs(n), "solver produced an incomplete plan");
+
+  if (persist_oracle && !oracle.save_cache(oracle_cache_file))
+    WCM_LOG_WARN("oracle cache not saved: %s", oracle_cache_file.c_str());
   return solution;
 }
 

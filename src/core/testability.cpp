@@ -1,7 +1,13 @@
 #include "core/testability.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <functional>
+#include <type_traits>
 #include <unordered_set>
 
 #include "atpg/faults.hpp"
@@ -10,6 +16,54 @@
 #include "util/executor.hpp"
 
 namespace wcm {
+
+namespace {
+
+// ---- persistence helpers ----
+
+constexpr std::uint32_t kCacheMagic = 0x314F4357;  // "WCO1" little-endian
+constexpr std::uint32_t kCacheVersion = 1;
+
+/// FNV-1a, used both for the header fingerprint and the payload checksum.
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ULL;
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) h = (h ^ b[i]) * 1099511628211ULL;
+  }
+  template <typename T>
+  void value(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof v);
+  }
+};
+
+/// Fixed-width little-endian append; the format is not interchanged between
+/// machines of different endianness (a mismatched file just fails the
+/// checksum and cold-starts).
+template <typename T>
+void append(std::vector<unsigned char>& buf, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* b = reinterpret_cast<const unsigned char*>(&v);
+  buf.insert(buf.end(), b, b + sizeof v);
+}
+
+/// Bounds-checked read cursor over a loaded file image.
+struct Reader {
+  const unsigned char* p = nullptr;
+  std::size_t left = 0;
+  template <typename T>
+  bool read(T& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (left < sizeof out) return false;
+    std::memcpy(&out, p, sizeof out);
+    p += sizeof out;
+    left -= sizeof out;
+    return true;
+  }
+};
+
+}  // namespace
 
 TestabilityOracle::TestabilityOracle(const Netlist& n, ConeDb& cones, OracleMode mode,
                                      const AtpgOptions& measure_opts)
@@ -89,6 +143,163 @@ std::vector<std::pair<std::uint64_t, PairImpact>> TestabilityOracle::cache_snaps
   std::sort(out.begin(), out.end(),
             [](const auto& x, const auto& y) { return x.first < y.first; });
   return out;
+}
+
+std::size_t TestabilityOracle::cache_entries() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+std::uint64_t TestabilityOracle::fingerprint() const {
+  Fnv1a f;
+  f.value(std::uint32_t{1});  // fingerprint schema, bumped on hash-input changes
+  // Netlist structure: gate types, scan flags, and the full fanin topology.
+  // Names are irrelevant to impacts; fanouts are derivable from fanins.
+  f.value(static_cast<std::uint64_t>(n_.size()));
+  for (std::size_t g = 0; g < n_.size(); ++g) {
+    const Gate& gate = n_.gate(static_cast<GateId>(g));
+    f.value(static_cast<std::int32_t>(gate.type));
+    f.value(static_cast<std::uint8_t>(gate.is_scan));
+    f.value(static_cast<std::uint32_t>(gate.fanins.size()));
+    for (GateId in : gate.fanins) f.value(in);
+  }
+  // Every knob that can change an impact value.
+  f.value(static_cast<std::int32_t>(mode_));
+  f.value(static_cast<std::uint8_t>(incremental_));
+  f.value(opts_.max_random_batches);
+  f.value(opts_.useless_batch_window);
+  f.value(static_cast<std::uint8_t>(opts_.deterministic_phase));
+  f.value(opts_.podem_backtrack_limit);
+  f.value(opts_.seed);
+  f.value(coverage_per_overlap_);
+  f.value(patterns_per_overlap_);
+  return f.h;
+}
+
+std::string TestabilityOracle::cache_file_in(const std::string& dir) const {
+  char name[64];
+  std::snprintf(name, sizeof name, "oracle-%016llx.wcmoc",
+                static_cast<unsigned long long>(fingerprint()));
+  return (std::filesystem::path(dir) / name).string();
+}
+
+bool TestabilityOracle::save_cache(const std::string& path) const {
+  // Serialize to memory first: the checksum covers the whole payload and the
+  // write must be all-or-nothing.
+  std::vector<unsigned char> buf;
+  append(buf, kCacheMagic);
+  append(buf, kCacheVersion);
+  append(buf, fingerprint());
+  append(buf, static_cast<std::uint32_t>(kShards));
+  for (const Shard& shard : shards_) {
+    std::vector<std::pair<std::uint64_t, PairImpact>> entries;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      entries.assign(shard.map.begin(), shard.map.end());
+    }
+    // Sorted per shard so identical caches serialize to identical bytes.
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    append(buf, static_cast<std::uint64_t>(entries.size()));
+    for (const auto& [key, impact] : entries) {
+      append(buf, key);
+      append(buf, impact.coverage_loss);
+      append(buf, impact.extra_patterns);
+    }
+  }
+  Fnv1a sum;
+  sum.bytes(buf.data(), buf.size());
+  append(buf, sum.h);
+
+  std::error_code ec;
+  const std::filesystem::path target(path);
+  if (target.has_parent_path())
+    std::filesystem::create_directories(target.parent_path(), ec);  // best effort
+
+  // Unique temp name per process + call: concurrent savers of the same
+  // fingerprint (campaign workers on identical dies) each rename a complete
+  // file into place; last writer wins, every intermediate state is valid.
+  static std::atomic<unsigned> save_counter{0};
+  const std::string tmp = path + ".tmp-" +
+                          std::to_string(static_cast<unsigned long long>(
+                              std::hash<std::string>{}(path) & 0xffffu)) +
+                          "-" + std::to_string(save_counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+bool TestabilityOracle::load_cache(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return false;
+  const std::streamsize size = in.tellg();
+  if (size < static_cast<std::streamsize>(sizeof(std::uint32_t) * 3 +
+                                          sizeof(std::uint64_t) * 2))
+    return false;
+  std::vector<unsigned char> buf(static_cast<std::size_t>(size));
+  in.seekg(0);
+  if (!in.read(reinterpret_cast<char*>(buf.data()), size)) return false;
+
+  // Checksum first: any bit flip or truncation inside the payload fails
+  // here, before a single entry is trusted.
+  const std::size_t payload = buf.size() - sizeof(std::uint64_t);
+  std::uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, buf.data() + payload, sizeof stored_sum);
+  Fnv1a sum;
+  sum.bytes(buf.data(), payload);
+  if (sum.h != stored_sum) return false;
+
+  Reader r{buf.data(), payload};
+  std::uint32_t magic = 0, version = 0, shard_count = 0;
+  std::uint64_t fp = 0;
+  if (!r.read(magic) || magic != kCacheMagic) return false;
+  if (!r.read(version) || version != kCacheVersion) return false;
+  if (!r.read(fp) || fp != fingerprint()) return false;
+  if (!r.read(shard_count)) return false;
+
+  // Parse into a staging vector; the live cache is only touched after the
+  // whole file validated.
+  std::vector<std::pair<std::uint64_t, PairImpact>> entries;
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    std::uint64_t count = 0;
+    if (!r.read(count)) return false;
+    if (count > r.left / (sizeof(std::uint64_t) + 2 * sizeof(double))) return false;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t key = 0;
+      PairImpact impact;
+      if (!r.read(key) || !r.read(impact.coverage_loss) || !r.read(impact.extra_patterns))
+        return false;
+      entries.emplace_back(key, impact);
+    }
+  }
+  if (r.left != 0) return false;
+
+  // Re-shard by key (robust against a future shard-count change) and merge:
+  // an entry this oracle already computed wins over the file's copy.
+  for (const auto& [key, impact] : entries) {
+    Shard& shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.emplace(key, impact);
+  }
+  return true;
 }
 
 PairImpact TestabilityOracle::structural(GateId a, NodeKind ka, GateId b, NodeKind kb) {

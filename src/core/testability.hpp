@@ -115,6 +115,43 @@ class TestabilityOracle {
   /// assert it is identical whatever the construction width.
   std::vector<std::pair<std::uint64_t, PairImpact>> cache_snapshot() const;
 
+  /// Number of cached impacts across all shards.
+  std::size_t cache_entries() const;
+
+  // ---- persistence (docs/PERF.md, "Persistent oracle cache") ----
+  //
+  // The on-disk format is versioned and fingerprinted: a header carrying a
+  // hash of the netlist structure plus every oracle-relevant knob (mode,
+  // incremental flag, ATPG options, structural constants), then the cache
+  // entries grouped per shard, then a whole-payload checksum. A file whose
+  // magic, version, fingerprint, layout, or checksum does not match is
+  // ignored wholesale — load_cache never half-populates the cache.
+
+  /// Fingerprint of (netlist structure, oracle config). Two oracles with
+  /// equal fingerprints return identical impacts for every query, which is
+  /// what makes a persisted cache transferable between processes.
+  std::uint64_t fingerprint() const;
+
+  /// Canonical cache file for this oracle inside `dir`:
+  /// `<dir>/oracle-<fingerprint hex>.wcmoc`. Deriving the name from the
+  /// fingerprint lets one directory serve a whole campaign sweep — every
+  /// distinct (die, config) job maps to its own file, and a re-run of the
+  /// same sweep hits all of them.
+  std::string cache_file_in(const std::string& dir) const;
+
+  /// Serializes the cache to `path` (parent directories are created).
+  /// Written via a temp file + atomic rename so concurrent readers only
+  /// ever see a complete file. Returns false on I/O failure.
+  bool save_cache(const std::string& path) const;
+
+  /// Loads a cache previously written by save_cache. On success the shards
+  /// hold the union of their previous contents and the file's entries
+  /// (existing entries win) and true is returned. A missing, truncated,
+  /// corrupted, or fingerprint-mismatched file leaves the cache untouched
+  /// and returns false — a cold start, never a crash or a poisoned entry.
+  /// Loaded entries do not count toward measured_queries().
+  bool load_cache(const std::string& path);
+
  private:
   struct Shard {
     mutable std::mutex mutex;

@@ -43,6 +43,7 @@ JobResult execute_job(const CampaignJob& job, std::size_t index,
       cfg.place.seed ^= seeds.place;
       cfg.atpg.seed ^= seeds.atpg;
     }
+    if (!opts.oracle_cache_dir.empty()) cfg.wcm.oracle_cache_path = opts.oracle_cache_dir;
 
     Netlist generated;
     const Netlist* die = nullptr;

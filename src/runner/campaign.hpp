@@ -76,6 +76,14 @@ struct CampaignOptions {
   /// run with exactly the seeds they were authored with.
   std::optional<std::uint64_t> root_seed;
   CampaignObserver* observer = nullptr;
+  /// When non-empty, every job solves with
+  /// `WcmConfig::oracle_cache_path = oracle_cache_dir`: measured-oracle ATPG
+  /// verdicts persist to fingerprint-named files in this directory, so a
+  /// re-run of the same campaign (same dies, same seeds, same configs)
+  /// warm-starts each job's oracle and skips the per-pair ATPG campaigns.
+  /// Safe under any worker count — files are written via atomic rename and
+  /// a stale or corrupt file just means a cold start for that job.
+  std::string oracle_cache_dir;
 };
 
 struct CampaignResult {

@@ -40,6 +40,10 @@ int resolve_threads(int requested) {
   return def;
 }
 
+bool runs_parallel(int requested_threads) {
+  return resolve_threads(requested_threads) > 1 && !ThreadPool::on_worker_thread();
+}
+
 void run_tasks(const std::vector<std::function<void()>>& tasks, int requested_threads) {
   const int width = resolve_threads(requested_threads);
   if (width <= 1 || tasks.size() <= 1 || ThreadPool::on_worker_thread()) {

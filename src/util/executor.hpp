@@ -17,8 +17,12 @@
 // assert across widths {1, 2, 8}.
 #pragma once
 
+#include <algorithm>
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 namespace wcm {
@@ -28,6 +32,13 @@ namespace exec {
 /// taken as-is; 0 and negatives resolve to the WCM_SOLVE_THREADS environment
 /// variable when set, else hardware concurrency.
 int resolve_threads(int requested);
+
+/// True when run_tasks with this request would actually run tasks
+/// concurrently — resolved width > 1 and the caller is not already a pool
+/// worker (nested fan-outs degrade to serial). Pipelined producer/consumer
+/// structures need real concurrency to make progress, so they gate on this
+/// and fall back to their two-phase form otherwise.
+bool runs_parallel(int requested_threads);
 
 /// Runs every task in `tasks`. Serial (in index order, on the calling
 /// thread) when the resolved width is 1, the task set is trivial, or the
@@ -42,6 +53,72 @@ void run_tasks(const std::vector<std::function<void()>>& tasks, int requested_th
 /// width-invariant.
 void parallel_chunks(std::size_t n, std::size_t chunks, int requested_threads,
                      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+/// Bounded multi-producer/multi-consumer queue for pipelined fan-outs: one
+/// stage discovers work items while another consumes them, with the bound
+/// capping the backlog (and so the memory) between them.
+///
+/// Deadlock discipline for producers that are also potential consumers (the
+/// compat-graph scan): never block on a full queue — use try_push and, on
+/// failure, try_pop + process one item yourself. A full queue is by
+/// definition non-empty, so that loop always makes progress.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push; false when the queue is full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    can_pop_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; false when currently empty.
+  bool try_pop(T& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Blocking pop: waits until an item arrives or the queue is closed.
+  /// Returns false only when the queue is closed AND fully drained.
+  bool pop_wait(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    can_pop_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Closes the queue: further pushes fail; waiting poppers drain what is
+  /// left and then return false.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    can_pop_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable can_pop_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
 
 }  // namespace exec
 }  // namespace wcm

@@ -1,0 +1,243 @@
+// Persistence contract of the TestabilityOracle's on-disk cache: a
+// round-trip restores every entry, a fingerprint mismatch (different netlist
+// or oracle config) is a cold start, and a truncated or bit-flipped file is
+// rejected wholesale — never a crash, never a half-populated cache.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "core/testability.hpp"
+#include "gen/generator.hpp"
+
+namespace wcm {
+namespace {
+
+namespace fs = std::filesystem;
+
+AtpgOptions cheap_opts() {
+  AtpgOptions o;
+  o.max_random_batches = 4;
+  o.useless_batch_window = 2;
+  o.deterministic_phase = false;
+  return o;
+}
+
+/// Fresh per-test scratch directory under the gtest temp root.
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("wcm_oracle_cache_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Populates a few (scan FF, inbound TSV) verdicts — enough to make the
+/// cache non-trivial without a per-pair ATPG marathon.
+void warm_up(const Netlist& n, TestabilityOracle& oracle) {
+  const auto& ffs = n.scan_flip_flops();
+  const auto& tsvs = n.inbound_tsvs();
+  for (std::size_t i = 0; i < std::min<std::size_t>(ffs.size(), 3); ++i)
+    for (std::size_t j = 0; j < std::min<std::size_t>(tsvs.size(), 2); ++j)
+      (void)oracle.evaluate(ffs[i], NodeKind::kScanFF, tsvs[j], NodeKind::kInboundTsv);
+}
+
+TEST(OracleCacheTest, RoundTripRestoresEveryEntry) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kMeasured, cheap_opts());
+  oracle.set_incremental(true);
+  warm_up(n, oracle);
+  ASSERT_GT(oracle.cache_entries(), 0u);
+  ASSERT_GT(oracle.measured_queries(), 0);
+
+  const fs::path dir = scratch_dir("roundtrip");
+  const std::string file = oracle.cache_file_in(dir.string());
+  ASSERT_TRUE(oracle.save_cache(file));
+  ASSERT_TRUE(fs::exists(file));
+
+  ConeDb cones2(n);
+  TestabilityOracle warm(n, cones2, OracleMode::kMeasured, cheap_opts());
+  warm.set_incremental(true);
+  EXPECT_EQ(warm.fingerprint(), oracle.fingerprint());
+  ASSERT_TRUE(warm.load_cache(file));
+  EXPECT_EQ(warm.cache_entries(), oracle.cache_entries());
+  // Loaded entries are not new measurements.
+  EXPECT_EQ(warm.measured_queries(), 0);
+
+  const auto a = oracle.cache_snapshot();
+  const auto b = warm.cache_snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_EQ(a[i].second.coverage_loss, b[i].second.coverage_loss);
+    EXPECT_EQ(a[i].second.extra_patterns, b[i].second.extra_patterns);
+  }
+
+  // Re-querying a restored pair is a cache hit, not a fresh ATPG campaign.
+  const GateId ff = n.scan_flip_flops()[0];
+  const GateId t = n.inbound_tsvs()[0];
+  (void)warm.evaluate(ff, NodeKind::kScanFF, t, NodeKind::kInboundTsv);
+  EXPECT_EQ(warm.measured_queries(), 0);
+}
+
+TEST(OracleCacheTest, FingerprintSeparatesNetlistAndConfig) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  const Netlist other = generate_die(itc99_die_spec("b11", 1));
+  ConeDb c1(n), c2(other), c3(n), c4(n);
+  TestabilityOracle base(n, c1, OracleMode::kMeasured, cheap_opts());
+
+  // Different netlist structure -> different fingerprint.
+  TestabilityOracle other_die(other, c2, OracleMode::kMeasured, cheap_opts());
+  EXPECT_NE(base.fingerprint(), other_die.fingerprint());
+
+  // Different ATPG knobs -> different fingerprint.
+  AtpgOptions tweaked = cheap_opts();
+  tweaked.seed ^= 0x9e3779b9;
+  TestabilityOracle other_opts(n, c3, OracleMode::kMeasured, tweaked);
+  EXPECT_NE(base.fingerprint(), other_opts.fingerprint());
+
+  // The incremental flag selects a different estimator -> different cache.
+  TestabilityOracle inc(n, c4, OracleMode::kMeasured, cheap_opts());
+  inc.set_incremental(true);
+  EXPECT_NE(base.fingerprint(), inc.fingerprint());
+
+  // The canonical file name embeds the fingerprint.
+  EXPECT_NE(base.cache_file_in("d"), inc.cache_file_in("d"));
+}
+
+TEST(OracleCacheTest, FingerprintMismatchIsColdStart) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kMeasured, cheap_opts());
+  warm_up(n, oracle);
+  const fs::path dir = scratch_dir("mismatch");
+  const std::string file = (dir / "cache.wcmoc").string();
+  ASSERT_TRUE(oracle.save_cache(file));
+
+  // Same die, different oracle config: the file must be ignored wholesale.
+  AtpgOptions tweaked = cheap_opts();
+  tweaked.max_random_batches += 1;
+  ConeDb cones2(n);
+  TestabilityOracle other(n, cones2, OracleMode::kMeasured, tweaked);
+  EXPECT_FALSE(other.load_cache(file));
+  EXPECT_EQ(other.cache_entries(), 0u);
+}
+
+TEST(OracleCacheTest, MissingFileIsColdStart) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kMeasured, cheap_opts());
+  EXPECT_FALSE(oracle.load_cache((scratch_dir("missing") / "nope.wcmoc").string()));
+  EXPECT_EQ(oracle.cache_entries(), 0u);
+}
+
+TEST(OracleCacheTest, TruncatedFileIsColdStart) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kMeasured, cheap_opts());
+  warm_up(n, oracle);
+  const fs::path dir = scratch_dir("truncated");
+  const std::string file = (dir / "cache.wcmoc").string();
+  ASSERT_TRUE(oracle.save_cache(file));
+
+  // Chop the file at every quartile; none of the prefixes may load.
+  std::ifstream in(file, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  for (std::size_t frac = 1; frac <= 3; ++frac) {
+    const std::string cut = (dir / ("cut" + std::to_string(frac))).string();
+    std::ofstream out(cut, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() * frac / 4));
+    out.close();
+    ConeDb cones2(n);
+    TestabilityOracle fresh(n, cones2, OracleMode::kMeasured, cheap_opts());
+    EXPECT_FALSE(fresh.load_cache(cut)) << "prefix " << frac << "/4 loaded";
+    EXPECT_EQ(fresh.cache_entries(), 0u);
+  }
+}
+
+TEST(OracleCacheTest, BitFlipIsColdStart) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kMeasured, cheap_opts());
+  warm_up(n, oracle);
+  const fs::path dir = scratch_dir("bitflip");
+  const std::string file = (dir / "cache.wcmoc").string();
+  ASSERT_TRUE(oracle.save_cache(file));
+
+  std::ifstream in(file, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 64u);
+  // Flip one bit in the header, the middle (payload), and the tail
+  // (checksum); each corruption must be caught.
+  for (const std::size_t at : {std::size_t{8}, bytes.size() / 2, bytes.size() - 4}) {
+    std::vector<char> corrupt = bytes;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x10);
+    const std::string path = (dir / ("flip" + std::to_string(at))).string();
+    std::ofstream out(path, std::ios::binary);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    out.close();
+    ConeDb cones2(n);
+    TestabilityOracle fresh(n, cones2, OracleMode::kMeasured, cheap_opts());
+    EXPECT_FALSE(fresh.load_cache(path)) << "bit flip at byte " << at << " loaded";
+    EXPECT_EQ(fresh.cache_entries(), 0u);
+  }
+}
+
+TEST(OracleCacheTest, LoadMergesWithExistingEntriesWinning) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kMeasured, cheap_opts());
+  warm_up(n, oracle);
+  const fs::path dir = scratch_dir("merge");
+  const std::string file = (dir / "cache.wcmoc").string();
+  ASSERT_TRUE(oracle.save_cache(file));
+  const auto before = oracle.cache_snapshot();
+
+  // Loading on top of a populated cache must not duplicate or clobber.
+  ASSERT_TRUE(oracle.load_cache(file));
+  const auto after = oracle.cache_snapshot();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].first, after[i].first);
+    EXPECT_EQ(before[i].second.coverage_loss, after[i].second.coverage_loss);
+  }
+}
+
+TEST(OracleCacheTest, SolveWarmStartProducesIdenticalPlan) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const fs::path dir = scratch_dir("solve");
+
+  WcmConfig cfg = WcmConfig::proposed_area();
+  cfg.oracle_mode = OracleMode::kMeasured;
+  cfg.oracle_cache_path = dir.string();
+
+  const WcmSolution cold = solve_wcm(n, &placement, lib, cfg);
+  // The solve persisted its verdicts.
+  bool found = false;
+  for (const auto& entry : fs::directory_iterator(dir))
+    found |= entry.path().extension() == ".wcmoc";
+  ASSERT_TRUE(found);
+
+  const WcmSolution hot = solve_wcm(n, &placement, lib, cfg);
+  EXPECT_EQ(cold.reused_ffs, hot.reused_ffs);
+  EXPECT_EQ(cold.additional_cells, hot.additional_cells);
+  ASSERT_EQ(cold.plan.groups.size(), hot.plan.groups.size());
+  for (std::size_t g = 0; g < cold.plan.groups.size(); ++g) {
+    EXPECT_EQ(cold.plan.groups[g].reused_ff, hot.plan.groups[g].reused_ff);
+    EXPECT_EQ(cold.plan.groups[g].inbound, hot.plan.groups[g].inbound);
+    EXPECT_EQ(cold.plan.groups[g].outbound, hot.plan.groups[g].outbound);
+  }
+}
+
+}  // namespace
+}  // namespace wcm

@@ -181,6 +181,48 @@ TEST(CompatGraphParallelTest, MeasuredOracleCacheIdenticalAcrossWidths) {
   }
 }
 
+TEST(CompatGraphParallelTest, PipelinedOverlapMatchesTwoPhaseAtAnyWidth) {
+  // The pipelined edge pass (scan chunks streaming oracle-bound pairs
+  // through a bounded queue while consumers run the ATPG) must produce the
+  // same graph AND the same oracle cache as the two-phase barrier form, at
+  // every width. Width 1 exercises the fallback (a pipeline needs a real
+  // concurrent consumer); widths 2 and 8 exercise the queue.
+  const DieSpec spec = itc99_die_spec("b11", 0);
+  const WcmConfig base = WcmConfig::proposed_area();
+  std::string reference_graph;
+  std::vector<std::pair<std::uint64_t, PairImpact>> reference_cache;
+  for (const bool pipeline : {false, true}) {
+    for (const int threads : {1, 2, 8}) {
+      Fixture fx(spec, OracleMode::kMeasured);
+      WcmConfig cfg = base;
+      cfg.oracle_mode = OracleMode::kMeasured;
+      cfg.oracle_pipeline = pipeline;
+      cfg.solve_threads = threads;
+      const CompatGraph g =
+          build_compat_graph(fx.inputs(), fx.lib, fx.netlist.inbound_tsvs(),
+                             NodeKind::kInboundTsv, fx.netlist.scan_flip_flops(), cfg);
+      const auto cache = fx.oracle.cache_snapshot();
+      if (reference_graph.empty()) {
+        reference_graph = graph_signature(g);
+        reference_cache = cache;
+        EXPECT_GT(g.num_edges, 0);
+      } else {
+        EXPECT_EQ(graph_signature(g), reference_graph)
+            << "pipeline=" << pipeline << " threads=" << threads;
+        ASSERT_EQ(cache.size(), reference_cache.size())
+            << "pipeline=" << pipeline << " threads=" << threads;
+        for (std::size_t i = 0; i < cache.size(); ++i) {
+          EXPECT_EQ(cache[i].first, reference_cache[i].first);
+          EXPECT_EQ(cache[i].second.coverage_loss,
+                    reference_cache[i].second.coverage_loss);
+          EXPECT_EQ(cache[i].second.extra_patterns,
+                    reference_cache[i].second.extra_patterns);
+        }
+      }
+    }
+  }
+}
+
 // ---- full solve: identical for any width ----
 
 TEST(SolveParallelTest, StructuralSolveIdenticalAcrossWidths) {

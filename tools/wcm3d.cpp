@@ -6,9 +6,13 @@
 //   wcm3d opt   --in die.bench --out die_opt.bench
 //   wcm3d solve --in die.bench [--method proposed|agrawal|li]
 //               [--scenario area|tight] [--lib tech.wcmlib]
+//               [--oracle structural|measured|measured-scratch]
+//               [--oracle-cache dir]
 //               [--atpg] [--out die_dft.bench] [--csv report.csv]
 //   wcm3d campaign [--circuit all|b11..b22] [--method proposed|agrawal|li]
 //               [--scenario area|tight|both] [--jobs N] [--seed S]
+//               [--oracle structural|measured|measured-scratch]
+//               [--oracle-cache dir]
 //               [--atpg] [--json report.json] [--quiet]
 //
 // `solve` runs the full Fig. 6 flow: placement, STA, graph construction,
@@ -18,6 +22,12 @@
 // `campaign` sweeps that flow over the ITC'99 die set on the work-stealing
 // runner (src/runner): one job per (die, scenario), results aggregated in
 // submission order and bit-identical for any --jobs value.
+//
+// `--oracle` selects the testability-oracle backend for overlapped-cone
+// shares (measured = ATPG-backed incremental estimator, measured-scratch =
+// from-scratch ATPG per pair); `--oracle-cache DIR` persists measured
+// verdicts to DIR so a re-run of the same solve/campaign warm-starts
+// (docs/RUNNER.md, "Warm-started campaigns").
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -78,10 +88,14 @@ int usage() {
                "  wcm3d solve --in <file> [--method proposed|agrawal|li] "
                "[--scenario area|tight]\n"
                "              [--lib <file.wcmlib|file.lib>] [--atpg] [--out <file>]\n"
+               "              [--oracle structural|measured|measured-scratch]\n"
+               "              [--oracle-cache <dir>]\n"
                "              [--verilog <file>] [--csv <file>]\n"
                "  wcm3d campaign [--circuit all|<b11..b22>] "
                "[--method proposed|agrawal|li]\n"
                "              [--scenario area|tight|both] [--jobs N] [--seed N]\n"
+               "              [--oracle structural|measured|measured-scratch]\n"
+               "              [--oracle-cache <dir>]\n"
                "              [--atpg] [--json <file>] [--quiet]\n");
   return 2;
 }
@@ -171,6 +185,26 @@ int cmd_opt(const std::map<std::string, std::string>& args) {
   return 0;
 }
 
+/// Applies --oracle to a WcmConfig. Returns false (with a message) on an
+/// unknown backend name.
+bool apply_oracle_flag(const std::map<std::string, std::string>& args, const char* cmd,
+                       WcmConfig& wcm) {
+  if (!args.count("oracle")) return true;
+  const std::string& backend = args.at("oracle");
+  if (backend == "structural") {
+    wcm.oracle_mode = OracleMode::kStructural;
+  } else if (backend == "measured") {
+    wcm.oracle_mode = OracleMode::kMeasured;  // incremental estimator (default)
+  } else if (backend == "measured-scratch") {
+    wcm.oracle_mode = OracleMode::kMeasured;
+    wcm.oracle_incremental = false;
+  } else {
+    std::fprintf(stderr, "%s: unknown oracle backend '%s'\n", cmd, backend.c_str());
+    return false;
+  }
+  return true;
+}
+
 int cmd_solve(const std::map<std::string, std::string>& args) {
   if (!args.count("in")) {
     std::fprintf(stderr, "solve: need --in\n");
@@ -218,6 +252,8 @@ int cmd_solve(const std::map<std::string, std::string>& args) {
     std::fprintf(stderr, "solve: unknown method '%s'\n", method.c_str());
     return 2;
   }
+  if (!apply_oracle_flag(args, "solve", cfg.wcm)) return 2;
+  if (args.count("oracle-cache")) cfg.wcm.oracle_cache_path = args.at("oracle-cache");
   const double tight_period = tight_clock_period_ps(die, lib, PlaceOptions{});
   cfg.clock_period_ps = tight ? tight_period : tight_period * 3.0;
   cfg.run_stuck_at = args.count("atpg") > 0;
@@ -339,8 +375,14 @@ int cmd_campaign(const std::map<std::string, std::string>& args) {
     fc.clock_policy = tight ? ClockPolicy::kTightDerived : ClockPolicy::kLooseDerived;
     fc.run_stuck_at = with_atpg;
     fc.run_transition = with_atpg;
+    apply_oracle_flag(args, "campaign", fc.wcm);  // validated before the sweep
     return fc;
   };
+  {
+    // Validate once up front so a typo fails before any die is generated.
+    WcmConfig probe;
+    if (!apply_oracle_flag(args, "campaign", probe)) return 2;
+  }
 
   Campaign campaign;
   for (const DieSpec& spec : specs) {
@@ -353,6 +395,7 @@ int cmd_campaign(const std::map<std::string, std::string>& args) {
   CampaignOptions opts;
   if (args.count("jobs")) opts.jobs = std::stoi(args.at("jobs"));
   if (args.count("seed")) opts.root_seed = std::stoull(args.at("seed"));
+  if (args.count("oracle-cache")) opts.oracle_cache_dir = args.at("oracle-cache");
   ProgressPrinter progress(campaign.size());
   if (!args.count("quiet")) opts.observer = &progress;
 
