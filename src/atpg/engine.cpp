@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
 
 #include "atpg/podem.hpp"
 #include "util/assert.hpp"
@@ -14,15 +15,6 @@ namespace {
 std::vector<std::uint64_t> random_batch(Rng& rng, std::size_t num_controls) {
   std::vector<std::uint64_t> words(num_controls);
   for (auto& w : words) w = rng();
-  return words;
-}
-
-/// Expands a single PODEM pattern into 64 copies (bit-replicated words) so it
-/// can be pushed through the batch simulator; only bit 0 is "the" pattern but
-/// replication keeps the fast path uniform.
-std::vector<std::uint64_t> replicate_pattern(const std::vector<std::uint8_t>& pattern) {
-  std::vector<std::uint64_t> words(pattern.size());
-  for (std::size_t i = 0; i < pattern.size(); ++i) words[i] = pattern[i] ? ~0ULL : 0;
   return words;
 }
 
@@ -60,43 +52,84 @@ AtpgResult AtpgEngine::run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fa
                                          const StuckAtParams& params) const {
   const Netlist& n = *view_->netlist;
   Simulator sim(*view_);
+  sim.set_share_stems(opts.share_stems);
   Rng rng(opts.seed);
 
   auto flag_of = [](const Fault& f) {
     return static_cast<std::size_t>(f.site) * 2 + (f.stuck_value ? 1 : 0);
   };
 
-  std::vector<Fault> remaining = std::move(faults);
+  const std::vector<Fault> input = std::move(faults);
   AtpgResult result;
-  result.total_faults = static_cast<int>(remaining.size());
+  result.total_faults = static_cast<int>(input.size());
 
-  /// Simulates one already-good_sim'ed batch against the remaining list with
+  // Equivalence classes: one simulation probe stands in for every member
+  // fault (identical per-pattern detection words — see faults.hpp), so the
+  // random/warm sweeps probe each class once and credit all members at the
+  // same first-detecting pattern. With collapsing off every fault is its own
+  // class, keeping a single code path below.
+  CollapsedFaultList cls;
+  if (opts.collapse) {
+    cls = collapse_faults(n, input);
+  } else {
+    cls.input_size = input.size();
+    cls.probes = input;
+    cls.members.resize(input.size());
+    for (std::size_t i = 0; i < input.size(); ++i)
+      cls.members[i].push_back(static_cast<int>(i));
+  }
+
+  // Classes whose probe cone reaches no observe point have all-zero
+  // detection words in every batch; skip their sweeps entirely and hand them
+  // straight to PODEM, which proves them untestable (or aborts) either way.
+  std::vector<int> active;
+  std::vector<int> deferred;
+  active.reserve(cls.probes.size());
+  for (std::size_t c = 0; c < cls.probes.size(); ++c) {
+    if (opts.prune_unobservable && !sim.observable(cls.probes[c].site))
+      deferred.push_back(static_cast<int>(c));
+    else
+      active.push_back(static_cast<int>(c));
+  }
+
+  std::vector<Fault> probe_buf;
+  std::vector<std::uint64_t> mask_buf;
+
+  /// Simulates one already-good_sim'ed batch against the active classes with
   /// fault dropping and first-detecting-pattern attribution. Returns the
   /// number of useful (kept) patterns.
   auto drop_detected = [&](void) -> int {
+    probe_buf.clear();
+    for (int c : active) probe_buf.push_back(cls.probes[static_cast<std::size_t>(c)]);
+    mask_buf.resize(active.size());
+    sim.detect_masks(probe_buf, mask_buf.data(), opts.threads);
     std::uint64_t useful = 0;  // patterns that detected >= 1 new fault
-    std::vector<Fault> still;
-    still.reserve(remaining.size());
-    for (const Fault& f : remaining) {
-      const std::uint64_t mask = sim.detect_mask(f);
+    std::vector<int> still;
+    still.reserve(active.size());
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      const int c = active[k];
+      const std::uint64_t mask = mask_buf[k];
       if (mask == 0) {
-        still.push_back(f);
+        still.push_back(c);
         continue;
       }
       // Attribute the detection to the first detecting pattern, mirroring
       // how a compaction pass keeps the earliest covering vector.
       useful |= (mask & (~mask + 1));
-      ++result.detected;
-      if (params.detected) (*params.detected)[flag_of(f)] = 1;
+      const auto& members = cls.members[static_cast<std::size_t>(c)];
+      result.detected += static_cast<int>(members.size());
+      if (params.detected)
+        for (int m : members)
+          (*params.detected)[flag_of(input[static_cast<std::size_t>(m)])] = 1;
     }
-    remaining.swap(still);
+    active.swap(still);
     return std::popcount(useful);
   };
 
   // ---- phase 0: warm-start replay of a recorded pattern set ----
   if (params.warm) {
     for (const auto& words : params.warm->batches) {
-      if (remaining.empty()) break;
+      if (active.empty()) break;
       WCM_ASSERT_MSG(words.size() == view_->num_controls(),
                      "warm pattern set from an incompatible view");
       sim.good_sim(words);
@@ -107,7 +140,7 @@ AtpgResult AtpgEngine::run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fa
   // ---- phase 1: random patterns with fault dropping ----
   int barren_streak = 0;
   for (int batch = 0;
-       params.random_phase && batch < opts.max_random_batches && !remaining.empty();
+       params.random_phase && batch < opts.max_random_batches && !active.empty();
        ++batch) {
     const auto words = random_batch(rng, view_->num_controls());
     sim.good_sim(words);
@@ -116,6 +149,22 @@ AtpgResult AtpgEngine::run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fa
     if (kept > 0 && params.record) params.record->batches.push_back(words);
     barren_streak = (kept == 0) ? barren_streak + 1 : 0;
     if (barren_streak >= opts.useless_batch_window) break;
+  }
+
+  // Expand the surviving classes (plus the deferred unobservable ones) back
+  // to their member faults in original list order: PODEM derives a DIFFERENT
+  // pattern for each member of an equivalence class, so the deterministic
+  // phase must see exactly the list the uncollapsed serial engine would.
+  std::vector<Fault> remaining;
+  {
+    std::vector<int> residual;
+    for (int c : active)
+      for (int m : cls.members[static_cast<std::size_t>(c)]) residual.push_back(m);
+    for (int c : deferred)
+      for (int m : cls.members[static_cast<std::size_t>(c)]) residual.push_back(m);
+    std::sort(residual.begin(), residual.end());
+    remaining.reserve(residual.size());
+    for (int m : residual) remaining.push_back(input[static_cast<std::size_t>(m)]);
   }
 
   // ---- phase 2: PODEM top-up, 64 deterministic vectors per sim pass ----
@@ -157,12 +206,15 @@ AtpgResult AtpgEngine::run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fa
       if (bits == 0) break;  // every remaining fault is aborted or gone
 
       sim.good_sim(words);
+      mask_buf.resize(remaining.size());
+      sim.detect_masks(remaining, mask_buf.data(), opts.threads);
       std::uint64_t useful = 0;
       std::vector<Fault> still;
       still.reserve(remaining.size());
       const std::uint64_t live = (bits == 64) ? ~0ULL : ((1ULL << bits) - 1);
-      for (const Fault& f : remaining) {
-        const std::uint64_t mask = sim.detect_mask(f) & live;
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        const Fault& f = remaining[i];
+        const std::uint64_t mask = mask_buf[i] & live;
         if (mask == 0) {
           still.push_back(f);
           continue;
@@ -176,9 +228,12 @@ AtpgResult AtpgEngine::run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fa
       result.patterns += std::popcount(useful);
       result.deterministic_patterns += std::popcount(useful);
       if (useful != 0 && params.record) params.record->batches.push_back(words);
-      // PODEM and the simulator agree by construction; this guard only
-      // protects against an endless loop if that invariant were ever broken.
-      WCM_ASSERT_MSG(dropped_any, "deterministic vectors detected nothing");
+      // PODEM and the simulator agree by construction; a hard error (not an
+      // assert, which release builds may compile out) keeps a broken
+      // invariant from spinning this loop forever.
+      if (!dropped_any)
+        throw std::runtime_error(
+            "ATPG deterministic phase stalled: generated vectors detected nothing");
     }
     result.aborted = static_cast<int>(remaining.size());
   }
@@ -188,6 +243,7 @@ AtpgResult AtpgEngine::run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fa
 AtpgResult AtpgEngine::run_transition(const AtpgOptions& opts) const {
   const Netlist& n = *view_->netlist;
   Simulator sim(*view_);
+  sim.set_share_stems(opts.share_stems);
   Rng rng(opts.seed ^ 0x72A45171UL);
 
   // A transition fault at node s needs V1 to set s to the pre-transition
@@ -202,23 +258,34 @@ AtpgResult AtpgEngine::run_transition(const AtpgOptions& opts) const {
   result.total_faults = static_cast<int>(remaining.size());
 
   std::vector<std::uint64_t> init_values;  // V1 good values per node
+  std::vector<Fault> probe_buf;
+  std::vector<std::uint64_t> mask_buf;
 
+  // Transition faults are NOT collapsed: the V1 initialisation condition
+  // reads the good value at the fault's own site, which differs between
+  // members of a stuck-at equivalence class, so the class masks are not
+  // interchangeable here. The sweep is still fault-parallel.
   auto run_pair = [&](const std::vector<std::uint64_t>& w1,
                       const std::vector<std::uint64_t>& w2) -> int {
     sim.good_sim(w1);
     init_values = sim.values();
     sim.good_sim(w2);
+    probe_buf.clear();
+    for (const TransitionFault& tf : remaining) probe_buf.push_back(tf.equivalent_sa);
+    mask_buf.resize(probe_buf.size());
+    sim.detect_masks(probe_buf, mask_buf.data(), opts.threads);
     std::uint64_t useful = 0;
     std::vector<TransitionFault> still;
     still.reserve(remaining.size());
     int dropped = 0;
-    for (const TransitionFault& tf : remaining) {
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      const TransitionFault& tf = remaining[i];
       const auto site = static_cast<std::size_t>(tf.equivalent_sa.site);
       // Initialisation: V1 must set the site to the pre-transition value,
       // which equals the stuck value (slow-to-rise starts at 0 = SA0 value).
       const std::uint64_t init_ok =
           tf.equivalent_sa.stuck_value ? init_values[site] : ~init_values[site];
-      const std::uint64_t mask = sim.detect_mask(tf.equivalent_sa) & init_ok;
+      const std::uint64_t mask = mask_buf[i] & init_ok;
       if (mask == 0) {
         still.push_back(tf);
         continue;
@@ -254,8 +321,19 @@ AtpgResult AtpgEngine::run_transition(const AtpgOptions& opts) const {
       return static_cast<std::size_t>(f.site) * 2 + (f.stuck_value ? 1 : 0);
     };
     constexpr std::uint8_t kMaxAttempts = 3;
+    // Every sweep that assembles at least one vector advances an attempt
+    // counter, and every counter is capped, so the sweep count is bounded by
+    // the total attempt budget. Enforce that bound as a hard error (not an
+    // assert — release builds may compile those out) so a broken accounting
+    // invariant cannot spin this loop forever.
+    const std::size_t sweep_limit =
+        remaining.size() * static_cast<std::size_t>(kMaxAttempts + 1) + 1;
+    std::size_t sweeps = 0;
     bool progress = true;
     while (progress) {
+      if (++sweeps > sweep_limit)
+        throw std::runtime_error(
+            "transition ATPG deterministic phase stalled: sweep limit exceeded");
       progress = false;
       std::vector<std::uint64_t> w2(view_->num_controls(), 0);
       int bits = 0;

@@ -34,6 +34,16 @@ struct AtpgOptions {
   bool deterministic_phase = true;    ///< run PODEM on random-resistant faults
   int podem_backtrack_limit = 256;
   std::uint64_t seed = 0x5EED;
+
+  // Kernel knobs. Results (AtpgResult, recorded PatternSets, detection
+  // flags) are bit-identical for every setting of these four — they change
+  // only how fast the fault-simulation sweeps run, which is why the
+  // testability oracle's cache fingerprint ignores them.
+  int threads = 0;          ///< fault-parallel sweep width; <=0 resolves
+                            ///< WCM_SOLVE_THREADS / hardware, 1 = serial
+  bool collapse = true;     ///< structural equivalence collapsing (faults.hpp)
+  bool prune_unobservable = true;  ///< skip simulating dead-cone faults
+  bool share_stems = true;  ///< FFR stem-sharing fault simulation (simulator.hpp)
 };
 
 struct AtpgResult {

@@ -1,5 +1,7 @@
 #include "atpg/faults.hpp"
 
+#include <unordered_map>
+
 namespace wcm {
 
 std::string fault_name(const Netlist& n, const Fault& f) {
@@ -25,6 +27,60 @@ std::vector<Fault> full_fault_list(const Netlist& n) {
     faults.push_back(Fault{static_cast<GateId>(i), true});
   }
   return faults;
+}
+
+Fault collapse_root(const Netlist& n, Fault f) {
+  for (;;) {
+    const Gate& g = n.gate(f.site);
+    if (g.fanouts.size() != 1) return f;
+    const GateId next = g.fanouts.front();
+    bool v = f.stuck_value;
+    switch (n.gate(next).type) {
+      case GateType::kBuf: break;
+      case GateType::kNot: v = !v; break;
+      // Controlling-value equivalences only; the non-controlling input fault
+      // is dominated, not equivalent (see header).
+      case GateType::kAnd:
+        if (v) return f;
+        break;
+      case GateType::kNand:
+        if (v) return f;
+        v = true;
+        break;
+      case GateType::kOr:
+        if (!v) return f;
+        break;
+      case GateType::kNor:
+        if (!v) return f;
+        v = false;
+        break;
+      default:
+        // XOR/MUX have no single-input equivalence; DFFs are sequential
+        // boundaries; port sinks are observed directly.
+        return f;
+    }
+    f = Fault{next, v};
+  }
+}
+
+CollapsedFaultList collapse_faults(const Netlist& n, const std::vector<Fault>& faults) {
+  CollapsedFaultList out;
+  out.input_size = faults.size();
+  std::unordered_map<std::uint64_t, int> class_of;
+  class_of.reserve(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Fault root = collapse_root(n, faults[i]);
+    const std::uint64_t key =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(root.site)) * 2 +
+        (root.stuck_value ? 1 : 0);
+    auto [it, inserted] = class_of.emplace(key, static_cast<int>(out.probes.size()));
+    if (inserted) {
+      out.probes.push_back(root);
+      out.members.emplace_back();
+    }
+    out.members[static_cast<std::size_t>(it->second)].push_back(static_cast<int>(i));
+  }
+  return out;
 }
 
 }  // namespace wcm

@@ -31,4 +31,48 @@ std::string fault_name(const Netlist& n, const Fault& f);
 /// The collapsed stuck-at list described above.
 std::vector<Fault> full_fault_list(const Netlist& n);
 
+/// Structural equivalence collapsing of a fault list.
+///
+/// A fault on a net with exactly ONE fanout folds into a fault on that
+/// fanout's output when the gate transfers it faithfully: through BUF/NOT
+/// (both polarities), and through AND/NAND/OR/NOR for the CONTROLLING input
+/// value (AND input-SA0 == output-SA0, NAND input-SA0 == output-SA1, ...).
+/// These are the textbook fault equivalences: the member and its stem
+/// representative have identical test sets, and — because a single-fanout
+/// net is never itself an observation point in any TestView this system
+/// builds (DFF-D / port / TSV sinks all appear in the fanout list) — they
+/// produce identical per-pattern detection words under the batch simulator.
+/// That makes simulating one representative ("probe") per class a
+/// bit-identical replacement for simulating every member, which is what the
+/// ATPG engine's random/warm phases exploit.
+///
+/// Dominance collapsing (e.g. AND input-SA1 under output-SA1) is
+/// deliberately NOT applied: dominated faults have strictly larger test
+/// sets, so dropping them would change first-detecting-pattern attribution
+/// and break the engine's bit-identity contract.
+struct CollapsedFaultList {
+  std::vector<Fault> probes;              ///< one representative fault per class
+  std::vector<std::vector<int>> members;  ///< class -> indices into the input list
+  std::size_t input_size = 0;             ///< number of faults collapsed
+
+  /// probes per input fault; 1.0 = nothing collapsed.
+  double collapse_ratio() const {
+    return input_size == 0 ? 1.0
+                           : static_cast<double>(probes.size()) /
+                                 static_cast<double>(input_size);
+  }
+};
+
+/// Follows the equivalence chain of `f` to its stem representative. The
+/// returned fault site may lie outside the original fault universe (e.g. a
+/// gate not present in a focused subset list) — it is a simulation probe,
+/// not a reported fault.
+Fault collapse_root(const Netlist& n, Fault f);
+
+/// Groups `faults` into equivalence classes keyed by collapse_root. Class
+/// order follows the first member's position in `faults`; member indices
+/// within a class are ascending. Every input fault lands in exactly one
+/// class.
+CollapsedFaultList collapse_faults(const Netlist& n, const std::vector<Fault>& faults);
+
 }  // namespace wcm

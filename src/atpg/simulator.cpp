@@ -1,8 +1,10 @@
 #include "atpg/simulator.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/assert.hpp"
+#include "util/executor.hpp"
 
 namespace wcm {
 
@@ -26,12 +28,53 @@ Simulator::Simulator(const TestView& view) : view_(&view), n_(view.netlist) {
     for (GateId node : view.observes[o].observed)
       observes_of_node_[static_cast<std::size_t>(node)].push_back(static_cast<int>(o));
 
+  // Static observability: reverse reachability from every observed net,
+  // stopping at sequential boundaries (a DFF's Q is a control word, so its D
+  // fanin influences the capture bit, never Q). Mirrors the forward rule in
+  // detect_mask, which never pushes effects into a DFF.
+  observable_.assign(n_->size(), 0);
+  {
+    std::vector<GateId> stack;
+    for (const ObservePoint& o : view.observes)
+      for (GateId node : o.observed)
+        if (!observable_[static_cast<std::size_t>(node)]) {
+          observable_[static_cast<std::size_t>(node)] = 1;
+          stack.push_back(node);
+        }
+    while (!stack.empty()) {
+      const GateId node = stack.back();
+      stack.pop_back();
+      if (n_->gate(node).type == GateType::kDff) continue;
+      for (GateId in : n_->gate(node).fanins)
+        if (!observable_[static_cast<std::size_t>(in)]) {
+          observable_[static_cast<std::size_t>(in)] = 1;
+          stack.push_back(in);
+        }
+    }
+  }
+
+  // FFR stems, by reverse topological sweep: a net with exactly one fanout
+  // that is not a sequential sink shares its fanout's stem; every other net
+  // is its own stem. An observed net is always its own stem (its fanout list
+  // contains the DFF, or it is a port sink with no fanouts), so no chain
+  // interior is ever observed and the sens/flip factorisation is exact.
+  stem_of_.assign(n_->size(), GateId{-1});
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const GateId id = *it;
+    const auto idx = static_cast<std::size_t>(id);
+    const Gate& g = n_->gate(id);
+    if (g.fanouts.size() == 1 &&
+        n_->gate(g.fanouts.front()).type != GateType::kDff) {
+      stem_of_[idx] = stem_of_[static_cast<std::size_t>(g.fanouts.front())];
+    } else {
+      stem_of_[idx] = id;
+    }
+  }
+
   good_.assign(n_->size(), 0);
-  faulty_.assign(n_->size(), 0);
-  stamp_.assign(n_->size(), 0);
-  in_heap_stamp_.assign(n_->size(), 0);
-  obs_diff_.assign(view.observes.size(), 0);
-  obs_stamp_.assign(view.observes.size(), 0);
+  stem_detect_.assign(n_->size(), 0);
+  stem_epoch_.assign(n_->size(), 0);
+  scratch_ = make_scratch();
 
   // Every combinational source must be controllable or a constant, otherwise
   // the 2-valued model is unsound.
@@ -43,8 +86,19 @@ Simulator::Simulator(const TestView& view) : view_(&view), n_(view.netlist) {
   }
 }
 
+Simulator::Scratch Simulator::make_scratch() const {
+  Scratch s;
+  s.faulty.assign(n_->size(), 0);
+  s.stamp.assign(n_->size(), 0);
+  s.in_heap_stamp.assign(n_->size(), 0);
+  s.obs_diff.assign(view_->observes.size(), 0);
+  s.obs_stamp.assign(view_->observes.size(), 0);
+  return s;
+}
+
 void Simulator::good_sim(std::span<const std::uint64_t> control_words) {
   WCM_ASSERT(control_words.size() == view_->controls.size());
+  ++batch_epoch_;  // invalidates the per-batch stem-flip memo
   std::uint64_t ins[64];
   for (GateId id : topo_) {
     const Gate& g = n_->gate(id);
@@ -75,41 +129,61 @@ std::uint64_t Simulator::observe_good(std::size_t obs) const {
   return v;
 }
 
-std::uint64_t Simulator::detect_mask(const Fault& f) {
+std::uint64_t Simulator::chain_sens(const Fault& f) const {
   const auto site = static_cast<std::size_t>(f.site);
-  const std::uint64_t stuck = f.stuck_value ? ~0ULL : 0;
-  if (good_[site] == stuck) {
-    // The fault is never activated in this batch; no pattern can see it
-    // (a fault equal to the good value everywhere produces no effect).
-    return 0;
+  std::uint64_t diff = good_[site] ^ (f.stuck_value ? ~0ULL : 0);
+  GateId cur = f.site;
+  std::uint64_t ins[64];
+  while (diff != 0) {
+    const Gate& g = n_->gate(cur);
+    if (g.fanouts.size() != 1) break;
+    const GateId fo = g.fanouts.front();
+    const Gate& fog = n_->gate(fo);
+    if (fog.type == GateType::kDff) break;
+    const std::size_t arity = fog.fanins.size();
+    const std::uint64_t flipped = good_[static_cast<std::size_t>(cur)] ^ diff;
+    for (std::size_t k = 0; k < arity; ++k) {
+      const GateId in = fog.fanins[k];
+      ins[k] = (in == cur) ? flipped : good_[static_cast<std::size_t>(in)];
+    }
+    diff = eval_gate(fog.type, std::span<const std::uint64_t>(ins, arity)) ^
+           good_[static_cast<std::size_t>(fo)];
+    cur = fo;
   }
+  return diff;
+}
 
-  ++epoch_;
-  touched_.clear();
-  heap_.clear();
+std::uint64_t Simulator::propagate_detect(GateId seed, std::uint64_t diff,
+                                          Scratch& s) const {
+  if (diff == 0) return 0;
+  const auto seed_idx = static_cast<std::size_t>(seed);
 
-  auto push = [this](GateId node) {
-    if (in_heap_stamp_[static_cast<std::size_t>(node)] == epoch_) return;
-    in_heap_stamp_[static_cast<std::size_t>(node)] = epoch_;
-    heap_.push_back(node);
-    std::push_heap(heap_.begin(), heap_.end(), [this](GateId a, GateId b) {
+  ++s.epoch;
+  s.touched.clear();
+  s.heap.clear();
+
+  auto push = [this, &s](GateId node) {
+    if (s.in_heap_stamp[static_cast<std::size_t>(node)] == s.epoch) return;
+    s.in_heap_stamp[static_cast<std::size_t>(node)] = s.epoch;
+    s.heap.push_back(node);
+    std::push_heap(s.heap.begin(), s.heap.end(), [this](GateId a, GateId b) {
       return topo_rank_[static_cast<std::size_t>(a)] > topo_rank_[static_cast<std::size_t>(b)];
     });
   };
-  auto pop = [this]() {
-    std::pop_heap(heap_.begin(), heap_.end(), [this](GateId a, GateId b) {
+  auto pop = [this, &s]() {
+    std::pop_heap(s.heap.begin(), s.heap.end(), [this](GateId a, GateId b) {
       return topo_rank_[static_cast<std::size_t>(a)] > topo_rank_[static_cast<std::size_t>(b)];
     });
-    const GateId node = heap_.back();
-    heap_.pop_back();
+    const GateId node = s.heap.back();
+    s.heap.pop_back();
     return node;
   };
 
-  // Seed: the fault site takes the stuck word.
-  faulty_[site] = stuck;
-  stamp_[site] = epoch_;
-  touched_.push_back(f.site);
-  for (GateId fo : n_->gate(f.site).fanouts) {
+  // Seed: the injected node takes the flipped word.
+  s.faulty[seed_idx] = good_[seed_idx] ^ diff;
+  s.stamp[seed_idx] = s.epoch;
+  s.touched.push_back(seed);
+  for (GateId fo : n_->gate(seed).fanouts) {
     // DFF fanouts are sequential sinks: the effect on the D net is already
     // captured at the fanin node itself (the observe point references the
     // fanin), so the flop is not crossed. Same for port sinks, which are
@@ -119,20 +193,20 @@ std::uint64_t Simulator::detect_mask(const Fault& f) {
   }
 
   std::uint64_t ins[64];
-  while (!heap_.empty()) {
+  while (!s.heap.empty()) {
     const GateId node = pop();
     const Gate& g = n_->gate(node);
     const auto idx = static_cast<std::size_t>(node);
     const std::size_t arity = g.fanins.size();
     for (std::size_t k = 0; k < arity; ++k) {
       const auto in = static_cast<std::size_t>(g.fanins[k]);
-      ins[k] = (stamp_[in] == epoch_) ? faulty_[in] : good_[in];
+      ins[k] = (s.stamp[in] == s.epoch) ? s.faulty[in] : good_[in];
     }
     const std::uint64_t out = eval_gate(g.type, std::span<const std::uint64_t>(ins, arity));
     if (out == good_[idx]) continue;  // effect masked here
-    faulty_[idx] = out;
-    stamp_[idx] = epoch_;
-    touched_.push_back(node);
+    s.faulty[idx] = out;
+    s.stamp[idx] = s.epoch;
+    s.touched.push_back(node);
     for (GateId fo : g.fanouts) {
       if (n_->gate(fo).type == GateType::kDff) continue;
       push(fo);
@@ -140,25 +214,143 @@ std::uint64_t Simulator::detect_mask(const Fault& f) {
   }
 
   // Detection: XOR of per-member differences at every touched observe point.
-  // Collect diffs per observe point from the touched set.
-  std::uint64_t detect = 0;
   // Observe points are typically touched by few members; accumulate lazily
   // into epoch-stamped per-observe scratch.
-  obs_touched_.clear();
-  for (GateId node : touched_) {
+  std::uint64_t detect = 0;
+  s.obs_touched.clear();
+  for (GateId node : s.touched) {
     const auto idx = static_cast<std::size_t>(node);
-    const std::uint64_t diff = faulty_[idx] ^ good_[idx];
+    const std::uint64_t node_diff = s.faulty[idx] ^ good_[idx];
     for (int o : observes_of_node_[idx]) {
-      if (obs_stamp_[static_cast<std::size_t>(o)] != epoch_) {
-        obs_stamp_[static_cast<std::size_t>(o)] = epoch_;
-        obs_diff_[static_cast<std::size_t>(o)] = 0;
-        obs_touched_.push_back(o);
+      if (s.obs_stamp[static_cast<std::size_t>(o)] != s.epoch) {
+        s.obs_stamp[static_cast<std::size_t>(o)] = s.epoch;
+        s.obs_diff[static_cast<std::size_t>(o)] = 0;
+        s.obs_touched.push_back(o);
       }
-      obs_diff_[static_cast<std::size_t>(o)] ^= diff;
+      s.obs_diff[static_cast<std::size_t>(o)] ^= node_diff;
     }
   }
-  for (int o : obs_touched_) detect |= obs_diff_[static_cast<std::size_t>(o)];
+  for (int o : s.obs_touched) detect |= s.obs_diff[static_cast<std::size_t>(o)];
   return detect;
+}
+
+std::uint64_t Simulator::detect_mask_direct(const Fault& f, Scratch& s) const {
+  const auto site = static_cast<std::size_t>(f.site);
+  const std::uint64_t stuck = f.stuck_value ? ~0ULL : 0;
+  // good == stuck means the fault is never activated in this batch: the
+  // injected diff is zero and propagate_detect returns 0 without work.
+  return propagate_detect(f.site, good_[site] ^ stuck, s);
+}
+
+std::uint64_t Simulator::detect_mask(const Fault& f, Scratch& s) const {
+  if (!share_stems_) return detect_mask_direct(f, s);
+  const std::uint64_t sens = chain_sens(f);
+  if (sens == 0) return 0;
+  return sens & propagate_detect(stem_of_[static_cast<std::size_t>(f.site)], ~0ULL, s);
+}
+
+std::uint64_t Simulator::detect_mask(const Fault& f) {
+  if (!share_stems_) return detect_mask_direct(f, scratch_);
+  const std::uint64_t sens = chain_sens(f);
+  if (sens == 0) return 0;
+  const auto stem = static_cast<std::size_t>(stem_of_[static_cast<std::size_t>(f.site)]);
+  if (stem_epoch_[stem] != batch_epoch_) {
+    stem_epoch_[stem] = batch_epoch_;
+    stem_detect_[stem] = propagate_detect(static_cast<GateId>(stem), ~0ULL, scratch_);
+  }
+  return sens & stem_detect_[stem];
+}
+
+std::unique_ptr<Simulator::Scratch> Simulator::acquire_scratch() {
+  {
+    std::lock_guard<std::mutex> lock(scratch_pool_mutex_);
+    if (!scratch_pool_.empty()) {
+      auto s = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+      return s;
+    }
+  }
+  return std::make_unique<Scratch>(make_scratch());
+}
+
+void Simulator::release_scratch(std::unique_ptr<Scratch> s) {
+  std::lock_guard<std::mutex> lock(scratch_pool_mutex_);
+  scratch_pool_.push_back(std::move(s));
+}
+
+void Simulator::detect_masks(std::span<const Fault> faults, std::uint64_t* out,
+                             int threads) {
+  // Chunk sizes trade scheduling overhead against load balance on the long
+  // propagation tails; boundaries depend only on the list size, never the
+  // width, so slot contents are width-invariant. Stem flips are heavier and
+  // fewer than per-fault propagations, hence the smaller chunk.
+  constexpr std::size_t kChunk = 64;
+  constexpr std::size_t kStemChunk = 16;
+  if (faults.empty()) return;
+  const bool serial = faults.size() <= kChunk || !exec::runs_parallel(threads);
+
+  if (!share_stems_) {
+    if (serial) {
+      for (std::size_t i = 0; i < faults.size(); ++i)
+        out[i] = detect_mask_direct(faults[i], scratch_);
+      return;
+    }
+    const std::size_t chunks = (faults.size() + kChunk - 1) / kChunk;
+    exec::parallel_chunks(
+        faults.size(), chunks, threads,
+        [this, faults, out](std::size_t, std::size_t begin, std::size_t end) {
+          std::unique_ptr<Scratch> scratch = acquire_scratch();
+          for (std::size_t i = begin; i < end; ++i)
+            out[i] = detect_mask_direct(faults[i], *scratch);
+          release_scratch(std::move(scratch));
+        });
+    return;
+  }
+
+  if (serial) {
+    // The memoising entry point shares stem flips across the whole sweep.
+    for (std::size_t i = 0; i < faults.size(); ++i) out[i] = detect_mask(faults[i]);
+    return;
+  }
+
+  // Pass 1 (serial, cheap): chain sensitisation per fault; collect the stems
+  // whose flip this batch has not computed yet. Stamping here is safe — every
+  // stamped slot is filled in pass 2 before any read in pass 3.
+  stems_buf_.clear();
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    out[i] = chain_sens(faults[i]);
+    if (out[i] == 0) continue;
+    const auto stem =
+        static_cast<std::size_t>(stem_of_[static_cast<std::size_t>(faults[i].site)]);
+    if (stem_epoch_[stem] != batch_epoch_) {
+      stem_epoch_[stem] = batch_epoch_;
+      stems_buf_.push_back(static_cast<GateId>(stem));
+    }
+  }
+
+  // Pass 2 (parallel): one event-driven flip propagation per fresh stem.
+  // Distinct stems write distinct slots, so the only synchronisation needed
+  // is the executor's completion barrier.
+  if (!stems_buf_.empty()) {
+    const std::size_t chunks = (stems_buf_.size() + kStemChunk - 1) / kStemChunk;
+    exec::parallel_chunks(
+        stems_buf_.size(), chunks, threads,
+        [this](std::size_t, std::size_t begin, std::size_t end) {
+          std::unique_ptr<Scratch> scratch = acquire_scratch();
+          for (std::size_t i = begin; i < end; ++i) {
+            const auto stem = static_cast<std::size_t>(stems_buf_[i]);
+            stem_detect_[stem] =
+                propagate_detect(static_cast<GateId>(stem), ~0ULL, *scratch);
+          }
+          release_scratch(std::move(scratch));
+        });
+  }
+
+  // Pass 3 (serial, trivial): combine.
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (out[i] != 0)
+      out[i] &= stem_detect_[static_cast<std::size_t>(
+          stem_of_[static_cast<std::size_t>(faults[i].site)])];
 }
 
 }  // namespace wcm

@@ -8,9 +8,33 @@
 //     faulty_obs XOR good_obs = XOR over members (faulty_m XOR good_m)
 //
 // so a fault's detection word falls out of the stamped nodes alone.
+//
+// Stem sharing: every net belongs to exactly one fanout-free region (FFR) —
+// the maximal single-fanout chain ending at its stem (a multi-fanout net, a
+// sequential/port boundary, or a dead end). A fault inside an FFR can only
+// escape through the stem, and per pattern there is exactly one possible
+// faulty stem value (the complement), so
+//
+//     detect(f) = sens(f -> stem)  AND  flip_detect(stem)
+//
+// where sens is the cheap walk down the chain and flip_detect is ONE heavy
+// event-driven propagation of an all-pattern stem flip, shared by every
+// fault of the FFR (both stuck polarities included) and memoised per batch.
+// This is bit-exact, not an approximation — the classic critical-path-
+// tracing factorisation.
+//
+// Fault-parallelism: the good-machine values of one batch are read-only
+// while faults are probed against them, so independent faults can be
+// simulated concurrently as long as each stream owns its propagation
+// scratch. detect_masks() shards the work over the shared solve executor
+// with one Scratch per worker stream (pooled across calls) and writes each
+// fault's detection word to a caller-indexed slot — output is bit-identical
+// at any thread width.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -33,32 +57,107 @@ class Simulator {
   /// XOR-compacted good value at observation point `obs`.
   std::uint64_t observe_good(std::size_t obs) const;
 
+  /// Propagation scratch for one concurrent detect stream (epoch-stamped,
+  /// so no clearing between faults).
+  struct Scratch {
+    std::vector<std::uint64_t> faulty;
+    std::vector<std::uint32_t> stamp;
+    std::uint32_t epoch = 0;
+    std::vector<GateId> heap;  ///< min-heap on topo rank
+    std::vector<std::uint32_t> in_heap_stamp;
+    std::vector<GateId> touched;  ///< stamped nodes of the current event run
+    std::vector<std::uint64_t> obs_diff;  ///< per-observe XOR of member diffs
+    std::vector<std::uint32_t> obs_stamp;
+    std::vector<int> obs_touched;
+  };
+  Scratch make_scratch() const;
+
+  /// Switches the stem-sharing factorisation (default on). Off = one full
+  /// event-driven propagation per fault, the reference kernel. Detection
+  /// words are bit-identical either way; the switch exists for the
+  /// differential tests and the bench A/B.
+  void set_share_stems(bool on) { share_stems_ = on; }
+  bool share_stems() const { return share_stems_; }
+
   /// Per-pattern detection word for `f` against the last good_sim.
   /// Bit p set => pattern p detects the fault at some observation point.
+  /// Memoises stem flips across calls within the current batch.
   std::uint64_t detect_mask(const Fault& f);
+
+  /// Same value, with caller-owned scratch and no batch memoisation — safe
+  /// to call concurrently from many threads as long as each uses its own
+  /// Scratch and good_sim is not running.
+  std::uint64_t detect_mask(const Fault& f, Scratch& s) const;
+
+  /// Reference kernel: full event-driven propagation of this single fault,
+  /// no stem factorisation. Exposed so tests can pin the factorised kernel
+  /// against it.
+  std::uint64_t detect_mask_direct(const Fault& f, Scratch& s) const;
+
+  /// Fault-parallel sweep: out[i] = detect_mask(faults[i]) for every i, with
+  /// the heavy stem propagations sharded over the shared solve executor
+  /// (`threads` as in AtpgOptions::threads; <=0 resolves WCM_SOLVE_THREADS /
+  /// hardware, 1 = serial). Work-list boundaries derive from the list alone
+  /// and each slot is written exactly once, so the output is bit-identical
+  /// at any width.
+  void detect_masks(std::span<const Fault> faults, std::uint64_t* out, int threads);
+
+  /// True when a fault at `node` can reach at least one observation point of
+  /// this view through combinational logic (sequential boundaries are not
+  /// crossed, matching the propagation rule). A fault at an unobservable
+  /// node has a zero detection word in every batch.
+  bool observable(GateId node) const {
+    return observable_[static_cast<std::size_t>(node)] != 0;
+  }
+
+  /// The FFR stem `node`'s fault effects must pass through (itself, when the
+  /// net has zero or multiple fanouts or feeds a sequential/port boundary).
+  GateId stem_of(GateId node) const {
+    return stem_of_[static_cast<std::size_t>(node)];
+  }
 
   const TestView& view() const { return *view_; }
 
  private:
+  std::unique_ptr<Scratch> acquire_scratch();
+  void release_scratch(std::unique_ptr<Scratch> s);
+
+  /// Event-driven propagation of `diff` injected at `seed`; returns the
+  /// OR-over-observes detection word.
+  std::uint64_t propagate_detect(GateId seed, std::uint64_t diff, Scratch& s) const;
+
+  /// Patterns where `f`'s effect reaches stem_of(f.site): the activation
+  /// word pushed down the single-fanout chain. Pure read of good_.
+  std::uint64_t chain_sens(const Fault& f) const;
+
   const TestView* view_;
   const Netlist* n_;
   std::vector<GateId> topo_;
   std::vector<int> topo_rank_;
   std::vector<int> control_of_node_;  ///< source node -> control index (-1 none)
   std::vector<std::vector<int>> observes_of_node_;  ///< node -> observe point ids
+  std::vector<char> observable_;  ///< node -> reaches some observe point
+  std::vector<GateId> stem_of_;   ///< node -> FFR stem
 
   std::vector<std::uint64_t> good_;
 
-  // fault-propagation scratch (epoch-stamped)
-  std::vector<std::uint64_t> faulty_;
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t epoch_ = 0;
-  std::vector<GateId> heap_;       ///< min-heap on topo rank
-  std::vector<std::uint32_t> in_heap_stamp_;
-  std::vector<GateId> touched_;    ///< stamped nodes of the current fault
-  std::vector<std::uint64_t> obs_diff_;    ///< per-observe XOR of member diffs
-  std::vector<std::uint32_t> obs_stamp_;
-  std::vector<int> obs_touched_;
+  bool share_stems_ = true;
+
+  // Per-batch stem-flip memo (valid while stem_epoch_ == batch_epoch_).
+  // Mutated by the serial entry points and by detect_masks' stem pass, whose
+  // parallel workers write disjoint slots.
+  std::uint32_t batch_epoch_ = 1;
+  std::vector<std::uint64_t> stem_detect_;
+  std::vector<std::uint32_t> stem_epoch_;
+  std::vector<GateId> stems_buf_;  ///< work list reused across sweeps
+
+  Scratch scratch_;  ///< the serial entry point's stream
+
+  // Pooled scratches for detect_masks workers, reused across batches (a
+  // Scratch is O(netlist) to build). Guarded by a mutex; acquire/release
+  // happen once per chunk, not per fault.
+  std::mutex scratch_pool_mutex_;
+  std::vector<std::unique_ptr<Scratch>> scratch_pool_;
 };
 
 }  // namespace wcm

@@ -71,6 +71,13 @@ struct WcmConfig {
   /// dies, so it is the default. Set to false to force from-scratch runs
   /// (the reference estimator for ablations; see bench/ablation_oracle).
   bool oracle_incremental = true;
+  /// The collapsed ATPG kernel inside each measured-oracle run: structural
+  /// fault collapsing, static observability pruning and FFR stem-sharing
+  /// (AtpgOptions::collapse/prune_unobservable/share_stems).
+  /// Results are bit-identical either way — the knob exists for the
+  /// differential tests and the bench/perf_atpg A/B — so it is excluded from
+  /// the oracle cache fingerprint.
+  bool atpg_collapse = true;
   /// Overlap the compat-graph edge scan with the batched measured-oracle
   /// ATPG: candidate pairs stream to the oracle through a bounded queue
   /// while later rows are still scanning, instead of a two-phase barrier.

@@ -239,6 +239,12 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
   // admit/reject. With it, both converge to the true untestable-fault delta
   // (tests/core/oracle_validation_test.cpp holds this differential).
   measure_opts.deterministic_phase = true;
+  // Kernel knobs only — bit-identical results at any setting, so they stay
+  // out of the oracle cache fingerprint.
+  measure_opts.threads = cfg.solve_threads;
+  measure_opts.collapse = cfg.atpg_collapse;
+  measure_opts.prune_unobservable = cfg.atpg_collapse;
+  measure_opts.share_stems = cfg.atpg_collapse;
   TestabilityOracle oracle(n, cones, cfg.oracle_mode, measure_opts);
   oracle.set_incremental(cfg.oracle_incremental);
 

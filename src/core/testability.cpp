@@ -22,7 +22,9 @@ namespace {
 // ---- persistence helpers ----
 
 constexpr std::uint32_t kCacheMagic = 0x314F4357;  // "WCO1" little-endian
-constexpr std::uint32_t kCacheVersion = 1;
+// v2 appends the traced reference run (result + pattern set + detection
+// flags) after the shard entries so warm solves skip the serial prepare().
+constexpr std::uint32_t kCacheVersion = 2;
 
 /// FNV-1a, used both for the header fingerprint and the payload checksum.
 struct Fnv1a {
@@ -211,6 +213,25 @@ bool TestabilityOracle::save_cache(const std::string& path) const {
       append(buf, impact.extra_patterns);
     }
   }
+  // v2 reference section: the traced reference campaign, when it was built
+  // this run. The fingerprint in the header covers every knob the reference
+  // depends on, so a fingerprint-matched file's reference is exact.
+  append(buf, static_cast<std::uint8_t>(reference_.has_value()));
+  if (reference_) {
+    append(buf, reference_->total_faults);
+    append(buf, reference_->detected);
+    append(buf, reference_->untestable);
+    append(buf, reference_->aborted);
+    append(buf, reference_->patterns);
+    append(buf, reference_->deterministic_patterns);
+    const auto& batches = reference_patterns_.batches;
+    append(buf, static_cast<std::uint64_t>(batches.size()));
+    append(buf, static_cast<std::uint64_t>(batches.empty() ? 0 : batches.front().size()));
+    for (const auto& words : batches)
+      for (const std::uint64_t w : words) append(buf, w);
+    append(buf, static_cast<std::uint64_t>(reference_detected_.size()));
+    buf.insert(buf.end(), reference_detected_.begin(), reference_detected_.end());
+  }
   Fnv1a sum;
   sum.bytes(buf.data(), buf.size());
   append(buf, sum.h);
@@ -290,6 +311,46 @@ bool TestabilityOracle::load_cache(const std::string& path) {
       entries.emplace_back(key, impact);
     }
   }
+
+  // v2 reference section — parsed and validated in full before ANYTHING
+  // (entries included) is applied, keeping the all-or-nothing contract.
+  std::uint8_t file_has_reference = 0;
+  AtpgResult ref_result;
+  PatternSet ref_patterns;
+  std::vector<char> ref_detected;
+  if (!r.read(file_has_reference) || file_has_reference > 1) return false;
+  if (file_has_reference) {
+    if (!r.read(ref_result.total_faults) || !r.read(ref_result.detected) ||
+        !r.read(ref_result.untestable) || !r.read(ref_result.aborted) ||
+        !r.read(ref_result.patterns) || !r.read(ref_result.deterministic_patterns))
+      return false;
+    std::uint64_t num_batches = 0, words_per_batch = 0;
+    if (!r.read(num_batches) || !r.read(words_per_batch)) return false;
+    if (num_batches > 0 &&
+        (words_per_batch == 0 ||
+         num_batches > r.left / (words_per_batch * sizeof(std::uint64_t))))
+      return false;
+    ref_patterns.batches.reserve(num_batches);
+    for (std::uint64_t b = 0; b < num_batches; ++b) {
+      std::vector<std::uint64_t> words(words_per_batch);
+      for (auto& w : words)
+        if (!r.read(w)) return false;
+      ref_patterns.batches.push_back(std::move(words));
+    }
+    std::uint64_t flags_size = 0;
+    if (!r.read(flags_size)) return false;
+    // The flags index the full fault universe of THIS netlist; the batch
+    // width must match this netlist's reference view. Both are implied by a
+    // matching fingerprint, but a corrupt length is caught here rather than
+    // as an out-of-bounds access later.
+    if (flags_size != 2 * n_.size() || flags_size > r.left) return false;
+    if (num_batches > 0 && words_per_batch != build_reference_view(n_).controls.size())
+      return false;
+    ref_detected.resize(flags_size);
+    std::memcpy(ref_detected.data(), r.p, flags_size);
+    r.p += flags_size;
+    r.left -= flags_size;
+  }
   if (r.left != 0) return false;
 
   // Re-shard by key (robust against a future shard-count change) and merge:
@@ -298,6 +359,18 @@ bool TestabilityOracle::load_cache(const std::string& path) {
     Shard& shard = shard_of(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
     shard.map.emplace(key, impact);
+  }
+  // Adopt the file's reference run unless one was already built in this
+  // process (ours is the same run by fingerprint, and already wired up).
+  if (file_has_reference && !reference_) {
+    reference_ = ref_result;
+    reference_patterns_ = std::move(ref_patterns);
+    reference_detected_ = std::move(ref_detected);
+    const TestView view = build_reference_view(n_);
+    reference_control_of_.assign(n_.size(), -1);
+    for (std::size_t c = 0; c < view.controls.size(); ++c)
+      for (GateId g : view.controls[c].driven)
+        reference_control_of_[static_cast<std::size_t>(g)] = static_cast<int>(c);
   }
   return true;
 }

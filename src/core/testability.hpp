@@ -150,7 +150,18 @@ class TestabilityOracle {
   /// corrupted, or fingerprint-mismatched file leaves the cache untouched
   /// and returns false — a cold start, never a crash or a poisoned entry.
   /// Loaded entries do not count toward measured_queries().
+  ///
+  /// Since format v2 the file also carries the traced reference run
+  /// (AtpgResult + detecting PatternSet + per-fault flags): loading it makes
+  /// prepare() a no-op, so a warm solve skips the serial reference campaign
+  /// entirely. An already-built in-memory reference wins over the file's
+  /// copy; a file whose reference section fails validation is rejected
+  /// wholesale, entries included.
   bool load_cache(const std::string& path);
+
+  /// True once the traced reference run exists in memory — built by
+  /// prepare()/reference() or adopted from a loaded cache file.
+  bool has_reference() const { return reference_.has_value(); }
 
  private:
   struct Shard {

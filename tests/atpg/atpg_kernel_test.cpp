@@ -1,0 +1,290 @@
+// Differential validation of the ATPG kernel optimisations — structural
+// fault collapsing, static observability pruning, FFR stem-sharing, and the
+// fault-parallel sweep. All four are required to be BIT-IDENTICAL
+// transforms: the same AtpgResult, the same recorded PatternSet, the same
+// per-fault detection flags, at every thread width and every knob setting.
+// This suite is the gate that lets them default on (AtpgOptions,
+// WcmConfig::atpg_collapse).
+//
+// Run it under WCM_SANITIZE=thread as well: the parallel sweep shares the
+// good-machine words read-only across workers, and TSan holds that claim.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "atpg/engine.hpp"
+#include "atpg/faults.hpp"
+#include "atpg/simulator.hpp"
+#include "core/solver.hpp"
+#include "gen/generator.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace wcm {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {11, 16, 33};  // as oracle_validation_test
+
+/// Mirrors the options solve_wcm hands its measured oracle (minus the kernel
+/// knobs under test, which each case sets explicitly).
+AtpgOptions solver_measure_opts() {
+  AtpgOptions o;
+  o.max_random_batches = 8;
+  o.useless_batch_window = 2;
+  o.deterministic_phase = true;
+  return o;
+}
+
+Netlist seeded_die(std::uint64_t seed) {
+  DieSpec spec = itc99_die_spec("b11", 1);
+  spec.seed = seed;
+  return generate_die(spec);
+}
+
+std::string result_signature(const AtpgResult& r, const PatternSet& p,
+                             const std::vector<char>& flags) {
+  std::ostringstream os;
+  os << r.total_faults << '|' << r.detected << '|' << r.untestable << '|'
+     << r.aborted << '|' << r.patterns << '|' << r.deterministic_patterns << '|';
+  os << p.batches.size() << '[';
+  for (const auto& words : p.batches) {
+    for (const std::uint64_t w : words) os << w << ',';
+    os << ';';
+  }
+  os << ']';
+  for (const char f : flags) os << (f ? '1' : '0');
+  return os.str();
+}
+
+std::string traced_signature(const Netlist& n, const AtpgOptions& opts) {
+  PatternSet patterns;
+  std::vector<char> flags;
+  const AtpgResult r =
+      AtpgEngine(build_reference_view(n)).run_stuck_at_traced(opts, patterns, flags);
+  return result_signature(r, patterns, flags);
+}
+
+TEST(FaultCollapseTest, RootFollowsEquivalenceChain) {
+  // a -> NOT -> AND(.., b) -> z. Single-fanout chains with one inverting and
+  // one controlled step exercise both polarity bookkeeping rules.
+  const auto r = read_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+g_not = NOT(a)
+g_and = AND(g_not, b)
+z = BUF(g_and)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Netlist& n = r.netlist;
+  const GateId a = n.find("a"), b = n.find("b");
+  const GateId g_not = n.find("g_not"), g_and = n.find("g_and");
+
+  // a/SA1 -> (NOT inverts) g_not/SA0 -> (AND controlling 0) g_and/SA0.
+  EXPECT_EQ(collapse_root(n, Fault{a, true}), (Fault{g_and, false}));
+  // a/SA0 -> g_not/SA1 stops at the AND: 1 is non-controlling for AND.
+  EXPECT_EQ(collapse_root(n, Fault{a, false}), (Fault{g_not, true}));
+  // b/SA0 is the AND's controlling value -> g_and/SA0; b/SA1 stays put.
+  EXPECT_EQ(collapse_root(n, Fault{b, false}), (Fault{g_and, false}));
+  EXPECT_EQ(collapse_root(n, Fault{b, true}), (Fault{b, true}));
+
+  // Full-list classes: {g_not/SA1: a0 gnot1}, {g_and/SA0: a1 b0 gnot0 gand0},
+  // {b/SA1}, {g_and/SA1} — 4 probes over 8 faults.
+  const std::vector<Fault> full = full_fault_list(n);
+  const CollapsedFaultList cls = collapse_faults(n, full);
+  EXPECT_EQ(cls.input_size, full.size());
+  EXPECT_EQ(full.size(), 8u);
+  EXPECT_EQ(cls.probes.size(), 4u);
+  EXPECT_DOUBLE_EQ(cls.collapse_ratio(), 0.5);
+  std::size_t members = 0;
+  std::vector<char> seen(full.size(), 0);
+  for (const auto& m : cls.members) {
+    members += m.size();
+    for (const int i : m) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(i)]) << "fault in two classes";
+      seen[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  EXPECT_EQ(members, full.size());  // every fault in exactly one class
+
+  // The whole a -> g_not -> g_and -> z chain is one fanout-free region: all
+  // of its faults share one stem, so the simulator propagates one flip for
+  // the lot. b feeds only g_and, so it belongs to the same region.
+  Simulator sim(build_reference_view(n));
+  EXPECT_EQ(sim.stem_of(a), sim.stem_of(g_and));
+  EXPECT_EQ(sim.stem_of(g_not), sim.stem_of(g_and));
+  EXPECT_EQ(sim.stem_of(b), sim.stem_of(g_and));
+  const GateId stem = sim.stem_of(g_and);
+  EXPECT_EQ(sim.stem_of(stem), stem);  // stems are fixed points
+}
+
+TEST(FaultCollapseTest, KernelWorkReductionOnGeneratedDie) {
+  // Equivalence collapsing alone is modest on the generated dies — the fault
+  // list is already one SA pair per net and the generator's gate mix is
+  // XOR-heavy (XOR inputs never fold) — so only pin that it helps at all.
+  // The big structural win is stem-sharing: both polarities of every net in
+  // a fanout-free region share one flip propagation, so the heavy-work
+  // bound is unique-stems-per-fault, well under one half.
+  const Netlist n = seeded_die(11);
+  const std::vector<Fault> full = full_fault_list(n);
+  const CollapsedFaultList cls = collapse_faults(n, full);
+  EXPECT_LT(cls.collapse_ratio(), 1.0);
+  EXPECT_GT(cls.collapse_ratio(), 0.2);
+
+  Simulator sim(build_reference_view(n));
+  std::unordered_set<GateId> stems;
+  for (const Fault& f : cls.probes) stems.insert(sim.stem_of(f.site));
+  const double stem_ratio =
+      static_cast<double>(stems.size()) / static_cast<double>(full.size());
+  EXPECT_LT(stem_ratio, 0.5);
+  EXPECT_GT(stem_ratio, 0.05);
+}
+
+TEST(AtpgKernelTest, StemFactorisationMatchesDirectKernel) {
+  // The sens & stem-flip factorisation must equal the per-fault event-driven
+  // propagation bit-for-bit, for every fault, on real structure. Exercises
+  // both the memoising entry point and the scratch-owning const one.
+  const Netlist n = seeded_die(11);
+  const TestView v = build_reference_view(n);
+  Simulator sim(v);
+  Simulator::Scratch direct = sim.make_scratch();
+  Simulator::Scratch shared = sim.make_scratch();
+  const std::vector<Fault> faults = full_fault_list(n);
+  std::mt19937_64 rng(0xA7);
+  std::vector<std::uint64_t> words(v.controls.size());
+  for (int batch = 0; batch < 4; ++batch) {
+    for (auto& w : words) w = rng();
+    sim.good_sim(words);
+    for (const Fault& f : faults) {
+      const std::uint64_t expect = sim.detect_mask_direct(f, direct);
+      ASSERT_EQ(sim.detect_mask(f), expect)
+          << "site " << f.site << " sa" << f.stuck_value << " batch " << batch;
+      ASSERT_EQ(sim.detect_mask(f, shared), expect)
+          << "site " << f.site << " sa" << f.stuck_value << " batch " << batch;
+    }
+  }
+}
+
+TEST(AtpgKernelTest, CollapsedMatchesFullDifferential) {
+  // Every combination of {collapse, prune, stems} must reproduce the plain
+  // serial kernel bit-for-bit: result counts, recorded batches, detection
+  // flags.
+  for (const std::uint64_t seed : kSeeds) {
+    const Netlist n = seeded_die(seed);
+    AtpgOptions base = solver_measure_opts();
+    base.threads = 1;
+    base.collapse = false;
+    base.prune_unobservable = false;
+    base.share_stems = false;
+    const std::string expect = traced_signature(n, base);
+    for (const bool collapse : {false, true})
+      for (const bool prune : {false, true})
+        for (const bool stems : {false, true}) {
+          AtpgOptions opts = base;
+          opts.collapse = collapse;
+          opts.prune_unobservable = prune;
+          opts.share_stems = stems;
+          EXPECT_EQ(traced_signature(n, opts), expect)
+              << "seed " << seed << " collapse=" << collapse << " prune=" << prune
+              << " stems=" << stems;
+        }
+  }
+}
+
+TEST(AtpgKernelTest, FaultParallelMatchesSerialAtAnyWidth) {
+  for (const std::uint64_t seed : kSeeds) {
+    const Netlist n = seeded_die(seed);
+    AtpgOptions opts = solver_measure_opts();
+    opts.threads = 1;
+    const std::string expect = traced_signature(n, opts);
+    for (const int width : {2, 8})
+      for (const bool stems : {false, true}) {
+        AtpgOptions par = opts;
+        par.threads = width;
+        par.share_stems = stems;
+        EXPECT_EQ(traced_signature(n, par), expect)
+            << "seed " << seed << " width " << width << " stems=" << stems;
+      }
+  }
+}
+
+TEST(AtpgKernelTest, TransitionSweepMatchesSerialAtAnyWidth) {
+  const Netlist n = seeded_die(11);
+  const TestView v = build_reference_view(n);
+  AtpgOptions opts = solver_measure_opts();
+  opts.threads = 1;
+  const AtpgResult serial = AtpgEngine(v).run_transition(opts);
+  for (const int width : {2, 8}) {
+    AtpgOptions par = opts;
+    par.threads = width;
+    const AtpgResult r = AtpgEngine(v).run_transition(par);
+    EXPECT_EQ(r.total_faults, serial.total_faults) << width;
+    EXPECT_EQ(r.detected, serial.detected) << width;
+    EXPECT_EQ(r.untestable, serial.untestable) << width;
+    EXPECT_EQ(r.aborted, serial.aborted) << width;
+    EXPECT_EQ(r.patterns, serial.patterns) << width;
+  }
+}
+
+TEST(AtpgKernelTest, UnobservableConeIsPrunedNotMiscounted) {
+  // g_dead drives nothing: both its faults (and the dead cone feeding it)
+  // are skipped by the pruned sweeps, but PODEM must still judge them so
+  // untestable/aborted accounting matches the unpruned kernel exactly.
+  const auto r = read_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+g_dead_src = NOT(a)
+g_dead = AND(g_dead_src, b)
+g_live = OR(a, b)
+z = BUF(g_live)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Netlist& n = r.netlist;
+  AtpgOptions on = solver_measure_opts();
+  AtpgOptions off = on;
+  off.prune_unobservable = false;
+  off.collapse = false;
+  const std::string pruned = traced_signature(n, on);
+  const std::string plain = traced_signature(n, off);
+  EXPECT_EQ(pruned, plain);
+  // And the dead faults really are in the accounting (proved untestable).
+  PatternSet patterns;
+  std::vector<char> flags;
+  const AtpgResult res =
+      AtpgEngine(build_reference_view(n)).run_stuck_at_traced(on, patterns, flags);
+  EXPECT_GE(res.untestable, 2);  // at least g_dead's own SA0/SA1
+  EXPECT_EQ(res.total_faults, static_cast<int>(full_fault_list(n).size()));
+}
+
+TEST(AtpgKernelTest, SolvePlanIdenticalWithCollapseOnOrOff) {
+  // End-to-end: the measured solve path (WcmConfig::atpg_collapse) must
+  // produce the same WrapperPlan and cell counts either way.
+  const Netlist n = seeded_die(11);
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+
+  WcmConfig with = WcmConfig::proposed_area();
+  with.oracle_mode = OracleMode::kMeasured;
+  with.atpg_collapse = true;
+  WcmConfig without = with;
+  without.atpg_collapse = false;
+
+  const WcmSolution a = solve_wcm(n, &placement, lib, with);
+  const WcmSolution b = solve_wcm(n, &placement, lib, without);
+  EXPECT_EQ(a.reused_ffs, b.reused_ffs);
+  EXPECT_EQ(a.additional_cells, b.additional_cells);
+  ASSERT_EQ(a.plan.groups.size(), b.plan.groups.size());
+  for (std::size_t g = 0; g < a.plan.groups.size(); ++g) {
+    EXPECT_EQ(a.plan.groups[g].reused_ff, b.plan.groups[g].reused_ff) << g;
+    EXPECT_EQ(a.plan.groups[g].inbound, b.plan.groups[g].inbound) << g;
+    EXPECT_EQ(a.plan.groups[g].outbound, b.plan.groups[g].outbound) << g;
+  }
+}
+
+}  // namespace
+}  // namespace wcm

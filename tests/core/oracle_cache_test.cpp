@@ -2,6 +2,10 @@
 // round-trip restores every entry, a fingerprint mismatch (different netlist
 // or oracle config) is a cold start, and a truncated or bit-flipped file is
 // rejected wholesale — never a crash, never a half-populated cache.
+//
+// Since format v2 the file also carries the traced reference run, so a warm
+// load replaces the serial prepare() campaign; the same all-or-nothing rules
+// apply to that section.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -209,6 +213,100 @@ TEST(OracleCacheTest, LoadMergesWithExistingEntriesWinning) {
     EXPECT_EQ(before[i].first, after[i].first);
     EXPECT_EQ(before[i].second.coverage_loss, after[i].second.coverage_loss);
   }
+}
+
+TEST(OracleCacheTest, ReferenceRunPersistsAndRestores) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kMeasured, cheap_opts());
+  oracle.set_incremental(true);
+  oracle.prepare();  // builds the traced reference campaign
+  ASSERT_TRUE(oracle.has_reference());
+  warm_up(n, oracle);
+
+  const fs::path dir = scratch_dir("reference");
+  const std::string file = oracle.cache_file_in(dir.string());
+  ASSERT_TRUE(oracle.save_cache(file));
+
+  // A fresh oracle adopts the persisted reference: prepare() becomes a no-op
+  // (no serial ATPG campaign), and incremental verdicts built on top of the
+  // loaded reference are identical to freshly computed ones.
+  ConeDb cones2(n);
+  TestabilityOracle warm(n, cones2, OracleMode::kMeasured, cheap_opts());
+  warm.set_incremental(true);
+  EXPECT_FALSE(warm.has_reference());
+  ASSERT_TRUE(warm.load_cache(file));
+  EXPECT_TRUE(warm.has_reference());
+  EXPECT_EQ(warm.measured_queries(), 0);  // the reference is not a query
+
+  ConeDb cones3(n);
+  TestabilityOracle fresh(n, cones3, OracleMode::kMeasured, cheap_opts());
+  fresh.set_incremental(true);
+  const GateId ff = n.scan_flip_flops()[1];
+  const GateId t = n.inbound_tsvs()[1];
+  const PairImpact from_loaded = warm.evaluate(ff, NodeKind::kScanFF, t, NodeKind::kInboundTsv);
+  const PairImpact from_scratch = fresh.evaluate(ff, NodeKind::kScanFF, t, NodeKind::kInboundTsv);
+  EXPECT_EQ(from_loaded.coverage_loss, from_scratch.coverage_loss);
+  EXPECT_EQ(from_loaded.extra_patterns, from_scratch.extra_patterns);
+}
+
+TEST(OracleCacheTest, BuiltReferenceWinsOverLoaded) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kMeasured, cheap_opts());
+  oracle.set_incremental(true);
+  oracle.prepare();
+  const fs::path dir = scratch_dir("refwins");
+  const std::string file = (dir / "cache.wcmoc").string();
+  ASSERT_TRUE(oracle.save_cache(file));
+
+  ConeDb cones2(n);
+  TestabilityOracle other(n, cones2, OracleMode::kMeasured, cheap_opts());
+  other.set_incremental(true);
+  other.prepare();  // builds its own reference first
+  ASSERT_TRUE(other.has_reference());
+  ASSERT_TRUE(other.load_cache(file));  // must not clobber or crash
+  EXPECT_TRUE(other.has_reference());
+  const GateId ff = n.scan_flip_flops()[0];
+  const GateId t = n.inbound_tsvs()[0];
+  const PairImpact a = other.evaluate(ff, NodeKind::kScanFF, t, NodeKind::kInboundTsv);
+  const PairImpact b = oracle.evaluate(ff, NodeKind::kScanFF, t, NodeKind::kInboundTsv);
+  EXPECT_EQ(a.coverage_loss, b.coverage_loss);
+  EXPECT_EQ(a.extra_patterns, b.extra_patterns);
+}
+
+TEST(OracleCacheTest, CorruptReferenceSectionIsColdStart) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kMeasured, cheap_opts());
+  oracle.set_incremental(true);
+  oracle.prepare();
+  warm_up(n, oracle);
+  const fs::path dir = scratch_dir("refcorrupt");
+  const std::string file = (dir / "cache.wcmoc").string();
+  ASSERT_TRUE(oracle.save_cache(file));
+
+  std::ifstream in(file, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  // The reference section sits at the tail of the payload (just before the
+  // 8-byte checksum); corrupting it must reject the WHOLE file — the entries
+  // earlier in the payload are not salvaged.
+  ASSERT_GT(bytes.size(), 64u);
+  std::vector<char> corrupt = bytes;
+  corrupt[bytes.size() - 12] = static_cast<char>(corrupt[bytes.size() - 12] ^ 0x01);
+  const std::string path = (dir / "corrupt.wcmoc").string();
+  std::ofstream out(path, std::ios::binary);
+  out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+  out.close();
+
+  ConeDb cones2(n);
+  TestabilityOracle fresh(n, cones2, OracleMode::kMeasured, cheap_opts());
+  fresh.set_incremental(true);
+  EXPECT_FALSE(fresh.load_cache(path));
+  EXPECT_FALSE(fresh.has_reference());
+  EXPECT_EQ(fresh.cache_entries(), 0u);
 }
 
 TEST(OracleCacheTest, SolveWarmStartProducesIdenticalPlan) {
