@@ -11,6 +11,7 @@
 #include "core/clique.hpp"
 #include "core/solver.hpp"
 #include "gen/generator.hpp"
+#include "obs/obs.hpp"
 #include "partition/partition.hpp"
 #include "place/place.hpp"
 #include "sta/sta.hpp"
@@ -198,6 +199,52 @@ void BM_FmPartition(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_FmPartition)->Range(512, 8192)->Complexity();
+
+// --- Observability overhead A/B -------------------------------------------
+//
+// Three variants of the same trivial loop body establish the cost of an
+// instrumentation site (one span + one counter bump per iteration):
+//   * Baseline      — no instrumentation at all;
+//   * ObsDisabled   — sites present, runtime switches off (the default for
+//                     every run without --trace): must be within noise of
+//                     Baseline, this is the "zero-cost when disabled" claim;
+//   * ObsEnabled    — metrics + tracing on, the honest worst case; spans
+//                     are flushed periodically so the buffer stays bounded.
+
+void BM_ObsBaseline(benchmark::State& state) {
+  std::uint64_t acc = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(++acc);
+}
+BENCHMARK(BM_ObsBaseline);
+
+void BM_ObsDisabledSite(benchmark::State& state) {
+  obs::set_metrics_enabled(false);
+  obs::set_trace_enabled(false);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    WCM_OBS_SPAN("perf/obs_unit");
+    WCM_OBS_COUNT("perf.obs_unit");
+    benchmark::DoNotOptimize(++acc);
+  }
+}
+BENCHMARK(BM_ObsDisabledSite);
+
+void BM_ObsEnabledSite(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  std::uint64_t acc = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    WCM_OBS_SPAN("perf/obs_unit");
+    WCM_OBS_COUNT("perf.obs_unit");
+    benchmark::DoNotOptimize(++acc);
+    if ((++i & 0xFFFF) == 0) obs::reset();  // bound the span buffer
+  }
+  obs::set_metrics_enabled(false);
+  obs::set_trace_enabled(false);
+  obs::reset();
+}
+BENCHMARK(BM_ObsEnabledSite);
 
 }  // namespace
 

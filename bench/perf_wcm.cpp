@@ -24,6 +24,7 @@
 
 #include "core/solver.hpp"
 #include "gen/generator.hpp"
+#include "obs/obs.hpp"
 #include "place/place.hpp"
 #include "util/thread_pool.hpp"
 
@@ -68,6 +69,9 @@ Run time_solve(const char* label, const Netlist& n, const Placement& placement,
 }  // namespace
 
 int main() {
+  // Counters (oracle cache hits/misses, pipeline produce/drain, ...) are
+  // cheap and land in the JSON alongside the timings; span tracing stays off.
+  obs::set_metrics_enabled(true);
   const char* quick = std::getenv("WCM_QUICK");
   const bool quick_mode = quick != nullptr && quick[0] == '1';
   const int gates = quick_mode ? 1024 : 8192;
@@ -145,7 +149,8 @@ int main() {
     json << "{\"label\":\"" << runs[i].label << "\",\"threads\":" << runs[i].threads
          << ",\"seconds\":" << runs[i].seconds << "}";
   }
-  json << "]}\n";
+  json << "],\"obs\":{\"counters\":" << obs::counters_json()
+       << ",\"gauges\":" << obs::gauges_json() << "}}\n";
   std::printf("wrote BENCH_wcm.json\n");
 
   return mismatches == 0 ? 0 : 1;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "atpg/podem.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -70,6 +71,7 @@ AtpgResult AtpgEngine::run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fa
   // class, keeping a single code path below.
   CollapsedFaultList cls;
   if (opts.collapse) {
+    WCM_OBS_SPAN("atpg/collapse");
     cls = collapse_faults(n, input);
   } else {
     cls.input_size = input.size();
@@ -128,6 +130,7 @@ AtpgResult AtpgEngine::run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fa
 
   // ---- phase 0: warm-start replay of a recorded pattern set ----
   if (params.warm) {
+    WCM_OBS_SPAN("atpg/warm_replay");
     for (const auto& words : params.warm->batches) {
       if (active.empty()) break;
       WCM_ASSERT_MSG(words.size() == view_->num_controls(),
@@ -138,17 +141,20 @@ AtpgResult AtpgEngine::run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fa
   }
 
   // ---- phase 1: random patterns with fault dropping ----
-  int barren_streak = 0;
-  for (int batch = 0;
-       params.random_phase && batch < opts.max_random_batches && !active.empty();
-       ++batch) {
-    const auto words = random_batch(rng, view_->num_controls());
-    sim.good_sim(words);
-    const int kept = drop_detected();
-    result.patterns += kept;
-    if (kept > 0 && params.record) params.record->batches.push_back(words);
-    barren_streak = (kept == 0) ? barren_streak + 1 : 0;
-    if (barren_streak >= opts.useless_batch_window) break;
+  {
+    WCM_OBS_SPAN("atpg/random_phase");
+    int barren_streak = 0;
+    for (int batch = 0;
+         params.random_phase && batch < opts.max_random_batches && !active.empty();
+         ++batch) {
+      const auto words = random_batch(rng, view_->num_controls());
+      sim.good_sim(words);
+      const int kept = drop_detected();
+      result.patterns += kept;
+      if (kept > 0 && params.record) params.record->batches.push_back(words);
+      barren_streak = (kept == 0) ? barren_streak + 1 : 0;
+      if (barren_streak >= opts.useless_batch_window) break;
+    }
   }
 
   // Expand the surviving classes (plus the deferred unobservable ones) back
@@ -169,6 +175,7 @@ AtpgResult AtpgEngine::run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fa
 
   // ---- phase 2: PODEM top-up, 64 deterministic vectors per sim pass ----
   if (opts.deterministic_phase && !remaining.empty()) {
+    WCM_OBS_SPAN("atpg/podem_phase");
     Podem podem(*view_);
     std::vector<char> gave_up(n.size() * 2, 0);  // (site, stuck) -> aborted
     while (true) {
@@ -300,13 +307,16 @@ AtpgResult AtpgEngine::run_transition(const AtpgOptions& opts) const {
     return dropped;
   };
 
-  int barren_streak = 0;
-  for (int batch = 0; batch < opts.max_random_batches && !remaining.empty(); ++batch) {
-    const auto w1 = random_batch(rng, view_->num_controls());
-    const auto w2 = random_batch(rng, view_->num_controls());
-    const int dropped = run_pair(w1, w2);
-    barren_streak = (dropped == 0) ? barren_streak + 1 : 0;
-    if (barren_streak >= opts.useless_batch_window) break;
+  {
+    WCM_OBS_SPAN("atpg/random_phase");
+    int barren_streak = 0;
+    for (int batch = 0; batch < opts.max_random_batches && !remaining.empty(); ++batch) {
+      const auto w1 = random_batch(rng, view_->num_controls());
+      const auto w2 = random_batch(rng, view_->num_controls());
+      const int dropped = run_pair(w1, w2);
+      barren_streak = (dropped == 0) ? barren_streak + 1 : 0;
+      if (barren_streak >= opts.useless_batch_window) break;
+    }
   }
 
   // Deterministic top-up: PODEM finds V2 for the equivalent stuck-at; V1 is
@@ -315,6 +325,7 @@ AtpgResult AtpgEngine::run_transition(const AtpgOptions& opts) const {
   // like the stuck-at phase; each remaining fault gets a bounded number of
   // initialisation retries across sweeps.
   if (opts.deterministic_phase && !remaining.empty()) {
+    WCM_OBS_SPAN("atpg/podem_phase");
     Podem podem(*view_);
     std::vector<std::uint8_t> attempts(n.size() * 2, 0);
     auto flag_of = [](const Fault& f) {

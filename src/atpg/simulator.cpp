@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/executor.hpp"
 
@@ -287,6 +288,8 @@ void Simulator::detect_masks(std::span<const Fault> faults, std::uint64_t* out,
   constexpr std::size_t kChunk = 64;
   constexpr std::size_t kStemChunk = 16;
   if (faults.empty()) return;
+  WCM_OBS_SPAN("atpg/stem_sweep");
+  WCM_OBS_ADD("atpg.faults_swept", faults.size());
   const bool serial = faults.size() <= kChunk || !exec::runs_parallel(threads);
 
   if (!share_stems_) {

@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace wcm {
@@ -46,6 +47,7 @@ void erase_sorted(std::vector<int>& v, int value) {
 }  // namespace
 
 CliquePartition partition_cliques(const CompatGraph& graph, const MergePredicate& can_merge) {
+  WCM_OBS_SPAN("solve/clique_greedy");
   // Clusters are identified by slots; merging retires two slots and opens a
   // new one (mirroring the paper's "add node n', delete n1 and n2").
   // Neighbourhoods are sorted id vectors: new cluster ids are strictly

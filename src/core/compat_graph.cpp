@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/executor.hpp"
 
@@ -188,6 +189,7 @@ CompatGraph build_compat_graph(const GraphInputs& in, const CellLibrary& lib,
   // gate's cone touches only that gate's slot, so warming distinct gates in
   // parallel is race-free — and afterwards the edge pass only reads.
   {
+    WCM_OBS_SPAN("graph/cone_prewarm");
     const std::size_t chunks = std::min<std::size_t>(num_nodes, 16);
     exec::parallel_chunks(num_nodes, chunks, threads,
                           [&](std::size_t, std::size_t begin, std::size_t end) {
@@ -349,6 +351,7 @@ CompatGraph build_compat_graph(const GraphInputs& in, const CellLibrary& lib,
     tasks.reserve(ranges.size() + drainers);
     for (std::size_t c = 0; c < ranges.size(); ++c) {
       tasks.push_back([&, c] {
+        WCM_OBS_SPAN("graph/scan_chunk");
         std::vector<CandidateEdge>& out = found[c];
         for (std::size_t jj = ranges[c].first; jj < ranges[c].second; ++jj) {
           const std::size_t j = first_tsv + jj;
@@ -357,10 +360,14 @@ CompatGraph build_compat_graph(const GraphInputs& in, const CellLibrary& lib,
           // Feed this row's oracle-bound pairs to the consumers.
           for (std::size_t k = row_base; k < out.size(); ++k) {
             if (!out[k].needs_oracle) continue;
+            WCM_OBS_COUNT("graph.pipeline_produced");
             const PairQuery q = query_of(out[k]);
             while (!queue.try_push(q)) {
               PairQuery other;
-              if (queue.try_pop(other)) evaluate_one(other);
+              if (queue.try_pop(other)) {
+                WCM_OBS_COUNT("graph.pipeline_helped");
+                evaluate_one(other);
+              }
             }
           }
         }
@@ -369,14 +376,19 @@ CompatGraph build_compat_graph(const GraphInputs& in, const CellLibrary& lib,
     }
     for (std::size_t d = 0; d < drainers; ++d) {
       tasks.push_back([&] {
+        WCM_OBS_SPAN("graph/pipeline_drain");
         PairQuery q;
-        while (queue.pop_wait(q)) evaluate_one(q);
+        while (queue.pop_wait(q)) {
+          WCM_OBS_COUNT("graph.pipeline_drained");
+          evaluate_one(q);
+        }
       });
     }
     exec::run_tasks(tasks, threads);
   } else {
     exec::parallel_chunks(rows, chunks, threads,
                           [&](std::size_t c, std::size_t begin, std::size_t end) {
+                            WCM_OBS_SPAN("graph/scan_chunk");
                             std::vector<CandidateEdge>& out = found[c];
                             for (std::size_t jj = begin; jj < end; ++jj) {
                               const std::size_t j = first_tsv + jj;
@@ -392,6 +404,7 @@ CompatGraph build_compat_graph(const GraphInputs& in, const CellLibrary& lib,
     }
   }
 
+  WCM_OBS_SPAN("graph/merge_edges");
   for (const auto& chunk : found) {
     for (const CandidateEdge& e : chunk) {
       bool via_overlap = e.via_overlap;

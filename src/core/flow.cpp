@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "atpg/testview.hpp"
+#include "obs/obs.hpp"
 #include "sta/sta.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
@@ -49,6 +50,7 @@ FlowReport run_flow(const Netlist& n, const FlowConfig& cfg) {
       break;
     case ClockPolicy::kTightDerived:
     case ClockPolicy::kLooseDerived: {
+      WCM_OBS_SPAN("flow/clock_derive");
       const double tight =
           tight_clock_period_ps(n, cfg.lib, cfg.place, cfg.tight_clock_margin);
       lib.set_clock_period_ps(cfg.clock_policy == ClockPolicy::kTightDerived
@@ -61,27 +63,43 @@ FlowReport run_flow(const Netlist& n, const FlowConfig& cfg) {
 
   // ---- physical design (3D-Craft stand-in) ----
   auto phase_start = Clock::now();
-  Placement placement = place(n, cfg.place);
+  Placement placement;
+  {
+    WCM_OBS_SPAN("flow/place");
+    placement = place(n, cfg.place);
+  }
   report.times.place_ms = ms_since(phase_start);
 
   // ---- the WCM solve (graph construction + clique partitioning) ----
   phase_start = Clock::now();
-  report.solution = cfg.method == SolveMethod::kLiGreedy
-                        ? solve_li_greedy(n, &placement, lib, cfg.wcm)
-                        : solve_wcm(n, &placement, lib, cfg.wcm);
+  {
+    WCM_OBS_SPAN("flow/solve");
+    report.solution = cfg.method == SolveMethod::kLiGreedy
+                          ? solve_li_greedy(n, &placement, lib, cfg.wcm)
+                          : solve_wcm(n, &placement, lib, cfg.wcm);
+  }
   report.times.solve_ms = ms_since(phase_start);
 
   // ---- DFT insertion + signoff (with optional ECO repair) ----
   phase_start = Clock::now();
   WrapperPlan plan = report.solution.plan;
+  {
+  WCM_OBS_SPAN("flow/signoff");
   for (int round = 0;; ++round) {
     Netlist inserted = n;
     Placement inserted_placement = placement;
-    report.insertion = insert_wrappers(inserted, plan, &inserted_placement);
+    {
+      WCM_OBS_SPAN("dft/insert");
+      report.insertion = insert_wrappers(inserted, plan, &inserted_placement);
+    }
     if (!cfg.run_signoff) break;
 
     StaEngine signoff(inserted, lib, &inserted_placement);
-    const TimingReport timing = signoff.run();
+    TimingReport timing;
+    {
+      WCM_OBS_SPAN("sta/signoff");
+      timing = signoff.run();
+    }
     report.violating_endpoints = timing.violating_endpoints;
     report.worst_slack_ps = timing.worst_slack;
     report.timing_violation = timing.violating_endpoints > 0;
@@ -127,6 +145,7 @@ FlowReport run_flow(const Netlist& n, const FlowConfig& cfg) {
     report.repair_demotions += demoted;
     ++report.repair_iterations;
   }
+  }
   // The final plan (possibly repaired) is the deliverable.
   report.solution.plan = plan;
   report.solution.reused_ffs = plan.num_reused();
@@ -136,10 +155,12 @@ FlowReport run_flow(const Netlist& n, const FlowConfig& cfg) {
   // ---- ATPG verification on the test view ----
   phase_start = Clock::now();
   if (cfg.run_stuck_at) {
+    WCM_OBS_SPAN("flow/atpg_stuck_at");
     const TestView view = build_test_view(n, report.solution.plan);
     report.stuck_at = AtpgEngine(view).run_stuck_at(cfg.atpg);
   }
   if (cfg.run_transition) {
+    WCM_OBS_SPAN("flow/atpg_transition");
     const TestView view = build_test_view(n, report.solution.plan);
     report.transition = AtpgEngine(view).run_transition(cfg.atpg);
   }

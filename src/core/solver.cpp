@@ -7,6 +7,7 @@
 
 #include "core/clique.hpp"
 #include "dft/insertion.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -226,7 +227,11 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
                        (cfg.timing_model == TimingModel::kAccurate && placement)
                            ? &timing_placement
                            : nullptr);
-  const TimingReport timing = timing_sta.run();
+  TimingReport timing;
+  {
+    WCM_OBS_SPAN("solve/timing_view_sta");
+    timing = timing_sta.run();
+  }
 
   ConeDb cones(n);
   AtpgOptions measure_opts;
@@ -256,6 +261,7 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
       !cfg.oracle_cache_path.empty() && cfg.oracle_mode == OracleMode::kMeasured;
   std::string oracle_cache_file;
   if (persist_oracle) {
+    WCM_OBS_SPAN("solve/oracle_cache_load");
     oracle_cache_file = oracle.cache_file_in(cfg.oracle_cache_path);
     if (oracle.load_cache(oracle_cache_file))
       WCM_LOG_DEBUG("oracle cache warm: %zu entries from %s", oracle.cache_entries(),
@@ -294,23 +300,33 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
   std::vector<char> ff_consumed(n.size(), 0);
 
   for (NodeKind direction : order) {
-    const auto& tsvs = (direction == NodeKind::kInboundTsv) ? inbound : outbound;
+    const bool is_inbound = direction == NodeKind::kInboundTsv;
+    WCM_OBS_SPAN("solve/direction", is_inbound ? "inbound" : "outbound");
+    const auto& tsvs = is_inbound ? inbound : outbound;
     std::vector<GateId> available_ffs;
     for (GateId ff : n.scan_flip_flops())
       if (!ff_consumed[static_cast<std::size_t>(ff)]) available_ffs.push_back(ff);
 
-    const CompatGraph graph =
-        build_compat_graph(inputs, lib, tsvs, direction, available_ffs, cfg);
+    CompatGraph graph;
+    {
+      WCM_OBS_SPAN("solve/compat_graph");
+      graph = build_compat_graph(inputs, lib, tsvs, direction, available_ffs, cfg);
+    }
 
     CliquePartition cliques;
-    if (direction == NodeKind::kInboundTsv) {
-      InboundCapacityModel model(inputs, lib, cfg, graph, th.cap_th_ff, th.s_th_ps);
-      cliques = partition_cliques(
-          graph, [&model](const auto& a, const auto& b) { return model.can_merge(a, b); });
-    } else {
-      OutboundSlackModel model(inputs, lib, cfg, graph, th.s_th_ps, th.cap_th_ff);
-      cliques = partition_cliques(
-          graph, [&model](const auto& a, const auto& b) { return model.can_merge(a, b); });
+    {
+      WCM_OBS_SPAN("solve/clique_partition");
+      if (is_inbound) {
+        InboundCapacityModel model(inputs, lib, cfg, graph, th.cap_th_ff, th.s_th_ps);
+        cliques = partition_cliques(graph, [&model](const auto& a, const auto& b) {
+          return model.can_merge(a, b);
+        });
+      } else {
+        OutboundSlackModel model(inputs, lib, cfg, graph, th.s_th_ps, th.cap_th_ff);
+        cliques = partition_cliques(graph, [&model](const auto& a, const auto& b) {
+          return model.can_merge(a, b);
+        });
+      }
     }
 
     PhaseStats stats;
@@ -329,8 +345,11 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
   solution.additional_cells = solution.plan.num_additional();
   WCM_ASSERT_MSG(solution.plan.covers_all_tsvs(n), "solver produced an incomplete plan");
 
-  if (persist_oracle && !oracle.save_cache(oracle_cache_file))
-    WCM_LOG_WARN("oracle cache not saved: %s", oracle_cache_file.c_str());
+  if (persist_oracle) {
+    WCM_OBS_SPAN("solve/oracle_cache_save");
+    if (!oracle.save_cache(oracle_cache_file))
+      WCM_LOG_WARN("oracle cache not saved: %s", oracle_cache_file.c_str());
+  }
   return solution;
 }
 

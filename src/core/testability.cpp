@@ -12,8 +12,10 @@
 
 #include "atpg/faults.hpp"
 #include "atpg/testview.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/executor.hpp"
+#include "util/logging.hpp"
 
 namespace wcm {
 
@@ -90,8 +92,12 @@ PairImpact TestabilityOracle::evaluate(GateId a, NodeKind ka, GateId b, NodeKind
   Shard& shard = shard_of(key);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    if (auto it = shard.map.find(key); it != shard.map.end()) return it->second;
+    if (auto it = shard.map.find(key); it != shard.map.end()) {
+      WCM_OBS_COUNT("oracle.cache_hit");
+      return it->second;
+    }
   }
+  WCM_OBS_COUNT("oracle.cache_miss");
   // Compute outside the lock — impacts are pure functions of the pair, so a
   // concurrent duplicate computes the identical value; first insert wins and
   // the query counter moves only for the winner (deterministic count).
@@ -104,16 +110,29 @@ PairImpact TestabilityOracle::evaluate(GateId a, NodeKind ka, GateId b, NodeKind
 }
 
 PairImpact TestabilityOracle::compute(GateId a, NodeKind ka, GateId b, NodeKind kb) {
-  if (mode_ != OracleMode::kMeasured) return structural(a, ka, b, kb);
-  return incremental_ ? measured_incremental(a, ka, b, kb) : measured(a, ka, b, kb);
+  if (mode_ != OracleMode::kMeasured) {
+    WCM_OBS_COUNT("oracle.structural_evals");
+    return structural(a, ka, b, kb);
+  }
+  if (incremental_) {
+    WCM_OBS_SPAN("oracle/measured_incremental");
+    WCM_OBS_COUNT("oracle.incremental_evals");
+    return measured_incremental(a, ka, b, kb);
+  }
+  WCM_OBS_SPAN("oracle/measured_scratch");
+  WCM_OBS_COUNT("oracle.scratch_evals");
+  return measured(a, ka, b, kb);
 }
 
 void TestabilityOracle::prepare() {
-  if (mode_ == OracleMode::kMeasured) (void)reference();
+  if (mode_ != OracleMode::kMeasured) return;
+  WCM_OBS_SPAN("oracle/prepare");
+  (void)reference();
 }
 
 void TestabilityOracle::evaluate_batch(const std::vector<PairQuery>& queries, int threads) {
   if (queries.empty()) return;
+  WCM_OBS_SPAN("oracle/evaluate_batch");
   prepare();
   // Fold duplicates and cache hits first so the fan-out is one task per
   // distinct ATPG campaign.
@@ -251,20 +270,32 @@ bool TestabilityOracle::save_cache(const std::string& path) const {
                           "-" + std::to_string(save_counter.fetch_add(1));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
+    if (!out) {
+      WCM_LOG_WARN("oracle cache save failed: cannot open temp file %s", tmp.c_str());
+      WCM_OBS_COUNT("oracle.cache_save_fail");
+      return false;
+    }
     out.write(reinterpret_cast<const char*>(buf.data()),
               static_cast<std::streamsize>(buf.size()));
     if (!out) {
       out.close();
       std::filesystem::remove(tmp, ec);
+      WCM_LOG_WARN("oracle cache save failed: short write of %zu bytes to %s",
+                   buf.size(), tmp.c_str());
+      WCM_OBS_COUNT("oracle.cache_save_fail");
       return false;
     }
   }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
+    const std::string reason = ec.message();
     std::filesystem::remove(tmp, ec);
+    WCM_LOG_WARN("oracle cache save failed: rename %s -> %s: %s", tmp.c_str(),
+                 path.c_str(), reason.c_str());
+    WCM_OBS_COUNT("oracle.cache_save_fail");
     return false;
   }
+  WCM_OBS_COUNT("oracle.cache_save");
   return true;
 }
 
@@ -372,6 +403,7 @@ bool TestabilityOracle::load_cache(const std::string& path) {
       for (GateId g : view.controls[c].driven)
         reference_control_of_[static_cast<std::size_t>(g)] = static_cast<int>(c);
   }
+  WCM_OBS_COUNT("oracle.cache_load");
   return true;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace wcm {
@@ -46,6 +47,7 @@ std::vector<std::string> check_plan(const Netlist& n, const WrapperPlan& plan) {
 }
 
 InsertionResult insert_wrappers(Netlist& n, const WrapperPlan& plan, Placement* placement) {
+  WCM_OBS_SPAN("dft/insert_wrappers");
   WCM_ASSERT_MSG(check_plan(n, plan).empty(), "illegal wrapper plan");
   InsertionResult result;
 

@@ -1,0 +1,287 @@
+#include "obs/obs.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+namespace wcm {
+namespace obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_on{false};
+std::atomic<bool> g_trace_on{false};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Global cap on buffered spans: a runaway trace degrades to dropped spans
+/// (counted, reported in otherData) instead of unbounded memory.
+constexpr std::uint64_t kMaxSpans = 1u << 20;
+std::atomic<std::uint64_t> g_span_count{0};
+std::atomic<std::uint64_t> g_spans_dropped{0};
+
+/// Microseconds since a fixed process epoch. The epoch is sampled once on
+/// first use and never moves (reset() keeps it), so timestamps stay
+/// monotonic across trace resets.
+double now_us() {
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch).count();
+}
+
+/// Per-thread span buffer. `depth` is owner-thread-only; `label` and `spans`
+/// are shared with the exporter under `mutex`.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<SpanRecord> spans;
+  std::string label;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+};
+
+/// All thread buffers ever created. Buffers are shared_ptr so a thread can
+/// exit (releasing its thread_local handle) while the exporter still reads
+/// its spans. Intentionally leaked: pool workers (the static shared solve
+/// pool in particular) may outlive static destruction order.
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::atomic<std::uint32_t> next_tid{1};
+};
+
+BufferRegistry& buffer_registry() {
+  static BufferRegistry* r = new BufferRegistry;
+  return *r;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> tls = [] {
+    auto buf = std::make_shared<ThreadBuffer>();
+    BufferRegistry& reg = buffer_registry();
+    buf->tid = reg.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.buffers.push_back(buf);
+    return buf;
+  }();
+  return *tls;
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string us(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- switches
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_on.store(on, std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on) {
+  detail::g_trace_on.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- metrics
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* r = new MetricsRegistry;  // leaked: see BufferRegistry
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_[name];
+}
+
+std::uint64_t MetricsRegistry::value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) out.emplace_back(name, counter.value());
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::gauge_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) out.emplace_back(name, gauge.value());
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter.reset();
+  for (auto& [name, gauge] : gauges_) gauge.set(0);
+}
+
+// ------------------------------------------------------------------ spans
+
+void PhaseTimer::open(const char* name, const std::string* detail) {
+  ThreadBuffer& buf = local_buffer();
+  name_ = name;
+  if (detail) detail_ = new std::string(*detail);
+  buffer_ = &buf;
+  depth_ = buf.depth++;
+  active_ = true;
+  start_us_ = now_us();
+}
+
+void PhaseTimer::close() {
+  const double end_us = now_us();
+  ThreadBuffer& buf = *static_cast<ThreadBuffer*>(buffer_);
+  --buf.depth;
+  std::string detail;
+  if (detail_) {
+    detail = std::move(*detail_);
+    delete detail_;
+  }
+  if (g_span_count.fetch_add(1, std::memory_order_relaxed) >= kMaxSpans) {
+    g_spans_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.spans.push_back(
+      SpanRecord{name_, std::move(detail), start_us_, end_us - start_us_, depth_});
+}
+
+void set_thread_label(const std::string& label) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.label = label;
+}
+
+std::vector<ThreadSpans> trace_snapshot() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    BufferRegistry& reg = buffer_registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    buffers = reg.buffers;
+  }
+  std::vector<ThreadSpans> out;
+  out.reserve(buffers.size());
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    out.push_back(ThreadSpans{buf->tid, buf->label, buf->spans});
+  }
+  return out;
+}
+
+std::uint64_t spans_dropped() { return g_spans_dropped.load(std::memory_order_relaxed); }
+
+// ----------------------------------------------------------------- export
+
+std::string counters_json() {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : MetricsRegistry::instance().snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(value);
+  }
+  out += '}';
+  return out;
+}
+
+std::string gauges_json() {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : MetricsRegistry::instance().gauge_snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(value);
+  }
+  out += '}';
+  return out;
+}
+
+std::string chrome_trace_json() {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"wcm3d\"}}";
+  for (const ThreadSpans& t : trace_snapshot()) {
+    if (t.spans.empty()) continue;  // idle pool lanes add noise, not signal
+    const std::string lane =
+        t.label.empty() ? "thread-" + std::to_string(t.tid) : t.label;
+    out += ",{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(t.tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" + json_escape(lane) +
+           "\"}}";
+    for (const SpanRecord& s : t.spans) {
+      out += ",{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(t.tid) +
+             ",\"ts\":" + us(s.ts_us) + ",\"dur\":" + us(s.dur_us) +
+             ",\"cat\":\"wcm\",\"name\":\"" + json_escape(s.name) +
+             "\",\"args\":{\"depth\":" + std::to_string(s.depth);
+      if (!s.detail.empty()) out += ",\"detail\":\"" + json_escape(s.detail) + '"';
+      out += "}}";
+    }
+  }
+  out += "],\"otherData\":{\"counters\":" + counters_json() +
+         ",\"gauges\":" + gauges_json() +
+         ",\"spans_dropped\":" + std::to_string(spans_dropped()) + "}}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << chrome_trace_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+void reset() {
+  MetricsRegistry::instance().reset();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    BufferRegistry& reg = buffer_registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    buffers = reg.buffers;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    buf->spans.clear();
+  }
+  g_span_count.store(0, std::memory_order_relaxed);
+  g_spans_dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace wcm

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "runner/seeds.hpp"
 #include "util/thread_pool.hpp"
 
@@ -34,12 +35,23 @@ JobResult execute_job(const CampaignJob& job, std::size_t index,
   JobResult result;
   result.index = index;
   result.label = job.label;
+  // Job context is captured BEFORE the fallible body: a job that throws still
+  // reports which die it ran and which derived seed streams it used, so its
+  // error row is reproducible (`wcm3d gen --seed ...` + the same config).
+  JobSeeds seeds;
+  if (opts.root_seed) {
+    seeds = derive_job_seeds(*opts.root_seed, index);
+    result.seeds = seeds;
+  }
+  if (const auto* spec = std::get_if<DieSpec>(&job.die)) {
+    result.die_name = spec->name;
+  } else if (const auto& shared = std::get<std::shared_ptr<const Netlist>>(job.die)) {
+    result.die_name = shared->name();
+  }
   const auto job_start = Clock::now();
   try {
     FlowConfig cfg = job.config;
-    JobSeeds seeds;
     if (opts.root_seed) {
-      seeds = derive_job_seeds(*opts.root_seed, index);
       cfg.place.seed ^= seeds.place;
       cfg.atpg.seed ^= seeds.atpg;
     }
@@ -93,7 +105,16 @@ struct RunState {
     }
     if (opts->observer) opts->observer->on_job_start(index, job.label);
 
-    slot = execute_job(job, index, *opts);
+    {
+      // The span lives on the worker thread, so every solve-phase span the
+      // job emits nests under it in that worker's trace lane.
+      WCM_OBS_SPAN("campaign/job", job.label);
+      slot = execute_job(job, index, *opts);
+    }
+    if (slot.ok)
+      WCM_OBS_COUNT("campaign.jobs_ok");
+    else
+      WCM_OBS_COUNT("campaign.jobs_failed");
 
     running.fetch_sub(1, std::memory_order_relaxed);
     finished.fetch_add(1, std::memory_order_relaxed);
@@ -134,6 +155,8 @@ CampaignResult run_impl(const Campaign& campaign, const CampaignOptions& opts,
   result.metrics.jobs_finished = state.finished.load();
   result.metrics.jobs_failed = state.failed.load();
   result.metrics.peak_concurrency = state.peak.load();
+  WCM_OBS_GAUGE_SET("campaign.workers", result.metrics.workers);
+  WCM_OBS_GAUGE_SET("campaign.peak_concurrency", result.metrics.peak_concurrency);
   return result;
 }
 

@@ -23,6 +23,7 @@
 
 #include "core/flow.hpp"
 #include "gen/generator.hpp"
+#include "runner/seeds.hpp"
 
 namespace wcm {
 
@@ -32,11 +33,16 @@ struct CampaignJob {
   FlowConfig config;
 };
 
-/// Per-job outcome. `report` is valid only when `ok`.
+/// Per-job outcome. `report` is valid only when `ok`; `die_name` and `seeds`
+/// are populated before the job body runs, so they identify a FAILED job too
+/// (the error channel keeps full context for reproduction).
 struct JobResult {
   std::size_t index = 0;
   std::string label;
   std::string die_name;
+  /// Per-job seed streams derived from CampaignOptions::root_seed; unset
+  /// when the campaign ran without a root seed.
+  std::optional<JobSeeds> seeds;
   bool ok = false;
   std::string error;
   FlowReport report;

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace wcm {
 
 namespace {
@@ -22,17 +24,28 @@ void append_atpg(std::ostringstream& out, const char* key, const AtpgResult& r) 
       << ",\"test_coverage\":" << num(r.test_coverage()) << '}';
 }
 
+void append_seeds(std::ostringstream& out, const JobResult& job) {
+  if (!job.seeds) return;
+  out << ",\"seeds\":{\"generator\":" << job.seeds->generator
+      << ",\"place\":" << job.seeds->place << ",\"atpg\":" << job.seeds->atpg << '}';
+}
+
 void append_job(std::ostringstream& out, const JobResult& job) {
   out << "{\"index\":" << job.index << ",\"label\":\"" << json_escape(job.label)
       << "\",\"ok\":" << (job.ok ? "true" : "false");
   if (!job.ok) {
+    // Failed jobs keep their identifying context (die + derived seeds): an
+    // error row must be enough to reproduce the job that produced it.
+    out << ",\"die\":\"" << json_escape(job.die_name) << '"';
+    append_seeds(out, job);
     out << ",\"error\":\"" << json_escape(job.error) << "\",\"total_ms\":"
         << num(job.total_ms) << '}';
     return;
   }
   const FlowReport& r = job.report;
-  out << ",\"die\":\"" << json_escape(job.die_name) << '"'
-      << ",\"clock_period_ps\":" << num(r.clock_period_ps)
+  out << ",\"die\":\"" << json_escape(job.die_name) << '"';
+  append_seeds(out, job);
+  out << ",\"clock_period_ps\":" << num(r.clock_period_ps)
       << ",\"reused_ffs\":" << r.solution.reused_ffs
       << ",\"additional_cells\":" << r.solution.additional_cells
       << ",\"timing_violation\":" << (r.timing_violation ? "true" : "false")
@@ -88,7 +101,10 @@ std::string campaign_report_json(const CampaignResult& result) {
     if (i) out << ',';
     append_job(out, result.jobs[i]);
   }
-  out << "]}";
+  // Observability totals for the whole campaign (oracle cache hit/miss,
+  // pipeline produce/drain, ...). Zero/empty when metrics were disabled.
+  out << "],\"obs\":{\"counters\":" << obs::counters_json()
+      << ",\"gauges\":" << obs::gauges_json() << "}}";
   return out.str();
 }
 

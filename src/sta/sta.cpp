@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace wcm {
@@ -52,6 +53,7 @@ double StaEngine::gate_out_slew_ps(GateId g, double load_ff, double input_slew_p
 }
 
 TimingReport StaEngine::run() const {
+  WCM_OBS_SPAN("sta/run");
   const std::size_t k = n_.size();
   TimingReport rep;
   rep.arrival.assign(k, 0.0);

@@ -28,7 +28,7 @@ ThreadPool& shared_pool() {
   // Floor of 4: on small hosts a requested width > 1 should still run truly
   // concurrent (determinism tests and TSan need the interleavings to exist),
   // at worst mildly oversubscribed for short tasks.
-  static ThreadPool pool(std::max(4, ThreadPool::default_concurrency()));
+  static ThreadPool pool(std::max(4, ThreadPool::default_concurrency()), "solve");
   return pool;
 }
 

@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include "obs/obs.hpp"
+
 namespace wcm {
 namespace {
 
@@ -14,7 +16,8 @@ int ThreadPool::default_concurrency() {
 
 bool ThreadPool::on_worker_thread() { return tls_pool_worker; }
 
-ThreadPool::ThreadPool(int workers) {
+ThreadPool::ThreadPool(int workers, const char* lane_prefix)
+    : lane_prefix_(lane_prefix ? lane_prefix : "worker") {
   const int count = workers > 0 ? workers : default_concurrency();
   queues_.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) queues_.push_back(std::make_unique<Queue>());
@@ -86,6 +89,7 @@ bool ThreadPool::any_queued() const {
 
 void ThreadPool::worker_loop(std::size_t id) {
   tls_pool_worker = true;
+  obs::set_thread_label(lane_prefix_ + "-" + std::to_string(id));
   for (;;) {
     std::function<void()> task;
     if (try_acquire(id, task)) {

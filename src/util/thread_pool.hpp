@@ -33,8 +33,10 @@ namespace wcm {
 
 class ThreadPool {
  public:
-  /// `workers` <= 0 selects default_concurrency().
-  explicit ThreadPool(int workers = 0);
+  /// `workers` <= 0 selects default_concurrency(). `lane_prefix` names the
+  /// workers' trace lanes (obs::set_thread_label), e.g. "worker" ->
+  /// worker-0..worker-N in an exported Chrome trace.
+  explicit ThreadPool(int workers = 0, const char* lane_prefix = "worker");
 
   /// Drains every queued task, then joins all workers.
   ~ThreadPool();
@@ -86,6 +88,7 @@ class ThreadPool {
   bool any_queued() const;
   void worker_loop(std::size_t id);
 
+  std::string lane_prefix_;
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> threads_;
 

@@ -17,6 +17,7 @@
 #include "core/solver.hpp"
 #include "core/testability.hpp"
 #include "gen/generator.hpp"
+#include "obs/obs.hpp"
 
 namespace wcm {
 namespace {
@@ -307,6 +308,33 @@ TEST(OracleCacheTest, CorruptReferenceSectionIsColdStart) {
   EXPECT_FALSE(fresh.load_cache(path));
   EXPECT_FALSE(fresh.has_reference());
   EXPECT_EQ(fresh.cache_entries(), 0u);
+}
+
+TEST(OracleCacheTest, SaveFailureIsReportedNotSilent) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kMeasured, cheap_opts());
+  warm_up(n, oracle);
+  ASSERT_GT(oracle.cache_entries(), 0u);
+
+  // The parent "directory" of the target is a regular file, so neither the
+  // temp file nor the final rename can ever succeed.
+  const fs::path dir = scratch_dir("savefail");
+  const fs::path blocker = dir / "not_a_dir";
+  std::ofstream(blocker).put('x');
+
+  obs::set_metrics_enabled(true);
+  const std::uint64_t before =
+      obs::MetricsRegistry::instance().value("oracle.cache_save_fail");
+  EXPECT_FALSE(oracle.save_cache((blocker / "cache.wcmoc").string()));
+  // The failure is accounted, not swallowed (a warning is also logged).
+  EXPECT_EQ(obs::MetricsRegistry::instance().value("oracle.cache_save_fail"),
+            before + 1);
+  obs::set_metrics_enabled(false);
+  EXPECT_FALSE(fs::exists(blocker / "cache.wcmoc"));
+
+  // A writable directory still works for the very same oracle afterwards.
+  EXPECT_TRUE(oracle.save_cache((dir / "cache.wcmoc").string()));
 }
 
 TEST(OracleCacheTest, SolveWarmStartProducesIdenticalPlan) {

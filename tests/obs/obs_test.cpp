@@ -1,0 +1,194 @@
+// Tests for the observability subsystem (src/obs): metrics registry
+// semantics, span recording with per-thread nesting, runtime gating, and the
+// Chrome trace-event export. The multi-thread cases run at widths {1, 2, 8}
+// and are part of the TSan matrix (ctest -L obs under WCM_SANITIZE=thread).
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wcm {
+namespace {
+
+/// Every test starts from clean global state and leaves the switches off so
+/// unrelated suites never pay for (or observe) metrics this suite enabled.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_metrics_enabled(false);
+    obs::set_trace_enabled(false);
+    obs::reset();
+  }
+  void TearDown() override {
+    obs::set_metrics_enabled(false);
+    obs::set_trace_enabled(false);
+    obs::reset();
+  }
+};
+
+TEST_F(ObsTest, CounterAddAndValue) {
+  obs::Counter& c = obs::MetricsRegistry::instance().counter("obs_test.basic");
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(obs::MetricsRegistry::instance().value("obs_test.basic"), 7u);
+}
+
+TEST_F(ObsTest, AbsentCounterReadsZero) {
+  EXPECT_EQ(obs::MetricsRegistry::instance().value("obs_test.never_registered"), 0u);
+}
+
+TEST_F(ObsTest, MacroGatedByMetricsSwitch) {
+  WCM_OBS_COUNT("obs_test.gated");
+  EXPECT_EQ(obs::MetricsRegistry::instance().value("obs_test.gated"), 0u);
+
+  obs::set_metrics_enabled(true);
+  WCM_OBS_COUNT("obs_test.gated");
+  WCM_OBS_ADD("obs_test.gated", 9);
+  EXPECT_EQ(obs::MetricsRegistry::instance().value("obs_test.gated"), 10u);
+}
+
+TEST_F(ObsTest, ResetZeroesInPlaceKeepingReferencesValid) {
+  obs::Counter& c = obs::MetricsRegistry::instance().counter("obs_test.reset");
+  c.add(5);
+  obs::MetricsRegistry::instance().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);  // the cached reference must still hit the registry's entry
+  EXPECT_EQ(obs::MetricsRegistry::instance().value("obs_test.reset"), 2u);
+}
+
+TEST_F(ObsTest, GaugeHoldsLastValue) {
+  obs::set_metrics_enabled(true);
+  WCM_OBS_GAUGE_SET("obs_test.gauge", 4);
+  WCM_OBS_GAUGE_SET("obs_test.gauge", 7);
+  bool found = false;
+  for (const auto& [name, value] : obs::MetricsRegistry::instance().gauge_snapshot()) {
+    if (name == "obs_test.gauge") {
+      EXPECT_EQ(value, 7);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+/// Spans recorded on this thread since the fixture reset.
+std::vector<obs::SpanRecord> my_spans() {
+  for (obs::ThreadSpans& t : obs::trace_snapshot())
+    if (!t.spans.empty()) return std::move(t.spans);
+  return {};
+}
+
+TEST_F(ObsTest, DisabledTraceRecordsNothing) {
+  {
+    WCM_OBS_SPAN("obs_test/ignored");
+  }
+  for (const obs::ThreadSpans& t : obs::trace_snapshot()) EXPECT_TRUE(t.spans.empty());
+}
+
+TEST_F(ObsTest, SpansNestByScopeDepth) {
+  obs::set_trace_enabled(true);
+  {
+    WCM_OBS_SPAN("obs_test/outer");
+    {
+      WCM_OBS_SPAN("obs_test/inner", std::string("pair 3"));
+    }
+  }
+  const std::vector<obs::SpanRecord> spans = my_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner closes first, so completion order is inner, outer.
+  EXPECT_EQ(spans[0].name, "obs_test/inner");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[0].detail, "pair 3");
+  EXPECT_EQ(spans[1].name, "obs_test/outer");
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_GE(spans[1].dur_us, spans[0].dur_us);
+  EXPECT_LE(spans[1].ts_us, spans[0].ts_us);
+}
+
+TEST_F(ObsTest, DepthRecoversAfterSpans) {
+  obs::set_trace_enabled(true);
+  {
+    WCM_OBS_SPAN("obs_test/first");
+  }
+  {
+    WCM_OBS_SPAN("obs_test/second");
+  }
+  const std::vector<obs::SpanRecord> spans = my_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].depth, 0u);
+}
+
+TEST_F(ObsTest, ChromeExportCarriesLanesSpansAndCounters) {
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  obs::set_thread_label("obs-test-main");
+  WCM_OBS_COUNT("obs_test.exported");
+  {
+    WCM_OBS_SPAN("obs_test/export", std::string("quote\" and\nnewline"));
+  }
+  const std::string json = obs::chrome_trace_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs-test-main\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test/export\""), std::string::npos);
+  // Detail strings must arrive escaped, never raw.
+  EXPECT_NE(json.find("quote\\\" and\\nnewline"), std::string::npos);
+  EXPECT_EQ(json.find("and\nnewline"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.exported\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"spans_dropped\":0"), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetClearsSpans) {
+  obs::set_trace_enabled(true);
+  {
+    WCM_OBS_SPAN("obs_test/cleared");
+  }
+  ASSERT_FALSE(my_spans().empty());
+  obs::reset();
+  EXPECT_TRUE(my_spans().empty());
+}
+
+/// Worker threads record concurrently while the main thread exports; each
+/// labeled lane must come back intact. Exercised at several widths so the
+/// TSan job sees both the uncontended and contended paths.
+void run_lane_isolation(int width) {
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  constexpr int kSpansPerThread = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(width);
+  for (int w = 0; w < width; ++w) {
+    threads.emplace_back([w] {
+      obs::set_thread_label("obs-lane-" + std::to_string(w));
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        WCM_OBS_SPAN("obs_test/lane_work");
+        WCM_OBS_COUNT("obs_test.lane_events");
+        // Concurrent exports must be safe against in-flight recording.
+        if (i == kSpansPerThread / 2) (void)obs::chrome_trace_json();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  int labeled_lanes = 0;
+  for (const obs::ThreadSpans& t : obs::trace_snapshot()) {
+    if (t.label.rfind("obs-lane-", 0) != 0) continue;
+    if (t.spans.empty()) continue;  // lane left over from an earlier width
+    ++labeled_lanes;
+    EXPECT_EQ(t.spans.size(), static_cast<std::size_t>(kSpansPerThread));
+    for (const obs::SpanRecord& s : t.spans) EXPECT_EQ(s.depth, 0u);
+  }
+  EXPECT_EQ(labeled_lanes, width);
+  EXPECT_EQ(obs::MetricsRegistry::instance().value("obs_test.lane_events"),
+            static_cast<std::uint64_t>(width) * kSpansPerThread);
+}
+
+TEST_F(ObsTest, LaneIsolationWidth1) { run_lane_isolation(1); }
+TEST_F(ObsTest, LaneIsolationWidth2) { run_lane_isolation(2); }
+TEST_F(ObsTest, LaneIsolationWidth8) { run_lane_isolation(8); }
+
+}  // namespace
+}  // namespace wcm

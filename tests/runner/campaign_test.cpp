@@ -134,6 +134,36 @@ TEST(CampaignTest, FailedJobIsRecordedAndCampaignContinues) {
   EXPECT_EQ(result.metrics.jobs_finished, 4);
 }
 
+TEST(CampaignTest, FailedJobKeepsDieAndSeedContext) {
+  // A throwing job must still report WHICH die it ran and the derived seed
+  // streams it used — an error row without that context is unreproducible.
+  Campaign campaign;
+  DieSpec bad = small_spec("bad_ctx_die", 1);
+  bad.num_gates = -5;  // throws inside the job body, after context capture
+  campaign.add(bad, tight_config(), "bad_ctx");
+
+  CampaignOptions opts;
+  opts.root_seed = 0xC0FFEEu;
+  const CampaignResult result = run_campaign_serial(campaign, opts);
+
+  ASSERT_EQ(result.jobs.size(), 1u);
+  const JobResult& job = result.jobs[0];
+  ASSERT_FALSE(job.ok);
+  EXPECT_EQ(job.die_name, "bad_ctx_die");
+  ASSERT_TRUE(job.seeds.has_value());
+  const JobSeeds expect = derive_job_seeds(0xC0FFEEu, 0);
+  EXPECT_EQ(job.seeds->generator, expect.generator);
+  EXPECT_EQ(job.seeds->place, expect.place);
+  EXPECT_EQ(job.seeds->atpg, expect.atpg);
+
+  // ... and the JSON error row carries both.
+  const std::string json = campaign_report_json(result);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"die\":\"bad_ctx_die\""), std::string::npos);
+  EXPECT_NE(json.find("\"seeds\":{\"generator\":" + std::to_string(expect.generator)),
+            std::string::npos);
+}
+
 TEST(CampaignTest, SharedNetlistJobsRunConcurrently) {
   // Several jobs reading one const Netlist exercises the thread-safe lazy
   // classification cache (this is the TSan-sensitive path).

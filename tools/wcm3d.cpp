@@ -7,12 +7,12 @@
 //   wcm3d solve --in die.bench [--method proposed|agrawal|li]
 //               [--scenario area|tight] [--lib tech.wcmlib]
 //               [--oracle structural|measured|measured-scratch]
-//               [--oracle-cache dir]
+//               [--oracle-cache dir] [--trace trace.json]
 //               [--atpg] [--out die_dft.bench] [--csv report.csv]
 //   wcm3d campaign [--circuit all|b11..b22] [--method proposed|agrawal|li]
 //               [--scenario area|tight|both] [--jobs N] [--seed S]
 //               [--oracle structural|measured|measured-scratch]
-//               [--oracle-cache dir]
+//               [--oracle-cache dir] [--trace trace.json]
 //               [--atpg] [--json report.json] [--quiet]
 //
 // `solve` runs the full Fig. 6 flow: placement, STA, graph construction,
@@ -28,6 +28,11 @@
 // from-scratch ATPG per pair); `--oracle-cache DIR` persists measured
 // verdicts to DIR so a re-run of the same solve/campaign warm-starts
 // (docs/RUNNER.md, "Warm-started campaigns").
+//
+// `--trace FILE` records phase spans (src/obs) during solve/campaign and
+// writes a Chrome trace-event JSON viewable in chrome://tracing or Perfetto
+// — one lane per campaign worker, solve phases nested under each job
+// (docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -44,6 +49,7 @@
 #include "netlist/bench_io.hpp"
 #include "netlist/optimize.hpp"
 #include "netlist/verilog_io.hpp"
+#include "obs/obs.hpp"
 #include "partition/partition.hpp"
 #include "runner/campaign.hpp"
 #include "runner/report_json.hpp"
@@ -77,6 +83,58 @@ bool parse_args(int argc, char** argv, int first, std::map<std::string, std::str
   return true;
 }
 
+/// Strict integer flag parsing: when `name` is present its whole value must
+/// be a base-10 integer >= min_value, otherwise a clear message goes to
+/// stderr and the caller exits 2. Leaves `out` untouched when absent, so
+/// defaults survive. Closes the hole where `--jobs -3` or `--parts 0`
+/// silently produced nonsense configurations.
+bool parse_int_flag(const std::map<std::string, std::string>& args, const char* cmd,
+                    const char* name, int min_value, int& out) {
+  const auto it = args.find(name);
+  if (it == args.end()) return true;
+  const std::string& raw = it->second;
+  int value = 0;
+  std::size_t used = 0;
+  try {
+    value = std::stoi(raw, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (raw.empty() || used != raw.size()) {
+    std::fprintf(stderr, "%s: --%s expects an integer, got '%s'\n", cmd, name,
+                 raw.c_str());
+    return false;
+  }
+  if (value < min_value) {
+    std::fprintf(stderr, "%s: --%s must be >= %d, got %d\n", cmd, name, min_value,
+                 value);
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+/// Enables metrics for the run and, with --trace set, span recording too.
+/// Returns the trace output path ("" = no tracing requested).
+std::string begin_observed_run(const std::map<std::string, std::string>& args) {
+  obs::set_metrics_enabled(true);  // counters always land in reports
+  if (!args.count("trace")) return std::string();
+  obs::set_trace_enabled(true);
+  obs::set_thread_label("main");
+  return args.at("trace");
+}
+
+/// Writes the Chrome trace if one was requested. Returns false on I/O error.
+bool finish_observed_run(const char* cmd, const std::string& trace_path) {
+  if (trace_path.empty()) return true;
+  if (!obs::write_chrome_trace(trace_path)) {
+    std::fprintf(stderr, "%s: cannot write trace %s\n", cmd, trace_path.c_str());
+    return false;
+  }
+  std::printf("wrote trace       : %s\n", trace_path.c_str());
+  return true;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -89,13 +147,13 @@ int usage() {
                "[--scenario area|tight]\n"
                "              [--lib <file.wcmlib|file.lib>] [--atpg] [--out <file>]\n"
                "              [--oracle structural|measured|measured-scratch]\n"
-               "              [--oracle-cache <dir>]\n"
+               "              [--oracle-cache <dir>] [--trace <file>]\n"
                "              [--verilog <file>] [--csv <file>]\n"
                "  wcm3d campaign [--circuit all|<b11..b22>] "
                "[--method proposed|agrawal|li]\n"
                "              [--scenario area|tight|both] [--jobs N] [--seed N]\n"
                "              [--oracle structural|measured|measured-scratch]\n"
-               "              [--oracle-cache <dir>]\n"
+               "              [--oracle-cache <dir>] [--trace <file>]\n"
                "              [--atpg] [--json <file>] [--quiet]\n");
   return 2;
 }
@@ -103,16 +161,18 @@ int usage() {
 int cmd_gen(const std::map<std::string, std::string>& args) {
   DieSpec spec;
   if (args.count("circuit")) {
-    spec = itc99_die_spec(args.at("circuit"), args.count("die") ? std::stoi(args.at("die")) : 0);
+    int die = 0;
+    if (!parse_int_flag(args, "gen", "die", 0, die)) return 2;
+    spec = itc99_die_spec(args.at("circuit"), die);
   } else {
     if (!args.count("gates")) {
       std::fprintf(stderr, "gen: need --circuit or --gates\n");
       return 2;
     }
-    spec.num_gates = std::stoi(args.at("gates"));
-    if (args.count("ffs")) spec.num_scan_ffs = std::stoi(args.at("ffs"));
-    if (args.count("inbound")) spec.num_inbound = std::stoi(args.at("inbound"));
-    if (args.count("outbound")) spec.num_outbound = std::stoi(args.at("outbound"));
+    if (!parse_int_flag(args, "gen", "gates", 1, spec.num_gates)) return 2;
+    if (!parse_int_flag(args, "gen", "ffs", 0, spec.num_scan_ffs)) return 2;
+    if (!parse_int_flag(args, "gen", "inbound", 0, spec.num_inbound)) return 2;
+    if (!parse_int_flag(args, "gen", "outbound", 0, spec.num_outbound)) return 2;
     if (args.count("seed")) spec.seed = std::stoull(args.at("seed"));
     spec.name = "custom";
   }
@@ -139,7 +199,7 @@ int cmd_split(const std::map<std::string, std::string>& args) {
     return 1;
   }
   PartitionOptions opts;
-  if (args.count("parts")) opts.num_parts = std::stoi(args.at("parts"));
+  if (!parse_int_flag(args, "split", "parts", 1, opts.num_parts)) return 2;
   if (args.count("seed")) opts.seed = std::stoull(args.at("seed"));
   const PartitionResult parts = partition(parsed.netlist, opts);
   const auto dies = split_into_dies(parsed.netlist, parts);
@@ -260,6 +320,7 @@ int cmd_solve(const std::map<std::string, std::string>& args) {
   cfg.run_transition = args.count("atpg") > 0;
 
   if (method == "li") cfg.method = SolveMethod::kLiGreedy;
+  const std::string trace_path = begin_observed_run(args);
   const FlowReport report = run_flow(die, cfg);
 
   std::printf("die %s | method %s | scenario %s | clock %.0f ps\n", die.name().c_str(),
@@ -311,6 +372,7 @@ int cmd_solve(const std::map<std::string, std::string>& args) {
     out << csv.to_csv();
     std::printf("wrote CSV report  : %s\n", args.at("csv").c_str());
   }
+  if (!finish_observed_run("solve", trace_path)) return 1;
   return report.timing_violation ? 3 : 0;
 }
 
@@ -393,12 +455,13 @@ int cmd_campaign(const std::map<std::string, std::string>& args) {
   }
 
   CampaignOptions opts;
-  if (args.count("jobs")) opts.jobs = std::stoi(args.at("jobs"));
+  if (!parse_int_flag(args, "campaign", "jobs", 1, opts.jobs)) return 2;
   if (args.count("seed")) opts.root_seed = std::stoull(args.at("seed"));
   if (args.count("oracle-cache")) opts.oracle_cache_dir = args.at("oracle-cache");
   ProgressPrinter progress(campaign.size());
   if (!args.count("quiet")) opts.observer = &progress;
 
+  const std::string trace_path = begin_observed_run(args);
   const CampaignResult result = run_campaign(campaign, opts);
 
   Table table({"job", "reused", "additional", "violation", "wns_ps", "clock_ps", "ms"});
@@ -429,6 +492,7 @@ int cmd_campaign(const std::map<std::string, std::string>& args) {
     }
     std::printf("wrote JSON report : %s\n", args.at("json").c_str());
   }
+  if (!finish_observed_run("campaign", trace_path)) return 1;
   return m.jobs_failed > 0 ? 1 : 0;
 }
 
