@@ -1,0 +1,124 @@
+// Distributed-dispatch overhead measurement: the same campaign run locally
+// (serial reference) and through `dispatch_jobs` against 1, 2 and 4
+// in-process loopback workers, reported as BENCH_serve.json in the
+// bench_compare "kernels" schema.
+//
+//   WCM_QUICK=1  restrict to the small dies (smoke run)
+//
+// Loopback workers share the machine, so wall-clock speedup over local is
+// NOT the point (a 1-worker fleet measures pure protocol overhead; 2 and 4
+// measure how well the pull-window load-balances). The hard assertion is
+// determinism: every dispatched job's signature must equal the serial run's
+// — the bench exits nonzero on any mismatch, making it an end-to-end
+// determinism gate over real TCP.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "net/dispatcher.hpp"
+#include "net/worker.hpp"
+#include "runner/scenario.hpp"
+
+int main() {
+  using namespace wcm;
+  using namespace wcm::bench;
+
+  std::vector<net::NetJob> jobs;
+  for (const DieSpec& spec : evaluation_dies()) {
+    if (!quick_mode() && spec.num_gates > 10000) continue;  // tractable suite
+    for (const bool tight : {false, true}) {
+      net::NetJob job;
+      job.index = jobs.size();
+      job.die = spec;
+      job.scenario.tight = tight;
+      job.label = spec.name + "/proposed/" + scenario_name(job.scenario);
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  Campaign reference;
+  for (const net::NetJob& job : jobs)
+    reference.add(job.die, make_scenario_config(job.scenario), job.label);
+
+  const std::uint64_t root_seed = 1234;
+  std::printf("serve perf: %zu jobs, local serial vs 1/2/4 loopback workers...\n",
+              jobs.size());
+  CampaignOptions serial_opts;
+  serial_opts.root_seed = root_seed;
+  const CampaignResult serial = run_campaign_serial(reference, serial_opts);
+  std::vector<std::string> expected;
+  for (const JobResult& job : serial.jobs) {
+    if (!job.ok) {
+      std::fprintf(stderr, "serve perf: local job '%s' failed: %s\n",
+                   job.label.c_str(), job.error.c_str());
+      return 1;
+    }
+    expected.push_back(flow_report_signature(job.report));
+  }
+  std::printf("local-serial : %.0f ms\n", serial.metrics.wall_ms);
+
+  struct Kernel {
+    std::string label;
+    double seconds = 0.0;
+  };
+  std::vector<Kernel> kernels{{"local-serial", serial.metrics.wall_ms / 1000.0}};
+
+  int mismatches = 0;
+  for (const int fleet_size : {1, 2, 4}) {
+    std::vector<std::unique_ptr<net::WorkerServer>> fleet;
+    net::DispatchOptions opts;
+    opts.root_seed = root_seed;
+    for (int i = 0; i < fleet_size; ++i) {
+      auto worker = std::make_unique<net::WorkerServer>(net::WorkerOptions{});
+      std::string error;
+      if (!worker->start(error)) {
+        std::fprintf(stderr, "serve perf: worker start failed: %s\n", error.c_str());
+        return 1;
+      }
+      opts.endpoints.push_back({"127.0.0.1", worker->port()});
+      fleet.push_back(std::move(worker));
+    }
+
+    const net::DispatchResult remote = net::dispatch_jobs(jobs, opts);
+    for (auto& worker : fleet) worker->drain();
+
+    if (!remote.error.empty() || !remote.complete) {
+      std::fprintf(stderr, "serve perf: dispatch to %d workers incomplete: %s\n",
+                   fleet_size, remote.error.c_str());
+      return 1;
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (remote.signatures[i] != expected[i]) {
+        ++mismatches;
+        std::fprintf(stderr, "serve perf: SIGNATURE MISMATCH %s (%d workers)\n",
+                     jobs[i].label.c_str(), fleet_size);
+      }
+    }
+    const double overhead_pct =
+        serial.metrics.wall_ms > 0.0
+            ? (remote.metrics.wall_ms / serial.metrics.wall_ms - 1.0) * 100.0
+            : 0.0;
+    std::printf("dispatch-%dw  : %.0f ms (%+.1f%% vs local, %llu sends, "
+                "%llu B in)\n",
+                fleet_size, remote.metrics.wall_ms, overhead_pct,
+                static_cast<unsigned long long>(remote.stats.jobs_dispatched),
+                static_cast<unsigned long long>(remote.stats.bytes_in));
+    kernels.push_back({"dispatch-" + std::to_string(fleet_size) + "w",
+                       remote.metrics.wall_ms / 1000.0});
+  }
+
+  std::ofstream json("BENCH_serve.json");
+  json << "{\"bench\":\"serve\",\"jobs\":" << jobs.size()
+       << ",\"signature_mismatches\":" << mismatches << ",\"kernels\":[";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    if (i) json << ",";
+    json << "{\"label\":\"" << kernels[i].label
+         << "\",\"seconds\":" << kernels[i].seconds << "}";
+  }
+  json << "]}\n";
+  std::printf("wrote BENCH_serve.json | signature mismatches: %d\n", mismatches);
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+#include "net/channel.hpp"
+
+#include "net/protocol.hpp"
+
+namespace wcm {
+namespace net {
+
+Channel::ReadStatus Channel::read_message(int timeout_ms, JsonValue& msg,
+                                          std::string& type) {
+  std::string payload;
+  for (;;) {
+    switch (decoder_.next(payload)) {
+      case FrameDecoder::Status::kFrame: {
+        std::string parse_error;
+        if (!parse_message(payload, msg, type, parse_error)) {
+          error_ = parse_error;
+          return ReadStatus::kError;
+        }
+        return ReadStatus::kMessage;
+      }
+      case FrameDecoder::Status::kError:
+        error_ = decoder_.error();
+        return ReadStatus::kError;
+      case FrameDecoder::Status::kNeedMore: break;
+    }
+
+    char buf[16 * 1024];
+    const long got = socket_.recv_some(buf, sizeof buf, timeout_ms);
+    if (got > 0) {
+      bytes_in_ += static_cast<std::uint64_t>(got);
+      decoder_.feed(buf, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got == 0) {
+      if (decoder_.pending_bytes() > 0) {
+        error_ = "connection closed mid-frame";
+        return ReadStatus::kError;
+      }
+      return ReadStatus::kClosed;
+    }
+    if (got == -2) return ReadStatus::kTimeout;
+    error_ = "recv failed";
+    return ReadStatus::kError;
+  }
+}
+
+bool Channel::write_payload(const std::string& payload) {
+  const std::string framed = encode_frame(payload);
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (!socket_.send_all(framed)) {
+    error_ = "send failed";
+    return false;
+  }
+  bytes_out_ += framed.size();
+  return true;
+}
+
+}  // namespace net
+}  // namespace wcm

@@ -1,0 +1,58 @@
+// One framed-message connection: Socket + FrameDecoder + protocol parse,
+// shared by the worker server and the dispatcher client.
+//
+// Reads are single-threaded (each side has exactly one reader per
+// connection); writes are mutex-serialized because the worker's executor
+// thread and its protocol-error paths may interleave replies. Byte counters
+// feed the net.bytes_in / net.bytes_out metrics.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "net/frame.hpp"
+#include "net/json.hpp"
+#include "net/socket.hpp"
+
+namespace wcm {
+namespace net {
+
+class Channel {
+ public:
+  explicit Channel(Socket socket) : socket_(std::move(socket)) {}
+
+  enum class ReadStatus {
+    kMessage,  ///< msg/type filled
+    kTimeout,  ///< nothing arrived within timeout_ms
+    kClosed,   ///< orderly EOF at a frame boundary
+    kError,    ///< transport or protocol failure; see error()
+  };
+
+  /// Reads the next complete message. `timeout_ms` bounds ONE poll wait; a
+  /// frame that is mid-arrival keeps reading until complete or closed.
+  ReadStatus read_message(int timeout_ms, JsonValue& msg, std::string& type);
+
+  /// Frames and sends one payload. False on transport failure.
+  bool write_payload(const std::string& payload);
+
+  const std::string& error() const { return error_; }
+  std::uint64_t bytes_in() const { return bytes_in_; }
+  std::uint64_t bytes_out() const { return bytes_out_; }
+
+  bool valid() const { return socket_.valid(); }
+  /// Wakes a blocked reader on another thread (hard kill).
+  void shutdown() { socket_.shutdown_both(); }
+  void close() { socket_.close(); }
+
+ private:
+  Socket socket_;
+  FrameDecoder decoder_;
+  std::mutex write_mutex_;
+  std::string error_;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+}  // namespace net
+}  // namespace wcm

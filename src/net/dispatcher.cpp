@@ -1,0 +1,512 @@
+#include "net/dispatcher.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "net/channel.hpp"
+#include "obs/obs.hpp"
+#include "runner/seeds.hpp"
+#include "util/logging.hpp"
+
+namespace wcm {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A JobResult shell for a job that never produced a worker result: enough
+/// identity (index/label/die/seeds) that the row is reproducible, mirroring
+/// the local runner's cancelled/failed row contract.
+JobResult stub_row(const NetJob& job, const DispatchOptions& opts,
+                   std::string error) {
+  JobResult row;
+  row.index = job.index;
+  row.label = job.label;
+  row.die_name = job.die.name;
+  if (opts.root_seed) row.seeds = derive_job_seeds(*opts.root_seed, job.index);
+  row.ok = false;
+  row.error = std::move(error);
+  return row;
+}
+
+/// Everything the endpoint threads share, all under one mutex: the ready
+/// queue, the per-job merge state, and the aggregate counters. Job bodies
+/// never run here — critical sections are queue pops and row writes.
+struct Shared {
+  Shared(const std::vector<NetJob>& jobs_in, const DispatchOptions& opts_in)
+      : jobs(jobs_in),
+        opts(opts_in),
+        finalized(jobs_in.size(), 0),
+        dispatched_once(jobs_in.size(), 0),
+        attempts(jobs_in.size(), 0),
+        rows(jobs_in.size()),
+        signatures(jobs_in.size()) {
+    for (std::size_t i = 0; i < jobs_in.size(); ++i) ready.push_back(i);
+    live_workers = static_cast<int>(opts_in.endpoints.size());
+  }
+
+  const std::vector<NetJob>& jobs;
+  const DispatchOptions& opts;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::size_t> ready;
+  std::vector<char> finalized;
+  std::vector<char> dispatched_once;
+  std::vector<int> attempts;  ///< sends so far; permanent fail past 1+max_retries
+  std::vector<JobResult> rows;
+  std::vector<std::string> signatures;
+  std::size_t finalized_count = 0;
+
+  int live_workers = 0;
+  int in_flight_total = 0;
+  int peak_in_flight = 0;
+  bool cancelled_seen = false;
+
+  CampaignMetrics metrics;
+  DispatchStats stats;
+
+  bool all_finalized() const { return finalized_count == jobs.size(); }
+
+  bool cancel_requested() const {
+    return opts.cancel != nullptr &&
+           opts.cancel->load(std::memory_order_acquire);
+  }
+
+  // ---- row finalization (mutex held) ----
+
+  void finalize_result(const NetResult& result) {
+    const std::size_t idx = result.job.index;
+    rows[idx] = result.job;
+    signatures[idx] = result.signature;
+    finalized[idx] = 1;
+    ++finalized_count;
+    ++metrics.jobs_finished;
+    if (!result.job.ok) ++metrics.jobs_failed;
+    cv.notify_all();
+  }
+
+  void finalize_failed(std::size_t idx, const std::string& why) {
+    rows[idx] = stub_row(jobs[idx], opts, why);
+    finalized[idx] = 1;
+    ++finalized_count;
+    ++metrics.jobs_failed;
+    WCM_OBS_COUNT("net.jobs_failed");
+    cv.notify_all();
+  }
+
+  void finalize_cancelled(std::size_t idx) {
+    rows[idx] = stub_row(jobs[idx], opts, "cancelled");
+    finalized[idx] = 1;
+    ++finalized_count;
+    ++metrics.jobs_cancelled;
+    metrics.cancelled = true;
+    cv.notify_all();
+  }
+};
+
+/// One job this connection has sent and not yet heard back about.
+struct InFlight {
+  std::size_t index = 0;
+  Clock::time_point sent_at;
+};
+
+enum class ConnEnd {
+  kAllDone,  ///< every job finalized; bye sent
+  kDropped,  ///< transport death or deadline; unanswered jobs were re-queued
+};
+
+class EndpointThread {
+ public:
+  EndpointThread(Shared& shared, Endpoint endpoint)
+      : s_(shared), endpoint_(std::move(endpoint)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, ":%d", endpoint_.port);
+    label_ = endpoint_.host + buf;
+  }
+
+  void run() {
+    obs::set_thread_label("dispatch/" + label_);
+    int budget = 1 + std::max(0, s_.opts.reconnects);
+    bool connected_before = false;
+    while (budget-- > 0) {
+      {
+        std::lock_guard<std::mutex> lock(s_.mutex);
+        if (s_.all_finalized()) break;
+      }
+      std::string error;
+      Socket socket = tcp_connect(endpoint_.host, endpoint_.port,
+                                  s_.opts.connect_timeout_ms, error);
+      if (!socket.valid()) {
+        WCM_LOG_WARN("dispatch: connect %s failed: %s", label_.c_str(),
+                     error.c_str());
+        std::lock_guard<std::mutex> lock(s_.mutex);
+        ++s_.stats.connect_failures;
+        continue;
+      }
+      Channel channel(std::move(socket));
+      if (!handshake(channel)) {
+        std::lock_guard<std::mutex> lock(s_.mutex);
+        ++s_.stats.connect_failures;
+        continue;
+      }
+      if (connected_before) {
+        WCM_OBS_COUNT("net.reconnects");
+        std::lock_guard<std::mutex> lock(s_.mutex);
+        ++s_.stats.reconnects;
+      }
+      connected_before = true;
+      ConnEnd end;
+      {
+        WCM_OBS_SPAN("net/connection", label_);
+        end = run_connection(channel);
+      }
+      {
+        std::lock_guard<std::mutex> lock(s_.mutex);
+        s_.stats.bytes_in += channel.bytes_in();
+        s_.stats.bytes_out += channel.bytes_out();
+      }
+      WCM_OBS_ADD("net.bytes_in", channel.bytes_in());
+      WCM_OBS_ADD("net.bytes_out", channel.bytes_out());
+      channel.close();
+      if (end == ConnEnd::kAllDone) break;
+    }
+    on_exit();
+  }
+
+ private:
+  bool handshake(Channel& channel) {
+    if (!channel.write_payload(encode_hello("dispatcher"))) {
+      WCM_LOG_WARN("dispatch: %s: hello send failed", label_.c_str());
+      return false;
+    }
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(s_.opts.connect_timeout_ms);
+    for (;;) {
+      JsonValue msg;
+      std::string type;
+      switch (channel.read_message(100, msg, type)) {
+        case Channel::ReadStatus::kMessage: {
+          std::string role, error;
+          if (type == "error") {
+            WCM_LOG_WARN("dispatch: %s rejected handshake: %s", label_.c_str(),
+                         msg.get_string("message", "").c_str());
+            return false;
+          }
+          if (type != "hello" || !parse_hello(msg, role, error)) {
+            if (error.empty()) error = "expected hello, got '" + type + "'";
+            WCM_LOG_WARN("dispatch: %s: %s", label_.c_str(), error.c_str());
+            return false;
+          }
+          return true;
+        }
+        case Channel::ReadStatus::kTimeout:
+          if (Clock::now() >= deadline) {
+            WCM_LOG_WARN("dispatch: %s: handshake timed out", label_.c_str());
+            return false;
+          }
+          continue;
+        case Channel::ReadStatus::kClosed:
+        case Channel::ReadStatus::kError:
+          WCM_LOG_WARN("dispatch: %s: handshake failed: %s", label_.c_str(),
+                       channel.error().c_str());
+          return false;
+      }
+    }
+  }
+
+  ConnEnd run_connection(Channel& channel) {
+    in_flight_.clear();
+    for (;;) {
+      // Phase 1: refill the window (or, on cancel, drain the queue into
+      // cancelled rows). Jobs to send are picked under the lock, sent
+      // outside it.
+      std::vector<std::size_t> to_send;
+      {
+        std::unique_lock<std::mutex> lock(s_.mutex);
+        const bool cancel = s_.cancel_requested();
+        if (cancel && !s_.cancelled_seen) s_.cancelled_seen = true;
+        if (cancel) {
+          while (!s_.ready.empty()) {
+            const std::size_t idx = s_.ready.front();
+            s_.ready.pop_front();
+            if (!s_.finalized[idx]) s_.finalize_cancelled(idx);
+          }
+        } else {
+          const std::size_t window =
+              static_cast<std::size_t>(std::max(1, s_.opts.in_flight_per_worker));
+          while (in_flight_.size() + to_send.size() < window &&
+                 !s_.ready.empty()) {
+            const std::size_t idx = s_.ready.front();
+            s_.ready.pop_front();
+            if (s_.finalized[idx]) continue;
+            to_send.push_back(idx);
+          }
+        }
+        if (in_flight_.empty() && to_send.empty()) {
+          if (s_.all_finalized()) break;  // bye below
+          // Nothing to do but peers still hold jobs; they may die and
+          // re-queue, so wake periodically.
+          s_.cv.wait_for(lock, std::chrono::milliseconds(100));
+          continue;
+        }
+      }
+
+      // Phase 2: send.
+      bool send_failed = false;
+      for (std::size_t i = 0; i < to_send.size(); ++i) {
+        const std::size_t idx = to_send[i];
+        if (!channel.write_payload(encode_job(s_.jobs[idx], s_.opts.root_seed))) {
+          // This job and the rest of the batch never reached the worker:
+          // plain re-queue, no retry charge.
+          std::lock_guard<std::mutex> lock(s_.mutex);
+          for (std::size_t j = i; j < to_send.size(); ++j)
+            s_.ready.push_front(to_send[j]);
+          s_.cv.notify_all();
+          send_failed = true;
+          break;
+        }
+        WCM_OBS_COUNT("net.jobs_dispatched");
+        in_flight_.push_back({idx, Clock::now()});
+        std::lock_guard<std::mutex> lock(s_.mutex);
+        ++s_.stats.jobs_dispatched;
+        ++s_.attempts[idx];
+        if (!s_.dispatched_once[idx]) {
+          s_.dispatched_once[idx] = 1;
+          ++s_.metrics.jobs_started;
+        }
+        ++s_.in_flight_total;
+        if (s_.in_flight_total > s_.peak_in_flight)
+          s_.peak_in_flight = s_.in_flight_total;
+      }
+      if (send_failed) {
+        drop_connection("send failed");
+        return ConnEnd::kDropped;
+      }
+      if (in_flight_.empty()) continue;  // cancel drain with nothing pending
+
+      // Phase 3: await one message.
+      JsonValue msg;
+      std::string type;
+      switch (channel.read_message(100, msg, type)) {
+        case Channel::ReadStatus::kMessage:
+          if (!handle_message(msg, type)) {
+            drop_connection(last_error_);
+            return ConnEnd::kDropped;
+          }
+          break;
+        case Channel::ReadStatus::kTimeout:
+          if (deadline_expired()) {
+            channel.shutdown();
+            drop_connection("job deadline expired");
+            return ConnEnd::kDropped;
+          }
+          break;
+        case Channel::ReadStatus::kClosed:
+          drop_connection("worker closed connection");
+          return ConnEnd::kDropped;
+        case Channel::ReadStatus::kError:
+          drop_connection(channel.error());
+          return ConnEnd::kDropped;
+      }
+    }
+    channel.write_payload(encode_bye());
+    return ConnEnd::kAllDone;
+  }
+
+  /// Returns false when the message is a protocol error that should drop the
+  /// connection (reason left in last_error_).
+  bool handle_message(const JsonValue& msg, const std::string& type) {
+    if (type == "pong") return true;
+    if (type == "error") {
+      last_error_ = "worker error: " + msg.get_string("message", "(none)");
+      return false;
+    }
+    if (type != "result") {
+      last_error_ = "unexpected message type '" + type + "'";
+      return false;
+    }
+    NetResult result;
+    std::string error;
+    if (!parse_result(msg, result, error)) {
+      last_error_ = "bad result: " + error;
+      return false;
+    }
+    const std::size_t idx = result.job.index;
+    if (idx >= s_.jobs.size()) {
+      last_error_ = "result for unknown job index";
+      return false;
+    }
+    bool merged = false;
+    {
+      std::lock_guard<std::mutex> lock(s_.mutex);
+      if (s_.finalized[idx]) {
+        ++s_.stats.dup_results;
+        WCM_OBS_COUNT("net.dup_results");
+      } else {
+        s_.finalize_result(result);
+        merged = true;
+      }
+      for (std::size_t i = 0; i < in_flight_.size(); ++i) {
+        if (in_flight_[i].index != idx) continue;
+        in_flight_.erase(in_flight_.begin() + static_cast<std::ptrdiff_t>(i));
+        --s_.in_flight_total;
+        break;
+      }
+    }
+    if (merged && s_.opts.verbose)
+      std::fprintf(stderr, "dispatch: job %zu %s via %s %s (%.0f ms)\n", idx,
+                   result.job.label.c_str(), label_.c_str(),
+                   result.job.ok ? "ok" : "FAILED", result.job.total_ms);
+    return true;
+  }
+
+  bool deadline_expired() const {
+    if (s_.opts.job_timeout_ms <= 0 || in_flight_.empty()) return false;
+    const auto limit = std::chrono::milliseconds(s_.opts.job_timeout_ms);
+    const auto now = Clock::now();
+    for (const InFlight& f : in_flight_)
+      if (now - f.sent_at > limit) return true;
+    return false;
+  }
+
+  /// Re-queues (or permanently fails) every unanswered job of this
+  /// connection. Called exactly once per dropped connection.
+  void drop_connection(const std::string& why) {
+    WCM_LOG_WARN("dispatch: %s dropped: %s (%zu jobs unanswered)",
+                 label_.c_str(), why.c_str(), in_flight_.size());
+    std::lock_guard<std::mutex> lock(s_.mutex);
+    for (const InFlight& f : in_flight_) {
+      --s_.in_flight_total;
+      if (s_.finalized[f.index]) continue;
+      if (s_.attempts[f.index] >= 1 + std::max(0, s_.opts.max_retries)) {
+        s_.finalize_failed(f.index,
+                           "retries exhausted (worker connection lost: " + why +
+                               ")");
+        continue;
+      }
+      s_.ready.push_front(f.index);
+      ++s_.stats.jobs_retried;
+      WCM_OBS_COUNT("net.jobs_retried");
+    }
+    in_flight_.clear();
+    s_.cv.notify_all();
+  }
+
+  /// Last thread out fails whatever is left — with no live workers the
+  /// remaining jobs can never run, and every job must still get a row.
+  void on_exit() {
+    std::lock_guard<std::mutex> lock(s_.mutex);
+    if (--s_.live_workers > 0) return;
+    const bool cancel = s_.cancel_requested() || s_.cancelled_seen;
+    for (std::size_t idx = 0; idx < s_.jobs.size(); ++idx) {
+      if (s_.finalized[idx]) continue;
+      if (cancel)
+        s_.finalize_cancelled(idx);
+      else
+        s_.finalize_failed(idx, "no live workers remaining");
+    }
+  }
+
+  Shared& s_;
+  Endpoint endpoint_;
+  std::string label_;
+  std::vector<InFlight> in_flight_;
+  std::string last_error_;
+};
+
+}  // namespace
+
+bool parse_endpoint(const std::string& text, Endpoint& out, std::string& error) {
+  std::string host = "127.0.0.1";
+  std::string port_text = text;
+  const std::size_t colon = text.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) host = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+  }
+  if (port_text.empty()) {
+    error = "endpoint '" + text + "': missing port";
+    return false;
+  }
+  int port = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') {
+      error = "endpoint '" + text + "': port is not a number";
+      return false;
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      error = "endpoint '" + text + "': port out of range";
+      return false;
+    }
+  }
+  if (port <= 0) {
+    error = "endpoint '" + text + "': port out of range";
+    return false;
+  }
+  out.host = host;
+  out.port = port;
+  error.clear();
+  return true;
+}
+
+DispatchResult dispatch_jobs(const std::vector<NetJob>& jobs,
+                             const DispatchOptions& opts) {
+  DispatchResult out;
+  if (opts.endpoints.empty()) {
+    out.error = "dispatch: no worker endpoints";
+    return out;
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].index != i) {
+      out.error = "dispatch: jobs[" + std::to_string(i) +
+                  "].index != " + std::to_string(i);
+      return out;
+    }
+  }
+
+  Shared shared(jobs, opts);
+  shared.metrics.jobs_total = static_cast<int>(jobs.size());
+  shared.metrics.workers = static_cast<int>(opts.endpoints.size());
+  WCM_OBS_GAUGE_SET("net.fleet_size", opts.endpoints.size());
+
+  const auto wall_start = Clock::now();
+  if (!jobs.empty()) {
+    std::vector<std::thread> threads;
+    threads.reserve(opts.endpoints.size());
+    for (std::size_t i = 0; i < opts.endpoints.size(); ++i) {
+      threads.emplace_back([&shared, &opts, i] {
+        EndpointThread worker(shared, opts.endpoints[i]);
+        worker.run();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const auto wall_end = Clock::now();
+
+  shared.metrics.cancelled =
+      shared.metrics.cancelled || shared.cancelled_seen ||
+      (opts.cancel != nullptr && opts.cancel->load(std::memory_order_acquire) &&
+       shared.metrics.jobs_cancelled > 0);
+  shared.metrics.peak_concurrency = shared.peak_in_flight;
+  shared.metrics.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+
+  out.jobs = std::move(shared.rows);
+  out.signatures = std::move(shared.signatures);
+  out.metrics = shared.metrics;
+  out.stats = shared.stats;
+  out.complete = shared.metrics.jobs_finished == shared.metrics.jobs_total;
+  return out;
+}
+
+}  // namespace net
+}  // namespace wcm

@@ -1,0 +1,102 @@
+// `wcm3d dispatch` — the load-balancing client side of the solve service.
+//
+// dispatch_jobs() shards a list of NetJobs across a fleet of `wcm3d serve`
+// workers and merges the result rows into the exact shape a local
+// run_campaign produces. One thread per endpoint owns that worker's
+// connection end to end:
+//
+//   * window   — at most `in_flight_per_worker` unanswered jobs per worker;
+//                a fast worker drains its window and pulls more from the
+//                shared ready queue, so the fleet load-balances by pull, not
+//                by static sharding.
+//   * retry    — when a connection dies (EOF, transport error, per-job
+//                timeout), its unanswered jobs go back on the ready queue
+//                and another worker picks them up. A job is permanently
+//                failed only after 1 + max_retries sends.
+//   * merge    — at-most-once by job index: the first result row wins,
+//                duplicates (a "dead" worker that was merely slow answering
+//                a job we already re-ran) are counted and dropped.
+//   * drain    — cancel flips cooperative: in-flight jobs complete, queued
+//                jobs become cancelled rows, and the partial result is still
+//                a fully-formed report input.
+//
+// Determinism: the worker executes runner::run_campaign_job with the seed
+// streams derived from (root_seed, index) — the same pure function the local
+// runner uses — so a merged report row is bit-identical to its local twin no
+// matter which worker ran it or in what order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "runner/campaign.hpp"
+
+namespace wcm {
+namespace net {
+
+struct Endpoint {
+  std::string host;
+  int port = 0;
+};
+
+/// Parses "host:port" (or ":port" / "port" for localhost). False + `error`
+/// on malformed input.
+bool parse_endpoint(const std::string& text, Endpoint& out, std::string& error);
+
+struct DispatchOptions {
+  std::vector<Endpoint> endpoints;
+  /// Unanswered jobs a worker may hold at once (its pull window).
+  int in_flight_per_worker = 2;
+  int connect_timeout_ms = 5000;
+  /// 0 = no per-job deadline. Otherwise a job unanswered for this long marks
+  /// its connection dead (the worker is hung or gone) and triggers retry.
+  int job_timeout_ms = 0;
+  /// Extra sends a job gets after its first connection dies.
+  int max_retries = 2;
+  /// Times each endpoint thread re-establishes a dropped connection before
+  /// giving up on that worker.
+  int reconnects = 2;
+  /// Shipped to workers so they derive the same per-job seed streams the
+  /// local runner would (runner/seeds.hpp).
+  std::optional<std::uint64_t> root_seed;
+  /// Cooperative cancellation (the CLI's SIGINT flag). See file comment.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Print per-job completion lines to stderr.
+  bool verbose = false;
+};
+
+struct DispatchStats {
+  std::uint64_t jobs_dispatched = 0;  ///< send events (retries re-count)
+  std::uint64_t jobs_retried = 0;     ///< re-queues after a connection death
+  std::uint64_t dup_results = 0;      ///< results for already-merged jobs
+  std::uint64_t reconnects = 0;       ///< successful re-handshakes
+  std::uint64_t connect_failures = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+struct DispatchResult {
+  /// One row per input job, submission order — the same contract as
+  /// CampaignResult::jobs, ready for write_campaign_report_json.
+  std::vector<JobResult> jobs;
+  /// Worker-computed flow_report_signature per row ("" for rows without a
+  /// worker result).
+  std::vector<std::string> signatures;
+  CampaignMetrics metrics;
+  DispatchStats stats;
+  /// Every job was answered by a worker (no transport failures, no cancel).
+  bool complete = false;
+  /// Non-empty on a setup error (no endpoints, malformed job list); `jobs`
+  /// is empty in that case.
+  std::string error;
+};
+
+/// Runs `jobs` across opts.endpoints. `jobs[i].index` must equal `i`.
+DispatchResult dispatch_jobs(const std::vector<NetJob>& jobs,
+                             const DispatchOptions& opts);
+
+}  // namespace net
+}  // namespace wcm

@@ -1,0 +1,78 @@
+#include "net/frame.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace wcm {
+namespace net {
+
+namespace {
+
+void append_u32_le(std::string& out, std::uint32_t v) {
+  out += static_cast<char>(v & 0xFF);
+  out += static_cast<char>((v >> 8) & 0xFF);
+  out += static_cast<char>((v >> 16) & 0xFF);
+  out += static_cast<char>((v >> 24) & 0xFF);
+}
+
+std::uint32_t read_u32_le(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+void append_frame(std::string& out, std::string_view payload) {
+  append_u32_le(out, kFrameMagic);
+  append_u32_le(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+}
+
+std::string encode_frame(std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  append_frame(out, payload);
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (status_ == Status::kError || n == 0) return;
+  // Compact the consumed prefix before growing: the buffer never holds more
+  // than one partial frame plus whatever feed() just delivered.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+FrameDecoder::Status FrameDecoder::next(std::string& payload) {
+  if (status_ == Status::kError) return status_;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return Status::kNeedMore;
+  const char* header = buffer_.data() + consumed_;
+  const std::uint32_t magic = read_u32_le(header);
+  if (magic != kFrameMagic) {
+    status_ = Status::kError;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "bad frame magic 0x%08x", magic);
+    error_ = buf;
+    return status_;
+  }
+  const std::uint32_t length = read_u32_le(header + 4);
+  if (length > kMaxFramePayload) {
+    status_ = Status::kError;
+    error_ = "frame payload length " + std::to_string(length) + " exceeds cap " +
+             std::to_string(kMaxFramePayload);
+    return status_;
+  }
+  if (available < kFrameHeaderBytes + length) return Status::kNeedMore;
+  payload.assign(header + kFrameHeaderBytes, length);
+  consumed_ += kFrameHeaderBytes + length;
+  return Status::kFrame;
+}
+
+}  // namespace net
+}  // namespace wcm

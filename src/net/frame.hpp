@@ -1,0 +1,83 @@
+// Length-prefixed frame codec for the solve service wire protocol.
+//
+// Every frame is
+//
+//     [u32 magic 'WCMF'][u32 payload length][payload bytes]
+//
+// both integers little-endian. The magic repeats on every frame (not just
+// the handshake) so a desynchronized or non-protocol peer is detected on the
+// next frame boundary instead of being misread as a gigantic length. The
+// length is capped (kMaxFramePayload); an oversized prefix is a protocol
+// error, never an allocation — the classic "attacker sends 0xFFFFFFFF and
+// the server tries to reserve 4 GiB" failure mode.
+//
+// The decoder is incremental and transport-agnostic: feed() it whatever
+// bytes arrived, then next() yields complete payloads until it reports
+// kNeedMore. Truncated input simply stays kNeedMore (the connection layer
+// turns EOF-while-incomplete into an error); corrupt input flips the decoder
+// into a sticky kError state. This split keeps the codec unit-testable
+// against hostile byte streams without opening a socket.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wcm {
+namespace net {
+
+/// 'W' 'C' 'M' 'F' as a little-endian u32.
+constexpr std::uint32_t kFrameMagic = 0x464D4357u;
+
+/// Protocol version spoken by this build; carried in the hello message and
+/// checked by both ends before any job flows.
+constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Hard cap on one frame's payload. Job and result messages are < 4 KiB;
+/// 16 MiB leaves two orders of magnitude of headroom for future bulk
+/// messages while keeping a hostile length prefix harmless.
+constexpr std::uint32_t kMaxFramePayload = 16u * 1024u * 1024u;
+
+constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Appends one encoded frame (header + payload) to `out`.
+void append_frame(std::string& out, std::string_view payload);
+
+/// Convenience single-frame encode.
+std::string encode_frame(std::string_view payload);
+
+/// Incremental frame extractor. Typical loop:
+///
+///   decoder.feed(buf, n);
+///   while (decoder.next(payload) == FrameDecoder::Status::kFrame) handle(payload);
+///   if (decoder.status() == Status::kError) drop_connection(decoder.error());
+class FrameDecoder {
+ public:
+  enum class Status {
+    kNeedMore,  ///< no complete frame buffered yet
+    kFrame,     ///< `payload` filled with the next frame
+    kError,     ///< stream corrupt (bad magic / oversized length); sticky
+  };
+
+  void feed(const char* data, std::size_t n);
+  void feed(std::string_view bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// Extracts the next complete frame into `payload`.
+  Status next(std::string& payload);
+
+  Status status() const { return status_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (partial frame).
+  std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already handed out
+  Status status_ = Status::kNeedMore;
+  std::string error_;
+};
+
+}  // namespace net
+}  // namespace wcm

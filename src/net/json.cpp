@@ -1,0 +1,361 @@
+#include "net/json.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "runner/report_json.hpp"  // json_escape
+
+namespace wcm {
+namespace net {
+
+namespace {
+
+const std::string kEmptyString;
+
+bool is_json_ws(char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+
+/// Recursive-descent parser over a string_view with a depth cap (a hostile
+/// frame must not be able to blow the stack).
+class Parser {
+ public:
+  Parser(std::string_view text, std::string& error) : text_(text), error_(error) {}
+
+  bool parse_document(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& why) {
+    error_ = "json parse error at offset " + std::to_string(pos_) + ": " + why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && is_json_ws(text_[pos_])) ++pos_;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text_.size() - pos_ < len || text_.compare(pos_, len, word) != 0)
+      return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue::string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true", 4)) return fail("bad literal");
+        out = JsonValue::boolean(true);
+        return true;
+      case 'f':
+        if (!literal("false", 5)) return fail("bad literal");
+        out = JsonValue::boolean(false);
+        return true;
+      case 'n':
+        if (!literal("null", 4)) return fail("bad literal");
+        out = JsonValue::null();
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    out = JsonValue::object();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.set(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    out = JsonValue::array();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) return fail("dangling escape");
+      const char esc = text_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (text_.size() - pos_ < 4) return fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + i];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point. The protocol only round-trips
+          // escapes report_json emits (< 0x20), but full BMP costs nothing.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t digits_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    if (pos_ == digits_start) return fail("invalid number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t frac_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      if (pos_ == frac_start) return fail("invalid number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      const std::size_t exp_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      if (pos_ == exp_start) return fail("invalid number");
+    }
+    out = JsonValue::number_raw(std::string(text_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string& error_;
+};
+
+}  // namespace
+
+JsonValue JsonValue::number_raw(std::string token) {
+  JsonValue j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = std::move(token);
+  return j;
+}
+
+JsonValue JsonValue::number(std::int64_t v) { return number_raw(std::to_string(v)); }
+JsonValue JsonValue::number(std::uint64_t v) { return number_raw(std::to_string(v)); }
+
+JsonValue JsonValue::number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return number_raw(buf);
+}
+
+bool JsonValue::as_bool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+double JsonValue::as_double(double fallback) const {
+  if (kind_ != Kind::kNumber) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(number_.c_str(), &end);
+  if (end == number_.c_str() || *end != '\0') return fallback;
+  return v;
+}
+
+std::int64_t JsonValue::as_i64(std::int64_t fallback) const {
+  if (kind_ != Kind::kNumber) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(number_.c_str(), &end, 10);
+  if (end == number_.c_str() || *end != '\0' || errno == ERANGE) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t JsonValue::as_u64(std::uint64_t fallback) const {
+  if (kind_ != Kind::kNumber || number_.empty() || number_[0] == '-') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(number_.c_str(), &end, 10);
+  if (end == number_.c_str() || *end != '\0' || errno == ERANGE) return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& JsonValue::as_string() const {
+  return kind_ == Kind::kString ? string_ : kEmptyString;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_bool(fallback) : fallback;
+}
+
+double JsonValue::get_double(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_double(fallback) : fallback;
+}
+
+std::int64_t JsonValue::get_i64(std::string_view key, std::int64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_i64(fallback) : fallback;
+}
+
+std::uint64_t JsonValue::get_u64(std::string_view key, std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_u64(fallback) : fallback;
+}
+
+std::string JsonValue::get_string(std::string_view key, std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v && v->is_string() ? v->as_string() : fallback;
+}
+
+void JsonValue::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: out += number_; break;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        items_[i].dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        out += json_escape(members_[i].first);
+        out += "\":";
+        members_[i].second.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+bool json_parse(std::string_view text, JsonValue& out, std::string& error) {
+  Parser parser(text, error);
+  return parser.parse_document(out);
+}
+
+}  // namespace net
+}  // namespace wcm

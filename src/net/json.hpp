@@ -1,0 +1,119 @@
+// Minimal JSON document model for the wire protocol (src/net).
+//
+// The repo already renders JSON (runner/report_json); the distributed solve
+// service additionally has to *read* it back on both ends of a connection,
+// so this module adds a small DOM plus a strict recursive-descent parser.
+//
+// Two deliberate deviations from a general-purpose JSON library:
+//   * Numbers keep their literal token. Seeds and fingerprints are full
+//     64-bit integers; routing them through a double would silently round
+//     anything above 2^53 and break the dispatcher's bit-identity guarantee.
+//     as_u64/as_i64 parse the raw token, as_double goes through strtod, and
+//     dump() re-emits the token verbatim — a parse/dump round trip is
+//     byte-exact for numbers.
+//   * Objects preserve insertion order (vector of pairs, linear find): the
+//     protocol objects are tiny (< 30 keys) and deterministic output is
+//     worth more than O(1) lookup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wcm {
+namespace net {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool v) {
+    JsonValue j;
+    j.kind_ = Kind::kBool;
+    j.bool_ = v;
+    return j;
+  }
+  /// Number from a pre-formatted literal ("17", "-3.5", "1e9"). The token is
+  /// stored and re-emitted verbatim.
+  static JsonValue number_raw(std::string token);
+  static JsonValue number(std::int64_t v);
+  static JsonValue number(std::uint64_t v);
+  static JsonValue number(double v);  ///< %.17g — round-trips any finite double
+  static JsonValue string(std::string v) {
+    JsonValue j;
+    j.kind_ = Kind::kString;
+    j.string_ = std::move(v);
+    return j;
+  }
+  static JsonValue array() {
+    JsonValue j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static JsonValue object() {
+    JsonValue j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  // Typed reads. The default is returned when the value has the wrong kind
+  // or the number token does not parse as the requested type.
+  bool as_bool(bool fallback = false) const;
+  double as_double(double fallback = 0.0) const;
+  std::int64_t as_i64(std::int64_t fallback = 0) const;
+  std::uint64_t as_u64(std::uint64_t fallback = 0) const;
+  const std::string& as_string() const;  ///< empty string for non-strings
+
+  // Containers.
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  // Field-level convenience: obj.get_u64("seed", 0).
+  bool get_bool(std::string_view key, bool fallback = false) const;
+  double get_double(std::string_view key, double fallback = 0.0) const;
+  std::int64_t get_i64(std::string_view key, std::int64_t fallback = 0) const;
+  std::uint64_t get_u64(std::string_view key, std::uint64_t fallback = 0) const;
+  std::string get_string(std::string_view key, std::string fallback = "") const;
+
+  // Builders.
+  void push_back(JsonValue v) { items_.push_back(std::move(v)); }
+  void set(std::string key, JsonValue v) {
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// Compact serialization (no whitespace). Number tokens verbatim.
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string number_;  ///< literal token when kind == kNumber
+  std::string string_;  ///< payload when kind == kString
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Strict parse of one JSON document (trailing garbage is an error). On
+/// failure returns false and fills `error` with position + reason.
+bool json_parse(std::string_view text, JsonValue& out, std::string& error);
+
+}  // namespace net
+}  // namespace wcm

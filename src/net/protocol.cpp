@@ -1,0 +1,258 @@
+#include "net/protocol.hpp"
+
+#include "net/frame.hpp"
+
+namespace wcm {
+namespace net {
+
+namespace {
+
+constexpr const char* kMagicString = "wcm3d";
+
+JsonValue die_to_json(const DieSpec& spec) {
+  JsonValue die = JsonValue::object();
+  die.set("name", JsonValue::string(spec.name));
+  die.set("pis", JsonValue::number(static_cast<std::int64_t>(spec.num_pis)));
+  die.set("pos", JsonValue::number(static_cast<std::int64_t>(spec.num_pos)));
+  die.set("ffs", JsonValue::number(static_cast<std::int64_t>(spec.num_scan_ffs)));
+  die.set("gates", JsonValue::number(static_cast<std::int64_t>(spec.num_gates)));
+  die.set("inbound", JsonValue::number(static_cast<std::int64_t>(spec.num_inbound)));
+  die.set("outbound", JsonValue::number(static_cast<std::int64_t>(spec.num_outbound)));
+  die.set("seed", JsonValue::number(spec.seed));
+  return die;
+}
+
+bool die_from_json(const JsonValue& die, DieSpec& out, std::string& error) {
+  if (!die.is_object()) {
+    error = "job 'die' is not an object";
+    return false;
+  }
+  out.name = die.get_string("name", "remote");
+  out.num_pis = static_cast<int>(die.get_i64("pis", out.num_pis));
+  out.num_pos = static_cast<int>(die.get_i64("pos", out.num_pos));
+  out.num_scan_ffs = static_cast<int>(die.get_i64("ffs", out.num_scan_ffs));
+  out.num_gates = static_cast<int>(die.get_i64("gates", out.num_gates));
+  out.num_inbound = static_cast<int>(die.get_i64("inbound", out.num_inbound));
+  out.num_outbound = static_cast<int>(die.get_i64("outbound", out.num_outbound));
+  out.seed = die.get_u64("seed", out.seed);
+  return true;
+}
+
+JsonValue atpg_to_json(const AtpgResult& r) {
+  JsonValue j = JsonValue::object();
+  j.set("total_faults", JsonValue::number(static_cast<std::int64_t>(r.total_faults)));
+  j.set("detected", JsonValue::number(static_cast<std::int64_t>(r.detected)));
+  j.set("untestable", JsonValue::number(static_cast<std::int64_t>(r.untestable)));
+  j.set("aborted", JsonValue::number(static_cast<std::int64_t>(r.aborted)));
+  j.set("patterns", JsonValue::number(static_cast<std::int64_t>(r.patterns)));
+  return j;
+}
+
+void atpg_from_json(const JsonValue* j, AtpgResult& out) {
+  if (j == nullptr || !j->is_object()) return;
+  out.total_faults = static_cast<int>(j->get_i64("total_faults"));
+  out.detected = static_cast<int>(j->get_i64("detected"));
+  out.untestable = static_cast<int>(j->get_i64("untestable"));
+  out.aborted = static_cast<int>(j->get_i64("aborted"));
+  out.patterns = static_cast<int>(j->get_i64("patterns"));
+}
+
+}  // namespace
+
+std::string encode_hello(const std::string& role) {
+  JsonValue msg = JsonValue::object();
+  msg.set("type", JsonValue::string("hello"));
+  msg.set("magic", JsonValue::string(kMagicString));
+  msg.set("version", JsonValue::number(static_cast<std::uint64_t>(kProtocolVersion)));
+  msg.set("role", JsonValue::string(role));
+  return msg.dump();
+}
+
+std::string encode_job(const NetJob& job, const std::optional<std::uint64_t>& root_seed) {
+  JsonValue msg = JsonValue::object();
+  msg.set("type", JsonValue::string("job"));
+  msg.set("index", JsonValue::number(static_cast<std::uint64_t>(job.index)));
+  msg.set("label", JsonValue::string(job.label));
+  msg.set("die", die_to_json(job.die));
+  JsonValue scenario = JsonValue::object();
+  scenario.set("method", JsonValue::string(job.scenario.method));
+  scenario.set("tight", JsonValue::boolean(job.scenario.tight));
+  scenario.set("atpg", JsonValue::boolean(job.scenario.with_atpg));
+  scenario.set("oracle", JsonValue::string(job.scenario.oracle));
+  msg.set("scenario", std::move(scenario));
+  if (root_seed) msg.set("root_seed", JsonValue::number(*root_seed));
+  return msg.dump();
+}
+
+std::string encode_result(const JobResult& job, const std::string& signature) {
+  JsonValue msg = JsonValue::object();
+  msg.set("type", JsonValue::string("result"));
+  msg.set("index", JsonValue::number(static_cast<std::uint64_t>(job.index)));
+  msg.set("label", JsonValue::string(job.label));
+  msg.set("die", JsonValue::string(job.die_name));
+  if (job.seeds) {
+    JsonValue seeds = JsonValue::object();
+    seeds.set("generator", JsonValue::number(job.seeds->generator));
+    seeds.set("place", JsonValue::number(job.seeds->place));
+    seeds.set("atpg", JsonValue::number(job.seeds->atpg));
+    msg.set("seeds", std::move(seeds));
+  }
+  msg.set("ok", JsonValue::boolean(job.ok));
+  if (!job.ok) msg.set("error", JsonValue::string(job.error));
+  msg.set("generate_ms", JsonValue::number(job.generate_ms));
+  msg.set("total_ms", JsonValue::number(job.total_ms));
+  if (job.ok) {
+    const FlowReport& r = job.report;
+    JsonValue report = JsonValue::object();
+    report.set("clock_period_ps", JsonValue::number(r.clock_period_ps));
+    report.set("reused_ffs", JsonValue::number(static_cast<std::int64_t>(r.solution.reused_ffs)));
+    report.set("additional_cells",
+               JsonValue::number(static_cast<std::int64_t>(r.solution.additional_cells)));
+    report.set("timing_violation", JsonValue::boolean(r.timing_violation));
+    report.set("violating_endpoints",
+               JsonValue::number(static_cast<std::int64_t>(r.violating_endpoints)));
+    report.set("worst_slack_ps", JsonValue::number(r.worst_slack_ps));
+    report.set("repair_iterations",
+               JsonValue::number(static_cast<std::int64_t>(r.repair_iterations)));
+    report.set("repair_demotions",
+               JsonValue::number(static_cast<std::int64_t>(r.repair_demotions)));
+    report.set("stuck_at", atpg_to_json(r.stuck_at));
+    report.set("transition", atpg_to_json(r.transition));
+    JsonValue times = JsonValue::object();
+    times.set("place_ms", JsonValue::number(r.times.place_ms));
+    times.set("solve_ms", JsonValue::number(r.times.solve_ms));
+    times.set("signoff_ms", JsonValue::number(r.times.signoff_ms));
+    times.set("atpg_ms", JsonValue::number(r.times.atpg_ms));
+    times.set("total_ms", JsonValue::number(r.times.total_ms));
+    report.set("times", std::move(times));
+    msg.set("report", std::move(report));
+    msg.set("signature", JsonValue::string(signature));
+  }
+  return msg.dump();
+}
+
+std::string encode_error(const std::string& message) {
+  JsonValue msg = JsonValue::object();
+  msg.set("type", JsonValue::string("error"));
+  msg.set("message", JsonValue::string(message));
+  return msg.dump();
+}
+
+std::string encode_bye() {
+  JsonValue msg = JsonValue::object();
+  msg.set("type", JsonValue::string("bye"));
+  return msg.dump();
+}
+
+bool parse_message(const std::string& payload, JsonValue& out, std::string& type,
+                   std::string& error) {
+  type.clear();
+  if (!json_parse(payload, out, error)) return false;
+  if (!out.is_object()) {
+    error = "message is not a JSON object";
+    return false;
+  }
+  type = out.get_string("type");
+  if (type.empty()) {
+    error = "message has no 'type'";
+    return false;
+  }
+  return true;
+}
+
+bool parse_hello(const JsonValue& msg, std::string& role, std::string& error) {
+  if (msg.get_string("magic") != kMagicString) {
+    error = "hello magic mismatch (not a wcm3d peer)";
+    return false;
+  }
+  const std::uint64_t version = msg.get_u64("version");
+  if (version != kProtocolVersion) {
+    error = "protocol version mismatch: peer speaks v" + std::to_string(version) +
+            ", this build speaks v" + std::to_string(kProtocolVersion);
+    return false;
+  }
+  role = msg.get_string("role");
+  return true;
+}
+
+bool parse_job(const JsonValue& msg, NetJob& out,
+               std::optional<std::uint64_t>& root_seed, std::string& error) {
+  const JsonValue* index = msg.find("index");
+  const JsonValue* die = msg.find("die");
+  const JsonValue* scenario = msg.find("scenario");
+  if (index == nullptr || !index->is_number() || die == nullptr || scenario == nullptr ||
+      !scenario->is_object()) {
+    error = "job message missing index/die/scenario";
+    return false;
+  }
+  out.index = static_cast<std::size_t>(index->as_u64());
+  out.label = msg.get_string("label");
+  if (!die_from_json(*die, out.die, error)) return false;
+  out.scenario.method = scenario->get_string("method", "proposed");
+  out.scenario.tight = scenario->get_bool("tight", true);
+  out.scenario.with_atpg = scenario->get_bool("atpg", false);
+  out.scenario.oracle = scenario->get_string("oracle");
+  if (!validate_scenario(out.scenario, error)) return false;
+  root_seed.reset();
+  if (const JsonValue* seed = msg.find("root_seed"); seed != nullptr && seed->is_number())
+    root_seed = seed->as_u64();
+  return true;
+}
+
+bool parse_result(const JsonValue& msg, NetResult& out, std::string& error) {
+  const JsonValue* index = msg.find("index");
+  if (index == nullptr || !index->is_number()) {
+    error = "result message missing index";
+    return false;
+  }
+  JobResult& job = out.job;
+  job = JobResult{};
+  job.index = static_cast<std::size_t>(index->as_u64());
+  job.label = msg.get_string("label");
+  job.die_name = msg.get_string("die");
+  if (const JsonValue* seeds = msg.find("seeds"); seeds != nullptr && seeds->is_object()) {
+    JobSeeds s;
+    s.generator = seeds->get_u64("generator");
+    s.place = seeds->get_u64("place");
+    s.atpg = seeds->get_u64("atpg");
+    job.seeds = s;
+  }
+  job.ok = msg.get_bool("ok");
+  job.error = msg.get_string("error");
+  job.generate_ms = msg.get_double("generate_ms");
+  job.total_ms = msg.get_double("total_ms");
+  out.signature = msg.get_string("signature");
+  if (!job.ok) return true;
+  const JsonValue* report = msg.find("report");
+  if (report == nullptr || !report->is_object()) {
+    error = "ok result without report";
+    return false;
+  }
+  FlowReport& r = job.report;
+  r.die_name = job.die_name;
+  r.clock_period_ps = report->get_double("clock_period_ps");
+  r.solution.reused_ffs = static_cast<int>(report->get_i64("reused_ffs"));
+  r.solution.additional_cells = static_cast<int>(report->get_i64("additional_cells"));
+  r.timing_violation = report->get_bool("timing_violation");
+  r.violating_endpoints = static_cast<int>(report->get_i64("violating_endpoints"));
+  r.worst_slack_ps = report->get_double("worst_slack_ps");
+  r.repair_iterations = static_cast<int>(report->get_i64("repair_iterations"));
+  r.repair_demotions = static_cast<int>(report->get_i64("repair_demotions"));
+  atpg_from_json(report->find("stuck_at"), r.stuck_at);
+  atpg_from_json(report->find("transition"), r.transition);
+  if (const JsonValue* times = report->find("times"); times != nullptr && times->is_object()) {
+    r.times.place_ms = times->get_double("place_ms");
+    r.times.solve_ms = times->get_double("solve_ms");
+    r.times.signoff_ms = times->get_double("signoff_ms");
+    r.times.atpg_ms = times->get_double("atpg_ms");
+    r.times.total_ms = times->get_double("total_ms");
+  }
+  if (out.signature.empty()) {
+    error = "ok result without signature";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace wcm

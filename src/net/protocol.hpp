@@ -1,0 +1,82 @@
+// Solve-service message schema, on top of net::JsonValue payloads carried in
+// net::frame frames.
+//
+// Connection lifecycle (dispatcher = client, worker = server):
+//
+//   dispatcher                         worker
+//   ----------                        ------
+//   hello{version,role} ------------>
+//              <------------- hello{version,role}   (or error + close)
+//   job{index,label,die,scenario,root_seed?} -->
+//   job{...}   (up to the in-flight window)  -->
+//              <------------- result{index,...}     (execution order)
+//   ...
+//   bye ------------------------------>              (graceful drain)
+//
+// Every message is one JSON object with a "type" member. Unknown types are
+// a protocol error (the fleet is version-locked by the hello exchange, so
+// there is no forward-compatibility dance). The job's die is always a
+// generator DieSpec: shipping netlists would work (the .bench text format
+// exists) but every current campaign source is spec-driven, and specs keep
+// job frames under a kilobyte.
+//
+// u64 fields (seeds) ride as raw JSON integer tokens — JsonValue preserves
+// them exactly; see net/json.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "gen/generator.hpp"
+#include "net/json.hpp"
+#include "runner/campaign.hpp"
+#include "runner/scenario.hpp"
+
+namespace wcm {
+namespace net {
+
+/// One job as shipped to a worker: everything needed to reproduce the
+/// CampaignJob the local runner would have executed at `index`.
+struct NetJob {
+  std::size_t index = 0;
+  std::string label;
+  DieSpec die;
+  ScenarioSpec scenario;
+};
+
+/// A completed job as shipped back: the JobResult scalars (everything
+/// job_result_json renders) plus the worker-computed deterministic
+/// signature of the full FlowReport. The dispatcher cannot recompute the
+/// signature — plan contents stay on the worker — so the worker, which runs
+/// the same flow_report_signature code, ships it.
+struct NetResult {
+  JobResult job;
+  std::string signature;
+};
+
+// ---- encode (returns the frame payload, not the framed bytes) ----
+
+std::string encode_hello(const std::string& role);
+std::string encode_job(const NetJob& job, const std::optional<std::uint64_t>& root_seed);
+std::string encode_result(const JobResult& job, const std::string& signature);
+std::string encode_error(const std::string& message);
+std::string encode_bye();
+
+// ---- decode ----
+
+/// Parses a payload and returns its "type" ("" + `error` on malformed JSON
+/// or a non-object document).
+bool parse_message(const std::string& payload, JsonValue& out, std::string& type,
+                   std::string& error);
+
+/// Validates a hello message: version must equal kProtocolVersion.
+bool parse_hello(const JsonValue& msg, std::string& role, std::string& error);
+
+bool parse_job(const JsonValue& msg, NetJob& out,
+               std::optional<std::uint64_t>& root_seed, std::string& error);
+
+bool parse_result(const JsonValue& msg, NetResult& out, std::string& error);
+
+}  // namespace net
+}  // namespace wcm

@@ -1,0 +1,220 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace wcm {
+namespace net {
+
+namespace {
+
+std::string errno_string(int err) {
+  char buf[128];
+  // GNU strerror_r may return a static string; XSI fills buf. Handle both.
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  return std::string(strerror_r(err, buf, sizeof buf));
+#else
+  strerror_r(err, buf, sizeof buf);
+  return std::string(buf);
+#endif
+}
+
+/// poll() one fd for `events`, retrying EINTR. Returns: 1 ready, 0 timeout,
+/// -1 error.
+int poll_one(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc >= 0) return rc > 0 ? 1 : 0;
+    if (errno != EINTR) return -1;
+  }
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::send_all(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent > 0) {
+      p += sent;
+      n -= static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+long Socket::recv_some(void* buf, std::size_t cap, int timeout_ms) {
+  const int ready = poll_one(fd_, POLLIN, timeout_ms);
+  if (ready < 0) return -1;
+  if (ready == 0) return -2;
+  for (;;) {
+    const ssize_t got = ::recv(fd_, buf, cap, 0);
+    if (got >= 0) return static_cast<long>(got);
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TcpListener::listen(const std::string& host, int port, std::string& error) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = "socket: " + errno_string(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    error = "listen host must be an IPv4 address, got '" + host + "'";
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    error = "bind " + host + ":" + std::to_string(port) + ": " + errno_string(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 16) != 0) {
+    error = "listen: " + errno_string(errno);
+    ::close(fd);
+    return false;
+  }
+  // Read the kernel-chosen port back for port 0.
+  struct sockaddr_in bound;
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) == 0)
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  else
+    port_ = port;
+  fd_ = fd;
+  return true;
+}
+
+Socket TcpListener::accept(int timeout_ms, bool& timed_out) {
+  timed_out = false;
+  if (fd_ < 0) return Socket();
+  const int ready = poll_one(fd_, POLLIN, timeout_ms);
+  if (ready == 0) {
+    timed_out = true;
+    return Socket();
+  }
+  if (ready < 0) return Socket();
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Socket();
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+Socket tcp_connect(const std::string& host, int port, int timeout_ms, std::string& error) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof hints);
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    error = "resolve " + host + ": " + ::gai_strerror(rc);
+    return Socket();
+  }
+
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    // Non-blocking connect so the timeout is enforceable.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int crc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (crc == 0 || errno == EINPROGRESS) {
+      const int ready = poll_one(fd, POLLOUT, timeout_ms);
+      int so_error = 0;
+      socklen_t len = sizeof so_error;
+      if (ready == 1 &&
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) == 0 &&
+          so_error == 0) {
+        ::fcntl(fd, F_SETFL, flags);  // back to blocking
+        set_nodelay(fd);
+        ::freeaddrinfo(res);
+        return Socket(fd);
+      }
+      error = ready == 0 ? "connect " + host + ":" + service + ": timeout"
+                         : "connect " + host + ":" + service + ": " +
+                               errno_string(so_error != 0 ? so_error : errno);
+    } else {
+      error = "connect " + host + ":" + service + ": " + errno_string(errno);
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (error.empty()) error = "connect " + host + ":" + service + ": no usable address";
+  return Socket();
+}
+
+}  // namespace net
+}  // namespace wcm

@@ -1,0 +1,87 @@
+// Thin RAII layer over POSIX TCP sockets — just what the solve service
+// needs: listen/accept with a stoppable poll loop, connect with timeout, and
+// whole-buffer send/recv helpers that survive EINTR and partial transfers.
+//
+// No boost::asio (the container has no boost): the fleet is a handful of
+// long-lived connections doing request/response over frames, which blocking
+// sockets plus one thread per connection model simply and correctly. SIGPIPE
+// is avoided per-send (MSG_NOSIGNAL) so a dying peer surfaces as a send
+// error on the calling thread, never a process signal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wcm {
+namespace net {
+
+/// Move-only owner of a connected socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends the whole buffer. False on any error (peer gone, shutdown, ...).
+  bool send_all(const void* data, std::size_t n);
+  bool send_all(const std::string& bytes) { return send_all(bytes.data(), bytes.size()); }
+
+  /// One recv of up to `cap` bytes, waiting at most `timeout_ms` (-1 =
+  /// forever). Returns the byte count, 0 on orderly EOF, -1 on error and -2
+  /// on timeout.
+  long recv_some(void* buf, std::size_t cap, int timeout_ms);
+
+  /// Half-closes the write side (peer sees EOF after draining).
+  void shutdown_write();
+  /// Full shutdown: wakes any thread blocked in recv on this socket. Safe to
+  /// call from another thread; the fd stays owned until close().
+  void shutdown_both();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening endpoint. accept() polls so a stop flag can be honored without
+/// closing the fd out from under a blocked thread.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { close(); }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens. `port` 0 picks an ephemeral port (read it back via
+  /// port()). False + `error` on failure.
+  bool listen(const std::string& host, int port, std::string& error);
+
+  /// The actually bound port (after listen), 0 when not listening.
+  int port() const { return port_; }
+  bool listening() const { return fd_ >= 0; }
+
+  /// Waits up to `timeout_ms` for a connection. Returns an invalid Socket on
+  /// timeout or error; `timed_out` distinguishes the two.
+  Socket accept(int timeout_ms, bool& timed_out);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Connects to host:port within `timeout_ms`. Invalid Socket + `error` on
+/// failure. Host is an IPv4 dotted quad or a name resolvable by getaddrinfo.
+Socket tcp_connect(const std::string& host, int port, int timeout_ms, std::string& error);
+
+}  // namespace net
+}  // namespace wcm

@@ -1,0 +1,217 @@
+#include "net/worker.hpp"
+
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "net/channel.hpp"
+#include "net/protocol.hpp"
+#include "obs/obs.hpp"
+#include "runner/campaign.hpp"
+#include "util/executor.hpp"
+#include "util/logging.hpp"
+
+namespace wcm {
+namespace net {
+
+namespace {
+
+/// One parsed job request as queued between reader and executor.
+struct QueuedJob {
+  NetJob job;
+  std::optional<std::uint64_t> root_seed;
+};
+
+}  // namespace
+
+/// Per-connection state: the channel plus the reader/executor thread pair
+/// and the bounded queue between them.
+struct WorkerServer::Connection {
+  explicit Connection(Socket socket, int queue_capacity)
+      : channel(std::move(socket)), queue(static_cast<std::size_t>(queue_capacity)) {}
+
+  Channel channel;
+  exec::BoundedQueue<QueuedJob> queue;
+  std::thread reader;
+  std::thread executor;
+  std::atomic<bool> done{false};
+};
+
+WorkerServer::WorkerServer(WorkerOptions options) : options_(std::move(options)) {}
+
+WorkerServer::~WorkerServer() { kill(); }
+
+bool WorkerServer::start(std::string& error) {
+  if (running_.load()) {
+    error = "worker already running";
+    return false;
+  }
+  if (!options_.oracle_cache_dir.empty())
+    ensure_oracle_cache_dir(options_.oracle_cache_dir);
+  if (!listener_.listen(options_.host, options_.port, error)) return false;
+  port_ = listener_.port();
+  stopping_.store(false);
+  hard_stop_.store(false);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void WorkerServer::accept_loop() {
+  obs::set_thread_label(options_.lane_prefix + "-accept");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    bool timed_out = false;
+    Socket socket = listener_.accept(/*timeout_ms=*/100, timed_out);
+    if (!socket.valid()) continue;  // timeout or transient accept failure
+
+    auto conn = std::make_unique<Connection>(std::move(socket), options_.queue_capacity);
+    Connection* c = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections;
+    }
+
+    c->executor = std::thread([this, c] {
+      obs::set_thread_label(options_.lane_prefix + "-exec");
+      QueuedJob item;
+      while (c->queue.pop_wait(item)) {
+        WCM_OBS_SPAN("net/execute", item.job.label);
+        CampaignOptions opts;
+        opts.root_seed = item.root_seed;
+        opts.oracle_cache_dir = options_.oracle_cache_dir;
+        CampaignJob job;
+        job.label = item.job.label;
+        job.die = item.job.die;
+        JobResult result;
+        std::string signature;
+        try {
+          job.config = make_scenario_config(item.job.scenario);
+          result = run_campaign_job(job, item.job.index, opts);
+          if (result.ok) signature = flow_report_signature(result.report);
+        } catch (const std::exception& e) {
+          result.index = item.job.index;
+          result.label = item.job.label;
+          result.ok = false;
+          result.error = e.what();
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.jobs_executed;
+          if (!result.ok) ++stats_.jobs_failed;
+        }
+        WCM_OBS_COUNT("net.worker_jobs_executed");
+        if (options_.verbose)
+          std::fprintf(stderr, "serve: job %zu %s %s (%.0f ms)\n", result.index,
+                       result.label.c_str(), result.ok ? "ok" : "FAILED",
+                       result.total_ms);
+        if (!c->channel.write_payload(encode_result(result, signature))) break;
+      }
+      c->done.store(true, std::memory_order_release);
+    });
+
+    c->reader = std::thread([this, c] {
+      obs::set_thread_label(options_.lane_prefix + "-read");
+      bool greeted = false;
+      for (;;) {
+        JsonValue msg;
+        std::string type;
+        const Channel::ReadStatus status = c->channel.read_message(100, msg, type);
+        if (status == Channel::ReadStatus::kTimeout) {
+          if (stopping_.load(std::memory_order_acquire)) break;
+          continue;
+        }
+        if (status == Channel::ReadStatus::kClosed) break;
+        if (status == Channel::ReadStatus::kError) {
+          {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.bad_frames;
+          }
+          WCM_OBS_COUNT("net.worker_bad_frames");
+          WCM_LOG_WARN("serve: dropping connection: %s", c->channel.error().c_str());
+          c->channel.write_payload(encode_error(c->channel.error()));
+          break;
+        }
+        if (!greeted) {
+          std::string role, hello_error;
+          if (type != "hello" || !parse_hello(msg, role, hello_error)) {
+            if (hello_error.empty()) hello_error = "expected hello, got '" + type + "'";
+            WCM_LOG_WARN("serve: handshake rejected: %s", hello_error.c_str());
+            c->channel.write_payload(encode_error(hello_error));
+            break;
+          }
+          greeted = true;
+          if (!c->channel.write_payload(encode_hello("worker"))) break;
+          continue;
+        }
+        if (type == "job") {
+          QueuedJob item;
+          std::string job_error;
+          if (!parse_job(msg, item.job, item.root_seed, job_error)) {
+            WCM_LOG_WARN("serve: bad job message: %s", job_error.c_str());
+            c->channel.write_payload(encode_error(job_error));
+            break;
+          }
+          // Blocking push IS the backpressure: a stalled executor stalls
+          // this reader, which stalls the peer's sends via TCP.
+          if (!c->queue.push_wait(std::move(item))) break;
+          continue;
+        }
+        if (type == "bye") break;
+        if (type == "ping") {
+          JsonValue pong = JsonValue::object();
+          pong.set("type", JsonValue::string("pong"));
+          if (!c->channel.write_payload(pong.dump())) break;
+          continue;
+        }
+        c->channel.write_payload(encode_error("unknown message type '" + type + "'"));
+        break;
+      }
+      // Reader is gone: no more jobs can arrive; let the executor drain.
+      c->queue.close();
+    });
+
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void WorkerServer::stop(bool hard) {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (hard) hard_stop_.store(true, std::memory_order_release);
+
+  // Join the accept loop before touching connections_: it may be mid-accept,
+  // about to register a connection whose threads we must not miss.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& c : connections) {
+    c->queue.close();  // drain: the executor finishes what was queued
+    if (hard) c->channel.shutdown();
+  }
+  for (auto& c : connections) {
+    if (c->reader.joinable()) c->reader.join();
+    if (c->executor.joinable()) c->executor.join();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.bytes_in += c->channel.bytes_in();
+    stats_.bytes_out += c->channel.bytes_out();
+    c->channel.close();
+  }
+}
+
+void WorkerServer::drain() { stop(/*hard=*/false); }
+
+void WorkerServer::kill() { stop(/*hard=*/true); }
+
+WorkerStats WorkerServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace net
+}  // namespace wcm

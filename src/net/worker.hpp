@@ -1,0 +1,118 @@
+// `wcm3d serve` — the solve-service worker daemon.
+//
+// A WorkerServer listens on one TCP endpoint and executes campaign jobs it
+// receives from a dispatcher, using the exact local execution primitive
+// (runner::run_campaign_job), so a remote job's FlowReport is bit-identical
+// to the same job run in-process.
+//
+// Threading per connection (the fleet protocol is connection-oriented; a
+// dispatcher holds one connection per worker for the whole campaign):
+//
+//   reader thread   — recv frames, parse, push jobs into a BoundedQueue
+//                     with push_wait: a full queue stalls the reader, the
+//                     kernel socket buffer fills, and the dispatcher's send
+//                     blocks — backpressure end to end with no extra
+//                     protocol (the dispatcher additionally keeps its own
+//                     in-flight window, so this is the second line of
+//                     defense, not the first).
+//   executor thread — pop jobs, run the flow, write result frames. One
+//                     executor per connection: a worker process is one
+//                     fleet member; in-worker parallelism comes from the
+//                     solve executor (WCM_SOLVE_THREADS), not from juggling
+//                     jobs.
+//
+// Shutdown modes:
+//   drain() — stop accepting, close queues, let executors finish the job in
+//             hand, join. The SIGINT path of `wcm3d serve`.
+//   kill()  — additionally shutdown() every socket so blocked reads wake
+//             immediately. Used by tests to simulate a fleet member dying
+//             mid-campaign (in-flight jobs are simply never answered — the
+//             dispatcher's retry path owns them).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace wcm {
+namespace net {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; read back via WorkerServer::port()
+  /// Jobs buffered between reader and executor before the reader stalls
+  /// (the exec::BoundedQueue capacity).
+  int queue_capacity = 4;
+  /// Shared .wcmoc oracle-cache directory; created if missing. Empty = no
+  /// persistent cache.
+  std::string oracle_cache_dir;
+  /// Trace-lane prefix for this worker's executor threads (obs).
+  std::string lane_prefix = "serve";
+  /// Print a line per executed job to stderr.
+  bool verbose = false;
+};
+
+struct WorkerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t jobs_executed = 0;
+  std::uint64_t jobs_failed = 0;   ///< executed but flow reported an error
+  std::uint64_t bad_frames = 0;    ///< protocol errors that dropped a connection
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class WorkerServer {
+ public:
+  explicit WorkerServer(WorkerOptions options);
+  ~WorkerServer();
+
+  WorkerServer(const WorkerServer&) = delete;
+  WorkerServer& operator=(const WorkerServer&) = delete;
+
+  /// Binds, listens and starts the accept loop. False + `error` on failure.
+  bool start(std::string& error);
+
+  /// The bound port (valid after start()).
+  int port() const { return port_; }
+
+  /// Graceful shutdown: finish the jobs already accepted, then stop.
+  void drain();
+
+  /// Hard stop: close everything now. In-flight jobs finish executing (a
+  /// flow is not interruptible) but their results are never sent.
+  void kill();
+
+  /// True until drain()/kill() completes.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  WorkerStats stats() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void stop(bool hard);
+
+  WorkerOptions options_;
+  TcpListener listener_;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> hard_stop_{false};
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  mutable std::mutex stats_mutex_;
+  WorkerStats stats_;
+};
+
+}  // namespace net
+}  // namespace wcm

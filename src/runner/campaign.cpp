@@ -3,12 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/obs.hpp"
 #include "runner/seeds.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wcm {
@@ -87,16 +89,46 @@ JobResult execute_job(const CampaignJob& job, std::size_t index,
   return result;
 }
 
+/// A row for a job that was cancelled before it started: identifying
+/// context only (label, die, derived seeds), never a partial report.
+JobResult cancelled_row(const CampaignJob& job, std::size_t index,
+                        const CampaignOptions& opts) {
+  JobResult result;
+  result.index = index;
+  result.label = job.label;
+  if (opts.root_seed) result.seeds = derive_job_seeds(*opts.root_seed, index);
+  if (const auto* spec = std::get_if<DieSpec>(&job.die)) {
+    result.die_name = spec->name;
+  } else if (const auto& shared = std::get<std::shared_ptr<const Netlist>>(job.die)) {
+    result.die_name = shared->name();
+  }
+  result.ok = false;
+  result.error = "cancelled";
+  return result;
+}
+
 /// Shared per-run accounting; workers bump these around execute_job.
 struct RunState {
   const CampaignOptions* opts = nullptr;
   std::atomic<int> started{0};
   std::atomic<int> finished{0};
   std::atomic<int> failed{0};
+  std::atomic<int> cancelled{0};
   std::atomic<int> running{0};
   std::atomic<int> peak{0};
 
+  bool cancel_requested() const {
+    return opts->cancel != nullptr && opts->cancel->load(std::memory_order_relaxed);
+  }
+
   void run_one(const CampaignJob& job, std::size_t index, JobResult& slot) {
+    if (cancel_requested()) {
+      slot = cancelled_row(job, index, *opts);
+      cancelled.fetch_add(1, std::memory_order_relaxed);
+      WCM_OBS_COUNT("campaign.jobs_cancelled");
+      if (opts->observer) opts->observer->on_job_finish(slot);
+      return;
+    }
     started.fetch_add(1, std::memory_order_relaxed);
     const int now_running = running.fetch_add(1, std::memory_order_relaxed) + 1;
     int seen_peak = peak.load(std::memory_order_relaxed);
@@ -131,6 +163,7 @@ CampaignResult run_impl(const Campaign& campaign, const CampaignOptions& opts,
 
   RunState state;
   state.opts = &opts;
+  if (!opts.oracle_cache_dir.empty()) ensure_oracle_cache_dir(opts.oracle_cache_dir);
   const auto wall_start = Clock::now();
 
   if (!parallel) {
@@ -154,6 +187,8 @@ CampaignResult run_impl(const Campaign& campaign, const CampaignOptions& opts,
   result.metrics.jobs_started = state.started.load();
   result.metrics.jobs_finished = state.finished.load();
   result.metrics.jobs_failed = state.failed.load();
+  result.metrics.jobs_cancelled = state.cancelled.load();
+  result.metrics.cancelled = state.cancel_requested() || state.cancelled.load() > 0;
   result.metrics.peak_concurrency = state.peak.load();
   WCM_OBS_GAUGE_SET("campaign.workers", result.metrics.workers);
   WCM_OBS_GAUGE_SET("campaign.peak_concurrency", result.metrics.peak_concurrency);
@@ -175,6 +210,23 @@ std::size_t Campaign::add(std::shared_ptr<const Netlist> netlist, FlowConfig con
 
 CampaignResult run_campaign(const Campaign& campaign, const CampaignOptions& opts) {
   return run_impl(campaign, opts, /*parallel=*/true);
+}
+
+JobResult run_campaign_job(const CampaignJob& job, std::size_t index,
+                           const CampaignOptions& opts) {
+  return execute_job(job, index, opts);
+}
+
+bool ensure_oracle_cache_dir(const std::string& dir) {
+  if (dir.empty()) return true;
+  std::error_code ec;
+  if (std::filesystem::is_directory(dir, ec)) return true;
+  std::filesystem::create_directories(dir, ec);
+  if (!ec && std::filesystem::is_directory(dir)) return true;
+  WCM_LOG_WARN("oracle cache dir '%s' cannot be created (%s); campaign runs cold",
+               dir.c_str(), ec ? ec.message().c_str() : "not a directory");
+  WCM_OBS_COUNT("oracle.cache_save_fail");
+  return false;
 }
 
 CampaignResult run_campaign_serial(const Campaign& campaign, const CampaignOptions& opts) {

@@ -14,6 +14,7 @@
 // run_campaign(jobs = N) and run_campaign_serial.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -56,6 +57,11 @@ struct CampaignMetrics {
   int jobs_started = 0;
   int jobs_finished = 0;
   int jobs_failed = 0;
+  /// Jobs skipped because CampaignOptions::cancel flipped before they ran.
+  /// Their rows carry ok = false, error = "cancelled" and are NOT counted in
+  /// jobs_failed — a cancelled job is a decision, not a defect.
+  int jobs_cancelled = 0;
+  bool cancelled = false;  ///< true when the cancel flag was observed set
   int peak_concurrency = 0;  ///< max jobs observed in flight at once
   int workers = 0;           ///< pool size used (1 = serial)
   std::uint64_t tasks_stolen = 0;
@@ -89,7 +95,18 @@ struct CampaignOptions {
   /// warm-starts each job's oracle and skips the per-pair ATPG campaigns.
   /// Safe under any worker count — files are written via atomic rename and
   /// a stale or corrupt file just means a cold start for that job.
+  /// The runner creates the directory if it is missing
+  /// (ensure_oracle_cache_dir); a path that cannot be created logs a warning
+  /// and the campaign runs cold — never a crash, never a silent format
+  /// surprise at the first save.
   std::string oracle_cache_dir;
+  /// Cooperative cancellation (e.g. the CLI's SIGINT handler). When the
+  /// pointed-to flag becomes true, jobs that have not started are recorded
+  /// as cancelled rows instead of running; in-flight jobs complete (a flow
+  /// is not internally interruptible). The final CampaignResult is valid
+  /// and carries metrics.cancelled = true — callers can still emit a full
+  /// partial report.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct CampaignResult {
@@ -117,6 +134,19 @@ class Campaign {
 
 /// Runs the campaign on a work-stealing pool (opts.jobs workers).
 CampaignResult run_campaign(const Campaign& campaign, const CampaignOptions& opts = {});
+
+/// Executes ONE campaign job exactly as run_campaign would run job `index`:
+/// same seed derivation from opts.root_seed, same oracle-cache wiring, same
+/// never-throws error channel. This is the execution primitive the
+/// distributed worker (src/net) shares with the local runner — a remote job
+/// is bit-identical to its local twin because both go through this function.
+JobResult run_campaign_job(const CampaignJob& job, std::size_t index,
+                           const CampaignOptions& opts = {});
+
+/// Creates `dir` (and parents) when missing so oracle caches have somewhere
+/// to land. Returns false after WCM_LOG_WARN + an `oracle.cache_save_fail`
+/// count when creation fails — callers proceed with a cold oracle.
+bool ensure_oracle_cache_dir(const std::string& dir);
 
 /// Reference implementation: same jobs, plain loop on the calling thread.
 /// Exists so tests and benches can assert parallel == serial.

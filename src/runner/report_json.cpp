@@ -30,7 +30,7 @@ void append_seeds(std::ostringstream& out, const JobResult& job) {
       << ",\"place\":" << job.seeds->place << ",\"atpg\":" << job.seeds->atpg << '}';
 }
 
-void append_job(std::ostringstream& out, const JobResult& job) {
+void append_job_impl(std::ostringstream& out, const JobResult& job) {
   out << "{\"index\":" << job.index << ",\"label\":\"" << json_escape(job.label)
       << "\",\"ok\":" << (job.ok ? "true" : "false");
   if (!job.ok) {
@@ -94,17 +94,25 @@ std::string campaign_report_json(const CampaignResult& result) {
   out << "{\"metrics\":{\"jobs_total\":" << m.jobs_total
       << ",\"jobs_started\":" << m.jobs_started << ",\"jobs_finished\":" << m.jobs_finished
       << ",\"jobs_failed\":" << m.jobs_failed
+      << ",\"jobs_cancelled\":" << m.jobs_cancelled
+      << ",\"cancelled\":" << (m.cancelled ? "true" : "false")
       << ",\"peak_concurrency\":" << m.peak_concurrency << ",\"workers\":" << m.workers
       << ",\"tasks_stolen\":" << m.tasks_stolen << ",\"wall_ms\":" << num(m.wall_ms)
       << "},\"jobs\":[";
   for (std::size_t i = 0; i < result.jobs.size(); ++i) {
     if (i) out << ',';
-    append_job(out, result.jobs[i]);
+    append_job_impl(out, result.jobs[i]);
   }
   // Observability totals for the whole campaign (oracle cache hit/miss,
   // pipeline produce/drain, ...). Zero/empty when metrics were disabled.
   out << "],\"obs\":{\"counters\":" << obs::counters_json()
       << ",\"gauges\":" << obs::gauges_json() << "}}";
+  return out.str();
+}
+
+std::string job_result_json(const JobResult& job) {
+  std::ostringstream out;
+  append_job_impl(out, job);
   return out.str();
 }
 

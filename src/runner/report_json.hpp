@@ -14,6 +14,11 @@ namespace wcm {
 /// phase times; failed jobs carry {"ok": false, "error": ...} only.
 std::string campaign_report_json(const CampaignResult& result);
 
+/// One job row of campaign_report_json, exactly as it appears inside the
+/// "jobs" array. Shared with the distributed dispatcher (src/net), whose
+/// merged report must render rows byte-identically to a local run.
+std::string job_result_json(const JobResult& job);
+
 /// Writes campaign_report_json to `path`; false on I/O failure.
 bool write_campaign_report_json(const CampaignResult& result, const std::string& path);
 

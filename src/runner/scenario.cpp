@@ -1,0 +1,49 @@
+#include "runner/scenario.hpp"
+
+#include <stdexcept>
+
+namespace wcm {
+
+bool validate_scenario(const ScenarioSpec& spec, std::string& error) {
+  if (spec.method != "proposed" && spec.method != "agrawal" && spec.method != "li") {
+    error = "unknown method '" + spec.method + "'";
+    return false;
+  }
+  if (!spec.oracle.empty() && spec.oracle != "structural" && spec.oracle != "measured" &&
+      spec.oracle != "measured-scratch") {
+    error = "unknown oracle backend '" + spec.oracle + "'";
+    return false;
+  }
+  return true;
+}
+
+FlowConfig make_scenario_config(const ScenarioSpec& spec) {
+  std::string error;
+  if (!validate_scenario(spec, error)) throw std::invalid_argument(error);
+
+  FlowConfig fc;
+  if (spec.method == "proposed") {
+    fc.wcm = spec.tight ? WcmConfig::proposed_tight() : WcmConfig::proposed_area();
+    fc.repair_timing = true;
+  } else if (spec.method == "agrawal") {
+    fc.wcm = spec.tight ? WcmConfig::agrawal_tight() : WcmConfig::agrawal_area();
+  } else {  // li: thresholds only; the greedy one-cell-per-TSV solver
+    fc.wcm = WcmConfig::proposed_area();
+    fc.method = SolveMethod::kLiGreedy;
+  }
+  fc.clock_policy = spec.tight ? ClockPolicy::kTightDerived : ClockPolicy::kLooseDerived;
+  fc.run_stuck_at = spec.with_atpg;
+  fc.run_transition = spec.with_atpg;
+
+  if (spec.oracle == "structural") {
+    fc.wcm.oracle_mode = OracleMode::kStructural;
+  } else if (spec.oracle == "measured") {
+    fc.wcm.oracle_mode = OracleMode::kMeasured;  // incremental estimator (default)
+  } else if (spec.oracle == "measured-scratch") {
+    fc.wcm.oracle_mode = OracleMode::kMeasured;
+    fc.wcm.oracle_incremental = false;
+  }
+  return fc;
+}
+
+}  // namespace wcm

@@ -1,0 +1,44 @@
+// Serializable campaign scenario descriptor.
+//
+// A campaign job's FlowConfig is a large in-memory object (cell library,
+// thresholds, ATPG options...) but every job the CLI or the distributed
+// dispatcher actually creates is derived from four knobs: solver method,
+// scenario (tight/area clock), whether ATPG verification runs, and the
+// testability-oracle backend. This module names that 4-tuple, validates it,
+// and expands it to a FlowConfig in exactly one place — the CLI campaign,
+// the `wcm3d dispatch` client and the `wcm3d serve` worker all call
+// make_scenario_config, which is what makes a remotely executed job
+// bit-identical to the same job run locally.
+#pragma once
+
+#include <string>
+
+#include "core/flow.hpp"
+
+namespace wcm {
+
+struct ScenarioSpec {
+  std::string method = "proposed";  ///< proposed | agrawal | li
+  bool tight = true;                ///< tight (performance) vs area clock
+  bool with_atpg = false;           ///< run stuck-at + transition campaigns
+  /// Oracle backend: "" keeps the method preset's default; otherwise
+  /// structural | measured | measured-scratch (the --oracle CLI values).
+  std::string oracle;
+};
+
+/// False + `error` when method or oracle name a backend that does not exist.
+bool validate_scenario(const ScenarioSpec& spec, std::string& error);
+
+/// Expands the descriptor to the FlowConfig the campaign CLI has always
+/// built: method preset + clock policy + ATPG flags + oracle override.
+/// Throws std::invalid_argument on an invalid spec (validate first on
+/// untrusted input — the worker does, with a clean protocol error).
+FlowConfig make_scenario_config(const ScenarioSpec& spec);
+
+/// "area" / "tight" — the scenario half of the conventional job label
+/// "<die>/<method>/<scenario>".
+inline const char* scenario_name(const ScenarioSpec& spec) {
+  return spec.tight ? "tight" : "area";
+}
+
+}  // namespace wcm

@@ -82,23 +82,46 @@ class BoundedQueue {
     return true;
   }
 
+  /// Blocking push for producers that are NOT potential consumers (e.g. the
+  /// solve service's connection reader, whose stall is the backpressure that
+  /// throttles the remote dispatcher): waits for a slot or for close().
+  /// False when the queue was closed — the item is dropped. Never use this
+  /// from a producer that also pops (that is what the try_push/try_pop
+  /// help-pop discipline above is for; blocking here would deadlock).
+  bool push_wait(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      can_push_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    can_pop_.notify_one();
+    return true;
+  }
+
   /// Non-blocking pop; false when currently empty.
   bool try_pop(T& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (items_.empty()) return false;
-    out = std::move(items_.front());
-    items_.pop_front();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return false;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    can_push_.notify_one();
     return true;
   }
 
   /// Blocking pop: waits until an item arrives or the queue is closed.
   /// Returns false only when the queue is closed AND fully drained.
   bool pop_wait(T& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    can_pop_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;
-    out = std::move(items_.front());
-    items_.pop_front();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      can_pop_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return false;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    can_push_.notify_one();
     return true;
   }
 
@@ -110,11 +133,13 @@ class BoundedQueue {
       closed_ = true;
     }
     can_pop_.notify_all();
+    can_push_.notify_all();
   }
 
  private:
   mutable std::mutex mutex_;
   std::condition_variable can_pop_;
+  std::condition_variable can_push_;
   std::deque<T> items_;
   std::size_t capacity_;
   bool closed_ = false;

@@ -1,0 +1,302 @@
+// End-to-end contracts of the distributed solve service, all over real TCP
+// on loopback with in-process WorkerServers:
+//
+//   * a 2-worker fleet produces a result set bit-identical (signature for
+//     signature, row for row) to run_campaign_serial;
+//   * killing a fleet member mid-campaign loses nothing — its unanswered
+//     jobs retry on the survivor;
+//   * a fleet that never existed fails every job with a row, not a hang;
+//   * a pre-cancelled dispatch yields all-cancelled rows and a valid
+//     partial result;
+//   * protocol hostility (wrong version, garbage bytes) gets a clean error
+//     reply and a dropped connection — the worker keeps serving.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/dispatcher.hpp"
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "net/worker.hpp"
+#include "runner/campaign.hpp"
+#include "runner/report_json.hpp"
+#include "runner/scenario.hpp"
+
+namespace wcm {
+namespace net {
+namespace {
+
+DieSpec small_spec(const char* name, std::uint64_t seed) {
+  DieSpec spec;
+  spec.name = name;
+  spec.num_gates = 260;
+  spec.num_scan_ffs = 20;
+  spec.num_inbound = 12;
+  spec.num_outbound = 10;
+  spec.seed = seed;
+  return spec;
+}
+
+/// N small jobs, half area half tight — the same sweep twice: once as
+/// NetJobs for the fleet, once as a Campaign for the serial reference.
+std::vector<NetJob> make_jobs(std::size_t count) {
+  std::vector<NetJob> jobs;
+  for (std::size_t i = 0; i < count; ++i) {
+    NetJob job;
+    job.index = i;
+    job.die = small_spec(("die_" + std::to_string(i)).c_str(), 100 + i);
+    job.scenario.tight = (i % 2) == 1;
+    job.label = job.die.name + "/proposed/" + scenario_name(job.scenario);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+Campaign make_reference_campaign(const std::vector<NetJob>& jobs) {
+  Campaign campaign;
+  for (const NetJob& job : jobs)
+    campaign.add(job.die, make_scenario_config(job.scenario), job.label);
+  return campaign;
+}
+
+/// Zeroes the wall-clock fields of a row so job_result_json compares only
+/// the deterministic content — the same normalization a human would apply
+/// reading two reports side by side.
+JobResult timeless(JobResult row) {
+  row.generate_ms = 0.0;
+  row.total_ms = 0.0;
+  row.report.times = FlowPhaseTimes{};
+  return row;
+}
+
+struct Fleet {
+  std::vector<std::unique_ptr<WorkerServer>> workers;
+  std::vector<Endpoint> endpoints;
+
+  explicit Fleet(std::size_t count, int queue_capacity = 2) {
+    for (std::size_t i = 0; i < count; ++i) {
+      WorkerOptions options;
+      options.queue_capacity = queue_capacity;
+      auto server = std::make_unique<WorkerServer>(options);
+      std::string error;
+      EXPECT_TRUE(server->start(error)) << error;
+      endpoints.push_back({"127.0.0.1", server->port()});
+      workers.push_back(std::move(server));
+    }
+  }
+};
+
+TEST(DispatchTest, TwoWorkerFleetMatchesSerialBitForBit) {
+  const std::vector<NetJob> jobs = make_jobs(6);
+  Fleet fleet(2);
+
+  DispatchOptions opts;
+  opts.endpoints = fleet.endpoints;
+  opts.root_seed = 2026;
+  const DispatchResult remote = dispatch_jobs(jobs, opts);
+  ASSERT_TRUE(remote.error.empty()) << remote.error;
+  ASSERT_TRUE(remote.complete);
+  ASSERT_EQ(remote.jobs.size(), jobs.size());
+  EXPECT_EQ(remote.metrics.jobs_finished, static_cast<int>(jobs.size()));
+  EXPECT_EQ(remote.metrics.jobs_failed, 0);
+
+  CampaignOptions serial_opts;
+  serial_opts.root_seed = 2026;
+  const CampaignResult serial =
+      run_campaign_serial(make_reference_campaign(jobs), serial_opts);
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(serial.jobs[i].ok) << serial.jobs[i].error;
+    ASSERT_TRUE(remote.jobs[i].ok) << remote.jobs[i].error;
+    // The determinism contract, stated twice: the worker-shipped signature
+    // equals the local run's, and the rendered report row (wall-clock
+    // normalized) is byte-identical.
+    EXPECT_EQ(remote.signatures[i], flow_report_signature(serial.jobs[i].report))
+        << jobs[i].label;
+    EXPECT_EQ(job_result_json(timeless(remote.jobs[i])),
+              job_result_json(timeless(serial.jobs[i])))
+        << jobs[i].label;
+  }
+}
+
+TEST(DispatchTest, KilledWorkerJobsRetryOnSurvivor) {
+  const std::vector<NetJob> jobs = make_jobs(8);
+  Fleet fleet(2);
+
+  // Kill worker 1 shortly after dispatch starts: whatever it held in flight
+  // is never answered and must be re-run by worker 0.
+  std::thread killer([&fleet] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    fleet.workers[1]->kill();
+  });
+
+  DispatchOptions opts;
+  opts.endpoints = fleet.endpoints;
+  opts.root_seed = 7;
+  opts.reconnects = 0;  // a dead worker stays dead
+  const DispatchResult remote = dispatch_jobs(jobs, opts);
+  killer.join();
+
+  ASSERT_TRUE(remote.error.empty()) << remote.error;
+  ASSERT_TRUE(remote.complete) << "jobs lost after worker death";
+  CampaignOptions serial_opts;
+  serial_opts.root_seed = 7;
+  const CampaignResult serial =
+      run_campaign_serial(make_reference_campaign(jobs), serial_opts);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(remote.jobs[i].ok) << remote.jobs[i].error;
+    EXPECT_EQ(remote.signatures[i], flow_report_signature(serial.jobs[i].report))
+        << jobs[i].label;
+  }
+}
+
+TEST(DispatchTest, NoLiveWorkersFailsEveryJobWithoutHanging) {
+  // A listener that closed before dispatch: connections are refused, every
+  // job must come back as a failed row in bounded time.
+  Endpoint dead;
+  {
+    WorkerOptions options;
+    WorkerServer server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    dead = {"127.0.0.1", server.port()};
+    server.kill();
+  }
+  const std::vector<NetJob> jobs = make_jobs(3);
+  DispatchOptions opts;
+  opts.endpoints = {dead};
+  opts.connect_timeout_ms = 500;
+  opts.reconnects = 0;
+  const DispatchResult remote = dispatch_jobs(jobs, opts);
+  ASSERT_TRUE(remote.error.empty()) << remote.error;
+  EXPECT_FALSE(remote.complete);
+  ASSERT_EQ(remote.jobs.size(), jobs.size());
+  for (const JobResult& row : remote.jobs) {
+    EXPECT_FALSE(row.ok);
+    EXPECT_EQ(row.error, "no live workers remaining");
+  }
+  EXPECT_EQ(remote.metrics.jobs_failed, static_cast<int>(jobs.size()));
+}
+
+TEST(DispatchTest, PreCancelledDispatchYieldsCancelledRows) {
+  const std::vector<NetJob> jobs = make_jobs(4);
+  Fleet fleet(1);
+  std::atomic<bool> cancel{true};
+  DispatchOptions opts;
+  opts.endpoints = fleet.endpoints;
+  opts.cancel = &cancel;
+  const DispatchResult remote = dispatch_jobs(jobs, opts);
+  ASSERT_TRUE(remote.error.empty()) << remote.error;
+  EXPECT_FALSE(remote.complete);
+  EXPECT_TRUE(remote.metrics.cancelled);
+  EXPECT_EQ(remote.metrics.jobs_cancelled, static_cast<int>(jobs.size()));
+  for (const JobResult& row : remote.jobs) {
+    EXPECT_FALSE(row.ok);
+    EXPECT_EQ(row.error, "cancelled");
+  }
+}
+
+TEST(DispatchTest, InvalidJobIndexRejectedUpFront) {
+  std::vector<NetJob> jobs = make_jobs(2);
+  jobs[1].index = 5;  // not its position
+  DispatchOptions opts;
+  opts.endpoints = {{"127.0.0.1", 1}};
+  const DispatchResult remote = dispatch_jobs(jobs, opts);
+  EXPECT_FALSE(remote.error.empty());
+  EXPECT_TRUE(remote.jobs.empty());
+}
+
+// ------------------------------------------------------- worker hostility
+
+/// Reads messages until one arrives (or the deadline passes); empty type on
+/// timeout/close.
+std::string read_reply(Channel& channel, JsonValue& msg) {
+  std::string type;
+  for (int i = 0; i < 50; ++i) {
+    switch (channel.read_message(100, msg, type)) {
+      case Channel::ReadStatus::kMessage: return type;
+      case Channel::ReadStatus::kTimeout: continue;
+      case Channel::ReadStatus::kClosed:
+      case Channel::ReadStatus::kError: return "";
+    }
+  }
+  return "";
+}
+
+TEST(DispatchTest, VersionMismatchGetsErrorReplyNotHang) {
+  Fleet fleet(1);
+  std::string error;
+  Socket socket =
+      tcp_connect("127.0.0.1", fleet.endpoints[0].port, 2000, error);
+  ASSERT_TRUE(socket.valid()) << error;
+  Channel channel(std::move(socket));
+
+  JsonValue hello = JsonValue::object();
+  hello.set("type", JsonValue::string("hello"));
+  hello.set("magic", JsonValue::string("wcm3d"));
+  hello.set("version", JsonValue::number(std::uint64_t{99}));
+  hello.set("role", JsonValue::string("dispatcher"));
+  ASSERT_TRUE(channel.write_payload(hello.dump()));
+
+  JsonValue reply;
+  ASSERT_EQ(read_reply(channel, reply), "error");
+  EXPECT_NE(reply.get_string("message").find("version"), std::string::npos)
+      << reply.dump();
+
+  // The worker dropped us but must keep serving well-behaved peers.
+  Socket again =
+      tcp_connect("127.0.0.1", fleet.endpoints[0].port, 2000, error);
+  ASSERT_TRUE(again.valid()) << error;
+  Channel channel2(std::move(again));
+  ASSERT_TRUE(channel2.write_payload(encode_hello("dispatcher")));
+  JsonValue reply2;
+  EXPECT_EQ(read_reply(channel2, reply2), "hello");
+}
+
+TEST(DispatchTest, GarbageBytesDropConnectionCleanly) {
+  Fleet fleet(1);
+  std::string error;
+  Socket socket =
+      tcp_connect("127.0.0.1", fleet.endpoints[0].port, 2000, error);
+  ASSERT_TRUE(socket.valid()) << error;
+  ASSERT_TRUE(socket.send_all(std::string("this is not a frame at all")));
+
+  // The worker must answer with a framed error (or just close) promptly —
+  // never hang. Either way the connection ends.
+  Channel channel(std::move(socket));
+  JsonValue reply;
+  const std::string type = read_reply(channel, reply);
+  EXPECT_TRUE(type == "error" || type.empty()) << type;
+  const WorkerStats stats = fleet.workers[0]->stats();
+  EXPECT_GE(stats.bad_frames, 1u);
+}
+
+TEST(DispatchTest, MalformedJobGetsErrorReply) {
+  Fleet fleet(1);
+  std::string error;
+  Socket socket =
+      tcp_connect("127.0.0.1", fleet.endpoints[0].port, 2000, error);
+  ASSERT_TRUE(socket.valid()) << error;
+  Channel channel(std::move(socket));
+  ASSERT_TRUE(channel.write_payload(encode_hello("dispatcher")));
+  JsonValue reply;
+  ASSERT_EQ(read_reply(channel, reply), "hello");
+
+  // Valid frame, valid JSON, invalid job (unknown method): a protocol-level
+  // error reply, not a crash and not a silent drop.
+  ASSERT_TRUE(channel.write_payload(
+      "{\"type\":\"job\",\"index\":0,\"label\":\"x\",\"die\":{\"name\":\"x\"},"
+      "\"scenario\":{\"method\":\"quantum\",\"tight\":true}}"));
+  EXPECT_EQ(read_reply(channel, reply), "error");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace wcm

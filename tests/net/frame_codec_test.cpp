@@ -1,0 +1,231 @@
+// Wire-format contracts of the solve service: the length-prefixed frame
+// codec (round trip, incremental reassembly, and the malformed-input cases a
+// fuzzer would find first — truncation, oversized length, bad magic) and the
+// JSON layer it carries (u64 fidelity, strictness, protocol handshake
+// validation). Everything here runs on in-memory byte strings — no sockets —
+// so a hostile peer is simulated exactly, byte by byte.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.hpp"
+#include "net/json.hpp"
+#include "net/protocol.hpp"
+
+namespace wcm {
+namespace net {
+namespace {
+
+std::string take_frame(FrameDecoder& decoder) {
+  std::string payload;
+  EXPECT_EQ(decoder.next(payload), FrameDecoder::Status::kFrame);
+  return payload;
+}
+
+TEST(FrameCodecTest, RoundTripsPayloads) {
+  const std::string payloads[] = {"", "x", std::string(100000, 'q'),
+                                  std::string("\0\x01\xff binary", 10)};
+  FrameDecoder decoder;
+  for (const std::string& payload : payloads) {
+    const std::string framed = encode_frame(payload);
+    EXPECT_EQ(framed.size(), payload.size() + kFrameHeaderBytes);
+    decoder.feed(framed.data(), framed.size());
+    EXPECT_EQ(take_frame(decoder), payload);
+  }
+  std::string extra;
+  EXPECT_EQ(decoder.next(extra), FrameDecoder::Status::kNeedMore);
+}
+
+TEST(FrameCodecTest, ReassemblesByteByByte) {
+  // A frame dribbling in one byte at a time must produce exactly one
+  // payload, and only once the final byte arrives.
+  const std::string framed = encode_frame("split me");
+  FrameDecoder decoder;
+  std::string payload;
+  for (std::size_t i = 0; i + 1 < framed.size(); ++i) {
+    decoder.feed(framed.data() + i, 1);
+    EXPECT_EQ(decoder.next(payload), FrameDecoder::Status::kNeedMore);
+  }
+  decoder.feed(framed.data() + framed.size() - 1, 1);
+  EXPECT_EQ(take_frame(decoder), "split me");
+}
+
+TEST(FrameCodecTest, CoalescedFramesSplitCleanly) {
+  std::string stream = encode_frame("one");
+  stream += encode_frame("two");
+  stream += encode_frame("three");
+  FrameDecoder decoder;
+  decoder.feed(stream.data(), stream.size());
+  EXPECT_EQ(take_frame(decoder), "one");
+  EXPECT_EQ(take_frame(decoder), "two");
+  EXPECT_EQ(take_frame(decoder), "three");
+}
+
+TEST(FrameCodecTest, TruncatedFrameIsJustIncomplete) {
+  // Truncation is not an error at the codec level — the transport decides
+  // (EOF mid-frame is the Channel's "closed mid-frame" error). The decoder
+  // reports kNeedMore forever and tracks the pending byte count.
+  const std::string framed = encode_frame("truncated payload");
+  FrameDecoder decoder;
+  decoder.feed(framed.data(), framed.size() - 5);
+  std::string payload;
+  EXPECT_EQ(decoder.next(payload), FrameDecoder::Status::kNeedMore);
+  EXPECT_GT(decoder.pending_bytes(), 0u);
+}
+
+TEST(FrameCodecTest, BadMagicIsASTickyError) {
+  std::string framed = encode_frame("ok");
+  framed[0] = 'X';
+  FrameDecoder decoder;
+  decoder.feed(framed.data(), framed.size());
+  std::string payload;
+  EXPECT_EQ(decoder.next(payload), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("magic"), std::string::npos) << decoder.error();
+  // Sticky: feeding a pristine frame afterwards cannot resynchronize — a
+  // desynced stream is dead, resync would misparse payload bytes as headers.
+  const std::string good = encode_frame("never seen");
+  decoder.feed(good.data(), good.size());
+  EXPECT_EQ(decoder.next(payload), FrameDecoder::Status::kError);
+}
+
+TEST(FrameCodecTest, OversizedLengthRejectedBeforeAllocation) {
+  // Header declares 1 GiB: the decoder must error out from the 8 header
+  // bytes alone (a real peer would OOM us otherwise).
+  std::string header;
+  const std::uint32_t magic = kFrameMagic;
+  const std::uint32_t huge = 1u << 30;
+  header.append(reinterpret_cast<const char*>(&magic), 4);
+  header.append(reinterpret_cast<const char*>(&huge), 4);
+  FrameDecoder decoder;
+  decoder.feed(header.data(), header.size());
+  std::string payload;
+  EXPECT_EQ(decoder.next(payload), FrameDecoder::Status::kError);
+  EXPECT_NE(decoder.error().find("exceeds"), std::string::npos) << decoder.error();
+}
+
+TEST(FrameCodecTest, GarbageBytesError) {
+  FrameDecoder decoder;
+  const std::string garbage = "GET / HTTP/1.1\r\nHost: not-a-wcm-frame\r\n\r\n";
+  decoder.feed(garbage.data(), garbage.size());
+  std::string payload;
+  EXPECT_EQ(decoder.next(payload), FrameDecoder::Status::kError);
+}
+
+// ---------------------------------------------------------------- JSON
+
+TEST(NetJsonTest, U64SeedsRoundTripExactly)  {
+  // 0xFFFFFFFFFFFFFFFF cannot survive a double; the raw-token design must
+  // carry it through parse -> get_u64 and parse -> dump unchanged.
+  const std::string doc = "{\"seed\":18446744073709551615,\"neg\":-9007199254740993}";
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(json_parse(doc, parsed, error)) << error;
+  EXPECT_EQ(parsed.get_u64("seed"), 18446744073709551615ull);
+  EXPECT_EQ(parsed.get_i64("neg"), -9007199254740993ll);
+  EXPECT_EQ(parsed.dump(), doc);
+}
+
+TEST(NetJsonTest, StrictnessRejectsTrailingGarbageAndDeepNesting) {
+  JsonValue parsed;
+  std::string error;
+  EXPECT_FALSE(json_parse("{\"a\":1} trailing", parsed, error));
+  EXPECT_FALSE(json_parse("", parsed, error));
+  EXPECT_FALSE(json_parse("{\"a\":}", parsed, error));
+  EXPECT_FALSE(json_parse("nullx", parsed, error));
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json_parse(deep, parsed, error));
+  EXPECT_NE(error.find("nest"), std::string::npos) << error;
+}
+
+TEST(NetJsonTest, EscapesRoundTrip) {
+  JsonValue obj = JsonValue::object();
+  obj.set("s", JsonValue::string("tab\t quote\" slash\\ nul\x01"));
+  JsonValue reparsed;
+  std::string error;
+  ASSERT_TRUE(json_parse(obj.dump(), reparsed, error)) << error;
+  EXPECT_EQ(reparsed.get_string("s"), "tab\t quote\" slash\\ nul\x01");
+}
+
+// ------------------------------------------------------------- protocol
+
+TEST(ProtocolTest, HelloVersionMismatchRejected) {
+  JsonValue msg;
+  std::string type, error;
+  ASSERT_TRUE(parse_message(encode_hello("worker"), msg, type, error)) << error;
+  EXPECT_EQ(type, "hello");
+  std::string role;
+  EXPECT_TRUE(parse_hello(msg, role, error));
+  EXPECT_EQ(role, "worker");
+
+  // Same message with a bumped version must be refused with a message that
+  // names both versions.
+  JsonValue bad = JsonValue::object();
+  bad.set("type", JsonValue::string("hello"));
+  bad.set("magic", JsonValue::string("wcm3d"));
+  bad.set("version", JsonValue::number(std::int64_t{kProtocolVersion + 7}));
+  bad.set("role", JsonValue::string("worker"));
+  EXPECT_FALSE(parse_hello(bad, role, error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(ProtocolTest, JobRoundTripsThroughWire) {
+  NetJob job;
+  job.index = 42;
+  job.label = "b11_die0/proposed/tight";
+  job.die.name = "b11_die0";
+  job.die.num_gates = 777;
+  job.die.num_scan_ffs = 31;
+  job.die.num_inbound = 9;
+  job.die.num_outbound = 8;
+  job.die.seed = 0xDEADBEEFCAFEF00Dull;
+  job.scenario.method = "li";
+  job.scenario.tight = false;
+  job.scenario.with_atpg = true;
+  job.scenario.oracle = "measured-scratch";
+
+  JsonValue msg;
+  std::string type, error;
+  ASSERT_TRUE(parse_message(encode_job(job, 0xFFFFFFFFFFFFFFFFull), msg, type, error))
+      << error;
+  ASSERT_EQ(type, "job");
+  NetJob back;
+  std::optional<std::uint64_t> root_seed;
+  ASSERT_TRUE(parse_job(msg, back, root_seed, error)) << error;
+  EXPECT_EQ(back.index, job.index);
+  EXPECT_EQ(back.label, job.label);
+  EXPECT_EQ(back.die.name, job.die.name);
+  EXPECT_EQ(back.die.num_gates, job.die.num_gates);
+  EXPECT_EQ(back.die.num_scan_ffs, job.die.num_scan_ffs);
+  EXPECT_EQ(back.die.num_inbound, job.die.num_inbound);
+  EXPECT_EQ(back.die.num_outbound, job.die.num_outbound);
+  EXPECT_EQ(back.die.seed, job.die.seed);
+  EXPECT_EQ(back.scenario.method, job.scenario.method);
+  EXPECT_EQ(back.scenario.tight, job.scenario.tight);
+  EXPECT_EQ(back.scenario.with_atpg, job.scenario.with_atpg);
+  EXPECT_EQ(back.scenario.oracle, job.scenario.oracle);
+  ASSERT_TRUE(root_seed.has_value());
+  EXPECT_EQ(*root_seed, 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(ProtocolTest, BadJobRejectedWithReason) {
+  // A job whose scenario names an unknown method must fail parse_job — the
+  // worker validates before queueing, so a bad dispatcher cannot crash it.
+  NetJob job;
+  job.index = 0;
+  job.label = "x";
+  job.die.name = "x";
+  job.scenario.method = "quantum";
+  JsonValue msg;
+  std::string type, error;
+  ASSERT_TRUE(parse_message(encode_job(job, std::nullopt), msg, type, error)) << error;
+  NetJob back;
+  std::optional<std::uint64_t> root_seed;
+  EXPECT_FALSE(parse_job(msg, back, root_seed, error));
+  EXPECT_NE(error.find("quantum"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace wcm

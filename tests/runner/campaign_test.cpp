@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "runner/report_json.hpp"
 #include "runner/seeds.hpp"
 
@@ -251,6 +254,96 @@ TEST(CampaignTest, PhaseTimesArePopulated) {
   EXPECT_GT(t.signoff_ms, 0.0);
   EXPECT_GE(t.total_ms, t.place_ms + t.solve_ms + t.signoff_ms);
   EXPECT_GE(result.jobs[0].total_ms, t.total_ms);
+}
+
+TEST(CampaignTest, OracleCacheDirIsCreatedWhenMissing) {
+  // A nested path that does not exist yet: the runner must create it before
+  // jobs run, so the first save has somewhere to land.
+  const std::filesystem::path dir = std::filesystem::path(testing::TempDir()) /
+                                    "wcm_campaign_cache" / "nested" / "deep";
+  std::filesystem::remove_all(dir.parent_path().parent_path());
+  ASSERT_FALSE(std::filesystem::exists(dir));
+
+  Campaign campaign;
+  campaign.add(small_spec("die_a", 11), tight_config(), "a");
+  CampaignOptions opts;
+  opts.oracle_cache_dir = dir.string();
+  const CampaignResult result = run_campaign_serial(campaign, opts);
+  ASSERT_TRUE(result.jobs[0].ok) << result.jobs[0].error;
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  std::filesystem::remove_all(dir.parent_path().parent_path());
+}
+
+TEST(CampaignTest, UncreatableCacheDirWarnsAndRunsCold) {
+  // A path that collides with a regular file cannot become a directory:
+  // ensure_oracle_cache_dir must refuse (false), bump the
+  // oracle.cache_save_fail counter, and the campaign must still succeed —
+  // cold, never crashed.
+  const std::filesystem::path file =
+      std::filesystem::path(testing::TempDir()) / "wcm_cache_blocker";
+  std::ofstream(file.string()) << "not a directory";
+  const std::string dir = (file / "sub").string();
+
+  obs::set_metrics_enabled(true);
+  const std::uint64_t fails_before =
+      obs::MetricsRegistry::instance().value("oracle.cache_save_fail");
+  EXPECT_FALSE(ensure_oracle_cache_dir(dir));
+  EXPECT_GT(obs::MetricsRegistry::instance().value("oracle.cache_save_fail"),
+            fails_before);
+
+  Campaign campaign;
+  campaign.add(small_spec("die_a", 11), tight_config(), "a");
+  CampaignOptions opts;
+  opts.oracle_cache_dir = dir;
+  const CampaignResult result = run_campaign_serial(campaign, opts);
+  EXPECT_TRUE(result.jobs[0].ok) << result.jobs[0].error;
+  std::filesystem::remove(file);
+}
+
+TEST(CampaignTest, CancelFlagSkipsRemainingJobs) {
+  // The flag flips after the first job finishes (serial execution makes the
+  // cut deterministic): job 0 ran, jobs 1..2 must be cancelled rows, and the
+  // metrics must say so without counting them as failures.
+  struct CancelAfterFirst : CampaignObserver {
+    explicit CancelAfterFirst(std::atomic<bool>& flag) : flag(flag) {}
+    void on_job_finish(const JobResult&) override { flag.store(true); }
+    std::atomic<bool>& flag;
+  };
+  std::atomic<bool> cancel{false};
+  CancelAfterFirst observer(cancel);
+  CampaignOptions opts;
+  opts.observer = &observer;
+  opts.cancel = &cancel;
+  const CampaignResult result = run_campaign_serial(three_die_campaign(), opts);
+
+  ASSERT_EQ(result.jobs.size(), 3u);
+  EXPECT_TRUE(result.jobs[0].ok);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_FALSE(result.jobs[i].ok);
+    EXPECT_EQ(result.jobs[i].error, "cancelled");
+    EXPECT_EQ(result.jobs[i].label, three_die_campaign().jobs()[i].label);
+  }
+  EXPECT_TRUE(result.metrics.cancelled);
+  EXPECT_EQ(result.metrics.jobs_cancelled, 2);
+  EXPECT_EQ(result.metrics.jobs_failed, 0);
+  EXPECT_EQ(result.metrics.jobs_finished, 1);
+
+  // The partial report is still a fully-formed document that says so.
+  const std::string json = campaign_report_json(result);
+  EXPECT_NE(json.find("\"cancelled\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs_cancelled\":2"), std::string::npos);
+}
+
+TEST(CampaignTest, PreCancelledCampaignRunsNothing) {
+  std::atomic<bool> cancel{true};
+  CampaignOptions opts;
+  opts.cancel = &cancel;
+  opts.jobs = 2;
+  const CampaignResult result = run_campaign(three_die_campaign(), opts);
+  EXPECT_EQ(result.metrics.jobs_cancelled, 3);
+  EXPECT_EQ(result.metrics.jobs_finished, 0);
+  EXPECT_TRUE(result.metrics.cancelled);
+  for (const JobResult& job : result.jobs) EXPECT_EQ(job.error, "cancelled");
 }
 
 }  // namespace

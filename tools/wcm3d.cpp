@@ -14,6 +14,11 @@
 //               [--oracle structural|measured|measured-scratch]
 //               [--oracle-cache dir] [--trace trace.json]
 //               [--atpg] [--json report.json] [--quiet]
+//   wcm3d serve [--host H] [--port P] [--queue N] [--oracle-cache dir]
+//               [--trace trace.json] [--verbose]
+//   wcm3d dispatch --workers host:port[,host:port...] [campaign flags]
+//               [--in-flight N] [--retries N] [--job-timeout-ms N]
+//               [--json report.json] [--trace trace.json] [--verbose]
 //
 // `solve` runs the full Fig. 6 flow: placement, STA, graph construction,
 // clique partitioning, wrapper insertion, signoff (with ECO repair for the
@@ -33,12 +38,26 @@
 // writes a Chrome trace-event JSON viewable in chrome://tracing or Perfetto
 // — one lane per campaign worker, solve phases nested under each job
 // (docs/OBSERVABILITY.md).
+//
+// `serve` / `dispatch` are the distributed solve service (src/net,
+// docs/SERVE.md): serve runs a worker daemon executing campaign jobs over
+// TCP; dispatch shards a campaign across a fleet of serve processes and
+// merges a report bit-identical to the local `campaign` run. SIGINT is
+// cooperative everywhere: campaign/dispatch cancel outstanding jobs and
+// still write a valid partial report (metrics.cancelled = true); serve
+// drains the jobs it has accepted and exits.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
+
+#include <unistd.h>
 
 #include "celllib/liberty.hpp"
 #include "core/flow.hpp"
@@ -48,11 +67,14 @@
 #include "gen/generator.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/optimize.hpp"
+#include "net/dispatcher.hpp"
+#include "net/worker.hpp"
 #include "netlist/verilog_io.hpp"
 #include "obs/obs.hpp"
 #include "partition/partition.hpp"
 #include "runner/campaign.hpp"
 #include "runner/report_json.hpp"
+#include "runner/scenario.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -70,7 +92,7 @@ bool parse_args(int argc, char** argv, int first, std::map<std::string, std::str
     }
     key = key.substr(2);
     // Boolean flags take no value; everything else consumes the next token.
-    if (key == "atpg" || key == "quiet") {
+    if (key == "atpg" || key == "quiet" || key == "verbose") {
       out[key] = "1";
       continue;
     }
@@ -114,6 +136,25 @@ bool parse_int_flag(const std::map<std::string, std::string>& args, const char* 
   return true;
 }
 
+/// SIGINT flag for the long-running commands (campaign/serve/dispatch).
+/// The first ^C flips the flag and the command winds down cooperatively —
+/// outstanding jobs cancel, partial reports still get written. A second ^C
+/// force-exits with the conventional 130.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void handle_sigint(int) {
+  if (g_interrupted.exchange(true)) _exit(130);
+}
+
+void install_sigint_handler() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = handle_sigint;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
 /// Enables metrics for the run and, with --trace set, span recording too.
 /// Returns the trace output path ("" = no tracing requested).
 std::string begin_observed_run(const std::map<std::string, std::string>& args) {
@@ -154,7 +195,16 @@ int usage() {
                "              [--scenario area|tight|both] [--jobs N] [--seed N]\n"
                "              [--oracle structural|measured|measured-scratch]\n"
                "              [--oracle-cache <dir>] [--trace <file>]\n"
-               "              [--atpg] [--json <file>] [--quiet]\n");
+               "              [--atpg] [--json <file>] [--quiet]\n"
+               "  wcm3d serve [--host <addr>] [--port <port>] [--queue N]\n"
+               "              [--oracle-cache <dir>] [--trace <file>] [--verbose]\n"
+               "  wcm3d dispatch --workers <host:port[,host:port...]>\n"
+               "              [--circuit all|<b11..b22>] "
+               "[--method proposed|agrawal|li]\n"
+               "              [--scenario area|tight|both] [--seed N] [--atpg]\n"
+               "              [--oracle structural|measured|measured-scratch]\n"
+               "              [--in-flight N] [--retries N] [--job-timeout-ms N]\n"
+               "              [--json <file>] [--trace <file>] [--verbose] [--quiet]\n");
   return 2;
 }
 
@@ -401,69 +451,64 @@ class ProgressPrinter : public CampaignObserver {
   std::mutex mutex_;
 };
 
-int cmd_campaign(const std::map<std::string, std::string>& args) {
-  const std::string method = args.count("method") ? args.at("method") : "proposed";
-  if (method != "proposed" && method != "agrawal" && method != "li") {
-    std::fprintf(stderr, "campaign: unknown method '%s'\n", method.c_str());
-    return 2;
+/// The sweep both `campaign` and `dispatch` run: which dies, which scenario
+/// variants, and the shared ScenarioSpec base. Built in one place so
+/// dispatch's job i IS campaign's job i — same order, same labels, same
+/// configs — which is what makes their reports comparable row for row.
+struct SweepPlan {
+  std::vector<DieSpec> dies;
+  ScenarioSpec base;  ///< `tight` toggled per variant below
+  bool run_area = false;
+  bool run_tight = true;
+};
+
+bool parse_sweep(const std::map<std::string, std::string>& args, const char* cmd,
+                 SweepPlan& out) {
+  out.base.method = args.count("method") ? args.at("method") : "proposed";
+  out.base.with_atpg = args.count("atpg") > 0;
+  if (args.count("oracle")) out.base.oracle = args.at("oracle");
+  std::string error;
+  if (!validate_scenario(out.base, error)) {
+    std::fprintf(stderr, "%s: %s\n", cmd, error.c_str());
+    return false;
   }
   const std::string scenario = args.count("scenario") ? args.at("scenario") : "tight";
   if (scenario != "area" && scenario != "tight" && scenario != "both") {
-    std::fprintf(stderr, "campaign: unknown scenario '%s'\n", scenario.c_str());
-    return 2;
+    std::fprintf(stderr, "%s: unknown scenario '%s'\n", cmd, scenario.c_str());
+    return false;
   }
+  out.run_area = scenario == "area" || scenario == "both";
+  out.run_tight = scenario == "tight" || scenario == "both";
   const std::string circuit = args.count("circuit") ? args.at("circuit") : "all";
-  const bool with_atpg = args.count("atpg") > 0;
-
-  std::vector<DieSpec> specs;
   for (const DieSpec& spec : itc99_all_dies())
-    if (circuit == "all" || spec.name.rfind(circuit, 0) == 0) specs.push_back(spec);
-  if (specs.empty()) {
-    std::fprintf(stderr, "campaign: no dies match circuit '%s'\n", circuit.c_str());
-    return 2;
+    if (circuit == "all" || spec.name.rfind(circuit, 0) == 0) out.dies.push_back(spec);
+  if (out.dies.empty()) {
+    std::fprintf(stderr, "%s: no dies match circuit '%s'\n", cmd, circuit.c_str());
+    return false;
   }
+  return true;
+}
 
-  const auto make_config = [&](bool tight) {
-    FlowConfig fc;
-    if (method == "proposed") {
-      fc.wcm = tight ? WcmConfig::proposed_tight() : WcmConfig::proposed_area();
-      fc.repair_timing = true;
-    } else if (method == "agrawal") {
-      fc.wcm = tight ? WcmConfig::agrawal_tight() : WcmConfig::agrawal_area();
-    } else {
-      fc.wcm = WcmConfig::proposed_area();  // thresholds only; greedy solver
-      fc.method = SolveMethod::kLiGreedy;
-    }
-    fc.clock_policy = tight ? ClockPolicy::kTightDerived : ClockPolicy::kLooseDerived;
-    fc.run_stuck_at = with_atpg;
-    fc.run_transition = with_atpg;
-    apply_oracle_flag(args, "campaign", fc.wcm);  // validated before the sweep
-    return fc;
-  };
-  {
-    // Validate once up front so a typo fails before any die is generated.
-    WcmConfig probe;
-    if (!apply_oracle_flag(args, "campaign", probe)) return 2;
+/// Scenario variants of a sweep, in campaign order (area before tight).
+std::vector<ScenarioSpec> sweep_variants(const SweepPlan& plan) {
+  std::vector<ScenarioSpec> variants;
+  if (plan.run_area) {
+    variants.push_back(plan.base);
+    variants.back().tight = false;
   }
-
-  Campaign campaign;
-  for (const DieSpec& spec : specs) {
-    if (scenario == "area" || scenario == "both")
-      campaign.add(spec, make_config(false), spec.name + "/" + method + "/area");
-    if (scenario == "tight" || scenario == "both")
-      campaign.add(spec, make_config(true), spec.name + "/" + method + "/tight");
+  if (plan.run_tight) {
+    variants.push_back(plan.base);
+    variants.back().tight = true;
   }
+  return variants;
+}
 
-  CampaignOptions opts;
-  if (!parse_int_flag(args, "campaign", "jobs", 1, opts.jobs)) return 2;
-  if (args.count("seed")) opts.root_seed = std::stoull(args.at("seed"));
-  if (args.count("oracle-cache")) opts.oracle_cache_dir = args.at("oracle-cache");
-  ProgressPrinter progress(campaign.size());
-  if (!args.count("quiet")) opts.observer = &progress;
+std::string sweep_label(const DieSpec& die, const ScenarioSpec& scenario) {
+  return die.name + "/" + scenario.method + "/" + scenario_name(scenario);
+}
 
-  const std::string trace_path = begin_observed_run(args);
-  const CampaignResult result = run_campaign(campaign, opts);
-
+/// Result table + summary line shared by `campaign` and `dispatch`.
+void print_campaign_result(const CampaignResult& result) {
   Table table({"job", "reused", "additional", "violation", "wns_ps", "clock_ps", "ms"});
   for (const JobResult& job : result.jobs) {
     if (!job.ok) {
@@ -480,20 +525,183 @@ int cmd_campaign(const std::map<std::string, std::string>& args) {
   }
   std::printf("%s\n", table.to_ascii().c_str());
   const CampaignMetrics& m = result.metrics;
-  std::printf("campaign: %d jobs, %d failed | %d workers, peak concurrency %d, "
+  std::printf("campaign: %d jobs, %d failed%s | %d workers, peak concurrency %d, "
               "%llu steals | wall %.0f ms\n",
-              m.jobs_total, m.jobs_failed, m.workers, m.peak_concurrency,
+              m.jobs_total, m.jobs_failed,
+              m.cancelled
+                  ? (", " + std::to_string(m.jobs_cancelled) + " cancelled").c_str()
+                  : "",
+              m.workers, m.peak_concurrency,
               static_cast<unsigned long long>(m.tasks_stolen), m.wall_ms);
+}
 
-  if (args.count("json")) {
-    if (!write_campaign_report_json(result, args.at("json"))) {
-      std::fprintf(stderr, "campaign: cannot write %s\n", args.at("json").c_str());
-      return 1;
-    }
-    std::printf("wrote JSON report : %s\n", args.at("json").c_str());
+/// Writes the JSON report when --json was given. Returns false on I/O error.
+bool write_json_flag(const std::map<std::string, std::string>& args, const char* cmd,
+                     const CampaignResult& result) {
+  if (!args.count("json")) return true;
+  if (!write_campaign_report_json(result, args.at("json"))) {
+    std::fprintf(stderr, "%s: cannot write %s\n", cmd, args.at("json").c_str());
+    return false;
   }
+  std::printf("wrote JSON report : %s\n", args.at("json").c_str());
+  return true;
+}
+
+int cmd_campaign(const std::map<std::string, std::string>& args) {
+  SweepPlan plan;
+  if (!parse_sweep(args, "campaign", plan)) return 2;
+
+  Campaign campaign;
+  for (const DieSpec& spec : plan.dies)
+    for (const ScenarioSpec& scenario : sweep_variants(plan))
+      campaign.add(spec, make_scenario_config(scenario), sweep_label(spec, scenario));
+
+  CampaignOptions opts;
+  if (!parse_int_flag(args, "campaign", "jobs", 1, opts.jobs)) return 2;
+  if (args.count("seed")) opts.root_seed = std::stoull(args.at("seed"));
+  if (args.count("oracle-cache")) opts.oracle_cache_dir = args.at("oracle-cache");
+  install_sigint_handler();
+  opts.cancel = &g_interrupted;
+  ProgressPrinter progress(campaign.size());
+  if (!args.count("quiet")) opts.observer = &progress;
+
+  const std::string trace_path = begin_observed_run(args);
+  const CampaignResult result = run_campaign(campaign, opts);
+
+  print_campaign_result(result);
+  const CampaignMetrics& m = result.metrics;
+  if (m.cancelled)
+    std::fprintf(stderr, "campaign: interrupted — %d of %d jobs cancelled; "
+                 "partial report is valid\n", m.jobs_cancelled, m.jobs_total);
+
+  if (!write_json_flag(args, "campaign", result)) return 1;
   if (!finish_observed_run("campaign", trace_path)) return 1;
+  if (m.cancelled) return 130;
   return m.jobs_failed > 0 ? 1 : 0;
+}
+
+int cmd_serve(const std::map<std::string, std::string>& args) {
+  net::WorkerOptions opts;
+  if (args.count("host")) opts.host = args.at("host");
+  if (!parse_int_flag(args, "serve", "port", 0, opts.port)) return 2;
+  if (!parse_int_flag(args, "serve", "queue", 1, opts.queue_capacity)) return 2;
+  if (args.count("oracle-cache")) opts.oracle_cache_dir = args.at("oracle-cache");
+  opts.verbose = args.count("verbose") > 0;
+
+  const std::string trace_path = begin_observed_run(args);
+  install_sigint_handler();
+  net::WorkerServer server(opts);
+  std::string error;
+  if (!server.start(error)) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  // The port line is the startup contract: scripts read it to learn an
+  // ephemeral port, so it goes to stdout and is flushed immediately.
+  std::printf("serve: listening on %s:%d\n", opts.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  while (!g_interrupted.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::fprintf(stderr, "serve: draining...\n");
+  server.drain();
+  const net::WorkerStats stats = server.stats();
+  std::printf("serve: %llu connections, %llu jobs (%llu failed), %llu bad frames, "
+              "%llu B in, %llu B out\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.jobs_executed),
+              static_cast<unsigned long long>(stats.jobs_failed),
+              static_cast<unsigned long long>(stats.bad_frames),
+              static_cast<unsigned long long>(stats.bytes_in),
+              static_cast<unsigned long long>(stats.bytes_out));
+  if (!finish_observed_run("serve", trace_path)) return 1;
+  return 0;
+}
+
+int cmd_dispatch(const std::map<std::string, std::string>& args) {
+  if (!args.count("workers")) {
+    std::fprintf(stderr, "dispatch: need --workers host:port[,host:port...]\n");
+    return 2;
+  }
+  net::DispatchOptions opts;
+  {
+    const std::string& list = args.at("workers");
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      std::size_t comma = list.find(',', start);
+      if (comma == std::string::npos) comma = list.size();
+      const std::string item = list.substr(start, comma - start);
+      if (!item.empty()) {
+        net::Endpoint endpoint;
+        std::string error;
+        if (!net::parse_endpoint(item, endpoint, error)) {
+          std::fprintf(stderr, "dispatch: %s\n", error.c_str());
+          return 2;
+        }
+        opts.endpoints.push_back(endpoint);
+      }
+      start = comma + 1;
+    }
+    if (opts.endpoints.empty()) {
+      std::fprintf(stderr, "dispatch: --workers lists no endpoints\n");
+      return 2;
+    }
+  }
+  if (!parse_int_flag(args, "dispatch", "in-flight", 1, opts.in_flight_per_worker))
+    return 2;
+  if (!parse_int_flag(args, "dispatch", "retries", 0, opts.max_retries)) return 2;
+  if (!parse_int_flag(args, "dispatch", "job-timeout-ms", 0, opts.job_timeout_ms))
+    return 2;
+  if (args.count("seed")) opts.root_seed = std::stoull(args.at("seed"));
+  opts.verbose = args.count("verbose") > 0;
+
+  SweepPlan plan;
+  if (!parse_sweep(args, "dispatch", plan)) return 2;
+  std::vector<net::NetJob> jobs;
+  for (const DieSpec& spec : plan.dies) {
+    for (const ScenarioSpec& scenario : sweep_variants(plan)) {
+      net::NetJob job;
+      job.index = jobs.size();
+      job.label = sweep_label(spec, scenario);
+      job.die = spec;
+      job.scenario = scenario;
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  install_sigint_handler();
+  opts.cancel = &g_interrupted;
+  const std::string trace_path = begin_observed_run(args);
+  const net::DispatchResult dispatched = net::dispatch_jobs(jobs, opts);
+  if (!dispatched.error.empty()) {
+    std::fprintf(stderr, "dispatch: %s\n", dispatched.error.c_str());
+    return 2;
+  }
+
+  CampaignResult result;
+  result.jobs = dispatched.jobs;
+  result.metrics = dispatched.metrics;
+  if (!args.count("quiet")) print_campaign_result(result);
+  const net::DispatchStats& stats = dispatched.stats;
+  std::printf("dispatch: %llu sends (%llu retried, %llu dup), %llu reconnects, "
+              "%llu connect failures | %llu B in, %llu B out\n",
+              static_cast<unsigned long long>(stats.jobs_dispatched),
+              static_cast<unsigned long long>(stats.jobs_retried),
+              static_cast<unsigned long long>(stats.dup_results),
+              static_cast<unsigned long long>(stats.reconnects),
+              static_cast<unsigned long long>(stats.connect_failures),
+              static_cast<unsigned long long>(stats.bytes_in),
+              static_cast<unsigned long long>(stats.bytes_out));
+  if (result.metrics.cancelled)
+    std::fprintf(stderr, "dispatch: interrupted — %d of %d jobs cancelled; "
+                 "partial report is valid\n", result.metrics.jobs_cancelled,
+                 result.metrics.jobs_total);
+
+  if (!write_json_flag(args, "dispatch", result)) return 1;
+  if (!finish_observed_run("dispatch", trace_path)) return 1;
+  if (result.metrics.cancelled) return 130;
+  return dispatched.complete && result.metrics.jobs_failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -513,6 +721,8 @@ int main(int argc, char** argv) {
     if (cmd == "opt") return cmd_opt(args);
     if (cmd == "solve") return cmd_solve(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "dispatch") return cmd_dispatch(args);
   } catch (const std::exception& e) {
     // e.g. std::stoi on a non-numeric flag value: report, don't abort.
     std::fprintf(stderr, "wcm3d %s: %s\n", cmd.c_str(), e.what());
