@@ -1,0 +1,202 @@
+// Million-gate scale gate: generate -> compat graph -> partition at
+// 10^4, 10^5, and 10^6 gates, recording wall time per stage and the
+// process peak RSS, as BENCH_scale.json.
+//
+//   WCM_QUICK=1  cap the sweep at 10^5 gates (CI smoke; the 10^6 point
+//                runs in the full sweep only)
+//   WCM_JOBS=N   graph-build width (default: all cores)
+//
+// TSV and flop counts scale sublinearly with the gate count (ffs = g/200,
+// inbound = outbound = g/100) so the O(nodes^2) candidate scan stays
+// proportionate — the paper's dies keep roughly these ratios. At the 10^4
+// point the streaming CSR build is also raced against the legacy
+// nested-vector path; the CSR path regressing past the legacy path fails
+// the bench (exit 1), which is the "no slower at small scale" acceptance
+// gate.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/anytime.hpp"
+#include "core/compat_graph.hpp"
+#include "core/solver.hpp"
+#include "core/testability.hpp"
+#include "gen/generator.hpp"
+#include "obs/obs.hpp"
+#include "place/place.hpp"
+#include "util/rss.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace wcm;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Kernel {
+  std::string label;
+  double seconds = 0.0;
+  std::size_t peak_rss_bytes = 0;
+};
+
+DieSpec scale_spec(int gates) {
+  DieSpec spec;
+  spec.name = "scale" + std::to_string(gates);
+  spec.num_gates = gates;
+  spec.num_scan_ffs = std::max(4, gates / 200);
+  spec.num_inbound = std::max(8, gates / 100);
+  spec.num_outbound = std::max(8, gates / 100);
+  spec.num_pis = 16;
+  spec.num_pos = 16;
+  spec.seed = 0x5CA1EULL ^ static_cast<std::uint64_t>(gates);
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  obs::set_metrics_enabled(true);
+  const char* quick = std::getenv("WCM_QUICK");
+  const bool quick_mode = quick != nullptr && quick[0] == '1';
+  const char* jobs_env = std::getenv("WCM_JOBS");
+  const int jobs = jobs_env != nullptr && std::atoi(jobs_env) > 0
+                       ? std::atoi(jobs_env)
+                       : ThreadPool::default_concurrency();
+
+  std::vector<int> sweep{10000, 100000};
+  if (!quick_mode) sweep.push_back(1000000);
+  std::printf("scale sweep:%s gates up to %d, width %d\n", quick_mode ? " (quick)" : "",
+              sweep.back(), jobs);
+
+  std::vector<Kernel> kernels;
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  bool csr_regressed = false;
+  double csr_small = 0.0, legacy_small = 0.0;
+
+  for (const int gates : sweep) {
+    const DieSpec spec = scale_spec(gates);
+
+    auto t0 = Clock::now();
+    const Netlist n = generate_die(spec);
+    kernels.push_back({"generate/" + std::to_string(gates), seconds_since(t0),
+                       peak_rss_bytes()});
+    std::printf("  %-22s %8.3f s  (%zu nodes)\n", kernels.back().label.c_str(),
+                kernels.back().seconds, n.size());
+
+    t0 = Clock::now();
+    const Placement placement = place(n, PlaceOptions{});
+    const StaEngine sta(n, lib, &placement);
+    const TimingReport timing = sta.run();
+    ConeDb cones(n);
+    kernels.push_back({"analyze/" + std::to_string(gates), seconds_since(t0),
+                       peak_rss_bytes()});
+    std::printf("  %-22s %8.3f s\n", kernels.back().label.c_str(),
+                kernels.back().seconds);
+
+    TestabilityOracle oracle(n, cones, OracleMode::kStructural, AtpgOptions{});
+    GraphInputs in;
+    in.netlist = &n;
+    in.placement = &placement;
+    in.sta = &sta;
+    in.timing = &timing;
+    in.cones = &cones;
+    in.oracle = &oracle;
+    WcmConfig cfg = WcmConfig::proposed_area();
+    cfg.solve_threads = jobs;
+
+    if (gates == sweep.front()) {
+      // Warm the shared lazy cone cache before the A/B below so both timed
+      // builds compare edge generation, not first-touch cone construction.
+      // The warm-up gets a throwaway oracle; the timed builds each get their
+      // own fresh one, so oracle costs stay cold (and equal) on both sides.
+      TestabilityOracle warm_oracle(n, cones, OracleMode::kStructural, AtpgOptions{});
+      GraphInputs warm_in = in;
+      warm_in.oracle = &warm_oracle;
+      (void)build_compat_graph(warm_in, lib, n.inbound_tsvs(), NodeKind::kInboundTsv,
+                               n.scan_flip_flops(), cfg);
+    }
+
+    t0 = Clock::now();
+    const CompatGraph g = build_compat_graph(in, lib, n.inbound_tsvs(),
+                                             NodeKind::kInboundTsv,
+                                             n.scan_flip_flops(), cfg);
+    const double graph_s = seconds_since(t0);
+    kernels.push_back({"graph/" + std::to_string(gates), graph_s, peak_rss_bytes()});
+    std::printf("  %-22s %8.3f s  (%d edges)\n", kernels.back().label.c_str(), graph_s,
+                g.num_edges);
+
+    // Streaming-vs-legacy A/B at the smallest point: the CSR streaming
+    // build must not lose to the nested-vector reference it replaced.
+    // 10% grace absorbs scheduler noise on loaded CI boxes.
+    if (gates == sweep.front()) {
+      WcmConfig legacy_cfg = cfg;
+      legacy_cfg.streaming_edges = false;
+      TestabilityOracle legacy_oracle(n, cones, OracleMode::kStructural, AtpgOptions{});
+      GraphInputs legacy_in = in;
+      legacy_in.oracle = &legacy_oracle;
+      t0 = Clock::now();
+      const CompatGraph legacy = build_compat_graph(legacy_in, lib, n.inbound_tsvs(),
+                                                    NodeKind::kInboundTsv,
+                                                    n.scan_flip_flops(), legacy_cfg);
+      legacy_small = seconds_since(t0);
+      csr_small = graph_s;
+      kernels.push_back({"graph-legacy/" + std::to_string(gates), legacy_small,
+                         peak_rss_bytes()});
+      std::printf("  %-22s %8.3f s\n", kernels.back().label.c_str(), legacy_small);
+      if (legacy.num_edges != g.num_edges) {
+        std::fprintf(stderr, "EDGE COUNT MISMATCH: streaming %d vs legacy %d\n",
+                     g.num_edges, legacy.num_edges);
+        csr_regressed = true;
+      }
+      if (csr_small > legacy_small * 1.10 && csr_small - legacy_small > 0.05) {
+        std::fprintf(stderr, "CSR REGRESSION: streaming %.3f s vs legacy %.3f s\n",
+                     csr_small, legacy_small);
+        csr_regressed = true;
+      }
+    }
+
+    t0 = Clock::now();
+    const CliquePartition p = partition_cliques(
+        g, [](const std::vector<int>&, const std::vector<int>&) { return true; });
+    kernels.push_back({"partition/" + std::to_string(gates), seconds_since(t0),
+                       peak_rss_bytes()});
+    std::printf("  %-22s %8.3f s  (%zu cliques)\n", kernels.back().label.c_str(),
+                kernels.back().seconds, p.cliques.size());
+
+    t0 = Clock::now();
+    const CliquePartition ap = partition_cliques_anytime(
+        g, [](const std::vector<int>&, const std::vector<int>&) { return true; }, {});
+    kernels.push_back({"anytime/" + std::to_string(gates), seconds_since(t0),
+                       peak_rss_bytes()});
+    std::printf("  %-22s %8.3f s  (%zu clusters)\n", kernels.back().label.c_str(),
+                kernels.back().seconds, ap.cliques.size());
+  }
+
+  const std::size_t peak = peak_rss_bytes();
+  std::printf("peak RSS: %.1f MB\n", static_cast<double>(peak) / (1024.0 * 1024.0));
+
+  std::ofstream json("BENCH_scale.json");
+  json << "{\"bench\":\"scale\",\"max_gates\":" << sweep.back()
+       << ",\"parallel_width\":" << jobs
+       << ",\"hardware_threads\":" << ThreadPool::default_concurrency()
+       << ",\"csr_seconds_small\":" << csr_small
+       << ",\"legacy_seconds_small\":" << legacy_small
+       << ",\"peak_rss_bytes\":" << peak << ",\"kernels\":[";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    if (i) json << ',';
+    json << "{\"label\":\"" << kernels[i].label << "\",\"seconds\":" << kernels[i].seconds
+         << ",\"peak_rss_bytes\":" << kernels[i].peak_rss_bytes << "}";
+  }
+  json << "],\"obs\":{\"counters\":" << obs::counters_json()
+       << ",\"gauges\":" << obs::gauges_json() << "}}\n";
+  std::printf("wrote BENCH_scale.json\n");
+
+  return csr_regressed ? 1 : 0;
+}

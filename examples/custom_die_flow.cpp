@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   std::printf("inserted: %zu bypass/capture muxes, %zu compactors, %zu cells, "
               "test-enable pin '%s'\n",
               inserted.added_muxes.size(), inserted.added_xors.size(),
-              inserted.added_cells.size(), die.gate(inserted.test_en).name.c_str());
+              inserted.added_cells.size(), std::string(die.name_of(inserted.test_en)).c_str());
 
   const ScanChain chain = stitch_scan_chain(die, &placement);
   std::printf("scan chain: %zu elements, %.1f um of stitching\n", chain.order.size(),
@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
 
   const std::string chain_path = out_dir + "/" + die.name() + "_scan_chain.txt";
   std::ofstream chain_out(chain_path);
-  for (GateId ff : chain.order) chain_out << die.gate(ff).name << "\n";
+  for (GateId ff : chain.order) chain_out << die.name_of(ff) << "\n";
   std::printf("wrote scan-chain order to %s\n", chain_path.c_str());
   return 0;
 }

@@ -5,7 +5,7 @@
 namespace wcm {
 
 std::string fault_name(const Netlist& n, const Fault& f) {
-  return n.gate(f.site).name + (f.stuck_value ? "/SA1" : "/SA0");
+  return std::string(n.name_of(f.site)) + (f.stuck_value ? "/SA1" : "/SA0");
 }
 
 std::vector<Fault> full_fault_list(const Netlist& n) {

@@ -1,0 +1,176 @@
+#include "core/anytime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/assert.hpp"
+
+namespace wcm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One cluster slot. Slots are stable (a move never renumbers clusters), so
+/// the smallest-slot tie-break is deterministic across runs.
+struct Slot {
+  std::vector<int> members;  ///< sorted node indices
+  int tsvs = 0;
+  bool has_ff = false;
+};
+
+int cost_of(int tsvs, bool has_ff) { return (tsvs > 0 && !has_ff) ? 1 : 0; }
+
+void insert_sorted(std::vector<int>& v, int value) {
+  v.insert(std::lower_bound(v.begin(), v.end(), value), value);
+}
+
+void remove_sorted(std::vector<int>& v, int value) {
+  const auto it = std::lower_bound(v.begin(), v.end(), value);
+  WCM_ASSERT(it != v.end() && *it == value);
+  v.erase(it);
+}
+
+}  // namespace
+
+CliquePartition partition_cliques_anytime(const CompatGraph& graph,
+                                          const MergePredicate& can_merge,
+                                          const AnytimeOptions& opts) {
+  WCM_OBS_SPAN("solve/clique_anytime");
+#ifndef NDEBUG
+  WCM_ASSERT_MSG(graph.adj.rows_sorted_unique(),
+                 "anytime partitioner requires sorted duplicate-free rows");
+#endif
+  const std::size_t n = graph.nodes.size();
+  CliquePartition result;
+
+  std::vector<char> node_is_ff(n, 0);
+  std::vector<Slot> slots(n);
+  std::vector<int> slot_of(n);
+  int objective = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    node_is_ff[i] = graph.nodes[i].kind == NodeKind::kScanFF ? 1 : 0;
+    slots[i].members = {static_cast<int>(i)};
+    slots[i].tsvs = node_is_ff[i] ? 0 : 1;
+    slots[i].has_ff = node_is_ff[i] != 0;
+    slot_of[i] = static_cast<int>(i);
+    objective += cost_of(slots[i].tsvs, slots[i].has_ff);
+  }
+  WCM_OBS_GAUGE_SET("solver.anytime_objective", objective);
+
+  // Epoch-stamped scratch: one pass over a node's CSR row buckets its
+  // neighbors by cluster slot in O(degree) without clearing between nodes.
+  std::vector<std::uint32_t> stamp(n, 0);
+  std::vector<int> nbrs_in(n, 0);
+  std::vector<int> candidates;
+  std::uint32_t epoch = 0;
+
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::milliseconds(opts.time_budget_ms > 0 ? opts.time_budget_ms : 0);
+  auto out_of_time = [&](std::size_t step) {
+    if (opts.cancel && opts.cancel->load(std::memory_order_acquire)) return true;
+    if (opts.time_budget_ms <= 0) return false;
+    // The clock read is cheap but not free; amortize it over a few nodes.
+    if ((step & 0x3F) != 0) return false;
+    return Clock::now() >= deadline;
+  };
+
+  const std::vector<int> order = graph.adj.nodes_by_degree_desc();
+  bool stopped = false;
+  int rounds = 0;
+  bool moved_any = true;
+  while (moved_any && !stopped) {
+    moved_any = false;
+    ++rounds;
+    WCM_OBS_COUNT("solver.anytime_rounds");
+    for (std::size_t step = 0; step < order.size(); ++step) {
+      if (out_of_time(step)) {
+        stopped = true;
+        break;
+      }
+      const int v = order[step];
+      const auto row = graph.adj.row(static_cast<std::size_t>(v));
+      if (row.empty()) continue;  // isolated: singleton is its only option
+      const int s = slot_of[static_cast<std::size_t>(v)];
+      Slot& src = slots[static_cast<std::size_t>(s)];
+
+      ++epoch;
+      candidates.clear();
+      for (std::int32_t u : row) {
+        const int d = slot_of[static_cast<std::size_t>(u)];
+        if (stamp[static_cast<std::size_t>(d)] != epoch) {
+          stamp[static_cast<std::size_t>(d)] = epoch;
+          nbrs_in[static_cast<std::size_t>(d)] = 0;
+          if (d != s) candidates.push_back(d);
+        }
+        ++nbrs_in[static_cast<std::size_t>(d)];
+      }
+      const int src_links =
+          stamp[static_cast<std::size_t>(s)] == epoch ? nbrs_in[static_cast<std::size_t>(s)] : 0;
+
+      // Source side of the delta is the same for every target.
+      const int src_cost = cost_of(src.tsvs, src.has_ff);
+      const int src_cost_after = src.members.size() == 1
+                                     ? 0  // slot empties
+                                     : cost_of(src.tsvs - (node_is_ff[v] ? 0 : 1),
+                                               src.has_ff && !node_is_ff[v]);
+
+      int best_slot = -1;
+      int best_delta = 0;
+      int best_gain = 0;
+      for (const int d : candidates) {
+        Slot& dst = slots[static_cast<std::size_t>(d)];
+        // Clique invariant: v must see every member of the target.
+        if (nbrs_in[static_cast<std::size_t>(d)] != static_cast<int>(dst.members.size()))
+          continue;
+        const int delta = src_cost_after - src_cost +
+                          cost_of(dst.tsvs + (node_is_ff[v] ? 0 : 1),
+                                  dst.has_ff || node_is_ff[v]) -
+                          cost_of(dst.tsvs, dst.has_ff);
+        const int gain = nbrs_in[static_cast<std::size_t>(d)] - src_links;
+        // Lexicographic acceptance: objective first, intra-edge count as the
+        // strictly-decreasing tiebreaker (this is what bounds the run).
+        if (delta > 0 || (delta == 0 && gain <= 0)) continue;
+        if (best_slot >= 0 && (delta > best_delta || (delta == best_delta && gain < best_gain)))
+          continue;
+        if (best_slot >= 0 && delta == best_delta && gain == best_gain && d > best_slot)
+          continue;
+        if (!can_merge({v}, dst.members)) {
+          ++result.rejected_merges;
+          continue;
+        }
+        best_slot = d;
+        best_delta = delta;
+        best_gain = gain;
+      }
+      if (best_slot < 0) continue;
+
+      Slot& dst = slots[static_cast<std::size_t>(best_slot)];
+      remove_sorted(src.members, v);
+      src.tsvs -= node_is_ff[v] ? 0 : 1;
+      if (node_is_ff[v]) src.has_ff = false;
+      insert_sorted(dst.members, v);
+      dst.tsvs += node_is_ff[v] ? 0 : 1;
+      if (node_is_ff[v]) dst.has_ff = true;
+      slot_of[static_cast<std::size_t>(v)] = best_slot;
+      objective += best_delta;
+      moved_any = true;
+      ++result.merges;
+      WCM_OBS_COUNT("solver.anytime_moves");
+    }
+    WCM_OBS_GAUGE_SET("solver.anytime_objective", objective);
+  }
+  (void)rounds;
+
+  // The objective only ever decreases, so the state at the stop IS the
+  // best-so-far plan — no snapshotting needed.
+  for (const Slot& slot : slots) {
+    if (slot.members.empty()) continue;
+    result.cliques.push_back(slot.members);
+  }
+  return result;
+}
+
+}  // namespace wcm

@@ -1,0 +1,48 @@
+// Anytime cluster-editing partitioner — the scale-path alternative to
+// Algorithm 2's greedy clique merge.
+//
+// Cluster editing and clique partitioning are the same problem seen from
+// different ends (whatshap's induced-cost CoreAlgorithm is the exemplar):
+// instead of growing cliques bottom-up by merging, keep a full assignment
+// of every node to a cluster at all times and improve it by local moves.
+// The assignment starts all-singletons — the trivial one-wrapper-per-TSV
+// plan, always valid — so the solver can be interrupted at ANY point and
+// still return a complete, feasible partition: every intermediate state
+// is one. That is what makes it anytime, and why it gets the cooperative
+// cancellation token the greedy merge cannot honor mid-run.
+//
+// A move relocates one node into a neighboring cluster. It is admissible
+// only if the node is adjacent to every member of the target (the clique
+// invariant is preserved by construction) and the caller's capacity model
+// approves the union. Moves are accepted when they lower the objective
+// (additional wrapper cells = TSV-only clusters), or keep it equal while
+// raising the intra-cluster edge count — a lexicographic potential that
+// strictly decreases, so convergence needs no iteration cap. All
+// tie-breaks are deterministic (best objective delta, then largest edge
+// gain, then smallest cluster slot), so two runs over the same graph
+// produce identical partitions on any machine.
+#pragma once
+
+#include <atomic>
+
+#include "core/clique.hpp"
+
+namespace wcm {
+
+struct AnytimeOptions {
+  /// Wall-clock budget in milliseconds; 0 = run until converged.
+  int time_budget_ms = 0;
+  /// Cooperative stop flag (e.g. the CLI SIGINT flag); may be null.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Returns the best partition reached when the budget expires, the cancel
+/// flag trips, or no improving move remains (in which case the result is
+/// locally optimal). `merges` counts accepted moves, `rejected_merges`
+/// capacity-model refusals. Publishes the current objective through the
+/// `solver.anytime_objective` obs gauge while running.
+CliquePartition partition_cliques_anytime(const CompatGraph& graph,
+                                          const MergePredicate& can_merge,
+                                          const AnytimeOptions& opts);
+
+}  // namespace wcm

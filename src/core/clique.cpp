@@ -59,16 +59,19 @@ CliquePartition partition_cliques(const CompatGraph& graph, const MergePredicate
     std::vector<int> adj;      // sorted live-neighbour ids
     bool alive = true;
   };
+  // CsrGraph's structural invariant is sorted, duplicate-free rows — both
+  // the streaming build and from_edges/pack_rows guarantee it — so the
+  // per-node re-sort this loop used to do is gone. The contract check below
+  // guards debug builds against a producer that breaks the invariant.
+#ifndef NDEBUG
+  WCM_ASSERT_MSG(graph.adj.rows_sorted_unique(),
+                 "partition_cliques requires sorted duplicate-free rows");
+#endif
   std::vector<Cluster> clusters(graph.nodes.size());
   for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
     clusters[i].members = {static_cast<int>(i)};
-    clusters[i].adj = graph.adj[i];
-    // build_compat_graph emits sorted rows, but hand-built graphs (tests,
-    // exact-solver fixtures) may not — the invariants below need sorted,
-    // duplicate-free lists.
-    std::sort(clusters[i].adj.begin(), clusters[i].adj.end());
-    clusters[i].adj.erase(std::unique(clusters[i].adj.begin(), clusters[i].adj.end()),
-                          clusters[i].adj.end());
+    const auto row = graph.adj.row(i);
+    clusters[i].adj.assign(row.begin(), row.end());
   }
 
   CliquePartition result;

@@ -142,7 +142,6 @@ CompatGraph build_compat_graph(const GraphInputs& in, const CellLibrary& lib,
   }
 
   const std::size_t num_nodes = graph.nodes.size();
-  graph.adj.assign(num_nodes, {});
 
   const int threads = cfg.solve_threads;
 
@@ -404,25 +403,71 @@ CompatGraph build_compat_graph(const GraphInputs& in, const CellLibrary& lib,
     }
   }
 
+  // ---- merge: chunk buffers -> packed CSR adjacency ----
+  // Pass 1 walks the chunks in merged (serial-discovery) order, resolves the
+  // oracle-parked edges from the now-warm cache, and counts degrees; rejected
+  // edges are tombstoned in place (i = -1). Pass 2 is a counting fill.
+  //
+  // No per-row sort is needed: the discovery order scans rows j ascending and
+  // partners i ascending within a row, so node k receives its smaller
+  // neighbors (i < k) contiguously — and ascending — while row k itself is
+  // scanned, and its larger neighbors (j > k) in ascending order from the
+  // later rows. Each row of the CSR therefore materializes already sorted.
   WCM_OBS_SPAN("graph/merge_edges");
-  for (const auto& chunk : found) {
-    for (const CandidateEdge& e : chunk) {
-      bool via_overlap = e.via_overlap;
-      if (e.needs_oracle) {
-        const GraphNode& a = graph.nodes[static_cast<std::size_t>(e.i)];
-        const GraphNode& b = graph.nodes[static_cast<std::size_t>(e.j)];
-        const PairImpact impact = in.oracle->evaluate(a.gate, a.kind, b.gate, b.kind);
-        if (!(impact.coverage_loss < cfg.cov_th && impact.extra_patterns < cfg.p_th))
-          continue;
-        via_overlap = true;
+  auto resolve_edges = [&](auto&& admit) {
+    for (auto& chunk : found) {
+      for (CandidateEdge& e : chunk) {
+        bool via_overlap = e.via_overlap;
+        if (e.needs_oracle) {
+          const GraphNode& a = graph.nodes[static_cast<std::size_t>(e.i)];
+          const GraphNode& b = graph.nodes[static_cast<std::size_t>(e.j)];
+          const PairImpact impact = in.oracle->evaluate(a.gate, a.kind, b.gate, b.kind);
+          if (!(impact.coverage_loss < cfg.cov_th && impact.extra_patterns < cfg.p_th)) {
+            e.i = -1;  // tombstone: skipped by later passes
+            continue;
+          }
+          via_overlap = true;
+        }
+        ++graph.num_edges;
+        if (via_overlap) ++graph.overlap_edges;
+        admit(e);
       }
-      graph.adj[static_cast<std::size_t>(e.i)].push_back(e.j);
-      graph.adj[static_cast<std::size_t>(e.j)].push_back(e.i);
-      ++graph.num_edges;
-      if (via_overlap) ++graph.overlap_edges;
     }
+  };
+
+  if (cfg.streaming_edges) {
+    CsrGraph& adj = graph.adj;
+    adj.offsets.assign(num_nodes + 1, 0);
+    // Degrees land shifted by one so the prefix sum turns them into offsets.
+    resolve_edges([&](const CandidateEdge& e) {
+      ++adj.offsets[static_cast<std::size_t>(e.i) + 1];
+      ++adj.offsets[static_cast<std::size_t>(e.j) + 1];
+    });
+    for (std::size_t k = 1; k <= num_nodes; ++k) adj.offsets[k] += adj.offsets[k - 1];
+    adj.nbrs.resize(adj.offsets[num_nodes]);
+    std::vector<std::size_t> cursor(adj.offsets.begin(), adj.offsets.end() - 1);
+    for (const auto& chunk : found) {
+      for (const CandidateEdge& e : chunk) {
+        if (e.i < 0) continue;
+        adj.nbrs[cursor[static_cast<std::size_t>(e.i)]++] = e.j;
+        adj.nbrs[cursor[static_cast<std::size_t>(e.j)]++] = e.i;
+      }
+    }
+#ifndef NDEBUG
+    WCM_ASSERT_MSG(graph.adj.rows_sorted_unique(),
+                   "streaming CSR fill produced an unsorted row");
+#endif
+  } else {
+    // Legacy reference path: nested-vector rows, explicit per-row sort, then
+    // pack. Bit-identical to the streaming build (differentially tested).
+    std::vector<std::vector<int>> rows(num_nodes);
+    resolve_edges([&](const CandidateEdge& e) {
+      rows[static_cast<std::size_t>(e.i)].push_back(e.j);
+      rows[static_cast<std::size_t>(e.j)].push_back(e.i);
+    });
+    for (auto& neighbors : rows) std::sort(neighbors.begin(), neighbors.end());
+    graph.adj = CsrGraph::pack_rows(rows);
   }
-  for (auto& neighbors : graph.adj) std::sort(neighbors.begin(), neighbors.end());
   return graph;
 }
 

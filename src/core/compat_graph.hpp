@@ -25,6 +25,7 @@
 
 #include "celllib/celllib.hpp"
 #include "core/config.hpp"
+#include "core/csr_graph.hpp"
 #include "core/testability.hpp"
 #include "netlist/cone.hpp"
 #include "netlist/netlist.hpp"
@@ -40,7 +41,7 @@ struct GraphNode {
 
 struct CompatGraph {
   std::vector<GraphNode> nodes;
-  std::vector<std::vector<int>> adj;    ///< sorted neighbor lists
+  CsrGraph adj;                         ///< packed sorted neighbor rows
   int num_edges = 0;
   int overlap_edges = 0;                ///< edges admitted via the oracle (Fig. 7 metric)
   /// TSVs of the phase that failed node admission (cap/slack); they receive

@@ -16,6 +16,7 @@
 //     wire detours are what breaks timing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -84,6 +85,29 @@ struct WcmConfig {
   /// Results are bit-identical either way (docs/PERF.md); the switch exists
   /// for the determinism tests and A/B timing.
   bool oracle_pipeline = true;
+  /// Stream admitted edges from the scan chunks straight into the packed
+  /// CSR adjacency (two counting passes over the per-chunk buffers, no
+  /// per-row sort — the merged discovery order already emits each row
+  /// sorted). Set to false for the legacy nested-vector materialization
+  /// (build rows, sort each, pack): the reference path for the
+  /// streaming-vs-legacy differential tests and the 10^4-gate A/B in
+  /// bench/perf_scale. Both paths produce bit-identical graphs.
+  bool streaming_edges = true;
+  /// Replace Algorithm 2's greedy clique merge with the anytime
+  /// cluster-editing local-move partitioner (src/core/anytime.hpp):
+  /// induced-cost moves with deterministic tie-breaks, interruptible via
+  /// `cancel` and `anytime_budget_ms`, best-so-far plan returned. Opt-in:
+  /// plans can differ from the greedy baseline (usually no worse).
+  bool solver_anytime = false;
+  /// Wall-clock budget for the anytime partitioner, per phase graph.
+  /// 0 = run to convergence (no move improves the objective).
+  int anytime_budget_ms = 0;
+  /// Cooperative cancellation token. When non-null and it becomes true the
+  /// anytime partitioner stops after the current move and returns its
+  /// best-so-far partition (still a valid plan: every TSV stays covered).
+  /// The campaign runner and the serve/dispatch workers wire their SIGINT
+  /// flags through here. Not owned.
+  const std::atomic<bool>* cancel = nullptr;
   /// Directory for the persistent oracle cache. When non-empty and the
   /// measured oracle is active, solve_wcm loads
   /// `<dir>/oracle-<fingerprint>.wcmoc` before the solve and stores the

@@ -1,0 +1,69 @@
+#include "core/csr_graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace wcm {
+
+bool CsrGraph::has_edge(std::size_t i, std::int32_t other) const {
+  const auto r = row(i);
+  return std::binary_search(r.begin(), r.end(), other);
+}
+
+bool CsrGraph::rows_sorted_unique() const {
+  for (std::size_t i = 0; i < num_nodes(); ++i) {
+    const auto r = row(i);
+    for (std::size_t k = 1; k < r.size(); ++k)
+      if (r[k - 1] >= r[k]) return false;
+  }
+  return true;
+}
+
+std::vector<int> CsrGraph::nodes_by_degree_desc() const {
+  const std::size_t n = num_nodes();
+  std::size_t max_deg = 0;
+  for (std::size_t i = 0; i < n; ++i) max_deg = std::max(max_deg, degree(i));
+  // Counting sort into descending-degree buckets; scanning ids ascending
+  // within each bucket keeps ties deterministic.
+  std::vector<std::size_t> bucket_start(max_deg + 2, 0);
+  for (std::size_t i = 0; i < n; ++i) ++bucket_start[max_deg - degree(i) + 1];
+  for (std::size_t b = 1; b < bucket_start.size(); ++b)
+    bucket_start[b] += bucket_start[b - 1];
+  std::vector<int> order(n);
+  for (std::size_t i = 0; i < n; ++i)
+    order[bucket_start[max_deg - degree(i)]++] = static_cast<int>(i);
+  return order;
+}
+
+CsrGraph CsrGraph::from_edges(std::size_t num_nodes,
+                              const std::vector<std::pair<int, int>>& edges) {
+  std::vector<std::vector<int>> rows(num_nodes);
+  for (const auto& [a, b] : edges) {
+    WCM_ASSERT_MSG(a != b, "self-loop in compat graph edge list");
+    WCM_ASSERT(a >= 0 && b >= 0 && static_cast<std::size_t>(a) < num_nodes &&
+               static_cast<std::size_t>(b) < num_nodes);
+    rows[static_cast<std::size_t>(a)].push_back(b);
+    rows[static_cast<std::size_t>(b)].push_back(a);
+  }
+  return pack_rows(rows);
+}
+
+CsrGraph CsrGraph::pack_rows(const std::vector<std::vector<int>>& rows) {
+  CsrGraph g;
+  g.offsets.assign(rows.size() + 1, 0);
+  // Upper bound before dedup; shrunk below.
+  std::size_t total = 0;
+  for (const auto& r : rows) total += r.size();
+  g.nbrs.reserve(total);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::vector<int> sorted = rows[i];
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (int v : sorted) g.nbrs.push_back(static_cast<std::int32_t>(v));
+    g.offsets[i + 1] = g.nbrs.size();
+  }
+  return g;
+}
+
+}  // namespace wcm

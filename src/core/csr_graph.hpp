@@ -1,0 +1,66 @@
+// Compressed-sparse-row adjacency for the compatibility graph.
+//
+// The nested-vector layout (one heap allocation per node) was fine at
+// ITC'99 scale but dominates memory and build time on 10^5+-node graphs:
+// a million short vectors cost ~48 bytes of header plus an allocation
+// each before the first neighbor is stored. CSR packs every neighbor list
+// into one array with an offsets index — two allocations total, O(E)
+// build, and row access is a contiguous span the galloping intersection
+// can stream through.
+//
+// Invariant: every row is sorted ascending and duplicate-free. The
+// streaming build in build_compat_graph gets this for free from its edge
+// discovery order (see compat_graph.cpp); hand-built graphs go through
+// from_edges(), which sorts and dedups.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace wcm {
+
+struct CsrGraph {
+  /// offsets.size() == num_nodes() + 1 (a default-constructed graph has no
+  /// nodes and an empty offsets array).
+  std::vector<std::size_t> offsets;
+  /// Packed neighbor rows; nbrs[offsets[i] .. offsets[i+1]) is node i's
+  /// sorted neighbor list.
+  std::vector<std::int32_t> nbrs;
+
+  std::size_t num_nodes() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  std::size_t num_arcs() const { return nbrs.size(); }
+
+  std::size_t degree(std::size_t i) const { return offsets[i + 1] - offsets[i]; }
+
+  std::span<const std::int32_t> row(std::size_t i) const {
+    return {nbrs.data() + offsets[i], offsets[i + 1] - offsets[i]};
+  }
+
+  /// True when `other` is in node i's row (binary search).
+  bool has_edge(std::size_t i, std::int32_t other) const;
+
+  /// True when every row is sorted ascending with no duplicates — the
+  /// structural invariant the clique/anytime solvers rely on.
+  bool rows_sorted_unique() const;
+
+  /// Node ids ordered by descending degree, ties broken by ascending id
+  /// (counting sort: O(V + max_degree), deterministic). The anytime solver
+  /// visits nodes in this order; high-degree nodes have the most cluster
+  /// choices, so deciding them first settles the contested regions early.
+  std::vector<int> nodes_by_degree_desc() const;
+
+  /// Builds from an undirected edge list over `num_nodes` nodes. Edges may
+  /// arrive in any order and with duplicates; rows come out sorted and
+  /// deduplicated. Self-loops are rejected (asserted).
+  static CsrGraph from_edges(std::size_t num_nodes,
+                             const std::vector<std::pair<int, int>>& edges);
+
+  /// Packs pre-built per-node rows (the legacy nested-vector layout) into
+  /// CSR, sorting and deduplicating each row. Reference path for the
+  /// streaming-vs-legacy differential tests.
+  static CsrGraph pack_rows(const std::vector<std::vector<int>>& rows);
+};
+
+}  // namespace wcm

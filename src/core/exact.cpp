@@ -16,7 +16,7 @@ class Search {
     adj_.reserve(k);
     for (std::size_t i = 0; i < k; ++i) {
       DynBitset bits(k == 0 ? 1 : k);
-      for (int nb : g_.adj[i]) bits.set(static_cast<std::size_t>(nb));
+      for (int nb : g_.adj.row(i)) bits.set(static_cast<std::size_t>(nb));
       adj_.push_back(std::move(bits));
     }
     // Processing order: flops first (they seed the free cliques), then TSVs
@@ -25,8 +25,8 @@ class Search {
     std::stable_sort(order_.begin(), order_.end(), [this](int a, int b) {
       const bool fa = is_flop(a), fb = is_flop(b);
       if (fa != fb) return fa;
-      return g_.adj[static_cast<std::size_t>(a)].size() <
-             g_.adj[static_cast<std::size_t>(b)].size();
+      return g_.adj.degree(static_cast<std::size_t>(a)) <
+             g_.adj.degree(static_cast<std::size_t>(b));
     });
   }
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "core/anytime.hpp"
 #include "core/clique.hpp"
 #include "dft/insertion.hpp"
 #include "obs/obs.hpp"
@@ -316,16 +317,25 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
     CliquePartition cliques;
     {
       WCM_OBS_SPAN("solve/clique_partition");
+      // Opt-in anytime partitioner: same capacity models, interruptible
+      // local-move search instead of the greedy merge (src/core/anytime.hpp).
+      const auto partition = [&](const MergePredicate& can_merge) {
+        if (cfg.solver_anytime) {
+          AnytimeOptions anytime;
+          anytime.time_budget_ms = cfg.anytime_budget_ms;
+          anytime.cancel = cfg.cancel;
+          return partition_cliques_anytime(graph, can_merge, anytime);
+        }
+        return partition_cliques(graph, can_merge);
+      };
       if (is_inbound) {
         InboundCapacityModel model(inputs, lib, cfg, graph, th.cap_th_ff, th.s_th_ps);
-        cliques = partition_cliques(graph, [&model](const auto& a, const auto& b) {
-          return model.can_merge(a, b);
-        });
+        cliques = partition(
+            [&model](const auto& a, const auto& b) { return model.can_merge(a, b); });
       } else {
         OutboundSlackModel model(inputs, lib, cfg, graph, th.s_th_ps, th.cap_th_ff);
-        cliques = partition_cliques(graph, [&model](const auto& a, const auto& b) {
-          return model.can_merge(a, b);
-        });
+        cliques = partition(
+            [&model](const auto& a, const auto& b) { return model.can_merge(a, b); });
       }
     }
 

@@ -18,9 +18,9 @@ std::vector<std::string> check_plan(const Netlist& n, const WrapperPlan& plan) {
       if (!n.valid(g.reused_ff) || n.gate(g.reused_ff).type != GateType::kDff)
         issues.push_back("group reuses a node that is not a flip-flop");
       else if (!n.gate(g.reused_ff).is_scan)
-        issues.push_back("group reuses non-scan flop '" + n.gate(g.reused_ff).name + "'");
+        issues.push_back("group reuses non-scan flop '" + std::string(n.name_of(g.reused_ff)) + "'");
       else if (++ff_seen[static_cast<std::size_t>(g.reused_ff)] > 1)
-        issues.push_back("flop '" + n.gate(g.reused_ff).name + "' reused by several groups");
+        issues.push_back("flop '" + std::string(n.name_of(g.reused_ff)) + "' reused by several groups");
     }
     for (GateId t : g.inbound) {
       if (!n.valid(t) || n.gate(t).type != GateType::kTsvIn)
@@ -37,11 +37,11 @@ std::vector<std::string> check_plan(const Netlist& n, const WrapperPlan& plan) {
   }
   for (GateId t : n.inbound_tsvs())
     if (tsv_seen[static_cast<std::size_t>(t)] != 1)
-      issues.push_back("inbound TSV '" + n.gate(t).name + "' covered " +
+      issues.push_back("inbound TSV '" + std::string(n.name_of(t)) + "' covered " +
                        std::to_string(tsv_seen[static_cast<std::size_t>(t)]) + " times");
   for (GateId t : n.outbound_tsvs())
     if (tsv_seen[static_cast<std::size_t>(t)] != 1)
-      issues.push_back("outbound TSV '" + n.gate(t).name + "' covered " +
+      issues.push_back("outbound TSV '" + std::string(n.name_of(t)) + "' covered " +
                        std::to_string(tsv_seen[static_cast<std::size_t>(t)]) + " times");
   return issues;
 }
@@ -95,7 +95,7 @@ InsertionResult insert_wrappers(Netlist& n, const WrapperPlan& plan, Placement* 
 
     // ---- inbound: bypass mux in front of each TSV's load cone (Fig. 3a) ----
     for (GateId t : g.inbound) {
-      const GateId mux = n.add_gate(GateType::kMux, n.gate(t).name + "_byp" + tag);
+      const GateId mux = n.add_gate(GateType::kMux, std::string(n.name_of(t)) + "_byp" + tag);
       register_loc(mux, locate(t));  // legalised at the pad: functional detour ~0
       // Steal the TSV's loads first, then wire the mux inputs.
       n.transfer_fanouts(t, mux);

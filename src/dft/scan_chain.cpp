@@ -70,7 +70,7 @@ ScanInsertion insert_scan_chain(Netlist& n, const ScanChain& chain, Placement* p
     WCM_ASSERT(n.gate(ff).fanins.size() == 1);
     const GateId mission_d = n.gate(ff).fanins[0];
     const GateId mux =
-        n.add_gate(GateType::kMux, "smux_" + std::to_string(i) + "_" + n.gate(ff).name);
+        n.add_gate(GateType::kMux, "smux_" + std::to_string(i) + "_" + std::string(n.name_of(ff)));
     register_loc(mux, ff);
     n.connect(result.scan_enable, mux);  // sel
     n.connect(mission_d, mux);           // d0: mission mode

@@ -2,11 +2,23 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 
 #include "util/assert.hpp"
 
 namespace wcm {
 namespace {
+
+/// Formats "<prefix><index>" into a stack buffer. At 10^6 gates the
+/// std::string temporaries of `"g" + std::to_string(i)` dominate generation
+/// time; a snprintf into a reused buffer is allocation-free.
+struct NameBuf {
+  char buf[32];
+  std::string_view fmt(const char* prefix, int index) {
+    const int len = std::snprintf(buf, sizeof(buf), "%s%d", prefix, index);
+    return {buf, static_cast<std::size_t>(len)};
+  }
+};
 
 /// Picks a driver from `pool` with a bias toward recently created nodes so
 /// the circuit develops depth and locality instead of a flat fanout soup.
@@ -80,6 +92,13 @@ Netlist generate_impl(const std::string& name, int num_pis, int num_pos, int num
   WCM_ASSERT_MSG(num_gates >= 1, "need at least one logic gate");
   Rng rng(seed ^ 0xC0FFEE123456789ULL);
   Netlist nl(name);
+  NameBuf nb;
+  // Every source/logic/sink node plus slack for observation ports; one
+  // up-front reservation keeps construction O(n) at million-gate scale.
+  nl.reserve(static_cast<std::size_t>(num_pis) + static_cast<std::size_t>(num_pos) +
+             static_cast<std::size_t>(num_ffs) + static_cast<std::size_t>(num_gates) +
+             static_cast<std::size_t>(num_inbound) + static_cast<std::size_t>(num_outbound) +
+             static_cast<std::size_t>(num_gates) / 8);
 
   const int num_clusters = std::clamp(num_gates / 60, 1, 64);
   constexpr double kCrossLinkProb = 0.22;
@@ -88,17 +107,17 @@ Netlist generate_impl(const std::string& name, int num_pis, int num_pos, int num
   std::vector<std::vector<GateId>> pool(static_cast<std::size_t>(num_clusters));
   auto cluster_of = [&](int i) { return static_cast<std::size_t>(i % num_clusters); };
   for (int i = 0; i < num_pis; ++i)
-    pool[cluster_of(i)].push_back(nl.add_gate(GateType::kInput, "pi" + std::to_string(i)));
+    pool[cluster_of(i)].push_back(nl.add_gate(GateType::kInput, nb.fmt("pi", i)));
   std::vector<GateId> tsv_ins;
   for (int i = 0; i < num_inbound; ++i) {
-    const GateId id = nl.add_gate(GateType::kTsvIn, "ti" + std::to_string(i));
+    const GateId id = nl.add_gate(GateType::kTsvIn, nb.fmt("ti", i));
     tsv_ins.push_back(id);
     pool[cluster_of(i)].push_back(id);
   }
   std::vector<GateId> ffs;
   std::vector<std::size_t> ff_cluster;
   for (int i = 0; i < num_ffs; ++i) {
-    const GateId id = nl.add_gate(GateType::kDff, "ff" + std::to_string(i));
+    const GateId id = nl.add_gate(GateType::kDff, nb.fmt("ff", i));
     nl.gate(id).is_scan = scan_ffs;
     ffs.push_back(id);
     ff_cluster.push_back(cluster_of(i));
@@ -114,8 +133,13 @@ Netlist generate_impl(const std::string& name, int num_pis, int num_pos, int num
     const std::size_t c = cluster_of(i);
     std::vector<GateId>& local = pool[c];
     if (local.empty()) {
-      // A cluster that got no sources borrows a neighbour's pool head.
-      local.push_back(pool[(c + 1) % pool.size()].front());
+      // A cluster that got no sources borrows the nearest non-empty
+      // neighbour's pool head; with few sources and many clusters, whole
+      // runs of clusters start empty, so the immediate neighbour is not
+      // enough. Cluster 0 always holds pi0, so the scan terminates.
+      std::size_t o = (c + 1) % pool.size();
+      while (pool[o].empty()) o = (o + 1) % pool.size();
+      local.push_back(pool[o].front());
     }
     int arity = pick_arity(rng);
     if (static_cast<std::size_t>(arity) > local.size()) arity = static_cast<int>(local.size());
@@ -124,7 +148,7 @@ Netlist generate_impl(const std::string& name, int num_pis, int num_pos, int num
     if (type == GateType::kMux && arity != 3) type = GateType::kAnd;
     if (arity == 1 && (type != GateType::kNot && type != GateType::kBuf))
       type = GateType::kNot;
-    const GateId id = nl.add_gate(type, "g" + std::to_string(i));
+    const GateId id = nl.add_gate(type, nb.fmt("g", i));
     auto picks = pick_distinct(rng, local, arity);
     // Occasionally rewire one fanin across clusters (global signals exist in
     // real designs too — just rarely).
@@ -146,11 +170,11 @@ Netlist generate_impl(const std::string& name, int num_pis, int num_pos, int num
   };
 
   for (int i = 0; i < num_pos; ++i) {
-    const GateId po = nl.add_gate(GateType::kOutput, "po" + std::to_string(i));
+    const GateId po = nl.add_gate(GateType::kOutput, nb.fmt("po", i));
     nl.connect(pick_driver(cluster_of(i)), po);
   }
   for (int i = 0; i < num_outbound; ++i) {
-    const GateId to = nl.add_gate(GateType::kTsvOut, "to" + std::to_string(i));
+    const GateId to = nl.add_gate(GateType::kTsvOut, nb.fmt("to", i));
     nl.connect(pick_driver(cluster_of(i)), to);
   }
   for (std::size_t i = 0; i < ffs.size(); ++i)
@@ -162,7 +186,7 @@ Netlist generate_impl(const std::string& name, int num_pis, int num_pos, int num
   int extra = 0;
   for (GateId g : gates) {
     if (!nl.gate(g).fanouts.empty()) continue;
-    const GateId po = nl.add_gate(GateType::kOutput, "po_x" + std::to_string(extra++));
+    const GateId po = nl.add_gate(GateType::kOutput, nb.fmt("po_x", extra++));
     nl.connect(g, po);
   }
 
@@ -178,7 +202,7 @@ Netlist generate_impl(const std::string& name, int num_pis, int num_pos, int num
     if (!nary.empty()) {
       nl.connect(src, nary[rng.below(nary.size())]);
     } else {
-      const GateId po = nl.add_gate(GateType::kOutput, "po_x" + std::to_string(extra++));
+      const GateId po = nl.add_gate(GateType::kOutput, nb.fmt("po_x", extra++));
       nl.connect(src, po);
     }
   };

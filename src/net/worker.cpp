@@ -86,6 +86,9 @@ void WorkerServer::accept_loop() {
         std::string signature;
         try {
           job.config = make_scenario_config(item.job.scenario);
+          // A hard stop (kill / second SIGINT) interrupts in-flight anytime
+          // solves; a graceful drain lets them run to their budget.
+          job.config.wcm.cancel = &hard_stop_;
           result = run_campaign_job(job, item.job.index, opts);
           if (result.ok) signature = flow_report_signature(result.report);
         } catch (const std::exception& e) {

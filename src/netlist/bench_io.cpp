@@ -207,15 +207,15 @@ BenchParseResult read_bench_file(const std::string& path) {
 
 void write_bench(const Netlist& n, std::ostream& out) {
   out << "# netlist: " << n.name() << "\n";
-  for (GateId id : n.primary_inputs()) out << "INPUT(" << n.gate(id).name << ")\n";
-  for (GateId id : n.inbound_tsvs()) out << "TSV_IN(" << n.gate(id).name << ")\n";
-  for (GateId id : n.primary_outputs()) out << "OUTPUT(" << n.gate(id).name << ")\n";
-  for (GateId id : n.outbound_tsvs()) out << "TSV_OUT(" << n.gate(id).name << ")\n";
+  for (GateId id : n.primary_inputs()) out << "INPUT(" << n.name_of(id) << ")\n";
+  for (GateId id : n.inbound_tsvs()) out << "TSV_IN(" << n.name_of(id) << ")\n";
+  for (GateId id : n.primary_outputs()) out << "OUTPUT(" << n.name_of(id) << ")\n";
+  for (GateId id : n.outbound_tsvs()) out << "TSV_OUT(" << n.name_of(id) << ")\n";
   for (std::size_t i = 0; i < n.size(); ++i) {
     const Gate& g = n.gate(static_cast<GateId>(i));
     if (g.type == GateType::kInput || g.type == GateType::kTsvIn) continue;
     if (g.type == GateType::kTie0 || g.type == GateType::kTie1) {
-      out << g.name << " = " << gate_type_name(g.type) << "()\n";
+      out << n.name_of(static_cast<GateId>(i)) << " = " << gate_type_name(g.type) << "()\n";
       continue;
     }
     std::string_view type_name = gate_type_name(g.type);
@@ -223,9 +223,9 @@ void write_bench(const Netlist& n, std::ostream& out) {
       type_name = "BUF";  // sink ports serialise as identity assignments
     else if (g.type == GateType::kDff && g.is_scan)
       type_name = "SCAN_DFF";
-    out << g.name << " = " << type_name << "(";
+    out << n.name_of(static_cast<GateId>(i)) << " = " << type_name << "(";
     for (std::size_t k = 0; k < g.fanins.size(); ++k)
-      out << (k ? ", " : "") << n.gate(g.fanins[k]).name;
+      out << (k ? ", " : "") << n.name_of(g.fanins[k]);
     out << ")\n";
   }
 }

@@ -8,22 +8,47 @@
 
 namespace wcm {
 
+std::string_view Netlist::NamePool::intern(std::string_view s) {
+  if (s.size() > cap_ - used_) {
+    cap_ = std::max<std::size_t>(kBlockBytes, s.size());
+    used_ = 0;
+    blocks_.push_back(std::make_unique<char[]>(cap_));
+  }
+  char* dst = blocks_.back().get() + used_;
+  std::copy(s.begin(), s.end(), dst);
+  used_ += s.size();
+  return {dst, s.size()};
+}
+
+void Netlist::NamePool::reserve_chars(std::size_t chars) {
+  if (chars <= cap_ - used_) return;
+  cap_ = std::max<std::size_t>(kBlockBytes, chars);
+  used_ = 0;
+  blocks_.push_back(std::make_unique<char[]>(cap_));
+}
+
 // The mutex/atomic cache members are neither copyable nor movable, so the
 // special members are spelled out. A copy deliberately does NOT read the
-// source's cache: another thread reading the same const source may be
-// filling it concurrently (the vectors are mutable), so the copy starts
-// with an invalid cache and refills lazily — one O(gates) pass, cheaper
-// than the gates_ copy itself. Moves require exclusive access to the
-// source, so transferring the cache there is sound.
+// source's caches: another thread reading the same const source may be
+// filling them concurrently (the containers are mutable), so the copy
+// starts with invalid caches and refills lazily — one O(gates) pass,
+// cheaper than the gates_ copy itself. Names are re-interned into the
+// copy's own pool (views into another netlist's pool would dangle when the
+// source dies), and the name index starts cold for the same reason. Moves
+// require exclusive access to the source, so transferring everything —
+// pool blocks keep their addresses — is sound.
 Netlist::Netlist(const Netlist& other)
-    : name_(other.name_),
-      gates_(other.gates_),
-      by_name_(other.by_name_),
-      class_cache_valid_(false) {}
+    : name_(other.name_), gates_(other.gates_), class_cache_valid_(false) {
+  names_.reserve(other.names_.size());
+  for (std::string_view n : other.names_) names_.push_back(name_pool_.intern(n));
+}
 
 Netlist::Netlist(Netlist&& other) noexcept
     : name_(std::move(other.name_)),
       gates_(std::move(other.gates_)),
+      name_pool_(std::move(other.name_pool_)),
+      names_(std::move(other.names_)),
+      names_indexed_(other.names_indexed_.load(std::memory_order_relaxed)),
       by_name_(std::move(other.by_name_)),
       class_cache_valid_(other.class_cache_valid_.load(std::memory_order_relaxed)),
       pis_(std::move(other.pis_)),
@@ -31,6 +56,7 @@ Netlist::Netlist(Netlist&& other) noexcept
       tsv_in_(std::move(other.tsv_in_)),
       tsv_out_(std::move(other.tsv_out_)),
       ffs_(std::move(other.ffs_)) {
+  other.names_indexed_.store(0, std::memory_order_relaxed);
   other.class_cache_valid_.store(false, std::memory_order_relaxed);
 }
 
@@ -38,7 +64,11 @@ Netlist& Netlist::operator=(const Netlist& other) {
   if (this == &other) return *this;
   name_ = other.name_;
   gates_ = other.gates_;
-  by_name_ = other.by_name_;
+  name_pool_ = NamePool();
+  names_.clear();
+  names_.reserve(other.names_.size());
+  for (std::string_view n : other.names_) names_.push_back(name_pool_.intern(n));
+  reset_name_index();
   pis_.clear();
   pos_.clear();
   tsv_in_.clear();
@@ -52,6 +82,10 @@ Netlist& Netlist::operator=(Netlist&& other) noexcept {
   if (this == &other) return *this;
   name_ = std::move(other.name_);
   gates_ = std::move(other.gates_);
+  name_pool_ = std::move(other.name_pool_);
+  names_ = std::move(other.names_);
+  names_indexed_.store(other.names_indexed_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
   by_name_ = std::move(other.by_name_);
   pis_ = std::move(other.pis_);
   pos_ = std::move(other.pos_);
@@ -60,21 +94,28 @@ Netlist& Netlist::operator=(Netlist&& other) noexcept {
   ffs_ = std::move(other.ffs_);
   class_cache_valid_.store(other.class_cache_valid_.load(std::memory_order_relaxed),
                            std::memory_order_relaxed);
+  other.names_indexed_.store(0, std::memory_order_relaxed);
   other.class_cache_valid_.store(false, std::memory_order_relaxed);
   return *this;
 }
 
-GateId Netlist::add_gate(GateType type, std::string name) {
+GateId Netlist::add_gate(GateType type, std::string_view name) {
   WCM_ASSERT_MSG(!name.empty(), "gate name must be non-empty");
-  WCM_ASSERT_MSG(by_name_.find(name) == by_name_.end(), "duplicate gate name");
   const GateId id = static_cast<GateId>(gates_.size());
   Gate g;
   g.type = type;
-  g.name = name;
   gates_.push_back(std::move(g));
-  by_name_.emplace(std::move(name), id);
+  names_.push_back(name_pool_.intern(name));
   class_cache_valid_ = false;
   return id;
+}
+
+void Netlist::reserve(std::size_t num_gates) {
+  gates_.reserve(num_gates);
+  names_.reserve(num_gates);
+  // Generated/parsed names average well under 16 chars; one oversized block
+  // up front beats a train of 64K blocks.
+  name_pool_.reserve_chars(num_gates * 16);
 }
 
 void Netlist::connect(GateId from, GateId to) {
@@ -86,27 +127,60 @@ void Netlist::connect(GateId from, GateId to) {
 void Netlist::replace_fanin(GateId gid, GateId old_in, GateId new_in) {
   WCM_ASSERT(valid(gid) && valid(old_in) && valid(new_in));
   Gate& g = gate(gid);
-  bool found = false;
+  int replaced = 0;
   for (GateId& in : g.fanins) {
     if (in == old_in) {
       in = new_in;
-      found = true;
+      ++replaced;
     }
   }
-  WCM_ASSERT_MSG(found, "replace_fanin: old_in is not a fanin of gate");
+  WCM_ASSERT_MSG(replaced > 0, "replace_fanin: old_in is not a fanin of gate");
   auto& old_fo = gate(old_in).fanouts;
   old_fo.erase(std::remove(old_fo.begin(), old_fo.end(), gid), old_fo.end());
-  gate(new_in).fanouts.push_back(gid);
+  // One fanout entry per replaced fanin keeps the edge multiplicity
+  // symmetric when the gate held old_in as a duplicate fanin (a = AND(b, b)).
+  for (int k = 0; k < replaced; ++k) gate(new_in).fanouts.push_back(gid);
 }
 
 void Netlist::transfer_fanouts(GateId from, GateId to) {
   WCM_ASSERT(valid(from) && valid(to) && from != to);
-  // Copy: replace_fanin mutates gate(from).fanouts while we iterate.
+  // Copy: replace_fanin mutates gate(from).fanouts while we iterate. A sink
+  // holding `from` as a duplicate fanin appears multiple times in the copy,
+  // and replace_fanin moves every occurrence at once — skip sinks whose
+  // edges were already transferred instead of re-replacing a gone fanin.
   const std::vector<GateId> sinks = gate(from).fanouts;
-  for (GateId sink : sinks) replace_fanin(sink, from, to);
+  for (GateId sink : sinks) {
+    const auto& fi = gate(sink).fanins;
+    if (std::find(fi.begin(), fi.end(), from) == fi.end()) continue;
+    replace_fanin(sink, from, to);
+  }
 }
 
-GateId Netlist::find(const std::string& name) const {
+void Netlist::ensure_name_index() const {
+  // Double-checked catch-up: the fast path is one acquire load. The index
+  // only ever appends (names are never removed), so catching up from
+  // names_indexed_ to the current size is all a stale index needs.
+  const std::size_t total = names_.size();
+  if (names_indexed_.load(std::memory_order_acquire) == total) return;
+  std::lock_guard<std::mutex> lock(name_mutex_);
+  std::size_t indexed = names_indexed_.load(std::memory_order_relaxed);
+  if (indexed == total) return;
+  by_name_.reserve(total);
+  for (; indexed < total; ++indexed) {
+    const bool fresh =
+        by_name_.emplace(names_[indexed], static_cast<GateId>(indexed)).second;
+    WCM_ASSERT_MSG(fresh, "duplicate gate name");
+  }
+  names_indexed_.store(total, std::memory_order_release);
+}
+
+void Netlist::reset_name_index() {
+  by_name_.clear();
+  names_indexed_.store(0, std::memory_order_relaxed);
+}
+
+GateId Netlist::find(std::string_view name) const {
+  ensure_name_index();
   auto it = by_name_.find(name);
   return it == by_name_.end() ? kNoGate : it->second;
 }
@@ -255,28 +329,28 @@ std::string Netlist::check() const {
     const Gate& g = gates_[i];
     const int arity = gate_arity(g.type);
     if (arity >= 0 && static_cast<int>(g.fanins.size()) != arity) {
-      why << "gate '" << g.name << "' (" << gate_type_name(g.type) << ") has "
+      why << "gate '" << names_[i] << "' (" << gate_type_name(g.type) << ") has "
           << g.fanins.size() << " fanins, expected " << arity;
       return why.str();
     }
     if (arity < 0 && g.fanins.size() < 2) {
-      why << "n-ary gate '" << g.name << "' has fewer than 2 fanins";
+      why << "n-ary gate '" << names_[i] << "' has fewer than 2 fanins";
       return why.str();
     }
     if (is_combinational_sink(g.type) && !g.fanouts.empty()) {
-      why << "sink '" << g.name << "' has fanouts";
+      why << "sink '" << names_[i] << "' has fanouts";
       return why.str();
     }
     for (GateId in : g.fanins) {
       if (!valid(in)) {
-        why << "gate '" << g.name << "' has invalid fanin id";
+        why << "gate '" << names_[i] << "' has invalid fanin id";
         return why.str();
       }
       const auto& fo = gates_[static_cast<std::size_t>(in)].fanouts;
       if (std::count(fo.begin(), fo.end(), static_cast<GateId>(i)) <
           std::count(g.fanins.begin(), g.fanins.end(), in)) {
-        why << "fanin/fanout asymmetry between '" << gates_[static_cast<std::size_t>(in)].name
-            << "' and '" << g.name << "'";
+        why << "fanin/fanout asymmetry between '" << names_[static_cast<std::size_t>(in)]
+            << "' and '" << names_[i] << "'";
         return why.str();
       }
     }

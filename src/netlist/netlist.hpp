@@ -9,9 +9,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -22,9 +24,12 @@ namespace wcm {
 using GateId = std::int32_t;
 inline constexpr GateId kNoGate = -1;
 
+/// Gate names live OUTSIDE this struct, interned in the netlist's name pool
+/// and addressed via Netlist::name_of(id) — a per-gate std::string would put
+/// a heap allocation and 32 bytes of header on every node of a million-gate
+/// die for a field the hot analyses never read.
 struct Gate {
   GateType type = GateType::kBuf;
-  std::string name;
   std::vector<GateId> fanins;
   std::vector<GateId> fanouts;
   /// True for DFFs stitched into a scan chain (all DFFs in synthesized ITC'99
@@ -49,8 +54,15 @@ class Netlist {
 
   // ---- construction ----
 
-  /// Adds a gate with no connections; name must be unique and non-empty.
-  GateId add_gate(GateType type, std::string name);
+  /// Adds a gate with no connections; name must be non-empty and unique.
+  /// The name is copied into the interned pool; uniqueness is enforced when
+  /// the lazy name index is next built (first find() after the add).
+  GateId add_gate(GateType type, std::string_view name);
+
+  /// Pre-sizes the gate, name, and name-pool storage for `num_gates` nodes —
+  /// call before bulk construction (the generator, the .bench parser) to
+  /// avoid O(log n) reallocation waves at 10^6 gates.
+  void reserve(std::size_t num_gates);
 
   /// Appends `from` to `to`'s fanins and `to` to `from`'s fanouts.
   void connect(GateId from, GateId to);
@@ -73,8 +85,16 @@ class Netlist {
     return id >= 0 && static_cast<std::size_t>(id) < gates_.size();
   }
 
-  /// Name lookup; kNoGate if absent.
-  GateId find(const std::string& name) const;
+  /// The gate's interned name. The view stays valid for the life of this
+  /// netlist (the pool never reallocates interned bytes); it does NOT
+  /// survive copying the netlist — re-read from the copy.
+  std::string_view name_of(GateId id) const {
+    return names_[static_cast<std::size_t>(id)];
+  }
+
+  /// Name lookup; kNoGate if absent. First call after adds indexes the new
+  /// names (amortized O(1) per gate; concurrency-safe like the class cache).
+  GateId find(std::string_view name) const;
 
   // ---- classified node lists (recomputed on demand, cached) ----
 
@@ -113,11 +133,38 @@ class Netlist {
   std::string check() const;
 
  private:
+  /// Append-only chunked character storage for interned gate names. Blocks
+  /// are never resized or freed once allocated, so views handed out stay
+  /// valid through further interning (a single growing std::string would
+  /// invalidate them on reallocation).
+  class NamePool {
+   public:
+    std::string_view intern(std::string_view s);
+    void reserve_chars(std::size_t chars);
+
+   private:
+    static constexpr std::size_t kBlockBytes = 1 << 16;
+    std::vector<std::unique_ptr<char[]>> blocks_;
+    std::size_t used_ = 0;  ///< bytes consumed in the last block
+    std::size_t cap_ = 0;   ///< size of the last block
+  };
+
   void ensure_class_cache() const;
+  void ensure_name_index() const;
+  void reset_name_index();
 
   std::string name_;
   std::vector<Gate> gates_;
-  std::unordered_map<std::string, GateId> by_name_;
+  NamePool name_pool_;
+  std::vector<std::string_view> names_;  ///< per-gate, views into name_pool_
+
+  // Lazy name index: find() indexes names_[names_indexed_..) under the mutex
+  // before looking up, so bulk construction (the generator) never pays for a
+  // hash map it may never query. Same double-checked pattern as the class
+  // cache below; keys are views into name_pool_ (no string copies).
+  mutable std::mutex name_mutex_;
+  mutable std::atomic<std::size_t> names_indexed_{0};
+  mutable std::unordered_map<std::string_view, GateId> by_name_;
 
   // classification caches; class_mutex_ guards the lazy fill so concurrent
   // const readers are race-free (double-checked via the atomic flag)

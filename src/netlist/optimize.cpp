@@ -203,7 +203,11 @@ class Rebuilder {
         {sel.node, materialize(d0, ctx + "_d0"), materialize(d1, ctx + "_d1")}, ctx));
   }
 
-  static std::string old_name(const Gate& g) { return g.name; }
+  /// Name of a gate of `old_`, recovered from its address (gates_ is a
+  /// contiguous vector, so the offset from gate 0 is the id).
+  std::string old_name(const Gate& g) const {
+    return std::string(old_.name_of(static_cast<GateId>(&g - &old_.gate(0))));
+  }
 
   // ---- main passes ----
 
@@ -215,7 +219,7 @@ class Rebuilder {
       const Gate& g = old_.gate(static_cast<GateId>(i));
       if (g.type == GateType::kInput || g.type == GateType::kTsvIn ||
           g.type == GateType::kDff) {
-        const GateId id = out_.add_gate(g.type, g.name);
+        const GateId id = out_.add_gate(g.type, old_.name_of(static_cast<GateId>(i)));
         out_.gate(id).is_scan = g.is_scan;
         lit_[i] = Lit::of(id);
       } else if (g.type == GateType::kTie0) {
@@ -242,7 +246,7 @@ class Rebuilder {
           lit_[idx] = ins[0];
           break;
         case GateType::kNot:
-          lit_[idx] = make_not(ins[0], g.name);
+          lit_[idx] = make_not(ins[0], old_name(g));
           break;
         case GateType::kAnd:
         case GateType::kNand:
@@ -259,8 +263,8 @@ class Rebuilder {
           break;
         case GateType::kOutput:
         case GateType::kTsvOut: {
-          const GateId port = out_.add_gate(g.type, g.name);
-          out_.connect(materialize(ins[0], g.name), port);
+          const GateId port = out_.add_gate(g.type, old_.name_of(id));
+          out_.connect(materialize(ins[0], old_name(g)), port);
           lit_[idx] = Lit::of(port);
           break;
         }
@@ -272,7 +276,7 @@ class Rebuilder {
       const Gate& g = old_.gate(static_cast<GateId>(i));
       if (g.type != GateType::kDff) continue;
       const Lit d = lit_[static_cast<std::size_t>(g.fanins[0])];
-      out_.connect(materialize(d, g.name + "_d"), lit_[i].node);
+      out_.connect(materialize(d, old_name(g) + "_d"), lit_[i].node);
     }
     out_.invalidate_caches();
   }
@@ -307,7 +311,7 @@ class Rebuilder {
         continue;
       }
       const Gate& g = out_.gate(static_cast<GateId>(i));
-      remap[i] = final.add_gate(g.type, g.name);
+      remap[i] = final.add_gate(g.type, out_.name_of(static_cast<GateId>(i)));
       final.gate(remap[i]).is_scan = g.is_scan;
     }
     for (std::size_t i = 0; i < out_.size(); ++i) {

@@ -288,7 +288,7 @@ std::vector<Die> split_into_dies(const Netlist& n, const PartitionResult& parts)
   for (std::size_t i = 0; i < n.size(); ++i) {
     const Gate& g = n.gate(static_cast<GateId>(i));
     Netlist& die = dies[static_cast<std::size_t>(parts.part[i])].netlist;
-    local_id[i] = die.add_gate(g.type, g.name);
+    local_id[i] = die.add_gate(g.type, n.name_of(static_cast<GateId>(i)));
     die.gate(local_id[i]).is_scan = g.is_scan;
   }
 
@@ -318,10 +318,10 @@ std::vector<Die> split_into_dies(const Netlist& n, const PartitionResult& parts)
       if (!tsv_out_created.count(k)) {
         Die& src_die = dies[static_cast<std::size_t>(src_part)];
         const std::string oname =
-            "tsv_o_" + n.gate(in).name + "_d" + std::to_string(sink_part);
+            "tsv_o_" + std::string(n.name_of(in)) + "_d" + std::to_string(sink_part);
         const GateId out_node = src_die.netlist.add_gate(GateType::kTsvOut, oname);
         src_die.netlist.connect(local_id[static_cast<std::size_t>(in)], out_node);
-        src_die.outbound_net.push_back(n.gate(in).name);
+        src_die.outbound_net.emplace_back(n.name_of(in));
         tsv_out_created.emplace(k, out_node);
       }
       // ...and TSV_IN on the sink die (once per net per die).
@@ -330,8 +330,8 @@ std::vector<Die> split_into_dies(const Netlist& n, const PartitionResult& parts)
       if (it == in_map.end()) {
         Die& dst_die = dies[static_cast<std::size_t>(sink_part)];
         const GateId in_node =
-            dst_die.netlist.add_gate(GateType::kTsvIn, "tsv_i_" + n.gate(in).name);
-        dst_die.inbound_net.push_back(n.gate(in).name);
+            dst_die.netlist.add_gate(GateType::kTsvIn, "tsv_i_" + std::string(n.name_of(in)));
+        dst_die.inbound_net.emplace_back(n.name_of(in));
         it = in_map.emplace(in, in_node).first;
       }
       sink_die.connect(it->second, local_id[i]);

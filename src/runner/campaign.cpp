@@ -58,6 +58,10 @@ JobResult execute_job(const CampaignJob& job, std::size_t index,
       cfg.atpg.seed ^= seeds.atpg;
     }
     if (!opts.oracle_cache_dir.empty()) cfg.wcm.oracle_cache_path = opts.oracle_cache_dir;
+    // SIGINT reaches in-flight solves too: the anytime partitioner polls this
+    // token and returns its best-so-far plan, so a cancelled campaign's
+    // already-running jobs still finish with valid (if less optimized) rows.
+    cfg.wcm.cancel = opts.cancel;
 
     Netlist generated;
     const Netlist* die = nullptr;

@@ -22,7 +22,7 @@ BondedStack bond_dies(const std::vector<Die>& dies) {
     for (std::size_t i = 0; i < n.size(); ++i) {
       const Gate& g = n.gate(static_cast<GateId>(i));
       if (is_tsv(g.type)) continue;
-      const GateId id = out.add_gate(g.type, g.name);
+      const GateId id = out.add_gate(g.type, n.name_of(static_cast<GateId>(i)));
       out.gate(id).is_scan = g.is_scan;
       mapped[d][i] = id;
     }

@@ -1,0 +1,48 @@
+// Peak resident-set-size probe for benchmarks and scale gates.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace wcm {
+
+/// High-water-mark resident set size of this process in bytes, or 0 when the
+/// platform exposes no probe. Linux reports VmHWM from /proc/self/status
+/// (kilobytes); elsewhere getrusage's ru_maxrss is used (kilobytes on Linux,
+/// bytes on macOS). Monotone over the process lifetime — sample once at the
+/// end of a benchmark, not per kernel.
+inline std::size_t peak_rss_bytes() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+      if (std::strncmp(line, "VmHWM:", 6) != 0) continue;
+      unsigned long long kb = 0;
+      if (std::sscanf(line + 6, "%llu", &kb) == 1) {
+        std::fclose(f);
+        return static_cast<std::size_t>(kb) * 1024;
+      }
+      break;
+    }
+    std::fclose(f);
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+}  // namespace wcm

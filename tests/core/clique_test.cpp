@@ -12,12 +12,12 @@ namespace {
 CompatGraph make_graph(int nodes, const std::vector<std::pair<int, int>>& edges) {
   CompatGraph g;
   g.nodes.resize(static_cast<std::size_t>(nodes));
-  g.adj.assign(static_cast<std::size_t>(nodes), {});
+  std::vector<std::pair<std::int32_t, std::int32_t>> arcs;
   for (auto [a, b] : edges) {
-    g.adj[static_cast<std::size_t>(a)].push_back(b);
-    g.adj[static_cast<std::size_t>(b)].push_back(a);
+    arcs.emplace_back(a, b);
     ++g.num_edges;
   }
+  g.adj = CsrGraph::from_edges(static_cast<std::size_t>(nodes), arcs);
   return g;
 }
 

@@ -90,7 +90,7 @@ TEST(CompatGraphTest, NoFlopFlopEdges) {
                                            NodeKind::kInboundTsv, ffs,
                                            WcmConfig::proposed_area());
   for (std::size_t i = 0; i < ffs.size(); ++i)
-    for (int nb : g.adj[i])
+    for (int nb : g.adj.row(static_cast<int>(i)))
       EXPECT_NE(g.nodes[static_cast<std::size_t>(nb)].kind, NodeKind::kScanFF);
 }
 
@@ -100,11 +100,9 @@ TEST(CompatGraphTest, AdjacencyIsSymmetric) {
                                            NodeKind::kOutboundTsv,
                                            fx.netlist.scan_flip_flops(),
                                            WcmConfig::proposed_area());
-  for (std::size_t i = 0; i < g.adj.size(); ++i)
-    for (int nb : g.adj[i]) {
-      const auto& back = g.adj[static_cast<std::size_t>(nb)];
-      EXPECT_NE(std::find(back.begin(), back.end(), static_cast<int>(i)), back.end());
-    }
+  for (std::size_t i = 0; i < g.adj.num_nodes(); ++i)
+    for (int nb : g.adj.row(static_cast<int>(i)))
+      EXPECT_TRUE(g.adj.has_edge(nb, static_cast<std::int32_t>(i)));
 }
 
 TEST(CompatGraphTest, TightDistanceThresholdPrunesEdges) {

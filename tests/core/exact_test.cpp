@@ -14,12 +14,12 @@ CompatGraph make_graph(int nodes, const std::vector<std::pair<int, int>>& edges,
   g.nodes.resize(static_cast<std::size_t>(nodes));
   for (std::size_t i = 0; i < g.nodes.size(); ++i) g.nodes[i].kind = NodeKind::kInboundTsv;
   for (int f : flops) g.nodes[static_cast<std::size_t>(f)].kind = NodeKind::kScanFF;
-  g.adj.assign(static_cast<std::size_t>(nodes), {});
+  std::vector<std::pair<std::int32_t, std::int32_t>> arcs;
   for (auto [a, b] : edges) {
-    g.adj[static_cast<std::size_t>(a)].push_back(b);
-    g.adj[static_cast<std::size_t>(b)].push_back(a);
+    arcs.emplace_back(a, b);
     ++g.num_edges;
   }
+  g.adj = CsrGraph::from_edges(static_cast<std::size_t>(nodes), arcs);
   return g;
 }
 

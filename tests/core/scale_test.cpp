@@ -1,0 +1,323 @@
+// Scale-path contracts: the CSR adjacency, the streaming edge build, and
+// the anytime cluster-editing partitioner must all be drop-in equivalent to
+// (or explicitly bounded against) the legacy reference paths.
+//
+// The dies here stay ITC'99-small on purpose — the suite runs under the
+// TSan matrix (label `scale`) where a 10^5-node graph would time out; the
+// million-gate end-to-end gate lives in bench/perf_scale instead.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/anytime.hpp"
+#include "core/compat_graph.hpp"
+#include "core/csr_graph.hpp"
+#include "core/solver.hpp"
+#include "core/testability.hpp"
+#include "gen/generator.hpp"
+
+namespace wcm {
+namespace {
+
+std::string graph_signature(const CompatGraph& g) {
+  std::ostringstream os;
+  os << g.num_edges << '|' << g.overlap_edges << '|';
+  for (GateId t : g.rejected_tsvs) os << t << ' ';
+  os << '#';
+  for (std::size_t i = 0; i < g.adj.num_nodes(); ++i) {
+    for (int nb : g.adj.row(i)) os << nb << ' ';
+    os << ';';
+  }
+  return os.str();
+}
+
+std::string solution_signature(const WcmSolution& sol) {
+  std::ostringstream os;
+  os << sol.reused_ffs << '|' << sol.additional_cells << '|';
+  for (const WrapperGroup& g : sol.plan.groups) {
+    os << g.reused_ff << ':';
+    for (GateId t : g.inbound) os << t << ' ';
+    os << '/';
+    for (GateId t : g.outbound) os << t << ' ';
+    os << ';';
+  }
+  return os.str();
+}
+
+std::string partition_signature(const CliquePartition& p) {
+  std::ostringstream os;
+  for (const auto& c : p.cliques) {
+    for (int m : c) os << m << ' ';
+    os << ';';
+  }
+  return os.str();
+}
+
+// ---- CsrGraph unit tests ----
+
+TEST(CsrGraphTest, EmptyGraphHasNoNodes) {
+  CsrGraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_TRUE(g.rows_sorted_unique());
+}
+
+TEST(CsrGraphTest, FromEdgesSortsAndDedups) {
+  const CsrGraph g = CsrGraph::from_edges(4, {{2, 0}, {0, 1}, {1, 0}, {0, 2}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_arcs(), 4u);  // {0,1} and {0,2}, both directions
+  ASSERT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.row(0)[0], 1);
+  EXPECT_EQ(g.row(0)[1], 2);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_TRUE(g.rows_sorted_unique());
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(3, 0));
+}
+
+TEST(CsrGraphTest, PackRowsMatchesFromEdges) {
+  std::vector<std::vector<int>> rows{{2, 1}, {0}, {0}, {}};
+  const CsrGraph packed = CsrGraph::pack_rows(rows);
+  const CsrGraph direct = CsrGraph::from_edges(4, {{0, 1}, {0, 2}});
+  EXPECT_EQ(packed.offsets, direct.offsets);
+  EXPECT_EQ(packed.nbrs, direct.nbrs);
+}
+
+TEST(CsrGraphTest, DegreeOrderIsDescendingWithStableTies) {
+  // Degrees: 0->3, 1->1, 2->2, 3->2, 4->0. Ties (2,3) break by id.
+  const CsrGraph g =
+      CsrGraph::from_edges(5, {{0, 1}, {0, 2}, {0, 3}, {2, 3}});
+  const std::vector<int> order = g.nodes_by_degree_desc();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+  EXPECT_EQ(order[3], 1);
+  EXPECT_EQ(order[4], 4);
+}
+
+TEST(CsrGraphTest, RowsSortedUniqueDetectsViolations) {
+  CsrGraph g;
+  g.offsets = {0, 2};
+  g.nbrs = {2, 1};  // unsorted
+  EXPECT_FALSE(g.rows_sorted_unique());
+  g.nbrs = {1, 1};  // duplicate
+  EXPECT_FALSE(g.rows_sorted_unique());
+  g.nbrs = {1, 2};
+  EXPECT_TRUE(g.rows_sorted_unique());
+}
+
+// ---- streaming vs legacy edge build: bit-identical graphs and solves ----
+
+TEST(ScaleDifferentialTest, StreamingGraphMatchesLegacyAcrossSeedsAndWidths) {
+  for (const std::uint64_t seed : {11ull, 16ull, 33ull}) {
+    DieSpec spec = itc99_die_spec("b11", 0);
+    spec.seed ^= seed;
+    const Netlist n = generate_die(spec);
+    const Placement placement = place(n, PlaceOptions{});
+    const CellLibrary lib = CellLibrary::nangate45_like();
+    const StaEngine sta(n, lib, &placement);
+    const TimingReport timing = sta.run();
+    ConeDb cones(n);
+
+    std::string reference;
+    for (const bool streaming : {false, true}) {
+      for (const int threads : {1, 2, 8}) {
+        TestabilityOracle oracle(n, cones, OracleMode::kStructural, AtpgOptions{});
+        GraphInputs in;
+        in.netlist = &n;
+        in.placement = &placement;
+        in.sta = &sta;
+        in.timing = &timing;
+        in.cones = &cones;
+        in.oracle = &oracle;
+        WcmConfig cfg = WcmConfig::proposed_tight();
+        cfg.streaming_edges = streaming;
+        cfg.solve_threads = threads;
+        const CompatGraph g = build_compat_graph(in, lib, n.inbound_tsvs(),
+                                                 NodeKind::kInboundTsv,
+                                                 n.scan_flip_flops(), cfg);
+        EXPECT_TRUE(g.adj.rows_sorted_unique())
+            << "seed=" << seed << " streaming=" << streaming;
+        const std::string sig = graph_signature(g);
+        if (reference.empty()) {
+          reference = sig;
+          EXPECT_GT(g.num_edges, 0) << "seed=" << seed;
+        } else {
+          EXPECT_EQ(sig, reference)
+              << "seed=" << seed << " streaming=" << streaming
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(ScaleDifferentialTest, SolvePlanMatchesLegacyAcrossSeedsAndWidths) {
+  for (const std::uint64_t seed : {11ull, 16ull, 33ull}) {
+    DieSpec spec = itc99_die_spec("b11", 0);
+    spec.seed ^= seed;
+    const Netlist n = generate_die(spec);
+    const Placement placement = place(n, PlaceOptions{});
+    const CellLibrary lib = CellLibrary::nangate45_like();
+    std::string reference;
+    for (const bool streaming : {false, true}) {
+      for (const int threads : {1, 2, 8}) {
+        WcmConfig cfg = WcmConfig::proposed_area();
+        cfg.streaming_edges = streaming;
+        cfg.solve_threads = threads;
+        const WcmSolution sol = solve_wcm(n, &placement, lib, cfg);
+        EXPECT_TRUE(sol.plan.covers_all_tsvs(n));
+        const std::string sig = solution_signature(sol);
+        if (reference.empty())
+          reference = sig;
+        else
+          EXPECT_EQ(sig, reference) << "seed=" << seed << " streaming=" << streaming
+                                    << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// ---- anytime partitioner ----
+
+MergePredicate always() {
+  return [](const std::vector<int>&, const std::vector<int>&) { return true; };
+}
+
+CompatGraph make_graph(int nodes, const std::vector<std::pair<int, int>>& edges,
+                       const std::vector<int>& flops = {}) {
+  CompatGraph g;
+  g.nodes.resize(static_cast<std::size_t>(nodes));
+  for (std::size_t i = 0; i < g.nodes.size(); ++i)
+    g.nodes[i].kind = NodeKind::kInboundTsv;
+  for (int f : flops) g.nodes[static_cast<std::size_t>(f)].kind = NodeKind::kScanFF;
+  g.adj = CsrGraph::from_edges(static_cast<std::size_t>(nodes), edges);
+  g.num_edges = static_cast<int>(g.adj.num_arcs() / 2);
+  return g;
+}
+
+TEST(AnytimeTest, TriangleCollapsesToOneCluster) {
+  const CompatGraph g = make_graph(3, {{0, 1}, {1, 2}, {0, 2}});
+  const CliquePartition p = partition_cliques_anytime(g, always(), {});
+  EXPECT_EQ(p.cliques.size(), 1u);
+  EXPECT_EQ(p.cliques[0].size(), 3u);
+}
+
+TEST(AnytimeTest, EveryNodeAppearsExactlyOnce) {
+  const CompatGraph g = make_graph(
+      7, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {3, 5}, {5, 6}});
+  const CliquePartition p = partition_cliques_anytime(g, always(), {});
+  std::vector<int> seen(7, 0);
+  for (const auto& c : p.cliques)
+    for (int m : c) ++seen[static_cast<std::size_t>(m)];
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(AnytimeTest, ClustersAreCliques) {
+  DieSpec spec = itc99_die_spec("b11", 1);
+  const Netlist n = generate_die(spec);
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const StaEngine sta(n, lib, &placement);
+  const TimingReport timing = sta.run();
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kStructural, AtpgOptions{});
+  GraphInputs in;
+  in.netlist = &n;
+  in.placement = &placement;
+  in.sta = &sta;
+  in.timing = &timing;
+  in.cones = &cones;
+  in.oracle = &oracle;
+  const CompatGraph g =
+      build_compat_graph(in, lib, n.inbound_tsvs(), NodeKind::kInboundTsv,
+                         n.scan_flip_flops(), WcmConfig::proposed_area());
+  const CliquePartition p = partition_cliques_anytime(g, always(), {});
+  for (const auto& c : p.cliques)
+    for (std::size_t a = 0; a < c.size(); ++a)
+      for (std::size_t b = a + 1; b < c.size(); ++b)
+        EXPECT_TRUE(g.adj.has_edge(static_cast<std::size_t>(c[a]),
+                                   static_cast<std::int32_t>(c[b])))
+            << c[a] << " !~ " << c[b];
+}
+
+TEST(AnytimeTest, DeterministicAcrossSolveWidths) {
+  // The anytime partitioner itself is single-threaded, but it runs inside
+  // solves whose graph build is parallel — the end-to-end plan must not
+  // depend on the width. Budget 0 = run to convergence, so the comparison
+  // has no timing slack in it.
+  const Netlist n = generate_die(itc99_die_spec("b12", 1));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  std::string reference;
+  for (const int threads : {1, 2, 8}) {
+    WcmConfig cfg = WcmConfig::proposed_tight();
+    cfg.solver_anytime = true;
+    cfg.solve_threads = threads;
+    const WcmSolution sol = solve_wcm(n, &placement, lib, cfg);
+    EXPECT_TRUE(sol.plan.covers_all_tsvs(n));
+    const std::string sig = solution_signature(sol);
+    if (reference.empty())
+      reference = sig;
+    else
+      EXPECT_EQ(sig, reference) << "threads=" << threads;
+  }
+}
+
+TEST(AnytimeTest, NeverWorseThanSingletons) {
+  // The all-singletons start costs one cell per TSV-only node; any accepted
+  // move lowers (or preserves) that, so the result is bounded by it.
+  const Netlist n = generate_die(itc99_die_spec("b11", 2));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  WcmConfig cfg = WcmConfig::proposed_area();
+  cfg.solver_anytime = true;
+  const WcmSolution sol = solve_wcm(n, &placement, lib, cfg);
+  EXPECT_TRUE(sol.plan.covers_all_tsvs(n));
+  EXPECT_LE(sol.additional_cells,
+            static_cast<int>(n.inbound_tsvs().size() + n.outbound_tsvs().size()));
+}
+
+TEST(AnytimeTest, PreCancelledRunReturnsValidSingletonPlan) {
+  // A cancel flag that is already set when the solve starts must yield
+  // immediately — and the plan it yields is the feasible all-singletons
+  // assignment, never a half-applied move.
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  std::atomic<bool> cancel{true};
+  WcmConfig cfg = WcmConfig::proposed_area();
+  cfg.solver_anytime = true;
+  cfg.cancel = &cancel;
+  const WcmSolution sol = solve_wcm(n, &placement, lib, cfg);
+  EXPECT_TRUE(sol.plan.covers_all_tsvs(n));
+  // Singletons: every TSV pays for its own wrapper cell.
+  EXPECT_EQ(sol.additional_cells,
+            static_cast<int>(n.inbound_tsvs().size() + n.outbound_tsvs().size()));
+  EXPECT_EQ(sol.reused_ffs, 0);
+}
+
+TEST(AnytimeTest, CancelMidRunStillCoversAllNodes) {
+  // Direct partitioner call with a tripped flag: the result must still be a
+  // complete partition of the node set.
+  const CompatGraph g = make_graph(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}}, {2, 5});
+  std::atomic<bool> cancel{true};
+  AnytimeOptions opts;
+  opts.cancel = &cancel;
+  const CliquePartition p = partition_cliques_anytime(g, always(), opts);
+  std::size_t members = 0;
+  for (const auto& c : p.cliques) members += c.size();
+  EXPECT_EQ(members, 6u);
+  EXPECT_EQ(p.cliques.size(), 6u);  // no move ever ran
+  EXPECT_EQ(p.merges, 0);
+}
+
+}  // namespace
+}  // namespace wcm

@@ -45,8 +45,8 @@ std::string graph_signature(const CompatGraph& g) {
   os << g.num_edges << '|' << g.overlap_edges << '|';
   for (GateId t : g.rejected_tsvs) os << t << ' ';
   os << '#';
-  for (const auto& row : g.adj) {
-    for (int nb : row) os << nb << ' ';
+  for (std::size_t i = 0; i < g.adj.num_nodes(); ++i) {
+    for (int nb : g.adj.row(static_cast<int>(i))) os << nb << ' ';
     os << ';';
   }
   return os.str();

@@ -142,7 +142,7 @@ TEST(TestabilityOracleTest, StructuralConservativeForAdmittedPairs) {
       // (2x the threshold leaves room for random-phase noise in the
       // measurement itself).
       EXPECT_LT(real.coverage_loss, 2.0 * cfg.cov_th)
-          << n.gate(ff).name << " + " << n.gate(t).name;
+          << n.name_of(ff) << " + " << n.name_of(t);
       if (++checked >= 6) return;  // measured mode is expensive
     }
   }

@@ -95,11 +95,12 @@ TEST(InsertionTest, FunctionalModeIsPreserved) {
     for (GateId id : n.topo_order()) {
       const Gate& gate = n.gate(id);
       const auto idx = static_cast<std::size_t>(id);
-      if (gate.name == "pi0") val[idx] = pi;
-      else if (gate.name == "ti0") val[idx] = ti0v;
-      else if (gate.name == "ti1") val[idx] = ti1v;
-      else if (gate.name == "ff0") val[idx] = ffv;
-      else if (gate.name == "test_en") val[idx] = ten;
+      const std::string_view gname = n.name_of(id);
+      if (gname == "pi0") val[idx] = pi;
+      else if (gname == "ti0") val[idx] = ti0v;
+      else if (gname == "ti1") val[idx] = ti1v;
+      else if (gname == "ff0") val[idx] = ffv;
+      else if (gname == "test_en") val[idx] = ten;
       else if (gate.type == GateType::kDff) val[idx] = 0;  // other flops: none
       else if (is_combinational_source(gate.type)) val[idx] = 0;
       else {

@@ -26,7 +26,7 @@ struct SeqSim {
       const Gate& g = n->gate(id);
       const auto idx = static_cast<std::size_t>(id);
       if (g.type == GateType::kInput || g.type == GateType::kTsvIn) {
-        auto it = inputs.find(g.name);
+        auto it = inputs.find(std::string(n->name_of(id)));
         values[idx] = it == inputs.end() ? 0 : it->second;
       } else if (g.type == GateType::kDff) {
         values[idx] = state.count(id) ? state.at(id) : 0;
@@ -81,8 +81,8 @@ TEST(ScanInsertionTest, MissionModeIsTransparent) {
   SeqSim b{&scanned, {}, {}, {}};
   // Same PI stimulus; SE = 0 keeps the scan hardware invisible.
   Rng rng(5);
-  for (GateId pi : original.primary_inputs()) a.inputs[original.gate(pi).name] = rng();
-  for (GateId ti : original.inbound_tsvs()) a.inputs[original.gate(ti).name] = rng();
+  for (GateId pi : original.primary_inputs()) a.inputs[std::string(original.name_of(pi))] = rng();
+  for (GateId ti : original.inbound_tsvs()) a.inputs[std::string(original.name_of(ti))] = rng();
   b.inputs = a.inputs;
   b.inputs["scan_en"] = 0;
   b.inputs["scan_in"] = ~0ULL;  // must be ignored
@@ -94,10 +94,10 @@ TEST(ScanInsertionTest, MissionModeIsTransparent) {
   a.eval();
   b.eval();
   for (GateId po : original.primary_outputs()) {
-    const GateId other = scanned.find(original.gate(po).name);
+    const GateId other = scanned.find(original.name_of(po));
     EXPECT_EQ(a.values[static_cast<std::size_t>(po)],
               b.values[static_cast<std::size_t>(other)])
-        << original.gate(po).name;
+        << original.name_of(po);
   }
 }
 

@@ -54,7 +54,7 @@ TEST(GeneratorTest, NoDanglingLogic) {
   for (std::size_t i = 0; i < n.size(); ++i) {
     const Gate& g = n.gate(static_cast<GateId>(i));
     if (is_port(g.type) || g.type == GateType::kDff) continue;
-    EXPECT_FALSE(g.fanouts.empty()) << g.name;
+    EXPECT_FALSE(g.fanouts.empty()) << n.name_of(static_cast<GateId>(i));
   }
 }
 
@@ -118,9 +118,9 @@ TEST(GeneratorTest, AllDiesEnumerationMatchesSuite) {
 TEST(GeneratorTest, TsvsAreConnected) {
   const Netlist n = generate_die(itc99_die_spec("b20", 0));
   for (GateId t : n.inbound_tsvs())
-    EXPECT_FALSE(n.gate(t).fanouts.empty()) << n.gate(t).name;
+    EXPECT_FALSE(n.gate(t).fanouts.empty()) << n.name_of(t);
   for (GateId t : n.outbound_tsvs())
-    EXPECT_EQ(n.gate(t).fanins.size(), 1u) << n.gate(t).name;
+    EXPECT_EQ(n.gate(t).fanins.size(), 1u) << n.name_of(t);
 }
 
 }  // namespace

@@ -58,13 +58,13 @@ TEST(BenchIoTest, RoundTripPreservesStructure) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     const GateId id = static_cast<GateId>(i);
-    const GateId other = b.find(a.gate(id).name);
-    ASSERT_NE(other, kNoGate) << a.gate(id).name;
-    EXPECT_EQ(a.gate(id).type, b.gate(other).type) << a.gate(id).name;
+    const GateId other = b.find(a.name_of(id));
+    ASSERT_NE(other, kNoGate) << a.name_of(id);
+    EXPECT_EQ(a.gate(id).type, b.gate(other).type) << a.name_of(id);
     EXPECT_EQ(a.gate(id).is_scan, b.gate(other).is_scan);
     ASSERT_EQ(a.gate(id).fanins.size(), b.gate(other).fanins.size());
     for (std::size_t k = 0; k < a.gate(id).fanins.size(); ++k)
-      EXPECT_EQ(a.gate(a.gate(id).fanins[k]).name, b.gate(b.gate(other).fanins[k]).name);
+      EXPECT_EQ(a.name_of(a.gate(id).fanins[k]), b.name_of(b.gate(other).fanins[k]));
   }
 }
 

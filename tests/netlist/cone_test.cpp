@@ -34,7 +34,7 @@ TEST(ConeTest, FanoutEndpointsReachSinksAndFlops) {
   const auto eps = fanout_endpoints(n, n.find("ti0"));
   // ti0 -> gl -> {to0, gb -> ff0.D, ff1.D}
   std::vector<std::string> names;
-  for (GateId id : eps) names.push_back(n.gate(id).name);
+  for (GateId id : eps) names.emplace_back(n.name_of(id));
   EXPECT_NE(std::find(names.begin(), names.end(), "to0"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "ff0"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "ff1"), names.end());
@@ -45,7 +45,7 @@ TEST(ConeTest, FaninEndpointsReachSourcesAndFlops) {
   Netlist n = bridge_circuit();
   const auto eps = fanin_endpoints(n, n.find("gb"));
   std::vector<std::string> names;
-  for (GateId id : eps) names.push_back(n.gate(id).name);
+  for (GateId id : eps) names.emplace_back(n.name_of(id));
   EXPECT_NE(std::find(names.begin(), names.end(), "ti0"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "ff0"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "pi0"), names.end());
@@ -58,7 +58,7 @@ TEST(ConeTest, DffIsNotCrossed) {
   // wrap around through ff0's own D cone.
   const auto eps = fanout_endpoints(n, n.find("ff0"));
   std::vector<std::string> names;
-  for (GateId id : eps) names.push_back(n.gate(id).name);
+  for (GateId id : eps) names.emplace_back(n.name_of(id));
   EXPECT_NE(std::find(names.begin(), names.end(), "po0"), names.end());
   // to0 is only reachable through gl, which ff0 does not feed.
   EXPECT_EQ(std::find(names.begin(), names.end(), "to0"), names.end());

@@ -57,6 +57,40 @@ TEST(NetlistTest, ConnectMaintainsSymmetry) {
   EXPECT_NE(std::find(fi.begin(), fi.end(), g0), fi.end());
 }
 
+TEST(NetlistTest, ReplaceFaninHandlesDuplicateEdges) {
+  // a = AND(b, b): a duplicate edge must stay symmetric through
+  // replace_fanin (one fanout entry per replaced fanin occurrence).
+  Netlist n("dup");
+  const GateId b = n.add_gate(GateType::kInput, "b");
+  const GateId c = n.add_gate(GateType::kInput, "c");
+  const GateId a = n.add_gate(GateType::kAnd, "a");
+  n.connect(b, a);
+  n.connect(b, a);
+  n.replace_fanin(a, b, c);
+  EXPECT_EQ(n.gate(a).fanins, (std::vector<GateId>{c, c}));
+  EXPECT_EQ(n.gate(c).fanouts, (std::vector<GateId>{a, a}));
+  EXPECT_TRUE(n.gate(b).fanouts.empty());
+}
+
+TEST(NetlistTest, TransferFanoutsHandlesDuplicateEdges) {
+  // The generator's cross-links can produce duplicate fanins; DFT bypass
+  // insertion then transfer_fanouts the TSV. Each distinct sink must be
+  // transferred exactly once even when it appears twice in the fanout list.
+  Netlist n("dup");
+  const GateId src = n.add_gate(GateType::kTsvIn, "ti0");
+  const GateId mux = n.add_gate(GateType::kMux, "mux");
+  const GateId g0 = n.add_gate(GateType::kAnd, "g0");
+  const GateId g1 = n.add_gate(GateType::kOr, "g1");
+  n.connect(src, g0);
+  n.connect(src, g0);  // duplicate edge
+  n.connect(src, g1);
+  n.transfer_fanouts(src, mux);
+  EXPECT_TRUE(n.gate(src).fanouts.empty());
+  EXPECT_EQ(n.gate(g0).fanins, (std::vector<GateId>{mux, mux}));
+  EXPECT_EQ(n.gate(g1).fanins, (std::vector<GateId>{mux}));
+  EXPECT_EQ(n.gate(mux).fanouts, (std::vector<GateId>{g0, g0, g1}));
+}
+
 TEST(NetlistTest, ClassificationLists) {
   Netlist n = tiny_die();
   EXPECT_EQ(n.primary_inputs().size(), 2u);

@@ -24,7 +24,7 @@ void expect_equivalent(const Netlist& a, const Netlist& b) {
       const auto idx = static_cast<std::size_t>(id);
       if (g.type == GateType::kInput || g.type == GateType::kTsvIn ||
           g.type == GateType::kDff) {
-        Rng h(std::hash<std::string>{}(g.name) ^ 0xABCD);
+        Rng h(std::hash<std::string_view>{}(n.name_of(id)) ^ 0xABCD);
         val[idx] = h();
       } else if (g.type == GateType::kTie0) {
         val[idx] = 0;
@@ -41,22 +41,22 @@ void expect_equivalent(const Netlist& a, const Netlist& b) {
   const auto va = simulate(a);
   const auto vb = simulate(b);
   for (GateId po : a.primary_outputs()) {
-    const GateId other = b.find(a.gate(po).name);
-    ASSERT_NE(other, kNoGate) << a.gate(po).name;
+    const GateId other = b.find(a.name_of(po));
+    ASSERT_NE(other, kNoGate) << a.name_of(po);
     EXPECT_EQ(va[static_cast<std::size_t>(po)], vb[static_cast<std::size_t>(other)])
-        << a.gate(po).name;
+        << a.name_of(po);
   }
   for (GateId to : a.outbound_tsvs()) {
-    const GateId other = b.find(a.gate(to).name);
+    const GateId other = b.find(a.name_of(to));
     ASSERT_NE(other, kNoGate);
     EXPECT_EQ(va[static_cast<std::size_t>(to)], vb[static_cast<std::size_t>(other)]);
   }
   for (GateId ff : a.flip_flops()) {
-    const GateId other = b.find(a.gate(ff).name);
+    const GateId other = b.find(a.name_of(ff));
     ASSERT_NE(other, kNoGate);
     EXPECT_EQ(va[static_cast<std::size_t>(a.gate(ff).fanins[0])],
               vb[static_cast<std::size_t>(b.gate(other).fanins[0])])
-        << a.gate(ff).name << " D";
+        << a.name_of(ff) << " D";
   }
 }
 

@@ -36,7 +36,7 @@ TEST(PlaceTest, NoTwoCellsShareASite) {
   std::set<std::pair<double, double>> sites;
   for (std::size_t i = 0; i < n.size(); ++i) {
     const Point& pt = p.loc(static_cast<GateId>(i));
-    EXPECT_TRUE(sites.emplace(pt.x, pt.y).second) << n.gate(static_cast<GateId>(i)).name;
+    EXPECT_TRUE(sites.emplace(pt.x, pt.y).second) << n.name_of(static_cast<GateId>(i));
   }
 }
 

@@ -65,14 +65,15 @@ TEST_P(NetlistProperty, BenchRoundTripIsStructurallyIdentical) {
   ASSERT_EQ(m.size(), n.size());
   for (std::size_t i = 0; i < n.size(); ++i) {
     const Gate& a = n.gate(static_cast<GateId>(i));
-    const GateId j = m.find(a.name);
-    ASSERT_NE(j, kNoGate) << a.name;
+    const GateId j = m.find(n.name_of(static_cast<GateId>(i)));
+    ASSERT_NE(j, kNoGate) << n.name_of(static_cast<GateId>(i));
     const Gate& b = m.gate(j);
-    EXPECT_EQ(a.type, b.type) << a.name;
-    EXPECT_EQ(a.is_scan, b.is_scan) << a.name;
-    ASSERT_EQ(a.fanins.size(), b.fanins.size()) << a.name;
+    EXPECT_EQ(a.type, b.type) << n.name_of(static_cast<GateId>(i));
+    EXPECT_EQ(a.is_scan, b.is_scan) << n.name_of(static_cast<GateId>(i));
+    ASSERT_EQ(a.fanins.size(), b.fanins.size()) << n.name_of(static_cast<GateId>(i));
     for (std::size_t k = 0; k < a.fanins.size(); ++k)
-      EXPECT_EQ(n.gate(a.fanins[k]).name, m.gate(b.fanins[k]).name) << a.name;
+      EXPECT_EQ(n.name_of(a.fanins[k]), m.name_of(b.fanins[k]))
+          << n.name_of(static_cast<GateId>(i));
   }
   // And re-serialisation is a fixed point after the first cycle.
   const auto second = read_bench_string(write_bench_string(m), n.name());
@@ -105,7 +106,7 @@ TEST_P(NetlistProperty, ConeMembershipIsMutual) {
     for (GateId s : fanout_endpoints(n, x)) {
       const auto sources = fanin_endpoints(n, s);
       EXPECT_NE(std::find(sources.begin(), sources.end(), x), sources.end())
-          << n.gate(x).name << " -> " << n.gate(s).name;
+          << n.name_of(x) << " -> " << n.name_of(s);
     }
   }
 }

@@ -81,7 +81,7 @@ TEST_P(StaProperty, InsertionNeverSpeedsUpSharedNodes) {
   for (std::size_t i = 0; i < original; ++i) {
     if (n.gate(static_cast<GateId>(i)).type == GateType::kTsvIn) continue;  // rewired
     EXPECT_GE(after.arrival[i] + 1e-9, before.arrival[i])
-        << n.gate(static_cast<GateId>(i)).name;
+        << n.name_of(static_cast<GateId>(i));
   }
 }
 

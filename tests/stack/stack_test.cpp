@@ -82,7 +82,7 @@ TEST(StackTest, BondingIsFunctionallyEquivalentToMonolith) {
       const Gate& g = n.gate(id);
       const auto idx = static_cast<std::size_t>(id);
       if (g.type == GateType::kInput || g.type == GateType::kDff) {
-        Rng h(std::hash<std::string>{}(g.name));
+        Rng h(std::hash<std::string_view>{}(n.name_of(id)));
         val[idx] = h();
       } else if (g.type == GateType::kTie0) {
         val[idx] = 0;
@@ -102,19 +102,19 @@ TEST(StackTest, BondingIsFunctionallyEquivalentToMonolith) {
   const auto bonded = simulate(stack.netlist, Rng(1));
 
   for (GateId po : soc.primary_outputs()) {
-    const GateId other = stack.netlist.find(soc.gate(po).name);
-    ASSERT_NE(other, kNoGate) << soc.gate(po).name;
+    const GateId other = stack.netlist.find(soc.name_of(po));
+    ASSERT_NE(other, kNoGate) << soc.name_of(po);
     EXPECT_EQ(mono[static_cast<std::size_t>(po)], bonded[static_cast<std::size_t>(other)])
-        << soc.gate(po).name;
+        << soc.name_of(po);
   }
   for (GateId ff : soc.flip_flops()) {
-    const GateId other = stack.netlist.find(soc.gate(ff).name);
+    const GateId other = stack.netlist.find(soc.name_of(ff));
     ASSERT_NE(other, kNoGate);
     const GateId d_mono = soc.gate(ff).fanins[0];
     const GateId d_bond = stack.netlist.gate(other).fanins[0];
     EXPECT_EQ(mono[static_cast<std::size_t>(d_mono)],
               bonded[static_cast<std::size_t>(d_bond)])
-        << soc.gate(ff).name << " D input";
+        << soc.name_of(ff) << " D input";
   }
 }
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <set>
+#include <vector>
 
 #include "util/bitset.hpp"
 #include "util/geometry.hpp"
 #include "util/rng.hpp"
+#include "util/rss.hpp"
 #include "util/table.hpp"
 
 namespace wcm {
@@ -160,6 +162,21 @@ TEST(TableTest, CellFormatting) {
   EXPECT_EQ(Table::cell(42), "42");
   EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
   EXPECT_EQ(Table::percent(0.9934), "99.34%");
+}
+
+// ---- peak RSS probe ----
+
+TEST(RssTest, PeakRssIsPlausibleAndMonotone) {
+  const std::size_t before = peak_rss_bytes();
+  // A test binary has at least a few pages resident (0 only on platforms
+  // without a probe, which the CI boxes are not).
+  EXPECT_GT(before, 0u);
+  // Touch ~8 MB so the high-water mark must cover it.
+  std::vector<char> ballast(8u << 20);
+  for (std::size_t i = 0; i < ballast.size(); i += 4096) ballast[i] = 1;
+  const std::size_t after = peak_rss_bytes();
+  EXPECT_GE(after, before);
+  EXPECT_GE(after, ballast.size());
 }
 
 }  // namespace

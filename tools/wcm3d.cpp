@@ -92,7 +92,7 @@ bool parse_args(int argc, char** argv, int first, std::map<std::string, std::str
     }
     key = key.substr(2);
     // Boolean flags take no value; everything else consumes the next token.
-    if (key == "atpg" || key == "quiet" || key == "verbose") {
+    if (key == "atpg" || key == "quiet" || key == "verbose" || key == "anytime") {
       out[key] = "1";
       continue;
     }
@@ -129,6 +129,21 @@ bool parse_int_flag(const std::map<std::string, std::string>& args, const char* 
   }
   if (value < min_value) {
     std::fprintf(stderr, "%s: --%s must be >= %d, got %d\n", cmd, name, min_value,
+                 value);
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+/// As above with an inclusive upper bound too — for flags where a huge value
+/// is a typo that would eat the machine (e.g. `gen --gates 10000000000`).
+bool parse_int_flag(const std::map<std::string, std::string>& args, const char* cmd,
+                    const char* name, int min_value, int max_value, int& out) {
+  int value = out;
+  if (!parse_int_flag(args, cmd, name, min_value, value)) return false;
+  if (value > max_value) {
+    std::fprintf(stderr, "%s: --%s must be <= %d, got %d\n", cmd, name, max_value,
                  value);
     return false;
   }
@@ -180,8 +195,8 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  wcm3d gen   --circuit <b11..b22> --die <0..3> --out <file>\n"
-               "  wcm3d gen   --gates N [--ffs N --inbound N --outbound N --seed N] "
-               "--out <file>\n"
+               "  wcm3d gen   --gates N(<=5000000) [--ffs N --inbound N --outbound N "
+               "--seed N] --out <file>\n"
                "  wcm3d split --in <file> [--parts N] [--seed N] --out-prefix <prefix>\n"
                "  wcm3d opt   --in <file> [--out <file>]\n"
                "  wcm3d solve --in <file> [--method proposed|agrawal|li] "
@@ -189,6 +204,7 @@ int usage() {
                "              [--lib <file.wcmlib|file.lib>] [--atpg] [--out <file>]\n"
                "              [--oracle structural|measured|measured-scratch]\n"
                "              [--oracle-cache <dir>] [--trace <file>]\n"
+               "              [--anytime] [--time-budget-ms N]\n"
                "              [--verilog <file>] [--csv <file>]\n"
                "  wcm3d campaign [--circuit all|<b11..b22>] "
                "[--method proposed|agrawal|li]\n"
@@ -219,7 +235,9 @@ int cmd_gen(const std::map<std::string, std::string>& args) {
       std::fprintf(stderr, "gen: need --circuit or --gates\n");
       return 2;
     }
-    if (!parse_int_flag(args, "gen", "gates", 1, spec.num_gates)) return 2;
+    // 5M-gate ceiling: past that the die no longer fits the pre-bond test
+    // model this tool targets, and a typo'd --gates would thrash the box.
+    if (!parse_int_flag(args, "gen", "gates", 1, 5000000, spec.num_gates)) return 2;
     if (!parse_int_flag(args, "gen", "ffs", 0, spec.num_scan_ffs)) return 2;
     if (!parse_int_flag(args, "gen", "inbound", 0, spec.num_inbound)) return 2;
     if (!parse_int_flag(args, "gen", "outbound", 0, spec.num_outbound)) return 2;
@@ -364,6 +382,19 @@ int cmd_solve(const std::map<std::string, std::string>& args) {
   }
   if (!apply_oracle_flag(args, "solve", cfg.wcm)) return 2;
   if (args.count("oracle-cache")) cfg.wcm.oracle_cache_path = args.at("oracle-cache");
+  cfg.wcm.solver_anytime = args.count("anytime") > 0;
+  if (!parse_int_flag(args, "solve", "time-budget-ms", 0, cfg.wcm.anytime_budget_ms))
+    return 2;
+  if (args.count("time-budget-ms") && !cfg.wcm.solver_anytime) {
+    std::fprintf(stderr, "solve: --time-budget-ms requires --anytime\n");
+    return 2;
+  }
+  if (cfg.wcm.solver_anytime) {
+    // ^C mid-solve: the anytime partitioner returns its best-so-far plan and
+    // the flow completes normally with that plan.
+    install_sigint_handler();
+    cfg.wcm.cancel = &g_interrupted;
+  }
   const double tight_period = tight_clock_period_ps(die, lib, PlaceOptions{});
   cfg.clock_period_ps = tight ? tight_period : tight_period * 3.0;
   cfg.run_stuck_at = args.count("atpg") > 0;
