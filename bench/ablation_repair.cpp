@@ -1,0 +1,152 @@
+// Timing-repair ablation: what the repair pass buys (recovered nodes/pairs,
+// extra wrapper-cell reduction) at what silicon cost (area spent), and what
+// the incremental STA session saves during admission, reported as
+// BENCH_repair.json.
+//
+//   WCM_QUICK=1   restrict to one die and one timing repeat (smoke run;
+//                 default: b11 dies 0-2 with 3 repeats per STA mode)
+//
+// Three solves per die, all under the tight scenario:
+//   no-repair          the seed solver (baseline wrapper-cell count);
+//   repair/incremental the repair loop on the event-driven STA session;
+//   repair/full        the same loop forced to from-scratch STA per trial.
+// The two repair runs must produce identical plans (the session is a pure
+// accelerator) — the bench exits nonzero if they diverge, so CI catches a
+// determinism break even without the test suite.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/solver.hpp"
+#include "place/place.hpp"
+
+namespace {
+
+using namespace wcm;
+
+std::string plan_signature(const WcmSolution& sol) {
+  std::ostringstream os;
+  os << sol.reused_ffs << '|' << sol.additional_cells << '|';
+  for (const WrapperGroup& g : sol.plan.groups) {
+    os << g.reused_ff << ':';
+    for (GateId t : g.inbound) os << t << ',';
+    os << '/';
+    for (GateId t : g.outbound) os << t << ',';
+    os << ';';
+  }
+  return os.str();
+}
+
+struct Run {
+  std::string label;
+  double seconds = 0.0;       ///< wall time of the whole solve
+  double sta_seconds = 0.0;   ///< admission-phase STA time inside it
+  int wrapper_cells = 0;
+  int recovered = 0;
+  double area_um2 = 0.0;
+  std::string signature;
+};
+
+Run run_solve(const std::string& label, const Netlist& n, const Placement& placement,
+              const CellLibrary& lib, const WcmConfig& cfg, int repeats) {
+  Run r;
+  r.label = label;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const WcmSolution sol = solve_wcm(n, &placement, lib, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    r.seconds += std::chrono::duration<double>(t1 - t0).count();
+    r.sta_seconds += sol.sta_seconds;
+    r.wrapper_cells = sol.additional_cells;
+    r.recovered = sol.repair.nodes_recovered + sol.repair.pairs_recovered;
+    r.area_um2 = sol.repair.area_spent_um2;
+    r.signature = plan_signature(sol);
+  }
+  std::printf("  %-28s %8.4f s (sta %.4f s)  cells=%-4d recovered=%-3d area=%.2f um2\n",
+              label.c_str(), r.seconds, r.sta_seconds, r.wrapper_cells, r.recovered,
+              r.area_um2);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = wcm::bench::quick_mode();
+  const std::vector<int> dies = quick ? std::vector<int>{0} : std::vector<int>{0, 1, 2};
+  const int repeats = quick ? 1 : 3;
+
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  std::vector<Run> runs;
+  bool plans_identical = true;
+  int cells_base = 0, cells_repair = 0, recovered_total = 0;
+  double area_total = 0.0, sta_inc_total = 0.0, sta_full_total = 0.0;
+
+  for (const int die : dies) {
+    const Netlist n = generate_die(itc99_die_spec("b11", die));
+    const Placement placement = place(n, PlaceOptions{});
+    std::printf("b11 die %d (%zu gates)\n", die, n.size());
+    const std::string tag = "b11_d" + std::to_string(die);
+
+    const WcmConfig base = WcmConfig::proposed_tight();
+    WcmConfig repair = base;
+    repair.timing_repair = true;
+    WcmConfig repair_full = repair;
+    repair_full.sta_incremental = false;
+
+    const Run r_base = run_solve(tag + "/no-repair", n, placement, lib, base, repeats);
+    const Run r_inc =
+        run_solve(tag + "/repair-incremental", n, placement, lib, repair, repeats);
+    const Run r_full = run_solve(tag + "/repair-full-sta", n, placement, lib,
+                                 repair_full, repeats);
+
+    plans_identical &= r_inc.signature == r_full.signature;
+    cells_base += r_base.wrapper_cells;
+    cells_repair += r_inc.wrapper_cells;
+    recovered_total += r_inc.recovered;
+    area_total += r_inc.area_um2;
+    sta_inc_total += r_inc.sta_seconds;
+    sta_full_total += r_full.sta_seconds;
+    runs.push_back(r_base);
+    runs.push_back(r_inc);
+    runs.push_back(r_full);
+  }
+
+  const int cell_reduction = cells_base - cells_repair;
+  const double sta_speedup = sta_inc_total > 0 ? sta_full_total / sta_inc_total : 0.0;
+  std::printf("recovered %d rejected nodes/pairs for %.2f um2; wrapper cells %d -> %d "
+              "(-%d)\n",
+              recovered_total, area_total, cells_base, cells_repair, cell_reduction);
+  std::printf("admission STA: %.4f s full vs %.4f s incremental (%.2fx), plans %s\n",
+              sta_full_total, sta_inc_total, sta_speedup,
+              plans_identical ? "identical" : "DIFFER");
+
+  std::ofstream json("BENCH_repair.json");
+  json << "{\"bench\":\"repair\",\"dies\":" << dies.size()
+       << ",\"plans_identical\":" << (plans_identical ? "true" : "false")
+       << ",\"edges_recovered\":" << recovered_total
+       << ",\"area_spent_um2\":" << area_total
+       << ",\"wrapper_cells_base\":" << cells_base
+       << ",\"wrapper_cells_repair\":" << cells_repair
+       << ",\"cell_reduction\":" << cell_reduction
+       << ",\"sta_full_seconds\":" << sta_full_total
+       << ",\"sta_incremental_seconds\":" << sta_inc_total
+       << ",\"sta_speedup\":" << sta_speedup << ",\"kernels\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i) json << ',';
+    json << "{\"label\":\"" << runs[i].label << "\",\"seconds\":" << runs[i].seconds
+         << ",\"sta_seconds\":" << runs[i].sta_seconds
+         << ",\"wrapper_cells\":" << runs[i].wrapper_cells
+         << ",\"recovered\":" << runs[i].recovered
+         << ",\"area_um2\":" << runs[i].area_um2 << "}";
+  }
+  json << "]}\n";
+  std::printf("wrote BENCH_repair.json\n");
+
+  // Divergent plans mean the incremental session changed a decision — that
+  // is a correctness bug, not a perf regression; fail loudly.
+  return plans_identical ? 0 : 1;
+}

@@ -51,6 +51,87 @@ double CellLibrary::pin_cap_ff(GateType t) const {
   return timing(t).input_cap_ff;
 }
 
+// ---- drive-strength variants ----
+
+namespace {
+
+// Sub-linear input-cap growth: x2/x4 cells do not double/quadruple their
+// input stage, they mostly widen the output stage.
+constexpr double kDriveInputCapScale[CellLibrary::kNumDrives] = {1.0, 1.7, 2.9};
+// Area overhead is shared (wells, rails), so it grows slower than the factor.
+constexpr double kDriveAreaScale[CellLibrary::kNumDrives] = {1.0, 1.8, 3.2};
+
+// Base (x1) footprints in um^2, Nangate45-flavoured (NAND2_X1 is 0.798 um^2
+// in the real library; the rest scale with transistor count). Indexed by
+// GateType; ports, ties and TSV pads are abstractions with no cell area.
+double base_area_um2(GateType t) {
+  switch (t) {
+    case GateType::kBuf: return 0.80;
+    case GateType::kNot: return 0.53;
+    case GateType::kAnd: return 1.06;
+    case GateType::kNand: return 0.80;
+    case GateType::kOr: return 1.06;
+    case GateType::kNor: return 0.80;
+    case GateType::kXor: return 1.60;
+    case GateType::kXnor: return 1.60;
+    case GateType::kMux: return 1.86;
+    case GateType::kDff: return 4.52;
+    default: return 0.0;  // ports, ties, TSV pads
+  }
+}
+
+}  // namespace
+
+double CellLibrary::drive_factor(int code) {
+  WCM_ASSERT(code >= 0 && code < kNumDrives);
+  return static_cast<double>(1 << code);
+}
+
+CellTiming CellLibrary::drive_variant(GateType t, int code) const {
+  WCM_ASSERT(code >= 0 && code < kNumDrives);
+  const CellTiming& base = timing(t);
+  if (code == 0) return base;  // bit-exact base cell
+  const double factor = drive_factor(code);
+  CellTiming v = base;
+  v.slope_ps_per_ff = base.slope_ps_per_ff / factor;
+  v.input_cap_ff = base.input_cap_ff * kDriveInputCapScale[code];
+  v.max_load_ff = base.max_load_ff * factor;
+  if (!v.lut.empty()) {
+    // A load L on the xN output stage behaves like L/N on the x1 surface;
+    // equivalently, stretch the characterised load axis by the factor.
+    for (double& l : v.lut.load_axis_ff) l *= factor;
+  }
+  return v;
+}
+
+double CellLibrary::drive_slope_ps_per_ff(GateType t, int code) const {
+  WCM_ASSERT(code >= 0 && code < kNumDrives);
+  const double slope = timing(t).slope_ps_per_ff;
+  return code == 0 ? slope : slope / drive_factor(code);
+}
+
+double CellLibrary::drive_input_cap_ff(GateType t, int code) const {
+  WCM_ASSERT(code >= 0 && code < kNumDrives);
+  const double cap = timing(t).input_cap_ff;
+  return code == 0 ? cap : cap * kDriveInputCapScale[code];
+}
+
+double CellLibrary::drive_max_load_ff(GateType t, int code) const {
+  WCM_ASSERT(code >= 0 && code < kNumDrives);
+  const double max_load = timing(t).max_load_ff;
+  return code == 0 ? max_load : max_load * drive_factor(code);
+}
+
+double CellLibrary::pin_cap_ff(GateType t, int drive_code) const {
+  if (is_port(t) || t == GateType::kTie0 || t == GateType::kTie1) return 0.0;
+  return drive_input_cap_ff(t, drive_code);
+}
+
+double CellLibrary::cell_area_um2(GateType t, int code) const {
+  WCM_ASSERT(code >= 0 && code < kNumDrives);
+  return base_area_um2(t) * kDriveAreaScale[code];
+}
+
 CellLibrary CellLibrary::nangate45_like() {
   CellLibrary lib;
   lib.set_name("nangate45_like");

@@ -103,6 +103,50 @@ class CellLibrary {
   /// fanin nets (ports and ties contribute nothing).
   double pin_cap_ff(GateType t) const;
 
+  // ---- equivalent-cell drive-strength variants (x1 / x2 / x4) ----
+  //
+  // Standard-cell libraries characterise each function at several drive
+  // strengths; the timing-repair pass swaps a struggling driver for its
+  // stronger sibling exactly as OpenROAD's resizer does. The .wcmlib format
+  // stores only the x1 cell; the variants are derived:
+  //
+  //   slope      /= factor        (twice the transistors, half the ps/fF)
+  //   max_load   *= factor        (drive limit scales with the output stage)
+  //   input_cap  *= {1.0,1.7,2.9} (bigger gates load their drivers, sub-
+  //                                linearly: input stages are not doubled)
+  //   area       *= {1.0,1.8,3.2} (shared well/rail overhead)
+  //   intrinsic  unchanged        (parasitic self-loading roughly cancels
+  //                                the stronger pull-up/down)
+  //   NLDM       load axis *= factor (a load L behaves like L/factor on the
+  //                                   x1 surface; delay/slew tables reused)
+  //
+  // Drive code 0 is the base cell, bit-exactly: every code-0 accessor
+  // returns the stored CellTiming values untouched, so analyses that never
+  // upsize reproduce the pre-variant arithmetic exactly.
+
+  /// Number of characterised drive codes: 0 = x1, 1 = x2, 2 = x4.
+  static constexpr int kNumDrives = 3;
+
+  /// Output-stage scale of a drive code: {1, 2, 4}.
+  static double drive_factor(int code);
+
+  /// Full derived variant cell (code 0 returns the base cell unchanged).
+  CellTiming drive_variant(GateType t, int code) const;
+
+  // Scalar accessors — cheaper than materialising a variant (no LUT copy).
+  double drive_slope_ps_per_ff(GateType t, int code) const;
+  double drive_input_cap_ff(GateType t, int code) const;
+  double drive_max_load_ff(GateType t, int code) const;
+
+  /// Drive-aware pin capacitance: input_cap of the sink's variant (ports and
+  /// ties still contribute nothing). pin_cap_ff(t, 0) == pin_cap_ff(t).
+  double pin_cap_ff(GateType t, int drive_code) const;
+
+  /// Footprint of one placed instance in um^2 (Nangate45-flavoured figures;
+  /// ports, ties and TSV pads occupy no standard-cell area). The repair area
+  /// budget (WcmConfig::repair_max_area_pct) is accounted in these units.
+  double cell_area_um2(GateType t, int code) const;
+
  private:
   std::string name_ = "unnamed";
   CellTiming cells_[16];  // indexed by GateType

@@ -61,8 +61,7 @@ double outbound_added_delay_ps(const GraphInputs& in, const CellLibrary& lib,
     extra_wire_um = in.placement->distance(driver, cell_at);
   const double extra_cap =
       lib.pin_cap_ff(GateType::kXor) + lib.wire_cap_ff_per_um() * extra_wire_um;
-  const CellTiming& drv = lib.timing(in.netlist->gate(driver).type);
-  const double load_slowdown = drv.slope_ps_per_ff * extra_cap;
+  const double load_slowdown = driver_slope_ps_per_ff(in, lib, driver) * extra_cap;
   const double capture_path = lib.wire_delay_ps_per_um() * extra_wire_um +
                               lib.timing(GateType::kXor).intrinsic_ps +
                               lib.timing(GateType::kMux).intrinsic_ps;
@@ -72,16 +71,59 @@ double outbound_added_delay_ps(const GraphInputs& in, const CellLibrary& lib,
 double capture_mux_penalty_ps(const GraphInputs& in, const CellLibrary& lib, GateId ff) {
   const GateId d_orig = in.netlist->gate(ff).fanins[0];
   const CellTiming& mux = lib.timing(GateType::kMux);
-  const CellTiming& drv = lib.timing(in.netlist->gate(d_orig).type);
   // New pins hanging off the mission driver: mux d0 + capture XOR input.
   const double extra_cap = mux.input_cap_ff + lib.pin_cap_ff(GateType::kXor);
   const double mux_delay = mux.intrinsic_ps +
                            mux.slope_ps_per_ff * lib.timing(GateType::kDff).input_cap_ff;
-  return mux_delay + drv.slope_ps_per_ff * extra_cap;
+  return mux_delay + driver_slope_ps_per_ff(in, lib, d_orig) * extra_cap;
 }
 
 double ff_q_slowdown_ps(const CellLibrary& lib, double added_load_ff) {
   return lib.timing(GateType::kDff).slope_ps_per_ff * added_load_ff;
+}
+
+double driver_slope_ps_per_ff(const GraphInputs& in, const CellLibrary& lib,
+                              GateId driver) {
+  const Netlist* view = in.timing_netlist ? in.timing_netlist : in.netlist;
+  const Gate& g = view->gate(driver);
+  return lib.drive_slope_ps_per_ff(g.type, g.drive);
+}
+
+bool outbound_pair_timing_ok(const GraphInputs& in, const CellLibrary& lib,
+                             const ResolvedThresholds& th, const WcmConfig& cfg,
+                             GateId a_gate, NodeKind a_kind, GateId b_gate,
+                             NodeKind b_kind) {
+  const bool accurate_wires =
+      cfg.timing_model == TimingModel::kAccurate && in.placement != nullptr;
+  auto slack_ok = [&](GateId tsv, GateId cell_at) {
+    const GateId driver = in.netlist->gate(tsv).fanins[0];
+    double extra_wire_um = 0.0;
+    if (accurate_wires) extra_wire_um = in.placement->distance(driver, cell_at);
+    const double extra_cap =
+        lib.pin_cap_ff(GateType::kXor) + lib.wire_cap_ff_per_um() * extra_wire_um;
+    const double load_slowdown = driver_slope_ps_per_ff(in, lib, driver) * extra_cap;
+    const double capture_path = lib.wire_delay_ps_per_um() * extra_wire_um +
+                                lib.timing(GateType::kXor).intrinsic_ps +
+                                lib.timing(GateType::kMux).intrinsic_ps;
+    if (in.timing->slack[static_cast<std::size_t>(tsv)] -
+            (load_slowdown + capture_path) <=
+        th.s_th_ps)
+      return false;
+    return in.timing->slack[static_cast<std::size_t>(driver)] - load_slowdown >
+           th.s_th_ps;
+  };
+  if (a_kind == NodeKind::kScanFF || b_kind == NodeKind::kScanFF) {
+    const GateId ff = (a_kind == NodeKind::kScanFF) ? a_gate : b_gate;
+    const GateId tsv = (a_kind == NodeKind::kScanFF) ? b_gate : a_gate;
+    if (!slack_ok(tsv, ff)) return false;
+    const GateId d_orig = in.netlist->gate(ff).fanins[0];
+    return in.timing->slack[static_cast<std::size_t>(d_orig)] -
+               capture_mux_penalty_ps(in, lib, ff) >
+           th.s_th_ps;
+  }
+  const bool at_a = slack_ok(a_gate, a_gate) && slack_ok(b_gate, a_gate);
+  const bool at_b = slack_ok(a_gate, b_gate) && slack_ok(b_gate, b_gate);
+  return at_a || at_b;
 }
 
 namespace {
@@ -106,6 +148,9 @@ struct CandidateEdge {
   int j = 0;
   bool needs_oracle = false;
   bool via_overlap = false;
+  /// Pair failed the outbound slack admission (recorded for the repair pass
+  /// when WcmConfig::timing_repair is on); never enters the adjacency.
+  bool timing_rejected = false;
 };
 
 }  // namespace
@@ -179,7 +224,7 @@ CompatGraph build_compat_graph(const GraphInputs& in, const CellLibrary& lib,
     } else if (node.kind == NodeKind::kOutboundTsv) {
       t.driver = in.netlist->gate(node.gate).fanins[0];
       t.driver_slack = in.timing->slack[static_cast<std::size_t>(t.driver)];
-      t.driver_slope = lib.timing(in.netlist->gate(t.driver).type).slope_ps_per_ff;
+      t.driver_slope = driver_slope_ps_per_ff(in, lib, t.driver);
     }
   }
 
@@ -260,16 +305,34 @@ CompatGraph build_compat_graph(const GraphInputs& in, const CellLibrary& lib,
         // absorb the slowdown too.
         return t.driver_slack - load_slowdown > th.s_th_ps;
       };
+      // A slack failure is recoverable (a stronger or rebuffered driver may
+      // clear it), so with the repair pass on, the pair is recorded instead
+      // of silently dropped. Capture-mux failures are not: the penalty sits
+      // on the flop's mission D path, which no outbound-driver move touches.
+      auto reject_for_repair = [&] {
+        if (!cfg.timing_repair) return;
+        CandidateEdge dropped;
+        dropped.i = static_cast<int>(i);
+        dropped.j = static_cast<int>(j);
+        dropped.timing_rejected = true;
+        out.push_back(dropped);
+      };
       if (a.kind == NodeKind::kScanFF || b.kind == NodeKind::kScanFF) {
         const std::size_t ff = (a.kind == NodeKind::kScanFF) ? i : j;
         const std::size_t tsv = (a.kind == NodeKind::kScanFF) ? j : i;
-        if (!slack_ok(tsv, graph.nodes[ff].gate)) return;
+        if (!slack_ok(tsv, graph.nodes[ff].gate)) {
+          if (tab[ff].ff_capture_ok) reject_for_repair();
+          return;
+        }
         if (!tab[ff].ff_capture_ok) return;
       } else {
         // Shared cell at either pad: both TSVs must tolerate the detour.
         const bool at_a = slack_ok(i, a.gate) && slack_ok(j, a.gate);
         const bool at_b = slack_ok(i, b.gate) && slack_ok(j, b.gate);
-        if (!at_a && !at_b) return;
+        if (!at_a && !at_b) {
+          reject_for_repair();
+          return;
+        }
       }
     }
 
@@ -417,6 +480,15 @@ CompatGraph build_compat_graph(const GraphInputs& in, const CellLibrary& lib,
   auto resolve_edges = [&](auto&& admit) {
     for (auto& chunk : found) {
       for (CandidateEdge& e : chunk) {
+        if (e.timing_rejected) {
+          // Route to the repair pass (merged order keeps this deterministic
+          // at any thread width) and tombstone: never an adjacency entry.
+          graph.timing_rejected.emplace_back(
+              graph.nodes[static_cast<std::size_t>(e.i)].gate,
+              graph.nodes[static_cast<std::size_t>(e.j)].gate);
+          e.i = -1;
+          continue;
+        }
         bool via_overlap = e.via_overlap;
         if (e.needs_oracle) {
           const GraphNode& a = graph.nodes[static_cast<std::size_t>(e.i)];

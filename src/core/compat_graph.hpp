@@ -47,6 +47,13 @@ struct CompatGraph {
   /// TSVs of the phase that failed node admission (cap/slack); they receive
   /// dedicated singleton wrapper cells.
   std::vector<GateId> rejected_tsvs;
+  /// Candidate pairs (gate ids, discovery order) that passed the distance
+  /// gate but failed the outbound slack admission. Recorded only when
+  /// WcmConfig::timing_repair is on — the repair pass tries to upsize or
+  /// rebuffer their drivers and re-admit them. Cone/oracle rules were NOT
+  /// yet checked for these pairs (the scan rejects before reaching them);
+  /// repair re-checks both before spending any area.
+  std::vector<std::pair<GateId, GateId>> timing_rejected;
 };
 
 /// Everything Algorithm 1 reads. `timing` must be the report of `sta`.
@@ -55,6 +62,11 @@ struct GraphInputs {
   const Placement* placement = nullptr;  ///< may be null (pin-cap-only runs)
   const StaEngine* sta = nullptr;
   const TimingReport* timing = nullptr;
+  /// The netlist `timing` was computed over, when it differs from `netlist`
+  /// (solve_wcm times a wrapper-inserted view of the die). Carries the
+  /// per-gate drive codes the repair pass assigns, so admission reads
+  /// drive-aware delay slopes. Null = read `netlist` (all drives 0).
+  const Netlist* timing_netlist = nullptr;
   ConeDb* cones = nullptr;
   TestabilityOracle* oracle = nullptr;
 };
@@ -102,5 +114,22 @@ double capture_mux_penalty_ps(const GraphInputs& in, const CellLibrary& lib, Gat
 /// Slack a flop's mission fan-out paths lose per femtofarad of load added to
 /// its Q net (the flop drive slope).
 double ff_q_slowdown_ps(const CellLibrary& lib, double added_load_ff);
+
+/// Delay slope (ps/fF) of `driver`'s cell at its current drive strength.
+/// The drive code is read from `timing_netlist` when set (that is where the
+/// repair pass upsizes), else from `netlist`; drive 0 reproduces the base
+/// library slope bit-exactly.
+double driver_slope_ps_per_ff(const GraphInputs& in, const CellLibrary& lib,
+                              GateId driver);
+
+/// The outbound pair-admission predicate of Algorithm 1 (slack_ok on both
+/// prospective cell sites + the flop capture check), evaluated against the
+/// CURRENT `in.timing` report. The edge scan inlines this arithmetic with
+/// hoisted constants; the repair pass calls it after each candidate fix to
+/// decide re-admission, so both read one definition of "timing-feasible".
+bool outbound_pair_timing_ok(const GraphInputs& in, const CellLibrary& lib,
+                             const ResolvedThresholds& th, const WcmConfig& cfg,
+                             GateId a_gate, NodeKind a_kind, GateId b_gate,
+                             NodeKind b_kind);
 
 }  // namespace wcm

@@ -108,6 +108,25 @@ struct WcmConfig {
   /// The campaign runner and the serve/dispatch workers wire their SIGINT
   /// flags through here. Not owned.
   const std::atomic<bool>* cancel = nullptr;
+  /// Run the admission-phase timing checks through the incremental STA
+  /// session (src/sta/sta_session.hpp) instead of re-running a full
+  /// StaEngine pass after every repair edit. Plans are bit-identical either
+  /// way — the session's converged state matches a from-scratch run() byte
+  /// for byte (tests/sta/sta_incremental_test.cpp, tests/core/repair_test) —
+  /// so the full path survives only as the differential reference
+  /// (`wcm3d solve --sta-full`).
+  bool sta_incremental = true;
+  /// Timing-repair pass between edge admission and clique partitioning
+  /// (src/dft/repair.hpp): rejected outbound TSVs and rejected edges get
+  /// driver upsizing (x2 then x4) and mid-wire buffer insertion trials, and
+  /// are re-admitted when the repaired slack clears s_th. Off by default —
+  /// the paper's flow simply drops such edges; `wcm3d solve --repair`
+  /// enables it.
+  bool timing_repair = false;
+  /// Area budget for the repair pass, in percent of the die's total
+  /// standard-cell area. Repair moves (buffer area, upsize deltas) are
+  /// charged against it; when spent, remaining rejected edges stay dropped.
+  double repair_max_area_pct = 2.0;
   /// Directory for the persistent oracle cache. When non-empty and the
   /// measured oracle is active, solve_wcm loads
   /// `<dir>/oracle-<fingerprint>.wcmoc` before the solve and stores the

@@ -92,6 +92,10 @@ FlowReport run_flow(const Netlist& n, const FlowConfig& cfg) {
       WCM_OBS_SPAN("dft/insert");
       report.insertion = insert_wrappers(inserted, plan, &inserted_placement);
     }
+    // Replay the solver's committed timing-repair moves (driver upsizes,
+    // mid-wire buffers) so signoff times the netlist the admission actually
+    // qualified, not the weaker base drivers.
+    apply_repair_edits(inserted, &inserted_placement, report.solution.repair_edits);
     if (!cfg.run_signoff) break;
 
     StaEngine signoff(inserted, lib, &inserted_placement);

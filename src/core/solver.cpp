@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 
 #include "core/anytime.hpp"
 #include "core/clique.hpp"
 #include "dft/insertion.hpp"
 #include "obs/obs.hpp"
+#include "sta/sta_session.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -126,8 +128,7 @@ class OutboundSlackModel {
         if (in_.timing->slack[static_cast<std::size_t>(t)] - added <= s_th_) return false;
       }
       for (const auto& [driver, extra] : driver_extra) {
-        const double slowdown =
-            lib_.timing(in_.netlist->gate(driver).type).slope_ps_per_ff * extra;
+        const double slowdown = driver_slope_ps_per_ff(in_, lib_, driver) * extra;
         if (in_.timing->slack[static_cast<std::size_t>(driver)] - slowdown <= s_th_)
           return false;
       }
@@ -224,15 +225,20 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
   Placement timing_placement;
   if (placement) timing_placement = *placement;
   insert_wrappers(timing_view, one_cell_per_tsv(n), placement ? &timing_placement : nullptr);
-  StaEngine timing_sta(timing_view, lib,
-                       (cfg.timing_model == TimingModel::kAccurate && placement)
-                           ? &timing_placement
-                           : nullptr);
-  TimingReport timing;
+  // A mutable session instead of a one-shot report: the repair pass edits
+  // the timing view (driver upsizing, buffer insertion) and re-times the
+  // affected cones incrementally. With repair off the session is exactly one
+  // full run — byte for byte the report timing_sta.run() used to produce.
+  std::optional<StaSession> session_slot;
   {
-    WCM_OBS_SPAN("solve/timing_view_sta");
-    timing = timing_sta.run();
+    WCM_OBS_SPAN("solve/timing_view_sta");  // ctor runs the initial full STA
+    session_slot.emplace(timing_view, lib,
+                         (cfg.timing_model == TimingModel::kAccurate && placement)
+                             ? &timing_placement
+                             : nullptr,
+                         cfg.sta_incremental);
   }
+  StaSession& timing_session = *session_slot;
 
   ConeDb cones(n);
   AtpgOptions measure_opts;
@@ -273,7 +279,11 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
   inputs.netlist = &n;
   inputs.placement = placement;
   inputs.sta = &sta;
-  inputs.timing = &timing;
+  // The report lives inside the session (stable address), so everything that
+  // reads inputs.timing — the edge scan, the merge models, the repair pass —
+  // sees post-repair slacks the moment the session settles an edit.
+  inputs.timing = &timing_session.report();
+  inputs.timing_netlist = &timing_view;
   inputs.cones = &cones;
   inputs.oracle = &oracle;
 
@@ -314,6 +324,19 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
       graph = build_compat_graph(inputs, lib, tsvs, direction, available_ffs, cfg);
     }
 
+    RepairStats phase_repair;
+    if (cfg.timing_repair) {
+      phase_repair = repair_rejected_edges(graph, inputs, lib, timing_session, th,
+                                           cfg, direction, solution.repair_edits);
+      solution.repair.nodes_recovered += phase_repair.nodes_recovered;
+      solution.repair.pairs_recovered += phase_repair.pairs_recovered;
+      solution.repair.upsizes += phase_repair.upsizes;
+      solution.repair.buffers += phase_repair.buffers;
+      solution.repair.area_spent_um2 += phase_repair.area_spent_um2;
+      solution.repair.area_budget_um2 = phase_repair.area_budget_um2;
+      solution.repair.cancelled = solution.repair.cancelled || phase_repair.cancelled;
+    }
+
     CliquePartition cliques;
     {
       WCM_OBS_SPAN("solve/clique_partition");
@@ -346,6 +369,8 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
     stats.overlap_edges = graph.overlap_edges;
     stats.rejected_tsvs = static_cast<int>(graph.rejected_tsvs.size());
     stats.cliques = static_cast<int>(cliques.cliques.size());
+    stats.repaired_tsvs = phase_repair.nodes_recovered;
+    stats.repaired_pairs = phase_repair.pairs_recovered;
     solution.phases.push_back(stats);
 
     emit_phase_groups(graph, cliques, direction, solution.plan, ff_consumed);
@@ -353,6 +378,9 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
 
   solution.reused_ffs = solution.plan.num_reused();
   solution.additional_cells = solution.plan.num_additional();
+  solution.sta_seconds = timing_session.sta_seconds();
+  solution.sta_incremental_updates = timing_session.incremental_updates();
+  solution.sta_full_runs = timing_session.full_runs();
   WCM_ASSERT_MSG(solution.plan.covers_all_tsvs(n), "solver produced an incomplete plan");
 
   if (persist_oracle) {

@@ -12,9 +12,12 @@
 
 #include <vector>
 
+#include <cstdint>
+
 #include "celllib/celllib.hpp"
 #include "core/compat_graph.hpp"
 #include "core/config.hpp"
+#include "dft/repair.hpp"
 #include "dft/wrapper_plan.hpp"
 #include "netlist/netlist.hpp"
 #include "place/place.hpp"
@@ -30,6 +33,8 @@ struct PhaseStats {
   int overlap_edges = 0;
   int rejected_tsvs = 0;
   int cliques = 0;
+  int repaired_tsvs = 0;   ///< rejected TSVs the repair pass re-admitted
+  int repaired_pairs = 0;  ///< timing-rejected pairs re-admitted as edges
 };
 
 struct WcmSolution {
@@ -37,6 +42,19 @@ struct WcmSolution {
   int reused_ffs = 0;
   int additional_cells = 0;
   std::vector<PhaseStats> phases;  ///< in processing order
+  /// Aggregate of the timing-repair pass over both phases (zeros when
+  /// WcmConfig::timing_repair is off).
+  RepairStats repair;
+  /// Committed repair moves, in commit order. The signoff flow replays these
+  /// onto its wrapper-inserted netlist (dft/repair.hpp::apply_repair_edits)
+  /// so the fixes the admission saw are the fixes that get built.
+  std::vector<RepairEdit> repair_edits;
+  /// Admission-phase STA effort: wall seconds spent inside the timing
+  /// session (full runs + incremental updates) and the update counts — the
+  /// quantities bench/ablation_repair compares across sta_incremental modes.
+  double sta_seconds = 0.0;
+  std::uint64_t sta_incremental_updates = 0;
+  std::uint64_t sta_full_runs = 0;
 };
 
 /// Solves WCM on a placed, timed die. `placement` may be null only with

@@ -1,0 +1,287 @@
+#include "dft/repair.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "core/testability.hpp"
+#include "netlist/cone.hpp"
+#include "obs/obs.hpp"
+#include "util/assert.hpp"
+
+namespace wcm {
+
+namespace {
+
+/// Total standard-cell footprint of the die (base drives) — the 100% the
+/// repair_max_area_pct budget is taken from.
+double total_cell_area_um2(const Netlist& n, const CellLibrary& lib) {
+  double area = 0.0;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const Gate& g = n.gate(static_cast<GateId>(i));
+    area += lib.cell_area_um2(g.type, g.drive);
+  }
+  return area;
+}
+
+/// Cone + testability admission for one candidate pair, identical to the
+/// rule the edge scan applies (outbound phase: fan-in cones). Returns false
+/// when the pair must stay dropped; sets `via_overlap` when the oracle
+/// admitted an overlapped share.
+bool cone_rule_ok(const GraphInputs& in, const WcmConfig& cfg, GateId a_gate,
+                  NodeKind a_kind, GateId b_gate, NodeKind b_kind,
+                  bool& via_overlap) {
+  via_overlap = false;
+  if (!in.cones->fanin_overlaps(a_gate, b_gate)) return true;
+  if (!cfg.allow_overlap_sharing) return false;
+  const PairImpact impact = in.oracle->evaluate(a_gate, a_kind, b_gate, b_kind);
+  if (!(impact.coverage_loss < cfg.cov_th && impact.extra_patterns < cfg.p_th))
+    return false;
+  via_overlap = true;
+  return true;
+}
+
+/// Tries the move ladder on one TSV until `goal()` holds: upsize the current
+/// driver to x2, then x4, then split the driver->pad edge with an x1 buffer.
+/// Exactly one move commits (the first sufficient one); insufficient moves
+/// are rolled back structurally before the next is tried. Returns true on
+/// success; on failure the session is back at its pre-call state.
+template <typename Goal>
+bool try_repair_tsv(GateId tsv, const GraphInputs& in, const CellLibrary& lib,
+                    StaSession& session, const WcmConfig& cfg, Goal&& goal,
+                    double& area_spent, double area_budget,
+                    std::vector<RepairEdit>& edits, RepairStats& stats) {
+  // Resolve against the session's CURRENT netlist: a buffer committed by an
+  // earlier recovery may already sit between the mission driver and the pad,
+  // in which case the ladder targets the buffer — the cell that now owns the
+  // critical segment. Replay resolves the same way (see RepairEdit docs).
+  const GateId driver = session.netlist().gate(tsv).fanins[0];
+  // Copy, not reference: insert_buffer below appends a gate, which may
+  // reallocate the netlist's gate storage.
+  const GateType drv_type = session.netlist().gate(driver).type;
+  const std::uint8_t drv_drive = session.netlist().gate(driver).drive;
+  const int baseline_violations = session.report().violating_endpoints;
+
+  struct Move {
+    RepairEdit::Kind kind;
+    std::uint8_t drive;
+  };
+  std::vector<Move> ladder;
+  const bool drivable = !is_port(drv_type) && drv_type != GateType::kTie0 &&
+                        drv_type != GateType::kTie1;
+  if (drivable)
+    for (std::uint8_t code = static_cast<std::uint8_t>(drv_drive + 1);
+         code < CellLibrary::kNumDrives; ++code)
+      ladder.push_back({RepairEdit::Kind::kUpsize, code});
+  // Mid-wire buffering needs geometry to pick the split point; without a
+  // placement the wire terms are zero and a buffer can only hurt.
+  if (in.placement) ladder.push_back({RepairEdit::Kind::kBuffer, 0});
+
+  for (const Move& move : ladder) {
+    if (cfg.cancel && cfg.cancel->load()) {
+      stats.cancelled = true;
+      return false;
+    }
+    double cost = 0.0;
+    if (move.kind == RepairEdit::Kind::kUpsize) {
+      cost = lib.cell_area_um2(drv_type, move.drive) -
+             lib.cell_area_um2(drv_type, drv_drive);
+    } else {
+      cost = lib.cell_area_um2(GateType::kBuf, move.drive);
+    }
+    if (area_spent + cost > area_budget) continue;
+
+    const StaSession::Checkpoint mark = session.checkpoint();
+    if (move.kind == RepairEdit::Kind::kUpsize)
+      session.swap_drive(driver, move.drive);
+    else
+      session.insert_buffer(driver, tsv, move.drive);
+    const TimingReport& rep = session.report();
+    if (rep.violating_endpoints <= baseline_violations && goal()) {
+      area_spent += cost;
+      edits.push_back(RepairEdit{move.kind, tsv, move.drive});
+      if (move.kind == RepairEdit::Kind::kUpsize)
+        ++stats.upsizes;
+      else
+        ++stats.buffers;
+      return true;
+    }
+    session.rollback(mark);
+  }
+  return false;
+}
+
+}  // namespace
+
+RepairStats repair_rejected_edges(CompatGraph& graph, const GraphInputs& in,
+                                  const CellLibrary& lib, StaSession& session,
+                                  const ResolvedThresholds& th, const WcmConfig& cfg,
+                                  NodeKind direction, std::vector<RepairEdit>& edits) {
+  RepairStats stats;
+  stats.area_budget_um2 =
+      cfg.repair_max_area_pct / 100.0 * total_cell_area_um2(*in.netlist, lib);
+  if (direction != NodeKind::kOutboundTsv) return stats;  // slack repairs only
+  if (cfg.cancel && cfg.cancel->load()) {
+    stats.cancelled = true;  // pre-cancelled: valid unrepaired graph
+    return stats;
+  }
+  WCM_OBS_SPAN("solve/repair");
+  const std::size_t first_edit = edits.size();
+
+  std::vector<std::pair<int, int>> new_edges;
+
+  // ---- phase A: node re-admission ----
+  // A rejected TSV re-enters the graph when a repair lifts its own slack
+  // over s_th; it then gets the pair scan it never had — distance, timing
+  // and cone rule against every current node, in ascending node order (the
+  // deterministic analogue of the build-time scan).
+  std::vector<GateId> still_rejected;
+  for (GateId t : graph.rejected_tsvs) {
+    if (stats.cancelled || (cfg.cancel && cfg.cancel->load())) {
+      stats.cancelled = true;
+      still_rejected.push_back(t);
+      continue;
+    }
+    auto node_goal = [&] {
+      return session.report().slack[static_cast<std::size_t>(t)] > th.s_th_ps;
+    };
+    if (node_goal() ||  // an earlier recovery may have fixed a shared driver
+        try_repair_tsv(t, in, lib, session, cfg, node_goal, stats.area_spent_um2,
+                       stats.area_budget_um2, edits, stats)) {
+      const int k = static_cast<int>(graph.nodes.size());
+      for (int p = 0; p < k; ++p) {
+        const GraphNode& partner = graph.nodes[static_cast<std::size_t>(p)];
+        if (in.placement &&
+            in.placement->distance(partner.gate, t) >= th.d_th_um)
+          continue;
+        session.report();  // flush so the predicate reads settled slacks
+        if (!outbound_pair_timing_ok(in, lib, th, cfg, partner.gate, partner.kind,
+                                     t, NodeKind::kOutboundTsv))
+          continue;
+        bool via_overlap = false;
+        if (!cone_rule_ok(in, cfg, partner.gate, partner.kind, t,
+                          NodeKind::kOutboundTsv, via_overlap))
+          continue;
+        new_edges.emplace_back(p, k);
+        ++graph.num_edges;
+        if (via_overlap) ++graph.overlap_edges;
+      }
+      graph.nodes.push_back(GraphNode{t, NodeKind::kOutboundTsv});
+      ++stats.nodes_recovered;
+    } else {
+      still_rejected.push_back(t);
+    }
+  }
+  graph.rejected_tsvs = std::move(still_rejected);
+
+  // ---- phase B: pair re-admission ----
+  // Timing-rejected pairs were dropped before their cone rule ran; check it
+  // first so no area is spent on pairs the oracle would veto anyway. The
+  // whole pair attempt is checkpoint-scoped: moves that do not end with the
+  // pair predicate true are rolled back together.
+  std::vector<int> node_of(in.netlist->size(), -1);
+  for (std::size_t k = 0; k < graph.nodes.size(); ++k)
+    node_of[static_cast<std::size_t>(graph.nodes[k].gate)] = static_cast<int>(k);
+
+  for (const auto& [a_gate, b_gate] : graph.timing_rejected) {
+    if (stats.cancelled || (cfg.cancel && cfg.cancel->load())) {
+      stats.cancelled = true;
+      break;
+    }
+    const int ia = node_of[static_cast<std::size_t>(a_gate)];
+    const int ib = node_of[static_cast<std::size_t>(b_gate)];
+    if (ia < 0 || ib < 0) continue;  // endpoint never made it into the graph
+    const NodeKind ka = graph.nodes[static_cast<std::size_t>(ia)].kind;
+    const NodeKind kb = graph.nodes[static_cast<std::size_t>(ib)].kind;
+    bool via_overlap = false;
+    if (!cone_rule_ok(in, cfg, a_gate, ka, b_gate, kb, via_overlap)) continue;
+
+    auto pair_goal = [&] {
+      session.report();
+      return outbound_pair_timing_ok(in, lib, th, cfg, a_gate, ka, b_gate, kb);
+    };
+    const StaSession::Checkpoint pair_mark = session.checkpoint();
+    const std::size_t pair_edit_mark = edits.size();
+    const double pair_area_mark = stats.area_spent_um2;
+    const int pair_upsizes = stats.upsizes;
+    const int pair_buffers = stats.buffers;
+
+    bool ok = pair_goal();  // earlier repairs may already carry the pair
+    if (!ok) {
+      // Repair the TSV endpoints one at a time; a flop endpoint has no
+      // repairable driver (its failure mode was excluded at record time).
+      for (const auto& [gate, kind] : {std::pair{a_gate, ka}, std::pair{b_gate, kb}}) {
+        if (kind != NodeKind::kOutboundTsv) continue;
+        if (try_repair_tsv(gate, in, lib, session, cfg, pair_goal,
+                           stats.area_spent_um2, stats.area_budget_um2, edits,
+                           stats)) {
+          ok = true;
+          break;
+        }
+        if (stats.cancelled) break;
+      }
+      // A single-endpoint fix may be insufficient for a TSV-TSV pair where
+      // both sides fail; the predicate inside try_repair_tsv already chains
+      // (the second endpoint's ladder runs on top of the first's committed
+      // move), so reaching here un-ok means the ladder is exhausted.
+      if (!ok) {
+        session.rollback(pair_mark);
+        edits.resize(pair_edit_mark);
+        stats.area_spent_um2 = pair_area_mark;
+        stats.upsizes = pair_upsizes;
+        stats.buffers = pair_buffers;
+        continue;
+      }
+    }
+    new_edges.emplace_back(std::min(ia, ib), std::max(ia, ib));
+    ++graph.num_edges;
+    if (via_overlap) ++graph.overlap_edges;
+    ++stats.pairs_recovered;
+  }
+  graph.timing_rejected.clear();
+
+  // ---- rebuild the adjacency with the recovered edges ----
+  if (!new_edges.empty()) {
+    for (std::size_t i = 0; i < graph.adj.num_nodes(); ++i)
+      for (std::int32_t j : graph.adj.row(i))
+        if (static_cast<std::int32_t>(i) < j)
+          new_edges.emplace_back(static_cast<int>(i), static_cast<int>(j));
+    graph.adj = CsrGraph::from_edges(graph.nodes.size(), new_edges);
+  } else if (graph.nodes.size() != graph.adj.num_nodes()) {
+    // Nodes recovered but no edges found for them: extend the offsets.
+    graph.adj.offsets.resize(graph.nodes.size() + 1, graph.adj.nbrs.size());
+  }
+
+  WCM_OBS_ADD("repair.edges_recovered",
+              static_cast<std::uint64_t>(stats.nodes_recovered + stats.pairs_recovered));
+  WCM_OBS_ADD("repair.area_spent",
+              static_cast<std::uint64_t>(std::llround(stats.area_spent_um2)));
+  (void)first_edit;
+  return stats;
+}
+
+void apply_repair_edits(Netlist& n, Placement* placement,
+                        const std::vector<RepairEdit>& edits) {
+  int serial = 0;
+  for (const RepairEdit& e : edits) {
+    WCM_ASSERT(n.valid(e.tsv) && !n.gate(e.tsv).fanins.empty());
+    const GateId driver = n.gate(e.tsv).fanins[0];
+    if (e.kind == RepairEdit::Kind::kUpsize) {
+      n.gate(driver).drive = e.drive;
+      continue;
+    }
+    const GateId buf =
+        n.add_gate(GateType::kBuf, "wcm_rbuf_eco_" + std::to_string(serial++));
+    if (placement) {
+      const Point a = placement->loc(driver);
+      const Point b = placement->loc(e.tsv);
+      placement->set_loc(buf, Point{(a.x + b.x) / 2.0, (a.y + b.y) / 2.0});
+    }
+    n.gate(buf).drive = e.drive;
+    n.replace_fanin(e.tsv, driver, buf);
+    n.connect(driver, buf);
+  }
+}
+
+}  // namespace wcm

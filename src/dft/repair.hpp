@@ -1,0 +1,86 @@
+// Timing repair for rejected wrapper-sharing edges — the resizer move the
+// paper's admission never tries.
+//
+// Algorithm 1 simply drops any outbound TSV (or sharing pair) whose what-if
+// capture load pushes a path below the slack threshold. Commercial flows
+// repair such paths instead (OpenROAD `repair_timing -setup`): swap the
+// struggling driver for a stronger equivalent cell, or split its net with a
+// buffer. This pass runs between edge admission and clique partitioning:
+//
+//   for each rejected node / pair (deterministic discovery order):
+//     moves in order:  upsize driver x2 -> x4 -> insert x1 mid-wire buffer
+//     each move is trialled on the incremental STA session, re-checked
+//     against the SAME admission predicate the edge scan used, and rolled
+//     back if it does not clear the threshold (or would create a new
+//     violating endpoint); the first sufficient move commits.
+//
+// Area is budgeted (WcmConfig::repair_max_area_pct, percent of the die's
+// standard-cell area); moves that do not fit are skipped. Committed moves
+// are recorded as replayable RepairEdits so the signoff flow can apply the
+// identical fixes to the really-inserted netlist. The pass is serial —
+// bit-identical at any solve_threads width — and honours WcmConfig::cancel:
+// a pre-cancelled token returns immediately with a valid unrepaired graph.
+//
+// Only outbound slack rejections are repairable: inbound rejections are
+// capacity-budget (cap_th) failures, and a flop's capture-mux D-path
+// penalty is untouched by any move on a TSV driver.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compat_graph.hpp"
+#include "core/config.hpp"
+#include "netlist/netlist.hpp"
+#include "place/place.hpp"
+#include "sta/sta_session.hpp"
+
+namespace wcm {
+
+/// One committed repair move. The affected driver is deliberately NOT
+/// stored by id: it is re-resolved as `netlist.gate(tsv).fanins[0]` at apply
+/// time, which names the same cell in the solver's timing view and in the
+/// signoff flow's wrapper-inserted netlist (ids of inserted cells differ
+/// between the two), and lets chained moves on one TSV compose when replayed
+/// in commit order.
+struct RepairEdit {
+  enum class Kind : std::uint8_t {
+    kUpsize,  ///< set the TSV's current driver to drive code `drive`
+    kBuffer,  ///< split driver->tsv with a mid-wire kBuf of code `drive`
+  };
+  Kind kind = Kind::kUpsize;
+  GateId tsv = kNoGate;
+  std::uint8_t drive = 0;
+};
+
+struct RepairStats {
+  int nodes_recovered = 0;  ///< rejected TSVs re-admitted as graph nodes
+  int pairs_recovered = 0;  ///< timing-rejected pairs re-admitted as edges
+  int upsizes = 0;          ///< committed drive swaps
+  int buffers = 0;          ///< committed buffer insertions
+  double area_spent_um2 = 0.0;
+  double area_budget_um2 = 0.0;
+  bool cancelled = false;   ///< stopped early on WcmConfig::cancel
+};
+
+/// Repairs `graph` in place for one phase: recovered TSVs move from
+/// `rejected_tsvs` into `nodes` (with a fresh admission scan against every
+/// existing node), recovered `timing_rejected` pairs become adjacency edges,
+/// and the CSR is rebuilt. `session` must be the live timing session over
+/// the solver's timing view, and `in.timing` must point at its report (the
+/// pass updates timing through the session, so later admission checks and
+/// the clique merge models see post-repair slacks, never the solve-start
+/// snapshot). Committed moves append to `edits`. No-op for the inbound
+/// phase.
+RepairStats repair_rejected_edges(CompatGraph& graph, const GraphInputs& in,
+                                  const CellLibrary& lib, StaSession& session,
+                                  const ResolvedThresholds& th, const WcmConfig& cfg,
+                                  NodeKind direction, std::vector<RepairEdit>& edits);
+
+/// Replays committed moves (in order) onto another view of the die — the
+/// signoff flow's wrapper-inserted netlist. `placement` may be null (no
+/// buffer sites to assign; wire terms are zero in that model anyway).
+void apply_repair_edits(Netlist& n, Placement* placement,
+                        const std::vector<RepairEdit>& edits);
+
+}  // namespace wcm

@@ -156,6 +156,39 @@ void Netlist::transfer_fanouts(GateId from, GateId to) {
   }
 }
 
+void Netlist::disconnect(GateId from, GateId to) {
+  WCM_ASSERT(valid(from) && valid(to));
+  // connect() appends to both lists, so removing the last occurrence of each
+  // is its exact inverse even when the edge exists with multiplicity > 1.
+  auto remove_last = [](std::vector<GateId>& v, GateId x) {
+    auto it = std::find(v.rbegin(), v.rend(), x);
+    WCM_ASSERT_MSG(it != v.rend(), "disconnect: edge does not exist");
+    v.erase(std::next(it).base());
+  };
+  remove_last(gates_[static_cast<std::size_t>(to)].fanins, from);
+  remove_last(gates_[static_cast<std::size_t>(from)].fanouts, to);
+}
+
+void Netlist::pop_gate() {
+  WCM_ASSERT(!gates_.empty());
+  const std::size_t idx = gates_.size() - 1;
+  WCM_ASSERT_MSG(gates_[idx].fanins.empty() && gates_[idx].fanouts.empty(),
+                 "pop_gate: gate still connected");
+  {
+    // The name index may already cover this gate; shrink it in lockstep so a
+    // later find() does not resurrect the dead id (or trip the duplicate
+    // check when the name is reused).
+    std::lock_guard<std::mutex> lock(name_mutex_);
+    if (names_indexed_.load(std::memory_order_relaxed) > idx) {
+      by_name_.erase(names_[idx]);
+      names_indexed_.store(idx, std::memory_order_relaxed);
+    }
+  }
+  gates_.pop_back();
+  names_.pop_back();  // interned bytes stay in the pool; only the view goes
+  class_cache_valid_.store(false, std::memory_order_release);
+}
+
 void Netlist::ensure_name_index() const {
   // Double-checked catch-up: the fast path is one acquire load. The index
   // only ever appends (names are never removed), so catching up from

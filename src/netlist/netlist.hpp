@@ -35,6 +35,10 @@ struct Gate {
   /// True for DFFs stitched into a scan chain (all DFFs in synthesized ITC'99
   /// dies are scan flops; DFT insertion may add non-scan helper state).
   bool is_scan = false;
+  /// Drive-strength code into CellLibrary's variant table (0 = x1 base cell,
+  /// 1 = x2, 2 = x4). Timing repair upsizes struggling drivers by bumping
+  /// this; everything else leaves it at 0 and sees base-cell timing.
+  std::uint8_t drive = 0;
 };
 
 // Concurrency: a `const Netlist` may be read from any number of threads at
@@ -75,6 +79,18 @@ class Netlist {
   /// `from` drove). `from` keeps its own fanins. Used when inserting wrapper
   /// muxes in front of a TSV's load cone.
   void transfer_fanouts(GateId from, GateId to);
+
+  /// Undoes one connect(from, to): removes the LAST occurrence of `from` in
+  /// `to`'s fanins and of `to` in `from`'s fanouts (connect appends to both,
+  /// so last-occurrence removal exactly reverses it even with duplicate
+  /// edges). Asserts the edge exists. Used by the STA session's rollback.
+  void disconnect(GateId from, GateId to);
+
+  /// Removes the LAST gate added (and its name). The gate must already be
+  /// fully disconnected (no fanins, no fanouts) — callers disconnect() first.
+  /// Together with disconnect() this gives the STA session exact structural
+  /// undo of an insert_buffer edit.
+  void pop_gate();
 
   // ---- access ----
 

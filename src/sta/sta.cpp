@@ -10,6 +10,9 @@ namespace wcm {
 StaEngine::StaEngine(const Netlist& n, const CellLibrary& lib, const Placement* placement)
     : n_(n), lib_(lib), placement_(placement) {
   if (placement_) WCM_ASSERT_MSG(placement_->size() >= n.size(), "placement does not cover netlist");
+  for (std::size_t t = 0; t < 16; ++t)
+    for (int code = 0; code < CellLibrary::kNumDrives; ++code)
+      variants_[t][code] = lib_.drive_variant(static_cast<GateType>(t), code);
 }
 
 double StaEngine::wire_length_um(GateId from, GateId to) const {
@@ -30,29 +33,33 @@ double StaEngine::net_load_with_extra_ff(GateId driver, double extra_pin_cap_ff,
   const Gate& g = n_.gate(driver);
   double load = extra_pin_cap_ff + lib_.wire_cap_ff_per_um() * extra_wire_um;
   for (GateId fo : g.fanouts) {
-    const GateType sink_type = n_.gate(fo).type;
-    load += lib_.pin_cap_ff(sink_type);
-    if (sink_type == GateType::kTsvOut) load += lib_.tsv_cap_ff();
-    if (sink_type == GateType::kOutput) load += lib_.timing(GateType::kOutput).input_cap_ff;
+    const Gate& sink = n_.gate(fo);
+    // Upsized sinks (drive > 0) present fatter input pins; drive 0 reduces
+    // to the plain pin_cap_ff(type) value exactly.
+    load += lib_.pin_cap_ff(sink.type, sink.drive);
+    if (sink.type == GateType::kTsvOut) load += lib_.tsv_cap_ff();
+    if (sink.type == GateType::kOutput) load += lib_.timing(GateType::kOutput).input_cap_ff;
     load += lib_.wire_cap_ff_per_um() * wire_length_um(driver, fo);
   }
   return load;
 }
 
 double StaEngine::gate_delay_ps(GateId g, double load_ff, double input_slew_ps) const {
-  const CellTiming& cell = lib_.timing(n_.gate(g).type);
+  const CellTiming& cell = cell_of(g);
   if (!cell.lut.empty()) return cell.lut.lookup(cell.lut.delay_ps, input_slew_ps, load_ff);
   return cell.intrinsic_ps + cell.slope_ps_per_ff * load_ff;
 }
 
 double StaEngine::gate_out_slew_ps(GateId g, double load_ff, double input_slew_ps) const {
-  const CellTiming& cell = lib_.timing(n_.gate(g).type);
+  const CellTiming& cell = cell_of(g);
   if (!cell.lut.empty())
     return cell.lut.lookup(cell.lut.out_slew_ps, input_slew_ps, load_ff);
   return kNominalSlewPs;  // linear model: no slew propagation
 }
 
-TimingReport StaEngine::run() const {
+TimingReport StaEngine::run() const { return run(nullptr); }
+
+TimingReport StaEngine::run(std::vector<double>* used_delay_out) const {
   WCM_OBS_SPAN("sta/run");
   const std::size_t k = n_.size();
   TimingReport rep;
@@ -67,8 +74,11 @@ TimingReport StaEngine::run() const {
   const std::vector<GateId> order = n_.topo_order();
   const double period = lib_.clock_period_ps();
   // The exact delay each gate contributed on the forward pass (slew- and
-  // load-dependent under NLDM), reused verbatim by the backward pass.
-  std::vector<double> used_delay(k, 0.0);
+  // load-dependent under NLDM), reused verbatim by the backward pass — and
+  // exported to the caller when requested (the incremental session).
+  std::vector<double> local_used_delay;
+  std::vector<double>& used_delay = used_delay_out ? *used_delay_out : local_used_delay;
+  used_delay.assign(k, 0.0);
 
   // ---- forward: arrival times and slews ----
   for (GateId id : order) {

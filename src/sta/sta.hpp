@@ -50,6 +50,12 @@ class StaEngine {
   /// Full arrival/required/slack propagation.
   TimingReport run() const;
 
+  /// Same propagation, additionally exporting the per-gate forward delay the
+  /// backward pass consumed (`used_delay_out` may be null). The incremental
+  /// session seeds itself from this so its event-driven updates recompute
+  /// with byte-identical inputs.
+  TimingReport run(std::vector<double>* used_delay_out) const;
+
   /// Capacitive load on `driver`'s output net (pin caps + wire + TSV pads).
   double net_load_ff(GateId driver) const;
 
@@ -68,12 +74,27 @@ class StaEngine {
   const Placement* placement() const { return placement_; }
 
  private:
+  friend class StaSession;  // reuses gate_delay/slew/load kernels verbatim
+
   double gate_delay_ps(GateId g, double load_ff, double input_slew_ps) const;
   double gate_out_slew_ps(GateId g, double load_ff, double input_slew_ps) const;
+
+  /// The timing view of gate `g`: its cell's drive-strength variant. Gates at
+  /// drive 0 (everything outside repaired netlists) see a bit-exact copy of
+  /// the base cell, so pre-variant results are reproduced exactly.
+  const CellTiming& cell_of(GateId g) const {
+    const Gate& gate = n_.gate(g);
+    return variants_[static_cast<std::size_t>(gate.type)][gate.drive];
+  }
 
   const Netlist& n_;
   const CellLibrary& lib_;
   const Placement* placement_;
+
+  /// Materialised drive variants [GateType][drive code], built once at
+  /// construction (48 small structs; the NLDM tables are copied so variant
+  /// lookups stay branch-free on the run() hot path).
+  CellTiming variants_[16][CellLibrary::kNumDrives];
 
   /// Nominal edge rate at launch points (and everywhere under the linear
   /// model, which does not propagate slews).

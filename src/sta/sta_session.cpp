@@ -1,0 +1,458 @@
+#include "sta/sta_session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/assert.hpp"
+
+namespace wcm {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+}  // namespace
+
+StaSession::StaSession(Netlist& n, const CellLibrary& lib, Placement* placement,
+                       bool incremental)
+    : n_(n), lib_(lib), placement_(placement), engine_(n, lib, placement),
+      incremental_(incremental) {
+  run_full();
+}
+
+void StaSession::run_full() {
+  const auto t0 = std::chrono::steady_clock::now();
+  rep_ = engine_.run(&used_delay_);
+  level_ = n_.logic_levels();
+  const std::size_t k = n_.size();
+  load_dirty_.assign(k, 0);
+  fwd_dirty_.assign(k, 0);
+  bwd_dirty_.assign(k, 0);
+  touched_flag_.assign(k, 0);
+  load_list_.clear();
+  fwd_list_.clear();
+  bwd_list_.clear();
+  last_touched_.clear();
+  ++full_runs_;
+  sta_seconds_ += seconds_since(t0);
+}
+
+const TimingReport& StaSession::report() {
+  update();
+  return rep_;
+}
+
+void StaSession::grow_to(std::size_t k) {
+  rep_.arrival.resize(k, 0.0);
+  rep_.required.resize(k, std::numeric_limits<double>::infinity());
+  rep_.slack.resize(k, 0.0);
+  rep_.load.resize(k, 0.0);
+  rep_.slew.resize(k, StaEngine::kNominalSlewPs);
+  used_delay_.resize(k, 0.0);
+  level_.resize(k, 0);
+  load_dirty_.resize(k, 0);
+  fwd_dirty_.resize(k, 0);
+  bwd_dirty_.resize(k, 0);
+  touched_flag_.resize(k, 0);
+}
+
+void StaSession::mark_load_dirty(GateId driver) {
+  if (!load_dirty_[static_cast<std::size_t>(driver)]) {
+    load_dirty_[static_cast<std::size_t>(driver)] = 1;
+    load_list_.push_back(driver);
+  }
+}
+
+void StaSession::mark_fwd_dirty(GateId id) {
+  if (!fwd_dirty_[static_cast<std::size_t>(id)]) {
+    fwd_dirty_[static_cast<std::size_t>(id)] = 1;
+    fwd_list_.push_back(id);
+  }
+}
+
+void StaSession::mark_bwd_dirty(GateId id) {
+  if (!bwd_dirty_[static_cast<std::size_t>(id)]) {
+    bwd_dirty_[static_cast<std::size_t>(id)] = 1;
+    bwd_list_.push_back(id);
+  }
+}
+
+void StaSession::touch(GateId id) {
+  if (!touched_flag_[static_cast<std::size_t>(id)]) {
+    touched_flag_[static_cast<std::size_t>(id)] = 1;
+    last_touched_.push_back(id);
+  }
+}
+
+void StaSession::invalidate(GateId pin) {
+  WCM_ASSERT(n_.valid(pin));
+  mark_load_dirty(pin);
+  mark_fwd_dirty(pin);
+  mark_bwd_dirty(pin);
+}
+
+void StaSession::raise_level_from(GateId v, int min_level) {
+  // Monotone worklist: raising a node can only raise its combinational
+  // fanouts, and each node's level is bounded by the longest path, so this
+  // terminates on any DAG (a cycle would already have broken topo_order()).
+  std::vector<std::pair<GateId, int>> work{{v, min_level}};
+  while (!work.empty()) {
+    auto [id, lv] = work.back();
+    work.pop_back();
+    auto& cur = level_[static_cast<std::size_t>(id)];
+    if (cur >= lv) continue;
+    cur = lv;
+    for (GateId fo : n_.gate(id).fanouts) {
+      if (is_combinational_source(n_.gate(fo).type)) continue;  // DFF D edge
+      work.push_back({fo, cur + 1});
+    }
+  }
+}
+
+// ---- edits ----
+
+void StaSession::swap_drive(GateId g, std::uint8_t drive) {
+  WCM_ASSERT(n_.valid(g));
+  WCM_ASSERT(drive < CellLibrary::kNumDrives);
+  Gate& gate = n_.gate(g);
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kSwapDrive;
+  rec.a = g;
+  rec.old_drive = gate.drive;
+  undo_.push_back(std::move(rec));
+  gate.drive = drive;
+  // The gate's own delay slope changed; its fatter input pins reload every
+  // driver feeding it.
+  mark_fwd_dirty(g);
+  for (GateId in : gate.fanins) {
+    mark_load_dirty(in);
+    mark_fwd_dirty(in);
+  }
+}
+
+void StaSession::add_sink(GateId driver, GateId sink) {
+  WCM_ASSERT(n_.valid(driver) && n_.valid(sink));
+  n_.connect(driver, sink);
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kAddSink;
+  rec.a = driver;
+  rec.b = sink;
+  undo_.push_back(std::move(rec));
+  if (!is_combinational_source(n_.gate(sink).type))
+    raise_level_from(sink, level_[static_cast<std::size_t>(driver)] + 1);
+  mark_load_dirty(driver);   // extra pin + wire on the driver's net
+  mark_fwd_dirty(driver);
+  mark_fwd_dirty(sink);      // new fanin may move the sink's arrival
+  mark_bwd_dirty(driver);    // new fanout contributes a required-time arc
+}
+
+GateId StaSession::insert_buffer(GateId driver, GateId sink, std::uint8_t drive) {
+  WCM_ASSERT(n_.valid(driver) && n_.valid(sink));
+  WCM_ASSERT(drive < CellLibrary::kNumDrives);
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kInsertBuffer;
+  rec.b = driver;
+  rec.c = sink;
+  rec.saved_driver_fanouts = n_.gate(driver).fanouts;
+  rec.saved_sink_fanins = n_.gate(sink).fanins;
+
+  const GateId buf =
+      n_.add_gate(GateType::kBuf, "wcm_rbuf_" + std::to_string(buffer_serial_++));
+  rec.a = buf;
+  undo_.push_back(std::move(rec));
+  grow_to(n_.size());
+  if (placement_) {
+    const Point a = placement_->loc(driver);
+    const Point b = placement_->loc(sink);
+    // L1 geodesic midpoint: |a,m| + |m,b| == |a,b|, so splitting the edge
+    // here leaves the total routed length (and its wire delay) unchanged —
+    // the buffer only relieves the driver of the far segment's capacitance.
+    placement_->set_loc(buf, Point{(a.x + b.x) / 2.0, (a.y + b.y) / 2.0});
+  }
+  n_.gate(buf).drive = drive;
+  n_.replace_fanin(sink, driver, buf);
+  n_.connect(driver, buf);
+
+  level_[static_cast<std::size_t>(buf)] = level_[static_cast<std::size_t>(driver)] + 1;
+  if (!is_combinational_source(n_.gate(sink).type))
+    raise_level_from(sink, level_[static_cast<std::size_t>(buf)] + 1);
+
+  mark_load_dirty(driver);  // far sink swapped for the buffer's pin
+  mark_load_dirty(buf);     // fresh net
+  mark_fwd_dirty(driver);
+  mark_fwd_dirty(buf);
+  mark_fwd_dirty(sink);
+  mark_bwd_dirty(driver);   // fanout set changed
+  mark_bwd_dirty(buf);      // needs an initial required time
+  return buf;
+}
+
+void StaSession::rollback(Checkpoint mark) {
+  WCM_ASSERT(mark <= undo_.size());
+  while (undo_.size() > mark) {
+    UndoRecord rec = std::move(undo_.back());
+    undo_.pop_back();
+    switch (rec.kind) {
+      case UndoRecord::Kind::kSwapDrive: {
+        Gate& gate = n_.gate(rec.a);
+        gate.drive = rec.old_drive;
+        mark_fwd_dirty(rec.a);
+        for (GateId in : gate.fanins) {
+          mark_load_dirty(in);
+          mark_fwd_dirty(in);
+        }
+        break;
+      }
+      case UndoRecord::Kind::kAddSink: {
+        n_.disconnect(rec.a, rec.b);
+        mark_load_dirty(rec.a);
+        mark_fwd_dirty(rec.a);
+        mark_fwd_dirty(rec.b);
+        mark_bwd_dirty(rec.a);
+        break;
+      }
+      case UndoRecord::Kind::kInsertBuffer: {
+        // Restore the exact pre-edit adjacency (replace_fanin reorders
+        // lists; order feeds the floating-point load accumulation, so a
+        // permutation would not be bit-identical), then drop the buffer.
+        n_.gate(rec.b).fanouts = std::move(rec.saved_driver_fanouts);
+        n_.gate(rec.c).fanins = std::move(rec.saved_sink_fanins);
+        n_.gate(rec.a).fanins.clear();
+        n_.gate(rec.a).fanouts.clear();
+        WCM_ASSERT_MSG(rec.a == static_cast<GateId>(n_.size()) - 1,
+                       "rollback out of order: buffer is not the last gate");
+        n_.pop_gate();
+        const std::size_t k = n_.size();
+        // Shrink timing state and purge dirty references to the dead id.
+        rep_.arrival.resize(k);
+        rep_.required.resize(k);
+        rep_.slack.resize(k);
+        rep_.load.resize(k);
+        rep_.slew.resize(k);
+        used_delay_.resize(k);
+        level_.resize(k);
+        load_dirty_.resize(k);
+        fwd_dirty_.resize(k);
+        bwd_dirty_.resize(k);
+        touched_flag_.resize(k);
+        auto purge = [&](std::vector<GateId>& list) {
+          list.erase(std::remove_if(list.begin(), list.end(),
+                                    [&](GateId id) {
+                                      return static_cast<std::size_t>(id) >= k;
+                                    }),
+                     list.end());
+        };
+        purge(load_list_);
+        purge(fwd_list_);
+        purge(bwd_list_);
+        last_touched_.erase(
+            std::remove_if(last_touched_.begin(), last_touched_.end(),
+                           [&](GateId id) { return static_cast<std::size_t>(id) >= k; }),
+            last_touched_.end());
+        mark_load_dirty(rec.b);
+        mark_fwd_dirty(rec.b);
+        mark_fwd_dirty(rec.c);
+        mark_bwd_dirty(rec.b);
+        break;
+      }
+    }
+  }
+}
+
+// ---- propagation ----
+
+void StaSession::update() {
+  if (!dirty_any()) return;
+  if (!incremental_) {
+    run_full();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  update_incremental();
+  ++incremental_updates_;
+  WCM_OBS_COUNT("sta.incremental_updates");
+  sta_seconds_ += seconds_since(t0);
+}
+
+void StaSession::update_incremental() {
+  WCM_OBS_SPAN("sta/incremental_update");
+  const std::size_t k = n_.size();
+  const double period = lib_.clock_period_ps();
+  const double ff_capture = period - lib_.flop().setup_ps;
+
+  for (GateId id : last_touched_) touched_flag_[static_cast<std::size_t>(id)] = 0;
+  last_touched_.clear();
+
+  // Level-ordered event queues. Strictly ascending (level, id) pops on the
+  // forward side guarantee every dirty fanin of a popped node has already
+  // settled (level[fanin] < level[node] on all combinational edges);
+  // descending pops give the mirror-image guarantee backward. In-queue
+  // flags deduplicate; levels are fixed for the whole wave (edits repair
+  // them before update() runs).
+  using Entry = std::pair<int, GateId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> fwd;
+  std::priority_queue<Entry> bwd;
+  std::vector<char> in_fwd(k, 0), in_bwd(k, 0);
+  auto push_fwd = [&](GateId id) {
+    if (!in_fwd[static_cast<std::size_t>(id)]) {
+      in_fwd[static_cast<std::size_t>(id)] = 1;
+      fwd.push({level_[static_cast<std::size_t>(id)], id});
+    }
+  };
+  auto push_bwd = [&](GateId id) {
+    if (!in_bwd[static_cast<std::size_t>(id)]) {
+      in_bwd[static_cast<std::size_t>(id)] = 1;
+      bwd.push({level_[static_cast<std::size_t>(id)], id});
+    }
+  };
+
+  // Seed: refresh dirty net loads; a load that actually moved re-evaluates
+  // its driver (delay depends on load) and is reported via rep_.load.
+  for (GateId d : load_list_) {
+    load_dirty_[static_cast<std::size_t>(d)] = 0;
+    const double load = engine_.net_load_ff(d);
+    if (load != rep_.load[static_cast<std::size_t>(d)]) {
+      rep_.load[static_cast<std::size_t>(d)] = load;
+      touch(d);
+      push_fwd(d);
+    }
+  }
+  load_list_.clear();
+  for (GateId id : fwd_list_) {
+    fwd_dirty_[static_cast<std::size_t>(id)] = 0;
+    push_fwd(id);
+  }
+  fwd_list_.clear();
+  for (GateId id : bwd_list_) {
+    bwd_dirty_[static_cast<std::size_t>(id)] = 0;
+    push_bwd(id);
+  }
+  bwd_list_.clear();
+
+  // ---- forward wave: arrivals, slews, used delays ----
+  // Per-node recomputation is a verbatim transcription of the corresponding
+  // block in StaEngine::run(); only the scheduling differs.
+  while (!fwd.empty()) {
+    const GateId id = fwd.top().second;
+    fwd.pop();
+    if (!in_fwd[static_cast<std::size_t>(id)]) continue;
+    in_fwd[static_cast<std::size_t>(id)] = 0;
+    ++nodes_recomputed_;
+    const Gate& g = n_.gate(id);
+    const auto idx = static_cast<std::size_t>(id);
+    double new_at, new_slew, new_ud = 0.0;
+    if (is_combinational_source(g.type)) {
+      new_at = (g.type == GateType::kDff) ? lib_.flop().clk_to_q_ps : 0.0;
+      new_slew = StaEngine::kNominalSlewPs;
+    } else {
+      double at = 0.0;
+      double worst_slew = 0.0;
+      for (GateId in : g.fanins) {
+        const double wd = engine_.wire_delay_ps(in, id);
+        at = std::max(at, rep_.arrival[static_cast<std::size_t>(in)] + wd);
+        worst_slew =
+            std::max(worst_slew, rep_.slew[static_cast<std::size_t>(in)] + 1.2 * wd);
+      }
+      if (is_combinational_sink(g.type)) {
+        new_at = at;
+        new_slew = worst_slew;
+      } else {
+        new_ud = engine_.gate_delay_ps(id, rep_.load[idx], worst_slew);
+        new_at = at + new_ud;
+        new_slew = engine_.gate_out_slew_ps(id, rep_.load[idx], worst_slew);
+      }
+    }
+    const bool at_changed = new_at != rep_.arrival[idx];
+    const bool slew_changed = new_slew != rep_.slew[idx];
+    const bool ud_changed = new_ud != used_delay_[idx];
+    if (!(at_changed || slew_changed || ud_changed)) continue;  // wave stops
+    touch(id);
+    rep_.arrival[idx] = new_at;
+    rep_.slew[idx] = new_slew;
+    used_delay_[idx] = new_ud;
+    if (at_changed || slew_changed) {
+      for (GateId fo : g.fanouts) {
+        // DFF D edges are sequential: the flop's Q arrival is clk-to-Q
+        // regardless, and its D-pin constraint is re-checked by the O(k)
+        // endpoint summary below.
+        if (is_combinational_source(n_.gate(fo).type)) continue;
+        push_fwd(fo);
+      }
+    }
+    // This node's contribution to its fanins' required times carries
+    // used_delay[id]; reopen them on the backward side.
+    if (ud_changed)
+      for (GateId in : g.fanins) push_bwd(in);
+  }
+
+  // ---- backward wave: required times ----
+  // required[v] is recomputed from scratch off v's fanouts — the min over
+  // exactly the arcs run()'s seeded reverse sweep accumulates: the own
+  // capture constraint (PO/TSV-out), DFF D-pin constants, and downstream
+  // required minus the fanout's forward delay. min is exact on doubles, so
+  // accumulation order cannot perturb bits.
+  while (!bwd.empty()) {
+    const GateId v = bwd.top().second;
+    bwd.pop();
+    if (!in_bwd[static_cast<std::size_t>(v)]) continue;
+    in_bwd[static_cast<std::size_t>(v)] = 0;
+    ++nodes_recomputed_;
+    const Gate& g = n_.gate(v);
+    const auto idx = static_cast<std::size_t>(v);
+    double req = (g.type == GateType::kOutput || g.type == GateType::kTsvOut)
+                     ? period
+                     : std::numeric_limits<double>::infinity();
+    for (GateId fo : g.fanouts) {
+      const Gate& fg = n_.gate(fo);
+      const double wd = engine_.wire_delay_ps(v, fo);
+      double contrib;
+      if (fg.type == GateType::kDff) {
+        contrib = ff_capture - wd;  // D-pin setup constraint, a constant arc
+      } else if (is_combinational_source(fg.type)) {
+        continue;  // no requirement flows back through a source
+      } else if (is_combinational_sink(fg.type)) {
+        contrib = rep_.required[static_cast<std::size_t>(fo)] - wd;
+      } else {
+        contrib = rep_.required[static_cast<std::size_t>(fo)] -
+                  used_delay_[static_cast<std::size_t>(fo)] - wd;
+      }
+      req = std::min(req, contrib);
+    }
+    if (req == rep_.required[idx]) continue;
+    rep_.required[idx] = req;
+    touch(v);
+    // A DFF's Q-side requirement never constrains its D fanin (run() skips
+    // DFFs in the reverse sweep; the D arc was handled above as a constant).
+    if (g.type == GateType::kDff) continue;
+    for (GateId in : g.fanins) push_bwd(in);
+  }
+
+  // ---- slack & endpoint summary ----
+  // Same O(k) scans as run(): slack cells recomputed from (possibly
+  // unchanged) required/arrival reproduce their exact prior bits.
+  rep_.worst_slack = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < k; ++i) {
+    rep_.slack[i] = rep_.required[i] - rep_.arrival[i];
+    rep_.worst_slack = std::min(rep_.worst_slack, rep_.slack[i]);
+  }
+  rep_.violating_endpoints = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Gate& g = n_.gate(static_cast<GateId>(i));
+    if (g.type == GateType::kOutput || g.type == GateType::kTsvOut) {
+      if (rep_.slack[i] < 0.0) ++rep_.violating_endpoints;
+    } else if (g.type == GateType::kDff && !g.fanins.empty()) {
+      const GateId in = g.fanins[0];
+      const double at = rep_.arrival[static_cast<std::size_t>(in)] +
+                        engine_.wire_delay_ps(in, static_cast<GateId>(i));
+      if (at > ff_capture) ++rep_.violating_endpoints;
+    }
+  }
+}
+
+}  // namespace wcm

@@ -1,0 +1,169 @@
+// Incremental STA session: a mutable timing view over one netlist.
+//
+// StaEngine::run() recomputes the whole die from scratch — correct, but a
+// what-if edge trial during wrapper-cell admission perturbs a handful of
+// nets, and the repair loop performs hundreds of such trials. StaSession
+// keeps the last full TimingReport live and, after each structural or
+// drive-strength edit, re-propagates arrivals/slews forward and required
+// times backward only through the affected cone, event-driven:
+//
+//   * a node is re-evaluated only after every dirty fanin (forward) or
+//     fanout (backward) has settled — enforced by level-ordered priority
+//     queues over the combinational logic levels;
+//   * per-node recomputation reuses the exact kernels of StaEngine::run()
+//     (same formulas, same accumulation order), and a node whose value is
+//     byte-identical to before stops the wave — so a converged session is
+//     bit-identical to a from-scratch run() on the same netlist, which the
+//     differential suite in tests/sta/sta_incremental_test.cpp asserts.
+//
+// Supported edits (each records an undo entry; checkpoint()/rollback() give
+// exact structural restore for rejected repair trials):
+//   * swap_drive   — retarget a gate to its x1/x2/x4 equivalent cell;
+//   * add_sink     — attach an extra fanout edge to a driver;
+//   * insert_buffer— split one driver->sink edge with a mid-wire buffer.
+//
+// Constructed with incremental=false the session keeps the same API but
+// answers every update() with a full run — the differential reference the
+// solver A/B test and `wcm3d solve --sta-full` use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sta/sta.hpp"
+
+namespace wcm {
+
+class StaSession {
+ public:
+  /// The session owns all mutation of `n` (and of `placement` when buffers
+  /// are inserted) for its lifetime; external edits invalidate the report.
+  /// `placement` may be null — the pin-cap-only model, under which buffer
+  /// insertion places nothing and wire terms stay zero.
+  StaSession(Netlist& n, const CellLibrary& lib, Placement* placement,
+             bool incremental = true);
+
+  /// The current timing report; flushes pending invalidations first. The
+  /// returned reference stays valid (and tracks later updates) for the
+  /// session's lifetime.
+  const TimingReport& report();
+
+  const Netlist& netlist() const { return n_; }
+  const CellLibrary& library() const { return lib_; }
+  const StaEngine& engine() const { return engine_; }
+  bool incremental() const { return incremental_; }
+
+  /// From-scratch propagation (also re-derives logic levels). Called once by
+  /// the constructor; afterwards only needed if the netlist was mutated
+  /// behind the session's back.
+  void run_full();
+
+  /// Marks one pin dirty (load, forward and backward) without an edit —
+  /// the escape hatch for callers that mutated something the session does
+  /// not model. Deferred until the next update()/report().
+  void invalidate(GateId pin);
+
+  /// Propagates all pending invalidations. No-op when clean. In full mode
+  /// this is run_full() whenever anything is dirty.
+  void update();
+
+  // ---- edits ----
+
+  /// Retargets `g` to drive code `drive` (0=x1, 1=x2, 2=x4): its cell delay
+  /// slope drops, its input pins fatten (loading its own drivers).
+  void swap_drive(GateId g, std::uint8_t drive);
+
+  /// Appends edge driver->sink (the what-if "this TSV also feeds that
+  /// wrapper mux" trial made persistent).
+  void add_sink(GateId driver, GateId sink);
+
+  /// Splits the driver->sink edge with a fresh kBuf at the Manhattan
+  /// midpoint of the two endpoints (total routed length is preserved; the
+  /// driver sees the buffer's pin instead of the far sink). Returns the new
+  /// gate's id. All fanin occurrences of `driver` in `sink` are rerouted —
+  /// callers pick single-occurrence edges.
+  GateId insert_buffer(GateId driver, GateId sink, std::uint8_t drive = 0);
+
+  // ---- undo ----
+
+  using Checkpoint = std::size_t;
+  Checkpoint checkpoint() const { return undo_.size(); }
+
+  /// Reverts every edit made after `mark`, newest first, restoring the exact
+  /// pre-edit structure (including fanin/fanout list order, so re-converged
+  /// timing is bit-identical to never having tried the edits). The timing
+  /// arrays are re-converged lazily on the next update()/report().
+  void rollback(Checkpoint mark);
+
+  // ---- statistics ----
+
+  /// Number of incremental update() waves executed (full mode: 0).
+  std::uint64_t incremental_updates() const { return incremental_updates_; }
+  /// Number of from-scratch propagations (ctor's initial run included).
+  std::uint64_t full_runs() const { return full_runs_; }
+  /// Node re-evaluations across all incremental waves.
+  std::uint64_t nodes_recomputed() const { return nodes_recomputed_; }
+  /// Wall-clock seconds spent inside run_full() and update() — the quantity
+  /// BENCH_repair compares across incremental/full modes.
+  double sta_seconds() const { return sta_seconds_; }
+
+  /// Gates whose arrival/required/load/slew/used-delay changed in the most
+  /// recent update() wave (empty after run_full()). The cone-bound property
+  /// test asserts everything *outside* this set kept its exact values.
+  const std::vector<GateId>& last_touched() const { return last_touched_; }
+
+ private:
+  struct UndoRecord {
+    enum class Kind : std::uint8_t { kSwapDrive, kAddSink, kInsertBuffer };
+    Kind kind;
+    GateId a = kNoGate;  ///< swap: gate; add_sink: driver; buffer: buf id
+    GateId b = kNoGate;  ///< add_sink: sink;  buffer: driver
+    GateId c = kNoGate;  ///< buffer: sink
+    std::uint8_t old_drive = 0;
+    // Exact pre-edit copies for insert_buffer (replace_fanin reorders
+    // fanout lists; plain inverse edits would leave a permuted — timing-
+    // equivalent but not bit-identical — netlist behind).
+    std::vector<GateId> saved_driver_fanouts;
+    std::vector<GateId> saved_sink_fanins;
+  };
+
+  void grow_to(std::size_t k);
+  void mark_load_dirty(GateId driver);
+  void mark_fwd_dirty(GateId id);
+  void mark_bwd_dirty(GateId id);
+  void touch(GateId id);
+  bool dirty_any() const {
+    return !load_list_.empty() || !fwd_list_.empty() || !bwd_list_.empty();
+  }
+  /// Raises levels so every combinational edge u->v keeps level[u] < level[v]
+  /// after a structural add (worklist; monotone raises only).
+  void raise_level_from(GateId v, int min_level);
+  void update_incremental();
+
+  Netlist& n_;
+  const CellLibrary& lib_;
+  Placement* placement_;
+  StaEngine engine_;
+  const bool incremental_;
+
+  TimingReport rep_;
+  std::vector<double> used_delay_;  ///< forward delay per gate, as in run()
+  std::vector<int> level_;          ///< combinational levels; strict on edges
+
+  // Pending invalidations (flag + list, so seeding is O(1) and duplicate-free).
+  std::vector<char> load_dirty_, fwd_dirty_, bwd_dirty_;
+  std::vector<GateId> load_list_, fwd_list_, bwd_list_;
+
+  std::vector<char> touched_flag_;
+  std::vector<GateId> last_touched_;
+
+  std::vector<UndoRecord> undo_;
+
+  std::uint64_t incremental_updates_ = 0;
+  std::uint64_t full_runs_ = 0;
+  std::uint64_t nodes_recomputed_ = 0;
+  double sta_seconds_ = 0.0;
+  int buffer_serial_ = 0;  ///< uniquifies generated buffer names
+};
+
+}  // namespace wcm

@@ -1,0 +1,279 @@
+// Timing-repair pass + incremental-STA solver A/B.
+//
+// Gates, in order of strength:
+//   * the solver with sta_incremental ON vs OFF produces bit-identical
+//     admission decisions and plans (seeds 11/16/33 x widths 1/2/8) — the
+//     incremental session is a pure accelerator, never a heuristic;
+//   * the repair pass is deterministic at any solve width (it runs serially
+//     between the parallel graph build and the partition);
+//   * a pre-cancelled token yields a valid UNREPAIRED plan;
+//   * repaired slacks are live: a trial on a cone an earlier repair touched
+//     sees the post-repair timing, not the solve-start snapshot.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/compat_graph.hpp"
+#include "core/flow.hpp"
+#include "core/solver.hpp"
+#include "core/testability.hpp"
+#include "dft/insertion.hpp"
+#include "dft/repair.hpp"
+#include "gen/generator.hpp"
+#include "netlist/bench_io.hpp"
+#include "place/place.hpp"
+#include "sta/sta_session.hpp"
+
+namespace wcm {
+namespace {
+
+std::string solution_signature(const WcmSolution& sol) {
+  std::ostringstream os;
+  os << sol.reused_ffs << '|' << sol.additional_cells << '|';
+  for (const WrapperGroup& g : sol.plan.groups) {
+    os << g.reused_ff << ':';
+    for (GateId t : g.inbound) os << t << ' ';
+    os << '/';
+    for (GateId t : g.outbound) os << t << ' ';
+    os << ';';
+  }
+  os << '!';
+  for (const RepairEdit& e : sol.repair_edits)
+    os << (e.kind == RepairEdit::Kind::kUpsize ? 'u' : 'b') << e.tsv << '.'
+       << static_cast<int>(e.drive) << ' ';
+  return os.str();
+}
+
+/// The tight scenario with repair enabled — rejections exist on the paper
+/// dies under it, which is exactly what the pass is for.
+WcmConfig repair_config() {
+  WcmConfig cfg = WcmConfig::proposed_tight();
+  cfg.timing_repair = true;
+  return cfg;
+}
+
+// ---- incremental STA is decision-invisible ----
+
+TEST(RepairAbTest, IncrementalStaKeepsPlansBitIdentical) {
+  for (const std::uint64_t seed : {11ull, 16ull, 33ull}) {
+    DieSpec spec = itc99_die_spec("b11", 0);
+    spec.seed ^= seed;
+    const Netlist n = generate_die(spec);
+    const Placement placement = place(n, PlaceOptions{});
+    const CellLibrary lib = CellLibrary::nangate45_like();
+    std::string reference;
+    for (const bool incremental : {true, false}) {
+      for (const int threads : {1, 2, 8}) {
+        WcmConfig cfg = repair_config();
+        cfg.sta_incremental = incremental;
+        cfg.solve_threads = threads;
+        const WcmSolution sol = solve_wcm(n, &placement, lib, cfg);
+        EXPECT_TRUE(sol.plan.covers_all_tsvs(n));
+        const std::string sig = solution_signature(sol);
+        if (reference.empty())
+          reference = sig;
+        else
+          EXPECT_EQ(sig, reference) << "seed=" << seed << " incremental=" << incremental
+                                    << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(RepairAbTest, IncrementalStaIdenticalWithRepairOffToo) {
+  // With repair off the session never updates; both modes must reduce to the
+  // seed solver exactly.
+  for (const std::uint64_t seed : {11ull, 33ull}) {
+    DieSpec spec = itc99_die_spec("b11", 1);
+    spec.seed ^= seed;
+    const Netlist n = generate_die(spec);
+    const Placement placement = place(n, PlaceOptions{});
+    const CellLibrary lib = CellLibrary::nangate45_like();
+    std::string reference;
+    for (const bool incremental : {true, false}) {
+      WcmConfig cfg = WcmConfig::proposed_tight();
+      cfg.sta_incremental = incremental;
+      const WcmSolution sol = solve_wcm(n, &placement, lib, cfg);
+      EXPECT_TRUE(sol.repair_edits.empty());
+      const std::string sig = solution_signature(sol);
+      if (reference.empty())
+        reference = sig;
+      else
+        EXPECT_EQ(sig, reference) << "seed=" << seed;
+    }
+  }
+}
+
+// ---- repair recovers work on the paper dies ----
+
+TEST(RepairTest, RecoversRejectedEdgesOnB11Dies) {
+  // Acceptance gate: on b11-scale dies under the tight scenario the pass
+  // must recover at least one rejected node or pair, spending nonzero area,
+  // and the final plan must use no more wrapper cells than the unrepaired
+  // one (a recovered node/edge can only give the partitioner more options).
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  int recovered_total = 0;
+  for (const int die : {0, 1, 2}) {
+    const Netlist n = generate_die(itc99_die_spec("b11", die));
+    const Placement placement = place(n, PlaceOptions{});
+
+    WcmConfig base = WcmConfig::proposed_tight();
+    const WcmSolution before = solve_wcm(n, &placement, lib, base);
+
+    WcmConfig cfg = repair_config();
+    const WcmSolution after = solve_wcm(n, &placement, lib, cfg);
+
+    EXPECT_TRUE(after.plan.covers_all_tsvs(n));
+    const int recovered = after.repair.nodes_recovered + after.repair.pairs_recovered;
+    recovered_total += recovered;
+    if (recovered > 0) {
+      EXPECT_GT(after.repair.area_spent_um2, 0.0) << "die " << die;
+      EXPECT_LE(after.repair.area_spent_um2, after.repair.area_budget_um2);
+      EXPECT_FALSE(after.repair_edits.empty());
+    }
+    EXPECT_LE(after.additional_cells, before.additional_cells) << "die " << die;
+  }
+  EXPECT_GT(recovered_total, 0) << "tight scenario rejected nothing repairable";
+}
+
+TEST(RepairTest, PreCancelledTokenYieldsValidUnrepairedPlan) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+
+  std::atomic<bool> cancel{true};
+  WcmConfig cfg = repair_config();
+  cfg.cancel = &cancel;
+  const WcmSolution sol = solve_wcm(n, &placement, lib, cfg);
+
+  EXPECT_TRUE(sol.plan.covers_all_tsvs(n));
+  EXPECT_TRUE(sol.repair.cancelled);
+  EXPECT_EQ(sol.repair.nodes_recovered + sol.repair.pairs_recovered, 0);
+  EXPECT_TRUE(sol.repair_edits.empty());
+  EXPECT_EQ(sol.repair.area_spent_um2, 0.0);
+
+  // And it matches the plain no-repair solve exactly.
+  WcmConfig plain = WcmConfig::proposed_tight();
+  const WcmSolution ref = solve_wcm(n, &placement, lib, plain);
+  EXPECT_EQ(solution_signature(sol), solution_signature(ref));
+}
+
+TEST(RepairTest, RepairDeterministicAcrossWidthsOnSecondDie) {
+  const Netlist n = generate_die(itc99_die_spec("b12", 0));
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  std::string reference;
+  for (const int threads : {1, 2, 8}) {
+    WcmConfig cfg = repair_config();
+    cfg.solve_threads = threads;
+    const WcmSolution sol = solve_wcm(n, &placement, lib, cfg);
+    EXPECT_TRUE(sol.plan.covers_all_tsvs(n));
+    const std::string sig = solution_signature(sol);
+    if (reference.empty())
+      reference = sig;
+    else
+      EXPECT_EQ(sig, reference) << "threads=" << threads;
+  }
+}
+
+// ---- stale-slack regression: later trials see post-repair timing ----
+
+TEST(RepairTest, SharedDriverRepairIsSeenByLaterTrials) {
+  // Two outbound TSVs behind ONE weak driver. Node recovery for the first
+  // TSV upsizes the driver; the second TSV's trial must then observe the
+  // repaired slack and re-admit for free — one upsize, two recoveries. If
+  // the pass read a stale solve-start snapshot instead, it would charge a
+  // second (redundant) move or fail the second node outright.
+  const auto r = read_bench_string(R"(
+INPUT(a)
+TSV_OUT(t1)
+TSV_OUT(t2)
+d = NOT(a)
+t1 = BUF(d)
+t2 = BUF(d)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Netlist n = r.netlist;
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const GateId t1 = n.find("t1");
+  const GateId t2 = n.find("t2");
+  const GateId d = n.find("d");
+  ASSERT_EQ(n.gate(t1).fanins[0], d);
+
+  Netlist view = n;  // the session's mutable timing view
+  StaSession session(view, lib, nullptr);
+
+  // Calibrate a threshold strictly between the weak and upsized slack, so
+  // both TSVs are rejected at build time and recoverable by one upsize.
+  const double weak = session.report().slack[static_cast<std::size_t>(t1)];
+  const StaSession::Checkpoint probe = session.checkpoint();
+  session.swap_drive(d, 1);
+  const double strong = session.report().slack[static_cast<std::size_t>(t1)];
+  session.rollback(probe);
+  (void)session.report();
+  ASSERT_GT(strong, weak);  // x2 really is faster under load
+
+  ConeDb cones(n);
+  TestabilityOracle oracle(n, cones, OracleMode::kStructural, AtpgOptions{});
+  GraphInputs in;
+  in.netlist = &n;
+  in.sta = nullptr;
+  in.timing = &session.report();
+  in.timing_netlist = &view;
+  in.cones = &cones;
+  in.oracle = &oracle;
+
+  ResolvedThresholds th;
+  th.s_th_ps = (weak + strong) / 2.0;
+  th.d_th_um = 1e18;
+  th.cap_th_ff = 1e18;
+
+  WcmConfig cfg;
+  cfg.timing_repair = true;
+  cfg.repair_max_area_pct = 100.0;  // the tiny die needs a real budget
+  cfg.allow_overlap_sharing = false;  // shared cone: the pair stays unlinked
+
+  CompatGraph graph;
+  graph.rejected_tsvs = {t1, t2};
+  graph.adj = CsrGraph::from_edges(0, {});
+
+  std::vector<RepairEdit> edits;
+  const RepairStats stats = repair_rejected_edges(graph, in, lib, session, th, cfg,
+                                                  NodeKind::kOutboundTsv, edits);
+
+  EXPECT_EQ(stats.nodes_recovered, 2);
+  EXPECT_EQ(stats.upsizes, 1) << "second trial failed to see the repaired slack";
+  EXPECT_EQ(stats.buffers, 0);
+  ASSERT_EQ(edits.size(), 1u);
+  EXPECT_EQ(edits[0].kind, RepairEdit::Kind::kUpsize);
+  EXPECT_EQ(edits[0].tsv, t1);
+  EXPECT_TRUE(graph.rejected_tsvs.empty());
+  ASSERT_EQ(graph.nodes.size(), 2u);
+  // Overlapping fan-in cones with sharing off: recovered as nodes, no edge.
+  EXPECT_EQ(graph.num_edges, 0);
+
+  // Replay onto a fresh copy: the same driver gets the same drive code.
+  Netlist replay = n;
+  apply_repair_edits(replay, nullptr, edits);
+  EXPECT_EQ(replay.gate(d).drive, 1);
+}
+
+// ---- signoff consistency: repaired solves stay timing-sane end to end ----
+
+TEST(RepairTest, FlowAppliesEditsBeforeSignoff) {
+  const Netlist n = generate_die(itc99_die_spec("b11", 0));
+  FlowConfig cfg;
+  cfg.wcm = repair_config();
+  cfg.clock_policy = ClockPolicy::kTightDerived;
+  const FlowReport report = run_flow(n, cfg);
+  EXPECT_TRUE(report.solution.plan.covers_all_tsvs(n));
+  // The signoff ECO loop may still demote, but the flow must complete and
+  // the deliverable plan must stay legal with the repair edits applied.
+  EXPECT_TRUE(check_plan(n, report.solution.plan).empty());
+}
+
+}  // namespace
+}  // namespace wcm

@@ -1,0 +1,320 @@
+// Differential/property suite for the incremental STA session.
+//
+// The session's contract is strong: after ANY sequence of supported edits
+// (drive swaps, added sinks, mid-wire buffers, rollbacks), a converged
+// session is bit-identical to a from-scratch StaEngine::run() over the same
+// netlist — not merely within tolerance. Each test drives random edit
+// sequences (seeds 11/16/33, the repo's differential-seed convention) and
+// re-runs the full engine after every single edit.
+//
+// Two property families ride along:
+//   * cone bound — everything NOT in last_touched() keeps its exact values;
+//   * rollback exactness — reverting to a checkpoint restores the exact
+//     pre-checkpoint report, byte for byte.
+#include "sta/sta_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/generator.hpp"
+#include "netlist/bench_io.hpp"
+#include "place/place.hpp"
+#include "util/rng.hpp"
+
+namespace wcm {
+namespace {
+
+void expect_reports_identical(const TimingReport& a, const TimingReport& b,
+                              const char* what) {
+  ASSERT_EQ(a.arrival.size(), b.arrival.size()) << what;
+  EXPECT_EQ(a.arrival, b.arrival) << what << ": arrival";
+  EXPECT_EQ(a.required, b.required) << what << ": required";
+  EXPECT_EQ(a.slack, b.slack) << what << ": slack";
+  EXPECT_EQ(a.load, b.load) << what << ": load";
+  EXPECT_EQ(a.slew, b.slew) << what << ": slew";
+  EXPECT_EQ(a.worst_slack, b.worst_slack) << what << ": worst_slack";
+  EXPECT_EQ(a.violating_endpoints, b.violating_endpoints) << what << ": endpoints";
+}
+
+bool is_comb_gate(GateType t) {
+  return !is_port(t) && t != GateType::kDff && t != GateType::kTie0 &&
+         t != GateType::kTie1;
+}
+
+/// Candidate (driver, sink) for insert_buffer: sink has fanins and `driver`
+/// occurs exactly once among them (replace_fanin reroutes all occurrences;
+/// single-occurrence edges keep the edit equal to "split this one edge").
+bool pick_buffer_edge(const Netlist& n, Rng& rng, GateId& driver, GateId& sink) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto id = static_cast<GateId>(rng.below(n.size()));
+    const Gate& g = n.gate(id);
+    if (g.fanins.empty()) continue;
+    const GateId f = g.fanins[rng.below(g.fanins.size())];
+    if (std::count(g.fanins.begin(), g.fanins.end(), f) != 1) continue;
+    if (is_combinational_sink(n.gate(f).type)) continue;  // sinks drive nothing
+    driver = f;
+    sink = id;
+    return true;
+  }
+  return false;
+}
+
+/// Candidate edge for add_sink that cannot create a combinational cycle:
+/// sink is an n-ary gate strictly deeper than the driver (levels only grow
+/// along combinational paths, so no path sink->driver can exist).
+bool pick_add_sink(const Netlist& n, const std::vector<int>& level, Rng& rng,
+                   GateId& driver, GateId& sink) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto s = static_cast<GateId>(rng.below(n.size()));
+    const GateType st = n.gate(s).type;
+    if (gate_arity(st) != -1) continue;  // n-ary gates accept extra fanins
+    const auto d = static_cast<GateId>(rng.below(n.size()));
+    const GateType dt = n.gate(d).type;
+    if (is_combinational_sink(dt)) continue;
+    if (level[static_cast<std::size_t>(d)] >= level[static_cast<std::size_t>(s)])
+      continue;
+    driver = d;
+    sink = s;
+    return true;
+  }
+  return false;
+}
+
+bool pick_swap_drive(const Netlist& n, Rng& rng, GateId& g, std::uint8_t& code) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto id = static_cast<GateId>(rng.below(n.size()));
+    if (!is_comb_gate(n.gate(id).type)) continue;
+    g = id;
+    code = static_cast<std::uint8_t>(rng.below(CellLibrary::kNumDrives));
+    return true;
+  }
+  return false;
+}
+
+/// One random edit against the session; returns false when no legal target
+/// was found for the drawn op (the iteration is simply skipped).
+bool apply_random_edit(StaSession& session, Netlist& n, Rng& rng) {
+  switch (rng.below(3)) {
+    case 0: {
+      GateId g;
+      std::uint8_t code;
+      if (!pick_swap_drive(n, rng, g, code)) return false;
+      session.swap_drive(g, code);
+      return true;
+    }
+    case 1: {
+      GateId driver, sink;
+      const std::vector<int> level = n.logic_levels();
+      if (!pick_add_sink(n, level, rng, driver, sink)) return false;
+      session.add_sink(driver, sink);
+      return true;
+    }
+    default: {
+      GateId driver, sink;
+      if (!pick_buffer_edge(n, rng, driver, sink)) return false;
+      session.insert_buffer(driver, sink,
+                            static_cast<std::uint8_t>(rng.below(CellLibrary::kNumDrives)));
+      return true;
+    }
+  }
+}
+
+// ---- the main differential: every edit, incremental == from-scratch ----
+
+TEST(StaIncrementalTest, RandomEditSequencesMatchFromScratch) {
+  for (const std::uint64_t seed : {11ull, 16ull, 33ull}) {
+    DieSpec spec = itc99_die_spec("b11", 0);
+    spec.seed ^= seed;
+    Netlist n = generate_die(spec);
+    Placement placement = place(n, PlaceOptions{});
+    const CellLibrary lib = CellLibrary::nangate45_like();
+    StaSession session(n, lib, &placement);
+    Rng rng(seed);
+
+    expect_reports_identical(session.report(), StaEngine(n, lib, &placement).run(),
+                             "pristine");
+
+    std::vector<StaSession::Checkpoint> marks;
+    int edits = 0;
+    for (int step = 0; step < 40; ++step) {
+      // Occasionally revert to a random earlier checkpoint instead of
+      // editing — rollback is part of the edit alphabet.
+      if (!marks.empty() && rng.chance(0.2)) {
+        const std::size_t pick = rng.below(marks.size());
+        session.rollback(marks[pick]);
+        marks.resize(pick);
+      } else {
+        marks.push_back(session.checkpoint());
+        if (!apply_random_edit(session, n, rng)) {
+          marks.pop_back();
+          continue;
+        }
+        ++edits;
+      }
+      const TimingReport& incr = session.report();
+      const TimingReport full = StaEngine(n, lib, &placement).run();
+      expect_reports_identical(incr, full, "after edit");
+      // The ISSUE's 1e-9 bound is implied by bit-identity; keep one explicit
+      // tolerance check so a future relaxation of the exact contract still
+      // has a floor.
+      for (std::size_t i = 0; i < full.slack.size(); ++i)
+        ASSERT_NEAR(incr.slack[i], full.slack[i], 1e-9) << "gate " << i;
+      if (HasFatalFailure() || HasNonfatalFailure())
+        FAIL() << "seed=" << seed << " step=" << step;
+    }
+    EXPECT_GT(edits, 10) << "seed=" << seed;  // the sequence actually edited
+    EXPECT_GT(session.incremental_updates(), 0u);
+    EXPECT_EQ(session.full_runs(), 1u);  // only the constructor's run
+  }
+}
+
+// ---- cone bound: untouched gates keep their exact values ----
+
+TEST(StaIncrementalTest, UntouchedGatesAreBitIdenticalAcrossUpdates) {
+  for (const std::uint64_t seed : {11ull, 16ull, 33ull}) {
+    DieSpec spec = itc99_die_spec("b11", 1);
+    spec.seed ^= seed;
+    Netlist n = generate_die(spec);
+    Placement placement = place(n, PlaceOptions{});
+    const CellLibrary lib = CellLibrary::nangate45_like();
+    StaSession session(n, lib, &placement);
+    Rng rng(seed * 7919);
+
+    std::size_t touched_total = 0;
+    std::size_t cells_total = 0;
+    for (int step = 0; step < 25; ++step) {
+      const TimingReport before = session.report();  // copy
+      if (!apply_random_edit(session, n, rng)) continue;
+      const TimingReport& after = session.report();
+      std::vector<char> touched(n.size(), 0);
+      for (GateId id : session.last_touched())
+        touched[static_cast<std::size_t>(id)] = 1;
+      std::size_t untouched = 0;
+      for (std::size_t i = 0; i < before.arrival.size(); ++i) {
+        if (touched[i]) continue;
+        ++untouched;
+        ASSERT_EQ(before.arrival[i], after.arrival[i]) << "seed=" << seed << " i=" << i;
+        ASSERT_EQ(before.required[i], after.required[i]) << "seed=" << seed << " i=" << i;
+        ASSERT_EQ(before.load[i], after.load[i]) << "seed=" << seed << " i=" << i;
+        ASSERT_EQ(before.slew[i], after.slew[i]) << "seed=" << seed << " i=" << i;
+      }
+      // The wave must stay a strict subset of the die on every edit. (A
+      // single edit near a primary input may legitimately cover most of it
+      // once the backward required-time sweep is counted, so the tight
+      // bound is on the average below, not per edit.)
+      EXPECT_GT(untouched, 0u) << "seed=" << seed;
+      touched_total += before.arrival.size() - untouched;
+      cells_total += before.arrival.size();
+    }
+    // Cone-bounded on average: edits must not each re-time the whole die.
+    ASSERT_GT(cells_total, 0u);
+    EXPECT_LT(touched_total, cells_total / 2) << "seed=" << seed;
+  }
+}
+
+// ---- rollback: exact restore, including fanin/fanout list order ----
+
+TEST(StaIncrementalTest, RollbackRestoresExactPristineState) {
+  for (const std::uint64_t seed : {11ull, 16ull, 33ull}) {
+    DieSpec spec = itc99_die_spec("b11", 2);
+    spec.seed ^= seed;
+    Netlist n = generate_die(spec);
+    Placement placement = place(n, PlaceOptions{});
+    const CellLibrary lib = CellLibrary::nangate45_like();
+    StaSession session(n, lib, &placement);
+    Rng rng(seed ^ 0xABCDEFull);
+
+    const std::size_t pristine_gates = n.size();
+    const TimingReport pristine = session.report();  // copy
+
+    const StaSession::Checkpoint mark = session.checkpoint();
+    int applied = 0;
+    for (int step = 0; step < 12; ++step)
+      if (apply_random_edit(session, n, rng)) ++applied;
+    ASSERT_GT(applied, 0);
+    (void)session.report();  // converge mid-state (rollback from settled state)
+
+    session.rollback(mark);
+    EXPECT_EQ(n.size(), pristine_gates);  // buffers popped
+    expect_reports_identical(session.report(), pristine, "after rollback");
+    // And a from-scratch engine agrees the structure really is pristine.
+    expect_reports_identical(session.report(), StaEngine(n, lib, &placement).run(),
+                             "rollback vs fresh engine");
+  }
+}
+
+// ---- full mode: same contract, every update is a from-scratch run ----
+
+TEST(StaIncrementalTest, FullModeProducesIdenticalReports) {
+  DieSpec spec = itc99_die_spec("b11", 0);
+  Netlist n_inc = generate_die(spec);
+  Netlist n_full = generate_die(spec);
+  Placement p_inc = place(n_inc, PlaceOptions{});
+  Placement p_full = place(n_full, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  StaSession inc(n_inc, lib, &p_inc, /*incremental=*/true);
+  StaSession full(n_full, lib, &p_full, /*incremental=*/false);
+
+  Rng rng_a(42), rng_b(42);  // identical draws -> identical edit sequences
+  for (int step = 0; step < 15; ++step) {
+    const bool ea = apply_random_edit(inc, n_inc, rng_a);
+    const bool eb = apply_random_edit(full, n_full, rng_b);
+    ASSERT_EQ(ea, eb);
+    expect_reports_identical(inc.report(), full.report(), "incremental vs full");
+  }
+  EXPECT_GT(inc.incremental_updates(), 0u);
+  EXPECT_EQ(full.incremental_updates(), 0u);
+  EXPECT_GT(full.full_runs(), 1u);
+}
+
+// ---- targeted edit semantics on a hand-written die ----
+
+TEST(StaIncrementalTest, UpsizeReducesDriverDelay) {
+  const auto r = read_bench_string(R"(
+INPUT(a)
+OUTPUT(z)
+OUTPUT(z1)
+OUTPUT(z2)
+g = NOT(a)
+z = BUF(g)
+z1 = BUF(g)
+z2 = BUF(g)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  Netlist n = r.netlist;
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  StaSession session(n, lib, nullptr);
+  const GateId g = n.find("g");
+  const double before = session.report().arrival[static_cast<std::size_t>(g)];
+  session.swap_drive(g, 2);  // x4
+  const double after = session.report().arrival[static_cast<std::size_t>(g)];
+  EXPECT_LT(after, before);  // stronger driver, faster edge
+}
+
+TEST(StaIncrementalTest, InsertBufferRelievesDriverLoad) {
+  DieSpec spec = itc99_die_spec("b11", 0);
+  Netlist n = generate_die(spec);
+  Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  StaSession session(n, lib, &placement);
+
+  // An outbound TSV and its driver: exactly the edge the repair pass splits.
+  ASSERT_FALSE(n.outbound_tsvs().empty());
+  const GateId tsv = n.outbound_tsvs().front();
+  const GateId driver = n.gate(tsv).fanins[0];
+  const double load_before = session.report().load[static_cast<std::size_t>(driver)];
+  const GateId buf = session.insert_buffer(driver, tsv);
+  const TimingReport& rep = session.report();
+  // The driver now sees one buffer pin at half distance instead of the TSV
+  // pad cap at full distance.
+  EXPECT_NE(rep.load[static_cast<std::size_t>(driver)], load_before);
+  EXPECT_EQ(n.gate(tsv).fanins[0], buf);
+  EXPECT_EQ(n.gate(buf).fanins[0], driver);
+  // From-scratch agreement after a structural insert.
+  expect_reports_identical(rep, StaEngine(n, lib, &placement).run(), "post-buffer");
+}
+
+}  // namespace
+}  // namespace wcm

@@ -92,7 +92,8 @@ bool parse_args(int argc, char** argv, int first, std::map<std::string, std::str
     }
     key = key.substr(2);
     // Boolean flags take no value; everything else consumes the next token.
-    if (key == "atpg" || key == "quiet" || key == "verbose" || key == "anytime") {
+    if (key == "atpg" || key == "quiet" || key == "verbose" || key == "anytime" ||
+        key == "repair" || key == "sta-full") {
       out[key] = "1";
       continue;
     }
@@ -144,6 +145,34 @@ bool parse_int_flag(const std::map<std::string, std::string>& args, const char* 
   if (!parse_int_flag(args, cmd, name, min_value, value)) return false;
   if (value > max_value) {
     std::fprintf(stderr, "%s: --%s must be <= %d, got %d\n", cmd, name, max_value,
+                 value);
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+/// Strict double flag parsing, same contract as parse_int_flag: whole-string
+/// conversion, >= min_value, defaults survive absence.
+bool parse_double_flag(const std::map<std::string, std::string>& args, const char* cmd,
+                       const char* name, double min_value, double& out) {
+  const auto it = args.find(name);
+  if (it == args.end()) return true;
+  const std::string& raw = it->second;
+  double value = 0.0;
+  std::size_t used = 0;
+  try {
+    value = std::stod(raw, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (raw.empty() || used != raw.size()) {
+    std::fprintf(stderr, "%s: --%s expects a number, got '%s'\n", cmd, name,
+                 raw.c_str());
+    return false;
+  }
+  if (value < min_value) {
+    std::fprintf(stderr, "%s: --%s must be >= %g, got %g\n", cmd, name, min_value,
                  value);
     return false;
   }
@@ -205,6 +234,7 @@ int usage() {
                "              [--oracle structural|measured|measured-scratch]\n"
                "              [--oracle-cache <dir>] [--trace <file>]\n"
                "              [--anytime] [--time-budget-ms N]\n"
+               "              [--repair] [--repair-area-pct P] [--sta-full]\n"
                "              [--verilog <file>] [--csv <file>]\n"
                "  wcm3d campaign [--circuit all|<b11..b22>] "
                "[--method proposed|agrawal|li]\n"
@@ -395,6 +425,21 @@ int cmd_solve(const std::map<std::string, std::string>& args) {
     install_sigint_handler();
     cfg.wcm.cancel = &g_interrupted;
   }
+  cfg.wcm.timing_repair = args.count("repair") > 0;
+  if (!parse_double_flag(args, "solve", "repair-area-pct", 0.0,
+                         cfg.wcm.repair_max_area_pct))
+    return 2;
+  if (args.count("repair-area-pct") && !cfg.wcm.timing_repair) {
+    std::fprintf(stderr, "solve: --repair-area-pct requires --repair\n");
+    return 2;
+  }
+  if (cfg.wcm.timing_repair && !cfg.wcm.cancel) {
+    // Same courtesy as --anytime: ^C mid-repair commits what it has and the
+    // flow completes with a valid (partially repaired) plan.
+    install_sigint_handler();
+    cfg.wcm.cancel = &g_interrupted;
+  }
+  cfg.wcm.sta_incremental = args.count("sta-full") == 0;
   const double tight_period = tight_clock_period_ps(die, lib, PlaceOptions{});
   cfg.clock_period_ps = tight ? tight_period : tight_period * 3.0;
   cfg.run_stuck_at = args.count("atpg") > 0;
@@ -413,6 +458,14 @@ int cmd_solve(const std::map<std::string, std::string>& args) {
   std::printf("signoff           : %s (wns %.0f ps, %d endpoints)\n",
               report.timing_violation ? "VIOLATION" : "clean", report.worst_slack_ps,
               report.violating_endpoints);
+  if (cfg.wcm.timing_repair) {
+    const RepairStats& rs = report.solution.repair;
+    std::printf("timing repair     : %d nodes + %d pairs recovered "
+                "(%d upsizes, %d buffers, %.1f/%.1f um2)%s\n",
+                rs.nodes_recovered, rs.pairs_recovered, rs.upsizes, rs.buffers,
+                rs.area_spent_um2, rs.area_budget_um2,
+                rs.cancelled ? " [interrupted]" : "");
+  }
   if (cfg.run_stuck_at) {
     std::printf("stuck-at          : %.2f%% coverage, %d patterns\n",
                 100.0 * report.stuck_at.test_coverage(), report.stuck_at.patterns);
@@ -424,6 +477,7 @@ int cmd_solve(const std::map<std::string, std::string>& args) {
     Netlist inserted = die;
     Placement placement = place(die, PlaceOptions{});
     insert_wrappers(inserted, report.solution.plan, &placement);
+    apply_repair_edits(inserted, &placement, report.solution.repair_edits);
     if (args.count("out")) {
       if (!write_bench_file(inserted, args.at("out"))) {
         std::fprintf(stderr, "solve: cannot write %s\n", args.at("out").c_str());
