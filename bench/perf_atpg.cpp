@@ -1,31 +1,45 @@
 // ATPG kernel benchmark: fault collapsing + observability pruning +
-// fault-parallel sweeps, reported as BENCH_atpg.json.
+// fault-parallel sweeps + the SIMD multi-word blocks, reported as
+// BENCH_atpg.json.
 //
 //   WCM_QUICK=1  shrink the die to 1024 gates (smoke run; default 8192 —
 //                the perf_micro scaled spec)
 //   WCM_JOBS=N   widest parallel width (default 8, matching the widths the
 //                differential tests pin)
+//   WCM_SIMD     forces the dispatch tier ("off"/"scalar", "sse2", "avx2")
+//                before this process resolves it, as everywhere else
 //
-// Three measurements:
+// Measurements:
 //   * collapse_speedup — the random-phase fault-simulation kernel (the
-//     drop_detected loop, PODEM off so the sweep is the whole cost) with the
+//     window-sweep loop, PODEM off so the sweep is the whole cost) with the
 //     collapsed kernel (fault collapsing + observability pruning + FFR
 //     stem-sharing) versus the plain per-fault kernel, both serial. This is
-//     the algorithmic win and the gated number (>= 1.5x): it shows on any
-//     host, 1-core CI boxes included.
+//     the algorithmic win and the first gated number (>= 1.5x): it shows on
+//     any host, 1-core CI boxes included.
 //   * kernel times at widths {1, 2, N} with collapsing on — thread scaling,
 //     reported but not gated (see the 1-core container caveat in ROADMAP).
-//   * solve_speedup — end-to-end measured-incremental solve_wcm with
-//     WcmConfig::atpg_collapse on versus off, serial. Reported, not gated.
+//   * simd rows — raw serial detect_masks throughput (patterns/sec) at block
+//     widths {1, 4, 8} for every ISA tier this host can execute, same total
+//     pattern volume per configuration. The dispatch choice is recorded, and
+//     W=8 vs W=1 at the dispatched ISA is the second gated number (>= 2x).
+//   * solve_speedup / simd_solve_speedup — end-to-end measured-incremental
+//     solve_wcm A/Bs: atpg_collapse on vs off (at width 1), then width 8 vs
+//     width 1 (collapsed). Reported, not gated.
 //
-// Every timed run must produce a bit-identical result to the baseline — the
-// bench doubles as a determinism check at benchmark scale and exits nonzero
-// on any mismatch (or a missed collapse gate).
+// Every timed kernel runs three repetitions; "seconds" is the best (the
+// gated and regression-compared number — scheduler noise only ever adds
+// time), with the median and the population stddev reported alongside so a
+// noisy host is visible in the JSON. Every timed run must produce a
+// bit-identical result to the baseline — the bench doubles as a determinism
+// check at benchmark scale and exits nonzero on any mismatch (or a missed
+// gate).
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,15 +50,37 @@
 #include "core/solver.hpp"
 #include "gen/generator.hpp"
 #include "place/place.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace wcm;
 
+/// Best / median / population stddev over the repetitions of one kernel.
+struct Stats {
+  double best = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+};
+
+Stats stats_of(std::vector<double> reps) {
+  Stats s;
+  std::sort(reps.begin(), reps.end());
+  s.best = reps.front();
+  s.median = reps[reps.size() / 2];
+  double mean = 0.0;
+  for (const double r : reps) mean += r;
+  mean /= static_cast<double>(reps.size());
+  double var = 0.0;
+  for (const double r : reps) var += (r - mean) * (r - mean);
+  s.stddev = std::sqrt(var / static_cast<double>(reps.size()));
+  return s;
+}
+
 struct Run {
   std::string label;
-  double seconds = 0.0;
+  Stats t;
   std::string signature;
 };
 
@@ -55,18 +91,25 @@ std::string result_signature(const AtpgResult& r) {
   return os.str();
 }
 
+constexpr int kReps = 3;
+
+void print_run(const char* label, const Stats& t, const char* suffix) {
+  std::printf("  %-34s %8.3f s  (median %.3f, stddev %.3f)%s\n", label, t.best,
+              t.median, t.stddev, suffix);
+}
+
 Run time_campaign(const char* label, const TestView& view, const AtpgOptions& opts) {
-  // Best of three: the kernels run in ~0.1s, where scheduler noise can move
-  // a single shot by more than the gate margin. Every repeat must also
+  // Three repetitions: the kernels run in ~0.1s, where scheduler noise can
+  // move a single shot by more than the gate margin. Every repeat must also
   // produce the same result (determinism across reruns, not just knobs).
   Run r;
   r.label = label;
-  r.seconds = 1e30;
-  for (int rep = 0; rep < 3; ++rep) {
+  std::vector<double> reps;
+  for (int rep = 0; rep < kReps; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
     const AtpgResult res = AtpgEngine(view).run_stuck_at(opts);
     const auto t1 = std::chrono::steady_clock::now();
-    r.seconds = std::min(r.seconds, std::chrono::duration<double>(t1 - t0).count());
+    reps.push_back(std::chrono::duration<double>(t1 - t0).count());
     const std::string sig = result_signature(res);
     if (rep == 0) {
       r.signature = sig;
@@ -75,7 +118,8 @@ Run time_campaign(const char* label, const TestView& view, const AtpgOptions& op
       std::exit(1);
     }
   }
-  std::printf("  %-32s %8.3f s   (%s)\n", label, r.seconds, r.signature.c_str());
+  r.t = stats_of(std::move(reps));
+  print_run(label, r.t, (" [" + r.signature + "]").c_str());
   return r;
 }
 
@@ -91,6 +135,17 @@ std::string solution_signature(const WcmSolution& sol) {
   }
   return os.str();
 }
+
+/// One raw detect_masks throughput row: serial sweeps of the collapsed probe
+/// list at block width `width` under ISA `isa`, `total_batches` 64-pattern
+/// batches in total (identical pattern volume for every configuration).
+struct SimdRow {
+  std::string label;
+  simd::Isa isa;
+  int width = 1;
+  Stats t;
+  double patterns_per_sec = 0.0;
+};
 
 }  // namespace
 
@@ -114,8 +169,10 @@ int main() {
   spec.num_pos = 8;
   spec.seed = 7;
 
-  std::printf("atpg perf: %d gates, widths {1,2,%d} (%d hardware threads)\n", gates,
-              jobs, ThreadPool::default_concurrency());
+  const char* dispatch = simd::isa_name(simd::active());
+  std::printf("atpg perf: %d gates, widths {1,2,%d} (%d hardware threads), "
+              "simd dispatch %s\n",
+              gates, jobs, ThreadPool::default_concurrency(), dispatch);
 
   const Netlist n = generate_die(spec);
   const TestView view = build_reference_view(n);
@@ -141,15 +198,17 @@ int main() {
               full.size(), cls.probes.size(), collapse_ratio, stem_count, stem_ratio);
 
   // Fault-simulation kernel: PODEM off so the timed loop is exactly the
-  // random-phase drop_detected sweeps the collapse accelerates, and the
-  // solver's own batch budget (solve_wcm's measured-oracle options) so the
-  // timed mix of heavy early batches vs good-machine overhead matches what
-  // a measured solve actually runs.
+  // random-phase sweeps the collapse accelerates, and the solver's own batch
+  // budget (solve_wcm's measured-oracle options) so the timed mix of heavy
+  // early batches vs good-machine overhead matches what a measured solve
+  // actually runs. Width 1 keeps this series comparable with pre-SIMD
+  // baselines; the simd rows below carry the width axis.
   AtpgOptions kernel;
   kernel.deterministic_phase = false;
   kernel.max_random_batches = 8;
   kernel.useless_batch_window = 2;
   kernel.threads = 1;
+  kernel.sim_words = 1;
 
   std::vector<Run> runs;
   {
@@ -179,14 +238,107 @@ int main() {
     }
 
   const double collapse_speedup =
-      runs[1].seconds > 0 ? runs[0].seconds / runs[1].seconds : 0;
+      runs[1].t.best > 0 ? runs[0].t.best / runs[1].t.best : 0;
   const double thread_speedup =
-      runs[3].seconds > 0 ? runs[1].seconds / runs[3].seconds : 0;
+      runs[3].t.best > 0 ? runs[1].t.best / runs[3].t.best : 0;
 
-  // End-to-end measured-incremental solve, collapse on vs off. A much
-  // smaller die keeps the from-scratch halves of the A/B affordable — the
-  // solve is dominated by the compat-graph oracle queries, so this number is
-  // context, not the gate.
+  // ---- raw detect_masks throughput: width x ISA --------------------------
+  // Every configuration sweeps the same pre-drawn pattern volume through the
+  // serial collapsed-probe sweep (one good_sim + one detect_masks per
+  // window), so patterns/sec is directly comparable across rows. Before its
+  // timed repetitions each configuration replays the first window and checks
+  // the detection blocks word-for-word against a scalar width-1 reference —
+  // the bit-identity contract, enforced at benchmark scale.
+  const int total_batches = quick_mode ? 16 : 48;  // divisible by 1, 4, 8
+  const std::size_t nc = view.num_controls();
+  std::mt19937_64 rng(0x51D7);
+  std::vector<std::vector<std::uint64_t>> batches(
+      static_cast<std::size_t>(total_batches));
+  for (auto& b : batches) {
+    b.resize(nc);
+    for (auto& w : b) w = rng();
+  }
+  std::vector<std::vector<std::uint64_t>> ref_masks(batches.size());
+  {
+    if (!simd::force_isa(simd::Isa::kScalar)) std::abort();
+    Simulator sim(view, 1);
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      sim.good_sim(batches[b]);
+      ref_masks[b].resize(cls.probes.size());
+      sim.detect_masks(cls.probes, ref_masks[b].data(), 1);
+    }
+    simd::reset_isa();
+  }
+
+  std::vector<SimdRow> simd_rows;
+  std::vector<simd::Isa> isas{simd::Isa::kScalar};
+  if (simd::available(simd::Isa::kSse2)) isas.push_back(simd::Isa::kSse2);
+  if (simd::available(simd::Isa::kAvx2)) isas.push_back(simd::Isa::kAvx2);
+  for (const simd::Isa isa : isas) {
+    for (const int width : {1, 4, 8}) {
+      if (!simd::force_isa(isa)) std::abort();
+      Simulator sim(view, width);
+      const std::size_t nw = static_cast<std::size_t>(width);
+      std::vector<std::uint64_t> block(nc * nw);
+      std::vector<std::uint64_t> masks(cls.probes.size() * nw);
+      auto sweep = [&](std::size_t first) {
+        for (std::size_t c = 0; c < nc; ++c)
+          for (std::size_t j = 0; j < nw; ++j)
+            block[c * nw + j] = batches[first + j][c];
+        sim.good_sim(block);
+        sim.detect_masks(cls.probes, masks.data(), 1);
+      };
+
+      sweep(0);  // untimed: verify against the scalar width-1 reference
+      for (std::size_t i = 0; i < cls.probes.size(); ++i)
+        for (std::size_t j = 0; j < nw; ++j)
+          if (masks[i * nw + j] != ref_masks[j][i]) {
+            std::fprintf(stderr,
+                         "SIMD MASK MISMATCH: w=%d isa=%s fault=%zu word=%zu\n",
+                         width, simd::isa_name(isa), i, j);
+            ++mismatches;
+          }
+
+      std::vector<double> reps;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t first = 0; first + nw <= batches.size(); first += nw)
+          sweep(first);
+        const auto t1 = std::chrono::steady_clock::now();
+        reps.push_back(std::chrono::duration<double>(t1 - t0).count());
+      }
+      SimdRow row;
+      row.isa = isa;
+      row.width = width;
+      row.label = "simd/detect_masks/w=" + std::to_string(width) + "/" +
+                  simd::isa_name(isa);
+      row.t = stats_of(std::move(reps));
+      row.patterns_per_sec =
+          row.t.best > 0 ? static_cast<double>(total_batches) * 64.0 / row.t.best : 0;
+      char suffix[64];
+      std::snprintf(suffix, sizeof suffix, "  %10.0f patterns/s",
+                    row.patterns_per_sec);
+      print_run(row.label.c_str(), row.t, suffix);
+      simd_rows.push_back(std::move(row));
+    }
+  }
+  simd::reset_isa();
+
+  // The SIMD gate: W=8 vs W=1 at the dispatched ISA (what production runs).
+  const simd::Isa active_isa = simd::active();
+  double pps_w1 = 0, pps_w8 = 0;
+  for (const SimdRow& row : simd_rows) {
+    if (row.isa != active_isa) continue;
+    if (row.width == 1) pps_w1 = row.patterns_per_sec;
+    if (row.width == 8) pps_w8 = row.patterns_per_sec;
+  }
+  const double simd_speedup_w8 = pps_w1 > 0 ? pps_w8 / pps_w1 : 0;
+
+  // End-to-end measured-incremental solves. A much smaller die keeps the
+  // from-scratch halves of the A/Bs affordable — the solve is dominated by
+  // the compat-graph oracle queries, so these numbers are context, not
+  // gates. Three configurations: collapse off (width 1), collapse on
+  // (width 1), collapse on (width 8); all three plans must be identical.
   DieSpec solve_spec = spec;
   solve_spec.num_gates = gates / 8;
   solve_spec.num_scan_ffs = std::max(4, gates / 320);
@@ -201,34 +353,55 @@ int main() {
   cfg.oracle_incremental = true;
   cfg.solve_threads = 1;
 
-  double solve_seconds[2] = {0, 0};
-  std::string solve_sig[2];
-  for (const bool collapse : {false, true}) {
-    cfg.atpg_collapse = collapse;
+  struct SolveCase {
+    const char* label;
+    bool collapse;
+    int sim_words;
+  };
+  const SolveCase solve_cases[] = {
+      {"solve/measured/collapse=off", false, 1},
+      {"solve/measured/collapse=on", true, 1},
+      {"solve/measured/simwords=8", true, 8},
+  };
+  double solve_seconds[3] = {0, 0, 0};
+  std::string solve_sig[3];
+  for (int i = 0; i < 3; ++i) {
+    cfg.atpg_collapse = solve_cases[i].collapse;
+    cfg.atpg_sim_words = solve_cases[i].sim_words;
     const auto t0 = std::chrono::steady_clock::now();
     const WcmSolution sol = solve_wcm(solve_die, &placement, lib, cfg);
     const auto t1 = std::chrono::steady_clock::now();
-    solve_seconds[collapse] = std::chrono::duration<double>(t1 - t0).count();
-    solve_sig[collapse] = solution_signature(sol);
-    std::printf("  %-32s %8.3f s\n",
-                collapse ? "solve/measured/collapse=on" : "solve/measured/collapse=off",
-                solve_seconds[collapse]);
-  }
-  if (solve_sig[0] != solve_sig[1]) {
-    std::fprintf(stderr, "SIGNATURE MISMATCH: solve collapse on vs off\n");
-    ++mismatches;
+    solve_seconds[i] = std::chrono::duration<double>(t1 - t0).count();
+    solve_sig[i] = solution_signature(sol);
+    std::printf("  %-34s %8.3f s\n", solve_cases[i].label, solve_seconds[i]);
+    if (solve_sig[i] != solve_sig[0]) {
+      std::fprintf(stderr, "SIGNATURE MISMATCH: %s vs %s\n", solve_cases[i].label,
+                   solve_cases[0].label);
+      ++mismatches;
+    }
   }
   const double solve_speedup =
       solve_seconds[1] > 0 ? solve_seconds[0] / solve_seconds[1] : 0;
+  const double simd_solve_speedup =
+      solve_seconds[2] > 0 ? solve_seconds[1] / solve_seconds[2] : 0;
 
   std::printf("speedups: collapse+prune %.2fx (gate >= 1.5x), threads x%d %.2fx, "
-              "measured solve %.2fx\n",
-              collapse_speedup, jobs, thread_speedup, solve_speedup);
+              "simd w8 %.2fx @ %s (gate >= 2x), measured solve %.2fx, "
+              "simd solve %.2fx\n",
+              collapse_speedup, jobs, thread_speedup, simd_speedup_w8,
+              simd::isa_name(active_isa), solve_speedup, simd_solve_speedup);
 
-  const bool gate_ok = collapse_speedup >= 1.5;
-  if (!gate_ok)
+  bool gate_ok = true;
+  if (collapse_speedup < 1.5) {
     std::fprintf(stderr, "GATE FAILED: collapse+prune speedup %.2fx < 1.5x\n",
                  collapse_speedup);
+    gate_ok = false;
+  }
+  if (simd_speedup_w8 < 2.0) {
+    std::fprintf(stderr, "GATE FAILED: simd w=8 speedup %.2fx < 2x (isa %s)\n",
+                 simd_speedup_w8, simd::isa_name(active_isa));
+    gate_ok = false;
+  }
 
   std::ofstream json("BENCH_atpg.json");
   json << "{\"bench\":\"atpg\",\"gates\":" << gates
@@ -237,19 +410,33 @@ int main() {
        << ",\"stem_ratio\":" << stem_ratio
        << ",\"parallel_width\":" << jobs
        << ",\"hardware_threads\":" << ThreadPool::default_concurrency()
+       << ",\"dispatch\":\"" << dispatch << '"'
        << ",\"deterministic\":" << (mismatches == 0 ? "true" : "false")
        << ",\"collapse_speedup\":" << collapse_speedup
        << ",\"thread_speedup\":" << thread_speedup
-       << ",\"solve_speedup\":" << solve_speedup << ",\"kernels\":[";
+       << ",\"simd_speedup_w8\":" << simd_speedup_w8
+       << ",\"solve_speedup\":" << solve_speedup
+       << ",\"simd_solve_speedup\":" << simd_solve_speedup << ",\"kernels\":[";
   bool first = true;
   for (const Run& r : runs) {
     if (!first) json << ',';
     first = false;
-    json << "{\"label\":\"" << r.label << "\",\"seconds\":" << r.seconds << "}";
+    json << "{\"label\":\"" << r.label << "\",\"seconds\":" << r.t.best
+         << ",\"median_seconds\":" << r.t.median
+         << ",\"stddev_seconds\":" << r.t.stddev << "}";
   }
-  json << ",{\"label\":\"solve/measured/collapse=off\",\"seconds\":" << solve_seconds[0]
-       << "},{\"label\":\"solve/measured/collapse=on\",\"seconds\":" << solve_seconds[1]
-       << "}]}\n";
+  for (const SimdRow& row : simd_rows) {
+    json << ",{\"label\":\"" << row.label << "\",\"seconds\":" << row.t.best
+         << ",\"median_seconds\":" << row.t.median
+         << ",\"stddev_seconds\":" << row.t.stddev
+         << ",\"patterns_per_sec\":" << row.patterns_per_sec
+         << ",\"isa\":\"" << simd::isa_name(row.isa) << '"'
+         << ",\"width\":" << row.width << "}";
+  }
+  for (int i = 0; i < 3; ++i)
+    json << ",{\"label\":\"" << solve_cases[i].label
+         << "\",\"seconds\":" << solve_seconds[i] << "}";
+  json << "]}\n";
   std::printf("wrote BENCH_atpg.json\n");
 
   return (mismatches == 0 && gate_ok) ? 0 : 1;

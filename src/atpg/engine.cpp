@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <functional>
 #include <stdexcept>
 
 #include "atpg/podem.hpp"
@@ -52,7 +53,8 @@ AtpgResult AtpgEngine::run_stuck_at_warm_subset(const AtpgOptions& opts,
 AtpgResult AtpgEngine::run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fault> faults,
                                          const StuckAtParams& params) const {
   const Netlist& n = *view_->netlist;
-  Simulator sim(*view_);
+  const int sim_words = std::clamp(opts.sim_words, 1, Simulator::kMaxWords);
+  Simulator sim(*view_, sim_words);
   sim.set_share_stems(opts.share_stems);
   Rng rng(opts.seed);
 
@@ -96,47 +98,76 @@ AtpgResult AtpgEngine::run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fa
 
   std::vector<Fault> probe_buf;
   std::vector<std::uint64_t> mask_buf;
+  std::vector<std::uint64_t> block_buf;
+  std::vector<char> dead;
 
-  /// Simulates one already-good_sim'ed batch against the active classes with
-  /// fault dropping and first-detecting-pattern attribution. Returns the
-  /// number of useful (kept) patterns.
-  auto drop_detected = [&](void) -> int {
+  /// Sweeps a window of up to sim_words already-generated 64-pattern batches
+  /// in ONE wide good_sim + detect_masks pass, then replays the per-batch
+  /// accounting serially against the block outputs: fault dropping,
+  /// first-detecting-pattern attribution and the useful-pattern counts come
+  /// out exactly as if the batches had been swept one at a time. After each
+  /// applied sub-batch `on_batch(j, kept)` runs the caller's accounting; a
+  /// false return is the caller's stop condition (the 1-wide engine would
+  /// have stopped generating there), and it — like a drained active list —
+  /// discards every trailing sub-batch UNAPPLIED: no fault drops, no
+  /// detection credit, exactly as if those batches were never simulated.
+  auto sweep_window = [&](std::span<const std::vector<std::uint64_t>> window,
+                          const std::function<bool(std::size_t, int)>& on_batch) {
+    const std::size_t nw = window.size();
+    const std::size_t nc = view_->num_controls();
+    block_buf.resize(nc * nw);
+    for (std::size_t c = 0; c < nc; ++c)
+      for (std::size_t j = 0; j < nw; ++j) block_buf[c * nw + j] = window[j][c];
+    sim.good_sim(block_buf);
     probe_buf.clear();
     for (int c : active) probe_buf.push_back(cls.probes[static_cast<std::size_t>(c)]);
-    mask_buf.resize(active.size());
+    mask_buf.resize(active.size() * nw);
     sim.detect_masks(probe_buf, mask_buf.data(), opts.threads);
-    std::uint64_t useful = 0;  // patterns that detected >= 1 new fault
-    std::vector<int> still;
-    still.reserve(active.size());
-    for (std::size_t k = 0; k < active.size(); ++k) {
-      const int c = active[k];
-      const std::uint64_t mask = mask_buf[k];
-      if (mask == 0) {
-        still.push_back(c);
-        continue;
+    dead.assign(active.size(), 0);
+    std::size_t ndead = 0;
+    for (std::size_t j = 0; j < nw; ++j) {
+      if (ndead == active.size()) break;
+      std::uint64_t useful = 0;  // patterns that detected >= 1 new fault
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        if (dead[k]) continue;  // dropped by an earlier sub-batch
+        const std::uint64_t mask = mask_buf[k * nw + j];
+        if (mask == 0) continue;
+        // Attribute the detection to the first detecting pattern, mirroring
+        // how a compaction pass keeps the earliest covering vector.
+        useful |= (mask & (~mask + 1));
+        dead[k] = 1;
+        ++ndead;
+        const auto& members = cls.members[static_cast<std::size_t>(active[k])];
+        result.detected += static_cast<int>(members.size());
+        if (params.detected)
+          for (int m : members)
+            (*params.detected)[flag_of(input[static_cast<std::size_t>(m)])] = 1;
       }
-      // Attribute the detection to the first detecting pattern, mirroring
-      // how a compaction pass keeps the earliest covering vector.
-      useful |= (mask & (~mask + 1));
-      const auto& members = cls.members[static_cast<std::size_t>(c)];
-      result.detected += static_cast<int>(members.size());
-      if (params.detected)
-        for (int m : members)
-          (*params.detected)[flag_of(input[static_cast<std::size_t>(m)])] = 1;
+      if (!on_batch(j, std::popcount(useful))) break;
     }
+    std::vector<int> still;
+    still.reserve(active.size() - ndead);
+    for (std::size_t k = 0; k < active.size(); ++k)
+      if (!dead[k]) still.push_back(active[k]);
     active.swap(still);
-    return std::popcount(useful);
   };
 
   // ---- phase 0: warm-start replay of a recorded pattern set ----
   if (params.warm) {
     WCM_OBS_SPAN("atpg/warm_replay");
-    for (const auto& words : params.warm->batches) {
-      if (active.empty()) break;
-      WCM_ASSERT_MSG(words.size() == view_->num_controls(),
-                     "warm pattern set from an incompatible view");
-      sim.good_sim(words);
-      result.patterns += drop_detected();
+    const auto& batches = params.warm->batches;
+    std::size_t b = 0;
+    while (b < batches.size() && !active.empty()) {
+      const std::size_t take =
+          std::min(static_cast<std::size_t>(sim_words), batches.size() - b);
+      for (std::size_t j = 0; j < take; ++j)
+        WCM_ASSERT_MSG(batches[b + j].size() == view_->num_controls(),
+                       "warm pattern set from an incompatible view");
+      sweep_window(std::span(batches.data() + b, take), [&](std::size_t, int kp) {
+        result.patterns += kp;
+        return true;  // warm replay has no stop condition of its own
+      });
+      b += take;
     }
   }
 
@@ -144,16 +175,31 @@ AtpgResult AtpgEngine::run_stuck_at_impl(const AtpgOptions& opts, std::vector<Fa
   {
     WCM_OBS_SPAN("atpg/random_phase");
     int barren_streak = 0;
-    for (int batch = 0;
-         params.random_phase && batch < opts.max_random_batches && !active.empty();
-         ++batch) {
-      const auto words = random_batch(rng, view_->num_controls());
-      sim.good_sim(words);
-      const int kept = drop_detected();
-      result.patterns += kept;
-      if (kept > 0 && params.record) params.record->batches.push_back(words);
-      barren_streak = (kept == 0) ? barren_streak + 1 : 0;
-      if (barren_streak >= opts.useless_batch_window) break;
+    int batch = 0;
+    bool stop = false;
+    std::vector<std::vector<std::uint64_t>> window;
+    while (params.random_phase && !stop && batch < opts.max_random_batches &&
+           !active.empty()) {
+      // Generating the whole window up front draws more RNG words than the
+      // 1-wide engine would when it stops mid-window; that is safe here
+      // because nothing after the random phase reads this rng. The
+      // transition engine interleaves rng draws with sweeps and therefore
+      // stays at width 1.
+      const int take = std::min(sim_words, opts.max_random_batches - batch);
+      window.clear();
+      for (int j = 0; j < take; ++j)
+        window.push_back(random_batch(rng, view_->num_controls()));
+      sweep_window(window, [&](std::size_t j, int kp) {
+        ++batch;
+        result.patterns += kp;
+        if (kp > 0 && params.record) params.record->batches.push_back(window[j]);
+        barren_streak = (kp == 0) ? barren_streak + 1 : 0;
+        if (barren_streak >= opts.useless_batch_window) {
+          stop = true;
+          return false;  // trailing window batches are never applied
+        }
+        return true;
+      });
     }
   }
 

@@ -36,7 +36,7 @@ struct AtpgOptions {
   std::uint64_t seed = 0x5EED;
 
   // Kernel knobs. Results (AtpgResult, recorded PatternSets, detection
-  // flags) are bit-identical for every setting of these four — they change
+  // flags) are bit-identical for every setting of these five — they change
   // only how fast the fault-simulation sweeps run, which is why the
   // testability oracle's cache fingerprint ignores them.
   int threads = 0;          ///< fault-parallel sweep width; <=0 resolves
@@ -44,6 +44,12 @@ struct AtpgOptions {
   bool collapse = true;     ///< structural equivalence collapsing (faults.hpp)
   bool prune_unobservable = true;  ///< skip simulating dead-cone faults
   bool share_stems = true;  ///< FFR stem-sharing fault simulation (simulator.hpp)
+  int sim_words = 1;        ///< 64-pattern words per simulation block (1..8);
+                            ///< the stuck-at random/warm phases sweep
+                            ///< sim_words batches per pass and replay the
+                            ///< per-batch accounting, so results match W=1
+                            ///< exactly (transition ATPG interleaves RNG
+                            ///< draws with sweeps and stays at width 1)
 };
 
 struct AtpgResult {

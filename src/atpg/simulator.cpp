@@ -1,6 +1,7 @@
 #include "atpg/simulator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 #include "obs/obs.hpp"
@@ -9,7 +10,11 @@
 
 namespace wcm {
 
-Simulator::Simulator(const TestView& view) : view_(&view), n_(view.netlist) {
+Simulator::Simulator(const TestView& view, int sim_words)
+    : view_(&view),
+      n_(view.netlist),
+      ops_(&simd::ops()),
+      words_(static_cast<std::size_t>(std::clamp(sim_words, 1, kMaxWords))) {
   WCM_ASSERT(n_ != nullptr);
   topo_ = n_->topo_order();
   topo_rank_.assign(n_->size(), 0);
@@ -72,9 +77,64 @@ Simulator::Simulator(const TestView& view) : view_(&view), n_(view.netlist) {
     }
   }
 
-  good_.assign(n_->size(), 0);
-  stem_detect_.assign(n_->size(), 0);
+  // Level-packed evaluation schedule: bucket gates by topological level
+  // (sources at 0, everything else 1 + max fanin level — same-level gates
+  // are independent by construction), then by gate type within each level,
+  // keeping topo order inside every bucket. good_sim then runs the same op
+  // over each contiguous run with fanins streamed from a flattened CSR
+  // array, instead of a per-gate type switch and a gather loop.
+  {
+    std::vector<std::uint32_t> level(n_->size(), 0);
+    std::uint32_t nlevels = 1;
+    for (GateId id : topo_) {
+      const auto idx = static_cast<std::size_t>(id);
+      const Gate& g = n_->gate(id);
+      WCM_ASSERT(g.fanins.size() <= 64);
+      std::uint32_t l = 0;
+      if (!is_combinational_source(g.type))
+        for (GateId in : g.fanins)
+          l = std::max(l, level[static_cast<std::size_t>(in)] + 1);
+      level[idx] = l;
+      nlevels = std::max(nlevels, l + 1);
+    }
+    std::vector<std::vector<std::uint32_t>> by_level(nlevels);
+    for (GateId id : topo_)
+      by_level[level[static_cast<std::size_t>(id)]].push_back(
+          static_cast<std::uint32_t>(id));
+
+    sched_node_.reserve(n_->size());
+    sched_control_.reserve(n_->size());
+    sched_fanin_off_.reserve(n_->size() + 1);
+    std::array<std::vector<std::uint32_t>, 16> bucket;
+    for (const auto& nodes : by_level) {
+      for (std::uint32_t node : nodes)
+        bucket[static_cast<std::size_t>(n_->gate(static_cast<GateId>(node)).type)]
+            .push_back(node);
+      for (std::size_t t = 0; t < bucket.size(); ++t) {
+        if (bucket[t].empty()) continue;
+        EvalRun run;
+        run.type = static_cast<GateType>(t);
+        run.begin = static_cast<std::uint32_t>(sched_node_.size());
+        for (std::uint32_t node : bucket[t]) {
+          sched_node_.push_back(node);
+          sched_control_.push_back(control_of_node_[node]);
+          sched_fanin_off_.push_back(static_cast<std::uint32_t>(sched_fanin_.size()));
+          for (GateId in : n_->gate(static_cast<GateId>(node)).fanins)
+            sched_fanin_.push_back(static_cast<std::uint32_t>(in));
+        }
+        run.end = static_cast<std::uint32_t>(sched_node_.size());
+        sched_runs_.push_back(run);
+        bucket[t].clear();
+      }
+    }
+    sched_fanin_off_.push_back(static_cast<std::uint32_t>(sched_fanin_.size()));
+  }
+
+  good_.assign(n_->size() * words_, 0);
+  ones_.assign(words_, ~0ULL);
+  stem_detect_.assign(n_->size() * words_, 0);
   stem_epoch_.assign(n_->size(), 0);
+  stem_live_.assign(n_->size(), 0);
   scratch_ = make_scratch();
 
   // Every combinational source must be controllable or a constant, otherwise
@@ -89,36 +149,98 @@ Simulator::Simulator(const TestView& view) : view_(&view), n_(view.netlist) {
 
 Simulator::Scratch Simulator::make_scratch() const {
   Scratch s;
-  s.faulty.assign(n_->size(), 0);
+  s.faulty.assign(n_->size() * words_, 0);
   s.stamp.assign(n_->size(), 0);
   s.in_heap_stamp.assign(n_->size(), 0);
-  s.obs_diff.assign(view_->observes.size(), 0);
+  s.obs_diff.assign(view_->observes.size() * words_, 0);
   s.obs_stamp.assign(view_->observes.size(), 0);
+  s.tmp.assign(2 * words_, 0);
   return s;
 }
 
 void Simulator::good_sim(std::span<const std::uint64_t> control_words) {
-  WCM_ASSERT(control_words.size() == view_->controls.size());
+  const std::size_t nc = view_->controls.size();
+  const std::size_t nw = nc == 0 ? 1 : control_words.size() / nc;
+  WCM_ASSERT_MSG(nw >= 1 && nw <= words_ && control_words.size() == nc * nw,
+                 "control word count must be num_controls * nw, nw in [1, sim_words]");
+  batch_words_ = nw;
   ++batch_epoch_;  // invalidates the per-batch stem-flip memo
-  std::uint64_t ins[64];
-  for (GateId id : topo_) {
-    const Gate& g = n_->gate(id);
-    const auto idx = static_cast<std::size_t>(id);
-    switch (g.type) {
-      case GateType::kTie0: good_[idx] = 0; break;
-      case GateType::kTie1: good_[idx] = ~0ULL; break;
+  const simd::Ops& o = *ops_;
+  const std::size_t W = words_;
+  const std::uint64_t* cw = control_words.data();
+  for (const EvalRun& run : sched_runs_) {
+    switch (run.type) {
+      case GateType::kTie0:
+        for (std::uint32_t i = run.begin; i < run.end; ++i)
+          o.fill(&good_[sched_node_[i] * W], 0, nw);
+        break;
+      case GateType::kTie1:
+        for (std::uint32_t i = run.begin; i < run.end; ++i)
+          o.fill(&good_[sched_node_[i] * W], ~0ULL, nw);
+        break;
       case GateType::kInput:
       case GateType::kTsvIn:
       case GateType::kDff:
-        good_[idx] = control_words[static_cast<std::size_t>(control_of_node_[idx])];
+        for (std::uint32_t i = run.begin; i < run.end; ++i)
+          o.copy(&good_[sched_node_[i] * W],
+                 cw + static_cast<std::size_t>(sched_control_[i]) * nw, nw);
         break;
-      default: {
-        const std::size_t arity = g.fanins.size();
-        WCM_ASSERT(arity <= 64);
-        for (std::size_t k = 0; k < arity; ++k)
-          ins[k] = good_[static_cast<std::size_t>(g.fanins[k])];
-        good_[idx] = eval_gate(g.type, std::span<const std::uint64_t>(ins, arity));
-      }
+      case GateType::kBuf:
+      case GateType::kOutput:
+      case GateType::kTsvOut:
+        for (std::uint32_t i = run.begin; i < run.end; ++i)
+          o.copy(&good_[sched_node_[i] * W],
+                 &good_[sched_fanin_[sched_fanin_off_[i]] * W], nw);
+        break;
+      case GateType::kNot:
+        for (std::uint32_t i = run.begin; i < run.end; ++i)
+          o.not_of(&good_[sched_node_[i] * W],
+                   &good_[sched_fanin_[sched_fanin_off_[i]] * W], nw);
+        break;
+      case GateType::kMux:
+        for (std::uint32_t i = run.begin; i < run.end; ++i) {
+          const std::uint32_t off = sched_fanin_off_[i];
+          o.mux(&good_[sched_node_[i] * W], &good_[sched_fanin_[off] * W],
+                &good_[sched_fanin_[off + 1] * W], &good_[sched_fanin_[off + 2] * W],
+                nw);
+        }
+        break;
+      case GateType::kAnd:
+      case GateType::kNand:
+        for (std::uint32_t i = run.begin; i < run.end; ++i) {
+          std::uint64_t* dst = &good_[sched_node_[i] * W];
+          const std::uint32_t off = sched_fanin_off_[i];
+          const std::uint32_t end = sched_fanin_off_[i + 1];
+          o.copy(dst, &good_[sched_fanin_[off] * W], nw);
+          for (std::uint32_t k = off + 1; k < end; ++k)
+            o.acc_and(dst, &good_[sched_fanin_[k] * W], nw);
+          if (run.type == GateType::kNand) o.not_of(dst, dst, nw);
+        }
+        break;
+      case GateType::kOr:
+      case GateType::kNor:
+        for (std::uint32_t i = run.begin; i < run.end; ++i) {
+          std::uint64_t* dst = &good_[sched_node_[i] * W];
+          const std::uint32_t off = sched_fanin_off_[i];
+          const std::uint32_t end = sched_fanin_off_[i + 1];
+          o.copy(dst, &good_[sched_fanin_[off] * W], nw);
+          for (std::uint32_t k = off + 1; k < end; ++k)
+            o.acc_or(dst, &good_[sched_fanin_[k] * W], nw);
+          if (run.type == GateType::kNor) o.not_of(dst, dst, nw);
+        }
+        break;
+      case GateType::kXor:
+      case GateType::kXnor:
+        for (std::uint32_t i = run.begin; i < run.end; ++i) {
+          std::uint64_t* dst = &good_[sched_node_[i] * W];
+          const std::uint32_t off = sched_fanin_off_[i];
+          const std::uint32_t end = sched_fanin_off_[i + 1];
+          o.copy(dst, &good_[sched_fanin_[off] * W], nw);
+          for (std::uint32_t k = off + 1; k < end; ++k)
+            o.acc_xor(dst, &good_[sched_fanin_[k] * W], nw);
+          if (run.type == GateType::kXnor) o.not_of(dst, dst, nw);
+        }
+        break;
     }
   }
 }
@@ -126,37 +248,98 @@ void Simulator::good_sim(std::span<const std::uint64_t> control_words) {
 std::uint64_t Simulator::observe_good(std::size_t obs) const {
   std::uint64_t v = 0;
   for (GateId node : view_->observes[obs].observed)
-    v ^= good_[static_cast<std::size_t>(node)];
+    v ^= good_[static_cast<std::size_t>(node) * words_];
   return v;
 }
 
-std::uint64_t Simulator::chain_sens(const Fault& f) const {
+void Simulator::eval_gate_block(GateType t, const std::uint64_t* const* ins,
+                                std::size_t arity, std::uint64_t* out,
+                                std::size_t nw) const {
+  const simd::Ops& o = *ops_;
+  switch (t) {
+    case GateType::kBuf:
+    case GateType::kOutput:
+    case GateType::kTsvOut:
+    case GateType::kDff:  // combinational view: D passes through at capture
+      o.copy(out, ins[0], nw);
+      return;
+    case GateType::kNot:
+      o.not_of(out, ins[0], nw);
+      return;
+    case GateType::kAnd:
+    case GateType::kNand:
+      o.copy(out, ins[0], nw);
+      for (std::size_t k = 1; k < arity; ++k) o.acc_and(out, ins[k], nw);
+      if (t == GateType::kNand) o.not_of(out, out, nw);
+      return;
+    case GateType::kOr:
+    case GateType::kNor:
+      o.copy(out, ins[0], nw);
+      for (std::size_t k = 1; k < arity; ++k) o.acc_or(out, ins[k], nw);
+      if (t == GateType::kNor) o.not_of(out, out, nw);
+      return;
+    case GateType::kXor:
+    case GateType::kXnor:
+      o.copy(out, ins[0], nw);
+      for (std::size_t k = 1; k < arity; ++k) o.acc_xor(out, ins[k], nw);
+      if (t == GateType::kXnor) o.not_of(out, out, nw);
+      return;
+    case GateType::kMux:
+      o.mux(out, ins[0], ins[1], ins[2], nw);
+      return;
+    case GateType::kTie0:
+      o.fill(out, 0, nw);
+      return;
+    case GateType::kTie1:
+      o.fill(out, ~0ULL, nw);
+      return;
+    case GateType::kInput:
+    case GateType::kTsvIn:
+      WCM_ASSERT_MSG(false, "source nodes have no evaluation");
+      o.fill(out, 0, nw);
+      return;
+  }
+}
+
+void Simulator::chain_sens(const Fault& f, Scratch& s, std::uint64_t* diff) const {
+  const std::size_t nw = batch_words_;
+  const std::size_t W = words_;
+  const simd::Ops& o = *ops_;
   const auto site = static_cast<std::size_t>(f.site);
-  std::uint64_t diff = good_[site] ^ (f.stuck_value ? ~0ULL : 0);
+  // Activation: patterns where the good value differs from the stuck value.
+  if (f.stuck_value)
+    o.not_of(diff, &good_[site * W], nw);
+  else
+    o.copy(diff, &good_[site * W], nw);
   GateId cur = f.site;
-  std::uint64_t ins[64];
-  while (diff != 0) {
+  std::uint64_t* flipped = s.tmp.data();
+  std::uint64_t* evalb = s.tmp.data() + W;
+  const std::uint64_t* ins[64];
+  while (o.any(diff, nw)) {  // early exit: effect fully masked on the chain
     const Gate& g = n_->gate(cur);
     if (g.fanouts.size() != 1) break;
     const GateId fo = g.fanouts.front();
     const Gate& fog = n_->gate(fo);
     if (fog.type == GateType::kDff) break;
     const std::size_t arity = fog.fanins.size();
-    const std::uint64_t flipped = good_[static_cast<std::size_t>(cur)] ^ diff;
+    o.xor_of(flipped, &good_[static_cast<std::size_t>(cur) * W], diff, nw);
     for (std::size_t k = 0; k < arity; ++k) {
       const GateId in = fog.fanins[k];
-      ins[k] = (in == cur) ? flipped : good_[static_cast<std::size_t>(in)];
+      ins[k] = (in == cur) ? flipped : &good_[static_cast<std::size_t>(in) * W];
     }
-    diff = eval_gate(fog.type, std::span<const std::uint64_t>(ins, arity)) ^
-           good_[static_cast<std::size_t>(fo)];
+    eval_gate_block(fog.type, ins, arity, evalb, nw);
+    o.xor_of(diff, evalb, &good_[static_cast<std::size_t>(fo) * W], nw);
     cur = fo;
   }
-  return diff;
 }
 
-std::uint64_t Simulator::propagate_detect(GateId seed, std::uint64_t diff,
-                                          Scratch& s) const {
-  if (diff == 0) return 0;
+void Simulator::propagate_detect(GateId seed, const std::uint64_t* diff, Scratch& s,
+                                 std::uint64_t* detect) const {
+  const std::size_t nw = batch_words_;
+  const std::size_t W = words_;
+  const simd::Ops& o = *ops_;
+  o.fill(detect, 0, nw);
+  if (!o.any(diff, nw)) return;
   const auto seed_idx = static_cast<std::size_t>(seed);
 
   ++s.epoch;
@@ -180,8 +363,8 @@ std::uint64_t Simulator::propagate_detect(GateId seed, std::uint64_t diff,
     return node;
   };
 
-  // Seed: the injected node takes the flipped word.
-  s.faulty[seed_idx] = good_[seed_idx] ^ diff;
+  // Seed: the injected node takes the flipped block.
+  o.xor_of(&s.faulty[seed_idx * W], &good_[seed_idx * W], diff, nw);
   s.stamp[seed_idx] = s.epoch;
   s.touched.push_back(seed);
   for (GateId fo : n_->gate(seed).fanouts) {
@@ -193,7 +376,7 @@ std::uint64_t Simulator::propagate_detect(GateId seed, std::uint64_t diff,
     push(fo);
   }
 
-  std::uint64_t ins[64];
+  const std::uint64_t* ins[64];
   while (!s.heap.empty()) {
     const GateId node = pop();
     const Gate& g = n_->gate(node);
@@ -201,11 +384,14 @@ std::uint64_t Simulator::propagate_detect(GateId seed, std::uint64_t diff,
     const std::size_t arity = g.fanins.size();
     for (std::size_t k = 0; k < arity; ++k) {
       const auto in = static_cast<std::size_t>(g.fanins[k]);
-      ins[k] = (s.stamp[in] == s.epoch) ? s.faulty[in] : good_[in];
+      ins[k] = (s.stamp[in] == s.epoch) ? &s.faulty[in * W] : &good_[in * W];
     }
-    const std::uint64_t out = eval_gate(g.type, std::span<const std::uint64_t>(ins, arity));
-    if (out == good_[idx]) continue;  // effect masked here
-    s.faulty[idx] = out;
+    // Evaluating straight into the node's faulty slot is safe: the netlist
+    // is acyclic, so no fanin aliases it, and the slot is dead until
+    // stamped.
+    std::uint64_t* out = &s.faulty[idx * W];
+    eval_gate_block(g.type, ins, arity, out, nw);
+    if (o.equal(out, &good_[idx * W], nw)) continue;  // effect masked here
     s.stamp[idx] = s.epoch;
     s.touched.push_back(node);
     for (GateId fo : g.fanouts) {
@@ -217,49 +403,82 @@ std::uint64_t Simulator::propagate_detect(GateId seed, std::uint64_t diff,
   // Detection: XOR of per-member differences at every touched observe point.
   // Observe points are typically touched by few members; accumulate lazily
   // into epoch-stamped per-observe scratch.
-  std::uint64_t detect = 0;
   s.obs_touched.clear();
   for (GateId node : s.touched) {
     const auto idx = static_cast<std::size_t>(node);
-    const std::uint64_t node_diff = s.faulty[idx] ^ good_[idx];
-    for (int o : observes_of_node_[idx]) {
-      if (s.obs_stamp[static_cast<std::size_t>(o)] != s.epoch) {
-        s.obs_stamp[static_cast<std::size_t>(o)] = s.epoch;
-        s.obs_diff[static_cast<std::size_t>(o)] = 0;
-        s.obs_touched.push_back(o);
+    for (int ob : observes_of_node_[idx]) {
+      const auto oi = static_cast<std::size_t>(ob);
+      if (s.obs_stamp[oi] != s.epoch) {
+        s.obs_stamp[oi] = s.epoch;
+        o.fill(&s.obs_diff[oi * W], 0, nw);
+        s.obs_touched.push_back(ob);
       }
-      s.obs_diff[static_cast<std::size_t>(o)] ^= node_diff;
+      o.acc_xor2(&s.obs_diff[oi * W], &s.faulty[idx * W], &good_[idx * W], nw);
     }
   }
-  for (int o : s.obs_touched) detect |= s.obs_diff[static_cast<std::size_t>(o)];
-  return detect;
+  for (int ob : s.obs_touched)
+    o.acc_or(detect, &s.obs_diff[static_cast<std::size_t>(ob) * W], nw);
 }
 
-std::uint64_t Simulator::detect_mask_direct(const Fault& f, Scratch& s) const {
+void Simulator::detect_mask_direct(const Fault& f, Scratch& s,
+                                   std::uint64_t* out) const {
   const auto site = static_cast<std::size_t>(f.site);
-  const std::uint64_t stuck = f.stuck_value ? ~0ULL : 0;
   // good == stuck means the fault is never activated in this batch: the
-  // injected diff is zero and propagate_detect returns 0 without work.
-  return propagate_detect(f.site, good_[site] ^ stuck, s);
+  // injected diff is zero and propagate_detect returns all-zero without
+  // work. propagate_detect never touches s.tmp, so the diff can live there.
+  std::uint64_t* diff = s.tmp.data();
+  if (f.stuck_value)
+    ops_->not_of(diff, &good_[site * words_], batch_words_);
+  else
+    ops_->copy(diff, &good_[site * words_], batch_words_);
+  propagate_detect(f.site, diff, s, out);
 }
 
-std::uint64_t Simulator::detect_mask(const Fault& f, Scratch& s) const {
-  if (!share_stems_) return detect_mask_direct(f, s);
-  const std::uint64_t sens = chain_sens(f);
-  if (sens == 0) return 0;
-  return sens & propagate_detect(stem_of_[static_cast<std::size_t>(f.site)], ~0ULL, s);
+void Simulator::detect_mask(const Fault& f, Scratch& s, std::uint64_t* out) const {
+  if (!share_stems_) return detect_mask_direct(f, s, out);
+  const std::size_t nw = batch_words_;
+  chain_sens(f, s, out);
+  if (!ops_->any(out, nw)) return;  // out already holds the all-zero block
+  const auto stem = stem_of_[static_cast<std::size_t>(f.site)];
+  // chain_sens is done with s.tmp by now; reuse its first block for the
+  // stem's detect word.
+  propagate_detect(stem, ones_.data(), s, s.tmp.data());
+  ops_->acc_and(out, s.tmp.data(), nw);
 }
 
-std::uint64_t Simulator::detect_mask(const Fault& f) {
-  if (!share_stems_) return detect_mask_direct(f, scratch_);
-  const std::uint64_t sens = chain_sens(f);
-  if (sens == 0) return 0;
+void Simulator::detect_mask(const Fault& f, std::uint64_t* out) {
+  if (!share_stems_) return detect_mask_direct(f, scratch_, out);
+  const std::size_t nw = batch_words_;
+  chain_sens(f, scratch_, out);
+  if (!ops_->any(out, nw)) return;
   const auto stem = static_cast<std::size_t>(stem_of_[static_cast<std::size_t>(f.site)]);
   if (stem_epoch_[stem] != batch_epoch_) {
     stem_epoch_[stem] = batch_epoch_;
-    stem_detect_[stem] = propagate_detect(static_cast<GateId>(stem), ~0ULL, scratch_);
+    propagate_detect(static_cast<GateId>(stem), ones_.data(), scratch_,
+                     &stem_detect_[stem * words_]);
   }
-  return sens & stem_detect_[stem];
+  ops_->acc_and(out, &stem_detect_[stem * words_], nw);
+}
+
+std::uint64_t Simulator::detect_mask(const Fault& f) {
+  WCM_ASSERT(batch_words_ == 1);
+  std::uint64_t m = 0;
+  detect_mask(f, &m);
+  return m;
+}
+
+std::uint64_t Simulator::detect_mask(const Fault& f, Scratch& s) const {
+  WCM_ASSERT(batch_words_ == 1);
+  std::uint64_t m = 0;
+  detect_mask(f, s, &m);
+  return m;
+}
+
+std::uint64_t Simulator::detect_mask_direct(const Fault& f, Scratch& s) const {
+  WCM_ASSERT(batch_words_ == 1);
+  std::uint64_t m = 0;
+  detect_mask_direct(f, s, &m);
+  return m;
 }
 
 std::unique_ptr<Simulator::Scratch> Simulator::acquire_scratch() {
@@ -279,6 +498,48 @@ void Simulator::release_scratch(std::unique_ptr<Scratch> s) {
   scratch_pool_.push_back(std::move(s));
 }
 
+void Simulator::ensure_sweep_plan(std::span<const Fault> faults) {
+  // FNV-1a over the (site, stuck) keys gates the cache; the exact keys are
+  // kept and compared on a hash hit, so a collision costs a rebuild, never a
+  // wrong plan.
+  std::uint64_t fp = 1469598103934665603ULL;
+  auto mix = [&fp](std::uint64_t v) {
+    fp ^= v;
+    fp *= 1099511628211ULL;
+  };
+  auto key_of = [](const Fault& f) {
+    return (static_cast<std::uint64_t>(f.site) << 1) | (f.stuck_value ? 1 : 0);
+  };
+  mix(faults.size());
+  for (const Fault& f : faults) mix(key_of(f));
+  if (fp == plan_.fingerprint && plan_.keys.size() == faults.size()) {
+    bool same = true;
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (plan_.keys[i] != key_of(faults[i])) {
+        same = false;
+        break;
+      }
+    if (same) return;
+  }
+  ++plan_rebuilds_;
+  plan_.fingerprint = fp;
+  plan_.keys.resize(faults.size());
+  plan_.stems.clear();
+  ++sweep_seq_;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    plan_.keys[i] = key_of(faults[i]);
+    const auto stem =
+        static_cast<std::size_t>(stem_of_[static_cast<std::size_t>(faults[i].site)]);
+    if (stem_live_[stem] != sweep_seq_) {
+      stem_live_[stem] = sweep_seq_;
+      plan_.stems.push_back(static_cast<GateId>(stem));
+    }
+  }
+  std::sort(plan_.stems.begin(), plan_.stems.end(), [this](GateId a, GateId b) {
+    return topo_rank_[static_cast<std::size_t>(a)] < topo_rank_[static_cast<std::size_t>(b)];
+  });
+}
+
 void Simulator::detect_masks(std::span<const Fault> faults, std::uint64_t* out,
                              int threads) {
   // Chunk sizes trade scheduling overhead against load balance on the long
@@ -290,21 +551,23 @@ void Simulator::detect_masks(std::span<const Fault> faults, std::uint64_t* out,
   if (faults.empty()) return;
   WCM_OBS_SPAN("atpg/stem_sweep");
   WCM_OBS_ADD("atpg.faults_swept", faults.size());
+  const std::size_t nw = batch_words_;
+  const std::size_t W = words_;
   const bool serial = faults.size() <= kChunk || !exec::runs_parallel(threads);
 
   if (!share_stems_) {
     if (serial) {
       for (std::size_t i = 0; i < faults.size(); ++i)
-        out[i] = detect_mask_direct(faults[i], scratch_);
+        detect_mask_direct(faults[i], scratch_, out + i * nw);
       return;
     }
     const std::size_t chunks = (faults.size() + kChunk - 1) / kChunk;
     exec::parallel_chunks(
         faults.size(), chunks, threads,
-        [this, faults, out](std::size_t, std::size_t begin, std::size_t end) {
+        [this, faults, out, nw](std::size_t, std::size_t begin, std::size_t end) {
           std::unique_ptr<Scratch> scratch = acquire_scratch();
           for (std::size_t i = begin; i < end; ++i)
-            out[i] = detect_mask_direct(faults[i], *scratch);
+            detect_mask_direct(faults[i], *scratch, out + i * nw);
           release_scratch(std::move(scratch));
         });
     return;
@@ -312,23 +575,36 @@ void Simulator::detect_masks(std::span<const Fault> faults, std::uint64_t* out,
 
   if (serial) {
     // The memoising entry point shares stem flips across the whole sweep.
-    for (std::size_t i = 0; i < faults.size(); ++i) out[i] = detect_mask(faults[i]);
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      detect_mask(faults[i], out + i * nw);
     return;
   }
 
-  // Pass 1 (serial, cheap): chain sensitisation per fault; collect the stems
-  // whose flip this batch has not computed yet. Stamping here is safe — every
-  // stamped slot is filled in pass 2 before any read in pass 3.
-  stems_buf_.clear();
+  // The dedup-and-topo-order of the list's FFR stems is cached across
+  // sweeps: the oracle probes the same collapsed list every batch, so the
+  // per-call work shrinks to a liveness filter.
+  ensure_sweep_plan(faults);
+
+  // Pass 1 (serial, cheap): chain sensitisation per fault; stamp the stems
+  // that are live (some fault sensitises them) this sweep.
+  ++sweep_seq_;
   for (std::size_t i = 0; i < faults.size(); ++i) {
-    out[i] = chain_sens(faults[i]);
-    if (out[i] == 0) continue;
-    const auto stem =
-        static_cast<std::size_t>(stem_of_[static_cast<std::size_t>(faults[i].site)]);
-    if (stem_epoch_[stem] != batch_epoch_) {
-      stem_epoch_[stem] = batch_epoch_;
-      stems_buf_.push_back(static_cast<GateId>(stem));
-    }
+    chain_sens(faults[i], scratch_, out + i * nw);
+    if (!ops_->any(out + i * nw, nw)) continue;
+    stem_live_[static_cast<std::size_t>(
+        stem_of_[static_cast<std::size_t>(faults[i].site)])] = sweep_seq_;
+  }
+
+  // Live stems whose flip this batch has not computed yet, in the plan's
+  // topological order. Stamping here is safe — every stamped slot is filled
+  // in pass 2 before any read in pass 3.
+  stems_buf_.clear();
+  for (GateId stem : plan_.stems) {
+    const auto s = static_cast<std::size_t>(stem);
+    if (stem_live_[s] != sweep_seq_) continue;
+    if (stem_epoch_[s] == batch_epoch_) continue;
+    stem_epoch_[s] = batch_epoch_;
+    stems_buf_.push_back(stem);
   }
 
   // Pass 2 (parallel): one event-driven flip propagation per fresh stem.
@@ -338,22 +614,25 @@ void Simulator::detect_masks(std::span<const Fault> faults, std::uint64_t* out,
     const std::size_t chunks = (stems_buf_.size() + kStemChunk - 1) / kStemChunk;
     exec::parallel_chunks(
         stems_buf_.size(), chunks, threads,
-        [this](std::size_t, std::size_t begin, std::size_t end) {
+        [this, W](std::size_t, std::size_t begin, std::size_t end) {
           std::unique_ptr<Scratch> scratch = acquire_scratch();
           for (std::size_t i = begin; i < end; ++i) {
             const auto stem = static_cast<std::size_t>(stems_buf_[i]);
-            stem_detect_[stem] =
-                propagate_detect(static_cast<GateId>(stem), ~0ULL, *scratch);
+            propagate_detect(static_cast<GateId>(stem), ones_.data(), *scratch,
+                             &stem_detect_[stem * W]);
           }
           release_scratch(std::move(scratch));
         });
   }
 
   // Pass 3 (serial, trivial): combine.
-  for (std::size_t i = 0; i < faults.size(); ++i)
-    if (out[i] != 0)
-      out[i] &= stem_detect_[static_cast<std::size_t>(
-          stem_of_[static_cast<std::size_t>(faults[i].site)])];
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    std::uint64_t* blk = out + i * nw;
+    if (!ops_->any(blk, nw)) continue;
+    const auto stem =
+        static_cast<std::size_t>(stem_of_[static_cast<std::size_t>(faults[i].site)]);
+    ops_->acc_and(blk, &stem_detect_[stem * W], nw);
+  }
 }
 
 }  // namespace wcm

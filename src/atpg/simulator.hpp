@@ -1,13 +1,23 @@
 // Bit-parallel logic and fault simulation over a TestView.
 //
-// 64 test patterns are simulated per pass (parallel-pattern single-fault
-// propagation, PPSFP). Fault effects are propagated event-driven through the
-// fault's forward cone only, with epoch-stamped scratch arrays so no per-
-// fault clearing is needed. Observation uses the identity
+// W·64 test patterns are simulated per pass (parallel-pattern single-fault
+// propagation, PPSFP, widened to W-word blocks; W = 1..8 → 64..512 patterns).
+// Every per-gate pattern word lives in a contiguous block of `sim_words`
+// uint64_t inside one SoA arena, and all block operations go through the
+// runtime-dispatched SIMD kernels in util/simd.hpp — scalar, SSE2 and AVX2
+// paths are bit-identical, so the width and the ISA are pure throughput
+// knobs. Fault effects are propagated event-driven through the fault's
+// forward cone only, with epoch-stamped scratch arrays so no per-fault
+// clearing is needed. Observation uses the identity
 //
 //     faulty_obs XOR good_obs = XOR over members (faulty_m XOR good_m)
 //
-// so a fault's detection word falls out of the stamped nodes alone.
+// so a fault's detection block falls out of the stamped nodes alone.
+//
+// Good-machine evaluation is level-packed: gates are grouped by topological
+// level and gate type at construction, so the hot loop is a run of identical
+// ops over contiguous word blocks (the per-gate type switch is hoisted out
+// of the inner loop and fanins stream from a flattened CSR array).
 //
 // Stem sharing: every net belongs to exactly one fanout-free region (FFR) —
 // the maximal single-fanout chain ending at its stem (a multi-fanout net, a
@@ -28,8 +38,11 @@
 // simulated concurrently as long as each stream owns its propagation
 // scratch. detect_masks() shards the work over the shared solve executor
 // with one Scratch per worker stream (pooled across calls) and writes each
-// fault's detection word to a caller-indexed slot — output is bit-identical
-// at any thread width.
+// fault's detection block to a caller-indexed slot — output is bit-identical
+// at any thread width. Repeated sweeps of the same fault list (the oracle's
+// collapsed probes, every batch) reuse a cached sweep plan: the unique FFR
+// stems of the list, deduplicated and topologically ordered once per
+// distinct list instead of once per call.
 #pragma once
 
 #include <cstdint>
@@ -40,27 +53,43 @@
 
 #include "atpg/faults.hpp"
 #include "atpg/testview.hpp"
+#include "util/simd.hpp"
 
 namespace wcm {
 
 class Simulator {
  public:
-  explicit Simulator(const TestView& view);
+  /// Upper bound on `sim_words` (8 words = 512 patterns per pass).
+  static constexpr int kMaxWords = 8;
 
-  /// Simulates the good machine for 64 patterns. `control_words[i]` holds
-  /// pattern bits for control point i.
+  /// `sim_words` fixes the block width W for the lifetime of the simulator
+  /// (clamped to [1, kMaxWords]); a batch may still use fewer words.
+  explicit Simulator(const TestView& view, int sim_words = 1);
+
+  /// Block width W this simulator was built with.
+  int sim_words() const { return static_cast<int>(words_); }
+  /// Active words of the last good_sim batch (1..sim_words).
+  int batch_words() const { return static_cast<int>(batch_words_); }
+
+  /// Simulates the good machine for nw·64 patterns, where
+  /// nw = control_words.size() / num_controls (1 <= nw <= sim_words).
+  /// Layout is control-major: words [c*nw, (c+1)*nw) hold control point c's
+  /// patterns; pattern p lives in word p/64, bit p%64.
   void good_sim(std::span<const std::uint64_t> control_words);
 
-  /// Good-machine value words after good_sim (indexed by GateId).
+  /// Good-machine value arena after good_sim. The block of node `id` starts
+  /// at index id * sim_words(); with the default width of 1 this is the
+  /// classic one-word-per-gate layout.
   const std::vector<std::uint64_t>& values() const { return good_; }
 
-  /// XOR-compacted good value at observation point `obs`.
+  /// XOR-compacted good value at observation point `obs` (first 64 patterns
+  /// of the batch).
   std::uint64_t observe_good(std::size_t obs) const;
 
   /// Propagation scratch for one concurrent detect stream (epoch-stamped,
-  /// so no clearing between faults).
+  /// so no clearing between faults). Sized for this simulator's block width.
   struct Scratch {
-    std::vector<std::uint64_t> faulty;
+    std::vector<std::uint64_t> faulty;  ///< faulty-value arena, stride sim_words
     std::vector<std::uint32_t> stamp;
     std::uint32_t epoch = 0;
     std::vector<GateId> heap;  ///< min-heap on topo rank
@@ -69,6 +98,7 @@ class Simulator {
     std::vector<std::uint64_t> obs_diff;  ///< per-observe XOR of member diffs
     std::vector<std::uint32_t> obs_stamp;
     std::vector<int> obs_touched;
+    std::vector<std::uint64_t> tmp;  ///< 2 blocks of working space
   };
   Scratch make_scratch() const;
 
@@ -79,28 +109,39 @@ class Simulator {
   void set_share_stems(bool on) { share_stems_ = on; }
   bool share_stems() const { return share_stems_; }
 
-  /// Per-pattern detection word for `f` against the last good_sim.
-  /// Bit p set => pattern p detects the fault at some observation point.
-  /// Memoises stem flips across calls within the current batch.
-  std::uint64_t detect_mask(const Fault& f);
+  /// Per-pattern detection block for `f` against the last good_sim, written
+  /// to out[0..batch_words()). Bit p of word w set => pattern w*64+p detects
+  /// the fault at some observation point. Memoises stem flips across calls
+  /// within the current batch.
+  void detect_mask(const Fault& f, std::uint64_t* out);
 
-  /// Same value, with caller-owned scratch and no batch memoisation — safe
+  /// Same block, with caller-owned scratch and no batch memoisation — safe
   /// to call concurrently from many threads as long as each uses its own
   /// Scratch and good_sim is not running.
-  std::uint64_t detect_mask(const Fault& f, Scratch& s) const;
+  void detect_mask(const Fault& f, Scratch& s, std::uint64_t* out) const;
 
   /// Reference kernel: full event-driven propagation of this single fault,
-  /// no stem factorisation. Exposed so tests can pin the factorised kernel
-  /// against it.
+  /// no stem factorisation, scalar-equivalent data flow. Exposed so tests
+  /// can pin the factorised and vectorised kernels against it.
+  void detect_mask_direct(const Fault& f, Scratch& s, std::uint64_t* out) const;
+
+  /// Single-word conveniences for 64-pattern batches (batch_words() == 1),
+  /// the layout every pre-block call site uses.
+  std::uint64_t detect_mask(const Fault& f);
+  std::uint64_t detect_mask(const Fault& f, Scratch& s) const;
   std::uint64_t detect_mask_direct(const Fault& f, Scratch& s) const;
 
-  /// Fault-parallel sweep: out[i] = detect_mask(faults[i]) for every i, with
-  /// the heavy stem propagations sharded over the shared solve executor
-  /// (`threads` as in AtpgOptions::threads; <=0 resolves WCM_SOLVE_THREADS /
-  /// hardware, 1 = serial). Work-list boundaries derive from the list alone
-  /// and each slot is written exactly once, so the output is bit-identical
-  /// at any width.
+  /// Fault-parallel sweep: out[i*batch_words() ..] = detect block of
+  /// faults[i] for every i, with the heavy stem propagations sharded over
+  /// the shared solve executor (`threads` as in AtpgOptions::threads; <=0
+  /// resolves WCM_SOLVE_THREADS / hardware, 1 = serial). Work-list
+  /// boundaries derive from the list alone and each slot is written exactly
+  /// once, so the output is bit-identical at any width.
   void detect_masks(std::span<const Fault> faults, std::uint64_t* out, int threads);
+
+  /// Times the cached sweep plan was (re)built; consecutive detect_masks
+  /// calls over the same fault list reuse one plan.
+  std::uint64_t sweep_plan_rebuilds() const { return plan_rebuilds_; }
 
   /// True when a fault at `node` can reach at least one observation point of
   /// this view through combinational logic (sequential boundaries are not
@@ -119,19 +160,49 @@ class Simulator {
   const TestView& view() const { return *view_; }
 
  private:
+  /// One contiguous run of same-type gates within a topological level of the
+  /// packed evaluation schedule: indexes [begin, end) of sched_node_.
+  struct EvalRun {
+    GateType type;
+    std::uint32_t begin;
+    std::uint32_t end;
+  };
+
+  /// Sweep plan cached across detect_masks calls: the identity of the fault
+  /// list (exact keys, pre-hashed) plus its unique FFR stems in topological
+  /// order, so the per-call stem collection is a filter instead of a
+  /// dedup-and-order pass.
+  struct SweepPlan {
+    std::uint64_t fingerprint = 0;
+    std::vector<std::uint64_t> keys;  ///< (site << 1) | stuck, per fault
+    std::vector<GateId> stems;        ///< unique stems, topo-rank order
+  };
+
   std::unique_ptr<Scratch> acquire_scratch();
   void release_scratch(std::unique_ptr<Scratch> s);
 
-  /// Event-driven propagation of `diff` injected at `seed`; returns the
-  /// OR-over-observes detection word.
-  std::uint64_t propagate_detect(GateId seed, std::uint64_t diff, Scratch& s) const;
+  /// Rebuilds plan_ unless it already describes exactly `faults`.
+  void ensure_sweep_plan(std::span<const Fault> faults);
+
+  /// Evaluates one gate over a block: `ins[k]` points at fanin k's block.
+  void eval_gate_block(GateType t, const std::uint64_t* const* ins,
+                       std::size_t arity, std::uint64_t* out, std::size_t nw) const;
+
+  /// Event-driven propagation of the `diff` block injected at `seed`;
+  /// writes the OR-over-observes detection block to `detect`.
+  void propagate_detect(GateId seed, const std::uint64_t* diff, Scratch& s,
+                        std::uint64_t* detect) const;
 
   /// Patterns where `f`'s effect reaches stem_of(f.site): the activation
-  /// word pushed down the single-fanout chain. Pure read of good_.
-  std::uint64_t chain_sens(const Fault& f) const;
+  /// block pushed down the single-fanout chain, written to `diff`. Pure read
+  /// of good_; `s.tmp` is the working space.
+  void chain_sens(const Fault& f, Scratch& s, std::uint64_t* diff) const;
 
   const TestView* view_;
   const Netlist* n_;
+  const simd::Ops* ops_;
+  std::size_t words_;        ///< block width W (capacity)
+  std::size_t batch_words_ = 1;  ///< active words of the current batch
   std::vector<GateId> topo_;
   std::vector<int> topo_rank_;
   std::vector<int> control_of_node_;  ///< source node -> control index (-1 none)
@@ -139,7 +210,15 @@ class Simulator {
   std::vector<char> observable_;  ///< node -> reaches some observe point
   std::vector<GateId> stem_of_;   ///< node -> FFR stem
 
-  std::vector<std::uint64_t> good_;
+  // Level-packed evaluation schedule (see good_sim).
+  std::vector<EvalRun> sched_runs_;
+  std::vector<std::uint32_t> sched_node_;       ///< node index per scheduled gate
+  std::vector<std::int32_t> sched_control_;     ///< control index (source runs)
+  std::vector<std::uint32_t> sched_fanin_off_;  ///< CSR offsets into sched_fanin_
+  std::vector<std::uint32_t> sched_fanin_;      ///< flattened fanin node indexes
+
+  std::vector<std::uint64_t> good_;  ///< good-value arena, stride words_
+  std::vector<std::uint64_t> ones_;  ///< all-ones block (stem flip injection)
 
   bool share_stems_ = true;
 
@@ -147,9 +226,17 @@ class Simulator {
   // Mutated by the serial entry points and by detect_masks' stem pass, whose
   // parallel workers write disjoint slots.
   std::uint32_t batch_epoch_ = 1;
-  std::vector<std::uint64_t> stem_detect_;
+  std::vector<std::uint64_t> stem_detect_;  ///< stride words_
   std::vector<std::uint32_t> stem_epoch_;
   std::vector<GateId> stems_buf_;  ///< work list reused across sweeps
+
+  // Cached sweep plan (single entry — the oracle resweeps one collapsed
+  // list per campaign) plus the per-sweep liveness stamps that replace the
+  // per-call dedup.
+  SweepPlan plan_;
+  std::uint64_t plan_rebuilds_ = 0;
+  std::vector<std::uint64_t> stem_live_;  ///< stem -> last sweep it sensitised
+  std::uint64_t sweep_seq_ = 0;
 
   Scratch scratch_;  ///< the serial entry point's stream
 

@@ -79,6 +79,19 @@ struct WcmConfig {
   /// differential tests and the bench/perf_atpg A/B — so it is excluded from
   /// the oracle cache fingerprint.
   bool atpg_collapse = true;
+  /// Simulation block width of the measured-oracle ATPG kernel, in 64-bit
+  /// pattern words (1..8 → 64..512 patterns per fault-simulation pass,
+  /// AtpgOptions::sim_words). The wide sweeps go through the runtime-
+  /// dispatched SIMD kernels (src/util/simd.hpp; WCM_SIMD=off forces the
+  /// scalar path). Results, plans and recorded pattern sets are bit-
+  /// identical at every width and ISA, so this too stays out of the oracle
+  /// cache fingerprint. Default 1: raw detect_masks throughput scales ~6x
+  /// at width 8 (bench/perf_atpg simd rows), but the solve path's sweeps
+  /// are fault-DROPPING loops — a wide window keeps simulating faults its
+  /// first sub-batch already dropped, which costs the measured solve a few
+  /// percent end to end (the simd_solve_speedup row). Widths > 1 are for
+  /// throughput-bound sweeps without dropping (`wcm3d solve --sim-words`).
+  int atpg_sim_words = 1;
   /// Overlap the compat-graph edge scan with the batched measured-oracle
   /// ATPG: candidate pairs stream to the oracle through a bounded queue
   /// while later rows are still scanning, instead of a two-phase barrier.

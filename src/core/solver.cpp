@@ -257,6 +257,7 @@ WcmSolution solve_wcm(const Netlist& n, const Placement* placement, const CellLi
   measure_opts.collapse = cfg.atpg_collapse;
   measure_opts.prune_unobservable = cfg.atpg_collapse;
   measure_opts.share_stems = cfg.atpg_collapse;
+  measure_opts.sim_words = cfg.atpg_sim_words;
   TestabilityOracle oracle(n, cones, cfg.oracle_mode, measure_opts);
   oracle.set_incremental(cfg.oracle_incremental);
 

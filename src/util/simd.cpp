@@ -1,0 +1,408 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+// CMake's WCM_SIMD=OFF defines WCM_SIMD_ENABLED=0, which compiles the vector
+// tables out entirely (the scalar table is then the only selectable one, so
+// a miscompiled intrinsic path can be excluded from a build, not just from
+// dispatch). Vector bodies additionally require an x86-64 target; elsewhere
+// the library is scalar-only without configuration.
+#ifndef WCM_SIMD_ENABLED
+#define WCM_SIMD_ENABLED 1
+#endif
+#if WCM_SIMD_ENABLED && (defined(__x86_64__) || defined(_M_X64))
+#define WCM_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define WCM_SIMD_X86 0
+#endif
+
+namespace wcm::simd {
+namespace {
+
+// ---- scalar reference table -------------------------------------------
+// Every other table must produce bit-identical words; the differential
+// tests in tests/atpg/simd_test.cpp enforce it op by op.
+
+void s_fill(std::uint64_t* dst, std::uint64_t v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = v;
+}
+void s_copy(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+void s_not(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = ~src[i];
+}
+void s_xor_of(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] ^ b[i];
+}
+void s_and_of(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] & b[i];
+}
+void s_acc_and(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+void s_acc_or(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+void s_acc_xor(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+void s_acc_xor2(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= a[i] ^ b[i];
+}
+void s_mux(std::uint64_t* dst, const std::uint64_t* sel, const std::uint64_t* d0,
+           const std::uint64_t* d1, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = (sel[i] & d1[i]) | (~sel[i] & d0[i]);
+}
+bool s_any(const std::uint64_t* p, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc |= p[i];
+  return acc != 0;
+}
+bool s_equal(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+constexpr Ops kScalarOps = {Isa::kScalar, s_fill,    s_copy,    s_not,
+                            s_xor_of,     s_and_of,  s_acc_and, s_acc_or,
+                            s_acc_xor,    s_acc_xor2, s_mux,    s_any,
+                            s_equal};
+
+#if WCM_SIMD_X86
+
+// ---- SSE2 table --------------------------------------------------------
+// SSE2 is part of the x86-64 baseline, so these compile without a target
+// attribute. Two words per 128-bit lane; odd tails fall back to one scalar
+// word. Unaligned loads throughout — blocks live inside larger arenas.
+
+void v2_fill(std::uint64_t* dst, std::uint64_t v, std::size_t n) {
+  const __m128i w = _mm_set1_epi64x(static_cast<long long>(v));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), w);
+  for (; i < n; ++i) dst[i] = v;
+}
+void v2_copy(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+  for (; i < n; ++i) dst[i] = src[i];
+}
+void v2_not(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  const __m128i ones = _mm_set1_epi64x(-1);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_xor_si128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)), ones));
+  for (; i < n; ++i) dst[i] = ~src[i];
+}
+void v2_xor_of(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+               std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_xor_si128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)),
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i))));
+  for (; i < n; ++i) dst[i] = a[i] ^ b[i];
+}
+void v2_and_of(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+               std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_and_si128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)),
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i))));
+  for (; i < n; ++i) dst[i] = a[i] & b[i];
+}
+void v2_acc_and(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  v2_and_of(dst, dst, src, n);
+}
+void v2_acc_or(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_or_si128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i)),
+                     _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i))));
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+void v2_acc_xor(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  v2_xor_of(dst, dst, src, n);
+}
+void v2_acc_xor2(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i diff =
+        _mm_xor_si128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)),
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_xor_si128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i)), diff));
+  }
+  for (; i < n; ++i) dst[i] ^= a[i] ^ b[i];
+}
+void v2_mux(std::uint64_t* dst, const std::uint64_t* sel, const std::uint64_t* d0,
+            const std::uint64_t* d1, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + i));
+    const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(d0 + i));
+    const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(d1 + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_or_si128(_mm_and_si128(s, hi), _mm_andnot_si128(s, lo)));
+  }
+  for (; i < n; ++i) dst[i] = (sel[i] & d1[i]) | (~sel[i] & d0[i]);
+}
+bool v2_any(const std::uint64_t* p, std::size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    acc = _mm_or_si128(acc, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i)));
+  std::uint64_t tail = 0;
+  for (; i < n; ++i) tail |= p[i];
+  const __m128i zero = _mm_setzero_si128();
+  const bool vec_zero = _mm_movemask_epi8(_mm_cmpeq_epi8(acc, zero)) == 0xFFFF;
+  return !vec_zero || tail != 0;
+}
+bool v2_equal(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    acc = _mm_or_si128(
+        acc, _mm_xor_si128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)),
+                           _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i))));
+  std::uint64_t tail = 0;
+  for (; i < n; ++i) tail |= a[i] ^ b[i];
+  const __m128i zero = _mm_setzero_si128();
+  const bool vec_zero = _mm_movemask_epi8(_mm_cmpeq_epi8(acc, zero)) == 0xFFFF;
+  return vec_zero && tail == 0;
+}
+
+constexpr Ops kSse2Ops = {Isa::kSse2, v2_fill,    v2_copy,    v2_not,
+                          v2_xor_of,  v2_and_of,  v2_acc_and, v2_acc_or,
+                          v2_acc_xor, v2_acc_xor2, v2_mux,    v2_any,
+                          v2_equal};
+
+// ---- AVX2 table --------------------------------------------------------
+// Four words per 256-bit lane; W=8 blocks are exactly two lanes. Compiled
+// with a per-function target attribute so the translation unit itself needs
+// no -mavx2 (the binary must still run on SSE2-only hosts, where dispatch
+// never selects this table).
+
+#define WCM_AVX2 __attribute__((target("avx2")))
+
+WCM_AVX2 void v4_fill(std::uint64_t* dst, std::uint64_t v, std::size_t n) {
+  const __m256i w = _mm256_set1_epi64x(static_cast<long long>(v));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), w);
+  for (; i < n; ++i) dst[i] = v;
+}
+WCM_AVX2 void v4_copy(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+  for (; i < n; ++i) dst[i] = src[i];
+}
+WCM_AVX2 void v4_not(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_xor_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)),
+                         ones));
+  for (; i < n; ++i) dst[i] = ~src[i];
+}
+WCM_AVX2 void v4_xor_of(std::uint64_t* dst, const std::uint64_t* a,
+                        const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_xor_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+                         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))));
+  for (; i < n; ++i) dst[i] = a[i] ^ b[i];
+}
+WCM_AVX2 void v4_and_of(std::uint64_t* dst, const std::uint64_t* a,
+                        const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_and_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+                         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))));
+  for (; i < n; ++i) dst[i] = a[i] & b[i];
+}
+WCM_AVX2 void v4_acc_and(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  v4_and_of(dst, dst, src, n);
+}
+WCM_AVX2 void v4_acc_or(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_or_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)),
+                        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i))));
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+WCM_AVX2 void v4_acc_xor(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  v4_xor_of(dst, dst, src, n);
+}
+WCM_AVX2 void v4_acc_xor2(std::uint64_t* dst, const std::uint64_t* a,
+                          const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i diff =
+        _mm256_xor_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+                         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_xor_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)),
+                         diff));
+  }
+  for (; i < n; ++i) dst[i] ^= a[i] ^ b[i];
+}
+WCM_AVX2 void v4_mux(std::uint64_t* dst, const std::uint64_t* sel,
+                     const std::uint64_t* d0, const std::uint64_t* d1, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+    const __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d0 + i));
+    const __m256i hi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d1 + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(_mm256_and_si256(s, hi),
+                                        _mm256_andnot_si256(s, lo)));
+  }
+  for (; i < n; ++i) dst[i] = (sel[i] & d1[i]) | (~sel[i] & d0[i]);
+}
+WCM_AVX2 bool v4_any(const std::uint64_t* p, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    acc = _mm256_or_si256(acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)));
+  std::uint64_t tail = 0;
+  for (; i < n; ++i) tail |= p[i];
+  return !_mm256_testz_si256(acc, acc) || tail != 0;
+}
+WCM_AVX2 bool v4_equal(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    acc = _mm256_or_si256(
+        acc, _mm256_xor_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+                              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))));
+  std::uint64_t tail = 0;
+  for (; i < n; ++i) tail |= a[i] ^ b[i];
+  return _mm256_testz_si256(acc, acc) && tail == 0;
+}
+
+#undef WCM_AVX2
+
+constexpr Ops kAvx2Ops = {Isa::kAvx2, v4_fill,    v4_copy,    v4_not,
+                          v4_xor_of,  v4_and_of,  v4_acc_and, v4_acc_or,
+                          v4_acc_xor, v4_acc_xor2, v4_mux,    v4_any,
+                          v4_equal};
+
+#endif  // WCM_SIMD_X86
+
+/// Highest available tier at or below `isa` (scalar is always available).
+Isa clamp_available(Isa isa) {
+  while (isa != Isa::kScalar && !available(isa))
+    isa = static_cast<Isa>(static_cast<std::uint8_t>(isa) - 1);
+  return isa;
+}
+
+Isa resolve() {
+  Isa best = Isa::kScalar;
+  if (available(Isa::kSse2)) best = Isa::kSse2;
+  if (available(Isa::kAvx2)) best = Isa::kAvx2;
+  return clamp_available(parse_env(std::getenv("WCM_SIMD"), best));
+}
+
+std::atomic<const Ops*> g_active{nullptr};
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSse2: return "sse2";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "scalar";
+}
+
+bool available(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+#if WCM_SIMD_X86
+    case Isa::kSse2:
+      return true;  // part of the x86-64 baseline
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2");
+#else
+    case Isa::kSse2:
+    case Isa::kAvx2:
+      return false;
+#endif
+  }
+  return false;
+}
+
+const Ops& ops_for(Isa isa) {
+  switch (isa) {
+#if WCM_SIMD_X86
+    case Isa::kSse2:
+      return kSse2Ops;
+    case Isa::kAvx2:
+      return kAvx2Ops;
+#endif
+    default:
+      return kScalarOps;
+  }
+}
+
+Isa parse_env(const char* value, Isa fallback) {
+  if (value == nullptr) return fallback;
+  const std::string_view v(value);
+  if (v == "off" || v == "scalar" || v == "0") return Isa::kScalar;
+  if (v == "sse2") return Isa::kSse2;
+  if (v == "avx2") return Isa::kAvx2;
+  return fallback;
+}
+
+const Ops& ops() {
+  const Ops* p = g_active.load(std::memory_order_acquire);
+  if (p == nullptr) {
+    p = &ops_for(resolve());
+    g_active.store(p, std::memory_order_release);
+  }
+  return *p;
+}
+
+Isa active() { return ops().isa; }
+
+bool force_isa(Isa isa) {
+  if (!available(isa)) return false;
+  g_active.store(&ops_for(isa), std::memory_order_release);
+  return true;
+}
+
+void reset_isa() { g_active.store(nullptr, std::memory_order_release); }
+
+}  // namespace wcm::simd

@@ -1,0 +1,87 @@
+// Runtime-dispatched SIMD kernels for W-word pattern blocks.
+//
+// The fault simulator (src/atpg/simulator) stores per-gate pattern words in
+// contiguous blocks of W uint64_t (W = AtpgOptions::sim_words, 1..8 → 64..512
+// patterns per pass). Every hot block operation — gather-free gate
+// evaluation, diff injection, detection accumulation, early-exit tests — is
+// a bitwise map over those blocks, so one function-pointer table serves all
+// of them and every implementation is bit-identical by construction: the
+// vector paths permute WHICH lanes compute a word, never WHAT the word is.
+//
+// Dispatch is resolved once, at first use:
+//   * compile time: the SSE2/AVX2 bodies exist only on x86-64 builds with
+//     the CMake option WCM_SIMD=ON (the default); otherwise only scalar is
+//     compiled and selectable;
+//   * run time: the best ISA the CPU supports wins, unless the WCM_SIMD
+//     environment variable forces a lower tier ("off"/"scalar", "sse2",
+//     "avx2"; forcing an unavailable tier falls back to the best available
+//     one at or below the request).
+//
+// Tests pin every table against the scalar reference and may rebind the
+// active table via force_isa(); production code only reads ops().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wcm::simd {
+
+enum class Isa : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+const char* isa_name(Isa isa);
+
+/// One block kernel table. `n` is the word count (1..8 in practice; any n
+/// works). Accumulator variants read-modify-write `dst`; pure variants only
+/// write it. No operand may alias except where noted by the simulator's use
+/// (dst == a is allowed for every pure variant — all bodies read before they
+/// write within each word).
+struct Ops {
+  Isa isa;
+  void (*fill)(std::uint64_t* dst, std::uint64_t v, std::size_t n);
+  void (*copy)(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+  void (*not_of)(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+  void (*xor_of)(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+                 std::size_t n);
+  void (*and_of)(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+                 std::size_t n);
+  void (*acc_and)(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+  void (*acc_or)(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+  void (*acc_xor)(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+  /// dst ^= a ^ b — the per-member observation identity in one pass.
+  void (*acc_xor2)(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+                   std::size_t n);
+  /// dst = (sel & d1) | (~sel & d0), the kMux evaluation.
+  void (*mux)(std::uint64_t* dst, const std::uint64_t* sel, const std::uint64_t* d0,
+              const std::uint64_t* d1, std::size_t n);
+  bool (*any)(const std::uint64_t* p, std::size_t n);
+  bool (*equal)(const std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+};
+
+/// True when `isa`'s table is compiled in AND the CPU can execute it.
+bool available(Isa isa);
+
+/// The table for a specific ISA. Pre: available(isa).
+const Ops& ops_for(Isa isa);
+
+/// The ISA the process resolved at first use (CPU detection + WCM_SIMD env),
+/// or the one force_isa() pinned afterwards.
+Isa active();
+
+/// The active table. Cheap enough to call per block operation, but the
+/// simulator caches the pointer per instance anyway.
+const Ops& ops();
+
+/// Pure env-string resolution, exposed for tests: "off"/"scalar"/"0" →
+/// scalar, "sse2" → sse2, "avx2" → avx2, anything else (or null) → `fallback`.
+/// The result is then clamped to the best available tier at or below it.
+Isa parse_env(const char* value, Isa fallback);
+
+/// Testing hook: rebinds the active table. Returns false (no change) when
+/// the requested ISA is unavailable. Not thread-safe against concurrent
+/// kernel execution — tests rebind between sweeps only.
+bool force_isa(Isa isa);
+
+/// Testing hook: drops a force_isa() pin and re-resolves from CPU + env.
+void reset_isa();
+
+}  // namespace wcm::simd

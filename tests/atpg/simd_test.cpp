@@ -1,0 +1,432 @@
+// Differential validation of the SIMD multi-word fault-simulation kernels
+// (src/util/simd + the W-word Simulator blocks). The contract under test is
+// BIT-IDENTITY: every (block width W, ISA table, thread width) combination
+// must produce exactly the detection words of the scalar W=1 reference
+// kernel detect_mask_direct, the same engine results/pattern sets/flags, and
+// the same end-to-end solve plans. This suite is the gate that lets
+// WcmConfig::atpg_sim_words default above 1.
+//
+// The suite carries the ctest label `simd` and joins the CI TSan matrix: the
+// threads=2/8 sweeps below shard stem propagations over the shared executor,
+// and TSan holds the disjoint-slot claim.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "atpg/engine.hpp"
+#include "atpg/faults.hpp"
+#include "atpg/simulator.hpp"
+#include "core/solver.hpp"
+#include "gen/generator.hpp"
+#include "util/simd.hpp"
+
+namespace wcm {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {11, 16, 33};  // as oracle_validation_test
+constexpr int kWidths[] = {1, 4, 8};
+
+/// Restores CPU+env dispatch when a test that pins the ISA exits early.
+struct IsaGuard {
+  ~IsaGuard() { simd::reset_isa(); }
+};
+
+/// Every ISA tier this build + CPU can actually execute (scalar always).
+std::vector<simd::Isa> testable_isas() {
+  std::vector<simd::Isa> out{simd::Isa::kScalar};
+  if (simd::available(simd::Isa::kSse2)) out.push_back(simd::Isa::kSse2);
+  if (simd::available(simd::Isa::kAvx2)) out.push_back(simd::Isa::kAvx2);
+  return out;
+}
+
+/// Mirrors the options solve_wcm hands its measured oracle (minus the kernel
+/// knobs under test, which each case sets explicitly).
+AtpgOptions solver_measure_opts() {
+  AtpgOptions o;
+  o.max_random_batches = 8;
+  o.useless_batch_window = 2;
+  o.deterministic_phase = true;
+  return o;
+}
+
+Netlist seeded_die(std::uint64_t seed) {
+  DieSpec spec = itc99_die_spec("b11", 1);
+  spec.seed = seed;
+  return generate_die(spec);
+}
+
+std::string result_signature(const AtpgResult& r, const PatternSet& p,
+                             const std::vector<char>& flags) {
+  std::ostringstream os;
+  os << r.total_faults << '|' << r.detected << '|' << r.untestable << '|'
+     << r.aborted << '|' << r.patterns << '|' << r.deterministic_patterns << '|';
+  os << p.batches.size() << '[';
+  for (const auto& words : p.batches) {
+    for (const std::uint64_t w : words) os << w << ',';
+    os << ';';
+  }
+  os << ']';
+  for (const char f : flags) os << (f ? '1' : '0');
+  return os.str();
+}
+
+std::string traced_signature(const Netlist& n, const AtpgOptions& opts) {
+  PatternSet patterns;
+  std::vector<char> flags;
+  const AtpgResult r =
+      AtpgEngine(build_reference_view(n)).run_stuck_at_traced(opts, patterns, flags);
+  return result_signature(r, patterns, flags);
+}
+
+/// Packs `nw` consecutive 64-pattern batches into the control-major block
+/// layout good_sim consumes: words [c*nw, (c+1)*nw) hold control point c.
+std::vector<std::uint64_t> pack_window(
+    const std::vector<std::vector<std::uint64_t>>& batches, std::size_t first,
+    std::size_t nw) {
+  const std::size_t nc = batches[first].size();
+  std::vector<std::uint64_t> block(nc * nw);
+  for (std::size_t c = 0; c < nc; ++c)
+    for (std::size_t j = 0; j < nw; ++j) block[c * nw + j] = batches[first + j][c];
+  return block;
+}
+
+// ---------------------------------------------------------------------------
+// Per-op pinning: each compiled table vs an inline scalar model.
+// ---------------------------------------------------------------------------
+
+TEST(SimdOpsTest, TablesMatchScalarModelOnRandomBlocks) {
+  std::mt19937_64 rng(0xC0FFEE);
+  for (const simd::Isa isa : testable_isas()) {
+    const simd::Ops& t = simd::ops_for(isa);
+    EXPECT_EQ(t.isa, isa);
+    for (std::size_t n = 1; n <= 8; ++n) {
+      std::vector<std::uint64_t> a(n), b(n), sel(n), dst(n), ref(n);
+      for (std::size_t rep = 0; rep < 4; ++rep) {
+        for (auto& w : a) w = rng();
+        for (auto& w : b) w = rng();
+        for (auto& w : sel) w = rng();
+        const std::uint64_t v = rng();
+        const std::string ctx =
+            std::string(simd::isa_name(isa)) + " n=" + std::to_string(n);
+
+        t.fill(dst.data(), v, n);
+        for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(dst[i], v) << "fill " << ctx;
+
+        t.copy(dst.data(), a.data(), n);
+        EXPECT_EQ(dst, a) << "copy " << ctx;
+
+        t.not_of(dst.data(), a.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ref[i] = ~a[i];
+        EXPECT_EQ(dst, ref) << "not_of " << ctx;
+
+        t.xor_of(dst.data(), a.data(), b.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ref[i] = a[i] ^ b[i];
+        EXPECT_EQ(dst, ref) << "xor_of " << ctx;
+
+        t.and_of(dst.data(), a.data(), b.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ref[i] = a[i] & b[i];
+        EXPECT_EQ(dst, ref) << "and_of " << ctx;
+
+        // Accumulators read-modify-write dst.
+        dst = sel;
+        t.acc_and(dst.data(), a.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ref[i] = sel[i] & a[i];
+        EXPECT_EQ(dst, ref) << "acc_and " << ctx;
+
+        dst = sel;
+        t.acc_or(dst.data(), a.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ref[i] = sel[i] | a[i];
+        EXPECT_EQ(dst, ref) << "acc_or " << ctx;
+
+        dst = sel;
+        t.acc_xor(dst.data(), a.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ref[i] = sel[i] ^ a[i];
+        EXPECT_EQ(dst, ref) << "acc_xor " << ctx;
+
+        dst = sel;
+        t.acc_xor2(dst.data(), a.data(), b.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ref[i] = sel[i] ^ a[i] ^ b[i];
+        EXPECT_EQ(dst, ref) << "acc_xor2 " << ctx;
+
+        t.mux(dst.data(), sel.data(), a.data(), b.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+          ref[i] = (sel[i] & b[i]) | (~sel[i] & a[i]);
+        EXPECT_EQ(dst, ref) << "mux " << ctx;
+
+        // dst == a aliasing is allowed for every pure variant.
+        dst = a;
+        t.not_of(dst.data(), dst.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ref[i] = ~a[i];
+        EXPECT_EQ(dst, ref) << "not_of aliased " << ctx;
+        dst = a;
+        t.xor_of(dst.data(), dst.data(), b.data(), n);
+        for (std::size_t i = 0; i < n; ++i) ref[i] = a[i] ^ b[i];
+        EXPECT_EQ(dst, ref) << "xor_of aliased " << ctx;
+
+        EXPECT_TRUE(t.equal(a.data(), a.data(), n)) << "equal " << ctx;
+        std::vector<std::uint64_t> c = a;
+        c[n - 1] ^= 1;  // single-bit difference in the last word
+        EXPECT_FALSE(t.equal(a.data(), c.data(), n)) << "equal diff " << ctx;
+
+        std::vector<std::uint64_t> zeros(n, 0);
+        EXPECT_FALSE(t.any(zeros.data(), n)) << "any zeros " << ctx;
+        zeros[n - 1] = 1ull << (rep * 13 % 64);
+        EXPECT_TRUE(t.any(zeros.data(), n)) << "any last-word bit " << ctx;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchTest, EnvParsingForcingAndFallback) {
+  using simd::Isa;
+  // Pure env-string resolution.
+  EXPECT_EQ(simd::parse_env(nullptr, Isa::kAvx2), Isa::kAvx2);
+  EXPECT_EQ(simd::parse_env("off", Isa::kAvx2), Isa::kScalar);
+  EXPECT_EQ(simd::parse_env("scalar", Isa::kAvx2), Isa::kScalar);
+  EXPECT_EQ(simd::parse_env("0", Isa::kAvx2), Isa::kScalar);
+  EXPECT_EQ(simd::parse_env("sse2", Isa::kScalar), Isa::kSse2);
+  EXPECT_EQ(simd::parse_env("avx2", Isa::kScalar), Isa::kAvx2);
+  EXPECT_EQ(simd::parse_env("bogus", Isa::kSse2), Isa::kSse2);
+
+  IsaGuard guard;
+  EXPECT_TRUE(simd::available(Isa::kScalar));  // always compiled in
+  for (const Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2}) {
+    if (simd::available(isa)) {
+      EXPECT_TRUE(simd::force_isa(isa)) << simd::isa_name(isa);
+      EXPECT_EQ(simd::active(), isa);
+      EXPECT_EQ(simd::ops().isa, isa);
+    } else {
+      const Isa before = simd::active();
+      EXPECT_FALSE(simd::force_isa(isa)) << simd::isa_name(isa);
+      EXPECT_EQ(simd::active(), before);  // a failed force changes nothing
+    }
+  }
+  simd::reset_isa();
+  EXPECT_TRUE(simd::available(simd::active()));
+}
+
+// ---------------------------------------------------------------------------
+// Kernel differentials: every (seed x W x ISA) against the scalar W=1
+// direct-propagation reference, serial and fault-parallel.
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernelTest, AllWidthsAndIsasMatchDirectScalarReference) {
+  constexpr std::size_t kBatches = 8;  // one full W=8 window
+  IsaGuard guard;
+  for (const std::uint64_t seed : kSeeds) {
+    const Netlist n = seeded_die(seed);
+    const TestView v = build_reference_view(n);
+    const std::vector<Fault> faults = full_fault_list(n);
+    ASSERT_GT(faults.size(), 64u);  // enough to trip the parallel chunking
+    const std::size_t nc = v.num_controls();
+
+    std::mt19937_64 rng(0xB10C ^ seed);
+    std::vector<std::vector<std::uint64_t>> batches(kBatches);
+    for (auto& b : batches) {
+      b.resize(nc);
+      for (auto& w : b) w = rng();
+    }
+
+    // Reference: forced-scalar width-1 simulator, full event-driven
+    // propagation per fault (no stem factorisation, no vector tables).
+    std::vector<std::vector<std::uint64_t>> ref(kBatches);
+    {
+      ASSERT_TRUE(simd::force_isa(simd::Isa::kScalar));
+      Simulator sim(v);
+      Simulator::Scratch s = sim.make_scratch();
+      for (std::size_t b = 0; b < kBatches; ++b) {
+        sim.good_sim(batches[b]);
+        ref[b].resize(faults.size());
+        for (std::size_t i = 0; i < faults.size(); ++i)
+          ref[b][i] = sim.detect_mask_direct(faults[i], s);
+      }
+    }
+
+    for (const simd::Isa isa : testable_isas()) {
+      ASSERT_TRUE(simd::force_isa(isa));
+      for (const int width : kWidths) {
+        const std::string ctx = "seed=" + std::to_string(seed) + " W=" +
+                                std::to_string(width) + " isa=" + simd::isa_name(isa);
+        Simulator sim(v, width);
+        ASSERT_EQ(sim.sim_words(), width) << ctx;
+        Simulator::Scratch s = sim.make_scratch();
+        const std::size_t nw = static_cast<std::size_t>(width);
+        std::vector<std::uint64_t> serial(faults.size() * nw);
+        std::vector<std::uint64_t> parallel(faults.size() * nw);
+        std::vector<std::uint64_t> blk(nw);
+        for (std::size_t w0 = 0; w0 + nw <= kBatches; w0 += nw) {
+          sim.good_sim(pack_window(batches, w0, nw));
+          ASSERT_EQ(sim.batch_words(), width) << ctx;
+          // The full sweep, serial (memoised stems) and fault-parallel
+          // (cached sweep plan, 3-pass), word j == reference batch w0+j.
+          sim.detect_masks(faults, serial.data(), /*threads=*/1);
+          sim.detect_masks(faults, parallel.data(), /*threads=*/2);
+          for (std::size_t i = 0; i < faults.size(); ++i) {
+            for (std::size_t j = 0; j < nw; ++j) {
+              ASSERT_EQ(serial[i * nw + j], ref[w0 + j][i])
+                  << ctx << " fault=" << i << " word=" << j;
+              ASSERT_EQ(parallel[i * nw + j], ref[w0 + j][i])
+                  << ctx << " fault=" << i << " word=" << j << " (parallel)";
+            }
+          }
+          // The per-fault kernels on a sample: the factorised scratch entry
+          // point and the block direct reference itself.
+          for (std::size_t i = 0; i < faults.size(); i += 7) {
+            sim.detect_mask(faults[i], s, blk.data());
+            for (std::size_t j = 0; j < nw; ++j)
+              ASSERT_EQ(blk[j], ref[w0 + j][i]) << ctx << " scratch fault=" << i;
+            sim.detect_mask_direct(faults[i], s, blk.data());
+            for (std::size_t j = 0; j < nw; ++j)
+              ASSERT_EQ(blk[j], ref[w0 + j][i]) << ctx << " direct fault=" << i;
+          }
+        }
+      }
+    }
+    simd::reset_isa();
+  }
+}
+
+TEST(SimdKernelTest, SweepPlanCachedAcrossSweepsRebuiltOnNewList) {
+  const Netlist n = seeded_die(11);
+  const TestView v = build_reference_view(n);
+  const std::vector<Fault> faults = full_fault_list(n);
+  ASSERT_GT(faults.size(), 74u);
+  const std::size_t nc = v.num_controls();
+
+  Simulator sim(v, 4);
+  std::mt19937_64 rng(0x9E37);
+  std::vector<std::uint64_t> words(nc * 4);
+  std::vector<std::uint64_t> out(faults.size() * 4);
+  std::vector<std::uint64_t> serial(faults.size() * 4);
+
+  EXPECT_EQ(sim.sweep_plan_rebuilds(), 0u);
+  for (int batch = 0; batch < 3; ++batch) {
+    for (auto& w : words) w = rng();
+    sim.good_sim(words);
+    sim.detect_masks(faults, out.data(), /*threads=*/2);
+    // Same list every sweep -> the plan is built exactly once.
+    EXPECT_EQ(sim.sweep_plan_rebuilds(), 1u) << "batch " << batch;
+    sim.detect_masks(faults, serial.data(), /*threads=*/1);
+    EXPECT_EQ(out, serial) << "batch " << batch;
+  }
+
+  // A different list (same sites, shorter) must rebuild — and still match.
+  const std::span<const Fault> sub(faults.data(), faults.size() - 10);
+  sim.detect_masks(sub, out.data(), /*threads=*/2);
+  EXPECT_EQ(sim.sweep_plan_rebuilds(), 2u);
+  sim.detect_masks(sub, serial.data(), /*threads=*/1);
+  for (std::size_t i = 0; i < sub.size() * 4; ++i) EXPECT_EQ(out[i], serial[i]);
+
+  // Back to the full list: the cache is single-entry, so this rebuilds too.
+  sim.detect_masks(faults, out.data(), /*threads=*/2);
+  EXPECT_EQ(sim.sweep_plan_rebuilds(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine and solve invariance: sim_words is a pure throughput knob.
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernelTest, EngineSignatureInvariantAcrossSimWordsAndThreads) {
+  for (const std::uint64_t seed : kSeeds) {
+    const Netlist n = seeded_die(seed);
+    AtpgOptions base = solver_measure_opts();
+    base.threads = 1;
+    base.sim_words = 1;
+    const std::string expect = traced_signature(n, base);
+    for (const int width : {4, 8}) {
+      for (const int threads : {1, 2, 8}) {
+        AtpgOptions o = base;
+        o.sim_words = width;
+        o.threads = threads;
+        EXPECT_EQ(traced_signature(n, o), expect)
+            << "seed=" << seed << " W=" << width << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, WarmReplayWindowsMatchWidthOne) {
+  // The warm phase consumes the recorded batches in sim_words-wide windows;
+  // its replay accounting must reproduce the W=1 pass exactly.
+  const Netlist n = seeded_die(11);
+  const TestView v = build_reference_view(n);
+  const AtpgEngine engine(v);
+  AtpgOptions opts = solver_measure_opts();
+  opts.threads = 1;
+
+  PatternSet warm;
+  std::vector<char> flags;
+  (void)engine.run_stuck_at_traced(opts, warm, flags);
+  ASSERT_FALSE(warm.batches.empty());
+
+  const std::vector<Fault> faults = full_fault_list(n);
+  AtpgOptions narrow = opts;
+  narrow.sim_words = 1;
+  const AtpgResult a = engine.run_stuck_at_warm_subset(narrow, warm, faults);
+  for (const int width : {4, 8}) {
+    AtpgOptions wide = opts;
+    wide.sim_words = width;
+    const AtpgResult b = engine.run_stuck_at_warm_subset(wide, warm, faults);
+    EXPECT_EQ(a.total_faults, b.total_faults) << width;
+    EXPECT_EQ(a.detected, b.detected) << width;
+    EXPECT_EQ(a.untestable, b.untestable) << width;
+    EXPECT_EQ(a.aborted, b.aborted) << width;
+    EXPECT_EQ(a.patterns, b.patterns) << width;
+    EXPECT_EQ(a.deterministic_patterns, b.deterministic_patterns) << width;
+  }
+}
+
+TEST(SimdKernelTest, TransitionCampaignIgnoresSimWords) {
+  // Transition ATPG interleaves RNG draws with sweeps and stays at width 1;
+  // the option must not disturb it.
+  const Netlist n = seeded_die(11);
+  const TestView v = build_reference_view(n);
+  const AtpgEngine engine(v);
+  AtpgOptions opts = solver_measure_opts();
+  opts.threads = 1;
+  const AtpgResult a = engine.run_transition(opts);
+  AtpgOptions wide = opts;
+  wide.sim_words = 8;
+  const AtpgResult b = engine.run_transition(wide);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.patterns, b.patterns);
+  EXPECT_EQ(a.untestable, b.untestable);
+  EXPECT_EQ(a.aborted, b.aborted);
+}
+
+TEST(SimdSolveTest, SolvePlanIdenticalAcrossSimWordsAndIsa) {
+  // End-to-end: the measured solve path (WcmConfig::atpg_sim_words) must
+  // produce the same WrapperPlan and cell counts at width 1 (scalar-forced)
+  // and width 8 (native dispatch).
+  const Netlist n = seeded_die(11);
+  const Placement placement = place(n, PlaceOptions{});
+  const CellLibrary lib = CellLibrary::nangate45_like();
+
+  WcmConfig narrow = WcmConfig::proposed_area();
+  narrow.oracle_mode = OracleMode::kMeasured;
+  narrow.atpg_sim_words = 1;
+  WcmConfig wide = narrow;
+  wide.atpg_sim_words = 8;
+
+  IsaGuard guard;
+  ASSERT_TRUE(simd::force_isa(simd::Isa::kScalar));
+  const WcmSolution a = solve_wcm(n, &placement, lib, narrow);
+  simd::reset_isa();
+  const WcmSolution b = solve_wcm(n, &placement, lib, wide);
+  EXPECT_EQ(a.reused_ffs, b.reused_ffs);
+  EXPECT_EQ(a.additional_cells, b.additional_cells);
+  ASSERT_EQ(a.plan.groups.size(), b.plan.groups.size());
+  for (std::size_t g = 0; g < a.plan.groups.size(); ++g) {
+    EXPECT_EQ(a.plan.groups[g].reused_ff, b.plan.groups[g].reused_ff) << g;
+    EXPECT_EQ(a.plan.groups[g].inbound, b.plan.groups[g].inbound) << g;
+    EXPECT_EQ(a.plan.groups[g].outbound, b.plan.groups[g].outbound) << g;
+  }
+}
+
+}  // namespace
+}  // namespace wcm

@@ -59,6 +59,7 @@
 
 #include <unistd.h>
 
+#include "atpg/simulator.hpp"
 #include "celllib/liberty.hpp"
 #include "core/flow.hpp"
 #include "core/solver.hpp"
@@ -235,6 +236,7 @@ int usage() {
                "              [--oracle-cache <dir>] [--trace <file>]\n"
                "              [--anytime] [--time-budget-ms N]\n"
                "              [--repair] [--repair-area-pct P] [--sta-full]\n"
+               "              [--sim-words N(1..8)]\n"
                "              [--verilog <file>] [--csv <file>]\n"
                "  wcm3d campaign [--circuit all|<b11..b22>] "
                "[--method proposed|agrawal|li]\n"
@@ -440,6 +442,11 @@ int cmd_solve(const std::map<std::string, std::string>& args) {
     cfg.wcm.cancel = &g_interrupted;
   }
   cfg.wcm.sta_incremental = args.count("sta-full") == 0;
+  // Simulation block width of the measured-oracle ATPG kernel: 1..8 64-bit
+  // words per pass. Plans are bit-identical at any width (kernel knob).
+  if (!parse_int_flag(args, "solve", "sim-words", 1, Simulator::kMaxWords,
+                      cfg.wcm.atpg_sim_words))
+    return 2;
   const double tight_period = tight_clock_period_ps(die, lib, PlaceOptions{});
   cfg.clock_period_ps = tight ? tight_period : tight_period * 3.0;
   cfg.run_stuck_at = args.count("atpg") > 0;
