@@ -1,0 +1,198 @@
+// Wrapper/TAM co-optimization study: per-die Pareto rectangle profiles and
+// the stack test schedule at several TAM widths, reported as
+// BENCH_schedule.json.
+//
+//   WCM_QUICK=1   widths {1, 4} (smoke run; default widths {1, 2, 4, 8})
+//
+// The b11 four-die stack (the acceptance stack) runs the proposed/tight flow
+// with stuck-at ATPG, so real pattern counts feed the multi-chain test-time
+// model. Three gates make the bench a correctness check as well as a perf
+// artefact — it exits nonzero when any fails, so CI catches a break even
+// without the test suite:
+//   determinism   the schedule at every width is rebuilt from scratch and
+//                 must hash to the same signature;
+//   width-1       the multi-chain time model at one chain must equal the
+//                 legacy single-chain estimate_test_time bit-exactly;
+//   quality       makespan must stay within 1.5x of the analytic lower
+//                 bound max(ceil(sum of min areas / W), tallest rectangle).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "dft/tam.hpp"
+#include "dft/test_time.hpp"
+
+namespace {
+
+using namespace wcm;
+
+/// FNV-1a over the canonical signature: a compact, stable schedule identity
+/// for the JSON report (the full string is printed to stdout).
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct WidthResult {
+  int width = 0;
+  double seconds = 0.0;  ///< wall time of profile construction + scheduling
+  std::int64_t makespan = 0;
+  std::int64_t lower_bound = 0;
+  double ratio = 0.0;
+  std::uint64_t signature_hash = 0;
+  bool deterministic = false;
+};
+
+}  // namespace
+
+int main() {
+  const bool quick = wcm::bench::quick_mode();
+  const std::vector<int> widths = quick ? std::vector<int>{1, 4}
+                                        : std::vector<int>{1, 2, 4, 8};
+
+  // One flow per die (ATPG included) — the plans and pattern counts are
+  // width-independent, so they are computed once and reused per width.
+  struct DieRun {
+    DieSpec spec;
+    Netlist netlist;
+    WrapperPlan plan;
+    int patterns = 0;
+    std::int64_t legacy_cycles = 0;  ///< single-chain estimate_test_time
+  };
+  std::vector<DieRun> dies;
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  for (int die = 0; die < 4; ++die) {
+    DieRun run;
+    run.spec = itc99_die_spec("b11", die);
+    run.netlist = generate_die(run.spec);
+    FlowConfig fc = wcm::bench::scenario_config(WcmConfig::proposed_tight(),
+                                                /*tight=*/true, /*repair=*/true,
+                                                /*with_atpg=*/true, lib);
+    fc.run_transition = false;  // only stuck-at patterns feed the time model
+    const FlowReport report = run_flow(run.netlist, fc);
+    run.plan = report.solution.plan;
+    run.patterns = report.stuck_at.patterns;
+    run.legacy_cycles =
+        estimate_test_time(run.netlist, run.plan, run.patterns).cycles;
+    std::printf("%s: %d patterns, legacy single-chain %lld cycles\n",
+                run.spec.name.c_str(), run.patterns,
+                static_cast<long long>(run.legacy_cycles));
+    dies.push_back(std::move(run));
+  }
+
+  // Width-1 gate: a one-chain profile must reproduce the legacy formula.
+  bool width1_matches_legacy = true;
+  for (const DieRun& die : dies) {
+    const DieTamProfile profile = make_tam_profile(die.netlist, die.plan,
+                                                   die.patterns, /*max_width=*/1);
+    if (profile.rectangles.size() != 1 ||
+        profile.rectangles[0].test_cycles != die.legacy_cycles) {
+      width1_matches_legacy = false;
+      std::printf("WIDTH-1 MISMATCH %s: multi-chain %lld vs legacy %lld cycles\n",
+                  die.spec.name.c_str(),
+                  static_cast<long long>(profile.rectangles.empty()
+                                             ? -1
+                                             : profile.rectangles[0].test_cycles),
+                  static_cast<long long>(die.legacy_cycles));
+    }
+  }
+
+  const auto build_schedule = [&dies](int width, std::vector<DieTamProfile>* out_profiles) {
+    std::vector<DieTamProfile> profiles;
+    for (const DieRun& die : dies)
+      profiles.push_back(make_tam_profile(die.netlist, die.plan, die.patterns, width));
+    TamSchedule schedule = schedule_stack(profiles, width);
+    if (out_profiles != nullptr) *out_profiles = std::move(profiles);
+    return schedule;
+  };
+
+  std::vector<WidthResult> results;
+  std::vector<std::vector<DieTamProfile>> profiles_by_width;
+  bool all_deterministic = true;
+  double max_ratio = 0.0;
+  for (const int width : widths) {
+    WidthResult r;
+    r.width = width;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<DieTamProfile> profiles;
+    const TamSchedule schedule = build_schedule(width, &profiles);
+    const auto t1 = std::chrono::steady_clock::now();
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.makespan = schedule.makespan_cycles;
+    r.lower_bound = schedule.lower_bound_cycles;
+    r.ratio = r.lower_bound > 0
+                  ? static_cast<double>(r.makespan) / static_cast<double>(r.lower_bound)
+                  : 1.0;
+    const std::string signature = schedule_signature(schedule);
+    r.signature_hash = fnv1a(signature);
+    // Rebuild everything from scratch: profiles and packing must reproduce
+    // the exact same signature (pure-function determinism, not luck).
+    r.deterministic =
+        schedule_signature(build_schedule(width, nullptr)) == signature;
+    all_deterministic &= r.deterministic;
+    if (r.ratio > max_ratio) max_ratio = r.ratio;
+    std::printf("W=%d: makespan %lld, lower bound %lld (ratio %.3f) %s\n  %s\n",
+                width, static_cast<long long>(r.makespan),
+                static_cast<long long>(r.lower_bound), r.ratio,
+                r.deterministic ? "[deterministic]" : "[NON-DETERMINISTIC]",
+                signature.c_str());
+    results.push_back(r);
+    profiles_by_width.push_back(std::move(profiles));
+  }
+
+  const bool ratio_ok = max_ratio <= 1.5;
+  std::printf("schedule: %zu dies x %zu widths | max ratio %.3f (gate 1.5) | "
+              "deterministic %s | width-1 %s legacy\n",
+              dies.size(), widths.size(), max_ratio,
+              all_deterministic ? "yes" : "NO",
+              width1_matches_legacy ? "matches" : "DIFFERS FROM");
+
+  std::ofstream json("BENCH_schedule.json");
+  json << "{\"bench\":\"schedule\",\"dies\":" << dies.size()
+       << ",\"deterministic\":" << (all_deterministic ? "true" : "false")
+       << ",\"width1_matches_legacy\":" << (width1_matches_legacy ? "true" : "false")
+       << ",\"max_ratio\":" << max_ratio << ",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WidthResult& r = results[i];
+    if (i) json << ',';
+    json << "{\"width\":" << r.width << ",\"makespan_cycles\":" << r.makespan
+         << ",\"lower_bound_cycles\":" << r.lower_bound << ",\"ratio\":" << r.ratio
+         << ",\"signature_hash\":\"" << std::hex << r.signature_hash << std::dec
+         << "\",\"rectangles\":[";
+    const std::vector<DieTamProfile>& profiles = profiles_by_width[i];
+    for (std::size_t d = 0; d < profiles.size(); ++d) {
+      if (d) json << ',';
+      json << "{\"die\":\"" << profiles[d].die_name
+           << "\",\"elements\":" << profiles[d].elements
+           << ",\"patterns\":" << profiles[d].patterns << ",\"rects\":[";
+      for (std::size_t k = 0; k < profiles[d].rectangles.size(); ++k) {
+        const TamRectangle& rect = profiles[d].rectangles[k];
+        if (k) json << ',';
+        json << "{\"width\":" << rect.width << ",\"max_chain\":" << rect.max_chain
+             << ",\"cycles\":" << rect.test_cycles << '}';
+      }
+      json << "]}";
+    }
+    json << "]}";
+  }
+  json << "],\"kernels\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i) json << ',';
+    json << "{\"label\":\"schedule/w" << results[i].width
+         << "\",\"seconds\":" << results[i].seconds
+         << ",\"makespan_cycles\":" << results[i].makespan << '}';
+  }
+  json << "]}\n";
+  std::printf("wrote BENCH_schedule.json\n");
+
+  // Any gate failure is a correctness bug in the TAM subsystem; fail loudly.
+  return (all_deterministic && width1_matches_legacy && ratio_ok) ? 0 : 1;
+}

@@ -22,9 +22,14 @@ int main() {
                "saving vs naive"});
 
   double total_naive = 0, total_ours = 0;
+  int measured = 0, skipped = 0;
   for (const DieSpec& spec : evaluation_dies()) {
     // The big circuits dominate runtime; the shape shows on the small half.
-    if (!quick_mode() && spec.num_gates > 10000) continue;
+    if (!quick_mode() && spec.num_gates > 10000) {
+      ++skipped;
+      continue;
+    }
+    ++measured;
     const PreparedDie die = prepare(spec, lib);
     AtpgOptions atpg;
     atpg.seed = 29;
@@ -59,7 +64,15 @@ int main() {
   }
   std::printf("\n== Scan test time per die (additional cells / ms at 50 MHz) ==\n\n%s\n",
               table.to_ascii().c_str());
-  std::printf("total: %.1f ms naive vs %.1f ms proposed (%.1f%% saved)\n", total_naive,
-              total_ours, 100.0 * (1.0 - total_ours / total_naive));
+  // The totals only cover the dies actually measured — say so, instead of
+  // printing a "total" that silently omits the skipped large circuits.
+  std::printf("total over %d measured dies: %.1f ms naive vs %.1f ms proposed "
+              "(%.1f%% saved)\n",
+              measured, total_naive, total_ours,
+              100.0 * (1.0 - total_ours / total_naive));
+  if (skipped > 0)
+    std::printf("note: %d dies over 10000 gates skipped (full ATPG too slow here); "
+                "totals exclude them\n",
+                skipped);
   return 0;
 }

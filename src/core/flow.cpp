@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "atpg/testview.hpp"
+#include "dft/tam.hpp"
 #include "obs/obs.hpp"
 #include "sta/sta.hpp"
 #include "util/assert.hpp"
@@ -169,6 +170,19 @@ FlowReport run_flow(const Netlist& n, const FlowConfig& cfg) {
     report.transition = AtpgEngine(view).run_transition(cfg.atpg);
   }
   report.times.atpg_ms = ms_since(phase_start);
+
+  // ---- wrapper/TAM co-optimization: multi-chain test time ----
+  if (cfg.tam_width > 0) {
+    WCM_OBS_SPAN("flow/tam");
+    const std::vector<std::int64_t> items(
+        static_cast<std::size_t>(n.scan_flip_flops().size()) +
+            static_cast<std::size_t>(report.solution.plan.num_additional()),
+        1);
+    const ChainPartition chains = partition_wrapper_chains(items, cfg.tam_width);
+    report.tam_width = cfg.tam_width;
+    report.test_time = estimate_test_time_chains(chains.lengths, report.stuck_at.patterns);
+  }
+
   report.times.total_ms = ms_since(flow_start);
   return report;
 }

@@ -16,6 +16,7 @@
 #include "celllib/celllib.hpp"
 #include "core/solver.hpp"
 #include "dft/insertion.hpp"
+#include "dft/test_time.hpp"
 #include "netlist/netlist.hpp"
 #include "place/place.hpp"
 
@@ -55,6 +56,12 @@ struct FlowConfig {
   bool repair_timing = false;
   bool run_stuck_at = false;     ///< ATPG campaigns are opt-in (they dominate runtime)
   bool run_transition = false;
+  /// TAM width allotted to this die's test session (0 = no TAM analysis).
+  /// When > 0, the final plan's scan elements are partitioned into that many
+  /// balanced wrapper chains (src/dft/tam.hpp) and the multi-chain test time
+  /// lands in FlowReport::test_time — stuck-at patterns feed the model, so
+  /// pair this with run_stuck_at (make_scenario_config enforces it).
+  int tam_width = 0;
   /// With ClockPolicy::kFixed: overrides lib.clock_period_ps for signoff.
   /// Ignored by the derived policies. See tight_clock_period_ps().
   std::optional<double> clock_period_ps;
@@ -87,6 +94,10 @@ struct FlowReport {
   // testability (valid when the matching run_* flag was set)
   AtpgResult stuck_at;
   AtpgResult transition;
+
+  // wrapper/TAM co-optimization (valid when cfg.tam_width > 0)
+  int tam_width = 0;        ///< chains the final plan was partitioned into
+  TestTime test_time;       ///< multi-chain scan test time at that width
 };
 
 /// Runs the full flow on a die. The die netlist is copied internally for the

@@ -1,0 +1,230 @@
+#include "dft/tam.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+#include "util/assert.hpp"
+
+namespace wcm {
+
+namespace {
+
+void check_width(int width, const char* who) {
+  if (width < 1 || width > kMaxTamWidth)
+    throw std::invalid_argument(std::string(who) + ": TAM width must be in [1, " +
+                                std::to_string(kMaxTamWidth) + "], got " +
+                                std::to_string(width));
+}
+
+/// Squared normalized diagonal of a rectangle, as an exact integer over the
+/// common denominator (tam_width * tallest)^2:
+///   (w/W)^2 + (t/T)^2  ~  (w*T)^2 + (t*W)^2.
+/// Exact integer compare keeps the die ordering bit-identical across
+/// platforms — a float sqrt could tie-break differently under -ffast-math.
+unsigned __int128 diagonal_sq(const TamRectangle& r, int tam_width,
+                              std::int64_t tallest) {
+  const unsigned __int128 a =
+      static_cast<unsigned __int128>(r.width) * static_cast<unsigned __int128>(tallest);
+  const unsigned __int128 b = static_cast<unsigned __int128>(r.test_cycles) *
+                              static_cast<unsigned __int128>(tam_width);
+  return a * a + b * b;
+}
+
+}  // namespace
+
+ChainPartition partition_wrapper_chains(const std::vector<std::int64_t>& item_lengths,
+                                        int width) {
+  check_width(width, "partition_wrapper_chains");
+  for (const std::int64_t len : item_lengths)
+    if (len < 0)
+      throw std::invalid_argument("partition_wrapper_chains: negative item length " +
+                                  std::to_string(len));
+
+  ChainPartition part;
+  part.width = width;
+  part.lengths.assign(static_cast<std::size_t>(width), 0);
+
+  // Best-fit decreasing: items by descending length (stable, so input order
+  // breaks ties), each onto the currently shortest chain (lowest index on
+  // load ties). With unit items this degenerates to round-robin; with real
+  // segment lengths it is the classic balanced-partition heuristic.
+  std::vector<std::size_t> order(item_lengths.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return item_lengths[a] > item_lengths[b];
+  });
+  for (const std::size_t item : order) {
+    const auto shortest = std::min_element(part.lengths.begin(), part.lengths.end());
+    *shortest += item_lengths[item];
+  }
+  part.max_length = *std::max_element(part.lengths.begin(), part.lengths.end());
+  return part;
+}
+
+const TamRectangle& DieTamProfile::rectangle_at(int width) const {
+  WCM_ASSERT_MSG(!rectangles.empty(), "profile with no rectangles");
+  const TamRectangle* best = &rectangles.front();
+  for (const TamRectangle& r : rectangles) {
+    if (r.width > width) break;
+    best = &r;
+  }
+  return *best;
+}
+
+const TamRectangle& DieTamProfile::min_area_rectangle(int max_width) const {
+  WCM_ASSERT_MSG(!rectangles.empty(), "profile with no rectangles");
+  const TamRectangle* best = nullptr;
+  for (const TamRectangle& r : rectangles) {
+    if (r.width > max_width) break;
+    if (best == nullptr || r.area() < best->area()) best = &r;
+  }
+  WCM_ASSERT_MSG(best != nullptr, "no feasible rectangle within max_width");
+  return *best;
+}
+
+std::int64_t DieTamProfile::min_cycles(int max_width) const {
+  // Rectangles are Pareto (cycles strictly descending in width), so the
+  // widest feasible one is the fastest session.
+  return rectangle_at(max_width).test_cycles;
+}
+
+DieTamProfile make_tam_profile(const Netlist& n, const WrapperPlan& plan, int patterns,
+                               int max_width) {
+  check_width(max_width, "make_tam_profile");
+  WCM_OBS_SPAN("tam/partition");
+
+  DieTamProfile profile;
+  profile.die_name = n.name();
+  profile.elements =
+      static_cast<std::int64_t>(n.scan_flip_flops().size()) + plan.num_additional();
+  profile.patterns = patterns;
+
+  // Every scan flop and every additional wrapper cell is one unit-length
+  // chain item (a reused flop is already a chain element, so it adds
+  // nothing). The partitioner handles arbitrary segment lengths; the die
+  // model today has no indivisible multi-flop segments.
+  const std::vector<std::int64_t> items(static_cast<std::size_t>(profile.elements), 1);
+  for (int w = 1; w <= max_width; ++w) {
+    const ChainPartition part = partition_wrapper_chains(items, w);
+    if (!profile.rectangles.empty() &&
+        part.max_length >= profile.rectangles.back().max_chain)
+      continue;  // dominated: more TAM lines, same (or deeper) shift depth
+    TamRectangle r;
+    r.width = w;
+    r.max_chain = part.max_length;
+    r.test_cycles = estimate_test_time_chains(part.lengths, patterns).cycles;
+    profile.rectangles.push_back(r);
+  }
+  if (profile.rectangles.empty()) {
+    // elements == 0: the width-1 rectangle is the whole feasible set.
+    TamRectangle r;
+    r.width = 1;
+    r.max_chain = 0;
+    r.test_cycles = estimate_test_time_chains({0}, patterns).cycles;
+    profile.rectangles.push_back(r);
+  }
+  WCM_OBS_ADD("tam.rectangles", profile.rectangles.size());
+  return profile;
+}
+
+TamSchedule schedule_stack(const std::vector<DieTamProfile>& dies, int tam_width) {
+  check_width(tam_width, "schedule_stack");
+  if (dies.empty())
+    throw std::invalid_argument("schedule_stack: no die profiles to schedule");
+  for (const DieTamProfile& d : dies)
+    if (d.rectangles.empty())
+      throw std::invalid_argument("schedule_stack: die '" + d.die_name +
+                                  "' has no rectangles");
+  WCM_OBS_SPAN("tam/schedule");
+
+  TamSchedule schedule;
+  schedule.tam_width = tam_width;
+  schedule.placements.resize(dies.size());
+
+  // ---- diagonal-length ordering ----
+  // Each die's preferred rectangle is its min-area one; dies are packed in
+  // decreasing order of that rectangle's normalized diagonal, so sessions
+  // that are large in either dimension (wide OR long) claim the plane first
+  // and the small ones fill the gaps.
+  std::int64_t tallest = 1;
+  for (const DieTamProfile& d : dies)
+    tallest = std::max(tallest, d.rectangles.front().test_cycles);
+  std::vector<std::size_t> order(dies.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return diagonal_sq(dies[a].min_area_rectangle(tam_width), tam_width, tallest) >
+           diagonal_sq(dies[b].min_area_rectangle(tam_width), tam_width, tallest);
+  });
+
+  // ---- greedy earliest-finish packing over per-line availability ----
+  std::vector<std::int64_t> avail(static_cast<std::size_t>(tam_width), 0);
+  std::vector<int> line_order(static_cast<std::size_t>(tam_width));
+  for (const std::size_t die : order) {
+    const DieTamProfile& profile = dies[die];
+    // Lines by (availability, index): the first w of this order are the
+    // cheapest w lines for any width w, so one sort serves every candidate.
+    std::iota(line_order.begin(), line_order.end(), 0);
+    std::stable_sort(line_order.begin(), line_order.end(), [&](int a, int b) {
+      return avail[static_cast<std::size_t>(a)] < avail[static_cast<std::size_t>(b)];
+    });
+
+    const TamRectangle* best = nullptr;
+    std::int64_t best_start = 0, best_finish = 0;
+    for (const TamRectangle& r : profile.rectangles) {
+      if (r.width > tam_width) break;
+      const std::int64_t start =
+          avail[static_cast<std::size_t>(line_order[static_cast<std::size_t>(r.width) - 1])];
+      const std::int64_t finish = start + r.test_cycles;
+      // Earliest finish wins; on a tie the narrower rectangle (listed first)
+      // keeps lines free for later dies.
+      if (best == nullptr || finish < best_finish) {
+        best = &r;
+        best_start = start;
+        best_finish = finish;
+      }
+    }
+    WCM_ASSERT_MSG(best != nullptr, "die with no feasible rectangle");
+
+    TamPlacement& placed = schedule.placements[die];
+    placed.die = die;
+    placed.width = best->width;
+    placed.start_cycles = best_start;
+    placed.finish_cycles = best_finish;
+    placed.lines.assign(line_order.begin(), line_order.begin() + best->width);
+    std::sort(placed.lines.begin(), placed.lines.end());
+    for (const int line : placed.lines) avail[static_cast<std::size_t>(line)] = best_finish;
+    schedule.makespan_cycles = std::max(schedule.makespan_cycles, best_finish);
+  }
+
+  // ---- analytic lower bound ----
+  std::int64_t total_area = 0, tallest_min = 0;
+  for (const DieTamProfile& d : dies) {
+    total_area += d.min_area_rectangle(tam_width).area();
+    tallest_min = std::max(tallest_min, d.min_cycles(tam_width));
+  }
+  schedule.lower_bound_cycles =
+      std::max((total_area + tam_width - 1) / tam_width, tallest_min);
+
+  WCM_OBS_GAUGE_SET("tam.makespan_cycles", schedule.makespan_cycles);
+  return schedule;
+}
+
+std::string schedule_signature(const TamSchedule& schedule) {
+  std::ostringstream out;
+  out << "W=" << schedule.tam_width << ";makespan=" << schedule.makespan_cycles
+      << ";lb=" << schedule.lower_bound_cycles;
+  for (const TamPlacement& p : schedule.placements) {
+    out << ";die=" << p.die << ",w=" << p.width << ",start=" << p.start_cycles
+        << ",finish=" << p.finish_cycles << ",lines=";
+    for (std::size_t i = 0; i < p.lines.size(); ++i) {
+      if (i) out << '+';
+      out << p.lines[i];
+    }
+  }
+  return out.str();
+}
+
+}  // namespace wcm

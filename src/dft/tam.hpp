@@ -1,0 +1,126 @@
+// Wrapper/TAM co-optimization and stack test scheduling.
+//
+// Pre-bond wrapper-cell minimization (the paper) decides WHICH scan elements
+// wrap each die; this module decides how those elements are distributed over
+// a Test Access Mechanism and when each die's test session runs on the
+// shared stack-level TAM — the rectangle-bin-packing co-optimization line of
+// Iyengar/Chakrabarty/Marinissen (arxiv 1008.4446 / 1008.4448):
+//
+//   1. Wrapper-chain partitioning. A die assigned w TAM lines shifts through
+//      w parallel wrapper chains. Scan flops and additional wrapper cells
+//      are assigned to chains best-fit-decreasing (longest item first, onto
+//      the currently shortest chain), so chain lengths are balanced and the
+//      shift depth is the longest chain.
+//   2. Rectangle generation. Sweeping w = 1..W produces test-session
+//      rectangles (width w, height = test cycles at w). Only Pareto widths
+//      are kept: a width that does not shorten the longest chain only wastes
+//      TAM wires, so its rectangle is dominated.
+//   3. Stack scheduling. The per-die rectangles are packed into the
+//      (TAM width x time) plane with the diagonal-length ordering heuristic:
+//      dies are placed in decreasing order of their preferred rectangle's
+//      normalized diagonal (big-in-either-dimension dies first — the hard
+//      rectangles), and each die takes the (width, start) that finishes
+//      earliest. TAM lines are interchangeable wires, so a die may occupy
+//      non-contiguous lines; validity is per-line exclusivity.
+//
+// Everything here is integer/cycle-exact and a pure function of its inputs,
+// so schedules are bit-identical across runs, platforms, and thread counts
+// (asserted by bench/table_schedule and the `tam` test label).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dft/test_time.hpp"
+#include "dft/wrapper_plan.hpp"
+#include "netlist/netlist.hpp"
+
+namespace wcm {
+
+/// Widest TAM the scheduler accepts — past 64 lines the model (and the CLI
+/// flag) treats the value as a typo.
+inline constexpr int kMaxTamWidth = 64;
+
+/// One die's scan elements distributed over `width` wrapper chains.
+struct ChainPartition {
+  int width = 0;                        ///< number of wrapper chains
+  std::vector<std::int64_t> lengths;    ///< per-chain scan depth, size == width
+  std::int64_t max_length = 0;          ///< the shift depth: longest chain
+};
+
+/// Best-fit-decreasing assignment of `item_lengths` (scan segments/cells)
+/// into `width` chains: items sorted by decreasing length (ties by input
+/// index), each placed on the currently shortest chain (ties by lowest chain
+/// index). Deterministic; throws std::invalid_argument on width < 1 or a
+/// negative item length.
+ChainPartition partition_wrapper_chains(const std::vector<std::int64_t>& item_lengths,
+                                        int width);
+
+/// One feasible test-session rectangle of a die: `width` TAM lines for
+/// `test_cycles` scan clock cycles.
+struct TamRectangle {
+  int width = 0;
+  std::int64_t max_chain = 0;    ///< longest wrapper chain at this width
+  std::int64_t test_cycles = 0;  ///< multi-chain scan test time (cycles)
+
+  std::int64_t area() const { return static_cast<std::int64_t>(width) * test_cycles; }
+};
+
+/// A die's Pareto rectangle set: widths ascending, max_chain (and therefore
+/// test_cycles) strictly descending. Width 1 is always present.
+struct DieTamProfile {
+  std::string die_name;
+  std::int64_t elements = 0;  ///< scan flops + additional wrapper cells
+  int patterns = 0;           ///< scan patterns feeding the time model
+  std::vector<TamRectangle> rectangles;
+
+  /// Rectangle of exactly `width` when Pareto, else the widest kept
+  /// rectangle not exceeding it (the extra lines would be wasted anyway).
+  const TamRectangle& rectangle_at(int width) const;
+  /// Smallest-area rectangle with width <= max_width (ties: smaller width).
+  const TamRectangle& min_area_rectangle(int max_width) const;
+  /// Fastest feasible session: test_cycles of the widest rectangle <= max_width.
+  std::int64_t min_cycles(int max_width) const;
+};
+
+/// Builds the profile of one die: every scan flop and every additional
+/// wrapper cell of `plan` is a unit-length chain item; widths 1..max_width
+/// are swept and dominated rectangles dropped. `patterns` is the die's scan
+/// pattern count (e.g. AtpgResult::patterns). Throws std::invalid_argument
+/// on max_width < 1 or > kMaxTamWidth.
+DieTamProfile make_tam_profile(const Netlist& n, const WrapperPlan& plan, int patterns,
+                               int max_width);
+
+/// One die's committed test session in the stack schedule.
+struct TamPlacement {
+  std::size_t die = 0;             ///< index into the profile vector
+  int width = 0;                   ///< rectangle width actually used
+  std::int64_t start_cycles = 0;
+  std::int64_t finish_cycles = 0;  ///< start + rectangle test_cycles
+  std::vector<int> lines;          ///< TAM lines occupied, ascending
+};
+
+struct TamSchedule {
+  int tam_width = 0;
+  std::vector<TamPlacement> placements;  ///< indexed by die (profile order)
+  std::int64_t makespan_cycles = 0;
+  /// max(ceil(sum of per-die min rectangle areas / width), tallest
+  /// min-cycles rectangle) — the classic bin-packing lower bound; the
+  /// schedule can never beat it, and bench/table_schedule gates how close
+  /// the heuristic gets.
+  std::int64_t lower_bound_cycles = 0;
+};
+
+/// Packs every die's test session into the (tam_width x time) plane with the
+/// diagonal-length heuristic described above. Deterministic: ordering ties
+/// break on die index, line ties on line index. Throws std::invalid_argument
+/// on tam_width < 1 or > kMaxTamWidth, or on an empty profile list.
+TamSchedule schedule_stack(const std::vector<DieTamProfile>& dies, int tam_width);
+
+/// Canonical text form of a schedule (die/width/start/finish/lines rows plus
+/// makespan) — equal strings iff equal schedules. The bench hashes this to
+/// prove bit-identical repeated runs.
+std::string schedule_signature(const TamSchedule& schedule);
+
+}  // namespace wcm

@@ -1,15 +1,46 @@
 #include "dft/test_time.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
 namespace wcm {
+
+TestTime estimate_test_time_chains(const std::vector<std::int64_t>& chain_lengths,
+                                   int patterns, double scan_clock_mhz) {
+  if (!std::isfinite(scan_clock_mhz) || scan_clock_mhz <= 0.0)
+    throw std::invalid_argument(
+        "estimate_test_time: scan_clock_mhz must be a positive finite value, got " +
+        std::to_string(scan_clock_mhz));
+  if (chain_lengths.empty())
+    throw std::invalid_argument("estimate_test_time: no wrapper chains");
+  for (const std::int64_t len : chain_lengths)
+    if (len < 0)
+      throw std::invalid_argument("estimate_test_time: negative chain length " +
+                                  std::to_string(len));
+  if (patterns < 0) {
+    WCM_LOG_WARN("estimate_test_time: negative pattern count %d clamped to 0", patterns);
+    patterns = 0;
+  }
+
+  TestTime t;
+  t.chains = static_cast<int>(chain_lengths.size());
+  for (const std::int64_t len : chain_lengths) {
+    t.chain_length += len;
+    t.max_chain = std::max(t.max_chain, len);
+  }
+  t.cycles = (t.max_chain + 1) * patterns + t.max_chain;
+  t.milliseconds = static_cast<double>(t.cycles) / (scan_clock_mhz * 1e3);
+  return t;
+}
 
 TestTime estimate_test_time(const Netlist& n, const WrapperPlan& plan, int patterns,
                             double scan_clock_mhz) {
-  TestTime t;
-  t.chain_length =
-      static_cast<int>(n.scan_flip_flops().size()) + plan.num_additional();
-  t.cycles = static_cast<std::int64_t>(t.chain_length + 1) * patterns + t.chain_length;
-  t.milliseconds = static_cast<double>(t.cycles) / (scan_clock_mhz * 1e3);
-  return t;
+  const std::int64_t elements =
+      static_cast<std::int64_t>(n.scan_flip_flops().size()) + plan.num_additional();
+  return estimate_test_time_chains({elements}, patterns, scan_clock_mhz);
 }
 
 }  // namespace wcm

@@ -1,20 +1,26 @@
 // Test application time model.
 //
-// Pre-bond test cost is dominated by scan shifting: every pattern must be
-// shifted through the full chain, so
+// Pre-bond test cost is dominated by scan shifting. With the die's scan
+// elements distributed over C parallel wrapper chains whose longest chain
+// holds L elements, every pattern must be shifted through that deepest
+// chain, so
 //
-//     cycles = (chain_length + 1) * patterns + chain_length
+//     cycles = (L + 1) * patterns + L
 //
 // (the classic stop-on-last-shift formula: patterns overlap shift-out of
-// pattern i with shift-in of pattern i+1, plus one trailing shift-out).
+// pattern i with shift-in of pattern i+1, plus one trailing shift-out). The
+// single-chain model used by the paper's tables is the C = 1 special case,
+// where L is the whole chain.
 //
-// Wrapper-cell minimization shortens the chain: every ADDITIONAL wrapper
+// Wrapper-cell minimization shortens the chains: every ADDITIONAL wrapper
 // cell is one more scan element, while a REUSED flop was in the chain
-// already. This module turns a wrapper plan + pattern count into seconds on
-// the tester, which is the number managers actually compare.
+// already. TAM width shortens L by splitting elements over more chains
+// (src/dft/tam.hpp). This module turns chains + a pattern count into seconds
+// on the tester, which is the number managers actually compare.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "dft/wrapper_plan.hpp"
 #include "netlist/netlist.hpp"
@@ -22,13 +28,26 @@
 namespace wcm {
 
 struct TestTime {
-  int chain_length = 0;         ///< scan elements: existing flops + added cells
-  std::int64_t cycles = 0;      ///< total scan-clock cycles for the pattern set
-  double milliseconds = 0.0;    ///< at the given scan clock
+  std::int64_t chain_length = 0;  ///< total scan elements over all chains
+  int chains = 1;                 ///< parallel wrapper chains (TAM width used)
+  std::int64_t max_chain = 0;     ///< longest chain — the shift depth
+  std::int64_t cycles = 0;        ///< total scan-clock cycles for the pattern set
+  double milliseconds = 0.0;      ///< at the given scan clock
 };
 
-/// Test time of applying `patterns` vectors through the chain induced by
-/// `plan` on `n`. `scan_clock_mhz` defaults to a typical 50 MHz shift clock.
+/// Test time of shifting `patterns` vectors through parallel wrapper chains
+/// of the given lengths. With one chain this is bit-exactly the legacy
+/// single-chain formula. Validation: throws std::invalid_argument when
+/// `scan_clock_mhz` is not a positive finite value, when `chain_lengths` is
+/// empty, or when any length is negative; a negative `patterns` is clamped
+/// to 0 with a WCM_LOG_WARN (zero patterns still shift out once).
+TestTime estimate_test_time_chains(const std::vector<std::int64_t>& chain_lengths,
+                                   int patterns, double scan_clock_mhz = 50.0);
+
+/// Test time of applying `patterns` vectors through the single chain induced
+/// by `plan` on `n` (all scan flops plus every additional wrapper cell).
+/// `scan_clock_mhz` defaults to a typical 50 MHz shift clock. Same
+/// validation contract as estimate_test_time_chains.
 TestTime estimate_test_time(const Netlist& n, const WrapperPlan& plan, int patterns,
                             double scan_clock_mhz = 50.0);
 

@@ -79,6 +79,7 @@ std::string encode_job(const NetJob& job, const std::optional<std::uint64_t>& ro
   scenario.set("tight", JsonValue::boolean(job.scenario.tight));
   scenario.set("atpg", JsonValue::boolean(job.scenario.with_atpg));
   scenario.set("oracle", JsonValue::string(job.scenario.oracle));
+  scenario.set("tam", JsonValue::number(static_cast<std::int64_t>(job.scenario.tam_width)));
   msg.set("scenario", std::move(scenario));
   if (root_seed) msg.set("root_seed", JsonValue::number(*root_seed));
   return msg.dump();
@@ -118,6 +119,16 @@ std::string encode_result(const JobResult& job, const std::string& signature) {
                JsonValue::number(static_cast<std::int64_t>(r.repair_demotions)));
     report.set("stuck_at", atpg_to_json(r.stuck_at));
     report.set("transition", atpg_to_json(r.transition));
+    if (r.tam_width > 0) {
+      JsonValue tam = JsonValue::object();
+      tam.set("width", JsonValue::number(static_cast<std::int64_t>(r.tam_width)));
+      tam.set("chains", JsonValue::number(static_cast<std::int64_t>(r.test_time.chains)));
+      tam.set("chain_length", JsonValue::number(r.test_time.chain_length));
+      tam.set("max_chain", JsonValue::number(r.test_time.max_chain));
+      tam.set("cycles", JsonValue::number(r.test_time.cycles));
+      tam.set("ms", JsonValue::number(r.test_time.milliseconds));
+      report.set("tam", std::move(tam));
+    }
     JsonValue times = JsonValue::object();
     times.set("place_ms", JsonValue::number(r.times.place_ms));
     times.set("solve_ms", JsonValue::number(r.times.solve_ms));
@@ -192,6 +203,7 @@ bool parse_job(const JsonValue& msg, NetJob& out,
   out.scenario.tight = scenario->get_bool("tight", true);
   out.scenario.with_atpg = scenario->get_bool("atpg", false);
   out.scenario.oracle = scenario->get_string("oracle");
+  out.scenario.tam_width = static_cast<int>(scenario->get_i64("tam", 0));
   if (!validate_scenario(out.scenario, error)) return false;
   root_seed.reset();
   if (const JsonValue* seed = msg.find("root_seed"); seed != nullptr && seed->is_number())
@@ -240,6 +252,14 @@ bool parse_result(const JsonValue& msg, NetResult& out, std::string& error) {
   r.repair_demotions = static_cast<int>(report->get_i64("repair_demotions"));
   atpg_from_json(report->find("stuck_at"), r.stuck_at);
   atpg_from_json(report->find("transition"), r.transition);
+  if (const JsonValue* tam = report->find("tam"); tam != nullptr && tam->is_object()) {
+    r.tam_width = static_cast<int>(tam->get_i64("width"));
+    r.test_time.chains = static_cast<int>(tam->get_i64("chains"));
+    r.test_time.chain_length = tam->get_i64("chain_length");
+    r.test_time.max_chain = tam->get_i64("max_chain");
+    r.test_time.cycles = tam->get_i64("cycles");
+    r.test_time.milliseconds = tam->get_double("ms");
+  }
   if (const JsonValue* times = report->find("times"); times != nullptr && times->is_object()) {
     r.times.place_ms = times->get_double("place_ms");
     r.times.solve_ms = times->get_double("solve_ms");

@@ -271,6 +271,12 @@ std::string flow_report_signature(const FlowReport& report) {
       << report.stuck_at.patterns << ";tr=" << report.transition.total_faults << ','
       << report.transition.detected << ',' << report.transition.untestable << ','
       << report.transition.aborted << ',' << report.transition.patterns;
+  // Appended only for TAM jobs so every pre-existing signature string is
+  // byte-identical to what older logs recorded.
+  if (report.tam_width > 0)
+    out << ";tam=" << report.tam_width << ',' << report.test_time.chains << ','
+        << report.test_time.max_chain << ',' << report.test_time.cycles << ','
+        << num(report.test_time.milliseconds);
   return out.str();
 }
 

@@ -56,6 +56,13 @@ void append_job_impl(std::ostringstream& out, const JobResult& job) {
   append_atpg(out, "stuck_at", r.stuck_at);
   out << ',';
   append_atpg(out, "transition", r.transition);
+  // Only TAM jobs grow a "tam" object; every other row keeps the old schema.
+  if (r.tam_width > 0)
+    out << ",\"tam\":{\"width\":" << r.tam_width << ",\"chains\":" << r.test_time.chains
+        << ",\"chain_length\":" << r.test_time.chain_length
+        << ",\"max_chain\":" << r.test_time.max_chain
+        << ",\"cycles\":" << r.test_time.cycles << ",\"ms\":" << num(r.test_time.milliseconds)
+        << '}';
   out << ",\"times_ms\":{\"generate\":" << num(job.generate_ms)
       << ",\"place\":" << num(r.times.place_ms) << ",\"solve\":" << num(r.times.solve_ms)
       << ",\"signoff\":" << num(r.times.signoff_ms)

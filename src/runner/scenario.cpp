@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "dft/tam.hpp"
+
 namespace wcm {
 
 bool validate_scenario(const ScenarioSpec& spec, std::string& error) {
@@ -12,6 +14,11 @@ bool validate_scenario(const ScenarioSpec& spec, std::string& error) {
   if (!spec.oracle.empty() && spec.oracle != "structural" && spec.oracle != "measured" &&
       spec.oracle != "measured-scratch") {
     error = "unknown oracle backend '" + spec.oracle + "'";
+    return false;
+  }
+  if (spec.tam_width < 0 || spec.tam_width > kMaxTamWidth) {
+    error = "tam width " + std::to_string(spec.tam_width) + " out of range [0, " +
+            std::to_string(kMaxTamWidth) + "]";
     return false;
   }
   return true;
@@ -34,6 +41,12 @@ FlowConfig make_scenario_config(const ScenarioSpec& spec) {
   fc.clock_policy = spec.tight ? ClockPolicy::kTightDerived : ClockPolicy::kLooseDerived;
   fc.run_stuck_at = spec.with_atpg;
   fc.run_transition = spec.with_atpg;
+  if (spec.tam_width > 0) {
+    fc.tam_width = spec.tam_width;
+    // The multi-chain time model reads the real stuck-at pattern count; a TAM
+    // sweep without ATPG would time zero patterns for every width.
+    fc.run_stuck_at = true;
+  }
 
   if (spec.oracle == "structural") {
     fc.wcm.oracle_mode = OracleMode::kStructural;

@@ -24,6 +24,12 @@ struct ScenarioSpec {
   /// Oracle backend: "" keeps the method preset's default; otherwise
   /// structural | measured | measured-scratch (the --oracle CLI values).
   std::string oracle;
+  /// TAM width for the die's test session (0 = no TAM analysis). When > 0
+  /// the job also runs stuck-at ATPG — real pattern counts feed the
+  /// multi-chain test-time model — and its report carries test_time, which
+  /// is how `wcm3d campaign --tam-widths ...` sweeps the wrapper-count vs.
+  /// test-time frontier (docs/TESTTIME.md).
+  int tam_width = 0;
 };
 
 /// False + `error` when method or oracle name a backend that does not exist.

@@ -1,5 +1,6 @@
 #include "stack/stack.hpp"
 
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 
@@ -7,6 +8,19 @@
 #include "util/assert.hpp"
 
 namespace wcm {
+
+namespace {
+
+// Malformed multi-die input (hand-edited .bench files, a buggy splitter, a
+// truncated Die vector) must be a hard error in every build type: these
+// guards were WCM_ASSERTs, which compile out of release binaries and let a
+// silently mis-bonded stack produce plausible-looking post-bond numbers —
+// the same promotion PR 4 gave the ATPG progress guards.
+[[noreturn]] void bond_error(const std::string& what) {
+  throw std::runtime_error("bond_dies: " + what);
+}
+
+}  // namespace
 
 BondedStack bond_dies(const std::vector<Die>& dies) {
   BondedStack stack;
@@ -33,15 +47,24 @@ BondedStack bond_dies(const std::vector<Die>& dies) {
   for (std::size_t d = 0; d < dies.size(); ++d) {
     const Netlist& n = dies[d].netlist;
     const auto& outbound = n.outbound_tsvs();
-    WCM_ASSERT(outbound.size() == dies[d].outbound_net.size());
+    if (outbound.size() != dies[d].outbound_net.size())
+      bond_error("die '" + n.name() + "' has " + std::to_string(outbound.size()) +
+                 " outbound TSVs but " + std::to_string(dies[d].outbound_net.size()) +
+                 " outbound net names");
     for (std::size_t k = 0; k < outbound.size(); ++k) {
       const Gate& port = n.gate(outbound[k]);
-      WCM_ASSERT(port.fanins.size() == 1);
+      if (port.fanins.size() != 1)
+        bond_error("outbound TSV '" + std::string(n.name_of(outbound[k])) + "' on die '" +
+                   n.name() + "' has " + std::to_string(port.fanins.size()) +
+                   " drivers (expected 1)");
       const GateId driver = mapped[d][static_cast<std::size_t>(port.fanins[0])];
-      WCM_ASSERT_MSG(driver != kNoGate, "outbound TSV driven by another TSV");
+      if (driver == kNoGate)
+        bond_error("outbound TSV '" + std::string(n.name_of(outbound[k])) + "' on die '" +
+                   n.name() + "' is driven by another TSV");
       auto [it, inserted] = driver_of_net.emplace(dies[d].outbound_net[k], driver);
-      WCM_ASSERT_MSG(inserted || it->second == driver,
-                     "net driven by two different outbound TSVs");
+      if (!inserted && it->second != driver)
+        bond_error("net '" + dies[d].outbound_net[k] +
+                   "' is driven by two different outbound TSVs");
     }
   }
 
@@ -50,12 +73,17 @@ BondedStack bond_dies(const std::vector<Die>& dies) {
   for (std::size_t d = 0; d < dies.size(); ++d) {
     const Netlist& n = dies[d].netlist;
     const auto& inbound = n.inbound_tsvs();
-    WCM_ASSERT(inbound.size() == dies[d].inbound_net.size());
+    if (inbound.size() != dies[d].inbound_net.size())
+      bond_error("die '" + n.name() + "' has " + std::to_string(inbound.size()) +
+                 " inbound TSVs but " + std::to_string(dies[d].inbound_net.size()) +
+                 " inbound net names");
     via_of_inbound[d].assign(n.size(), kNoGate);
     for (std::size_t k = 0; k < inbound.size(); ++k) {
       const std::string& net = dies[d].inbound_net[k];
       const auto driver_it = driver_of_net.find(net);
-      WCM_ASSERT_MSG(driver_it != driver_of_net.end(), "inbound net with no driver die");
+      if (driver_it == driver_of_net.end())
+        bond_error("inbound net '" + net + "' on die '" + n.name() +
+                   "' has no driver die (unmapped driver)");
       const GateId via =
           out.add_gate(GateType::kBuf, "via_" + net + "_d" + std::to_string(d));
       out.connect(driver_it->second, via);
@@ -85,7 +113,8 @@ BondedStack bond_dies(const std::vector<Die>& dies) {
   }
 
   out.invalidate_caches();
-  WCM_ASSERT_MSG(out.check().empty(), "bonded stack failed structural check");
+  if (const std::string problem = out.check(); !problem.empty())
+    bond_error("bonded stack failed structural check: " + problem);
   return stack;
 }
 

@@ -1,0 +1,285 @@
+#include "dft/tam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "dft/test_time.hpp"
+#include "gen/generator.hpp"
+#include "place/place.hpp"
+
+namespace wcm {
+namespace {
+
+// ---- wrapper-chain partitioning (best-fit decreasing) ----
+
+TEST(ChainPartitionTest, UnitItemsBalanceExactly) {
+  const std::vector<std::int64_t> items(10, 1);
+  const ChainPartition part = partition_wrapper_chains(items, 4);
+  ASSERT_EQ(part.lengths.size(), 4u);
+  // 10 over 4 chains: lengths {3,3,2,2} in some order, max 3.
+  EXPECT_EQ(std::accumulate(part.lengths.begin(), part.lengths.end(), std::int64_t{0}),
+            10);
+  EXPECT_EQ(part.max_length, 3);
+  EXPECT_EQ(*std::min_element(part.lengths.begin(), part.lengths.end()), 2);
+}
+
+TEST(ChainPartitionTest, BestFitDecreasingKnownInstance) {
+  // Classic LPT instance: {7,5,4,3,2} on 2 chains -> {7,4} vs {5,3,2} = 11/10.
+  const ChainPartition part = partition_wrapper_chains({7, 5, 4, 3, 2}, 2);
+  EXPECT_EQ(part.max_length, 11);
+  const std::int64_t total =
+      std::accumulate(part.lengths.begin(), part.lengths.end(), std::int64_t{0});
+  EXPECT_EQ(total, 21);
+}
+
+TEST(ChainPartitionTest, MoreChainsNeverDeepens) {
+  const std::vector<std::int64_t> items(37, 1);
+  std::int64_t previous = -1;
+  for (int w = 1; w <= 12; ++w) {
+    const ChainPartition part = partition_wrapper_chains(items, w);
+    if (previous >= 0) EXPECT_LE(part.max_length, previous) << "width " << w;
+    previous = part.max_length;
+  }
+}
+
+TEST(ChainPartitionTest, RejectsBadInput) {
+  EXPECT_THROW(partition_wrapper_chains({1, 2}, 0), std::invalid_argument);
+  EXPECT_THROW(partition_wrapper_chains({1, 2}, -3), std::invalid_argument);
+  EXPECT_THROW(partition_wrapper_chains({1, 2}, kMaxTamWidth + 1), std::invalid_argument);
+  EXPECT_THROW(partition_wrapper_chains({1, -2}, 2), std::invalid_argument);
+}
+
+TEST(ChainPartitionTest, EmptyItemsGiveEmptyChains) {
+  const ChainPartition part = partition_wrapper_chains({}, 3);
+  EXPECT_EQ(part.max_length, 0);
+  for (const std::int64_t len : part.lengths) EXPECT_EQ(len, 0);
+}
+
+// ---- rectangle profiles ----
+
+struct SolvedDie {
+  Netlist netlist;
+  WrapperPlan plan;
+};
+
+SolvedDie solved_die(const std::string& circuit, int die) {
+  SolvedDie s{generate_die(itc99_die_spec(circuit, die)), {}};
+  const Placement placement = place(s.netlist, PlaceOptions{});
+  s.plan = solve_wcm(s.netlist, &placement, CellLibrary::nangate45_like(),
+                     WcmConfig::proposed_area())
+               .plan;
+  return s;
+}
+
+TEST(TamProfileTest, RectanglesAreParetoAndStartAtWidthOne) {
+  const SolvedDie die = solved_die("b11", 1);
+  const DieTamProfile profile = make_tam_profile(die.netlist, die.plan, 100, 8);
+  ASSERT_FALSE(profile.rectangles.empty());
+  EXPECT_EQ(profile.rectangles.front().width, 1);
+  for (std::size_t i = 1; i < profile.rectangles.size(); ++i) {
+    EXPECT_GT(profile.rectangles[i].width, profile.rectangles[i - 1].width);
+    EXPECT_LT(profile.rectangles[i].max_chain, profile.rectangles[i - 1].max_chain);
+    EXPECT_LT(profile.rectangles[i].test_cycles, profile.rectangles[i - 1].test_cycles);
+  }
+}
+
+TEST(TamProfileTest, WidthOneMatchesLegacyModelBitExact) {
+  for (int die = 0; die < 4; ++die) {
+    const SolvedDie s = solved_die("b11", die);
+    for (const int patterns : {0, 1, 73, 500}) {
+      const DieTamProfile profile = make_tam_profile(s.netlist, s.plan, patterns, 1);
+      const TestTime legacy = estimate_test_time(s.netlist, s.plan, patterns);
+      ASSERT_EQ(profile.rectangles.size(), 1u);
+      EXPECT_EQ(profile.rectangles[0].test_cycles, legacy.cycles)
+          << "die " << die << " patterns " << patterns;
+      EXPECT_EQ(profile.rectangles[0].max_chain, legacy.max_chain);
+    }
+  }
+}
+
+TEST(TamProfileTest, RectangleLookupsRespectWidthCaps) {
+  const SolvedDie die = solved_die("b11", 2);
+  const DieTamProfile profile = make_tam_profile(die.netlist, die.plan, 50, 8);
+  EXPECT_EQ(profile.rectangle_at(1).width, 1);
+  EXPECT_LE(profile.rectangle_at(5).width, 5);
+  EXPECT_LE(profile.min_area_rectangle(3).width, 3);
+  // min_cycles is the widest feasible (Pareto => fastest) rectangle's height.
+  EXPECT_EQ(profile.min_cycles(8), profile.rectangles.back().test_cycles);
+  EXPECT_GE(profile.min_cycles(1), profile.min_cycles(8));
+}
+
+TEST(TamProfileTest, RejectsBadWidth) {
+  const SolvedDie die = solved_die("b11", 0);
+  EXPECT_THROW(make_tam_profile(die.netlist, die.plan, 10, 0), std::invalid_argument);
+  EXPECT_THROW(make_tam_profile(die.netlist, die.plan, 10, kMaxTamWidth + 1),
+               std::invalid_argument);
+}
+
+// ---- stack scheduling properties ----
+
+/// A schedule is valid iff every die is placed exactly once with its
+/// rectangle's duration, occupies width distinct in-range lines, and no two
+/// placements share a TAM line while overlapping in time.
+void expect_valid_schedule(const TamSchedule& schedule,
+                           const std::vector<DieTamProfile>& dies, int tam_width) {
+  ASSERT_EQ(schedule.placements.size(), dies.size());
+  std::vector<bool> seen(dies.size(), false);
+  for (const TamPlacement& p : schedule.placements) {
+    ASSERT_LT(p.die, dies.size());
+    EXPECT_FALSE(seen[p.die]) << "die placed twice";
+    seen[p.die] = true;
+    EXPECT_GE(p.width, 1);
+    EXPECT_LE(p.width, tam_width);
+    ASSERT_EQ(p.lines.size(), static_cast<std::size_t>(p.width));
+    for (std::size_t i = 0; i < p.lines.size(); ++i) {
+      EXPECT_GE(p.lines[i], 0);
+      EXPECT_LT(p.lines[i], tam_width);
+      if (i) EXPECT_LT(p.lines[i - 1], p.lines[i]);  // ascending, distinct
+    }
+    // Duration equals the profile's rectangle at this width.
+    const TamRectangle& r = dies[p.die].rectangle_at(p.width);
+    EXPECT_EQ(r.width, p.width);
+    EXPECT_EQ(p.finish_cycles - p.start_cycles, r.test_cycles);
+    EXPECT_GE(p.start_cycles, 0);
+    EXPECT_LE(p.finish_cycles, schedule.makespan_cycles);
+  }
+  // Per-line exclusivity: intervals on one line must not overlap.
+  std::map<int, std::vector<std::pair<std::int64_t, std::int64_t>>> by_line;
+  for (const TamPlacement& p : schedule.placements)
+    for (const int line : p.lines)
+      by_line[line].push_back({p.start_cycles, p.finish_cycles});
+  for (auto& [line, intervals] : by_line) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i)
+      EXPECT_GE(intervals[i].first, intervals[i - 1].second)
+          << "overlap on TAM line " << line;
+  }
+  // The makespan is real (some die finishes there) and >= the lower bound.
+  std::int64_t max_finish = 0;
+  for (const TamPlacement& p : schedule.placements)
+    max_finish = std::max(max_finish, p.finish_cycles);
+  EXPECT_EQ(schedule.makespan_cycles, max_finish);
+  EXPECT_GE(schedule.makespan_cycles, schedule.lower_bound_cycles);
+}
+
+std::vector<DieTamProfile> b11_profiles(int max_width, int patterns = 120) {
+  std::vector<DieTamProfile> profiles;
+  for (int die = 0; die < 4; ++die) {
+    const SolvedDie s = solved_die("b11", die);
+    profiles.push_back(make_tam_profile(s.netlist, s.plan, patterns, max_width));
+  }
+  return profiles;
+}
+
+TEST(TamScheduleTest, SchedulesAreValidAcrossWidths) {
+  for (const int width : {1, 2, 3, 4, 8, 16}) {
+    const std::vector<DieTamProfile> profiles = b11_profiles(width);
+    const TamSchedule schedule = schedule_stack(profiles, width);
+    expect_valid_schedule(schedule, profiles, width);
+  }
+}
+
+TEST(TamScheduleTest, SyntheticProfilesPackWithoutOverlap) {
+  // Hand-built profiles stress non-contiguous line assignment: dies of
+  // different widths and heights forced through one narrow plane.
+  const auto rect = [](int w, std::int64_t cycles) {
+    TamRectangle r;
+    r.width = w;
+    r.max_chain = cycles;  // unused by the scheduler
+    r.test_cycles = cycles;
+    return r;
+  };
+  std::vector<DieTamProfile> dies(4);
+  dies[0].die_name = "tall";
+  dies[0].rectangles = {rect(1, 1000)};
+  dies[1].die_name = "wide";
+  dies[1].rectangles = {rect(1, 900), rect(3, 300)};
+  dies[2].die_name = "mid";
+  dies[2].rectangles = {rect(1, 400), rect(2, 200)};
+  dies[3].die_name = "small";
+  dies[3].rectangles = {rect(1, 50)};
+  for (const int width : {1, 2, 3, 4}) {
+    const TamSchedule schedule = schedule_stack(dies, width);
+    expect_valid_schedule(schedule, dies, width);
+  }
+}
+
+TEST(TamScheduleTest, DeterministicAcrossRepeatsSeedsAndWidths) {
+  // Bit-identical signatures on rebuild-from-scratch repeats, for every
+  // (pattern-seed, width) combination — the distributed-campaign guarantee.
+  for (const int patterns : {11, 16, 33}) {
+    for (const int width : {1, 2, 4, 8}) {
+      const TamSchedule first = schedule_stack(b11_profiles(width, patterns), width);
+      const TamSchedule second = schedule_stack(b11_profiles(width, patterns), width);
+      EXPECT_EQ(schedule_signature(first), schedule_signature(second))
+          << "patterns " << patterns << " width " << width;
+    }
+  }
+}
+
+TEST(TamScheduleTest, WidthOneSerializesAndMatchesLegacySum) {
+  // At W=1 the schedule is a serial session list: makespan is exactly the
+  // sum of the legacy single-chain test times.
+  std::int64_t legacy_sum = 0;
+  std::vector<DieTamProfile> profiles;
+  for (int die = 0; die < 4; ++die) {
+    const SolvedDie s = solved_die("b11", die);
+    legacy_sum += estimate_test_time(s.netlist, s.plan, 120).cycles;
+    profiles.push_back(make_tam_profile(s.netlist, s.plan, 120, 1));
+  }
+  const TamSchedule schedule = schedule_stack(profiles, 1);
+  expect_valid_schedule(schedule, profiles, 1);
+  EXPECT_EQ(schedule.makespan_cycles, legacy_sum);
+  EXPECT_EQ(schedule.makespan_cycles, schedule.lower_bound_cycles);
+}
+
+TEST(TamScheduleTest, WiderTamNeverSlower) {
+  std::int64_t previous = -1;
+  for (const int width : {1, 2, 4, 8, 16}) {
+    const TamSchedule schedule = schedule_stack(b11_profiles(width), width);
+    if (previous >= 0) EXPECT_LE(schedule.makespan_cycles, previous);
+    previous = schedule.makespan_cycles;
+  }
+}
+
+TEST(TamScheduleTest, MakespanWithinHeuristicBoundOnB11) {
+  // The acceptance gate: within 1.5x of the analytic lower bound on the
+  // b11 four-die stack at every swept width.
+  for (const int width : {1, 2, 4, 8}) {
+    const TamSchedule schedule = schedule_stack(b11_profiles(width), width);
+    EXPECT_LE(schedule.makespan_cycles, (schedule.lower_bound_cycles * 3 + 1) / 2)
+        << "width " << width;
+  }
+}
+
+TEST(TamScheduleTest, RejectsBadInput) {
+  const std::vector<DieTamProfile> profiles = b11_profiles(4);
+  EXPECT_THROW(schedule_stack(profiles, 0), std::invalid_argument);
+  EXPECT_THROW(schedule_stack(profiles, kMaxTamWidth + 1), std::invalid_argument);
+  EXPECT_THROW(schedule_stack({}, 4), std::invalid_argument);
+  std::vector<DieTamProfile> broken(1);
+  broken[0].die_name = "empty";
+  EXPECT_THROW(schedule_stack(broken, 4), std::invalid_argument);
+}
+
+TEST(TamScheduleTest, SignatureReflectsEveryPlacementField) {
+  const std::vector<DieTamProfile> profiles = b11_profiles(4);
+  TamSchedule schedule = schedule_stack(profiles, 4);
+  const std::string original = schedule_signature(schedule);
+  EXPECT_NE(original.find("W=4"), std::string::npos);
+  TamSchedule tweaked = schedule;
+  tweaked.placements[0].start_cycles += 1;
+  EXPECT_NE(schedule_signature(tweaked), original);
+  tweaked = schedule;
+  tweaked.placements[0].lines[0] += 100;
+  EXPECT_NE(schedule_signature(tweaked), original);
+}
+
+}  // namespace
+}  // namespace wcm

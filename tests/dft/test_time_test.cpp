@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "gen/generator.hpp"
+#include "util/logging.hpp"
 
 namespace wcm {
 namespace {
@@ -71,6 +75,56 @@ TEST(TestTimeTest, ZeroPatternsStillShiftsOutOnce) {
   const Netlist n = die();
   const TestTime t = estimate_test_time(n, one_cell_per_tsv(n), 0);
   EXPECT_EQ(t.cycles, t.chain_length);
+}
+
+// Regressions for the input-validation bugfix: a non-positive or non-finite
+// shift clock silently produced zero/inf/NaN milliseconds before.
+TEST(TestTimeTest, RejectsNonPositiveClock) {
+  const Netlist n = die();
+  const WrapperPlan plan = one_cell_per_tsv(n);
+  EXPECT_THROW(estimate_test_time(n, plan, 100, 0.0), std::invalid_argument);
+  EXPECT_THROW(estimate_test_time(n, plan, 100, -50.0), std::invalid_argument);
+  EXPECT_THROW(estimate_test_time(n, plan, 100, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_test_time(n, plan, 100, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_test_time_chains({10}, 100, 0.0), std::invalid_argument);
+}
+
+// A negative pattern count (a failed ATPG run propagating -1) clamps to zero
+// with a warning instead of computing negative cycles.
+TEST(TestTimeTest, NegativePatternsClampToZero) {
+  const Netlist n = die();
+  const WrapperPlan plan = one_cell_per_tsv(n);
+  ScopedLogLevel quiet(LogLevel::kError);
+  const TestTime t = estimate_test_time(n, plan, -7);
+  EXPECT_EQ(t.cycles, t.chain_length);  // shift-out only, like patterns == 0
+  EXPECT_GE(t.milliseconds, 0.0);
+}
+
+TEST(TestTimeTest, MultiChainRejectsBadChainLists) {
+  EXPECT_THROW(estimate_test_time_chains({}, 100), std::invalid_argument);
+  EXPECT_THROW(estimate_test_time_chains({4, -1}, 100), std::invalid_argument);
+}
+
+// The multi-chain model: total elements split over chains, cycles driven by
+// the LONGEST chain; one chain reduces bit-exactly to the legacy formula.
+TEST(TestTimeTest, MultiChainUsesLongestChain) {
+  const TestTime t = estimate_test_time_chains({7, 5, 5}, 40);
+  EXPECT_EQ(t.chains, 3);
+  EXPECT_EQ(t.chain_length, 17);
+  EXPECT_EQ(t.max_chain, 7);
+  EXPECT_EQ(t.cycles, static_cast<std::int64_t>(8) * 40 + 7);
+}
+
+TEST(TestTimeTest, SingleChainMatchesLegacyBitExact) {
+  const Netlist n = die();
+  const WrapperPlan plan = one_cell_per_tsv(n);
+  const TestTime legacy = estimate_test_time(n, plan, 123, 75.0);
+  const TestTime multi = estimate_test_time_chains({legacy.chain_length}, 123, 75.0);
+  EXPECT_EQ(multi.cycles, legacy.cycles);
+  EXPECT_EQ(multi.max_chain, legacy.max_chain);
+  EXPECT_EQ(multi.milliseconds, legacy.milliseconds);  // bit-exact, not NEAR
 }
 
 }  // namespace

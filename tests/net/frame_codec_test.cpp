@@ -184,6 +184,7 @@ TEST(ProtocolTest, JobRoundTripsThroughWire) {
   job.scenario.tight = false;
   job.scenario.with_atpg = true;
   job.scenario.oracle = "measured-scratch";
+  job.scenario.tam_width = 8;
 
   JsonValue msg;
   std::string type, error;
@@ -205,8 +206,38 @@ TEST(ProtocolTest, JobRoundTripsThroughWire) {
   EXPECT_EQ(back.scenario.tight, job.scenario.tight);
   EXPECT_EQ(back.scenario.with_atpg, job.scenario.with_atpg);
   EXPECT_EQ(back.scenario.oracle, job.scenario.oracle);
+  EXPECT_EQ(back.scenario.tam_width, job.scenario.tam_width);
   ASSERT_TRUE(root_seed.has_value());
   EXPECT_EQ(*root_seed, 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(ProtocolTest, TamResultRoundTripsThroughWire) {
+  // A TAM job's result carries the multi-chain test time; every field must
+  // survive the wire so dispatch reports stay bit-identical to local runs.
+  JobResult job;
+  job.index = 3;
+  job.label = "b11_die0/proposed/tight/w4";
+  job.die_name = "b11_die0";
+  job.ok = true;
+  job.report.tam_width = 4;
+  job.report.test_time.chains = 4;
+  job.report.test_time.chain_length = 28;
+  job.report.test_time.max_chain = 7;
+  job.report.test_time.cycles = 175;
+  job.report.test_time.milliseconds = 0.0035;
+
+  JsonValue msg;
+  std::string type, error;
+  ASSERT_TRUE(parse_message(encode_result(job, "sig"), msg, type, error)) << error;
+  ASSERT_EQ(type, "result");
+  NetResult back;
+  ASSERT_TRUE(parse_result(msg, back, error)) << error;
+  EXPECT_EQ(back.job.report.tam_width, 4);
+  EXPECT_EQ(back.job.report.test_time.chains, 4);
+  EXPECT_EQ(back.job.report.test_time.chain_length, 28);
+  EXPECT_EQ(back.job.report.test_time.max_chain, 7);
+  EXPECT_EQ(back.job.report.test_time.cycles, 175);
+  EXPECT_EQ(back.job.report.test_time.milliseconds, 0.0035);
 }
 
 TEST(ProtocolTest, BadJobRejectedWithReason) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "atpg/engine.hpp"
 #include "atpg/testview.hpp"
 #include "gen/generator.hpp"
@@ -141,6 +143,88 @@ TEST(StackTest, TwoPartStacksWork) {
   const BondedStack stack = bond_dies(make_dies(2, 5));
   EXPECT_EQ(stack.netlist.check(), "");
   EXPECT_GT(stack.vias.size(), 0u);
+}
+
+// Malformed-input guards: these used to be WCM_ASSERTs, which compile out of
+// release builds and let a mis-bonded stack produce plausible numbers. They
+// are hard std::runtime_errors in every build type now.
+
+TEST(StackTest, TruncatedOutboundNetListThrows) {
+  auto dies = make_dies();
+  ASSERT_FALSE(dies[0].outbound_net.empty());
+  dies[0].outbound_net.pop_back();
+  EXPECT_THROW(bond_dies(dies), std::runtime_error);
+}
+
+TEST(StackTest, TruncatedInboundNetListThrows) {
+  auto dies = make_dies();
+  std::size_t with_inbound = dies.size();
+  for (std::size_t d = 0; d < dies.size(); ++d)
+    if (!dies[d].inbound_net.empty()) {
+      with_inbound = d;
+      break;
+    }
+  ASSERT_LT(with_inbound, dies.size());
+  dies[with_inbound].inbound_net.pop_back();
+  EXPECT_THROW(bond_dies(dies), std::runtime_error);
+}
+
+TEST(StackTest, UnmappedInboundDriverThrows) {
+  auto dies = make_dies();
+  std::size_t with_inbound = dies.size();
+  for (std::size_t d = 0; d < dies.size(); ++d)
+    if (!dies[d].inbound_net.empty()) {
+      with_inbound = d;
+      break;
+    }
+  ASSERT_LT(with_inbound, dies.size());
+  // A net name no outbound side exports: bonding must refuse, not float it.
+  dies[with_inbound].inbound_net[0] = "net_from_nowhere";
+  EXPECT_THROW(bond_dies(dies), std::runtime_error);
+}
+
+TEST(StackTest, DoubleDrivenNetThrows) {
+  auto dies = make_dies();
+  // Two different outbound TSVs claiming the same net name is a short
+  // between drivers. Find two distinct outbound nets anywhere in the stack
+  // and alias the second onto the first.
+  std::size_t da = dies.size(), db = dies.size();
+  std::size_t ka = 0, kb = 0;
+  for (std::size_t d = 0; d < dies.size() && db == dies.size(); ++d)
+    for (std::size_t k = 0; k < dies[d].outbound_net.size(); ++k) {
+      if (da == dies.size()) {
+        da = d;
+        ka = k;
+      } else if (d != da || k != ka) {
+        db = d;
+        kb = k;
+        break;
+      }
+    }
+  ASSERT_LT(db, dies.size());
+  dies[db].outbound_net[kb] = dies[da].outbound_net[ka];
+  EXPECT_THROW(bond_dies(dies), std::runtime_error);
+}
+
+TEST(StackTest, TsvDrivingTsvThrows) {
+  auto dies = make_dies();
+  // Rewire one outbound TSV so its single driver is an inbound TSV of the
+  // same die — a die-internal feed-through bond_dies cannot map.
+  std::size_t victim = dies.size();
+  for (std::size_t d = 0; d < dies.size(); ++d)
+    if (!dies[d].netlist.outbound_tsvs().empty() &&
+        !dies[d].netlist.inbound_tsvs().empty()) {
+      victim = d;
+      break;
+    }
+  ASSERT_LT(victim, dies.size());
+  Netlist& n = dies[victim].netlist;
+  const GateId out_tsv = n.outbound_tsvs()[0];
+  const GateId in_tsv = n.inbound_tsvs()[0];
+  n.disconnect(n.gate(out_tsv).fanins[0], out_tsv);
+  n.connect(in_tsv, out_tsv);
+  n.invalidate_caches();
+  EXPECT_THROW(bond_dies(dies), std::runtime_error);
 }
 
 }  // namespace

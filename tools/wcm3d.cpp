@@ -54,7 +54,9 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <sstream>
 #include <string>
+#include <vector>
 #include <thread>
 
 #include <unistd.h>
@@ -65,6 +67,7 @@
 #include "core/solver.hpp"
 #include "dft/insertion.hpp"
 #include "dft/scan_chain.hpp"
+#include "dft/tam.hpp"
 #include "gen/generator.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/optimize.hpp"
@@ -150,6 +153,35 @@ bool parse_int_flag(const std::map<std::string, std::string>& args, const char* 
     return false;
   }
   out = value;
+  return true;
+}
+
+/// Strict comma-separated integer list, one parse_int_flag per element (so
+/// `--tam-widths 1,2,x` and `--tam-widths 0` fail loudly instead of running a
+/// half-configured sweep). Leaves `out` untouched when the flag is absent.
+bool parse_int_list_flag(const std::map<std::string, std::string>& args, const char* cmd,
+                         const char* name, int min_value, int max_value,
+                         std::vector<int>& out) {
+  const auto it = args.find(name);
+  if (it == args.end()) return true;
+  const std::string& raw = it->second;
+  std::vector<int> values;
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    std::size_t comma = raw.find(',', start);
+    if (comma == std::string::npos) comma = raw.size();
+    const std::string item = raw.substr(start, comma - start);
+    std::map<std::string, std::string> one{{name, item}};
+    int value = 0;
+    if (!parse_int_flag(one, cmd, name, min_value, max_value, value)) return false;
+    values.push_back(value);
+    start = comma + 1;
+  }
+  if (values.empty()) {
+    std::fprintf(stderr, "%s: --%s lists no values\n", cmd, name);
+    return false;
+  }
+  out = std::move(values);
   return true;
 }
 
@@ -243,13 +275,19 @@ int usage() {
                "              [--scenario area|tight|both] [--jobs N] [--seed N]\n"
                "              [--oracle structural|measured|measured-scratch]\n"
                "              [--oracle-cache <dir>] [--trace <file>]\n"
+               "              [--tam-widths N[,N...]] (1..64, adds a TAM/test-time "
+               "variant per width)\n"
                "              [--atpg] [--json <file>] [--quiet]\n"
+               "  wcm3d schedule [--circuit <b11..b22>] [--width N(1..64)]\n"
+               "              [--method proposed|agrawal|li] [--scenario area|tight]\n"
+               "              [--patterns N] [--json <file>] [--trace <file>]\n"
                "  wcm3d serve [--host <addr>] [--port <port>] [--queue N]\n"
                "              [--oracle-cache <dir>] [--trace <file>] [--verbose]\n"
                "  wcm3d dispatch --workers <host:port[,host:port...]>\n"
                "              [--circuit all|<b11..b22>] "
                "[--method proposed|agrawal|li]\n"
                "              [--scenario area|tight|both] [--seed N] [--atpg]\n"
+               "              [--tam-widths N[,N...]]\n"
                "              [--oracle structural|measured|measured-scratch]\n"
                "              [--in-flight N] [--retries N] [--job-timeout-ms N]\n"
                "              [--json <file>] [--trace <file>] [--verbose] [--quiet]\n");
@@ -552,6 +590,10 @@ struct SweepPlan {
   ScenarioSpec base;  ///< `tight` toggled per variant below
   bool run_area = false;
   bool run_tight = true;
+  /// TAM widths to sweep (--tam-widths 1,2,4): each scenario variant fans out
+  /// once per width, exploring the wrapper-count vs. test-time trade-off.
+  /// Empty = no TAM analysis (every label and report stays as before).
+  std::vector<int> tam_widths;
 };
 
 bool parse_sweep(const std::map<std::string, std::string>& args, const char* cmd,
@@ -571,6 +613,8 @@ bool parse_sweep(const std::map<std::string, std::string>& args, const char* cmd
   }
   out.run_area = scenario == "area" || scenario == "both";
   out.run_tight = scenario == "tight" || scenario == "both";
+  if (!parse_int_list_flag(args, cmd, "tam-widths", 1, kMaxTamWidth, out.tam_widths))
+    return false;
   const std::string circuit = args.count("circuit") ? args.at("circuit") : "all";
   for (const DieSpec& spec : itc99_all_dies())
     if (circuit == "all" || spec.name.rfind(circuit, 0) == 0) out.dies.push_back(spec);
@@ -581,22 +625,31 @@ bool parse_sweep(const std::map<std::string, std::string>& args, const char* cmd
   return true;
 }
 
-/// Scenario variants of a sweep, in campaign order (area before tight).
+/// Scenario variants of a sweep, in campaign order (area before tight;
+/// within a scenario, TAM widths in the order listed on the command line).
 std::vector<ScenarioSpec> sweep_variants(const SweepPlan& plan) {
   std::vector<ScenarioSpec> variants;
-  if (plan.run_area) {
-    variants.push_back(plan.base);
-    variants.back().tight = false;
-  }
-  if (plan.run_tight) {
-    variants.push_back(plan.base);
-    variants.back().tight = true;
-  }
+  const auto push = [&variants, &plan](bool tight) {
+    ScenarioSpec spec = plan.base;
+    spec.tight = tight;
+    if (plan.tam_widths.empty()) {
+      variants.push_back(spec);
+      return;
+    }
+    for (const int width : plan.tam_widths) {
+      spec.tam_width = width;
+      variants.push_back(spec);
+    }
+  };
+  if (plan.run_area) push(false);
+  if (plan.run_tight) push(true);
   return variants;
 }
 
 std::string sweep_label(const DieSpec& die, const ScenarioSpec& scenario) {
-  return die.name + "/" + scenario.method + "/" + scenario_name(scenario);
+  std::string label = die.name + "/" + scenario.method + "/" + scenario_name(scenario);
+  if (scenario.tam_width > 0) label += "/w" + std::to_string(scenario.tam_width);
+  return label;
 }
 
 /// Result table + summary line shared by `campaign` and `dispatch`.
@@ -670,6 +723,116 @@ int cmd_campaign(const std::map<std::string, std::string>& args) {
   if (!finish_observed_run("campaign", trace_path)) return 1;
   if (m.cancelled) return 130;
   return m.jobs_failed > 0 ? 1 : 0;
+}
+
+/// `wcm3d schedule`: the stack-level co-optimization — run the wrapper flow
+/// on every die of one circuit, distribute each die's wrapper elements over
+/// TAM chains, and pack the resulting test-session rectangles into the
+/// shared (width x time) plane. Prints the per-die Pareto profile, the
+/// committed schedule, and how close it lands to the analytic lower bound.
+int cmd_schedule(const std::map<std::string, std::string>& args) {
+  const std::string circuit = args.count("circuit") ? args.at("circuit") : "b11";
+  std::vector<DieSpec> dies;
+  for (const DieSpec& spec : itc99_all_dies())
+    if (spec.name.rfind(circuit, 0) == 0) dies.push_back(spec);
+  if (dies.empty()) {
+    std::fprintf(stderr, "schedule: no dies match circuit '%s'\n", circuit.c_str());
+    return 2;
+  }
+
+  int width = 4;
+  if (!parse_int_flag(args, "schedule", "width", 1, kMaxTamWidth, width)) return 2;
+  // --patterns N freezes the pattern count (no ATPG run — fast, exact for
+  // what-if sweeps); absent, each die's real stuck-at campaign feeds the model.
+  int patterns = -1;
+  if (!parse_int_flag(args, "schedule", "patterns", 0, patterns)) return 2;
+
+  ScenarioSpec scenario;
+  scenario.method = args.count("method") ? args.at("method") : "proposed";
+  const std::string scen = args.count("scenario") ? args.at("scenario") : "tight";
+  if (scen != "area" && scen != "tight") {
+    std::fprintf(stderr, "schedule: unknown scenario '%s'\n", scen.c_str());
+    return 2;
+  }
+  scenario.tight = scen == "tight";
+  scenario.with_atpg = patterns < 0;
+  std::string error;
+  if (!validate_scenario(scenario, error)) {
+    std::fprintf(stderr, "schedule: %s\n", error.c_str());
+    return 2;
+  }
+  FlowConfig fc = make_scenario_config(scenario);
+  fc.run_transition = false;  // only stuck-at patterns feed the time model
+
+  const std::string trace_path = begin_observed_run(args);
+  std::vector<DieTamProfile> profiles;
+  for (const DieSpec& spec : dies) {
+    const Netlist die = generate_die(spec);
+    const FlowReport report = run_flow(die, fc);
+    const int die_patterns = patterns >= 0 ? patterns : report.stuck_at.patterns;
+    profiles.push_back(make_tam_profile(die, report.solution.plan, die_patterns, width));
+  }
+  const TamSchedule schedule = schedule_stack(profiles, width);
+
+  Table table({"die", "elements", "patterns", "rects", "width", "lines", "start",
+               "finish", "kcycles"});
+  for (const TamPlacement& p : schedule.placements) {
+    const DieTamProfile& profile = profiles[p.die];
+    std::string lines;
+    for (const int line : p.lines) {
+      if (!lines.empty()) lines += '+';
+      lines += std::to_string(line);
+    }
+    table.add_row({profile.die_name, Table::cell(static_cast<int>(profile.elements)),
+                   Table::cell(profile.patterns),
+                   Table::cell(static_cast<int>(profile.rectangles.size())),
+                   Table::cell(p.width), lines,
+                   Table::cell(static_cast<double>(p.start_cycles), 0),
+                   Table::cell(static_cast<double>(p.finish_cycles), 0),
+                   Table::cell(static_cast<double>(p.finish_cycles - p.start_cycles) / 1e3,
+                               1)});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  const double ratio = schedule.lower_bound_cycles > 0
+                           ? static_cast<double>(schedule.makespan_cycles) /
+                                 static_cast<double>(schedule.lower_bound_cycles)
+                           : 1.0;
+  std::printf("stack TAM width   : %d\n", schedule.tam_width);
+  std::printf("makespan          : %lld cycles\n",
+              static_cast<long long>(schedule.makespan_cycles));
+  std::printf("lower bound       : %lld cycles (ratio %.3f)\n",
+              static_cast<long long>(schedule.lower_bound_cycles), ratio);
+  std::printf("signature         : %s\n", schedule_signature(schedule).c_str());
+
+  if (args.count("json")) {
+    std::ostringstream out;
+    out << "{\"circuit\":\"" << json_escape(circuit) << "\",\"tam_width\":"
+        << schedule.tam_width << ",\"makespan_cycles\":" << schedule.makespan_cycles
+        << ",\"lower_bound_cycles\":" << schedule.lower_bound_cycles
+        << ",\"placements\":[";
+    for (std::size_t i = 0; i < schedule.placements.size(); ++i) {
+      const TamPlacement& p = schedule.placements[i];
+      if (i) out << ',';
+      out << "{\"die\":\"" << json_escape(profiles[p.die].die_name)
+          << "\",\"width\":" << p.width << ",\"start\":" << p.start_cycles
+          << ",\"finish\":" << p.finish_cycles << ",\"lines\":[";
+      for (std::size_t k = 0; k < p.lines.size(); ++k) {
+        if (k) out << ',';
+        out << p.lines[k];
+      }
+      out << "]}";
+    }
+    out << "]}";
+    std::ofstream file(args.at("json"));
+    file << out.str() << '\n';
+    if (!file) {
+      std::fprintf(stderr, "schedule: cannot write %s\n", args.at("json").c_str());
+      return 1;
+    }
+    std::printf("wrote JSON report : %s\n", args.at("json").c_str());
+  }
+  if (!finish_observed_run("schedule", trace_path)) return 1;
+  return 0;
 }
 
 int cmd_serve(const std::map<std::string, std::string>& args) {
@@ -813,6 +976,7 @@ int main(int argc, char** argv) {
     if (cmd == "opt") return cmd_opt(args);
     if (cmd == "solve") return cmd_solve(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "schedule") return cmd_schedule(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "dispatch") return cmd_dispatch(args);
   } catch (const std::exception& e) {
